@@ -1,0 +1,10 @@
+//! # tl-bench — Criterion benchmark crate
+//!
+//! Benchmarks live in `benches/`:
+//!
+//! * `kernel` — microbenchmarks of the event queue, max-min allocator,
+//!   fluid/CPU engines, and the chunk-level packet engine;
+//! * `paper_experiments` — one group per paper table/figure, running each
+//!   experiment's full pipeline at reduced scale.
+//!
+//! This library target is intentionally empty.

@@ -1,0 +1,377 @@
+//! Processor-sharing CPU model.
+//!
+//! Each host's cores are shared among its runnable tasks by capped max-min:
+//! a task receives `min(its parallelism cap, fair share)` cores, with the
+//! slack from capped tasks redistributed. This captures the paper's testbed
+//! reality that ~21 colocated single-threaded worker tasks contend for 12
+//! hardware threads: when stragglers idle some workers, the remaining ones
+//! speed up — and overall CPU utilization drops, which is exactly the
+//! Table II effect.
+//!
+//! Like [`tl_net::FluidNet`], the engine is driven externally: mutate →
+//! ask for the next completion → advance/collect.
+
+use crate::host::HostSpec;
+use simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Identifier of a compute task within a [`CpuEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CpuTaskId(pub u64);
+
+/// A finished compute task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedTask {
+    /// The task's id.
+    pub id: CpuTaskId,
+    /// Caller-defined tag (we use job/worker identifiers).
+    pub tag: u64,
+    /// Host it ran on.
+    pub host: usize,
+    /// When it was submitted.
+    pub started: SimTime,
+    /// When its demand was fully served.
+    pub finished: SimTime,
+}
+
+#[derive(Debug)]
+struct TaskState {
+    host: usize,
+    tag: u64,
+    remaining: f64, // core-seconds
+    cap: f64,       // max cores usable in parallel
+    rate: f64,      // currently allocated cores
+    started: SimTime,
+}
+
+/// Core-seconds below which a task counts as complete (ns-resolution slack).
+const DONE_EPS: f64 = 1e-7;
+
+/// Event-driven processor-sharing engine over a set of hosts.
+#[derive(Debug)]
+pub struct CpuEngine {
+    specs: Vec<HostSpec>,
+    tasks: HashMap<u64, TaskState>,
+    /// Active ids in creation order (deterministic iteration).
+    active: Vec<u64>,
+    next_id: u64,
+    last_advance: SimTime,
+    rates_fresh: bool,
+    /// Cumulative busy core-seconds per host (for utilization).
+    busy_core_secs: Vec<f64>,
+}
+
+impl CpuEngine {
+    /// Create an engine over the given hosts.
+    pub fn new(specs: Vec<HostSpec>) -> Self {
+        assert!(!specs.is_empty(), "need at least one host");
+        let n = specs.len();
+        CpuEngine {
+            specs,
+            tasks: HashMap::new(),
+            active: Vec::new(),
+            next_id: 0,
+            last_advance: SimTime::ZERO,
+            rates_fresh: true,
+            busy_core_secs: vec![0.0; n],
+        }
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Number of currently runnable tasks.
+    pub fn active_task_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Cumulative busy core-seconds per host since engine creation.
+    pub fn busy_core_secs(&self) -> &[f64] {
+        &self.busy_core_secs
+    }
+
+    /// Submit a task demanding `core_secs` of compute on `host`, able to use
+    /// at most `cap` cores in parallel.
+    pub fn start_task(
+        &mut self,
+        now: SimTime,
+        host: usize,
+        core_secs: f64,
+        cap: f64,
+        tag: u64,
+    ) -> CpuTaskId {
+        assert!(host < self.specs.len(), "host {host} out of range");
+        assert!(
+            core_secs > 0.0 && core_secs.is_finite(),
+            "invalid demand {core_secs}"
+        );
+        assert!(cap > 0.0 && cap.is_finite(), "invalid cap {cap}");
+        self.advance(now);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.tasks.insert(
+            id,
+            TaskState {
+                host,
+                tag,
+                remaining: core_secs,
+                cap,
+                rate: 0.0,
+                started: now,
+            },
+        );
+        self.active.push(id);
+        self.rates_fresh = false;
+        CpuTaskId(id)
+    }
+
+    /// Integrate progress up to `now`.
+    pub fn advance(&mut self, now: SimTime) {
+        assert!(
+            now >= self.last_advance,
+            "cpu engine cannot move backwards: {now} < {}",
+            self.last_advance
+        );
+        if now == self.last_advance {
+            return;
+        }
+        self.refresh_rates();
+        let dt = now.since(self.last_advance).as_secs_f64();
+        for &id in &self.active {
+            let t = self.tasks.get_mut(&id).expect("active task missing");
+            if t.rate > 0.0 {
+                let done = (t.rate * dt).min(t.remaining);
+                t.remaining -= done;
+                self.busy_core_secs[t.host] += done;
+            }
+        }
+        self.last_advance = now;
+    }
+
+    /// The earliest time a task completes under current shares, if any.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.refresh_rates();
+        let mut best: Option<f64> = None;
+        for &id in &self.active {
+            let t = &self.tasks[&id];
+            if t.rate > 0.0 {
+                let secs = (t.remaining / t.rate).max(0.0);
+                best = Some(match best {
+                    Some(b) => b.min(secs),
+                    None => secs,
+                });
+            }
+        }
+        best.map(|secs| {
+            self.last_advance + SimDuration::from_secs_f64(secs) + SimDuration::from_nanos(1)
+        })
+    }
+
+    /// Advance to `now` and drain finished tasks in creation order.
+    pub fn take_completions(&mut self, now: SimTime) -> Vec<CompletedTask> {
+        self.advance(now);
+        let mut done = Vec::new();
+        let tasks = &mut self.tasks;
+        self.active.retain(|&id| {
+            let t = &tasks[&id];
+            if t.remaining <= DONE_EPS {
+                let t = tasks.remove(&id).expect("task vanished");
+                done.push(CompletedTask {
+                    id: CpuTaskId(id),
+                    tag: t.tag,
+                    host: t.host,
+                    started: t.started,
+                    finished: now,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        if !done.is_empty() {
+            self.rates_fresh = false;
+        }
+        done
+    }
+
+    /// Currently allocated cores for a task (None once completed).
+    pub fn rate_of(&mut self, id: CpuTaskId) -> Option<f64> {
+        self.refresh_rates();
+        self.tasks.get(&id.0).map(|t| t.rate)
+    }
+
+    /// Capped max-min share of each host's cores among its runnable tasks.
+    fn refresh_rates(&mut self) {
+        if self.rates_fresh {
+            return;
+        }
+        // Group active tasks per host (creation order preserved).
+        let mut per_host: Vec<Vec<u64>> = vec![Vec::new(); self.specs.len()];
+        for &id in &self.active {
+            per_host[self.tasks[&id].host].push(id);
+        }
+        for (h, ids) in per_host.iter().enumerate() {
+            if ids.is_empty() {
+                continue;
+            }
+            let mut remaining_cores = self.specs[h].cores;
+            let mut unfrozen: Vec<u64> = ids.clone();
+            // Capped water-filling: tasks below the fair share take their
+            // cap and release the slack to the rest.
+            while !unfrozen.is_empty() {
+                let fair = remaining_cores / unfrozen.len() as f64;
+                let mut froze_any = false;
+                unfrozen.retain(|&id| {
+                    let t = self.tasks.get_mut(&id).expect("task missing");
+                    if t.cap <= fair {
+                        t.rate = t.cap;
+                        remaining_cores -= t.cap;
+                        froze_any = true;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if !froze_any {
+                    for &id in &unfrozen {
+                        self.tasks.get_mut(&id).expect("task missing").rate = fair;
+                    }
+                    break;
+                }
+            }
+        }
+        self.rates_fresh = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(hosts: usize, cores: f64) -> CpuEngine {
+        CpuEngine::new(vec![HostSpec::with_cores(cores); hosts])
+    }
+
+    #[test]
+    fn lone_task_runs_at_cap() {
+        let mut e = engine(1, 12.0);
+        // 2 core-seconds at cap 1 core -> 2 seconds wall.
+        let id = e.start_task(SimTime::ZERO, 0, 2.0, 1.0, 7);
+        assert_eq!(e.rate_of(id), Some(1.0));
+        let t = e.next_event_time().unwrap();
+        assert!((t.as_secs_f64() - 2.0).abs() < 1e-6);
+        let done = e.take_completions(t);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 7);
+    }
+
+    #[test]
+    fn oversubscription_slows_tasks() {
+        // 21 single-core tasks on 12 cores: each gets 12/21 cores.
+        let mut e = engine(1, 12.0);
+        for i in 0..21 {
+            e.start_task(SimTime::ZERO, 0, 1.0, 1.0, i);
+        }
+        let t = e.next_event_time().unwrap();
+        let want = 21.0 / 12.0; // 1 core-sec at 12/21 cores
+        assert!((t.as_secs_f64() - want).abs() < 1e-6, "got {t}");
+        let done = e.take_completions(t);
+        assert_eq!(done.len(), 21, "all equal tasks finish together");
+    }
+
+    #[test]
+    fn undersubscription_leaves_cores_idle() {
+        // 4 single-core tasks on 12 cores: each runs at its cap of 1.
+        let mut e = engine(1, 12.0);
+        for i in 0..4 {
+            e.start_task(SimTime::ZERO, 0, 3.0, 1.0, i);
+        }
+        let t = e.next_event_time().unwrap();
+        assert!((t.as_secs_f64() - 3.0).abs() < 1e-6);
+        e.take_completions(t);
+        // Busy core-time: 4 tasks × 3 core-secs.
+        assert!((e.busy_core_secs()[0] - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capped_task_releases_slack() {
+        // One cap-1 task and one cap-8 task on 4 cores: fair = 2, so the
+        // cap-1 task takes 1 and the wide task gets 3.
+        let mut e = engine(1, 4.0);
+        let narrow = e.start_task(SimTime::ZERO, 0, 10.0, 1.0, 1);
+        let wide = e.start_task(SimTime::ZERO, 0, 10.0, 8.0, 2);
+        assert_eq!(e.rate_of(narrow), Some(1.0));
+        assert_eq!(e.rate_of(wide), Some(3.0));
+    }
+
+    #[test]
+    fn wide_task_is_limited_by_host_cores() {
+        let mut e = engine(1, 12.0);
+        let id = e.start_task(SimTime::ZERO, 0, 24.0, 16.0, 0);
+        assert_eq!(e.rate_of(id), Some(12.0), "capped by the host, not the task");
+        let t = e.next_event_time().unwrap();
+        assert!((t.as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn completion_speeds_up_survivors() {
+        let mut e = engine(1, 1.0);
+        e.start_task(SimTime::ZERO, 0, 1.0, 1.0, 1); // done at t=2 (half core)
+        e.start_task(SimTime::ZERO, 0, 2.0, 1.0, 2);
+        let t1 = e.next_event_time().unwrap();
+        assert!((t1.as_secs_f64() - 2.0).abs() < 1e-6);
+        let done = e.take_completions(t1);
+        assert_eq!(done[0].tag, 1);
+        // Task 2 has 1 core-sec left, now at a full core: done at t=3.
+        let t2 = e.next_event_time().unwrap();
+        assert!((t2.as_secs_f64() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hosts_are_independent() {
+        let mut e = engine(2, 1.0);
+        e.start_task(SimTime::ZERO, 0, 1.0, 1.0, 1);
+        e.start_task(SimTime::ZERO, 1, 1.0, 1.0, 2);
+        let t = e.next_event_time().unwrap();
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-6, "no cross-host sharing");
+        let done = e.take_completions(t);
+        assert_eq!(done.len(), 2);
+        assert!((e.busy_core_secs()[0] - 1.0).abs() < 1e-6);
+        assert!((e.busy_core_secs()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn busy_accounting_partial_window() {
+        let mut e = engine(1, 2.0);
+        e.start_task(SimTime::ZERO, 0, 10.0, 1.0, 1);
+        e.advance(SimTime::from_secs(3));
+        assert!((e.busy_core_secs()[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn late_arrival_reshares() {
+        let mut e = engine(1, 1.0);
+        let a = e.start_task(SimTime::ZERO, 0, 2.0, 1.0, 1);
+        e.start_task(SimTime::from_secs(1), 0, 2.0, 1.0, 2);
+        // Task a: 1 core-sec left at t=1, then half core.
+        assert_eq!(e.rate_of(a), Some(0.5));
+        let t = e.next_event_time().unwrap();
+        assert!((t.as_secs_f64() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_host() {
+        let mut e = engine(1, 1.0);
+        e.start_task(SimTime::ZERO, 1, 1.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid demand")]
+    fn rejects_zero_demand() {
+        let mut e = engine(1, 1.0);
+        e.start_task(SimTime::ZERO, 0, 0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! A light cluster resource manager.
+//!
+//! The paper assumes a functionality-agnostic scheduler (YARN/Borg/Mesos)
+//! that places PS and worker tasks by resource demand only, "thus,
+//! colocation of PS tasks can naturally occur". This module materializes a
+//! [`Placement`] into concrete task assignments and performs the admission
+//! checks such a scheduler would do (host validity, per-host load against
+//! capacity), without any PS-awareness — PS-aware placement is modelled as
+//! a *strategy* in [`crate::placement`], reflecting the paper's §VII.
+
+use crate::host::HostSpec;
+use crate::placement::Placement;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tl_net::HostId;
+
+/// Role of a task within its job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskRole {
+    /// The job's parameter server.
+    ParameterServer,
+    /// Worker with the given index within the job.
+    Worker(u32),
+}
+
+/// One task pinned to a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskAssignment {
+    /// Owning job (index into the placement's job list).
+    pub job: u32,
+    /// PS or worker-i.
+    pub role: TaskRole,
+    /// Host the task runs on.
+    pub host: HostId,
+}
+
+/// Why a placement was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementError {
+    /// A task referenced a host outside the cluster.
+    UnknownHost {
+        /// The offending host.
+        host: HostId,
+    },
+    /// A job placed a worker on its own PS host (disallowed in the paper's
+    /// setup where PS and worker tasks of one job never share a machine).
+    WorkerOnPsHost {
+        /// The offending job.
+        job: u32,
+    },
+    /// A host's task count exceeded its core capacity by more than the
+    /// allowed oversubscription factor.
+    Overloaded {
+        /// The overloaded host.
+        host: HostId,
+        /// Number of tasks assigned.
+        tasks: usize,
+        /// Maximum admitted.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::UnknownHost { host } => write!(f, "unknown host {host}"),
+            PlacementError::WorkerOnPsHost { job } => {
+                write!(f, "job {job} placed a worker on its own PS host")
+            }
+            PlacementError::Overloaded { host, tasks, limit } => {
+                write!(f, "host {host} overloaded: {tasks} tasks > limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// The resource manager: host inventory plus admission policy.
+#[derive(Debug, Clone)]
+pub struct ResourceManager {
+    specs: Vec<HostSpec>,
+    /// Tasks admitted per core (oversubscription factor). The paper's
+    /// testbed runs ~21 worker tasks on 12 hardware threads, so the default
+    /// is a generous 4× like production batch schedulers.
+    pub tasks_per_core: f64,
+}
+
+impl ResourceManager {
+    /// Create a manager over the given hosts with the default admission
+    /// policy.
+    pub fn new(specs: Vec<HostSpec>) -> Self {
+        assert!(!specs.is_empty(), "need at least one host");
+        ResourceManager {
+            specs,
+            tasks_per_core: 4.0,
+        }
+    }
+
+    /// Number of hosts managed.
+    pub fn num_hosts(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Host specifications.
+    pub fn specs(&self) -> &[HostSpec] {
+        &self.specs
+    }
+
+    /// Validate a placement against the inventory and admission policy.
+    pub fn validate(&self, placement: &Placement) -> Result<(), PlacementError> {
+        let n = self.specs.len() as u32;
+        let mut load = vec![0usize; self.specs.len()];
+        for (ji, j) in placement.jobs.iter().enumerate() {
+            if j.ps_host.0 >= n {
+                return Err(PlacementError::UnknownHost { host: j.ps_host });
+            }
+            load[j.ps_host.0 as usize] += 1;
+            for w in &j.worker_hosts {
+                if w.0 >= n {
+                    return Err(PlacementError::UnknownHost { host: *w });
+                }
+                if *w == j.ps_host {
+                    return Err(PlacementError::WorkerOnPsHost { job: ji as u32 });
+                }
+                load[w.0 as usize] += 1;
+            }
+        }
+        for (h, &tasks) in load.iter().enumerate() {
+            let limit = (self.specs[h].cores * self.tasks_per_core) as usize;
+            if tasks > limit {
+                return Err(PlacementError::Overloaded {
+                    host: HostId(h as u32),
+                    tasks,
+                    limit,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate and expand a placement into per-task assignments, ordered
+    /// by job then role (PS first, then workers by index).
+    pub fn materialize(
+        &self,
+        placement: &Placement,
+    ) -> Result<Vec<TaskAssignment>, PlacementError> {
+        self.validate(placement)?;
+        let mut out = Vec::new();
+        for (ji, j) in placement.jobs.iter().enumerate() {
+            out.push(TaskAssignment {
+                job: ji as u32,
+                role: TaskRole::ParameterServer,
+                host: j.ps_host,
+            });
+            for (wi, w) in j.worker_hosts.iter().enumerate() {
+                out.push(TaskAssignment {
+                    job: ji as u32,
+                    role: TaskRole::Worker(wi as u32),
+                    host: *w,
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{table1_placement, Table1Index};
+
+    fn manager() -> ResourceManager {
+        ResourceManager::new(vec![HostSpec::paper_testbed(); 21])
+    }
+
+    #[test]
+    fn paper_placements_validate() {
+        let m = manager();
+        for idx in Table1Index::all() {
+            let p = table1_placement(idx, 21, 21);
+            assert!(m.validate(&p).is_ok(), "placement {idx:?}");
+        }
+    }
+
+    #[test]
+    fn materialize_counts_and_order() {
+        let m = manager();
+        let p = table1_placement(Table1Index(8), 21, 21);
+        let tasks = m.materialize(&p).unwrap();
+        assert_eq!(tasks.len(), 21 * 21); // 1 PS + 20 workers per job
+        assert_eq!(tasks[0].role, TaskRole::ParameterServer);
+        assert_eq!(tasks[0].job, 0);
+        assert_eq!(tasks[1].role, TaskRole::Worker(0));
+        assert_eq!(tasks[21].role, TaskRole::ParameterServer);
+        assert_eq!(tasks[21].job, 1);
+    }
+
+    #[test]
+    fn rejects_unknown_host() {
+        let m = ResourceManager::new(vec![HostSpec::paper_testbed(); 2]);
+        let p = table1_placement(Table1Index(1), 21, 3);
+        assert!(matches!(
+            m.validate(&p),
+            Err(PlacementError::UnknownHost { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_worker_on_ps_host() {
+        let m = ResourceManager::new(vec![HostSpec::paper_testbed(); 3]);
+        let p = Placement {
+            jobs: vec![crate::placement::JobPlacement::new(HostId(0), vec![HostId(0), HostId(1)])],
+        };
+        assert_eq!(
+            m.validate(&p),
+            Err(PlacementError::WorkerOnPsHost { job: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_overload() {
+        let mut m = ResourceManager::new(vec![HostSpec::with_cores(1.0); 3]);
+        m.tasks_per_core = 1.0;
+        let p = Placement {
+            jobs: vec![
+                crate::placement::JobPlacement::new(HostId(0), vec![HostId(1), HostId(2)]),
+                crate::placement::JobPlacement::new(HostId(0), vec![HostId(1), HostId(2)]),
+            ],
+        };
+        assert!(matches!(
+            m.validate(&p),
+            Err(PlacementError::Overloaded { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PlacementError::Overloaded {
+            host: HostId(3),
+            tasks: 99,
+            limit: 48,
+        };
+        assert_eq!(format!("{e}"), "host h3 overloaded: 99 tasks > limit 48");
+    }
+}

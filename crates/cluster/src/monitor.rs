@@ -1,0 +1,192 @@
+//! Resource utilization monitoring.
+//!
+//! Reproduces the paper's Table II methodology: "A host's normalized
+//! utilization is the average utilization during the *active window* ...
+//! For each host in our testbed, we measure the userspace CPU utilization
+//! with vmstat, and the network interface utilization with ifstat."
+//!
+//! Here the kernel counters are replaced by the simulator's cumulative
+//! busy-core-seconds ([`crate::cpu::CpuEngine`]) and NIC byte counters
+//! ([`tl_net::FluidNet`]); utilization over a window is the difference of
+//! two snapshots divided by capacity × duration.
+
+use crate::cpu::CpuEngine;
+use crate::host::HostSpec;
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use tl_net::{FluidNet, Topology};
+
+/// Cumulative resource counters at one instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceSnapshot {
+    /// When the snapshot was taken.
+    pub at: SimTime,
+    /// Cumulative busy core-seconds per host.
+    pub busy_core_secs: Vec<f64>,
+    /// Cumulative egress bytes per host.
+    pub egress_bytes: Vec<f64>,
+    /// Cumulative ingress bytes per host.
+    pub ingress_bytes: Vec<f64>,
+}
+
+/// Take a snapshot. Both engines must already be advanced to `now`
+/// (their counters only reflect integrated progress).
+pub fn snapshot(now: SimTime, cpu: &CpuEngine, net: &FluidNet) -> ResourceSnapshot {
+    ResourceSnapshot {
+        at: now,
+        busy_core_secs: cpu.busy_core_secs().to_vec(),
+        egress_bytes: net.egress_bytes().to_vec(),
+        ingress_bytes: net.ingress_bytes().to_vec(),
+    }
+}
+
+/// Average utilization of one host over a window, each in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostUtilization {
+    /// CPU: busy core-time / (cores × window).
+    pub cpu: f64,
+    /// NIC inbound: bytes / (ingress capacity × window).
+    pub net_in: f64,
+    /// NIC outbound: bytes / (egress capacity × window).
+    pub net_out: f64,
+}
+
+/// Per-host average utilization between two snapshots.
+///
+/// Panics if the snapshots are out of order or sized inconsistently.
+pub fn utilization_between(
+    start: &ResourceSnapshot,
+    end: &ResourceSnapshot,
+    specs: &[HostSpec],
+    topo: &Topology,
+) -> Vec<HostUtilization> {
+    assert!(end.at > start.at, "window must have positive length");
+    let n = specs.len();
+    assert_eq!(start.busy_core_secs.len(), n, "snapshot/spec size mismatch");
+    assert_eq!(end.busy_core_secs.len(), n, "snapshot/spec size mismatch");
+    assert_eq!(topo.num_hosts(), n, "topology/spec size mismatch");
+    let dt = end.at.since(start.at).as_secs_f64();
+    (0..n)
+        .map(|h| {
+            let host = tl_net::HostId(h as u32);
+            HostUtilization {
+                cpu: (end.busy_core_secs[h] - start.busy_core_secs[h]) / (specs[h].cores * dt),
+                net_in: (end.ingress_bytes[h] - start.ingress_bytes[h])
+                    / (topo.ingress(host).bytes_per_sec() * dt),
+                net_out: (end.egress_bytes[h] - start.egress_bytes[h])
+                    / (topo.egress(host).bytes_per_sec() * dt),
+            }
+        })
+        .collect()
+}
+
+/// Mean utilization across a subset of hosts (e.g. "PS hosts" vs "worker
+/// hosts" as Table II groups them).
+pub fn mean_utilization(all: &[HostUtilization], hosts: &[usize]) -> HostUtilization {
+    assert!(!hosts.is_empty(), "empty host group");
+    let k = hosts.len() as f64;
+    let mut cpu = 0.0;
+    let mut net_in = 0.0;
+    let mut net_out = 0.0;
+    for &h in hosts {
+        cpu += all[h].cpu;
+        net_in += all[h].net_in;
+        net_out += all[h].net_out;
+    }
+    HostUtilization {
+        cpu: cpu / k,
+        net_in: net_in / k,
+        net_out: net_out / k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tl_net::Bandwidth;
+
+    fn setup() -> (CpuEngine, FluidNet, Vec<HostSpec>, Topology) {
+        let specs = vec![HostSpec::with_cores(4.0); 2];
+        let topo = Topology::uniform(2, Bandwidth::from_gbps(10.0));
+        (
+            CpuEngine::new(specs.clone()),
+            FluidNet::new(topo.clone()),
+            specs,
+            topo,
+        )
+    }
+
+    #[test]
+    fn utilization_full_window() {
+        let (mut cpu, mut net, specs, topo) = setup();
+        // Host 0: 2 cores busy for 10 s of a 4-core host -> 50% CPU.
+        cpu.start_task(SimTime::ZERO, 0, 20.0, 2.0, 0);
+        // Host 0 -> host 1 at full link for the whole window.
+        net.start_flow(
+            SimTime::ZERO,
+            tl_net::FlowSpec {
+                src: tl_net::HostId(0),
+                dst: tl_net::HostId(1),
+                bytes: 1e12,
+                band: tl_net::Band(0),
+                weight: 1.0,
+                tag: 0,
+            },
+        );
+        let s0 = snapshot(SimTime::ZERO, &cpu, &net);
+        let t = SimTime::from_secs(10);
+        cpu.advance(t);
+        net.advance(t);
+        let s1 = snapshot(t, &cpu, &net);
+        let u = utilization_between(&s0, &s1, &specs, &topo);
+        assert!((u[0].cpu - 0.5).abs() < 1e-6);
+        assert!((u[0].net_out - 1.0).abs() < 1e-6);
+        assert!((u[0].net_in - 0.0).abs() < 1e-6);
+        assert!((u[1].net_in - 1.0).abs() < 1e-6);
+        assert!((u[1].cpu - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn windowing_excludes_outside_activity() {
+        let (mut cpu, net, specs, topo) = setup();
+        // Busy only during [0, 5]; window is [5, 10] -> zero utilization.
+        cpu.start_task(SimTime::ZERO, 0, 5.0, 1.0, 0);
+        cpu.advance(SimTime::from_secs(5));
+        cpu.take_completions(SimTime::from_secs(5));
+        let s0 = snapshot(SimTime::from_secs(5), &cpu, &net);
+        cpu.advance(SimTime::from_secs(10));
+        let s1 = snapshot(SimTime::from_secs(10), &cpu, &net);
+        let u = utilization_between(&s0, &s1, &specs, &topo);
+        assert_eq!(u[0].cpu, 0.0);
+    }
+
+    #[test]
+    fn mean_utilization_groups() {
+        let us = vec![
+            HostUtilization {
+                cpu: 0.2,
+                net_in: 0.4,
+                net_out: 0.6,
+            },
+            HostUtilization {
+                cpu: 0.4,
+                net_in: 0.8,
+                net_out: 0.2,
+            },
+        ];
+        let m = mean_utilization(&us, &[0, 1]);
+        assert!((m.cpu - 0.3).abs() < 1e-12);
+        assert!((m.net_in - 0.6).abs() < 1e-12);
+        assert!((m.net_out - 0.4).abs() < 1e-12);
+        let solo = mean_utilization(&us, &[1]);
+        assert_eq!(solo.cpu, 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn rejects_empty_window() {
+        let (cpu, net, specs, topo) = setup();
+        let s = snapshot(SimTime::ZERO, &cpu, &net);
+        let _ = utilization_between(&s, &s, &specs, &topo);
+    }
+}

@@ -1,0 +1,1413 @@
+//! The training simulation engine.
+//!
+//! Combines the substrates into the full system of the paper's testbed:
+//!
+//! * [`tl_net::FluidNet`] carries gradient- and model-update flows with the
+//!   priority bands chosen by a [`tensorlights::PriorityPolicy`];
+//! * [`tl_cluster::CpuEngine`] runs worker local steps and PS aggregation
+//!   under processor sharing;
+//! * per-job PS/worker state machines implement synchronous (barrier) or
+//!   asynchronous training, with barrier wait-time instrumentation.
+//!
+//! The engine is a single-threaded discrete-event simulation, fully
+//! deterministic in `(config, jobs, policy)` — see the determinism
+//! integration tests.
+
+use crate::compute::ComputeModel;
+use crate::job::{JobId, JobSpec, TrainingMode};
+use crate::metrics::BarrierTracker;
+use rand::rngs::SmallRng;
+use simcore::{
+    EventHandle, EventQueue, RngFactory, SampleSet, SimTime, TraceRecorder, UnitLogNormal,
+};
+use std::collections::HashMap;
+use tensorlights::{Assignment, JobTrafficInfo, PriorityPolicy};
+use tl_cluster::{
+    monitor, CpuEngine, CpuTaskId, HostSpec, HostUtilization, JobPlacement, ResourceSnapshot,
+};
+use tl_net::{Bandwidth, FlowId, FlowSpec, FluidNet, Topology};
+
+/// Tag prefix distinguishing gradient flows from model-update flows in the
+/// fluid engine (rotations must only retag model updates).
+const GRAD_TAG_BASE: u64 = 1 << 32;
+
+/// Simulation-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// NIC speed of every host (the paper: 10 Gbps).
+    pub link: Bandwidth,
+    /// Host hardware (the paper: 12 hardware threads).
+    pub host_spec: HostSpec,
+    /// Compute-time model.
+    pub compute: ComputeModel,
+    /// Sigma of the mean-1 lognormal per-flow weight — the TCP-unfairness
+    /// model that produces stragglers under FIFO. 0 disables jitter.
+    pub net_weight_sigma: f64,
+    /// Master seed for all randomness.
+    pub seed: u64,
+    /// If set, take resource snapshots at these two times for Table-II style
+    /// utilization measurement (the paper's "active window").
+    pub active_window: Option<(SimTime, SimTime)>,
+    /// Hard stop; jobs unfinished by then report `completion: None`.
+    pub max_sim_time: SimTime,
+    /// Record a detailed event trace (debugging / Figure-4 narratives).
+    pub trace: bool,
+    /// If set, every model-update flow is additionally capped at this rate
+    /// (bytes/sec) at the sender — models the paper's §VII alternative of
+    /// explicit sender rate allocation instead of work-conserving priority.
+    pub model_update_rate_cap: Option<f64>,
+    /// If set, record per-host utilization averaged over consecutive
+    /// intervals of this length (a utilization time series, as `ifstat`
+    /// would report). Sampling stops when the last job completes.
+    pub sample_interval: Option<simcore::SimDuration>,
+    /// Optional switch-fabric aggregate capacity (an oversubscribed core);
+    /// `None` keeps the paper's non-blocking switch.
+    pub core_capacity: Option<Bandwidth>,
+    /// Per-host hardware overrides (heterogeneous clusters); hosts beyond
+    /// the list's length fall back to `host_spec`.
+    pub host_spec_overrides: Vec<(u32, HostSpec)>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            link: Bandwidth::from_gbps(10.0),
+            host_spec: HostSpec::paper_testbed(),
+            compute: ComputeModel::default(),
+            net_weight_sigma: 0.25,
+            seed: 1,
+            active_window: None,
+            max_sim_time: SimTime::from_secs(7 * 24 * 3600),
+            trace: false,
+            model_update_rate_cap: None,
+            sample_interval: None,
+            core_capacity: None,
+            host_spec_overrides: Vec::new(),
+        }
+    }
+}
+
+/// One job plus where its tasks run.
+#[derive(Debug, Clone)]
+pub struct JobSetup {
+    /// The job's specification.
+    pub spec: JobSpec,
+    /// Its PS/worker placement.
+    pub placement: JobPlacement,
+}
+
+/// Per-job outcome of a simulation.
+#[derive(Debug)]
+pub struct JobResult {
+    /// The job's id.
+    pub id: JobId,
+    /// Launch time.
+    pub launch: SimTime,
+    /// Completion time (None if the simulation hit its horizon first).
+    pub completion: Option<SimTime>,
+    /// Iterations fully aggregated (sync) / not meaningful for async.
+    pub iterations: u64,
+    /// Global steps reached.
+    pub global_steps: u64,
+    /// Per-barrier mean waits (seconds) — Figure 3a / 6a material.
+    pub barrier_means: SampleSet,
+    /// Per-barrier wait variances (seconds²) — Figure 3b / 6b material.
+    pub barrier_vars: SampleSet,
+    /// Individual worker waits (seconds; in async mode, the round-trip wait
+    /// between sending a gradient and receiving the next model).
+    pub waits: SampleSet,
+}
+
+impl JobResult {
+    /// Job completion time in seconds, if the job finished.
+    pub fn jct_secs(&self) -> Option<f64> {
+        self.completion.map(|c| c.since(self.launch).as_secs_f64())
+    }
+}
+
+/// One point of the utilization time series.
+#[derive(Debug, Clone)]
+pub struct UtilizationSample {
+    /// End of the averaging interval.
+    pub at: SimTime,
+    /// Mean utilization per host over the interval just ended.
+    pub per_host: Vec<HostUtilization>,
+    /// Global step of each job at the sample instant (progress fairness).
+    pub job_progress: Vec<u64>,
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug)]
+pub struct SimOutput {
+    /// Per-job results, in job order.
+    pub jobs: Vec<JobResult>,
+    /// Snapshots at the active window's bounds, when configured and reached.
+    pub window_snapshots: Option<(ResourceSnapshot, ResourceSnapshot)>,
+    /// Per-host utilization over the active window, when available.
+    pub utilization: Option<Vec<HostUtilization>>,
+    /// Utilization time series (empty unless `SimConfig::sample_interval`).
+    pub samples: Vec<UtilizationSample>,
+    /// When the simulation stopped.
+    pub end_time: SimTime,
+    /// Total events processed (progress/perf metric).
+    pub events: u64,
+    /// Event trace (empty unless `SimConfig::trace`).
+    pub trace: TraceRecorder,
+}
+
+impl SimConfig {
+    /// The resolved per-host specs for a cluster of `n` hosts.
+    pub fn host_specs(&self, n: usize) -> Vec<HostSpec> {
+        let mut specs = vec![self.host_spec; n];
+        for &(h, spec) in &self.host_spec_overrides {
+            assert!((h as usize) < n, "host override {h} out of range");
+            specs[h as usize] = spec;
+        }
+        specs
+    }
+}
+
+impl SimOutput {
+    /// Mean JCT across completed jobs, in seconds.
+    pub fn mean_jct_secs(&self) -> f64 {
+        let jcts: Vec<f64> = self.jobs.iter().filter_map(|j| j.jct_secs()).collect();
+        if jcts.is_empty() {
+            return 0.0;
+        }
+        jcts.iter().sum::<f64>() / jcts.len() as f64
+    }
+
+    /// True if every job completed.
+    pub fn all_complete(&self) -> bool {
+        self.jobs.iter().all(|j| j.completion.is_some())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    Launch(usize),
+    NetWake,
+    CpuWake,
+    PolicyUpdate,
+    SnapshotStart,
+    SnapshotEnd,
+    Sample,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FlowKind {
+    /// PS shard → worker, carrying the shard's slice of the model for step
+    /// `round`. (The shard index matters only for debugging: the worker
+    /// counts received shards without distinguishing them.)
+    ModelUpdate {
+        round: u64,
+        #[allow(dead_code)]
+        shard: u32,
+    },
+    /// Worker → PS shard, carrying the shard's slice of the gradients of
+    /// step `round`.
+    GradUpdate { round: u64, shard: u32 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FlowCtx {
+    job: usize,
+    worker: u32,
+    kind: FlowKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TaskKind {
+    /// A worker computing local step `round`.
+    WorkerStep { worker: u32, round: u64 },
+    /// A PS shard aggregating its slice of one synchronous iteration.
+    PsAggregate { shard: u32 },
+    /// The PS applying one worker's gradient (async mode).
+    PsAsyncApply { worker: u32 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TaskCtx {
+    job: usize,
+    kind: TaskKind,
+}
+
+struct JobRt {
+    spec: JobSpec,
+    placement: JobPlacement,
+    launched: bool,
+    completion: Option<SimTime>,
+    /// Round currently being distributed/computed (sync mode).
+    round: u64,
+    global_steps: u64,
+    iterations: u64,
+    /// Gradients received this round, per PS shard.
+    grads_received: Vec<u32>,
+    /// Shards whose aggregation completed this round.
+    shards_aggregated: u32,
+    /// Model-update shards received by each worker for its next round.
+    worker_shards_recv: Vec<u32>,
+    tracker: BarrierTracker,
+    rng: SmallRng,
+    // Async mode state.
+    async_remaining: Vec<u64>,
+    async_pending_wait: Vec<Option<SimTime>>,
+    async_done_workers: u32,
+}
+
+impl JobRt {
+    fn done(&self) -> bool {
+        self.completion.is_some()
+    }
+
+    /// Number of PS shards (1 + extras).
+    fn num_shards(&self) -> u32 {
+        1 + self.placement.extra_ps_hosts.len() as u32
+    }
+
+    /// Host of PS shard `s`.
+    fn shard_host(&self, s: u32) -> tl_net::HostId {
+        if s == 0 {
+            self.placement.ps_host
+        } else {
+            self.placement.extra_ps_hosts[s as usize - 1]
+        }
+    }
+
+    /// Bytes of one shard's model/gradient slice (shard 0 takes the
+    /// remainder so slices sum to the full update).
+    fn shard_bytes(&self, s: u32) -> f64 {
+        let total = self.spec.model.update_bytes();
+        let shards = self.num_shards() as u64;
+        let base = total / shards;
+        if s == 0 {
+            (base + total % shards) as f64
+        } else {
+            base as f64
+        }
+    }
+}
+
+struct Sim<'a> {
+    cfg: SimConfig,
+    queue: EventQueue<Ev>,
+    net: FluidNet,
+    cpu: CpuEngine,
+    jobs: Vec<JobRt>,
+    policy: &'a mut dyn PriorityPolicy,
+    assignment: Assignment,
+    flows: HashMap<FlowId, FlowCtx>,
+    tasks: HashMap<CpuTaskId, TaskCtx>,
+    net_wake: Option<(EventHandle, SimTime)>,
+    cpu_wake: Option<(EventHandle, SimTime)>,
+    policy_wake: Option<EventHandle>,
+    weight_noise: UnitLogNormal,
+    snap_start: Option<ResourceSnapshot>,
+    snap_end: Option<ResourceSnapshot>,
+    last_sample: Option<ResourceSnapshot>,
+    samples: Vec<UtilizationSample>,
+    done_count: usize,
+    trace: TraceRecorder,
+}
+
+/// Run a full training simulation. See module docs.
+pub fn run_simulation(
+    cfg: SimConfig,
+    setups: Vec<JobSetup>,
+    policy: &mut dyn PriorityPolicy,
+) -> SimOutput {
+    assert!(!setups.is_empty(), "no jobs to simulate");
+    let num_hosts = setups
+        .iter()
+        .flat_map(|s| {
+            std::iter::once(s.placement.ps_host.0)
+                .chain(s.placement.worker_hosts.iter().map(|h| h.0))
+        })
+        .max()
+        .expect("jobs present") as usize
+        + 1;
+    for s in &setups {
+        assert_eq!(
+            s.spec.num_workers as usize,
+            s.placement.worker_hosts.len(),
+            "{}: worker count does not match placement",
+            s.spec.id
+        );
+    }
+
+    let mut topo = Topology::uniform(num_hosts, cfg.link);
+    if let Some(core) = cfg.core_capacity {
+        topo = topo.with_core_capacity(core);
+    }
+    let factory = RngFactory::new(cfg.seed);
+    let mut queue = EventQueue::new();
+    for (i, s) in setups.iter().enumerate() {
+        queue.schedule(s.spec.launch_time, Ev::Launch(i));
+    }
+    if let Some((a, b)) = cfg.active_window {
+        assert!(a < b, "active window must be a positive interval");
+        queue.schedule(a, Ev::SnapshotStart);
+        queue.schedule(b, Ev::SnapshotEnd);
+    }
+    if let Some(dt) = cfg.sample_interval {
+        assert!(!dt.is_zero(), "sample interval must be positive");
+        queue.schedule(SimTime::ZERO + dt, Ev::Sample);
+    }
+
+    let jobs: Vec<JobRt> = setups
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let workers = s.spec.num_workers;
+            let shards = 1 + s.placement.extra_ps_hosts.len();
+            if matches!(s.spec.mode, TrainingMode::Asynchronous) {
+                assert_eq!(
+                    shards, 1,
+                    "{}: sharded PS is only modelled for synchronous training",
+                    s.spec.id
+                );
+            }
+            JobRt {
+                tracker: BarrierTracker::new(workers as usize),
+                rng: factory.indexed_stream("dl.job", i as u64),
+                async_remaining: (0..workers).map(|w| s.spec.async_local_steps(w)).collect(),
+                async_pending_wait: vec![None; workers as usize],
+                async_done_workers: 0,
+                grads_received: vec![0; shards],
+                worker_shards_recv: vec![0; workers as usize],
+                spec: s.spec,
+                placement: s.placement,
+                launched: false,
+                completion: None,
+                round: 0,
+                global_steps: 0,
+                iterations: 0,
+                shards_aggregated: 0,
+            }
+        })
+        .collect();
+
+    let weight_noise = UnitLogNormal::new(cfg.net_weight_sigma);
+    let trace = if cfg.trace {
+        TraceRecorder::enabled()
+    } else {
+        TraceRecorder::disabled()
+    };
+    let sim = Sim {
+        cpu: CpuEngine::new(cfg.host_specs(num_hosts)),
+        net: FluidNet::new(topo),
+        cfg,
+        queue,
+        jobs,
+        policy,
+        assignment: Assignment::default(),
+        flows: HashMap::new(),
+        tasks: HashMap::new(),
+        net_wake: None,
+        cpu_wake: None,
+        policy_wake: None,
+        weight_noise,
+        snap_start: None,
+        snap_end: None,
+        last_sample: None,
+        samples: Vec::new(),
+        done_count: 0,
+        trace,
+    };
+    sim.run()
+}
+
+impl<'a> Sim<'a> {
+    fn run(mut self) -> SimOutput {
+        let window_configured = self.cfg.active_window.is_some();
+        let mut end_time = SimTime::ZERO;
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > self.cfg.max_sim_time {
+                end_time = self.cfg.max_sim_time;
+                break;
+            }
+            end_time = t;
+            match ev {
+                Ev::Launch(j) => self.on_launch(t, j),
+                Ev::NetWake => self.on_net_wake(t),
+                Ev::CpuWake => self.on_cpu_wake(t),
+                Ev::PolicyUpdate => self.refresh_policy(t),
+                Ev::SnapshotStart => {
+                    self.net.advance(t);
+                    self.cpu.advance(t);
+                    self.snap_start = Some(monitor::snapshot(t, &self.cpu, &self.net));
+                }
+                Ev::SnapshotEnd => {
+                    self.net.advance(t);
+                    self.cpu.advance(t);
+                    self.snap_end = Some(monitor::snapshot(t, &self.cpu, &self.net));
+                }
+                Ev::Sample => self.on_sample(t),
+            }
+            self.rearm(t);
+            let snaps_done =
+                !window_configured || (self.snap_start.is_some() && self.snap_end.is_some());
+            if self.done_count == self.jobs.len() && snaps_done {
+                break;
+            }
+        }
+
+        let utilization = match (&self.snap_start, &self.snap_end) {
+            (Some(a), Some(b)) => Some(monitor::utilization_between(
+                a,
+                b,
+                &self.cfg.host_specs(self.net.topology().num_hosts()),
+                self.net.topology(),
+            )),
+            _ => None,
+        };
+        let events = self.queue.events_processed();
+        SimOutput {
+            samples: self.samples,
+            jobs: self
+                .jobs
+                .into_iter()
+                .map(|j| JobResult {
+                    id: j.spec.id,
+                    launch: j.spec.launch_time,
+                    completion: j.completion,
+                    iterations: j.iterations,
+                    global_steps: j.global_steps,
+                    barrier_means: j.tracker.means,
+                    barrier_vars: j.tracker.vars,
+                    waits: j.tracker.waits,
+                })
+                .collect(),
+            window_snapshots: self.snap_start.zip(self.snap_end),
+            utilization,
+            end_time,
+            events,
+            trace: self.trace,
+        }
+    }
+
+    // ---- event handlers ------------------------------------------------
+
+    fn on_launch(&mut self, now: SimTime, j: usize) {
+        self.jobs[j].launched = true;
+        self.trace
+            .record_with(now, "job", || format!("{} launched", self.jobs[j].spec.id));
+        self.refresh_policy(now);
+        self.send_model_updates(now, j, None);
+    }
+
+    fn on_net_wake(&mut self, now: SimTime) {
+        let completions = self.net.take_completions(now);
+        for c in completions {
+            let ctx = self
+                .flows
+                .remove(&c.id)
+                .expect("completed flow has a context");
+            match ctx.kind {
+                FlowKind::ModelUpdate { round, .. } => self.on_model_delivered(now, ctx, round),
+                FlowKind::GradUpdate { round, shard } => self.on_grad_delivered(now, ctx, round, shard),
+            }
+        }
+    }
+
+    fn on_cpu_wake(&mut self, now: SimTime) {
+        let completions = self.cpu.take_completions(now);
+        for c in completions {
+            let ctx = self
+                .tasks
+                .remove(&c.id)
+                .expect("completed task has a context");
+            match ctx.kind {
+                TaskKind::WorkerStep { worker, round } => {
+                    self.on_step_computed(now, ctx.job, worker, round)
+                }
+                TaskKind::PsAggregate { shard } => self.on_aggregated(now, ctx.job, shard),
+                TaskKind::PsAsyncApply { worker } => self.on_async_applied(now, ctx.job, worker),
+            }
+        }
+    }
+
+    // ---- synchronous state machine -------------------------------------
+
+    /// The PS (every shard) sends model updates: to all workers (sync /
+    /// launch) or to one worker (async).
+    fn send_model_updates(&mut self, now: SimTime, j: usize, only_worker: Option<u32>) {
+        let (specs, ctxs) = {
+            let band = self.assignment.band_of(j as u64);
+            let job = &mut self.jobs[j];
+            let round = job.round;
+            let mut specs = Vec::new();
+            let mut ctxs = Vec::new();
+            let workers: Vec<u32> = match only_worker {
+                Some(w) => vec![w],
+                None => (0..job.spec.num_workers).collect(),
+            };
+            for shard in 0..job.num_shards() {
+                let src = job.shard_host(shard);
+                let bytes = job.shard_bytes(shard);
+                for &w in &workers {
+                    specs.push(FlowSpec {
+                        src,
+                        dst: job.placement.worker_hosts[w as usize],
+                        bytes,
+                        band,
+                        weight: self.weight_noise.sample(&mut job.rng),
+                        tag: j as u64,
+                    });
+                    ctxs.push(FlowCtx {
+                        job: j,
+                        worker: w,
+                        kind: FlowKind::ModelUpdate { round, shard },
+                    });
+                }
+            }
+            (specs, ctxs)
+        };
+        for (spec, ctx) in specs.into_iter().zip(ctxs) {
+            let id = match self.cfg.model_update_rate_cap {
+                Some(cap) => self.net.start_flow_with_cap(now, spec, cap),
+                None => self.net.start_flow(now, spec),
+            };
+            self.flows.insert(id, ctx);
+        }
+    }
+
+    /// A worker received one model shard for `round`. Once all shards are
+    /// in, it exits the previous barrier and starts computing.
+    fn on_model_delivered(&mut self, now: SimTime, ctx: FlowCtx, round: u64) {
+        let j = ctx.job;
+        let w = ctx.worker;
+        let (demand, cap, host) = {
+            let job = &mut self.jobs[j];
+            job.worker_shards_recv[w as usize] += 1;
+            if job.worker_shards_recv[w as usize] < job.num_shards() {
+                return; // other shards of this round still in flight
+            }
+            job.worker_shards_recv[w as usize] = 0;
+            match job.spec.mode {
+                TrainingMode::Synchronous => {
+                    if round > 0 {
+                        job.tracker.record_exit(w as usize, now, round - 1);
+                    }
+                }
+                TrainingMode::Asynchronous => {
+                    if let Some(sent) = job.async_pending_wait[w as usize].take() {
+                        job.tracker.waits.push(now.since(sent).as_secs_f64());
+                    }
+                }
+            }
+            let demand = self.cfg.compute.sample_step_core_secs(
+                &mut job.rng,
+                &job.spec.model,
+                job.spec.local_batch_size,
+            );
+            (
+                demand,
+                self.cfg.compute.worker_parallelism,
+                job.placement.worker_hosts[w as usize].0 as usize,
+            )
+        };
+        let id = self.cpu.start_task(now, host, demand, cap, j as u64);
+        self.tasks.insert(
+            id,
+            TaskCtx {
+                job: j,
+                kind: TaskKind::WorkerStep { worker: w, round },
+            },
+        );
+    }
+
+    /// A worker finished computing step `round`: enter the barrier and send
+    /// a gradient slice to every PS shard.
+    fn on_step_computed(&mut self, now: SimTime, j: usize, w: u32, round: u64) {
+        let specs: Vec<(FlowSpec, u32)> = {
+            let job = &mut self.jobs[j];
+            match job.spec.mode {
+                TrainingMode::Synchronous => {
+                    job.tracker.record_enter(w as usize, now, round);
+                }
+                TrainingMode::Asynchronous => {
+                    job.async_pending_wait[w as usize] = Some(now);
+                }
+            }
+            let src = job.placement.worker_hosts[w as usize];
+            let band = self.assignment.default_band_of(src);
+            (0..job.num_shards())
+                .map(|shard| {
+                    (
+                        FlowSpec {
+                            src,
+                            dst: job.shard_host(shard),
+                            bytes: job.shard_bytes(shard),
+                            band,
+                            weight: self.weight_noise.sample(&mut job.rng),
+                            tag: GRAD_TAG_BASE | j as u64,
+                        },
+                        shard,
+                    )
+                })
+                .collect()
+        };
+        for (spec, shard) in specs {
+            let id = self.net.start_flow(now, spec);
+            self.flows.insert(
+                id,
+                FlowCtx {
+                    job: j,
+                    worker: w,
+                    kind: FlowKind::GradUpdate { round, shard },
+                },
+            );
+        }
+    }
+
+    /// A gradient slice reached a PS shard.
+    fn on_grad_delivered(&mut self, now: SimTime, ctx: FlowCtx, _round: u64, shard: u32) {
+        let j = ctx.job;
+        let job = &mut self.jobs[j];
+        match job.spec.mode {
+            TrainingMode::Synchronous => {
+                job.grads_received[shard as usize] += 1;
+                if job.grads_received[shard as usize] == job.spec.num_workers {
+                    job.grads_received[shard as usize] = 0;
+                    // The shard aggregates its slice of every gradient.
+                    let demand = (self
+                        .cfg
+                        .compute
+                        .ps_aggregate_core_secs(&job.spec.model, job.spec.num_workers)
+                        / job.num_shards() as f64)
+                        .max(1e-6);
+                    let host = job.shard_host(shard).0 as usize;
+                    let cap = self.cfg.compute.ps_parallelism;
+                    let id = self.cpu.start_task(now, host, demand, cap, j as u64);
+                    self.tasks.insert(
+                        id,
+                        TaskCtx {
+                            job: j,
+                            kind: TaskKind::PsAggregate { shard },
+                        },
+                    );
+                }
+            }
+            TrainingMode::Asynchronous => {
+                let demand = (self
+                    .cfg
+                    .compute
+                    .ps_aggregate_core_secs(&job.spec.model, job.spec.num_workers)
+                    / job.spec.num_workers as f64)
+                    .max(1e-6);
+                let host = job.placement.ps_host.0 as usize;
+                let cap = self.cfg.compute.ps_parallelism;
+                let id = self.cpu.start_task(now, host, demand, cap, j as u64);
+                self.tasks.insert(
+                    id,
+                    TaskCtx {
+                        job: j,
+                        kind: TaskKind::PsAsyncApply { worker: ctx.worker },
+                    },
+                );
+            }
+        }
+    }
+
+    /// A PS shard finished aggregating. When every shard is done the
+    /// iteration commits: advance the global step; finish the job or
+    /// distribute the next round from all shards.
+    fn on_aggregated(&mut self, now: SimTime, j: usize, _shard: u32) {
+        let finished = {
+            let job = &mut self.jobs[j];
+            job.shards_aggregated += 1;
+            if job.shards_aggregated < job.num_shards() {
+                return;
+            }
+            job.shards_aggregated = 0;
+            job.global_steps += job.spec.num_workers as u64;
+            job.iterations += 1;
+            job.global_steps >= job.spec.target_global_steps
+        };
+        if finished {
+            self.complete_job(now, j);
+        } else {
+            self.jobs[j].round += 1;
+            self.send_model_updates(now, j, None);
+        }
+    }
+
+    /// Asynchronous apply finished for one worker.
+    fn on_async_applied(&mut self, now: SimTime, j: usize, w: u32) {
+        let action = {
+            let job = &mut self.jobs[j];
+            job.global_steps += 1;
+            job.async_remaining[w as usize] -= 1;
+            if job.async_remaining[w as usize] == 0 {
+                job.async_done_workers += 1;
+                if job.async_done_workers == job.spec.num_workers {
+                    AsyncAction::Complete
+                } else {
+                    AsyncAction::Nothing
+                }
+            } else {
+                AsyncAction::SendModel
+            }
+        };
+        match action {
+            AsyncAction::Complete => self.complete_job(now, j),
+            AsyncAction::SendModel => self.send_model_updates(now, j, Some(w)),
+            AsyncAction::Nothing => {}
+        }
+    }
+
+    fn complete_job(&mut self, now: SimTime, j: usize) {
+        debug_assert!(self.jobs[j].completion.is_none(), "job completed twice");
+        self.jobs[j].completion = Some(now);
+        self.done_count += 1;
+        self.trace.record_with(now, "job", || {
+            format!("{} completed", self.jobs[j].spec.id)
+        });
+        self.refresh_policy(now);
+    }
+
+    fn on_sample(&mut self, now: SimTime) {
+        self.net.advance(now);
+        self.cpu.advance(now);
+        let snap = monitor::snapshot(now, &self.cpu, &self.net);
+        if let Some(prev) = self.last_sample.take() {
+            let specs = self.cfg.host_specs(self.net.topology().num_hosts());
+            self.samples.push(UtilizationSample {
+                at: now,
+                per_host: monitor::utilization_between(
+                    &prev,
+                    &snap,
+                    &specs,
+                    self.net.topology(),
+                ),
+                job_progress: self.jobs.iter().map(|j| j.global_steps).collect(),
+            });
+        }
+        self.last_sample = Some(snap);
+        // Keep sampling while any job is still running.
+        if self.done_count < self.jobs.len() {
+            let dt = self.cfg.sample_interval.expect("sampling configured");
+            self.queue.schedule(now + dt, Ev::Sample);
+        }
+    }
+
+    // ---- policy plumbing ------------------------------------------------
+
+    fn refresh_policy(&mut self, now: SimTime) {
+        let infos: Vec<JobTrafficInfo> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, job)| job.launched && !job.done())
+            .map(|(i, job)| JobTrafficInfo {
+                tag: i as u64,
+                ps_host: job.placement.ps_host,
+                update_bytes: job.spec.model.update_bytes(),
+                arrival_seq: i as u64,
+            })
+            .collect();
+        self.assignment = self.policy.assign(now, &infos);
+        for info in &infos {
+            self.net
+                .set_band_for_tag(now, info.tag, self.assignment.band_of(info.tag));
+        }
+        if let Some(h) = self.policy_wake.take() {
+            self.queue.cancel(h);
+        }
+        if let Some(t) = self.policy.next_update(now) {
+            debug_assert!(t > now, "policy next_update must be in the future");
+            self.policy_wake = Some(self.queue.schedule(t, Ev::PolicyUpdate));
+        }
+    }
+
+    // ---- wake-up plumbing -------------------------------------------------
+
+    fn rearm(&mut self, now: SimTime) {
+        let want_net = self.net.next_event_time();
+        Self::rearm_one(&mut self.queue, &mut self.net_wake, want_net, Ev::NetWake, now);
+        let want_cpu = self.cpu.next_event_time();
+        Self::rearm_one(&mut self.queue, &mut self.cpu_wake, want_cpu, Ev::CpuWake, now);
+    }
+
+    fn rearm_one(
+        queue: &mut EventQueue<Ev>,
+        slot: &mut Option<(EventHandle, SimTime)>,
+        want: Option<SimTime>,
+        ev: Ev,
+        now: SimTime,
+    ) {
+        match (want, slot.as_ref()) {
+            (Some(t), Some(&(_, cur))) if t == cur => {}
+            (Some(t), _) => {
+                if let Some((h, _)) = slot.take() {
+                    queue.cancel(h);
+                }
+                let t = t.max(now);
+                *slot = Some((queue.schedule(t, ev), t));
+            }
+            (None, _) => {
+                if let Some((h, _)) = slot.take() {
+                    queue.cancel(h);
+                }
+            }
+        }
+    }
+}
+
+enum AsyncAction {
+    Complete,
+    SendModel,
+    Nothing,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelSpec;
+    use tensorlights::{FifoPolicy, JobOrdering, TlsOne};
+    use tl_net::HostId;
+
+    /// A small 2-job, 3-worker, 5-host scenario with both PSes colocated.
+    fn small_setup(iter_target: u64) -> Vec<JobSetup> {
+        (0..2u32)
+            .map(|id| {
+                let spec = JobSpec {
+                    id: JobId(id),
+                    model: ModelSpec::synthetic_mb(20),
+                    num_workers: 3,
+                    local_batch_size: 4,
+                    target_global_steps: iter_target * 3,
+                    mode: TrainingMode::Synchronous,
+                    launch_time: SimTime::from_millis(100 * id as u64),
+                    ps_port: 2222 + id as u16,
+                };
+                JobSetup {
+                    spec,
+                    placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2), HostId(3)]),
+                }
+            })
+            .collect()
+    }
+
+    fn fast_cfg() -> SimConfig {
+        SimConfig {
+            compute: ComputeModel {
+                per_sample_core_secs: 0.01,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn jobs_run_to_completion() {
+        let mut policy = FifoPolicy;
+        let out = run_simulation(fast_cfg(), small_setup(10), &mut policy);
+        assert!(out.all_complete());
+        for j in &out.jobs {
+            assert_eq!(j.iterations, 10);
+            assert_eq!(j.global_steps, 30);
+            assert!(j.jct_secs().unwrap() > 0.0);
+            // 10 iterations -> 9 completed barriers (the last has no exits).
+            assert_eq!(j.barrier_means.len(), 9);
+            assert_eq!(j.barrier_vars.len(), 9);
+            assert_eq!(j.waits.len(), 9 * 3);
+        }
+        assert!(out.events > 0);
+    }
+
+    #[test]
+    fn identical_seeds_are_bit_identical() {
+        let mut p1 = FifoPolicy;
+        let mut p2 = FifoPolicy;
+        let a = run_simulation(fast_cfg(), small_setup(5), &mut p1);
+        let b = run_simulation(fast_cfg(), small_setup(5), &mut p2);
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.completion, y.completion);
+            assert_eq!(x.barrier_means.samples(), y.barrier_means.samples());
+        }
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut p1 = FifoPolicy;
+        let mut p2 = FifoPolicy;
+        let mut cfg2 = fast_cfg();
+        cfg2.seed = 99;
+        let a = run_simulation(fast_cfg(), small_setup(5), &mut p1);
+        let b = run_simulation(cfg2, small_setup(5), &mut p2);
+        assert_ne!(a.jobs[0].completion, b.jobs[0].completion);
+    }
+
+    #[test]
+    fn priority_beats_fifo_under_contention() {
+        // With heavy network contention (big updates, fast compute), TLs-One
+        // should cut the mean JCT versus FIFO.
+        let mk = || {
+            (0..3u32)
+                .map(|id| JobSetup {
+                    spec: JobSpec {
+                        id: JobId(id),
+                        model: ModelSpec::synthetic_mb(50),
+                        num_workers: 3,
+                        local_batch_size: 1,
+                        target_global_steps: 8 * 3,
+                        mode: TrainingMode::Synchronous,
+                        launch_time: SimTime::ZERO,
+                        ps_port: 2222 + id as u16,
+                    },
+                    placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2), HostId(3)]),
+                })
+                .collect::<Vec<_>>()
+        };
+        let cfg = SimConfig {
+            compute: ComputeModel {
+                per_sample_core_secs: 0.005,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut fifo = FifoPolicy;
+        let base = run_simulation(cfg.clone(), mk(), &mut fifo);
+        let mut tls = TlsOne::new(JobOrdering::ByArrival);
+        let prio = run_simulation(cfg, mk(), &mut tls);
+        assert!(base.all_complete() && prio.all_complete());
+        assert!(
+            prio.mean_jct_secs() < base.mean_jct_secs(),
+            "TLs-One {:.2}s vs FIFO {:.2}s",
+            prio.mean_jct_secs(),
+            base.mean_jct_secs()
+        );
+    }
+
+    #[test]
+    fn live_rotation_changes_the_schedule() {
+        // With a rotation interval shorter than an iteration, TLs-RR's
+        // in-flight band reassignments must produce a different (still
+        // complete) schedule than TLs-One on the same seed.
+        use tensorlights::TlsRr;
+        let cfg = SimConfig {
+            compute: ComputeModel {
+                per_sample_core_secs: 0.002,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mk = || {
+            (0..3u32)
+                .map(|id| JobSetup {
+                    spec: JobSpec {
+                        id: JobId(id),
+                        model: ModelSpec::synthetic_mb(80),
+                        num_workers: 3,
+                        local_batch_size: 1,
+                        target_global_steps: 6 * 3,
+                        mode: TrainingMode::Synchronous,
+                        launch_time: SimTime::ZERO,
+                        ps_port: 2222 + id as u16,
+                    },
+                    placement: JobPlacement::new(
+                        HostId(0),
+                        vec![HostId(1), HostId(2), HostId(3)],
+                    ),
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut one = TlsOne::new(JobOrdering::ByArrival);
+        let a = run_simulation(cfg.clone(), mk(), &mut one);
+        let mut rr = TlsRr::new(JobOrdering::ByArrival)
+            .with_interval(simcore::SimDuration::from_millis(300));
+        let b = run_simulation(cfg, mk(), &mut rr);
+        assert!(a.all_complete() && b.all_complete());
+        let ja: Vec<_> = a.jobs.iter().map(|j| j.completion).collect();
+        let jb: Vec<_> = b.jobs.iter().map(|j| j.completion).collect();
+        assert_ne!(ja, jb, "rotation must alter the schedule");
+        // (The *fairness* effect of rotation needs full cycles to show and
+        // is asserted at proper scale by the fairness ablation test.)
+    }
+
+    #[test]
+    fn async_mode_completes() {
+        let mut setups = small_setup(6);
+        for s in &mut setups {
+            s.spec.mode = TrainingMode::Asynchronous;
+        }
+        let mut policy = FifoPolicy;
+        let out = run_simulation(fast_cfg(), setups, &mut policy);
+        assert!(out.all_complete());
+        for j in &out.jobs {
+            assert_eq!(j.global_steps, 18);
+            // Each worker's final gradient gets no model answer; waits are
+            // recorded for all earlier rounds.
+            assert_eq!(j.waits.len(), (6 - 1) * 3);
+            assert_eq!(j.barrier_means.len(), 0, "no barriers in async mode");
+        }
+    }
+
+    #[test]
+    fn active_window_produces_utilization() {
+        let mut policy = FifoPolicy;
+        let mut cfg = fast_cfg();
+        cfg.active_window = Some((SimTime::from_millis(10), SimTime::from_millis(500)));
+        let out = run_simulation(cfg, small_setup(10), &mut policy);
+        let u = out.utilization.expect("window inside the run");
+        assert_eq!(u.len(), 4);
+        // The PS host moved bytes out; some worker host moved bytes in.
+        assert!(u[0].net_out > 0.0);
+        assert!(u[1].net_in > 0.0);
+        assert!(u.iter().all(|h| h.cpu >= 0.0 && h.cpu <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn max_sim_time_stops_runaway() {
+        let mut policy = FifoPolicy;
+        let mut cfg = fast_cfg();
+        cfg.max_sim_time = SimTime::from_millis(1);
+        let out = run_simulation(cfg, small_setup(1000), &mut policy);
+        assert!(!out.all_complete());
+        assert!(out.end_time <= SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn single_job_no_contention_is_compute_bound() {
+        // One job alone: JCT should be close to iterations × (compute +
+        // serialized model/grad transfer), with tiny barrier variance.
+        let setup = vec![JobSetup {
+            spec: JobSpec {
+                id: JobId(0),
+                model: ModelSpec::synthetic_mb(10),
+                num_workers: 2,
+                local_batch_size: 4,
+                target_global_steps: 10,
+                mode: TrainingMode::Synchronous,
+                launch_time: SimTime::ZERO,
+                ps_port: 2222,
+            },
+            placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2)]),
+        }];
+        let mut cfg = fast_cfg();
+        cfg.net_weight_sigma = 0.0;
+        cfg.compute.noise_sigma = 0.0;
+        let mut policy = FifoPolicy;
+        let out = run_simulation(cfg, setup, &mut policy);
+        assert!(out.all_complete());
+        let j = &out.jobs[0];
+        assert_eq!(j.iterations, 5);
+        // Without any noise, workers are symmetric: variance ~ 0.
+        assert!(j.barrier_vars.mean() < 1e-9, "{}", j.barrier_vars.mean());
+    }
+
+    #[test]
+    fn colocated_ps_and_worker_use_loopback() {
+        // A job whose worker shares the PS host: its updates are loopback
+        // flows that never touch the NIC, so they are near-instant and the
+        // NIC byte counters stay at zero for that pair.
+        let setups = vec![JobSetup {
+            spec: JobSpec {
+                id: JobId(0),
+                model: ModelSpec::synthetic_mb(50),
+                num_workers: 2,
+                local_batch_size: 4,
+                target_global_steps: 8,
+                mode: TrainingMode::Synchronous,
+                launch_time: SimTime::ZERO,
+                ps_port: 2222,
+            },
+            placement: JobPlacement::new(HostId(0), vec![HostId(0), HostId(1)]),
+        }];
+        let mut policy = FifoPolicy;
+        let out = run_simulation(fast_cfg(), setups, &mut policy);
+        assert!(out.all_complete());
+        assert_eq!(out.jobs[0].iterations, 4);
+    }
+
+    #[test]
+    fn single_worker_job_degenerates_cleanly() {
+        let setups = vec![JobSetup {
+            spec: JobSpec {
+                id: JobId(0),
+                model: ModelSpec::synthetic_mb(5),
+                num_workers: 1,
+                local_batch_size: 4,
+                target_global_steps: 5,
+                mode: TrainingMode::Synchronous,
+                launch_time: SimTime::ZERO,
+                ps_port: 2222,
+            },
+            placement: JobPlacement::new(HostId(0), vec![HostId(1)]),
+        }];
+        let mut policy = FifoPolicy;
+        let out = run_simulation(fast_cfg(), setups, &mut policy);
+        assert!(out.all_complete());
+        assert_eq!(out.jobs[0].global_steps, 5);
+        // With one worker, every barrier has zero variance.
+        assert!(out.jobs[0].barrier_vars.mean() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_sync_and_async_jobs_coexist() {
+        let mut setups = small_setup(6);
+        setups[1].spec.mode = TrainingMode::Asynchronous;
+        let mut policy = FifoPolicy;
+        let out = run_simulation(fast_cfg(), setups, &mut policy);
+        assert!(out.all_complete());
+        assert_eq!(out.jobs[0].barrier_means.len(), 5);
+        assert_eq!(out.jobs[1].barrier_means.len(), 0);
+    }
+
+    #[test]
+    fn rate_cap_slows_model_distribution() {
+        // One communication-heavy job; capping its model updates to a tenth
+        // of the link must lengthen the JCT (the §VII underutilization).
+        let mk = || {
+            vec![JobSetup {
+                spec: JobSpec {
+                    id: JobId(0),
+                    model: ModelSpec::synthetic_mb(100),
+                    num_workers: 2,
+                    local_batch_size: 1,
+                    target_global_steps: 10,
+                    mode: TrainingMode::Synchronous,
+                    launch_time: SimTime::ZERO,
+                    ps_port: 2222,
+                },
+                placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2)]),
+            }]
+        };
+        let mut cfg = fast_cfg();
+        let mut policy = FifoPolicy;
+        let free = run_simulation(cfg.clone(), mk(), &mut policy);
+        cfg.model_update_rate_cap = Some(1.25e8);
+        let mut policy = FifoPolicy;
+        let capped = run_simulation(cfg, mk(), &mut policy);
+        assert!(
+            capped.mean_jct_secs() > free.mean_jct_secs() * 1.3,
+            "capped {:.2}s vs free {:.2}s",
+            capped.mean_jct_secs(),
+            free.mean_jct_secs()
+        );
+    }
+
+    #[test]
+    fn trace_records_job_lifecycle() {
+        let mut policy = FifoPolicy;
+        let mut cfg = fast_cfg();
+        cfg.trace = true;
+        let out = run_simulation(cfg, small_setup(2), &mut policy);
+        let text = out.trace.render();
+        assert!(text.contains("job0 launched"));
+        assert!(text.contains("job1 completed"));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker count does not match placement")]
+    fn rejects_inconsistent_setup() {
+        let mut setups = small_setup(1);
+        setups[0].spec.num_workers = 7;
+        let mut policy = FifoPolicy;
+        let _ = run_simulation(fast_cfg(), setups, &mut policy);
+    }
+}
+
+#[cfg(test)]
+mod sampling_tests {
+    use super::*;
+    use crate::model::ModelSpec;
+    use simcore::SimDuration;
+    use tensorlights::FifoPolicy;
+    use tl_net::HostId;
+
+    #[test]
+    fn sampling_records_a_time_series() {
+        let setups = vec![JobSetup {
+            spec: JobSpec {
+                id: JobId(0),
+                model: ModelSpec::synthetic_mb(50),
+                num_workers: 2,
+                local_batch_size: 4,
+                target_global_steps: 20,
+                mode: TrainingMode::Synchronous,
+                launch_time: SimTime::ZERO,
+                ps_port: 2222,
+            },
+            placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2)]),
+        }];
+        let mut cfg = SimConfig {
+            compute: ComputeModel {
+                per_sample_core_secs: 0.05,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        cfg.sample_interval = Some(SimDuration::from_millis(200));
+        let mut policy = FifoPolicy;
+        let out = run_simulation(cfg, setups, &mut policy);
+        assert!(out.all_complete());
+        assert!(out.samples.len() >= 3, "got {} samples", out.samples.len());
+        // Timestamps are strictly increasing and interval-spaced.
+        assert!(out
+            .samples
+            .windows(2)
+            .all(|w| w[1].at.since(w[0].at) == SimDuration::from_millis(200)));
+        // Utilization is a valid fraction and the PS egress was used.
+        let mut saw_egress = false;
+        for s in &out.samples {
+            assert_eq!(s.per_host.len(), 3);
+            for h in &s.per_host {
+                assert!(h.net_out >= -1e-9 && h.net_out <= 1.0 + 1e-9);
+            }
+            if s.per_host[0].net_out > 0.2 {
+                saw_egress = true;
+            }
+        }
+        assert!(saw_egress, "no sample saw PS egress traffic");
+    }
+
+    #[test]
+    fn sampling_disabled_means_no_samples() {
+        let setups = vec![JobSetup {
+            spec: JobSpec {
+                id: JobId(0),
+                model: ModelSpec::synthetic_mb(10),
+                num_workers: 2,
+                local_batch_size: 4,
+                target_global_steps: 4,
+                mode: TrainingMode::Synchronous,
+                launch_time: SimTime::ZERO,
+                ps_port: 2222,
+            },
+            placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2)]),
+        }];
+        let mut policy = FifoPolicy;
+        let out = run_simulation(SimConfig::default(), setups, &mut policy);
+        assert!(out.samples.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod shard_tests {
+    use super::*;
+    use crate::model::ModelSpec;
+    use tensorlights::FifoPolicy;
+    use tl_net::HostId;
+
+    fn sharded_setup(extra_ps: Vec<HostId>, iterations: u64) -> Vec<JobSetup> {
+        vec![JobSetup {
+            spec: JobSpec {
+                id: JobId(0),
+                model: ModelSpec::synthetic_mb(60),
+                num_workers: 3,
+                local_batch_size: 4,
+                target_global_steps: iterations * 3,
+                mode: TrainingMode::Synchronous,
+                launch_time: SimTime::ZERO,
+                ps_port: 2222,
+            },
+            placement: JobPlacement::new(
+                HostId(0),
+                vec![HostId(2), HostId(3), HostId(4)],
+            )
+            .with_extra_ps(extra_ps),
+        }]
+    }
+
+    fn shard_cfg() -> SimConfig {
+        SimConfig {
+            compute: ComputeModel {
+                per_sample_core_secs: 0.005,
+                noise_sigma: 0.0,
+                ..Default::default()
+            },
+            net_weight_sigma: 0.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sharded_job_completes_with_exact_accounting() {
+        let mut policy = FifoPolicy;
+        let out = run_simulation(shard_cfg(), sharded_setup(vec![HostId(1)], 6), &mut policy);
+        assert!(out.all_complete());
+        let j = &out.jobs[0];
+        assert_eq!(j.iterations, 6);
+        assert_eq!(j.global_steps, 18);
+        // Barriers behave exactly as in the single-PS case.
+        assert_eq!(j.barrier_means.len(), 5);
+        assert_eq!(j.waits.len(), 5 * 3);
+    }
+
+    #[test]
+    fn two_shards_halve_the_distribution_bottleneck() {
+        // A communication-bound job: splitting the PS across two hosts
+        // doubles the available egress for model updates and must shorten
+        // the JCT materially.
+        let mut policy = FifoPolicy;
+        let single = run_simulation(shard_cfg(), sharded_setup(vec![], 6), &mut policy);
+        let mut policy = FifoPolicy;
+        let dual =
+            run_simulation(shard_cfg(), sharded_setup(vec![HostId(1)], 6), &mut policy);
+        assert!(single.all_complete() && dual.all_complete());
+        let s = single.mean_jct_secs();
+        let d = dual.mean_jct_secs();
+        assert!(
+            d < s * 0.75,
+            "two shards should cut the network-bound JCT: {d:.2}s vs {s:.2}s"
+        );
+    }
+
+    #[test]
+    fn shard_bytes_sum_to_model() {
+        let setups = sharded_setup(vec![HostId(1)], 2);
+        let mut policy = FifoPolicy;
+        let out = run_simulation(shard_cfg(), setups, &mut policy);
+        assert!(out.all_complete());
+        // Indirect check: the engine panics internally on mismatches; here
+        // we verify the arithmetic helper directly.
+        let job = JobRt {
+            spec: JobSpec {
+                id: JobId(0),
+                model: ModelSpec {
+                    name: "odd".into(),
+                    params: 7,
+                    bytes_per_param: 1,
+                    compute_scale: 1.0,
+                },
+                num_workers: 1,
+                local_batch_size: 1,
+                target_global_steps: 1,
+                mode: TrainingMode::Synchronous,
+                launch_time: SimTime::ZERO,
+                ps_port: 1,
+            },
+            placement: JobPlacement::new(HostId(0), vec![HostId(2)])
+                .with_extra_ps(vec![HostId(1), HostId(3)]),
+            launched: false,
+            completion: None,
+            round: 0,
+            global_steps: 0,
+            iterations: 0,
+            grads_received: vec![0; 3],
+            shards_aggregated: 0,
+            worker_shards_recv: vec![0; 1],
+            tracker: BarrierTracker::new(1),
+            rng: RngFactory::new(0).stream("t"),
+            async_remaining: vec![1],
+            async_pending_wait: vec![None],
+            async_done_workers: 0,
+        };
+        let total: f64 = (0..3).map(|s| job.shard_bytes(s)).sum();
+        assert_eq!(total, 7.0, "slices cover every byte");
+        assert_eq!(job.shard_bytes(0), 3.0, "shard 0 takes the remainder");
+    }
+
+    #[test]
+    #[should_panic(expected = "sharded PS is only modelled for synchronous")]
+    fn async_sharding_rejected() {
+        let mut setups = sharded_setup(vec![HostId(1)], 2);
+        setups[0].spec.mode = TrainingMode::Asynchronous;
+        let mut policy = FifoPolicy;
+        let _ = run_simulation(shard_cfg(), setups, &mut policy);
+    }
+}

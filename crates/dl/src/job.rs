@@ -1,0 +1,129 @@
+//! Job specifications.
+
+use crate::model::ModelSpec;
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use std::fmt;
+
+/// Identifier of a DL job within one experiment.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct JobId(pub u32);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Synchronous (barrier per iteration) or asynchronous training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TrainingMode {
+    /// The PS waits for gradient updates from *all* workers before sending
+    /// model updates — the paper's focus ("we focus on synchronous training
+    /// which usually results in more accurate models").
+    #[default]
+    Synchronous,
+    /// The PS answers each worker's gradient immediately with the latest
+    /// model; workers proceed at their own pace (no barrier).
+    Asynchronous,
+}
+
+/// Everything that defines one distributed training job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Job identifier.
+    pub id: JobId,
+    /// The model being trained (defines update sizes and compute cost).
+    pub model: ModelSpec,
+    /// Number of worker tasks.
+    pub num_workers: u32,
+    /// Samples each worker processes per local step (the paper's knob for
+    /// contention intensity: smaller batch → more frequent updates).
+    pub local_batch_size: u32,
+    /// Train until the global step (total local steps across workers)
+    /// reaches this count.
+    pub target_global_steps: u64,
+    /// Synchronous or asynchronous.
+    pub mode: TrainingMode,
+    /// When the job is launched.
+    pub launch_time: SimTime,
+    /// The PS's TCP port (identifies the job to `tc` filters).
+    pub ps_port: u16,
+}
+
+impl JobSpec {
+    /// The paper's grid-search job: ResNet-32/CIFAR-10, 20 workers, local
+    /// batch 4, synchronous, 30 000 global steps.
+    pub fn paper_default(id: JobId) -> Self {
+        JobSpec {
+            id,
+            model: ModelSpec::resnet32(),
+            num_workers: 20,
+            local_batch_size: 4,
+            target_global_steps: 30_000,
+            mode: TrainingMode::Synchronous,
+            launch_time: SimTime::ZERO,
+            ps_port: 2222 + id.0 as u16,
+        }
+    }
+
+    /// Number of synchronous iterations needed to reach the target
+    /// (each iteration advances the global step by `num_workers`).
+    pub fn sync_iterations(&self) -> u64 {
+        assert!(self.num_workers > 0, "job has no workers");
+        self.target_global_steps.div_ceil(self.num_workers as u64)
+    }
+
+    /// Local steps each worker performs in asynchronous mode (total target
+    /// split evenly; the remainder goes to the lowest-indexed workers).
+    pub fn async_local_steps(&self, worker: u32) -> u64 {
+        assert!(worker < self.num_workers, "worker index out of range");
+        let base = self.target_global_steps / self.num_workers as u64;
+        let extra = self.target_global_steps % self.num_workers as u64;
+        base + u64::from((worker as u64) < extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_iii() {
+        let j = JobSpec::paper_default(JobId(3));
+        assert_eq!(j.num_workers, 20);
+        assert_eq!(j.local_batch_size, 4);
+        assert_eq!(j.target_global_steps, 30_000);
+        assert_eq!(j.mode, TrainingMode::Synchronous);
+        assert_eq!(j.ps_port, 2225);
+        // "in a DL job at 30k global steps with 20 workers, each worker has
+        // finished 30k/20 = 1500 local steps"
+        assert_eq!(j.sync_iterations(), 1500);
+    }
+
+    #[test]
+    fn sync_iterations_round_up() {
+        let mut j = JobSpec::paper_default(JobId(0));
+        j.target_global_steps = 21;
+        j.num_workers = 20;
+        assert_eq!(j.sync_iterations(), 2);
+    }
+
+    #[test]
+    fn async_steps_partition_target() {
+        let mut j = JobSpec::paper_default(JobId(0));
+        j.target_global_steps = 103;
+        j.num_workers = 10;
+        let total: u64 = (0..10).map(|w| j.async_local_steps(w)).sum();
+        assert_eq!(total, 103);
+        assert_eq!(j.async_local_steps(0), 11);
+        assert_eq!(j.async_local_steps(9), 10);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", JobId(4)), "job4");
+    }
+}

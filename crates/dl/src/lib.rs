@@ -1,0 +1,28 @@
+//! # tl-dl — distributed deep learning application model
+//!
+//! The PS/worker training system of the paper, simulated end to end:
+//!
+//! * [`model::ModelSpec`] — a model zoo (ResNet-32 as in the paper, plus
+//!   larger models for heterogeneous-mix experiments);
+//! * [`job::JobSpec`] — job configuration (workers, local batch size,
+//!   target global steps, sync/async mode);
+//! * [`compute::ComputeModel`] — calibrated per-step compute costs;
+//! * [`metrics::BarrierTracker`] — the paper's barrier wait-time
+//!   measurement (per-barrier mean and standard variance across workers);
+//! * [`engine::run_simulation`] — the discrete-event engine wiring job
+//!   state machines to the network ([`tl_net`]) and CPU ([`tl_cluster`])
+//!   substrates under a [`tensorlights::PriorityPolicy`].
+
+#![warn(missing_docs)]
+
+pub mod compute;
+pub mod engine;
+pub mod job;
+pub mod metrics;
+pub mod model;
+
+pub use compute::ComputeModel;
+pub use engine::{run_simulation, JobResult, JobSetup, SimConfig, SimOutput};
+pub use job::{JobId, JobSpec, TrainingMode};
+pub use metrics::BarrierTracker;
+pub use model::ModelSpec;

@@ -1,0 +1,222 @@
+//! Barrier wait-time bookkeeping.
+//!
+//! Reproduces the paper's measurement: "We measure the elapsed time between
+//! a worker entering the barrier and exiting the barrier, and calculate the
+//! average (or the standard variance) of the elapsed waiting time for a
+//! specific barrier among all workers of the same DL job."
+//!
+//! A worker *enters* barrier `i` when it finishes computing local step `i`
+//! (and begins sending its gradient update); it *exits* barrier `i` when it
+//! has fully received the model update for step `i + 1`. Adjacent barriers
+//! overlap — a fast worker enters barrier `i+1` while slow peers are still
+//! exiting barrier `i` — so state is keyed by barrier index.
+
+use simcore::{SampleSet, SimTime};
+use std::collections::HashMap;
+
+#[derive(Debug)]
+struct Accum {
+    enters: Vec<Option<SimTime>>,
+    exits: Vec<Option<SimTime>>,
+    exits_seen: usize,
+}
+
+/// Tracks barrier waits for one job and accumulates per-barrier statistics.
+#[derive(Debug)]
+pub struct BarrierTracker {
+    num_workers: usize,
+    pending: HashMap<u64, Accum>,
+    /// Mean barrier wait (seconds) per completed barrier.
+    pub means: SampleSet,
+    /// Standard variance of barrier wait (seconds²) per completed barrier.
+    pub vars: SampleSet,
+    /// Every individual worker wait (seconds), across all barriers.
+    pub waits: SampleSet,
+    completed: u64,
+}
+
+impl BarrierTracker {
+    /// Tracker for a job with `num_workers` workers.
+    pub fn new(num_workers: usize) -> Self {
+        assert!(num_workers > 0, "job has no workers");
+        BarrierTracker {
+            num_workers,
+            pending: HashMap::new(),
+            means: SampleSet::new(),
+            vars: SampleSet::new(),
+            waits: SampleSet::new(),
+            completed: 0,
+        }
+    }
+
+    /// Number of fully observed barriers.
+    pub fn completed_barriers(&self) -> u64 {
+        self.completed
+    }
+
+    /// Number of barriers with partial state (normally ≤ 2: one draining
+    /// exits, one collecting enters).
+    pub fn pending_barriers(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn accum(&mut self, barrier: u64) -> &mut Accum {
+        let n = self.num_workers;
+        self.pending.entry(barrier).or_insert_with(|| Accum {
+            enters: vec![None; n],
+            exits: vec![None; n],
+            exits_seen: 0,
+        })
+    }
+
+    /// Worker `w` entered `barrier` at `t`.
+    pub fn record_enter(&mut self, w: usize, t: SimTime, barrier: u64) {
+        let a = self.accum(barrier);
+        assert!(
+            a.enters[w].is_none(),
+            "worker {w} entered barrier {barrier} twice"
+        );
+        a.enters[w] = Some(t);
+    }
+
+    /// Worker `w` exited `barrier` at `t`. When the last worker exits, the
+    /// barrier's statistics are finalized.
+    pub fn record_exit(&mut self, w: usize, t: SimTime, barrier: u64) {
+        let a = self.accum(barrier);
+        assert!(
+            a.enters[w].is_some(),
+            "worker {w} exited barrier {barrier} it never entered"
+        );
+        assert!(a.exits[w].is_none(), "worker {w} exited barrier {barrier} twice");
+        a.exits[w] = Some(t);
+        a.exits_seen += 1;
+        if a.exits_seen == self.num_workers {
+            let a = self.pending.remove(&barrier).expect("accum exists");
+            self.finalize(a, barrier);
+        }
+    }
+
+    fn finalize(&mut self, a: Accum, barrier: u64) {
+        let n = self.num_workers as f64;
+        let mut mean = 0.0;
+        for w in 0..self.num_workers {
+            let enter = a.enters[w]
+                .unwrap_or_else(|| panic!("barrier {barrier}: worker {w} never entered"));
+            let exit = a.exits[w].expect("exit recorded");
+            let wait = exit.since(enter).as_secs_f64();
+            self.waits.push(wait);
+            mean += wait;
+        }
+        mean /= n;
+        let recent = &self.waits.samples()[self.waits.len() - self.num_workers..];
+        let var = recent.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        self.means.push(mean);
+        self.vars.push(var);
+        self.completed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    #[test]
+    fn single_barrier_statistics() {
+        let mut b = BarrierTracker::new(2);
+        b.record_enter(0, SimTime::from_secs(10), 0);
+        b.record_enter(1, SimTime::from_secs(11), 0);
+        b.record_exit(0, SimTime::from_secs(14), 0); // wait 4
+        b.record_exit(1, SimTime::from_secs(13), 0); // wait 2
+        assert_eq!(b.completed_barriers(), 1);
+        let mut means = b.means.clone();
+        let mut vars = b.vars.clone();
+        assert!((means.quantile(0.5) - 3.0).abs() < 1e-12);
+        assert!((vars.quantile(0.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_barriers_are_kept_apart() {
+        // Worker 0 races ahead: it enters barrier 1 before worker 1 has
+        // exited barrier 0 — the real interleaving in synchronous training.
+        let mut b = BarrierTracker::new(2);
+        b.record_enter(0, SimTime::from_secs(1), 0);
+        b.record_enter(1, SimTime::from_secs(2), 0);
+        b.record_exit(0, SimTime::from_secs(3), 0);
+        b.record_enter(0, SimTime::from_secs(4), 1); // barrier 0 still open
+        assert_eq!(b.pending_barriers(), 2);
+        b.record_exit(1, SimTime::from_secs(5), 0); // barrier 0 closes
+        assert_eq!(b.completed_barriers(), 1);
+        b.record_enter(1, SimTime::from_secs(6), 1);
+        b.record_exit(0, SimTime::from_secs(7), 1);
+        b.record_exit(1, SimTime::from_secs(8), 1);
+        assert_eq!(b.completed_barriers(), 2);
+        assert_eq!(b.pending_barriers(), 0);
+    }
+
+    #[test]
+    fn multiple_barriers_accumulate() {
+        let mut b = BarrierTracker::new(2);
+        for k in 0..5u64 {
+            let base = SimTime::from_secs(100 * k);
+            b.record_enter(0, base, k);
+            b.record_enter(1, base, k);
+            b.record_exit(0, base + SimDuration::from_secs(1), k);
+            b.record_exit(1, base + SimDuration::from_secs(1), k);
+        }
+        assert_eq!(b.completed_barriers(), 5);
+        assert_eq!(b.means.len(), 5);
+        assert_eq!(b.vars.len(), 5);
+        assert_eq!(b.waits.len(), 10);
+        assert!((b.vars.mean() - 0.0).abs() < 1e-12, "identical waits: no variance");
+    }
+
+    #[test]
+    fn stragglers_raise_variance() {
+        // One straggler forces peers to wait long while itself waiting
+        // little -> high variance, as in Figure 3b.
+        let mut uniform = BarrierTracker::new(4);
+        let mut straggly = BarrierTracker::new(4);
+        let t0 = SimTime::ZERO;
+        for w in 0..4 {
+            uniform.record_enter(w, t0, 0);
+            straggly.record_enter(w, t0, 0);
+        }
+        for w in 0..4 {
+            uniform.record_exit(w, SimTime::from_secs(5), 0);
+        }
+        straggly.record_exit(0, SimTime::from_secs(8), 0);
+        straggly.record_exit(1, SimTime::from_secs(8), 0);
+        straggly.record_exit(2, SimTime::from_secs(8), 0);
+        straggly.record_exit(3, SimTime::from_secs(1), 0);
+        assert!(straggly.vars.mean() > uniform.vars.mean());
+        assert!(uniform.vars.mean() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "entered barrier 0 twice")]
+    fn double_enter_rejected() {
+        let mut b = BarrierTracker::new(2);
+        b.record_enter(0, SimTime::ZERO, 0);
+        b.record_enter(0, SimTime::ZERO, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never entered")]
+    fn exit_without_enter_rejected() {
+        let mut b = BarrierTracker::new(2);
+        b.record_exit(0, SimTime::ZERO, 0);
+    }
+
+    #[test]
+    fn incomplete_final_barrier_is_dropped() {
+        // A job's last barrier has enters but no exits (the PS never sends
+        // another model update); it must not pollute the statistics.
+        let mut b = BarrierTracker::new(2);
+        b.record_enter(0, SimTime::ZERO, 0);
+        b.record_enter(1, SimTime::ZERO, 0);
+        assert_eq!(b.completed_barriers(), 0);
+        assert_eq!(b.means.len(), 0);
+        assert_eq!(b.pending_barriers(), 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Model zoo: parameter counts of the DNNs the paper's ecosystem trains.
+//!
+//! Only the *size* of a model matters to TensorLights — one model update (or
+//! gradient update) carries all parameters once, and "the model update and
+//! gradient update to/from a worker in each iteration are typically of the
+//! same size, i.e. the total data size of the model parameters".
+
+use serde::{Deserialize, Serialize};
+
+/// A trainable model, reduced to what the traffic scheduler can observe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of trainable parameters.
+    pub params: u64,
+    /// Bytes per parameter on the wire (4 for fp32).
+    pub bytes_per_param: u32,
+    /// Relative compute cost of one sample forward+backward pass (arbitrary
+    /// units; 1.0 = ResNet-32 on CIFAR-10). Used by the compute model.
+    pub compute_scale: f64,
+}
+
+impl ModelSpec {
+    /// Size of one model update / gradient update in bytes.
+    pub fn update_bytes(&self) -> u64 {
+        self.params * self.bytes_per_param as u64
+    }
+
+    /// ResNet-32 for CIFAR-10 — the paper's workload (~0.46 M parameters,
+    /// so each update is ~1.9 MB at fp32).
+    pub fn resnet32() -> Self {
+        ModelSpec {
+            name: "resnet32-cifar10".into(),
+            params: 466_906,
+            bytes_per_param: 4,
+            compute_scale: 1.0,
+        }
+    }
+
+    /// ResNet-50 for ImageNet (25.6 M parameters, ~102 MB updates).
+    pub fn resnet50() -> Self {
+        ModelSpec {
+            name: "resnet50-imagenet".into(),
+            params: 25_557_032,
+            bytes_per_param: 4,
+            compute_scale: 40.0,
+        }
+    }
+
+    /// Inception-v3 (23.8 M parameters).
+    pub fn inception_v3() -> Self {
+        ModelSpec {
+            name: "inception-v3".into(),
+            params: 23_851_784,
+            bytes_per_param: 4,
+            compute_scale: 35.0,
+        }
+    }
+
+    /// VGG-16 (138 M parameters, ~553 MB updates — the classic
+    /// communication-heavy model).
+    pub fn vgg16() -> Self {
+        ModelSpec {
+            name: "vgg16".into(),
+            params: 138_357_544,
+            bytes_per_param: 4,
+            compute_scale: 60.0,
+        }
+    }
+
+    /// AlexNet (61 M parameters; light compute, heavy communication).
+    pub fn alexnet() -> Self {
+        ModelSpec {
+            name: "alexnet".into(),
+            params: 60_965_224,
+            bytes_per_param: 4,
+            compute_scale: 8.0,
+        }
+    }
+
+    /// A synthetic model of exactly `mb` megabytes (for sweeps).
+    pub fn synthetic_mb(mb: u64) -> Self {
+        ModelSpec {
+            name: format!("synthetic-{mb}mb"),
+            params: mb * 250_000,
+            bytes_per_param: 4,
+            compute_scale: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet32_update_is_about_1_9_mb() {
+        let m = ModelSpec::resnet32();
+        let mb = m.update_bytes() as f64 / 1e6;
+        assert!((1.7..2.1).contains(&mb), "got {mb} MB");
+    }
+
+    #[test]
+    fn zoo_sizes_rank_sensibly() {
+        let r32 = ModelSpec::resnet32().update_bytes();
+        let r50 = ModelSpec::resnet50().update_bytes();
+        let vgg = ModelSpec::vgg16().update_bytes();
+        assert!(r32 < r50 && r50 < vgg);
+    }
+
+    #[test]
+    fn synthetic_is_exact() {
+        assert_eq!(ModelSpec::synthetic_mb(10).update_bytes(), 10_000_000);
+    }
+
+    #[test]
+    fn update_bytes_formula() {
+        let m = ModelSpec {
+            name: "x".into(),
+            params: 100,
+            bytes_per_param: 4,
+            compute_scale: 1.0,
+        };
+        assert_eq!(m.update_bytes(), 400);
+    }
+}

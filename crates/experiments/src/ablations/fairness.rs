@@ -1,0 +1,120 @@
+//! Progress fairness over time: why TLs-RR exists.
+//!
+//! The paper: "fairness is desirable in grid search, because when all
+//! search instances have made similar progress, a DL engineer may compare
+//! the accuracy performance of concurrent grid-search instances." Under
+//! TLs-One, high-priority jobs pull ahead for the whole run; under TLs-RR
+//! the rotation keeps the *progress spread* — the gap in global steps
+//! between the fastest and slowest job — bounded.
+//!
+//! This experiment samples every job's global step over time and reports
+//! the normalized progress spread (max − min, as a fraction of the target)
+//! for TLs-One vs TLs-RR at placement #1.
+
+use crate::config::ExperimentConfig;
+use crate::report::Table;
+use crate::runner::{parallel_map, PolicyKind};
+use serde::Serialize;
+use simcore::SimDuration;
+use tl_cluster::{table1_placement, Table1Index};
+use tl_dl::run_simulation;
+use tl_workloads::GridSearchConfig;
+
+/// One policy's progress-spread trajectory.
+#[derive(Debug, Serialize)]
+pub struct FairnessSide {
+    /// Policy label.
+    pub label: &'static str,
+    /// `(seconds, spread as fraction of the step target)` over time.
+    pub spread_series: Vec<(f64, f64)>,
+    /// The worst spread seen at any sample.
+    pub max_spread: f64,
+    /// Mean JCT (s) — the efficiency side of the trade.
+    pub mean_jct: f64,
+}
+
+/// The comparison.
+#[derive(Debug, Serialize)]
+pub struct FairnessStudy {
+    /// TLs-One and TLs-RR sides.
+    pub sides: Vec<FairnessSide>,
+}
+
+/// Sample progress under both TLs variants at placement #1.
+pub fn run(cfg: &ExperimentConfig, sample_secs: f64) -> FairnessStudy {
+    let sides = parallel_map(
+        vec![PolicyKind::TlsOne, PolicyKind::TlsRr],
+        |policy| {
+            let placement = table1_placement(Table1Index(1), 21, 21);
+            let wl = GridSearchConfig::paper_scaled(cfg.iterations);
+            let target = wl.target_global_steps as f64;
+            let setups = wl.build(&placement);
+            let mut sim_cfg = cfg.sim_config();
+            sim_cfg.sample_interval = Some(SimDuration::from_secs_f64(sample_secs));
+            let mut p = policy.build(cfg);
+            let out = run_simulation(sim_cfg, setups, p.as_mut());
+            assert!(out.all_complete());
+            let spread_series: Vec<(f64, f64)> = out
+                .samples
+                .iter()
+                .map(|s| {
+                    let max = *s.job_progress.iter().max().expect("jobs present");
+                    let min = *s.job_progress.iter().min().expect("jobs present");
+                    (s.at.as_secs_f64(), (max - min) as f64 / target)
+                })
+                .collect();
+            FairnessSide {
+                label: policy.label(),
+                max_spread: spread_series
+                    .iter()
+                    .map(|&(_, s)| s)
+                    .fold(0.0f64, f64::max),
+                mean_jct: out.mean_jct_secs(),
+                spread_series,
+            }
+        },
+    );
+    FairnessStudy { sides }
+}
+
+impl FairnessStudy {
+    /// Rendered table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Extension: progress fairness over time (placement #1)",
+            &["Policy", "max progress spread", "mean JCT (s)"],
+        );
+        for s in &self.sides {
+            t.push_row(vec![
+                s.label.to_string(),
+                format!("{:.1}% of target", s.max_spread * 100.0),
+                format!("{:.1}", s.mean_jct),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_bounds_progress_spread() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.iterations = 60;
+        // Rotate briskly so the short run sees many rotations.
+        cfg.rr_interval = simcore::SimDuration::from_secs_f64(0.5);
+        let s = run(&cfg, 1.0);
+        let one = &s.sides[0];
+        let rr = &s.sides[1];
+        assert!(!one.spread_series.is_empty());
+        assert!(
+            rr.max_spread < one.max_spread,
+            "TLs-RR spread {:.3} should stay below TLs-One {:.3}",
+            rr.max_spread,
+            one.max_spread
+        );
+        assert!(s.table().render().contains("progress spread"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Ablations and extensions beyond the paper's headline experiments.
+//!
+//! Each module isolates one design choice DESIGN.md calls out:
+//!
+//! * [`bands`] — how many tc priority bands are enough (the paper is
+//!   limited to six)?
+//! * [`rotation`] — the TLs-RR interval `T`: fairness vs efficiency.
+//! * [`jitter`] — sensitivity to the TCP-unfairness intensity that causes
+//!   stragglers in the first place.
+//! * [`ordering`] — priority orderings on heterogeneous model mixes
+//!   (the paper's smallest-update-first suggestion vs random).
+//! * [`model_size`] — TLs benefit as a function of update size.
+//! * [`rate_control`] — the paper's §VII alternative: static sender rate
+//!   allocation instead of work-conserving priority.
+//! * [`async_mode`] — synchronous vs asynchronous training under
+//!   contention (no barrier, no straggler amplification).
+//! * [`ps_aware`] — the paper's §VII alternative: a PS-aware cluster
+//!   scheduler that avoids colocation, vs TensorLights on a bad placement.
+//! * [`qdisc`] — chunk-level comparison of pfifo_fast / prio / per-job DRR.
+//! * [`churn`] — open-loop Poisson job arrivals: TLs reconfigures on every
+//!   arrival/departure and still helps.
+//! * [`timeline`] — PS-host egress utilization over time: FIFO's bursty
+//!   on/off pattern vs TLs-One's pipelined steady stream.
+//! * [`fabric`] — oversubscribed switch cores: the contention end-host
+//!   scheduling cannot fix, bounding where TensorLights applies.
+//! * [`fairness`] — progress spread over time: TLs-RR's rotation bounds
+//!   the fastest/slowest gap that TLs-One lets grow.
+//! * [`sharded_ps`] — the paper's "more general case where one DL job has
+//!   multiple PSes": sharding spreads bursts, TensorLights still applies.
+//! * [`slow_host`] — compute stragglers from a degraded host: the failure
+//!   mode NIC priorities cannot fix (negative control).
+
+pub mod async_mode;
+pub mod churn;
+pub mod fabric;
+pub mod fairness;
+pub mod bands;
+pub mod jitter;
+pub mod model_size;
+pub mod ordering;
+pub mod ps_aware;
+pub mod qdisc;
+pub mod rate_control;
+pub mod rotation;
+pub mod sharded_ps;
+pub mod slow_host;
+pub mod timeline;

@@ -1,0 +1,143 @@
+//! NIC utilization over time: the burstiness mechanism, made visible.
+//!
+//! The paper's Observation #1 attributes FIFO's losses to *bursty* model
+//! updates: "the PS will wait for the gradient updates from all workers and
+//! then send out model updates to all workers at once", so overlapping
+//! bursts produce heavy delays while the link idles in between. This
+//! extension samples the PS-host egress utilization over time at placement
+//! #1: under FIFO the phase-locked jobs drive the NIC in on/off bursts;
+//! under TLs-One the staircased priorities pipeline the bursts into a
+//! near-steady stream.
+
+use crate::config::ExperimentConfig;
+use crate::report::Table;
+use crate::runner::{parallel_map, PolicyKind};
+use serde::Serialize;
+use simcore::{SampleSet, SimDuration};
+use tl_cluster::{table1_placement, Table1Index};
+use tl_dl::run_simulation;
+use tl_workloads::GridSearchConfig;
+
+/// One policy's egress-utilization time series at the PS host.
+#[derive(Debug, Serialize)]
+pub struct TimelineSide {
+    /// Policy label.
+    pub label: &'static str,
+    /// `(seconds, PS-host egress utilization)` samples.
+    pub series: Vec<(f64, f64)>,
+    /// Mean utilization while any job runs.
+    pub mean: f64,
+    /// Coefficient of variation (stddev/mean) — burstiness.
+    pub burstiness: f64,
+}
+
+/// The timeline comparison.
+#[derive(Debug, Serialize)]
+pub struct TimelineStudy {
+    /// FIFO and TLs-One sides.
+    pub sides: Vec<TimelineSide>,
+}
+
+/// Sample the PS-host (host 0) egress under FIFO and TLs-One.
+pub fn run(cfg: &ExperimentConfig, sample_ms: u64) -> TimelineStudy {
+    let sides = parallel_map(
+        vec![PolicyKind::Fifo, PolicyKind::TlsOne],
+        |policy| {
+            let placement = table1_placement(Table1Index(1), 21, 21);
+            let setups = GridSearchConfig::paper_scaled(cfg.iterations).build(&placement);
+            let mut sim_cfg = cfg.sim_config();
+            sim_cfg.sample_interval = Some(SimDuration::from_millis(sample_ms));
+            let mut p = policy.build(cfg);
+            let out = run_simulation(sim_cfg, setups, p.as_mut());
+            assert!(out.all_complete());
+            let series: Vec<(f64, f64)> = out
+                .samples
+                .iter()
+                .map(|s| (s.at.as_secs_f64(), s.per_host[0].net_out))
+                .collect();
+            let mut stats = SampleSet::new();
+            for &(_, u) in &series {
+                stats.push(u);
+            }
+            let mean = stats.mean();
+            TimelineSide {
+                label: policy.label(),
+                burstiness: if mean > 0.0 {
+                    stats.variance().sqrt() / mean
+                } else {
+                    0.0
+                },
+                mean,
+                series,
+            }
+        },
+    );
+    TimelineStudy { sides }
+}
+
+impl TimelineStudy {
+    /// Rendered table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Extension: PS-host egress utilization over time (placement #1)",
+            &["Policy", "mean utilization", "burstiness (CV)"],
+        );
+        for s in &self.sides {
+            t.push_row(vec![
+                s.label.to_string(),
+                format!("{:.3}", s.mean),
+                format!("{:.3}", s.burstiness),
+            ]);
+        }
+        t
+    }
+
+    /// ASCII strip of the utilization level over time for each policy
+    /// (`.:-=#` from idle to saturated), clipped to the first `cols`
+    /// samples.
+    pub fn ascii(&self, cols: usize) -> String {
+        let glyph = |u: f64| match (u * 5.0) as u32 {
+            0 => '.',
+            1 => ':',
+            2 => '-',
+            3 => '=',
+            _ => '#',
+        };
+        let mut out = String::from("PS egress utilization over time (. idle -> # saturated):\n");
+        for s in &self.sides {
+            let strip: String = s.series.iter().take(cols).map(|&(_, u)| glyph(u)).collect();
+            out.push_str(&format!("  {:8} |{strip}|\n", s.label));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_is_burstier_tls_is_fuller() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.iterations = 40;
+        let s = run(&cfg, 300);
+        let fifo = &s.sides[0];
+        let tls = &s.sides[1];
+        assert!(fifo.series.len() > 10);
+        assert!(
+            tls.mean > fifo.mean,
+            "TLs keeps the NIC busier: {:.3} vs {:.3}",
+            tls.mean,
+            fifo.mean
+        );
+        assert!(
+            fifo.burstiness > tls.burstiness,
+            "FIFO is burstier: {:.3} vs {:.3}",
+            fifo.burstiness,
+            tls.burstiness
+        );
+        let a = s.ascii(60);
+        assert!(a.contains("FIFO") && a.contains("TLs-One"));
+        assert!(s.table().render().contains("burstiness"));
+    }
+}

@@ -1,0 +1,307 @@
+//! `repro` — regenerate every table and figure of the TensorLights paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2]
+//!       [--iterations N] [--full] [--seed S] [--csv DIR] [--json DIR]
+//! ```
+//!
+//! `--full` runs at the paper's 1500 iterations (slow); the default is the
+//! scaled 300-iteration configuration, which preserves every result's shape.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use tl_cluster::Table1Index;
+use tl_experiments::report::Table;
+use tl_experiments::ablations::{
+    async_mode, bands, churn, fabric, fairness, jitter, model_size, ordering, ps_aware, qdisc,
+    rate_control, rotation, sharded_ps, slow_host, timeline,
+};
+use tl_experiments::{config::ExperimentConfig, fig2, fig3, fig4, fig5, fig6, table1, table2};
+
+struct Args {
+    experiment: String,
+    cfg: ExperimentConfig,
+    csv_dir: Option<PathBuf>,
+    json_dir: Option<PathBuf>,
+    markdown: std::cell::RefCell<Option<(PathBuf, String)>>,
+}
+
+fn parse_args() -> Args {
+    let mut experiment = "all".to_string();
+    let mut cfg = ExperimentConfig::default();
+    let mut csv_dir = None;
+    let mut json_dir = None;
+    let mut markdown: Option<PathBuf> = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let next = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i)
+                .unwrap_or_else(|| panic!("missing value after {}", argv[*i - 1]))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--experiment" | "-e" => experiment = next(&mut i),
+            "--iterations" | "-i" => {
+                cfg = ExperimentConfig::scaled(next(&mut i).parse().expect("numeric iterations"))
+            }
+            "--full" => cfg = ExperimentConfig::full(),
+            "--seed" | "-s" => cfg.seed = next(&mut i).parse().expect("numeric seed"),
+            "--csv" => csv_dir = Some(PathBuf::from(next(&mut i))),
+            "--json" => json_dir = Some(PathBuf::from(next(&mut i))),
+            "--markdown" => markdown = Some(PathBuf::from(next(&mut i))),
+            "--help" | "-h" => {
+                println!(
+                    "repro — regenerate the TensorLights paper's tables and figures\n\
+                     \n\
+                     --experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations\n\
+                     --iterations N   scaled iteration count (default 300)\n\
+                     --full           paper scale (1500 iterations)\n\
+                     --seed S         master seed\n\
+                     --csv DIR        also write each table as CSV\n\
+                     --json DIR       also write each result as JSON\n\
+                     --markdown FILE  also write all tables as one markdown report"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+        i += 1;
+    }
+    Args {
+        experiment,
+        cfg,
+        csv_dir,
+        json_dir,
+        markdown: std::cell::RefCell::new(markdown.map(|p| (p, String::new()))),
+    }
+}
+
+fn emit(args: &Args, name: &str, table: &Table, summary: Option<String>, json: String) {
+    println!("{}", table.render());
+    if let Some(s) = &summary {
+        println!("{s}\n");
+    }
+    if let Some(dir) = &args.csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        std::fs::write(dir.join(format!("{name}.csv")), table.to_csv()).expect("write csv");
+    }
+    if let Some(dir) = &args.json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        std::fs::write(dir.join(format!("{name}.json")), json).expect("write json");
+    }
+    if let Some((_, body)) = args.markdown.borrow_mut().as_mut() {
+        body.push_str(&table.to_markdown());
+        if let Some(s) = &summary {
+            body.push_str(&format!("{s}\n\n"));
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = &args.cfg;
+    let wanted = |name: &str| args.experiment == "all" || args.experiment == name;
+    let mut ran = 0;
+    let t0 = std::time::Instant::now();
+    let mut summaries: BTreeMap<&'static str, String> = BTreeMap::new();
+
+    println!(
+        "TensorLights reproduction — {} iterations/job, seed {}\n",
+        cfg.iterations, cfg.seed
+    );
+
+    if wanted("table1") {
+        let r = table1::run();
+        emit(
+            &args,
+            "table1",
+            &r.table(),
+            None,
+            serde_json::to_string_pretty(&r.table()).expect("json"),
+        );
+        ran += 1;
+    }
+    if wanted("fig2") {
+        let r = fig2::run(cfg, &Table1Index::all());
+        summaries.insert("fig2", r.summary());
+        let bars: Vec<(String, f64)> = r
+            .rows
+            .iter()
+            .map(|row| (format!("#{}", row.index), row.mean_jct))
+            .collect();
+        let chart = tl_experiments::charts::bar_chart("mean JCT by placement (s)", &bars, 48);
+        emit(
+            &args,
+            "fig2",
+            &r.table(),
+            Some(format!("{chart}\n{}", r.summary())),
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
+        ran += 1;
+    }
+    if wanted("fig3") {
+        let r = fig3::run(cfg);
+        summaries.insert("fig3", r.summary());
+        let chart = tl_experiments::charts::cdf_chart(
+            "CDF of per-barrier mean wait (s)",
+            &[("#1", &r.heavy.cdf_mean), ("#8", &r.mild.cdf_mean)],
+            56,
+            12,
+        );
+        emit(
+            &args,
+            "fig3",
+            &r.table(),
+            Some(format!("{chart}\n{}", r.summary())),
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
+        ran += 1;
+    }
+    if wanted("fig4") {
+        let r = fig4::run(&fig4::Fig4Config::default());
+        emit(
+            &args,
+            "fig4",
+            &r.table(),
+            Some(r.ascii.clone()),
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
+        ran += 1;
+    }
+    if wanted("fig5a") {
+        let r = fig5::run_5a(cfg, &Table1Index::all());
+        summaries.insert("fig5a", r.summary());
+        emit(
+            &args,
+            "fig5a",
+            &r.table(),
+            Some(r.summary()),
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
+        ran += 1;
+    }
+    if wanted("fig5b") {
+        let r = fig5::run_5b(cfg, &[1, 2, 4, 8, 16, 32]);
+        summaries.insert("fig5b", r.summary());
+        emit(
+            &args,
+            "fig5b",
+            &r.table(),
+            Some(r.summary()),
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
+        ran += 1;
+    }
+    if wanted("fig6") {
+        let r = fig6::run(cfg);
+        summaries.insert("fig6", r.summary());
+        let chart = tl_experiments::charts::cdf_chart(
+            "CDF of per-barrier wait variance (s^2), placement #1",
+            &[
+                (r.sides[0].label, &r.sides[0].cdf_var),
+                (r.sides[1].label, &r.sides[1].cdf_var),
+                (r.sides[2].label, &r.sides[2].cdf_var),
+            ],
+            56,
+            12,
+        );
+        emit(
+            &args,
+            "fig6",
+            &r.table(),
+            Some(format!("{chart}\n{}", r.summary())),
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
+        ran += 1;
+    }
+    if wanted("table2") {
+        let r = table2::run(cfg, Table1Index(1));
+        summaries.insert("table2", r.summary());
+        emit(
+            &args,
+            "table2",
+            &r.table(),
+            Some(r.summary()),
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
+        ran += 1;
+    }
+
+    if args.experiment == "ablations" {
+        // Scale the ablation sweeps down relative to the headline figures;
+        // they multiply many runs.
+        let acfg = ExperimentConfig::scaled(cfg.iterations.min(80));
+
+        let r = bands::run(&acfg, &[1, 2, 3, 4, 6, 8]);
+        emit(&args, "ablate_bands", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+
+        let r = rotation::run(&acfg, &[0.5, 1.0, 2.0, 5.0, 20.0, 1e6]);
+        emit(&args, "ablate_rotation", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+
+        let r = jitter::run(&acfg, &[0.0, 0.15, 0.3, 0.5, 0.8]);
+        emit(&args, "ablate_jitter", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+
+        let r = ordering::run(&acfg);
+        emit(&args, "ablate_ordering", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+
+        let r = model_size::run(&acfg, &[1, 2, 4, 8, 16]);
+        emit(&args, "ablate_model_size", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+
+        let r = rate_control::run(&acfg);
+        emit(&args, "ablate_rate_control", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+
+        let r = async_mode::run(&acfg);
+        emit(&args, "ablate_async", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+
+        let r = ps_aware::run(&acfg);
+        emit(&args, "ablate_ps_aware", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+
+        let r = qdisc::run();
+        emit(&args, "ablate_qdisc", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+
+        let r = churn::run(&acfg, 5.0);
+        emit(&args, "ablate_churn", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+
+        let r = timeline::run(&acfg, 250);
+        let chart = r.ascii(100);
+        emit(&args, "ablate_timeline", &r.table(), Some(chart), serde_json::to_string_pretty(&r).expect("json"));
+
+        let r = fabric::run(&acfg, &[1.0, 8.0, 16.0, 32.0]);
+        emit(&args, "ablate_fabric", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+
+        let r = fairness::run(&acfg, 2.0);
+        emit(&args, "ablate_fairness", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+
+        let r = sharded_ps::run(&acfg, &[1, 2, 4]);
+        emit(&args, "ablate_sharded_ps", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+
+        let r = slow_host::run(&acfg);
+        emit(&args, "ablate_slow_host", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+
+        ran += 15;
+    }
+
+    if ran == 0 {
+        eprintln!("unknown experiment '{}'; see --help", args.experiment);
+        std::process::exit(2);
+    }
+    if !summaries.is_empty() {
+        println!("== measured vs paper ==");
+        for (name, s) in &summaries {
+            println!("  {name}: {s}");
+        }
+    }
+    if let Some((path, body)) = args.markdown.borrow().as_ref() {
+        let header = format!(
+            "# TensorLights reproduction report\n\n{} iterations/job, seed {}.\n\n",
+            cfg.iterations, cfg.seed
+        );
+        std::fs::write(path, format!("{header}{body}")).expect("write markdown report");
+        println!("markdown report written to {}", path.display());
+    }
+    println!("\ndone in {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,139 @@
+//! Terminal charts: CDF plots and bar charts for the repro output.
+//!
+//! The paper's Figures 2, 3, 5 and 6 are bar charts and CDFs; these
+//! renderers make `repro`'s stdout a legible approximation of them without
+//! any plotting dependency.
+
+/// Render several CDF series (as produced by
+/// [`simcore::SampleSet::cdf`]) into one ASCII plot.
+///
+/// X is the value axis (linear, spanning all series); Y is cumulative
+/// probability 0..1. Each series uses its own glyph.
+pub fn cdf_chart(title: &str, series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    assert!(!series.is_empty(), "no series");
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (_, pts) in series {
+        for &(v, _) in *pts {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || hi <= lo {
+        hi = lo + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(v, p) in *pts {
+            let x = (((v - lo) / (hi - lo)) * (width - 1) as f64).round() as usize;
+            let y = ((1.0 - p) * (height - 1) as f64).round() as usize;
+            grid[y.min(height - 1)][x.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    for (yi, row) in grid.iter().enumerate() {
+        let label = if yi == 0 {
+            "1.0 "
+        } else if yi == height - 1 {
+            "0.0 "
+        } else {
+            "    "
+        };
+        out.push_str(label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "    +{}\n     {:<w$.3}{:>w2$.3}\n",
+        "-".repeat(width),
+        lo,
+        hi,
+        w = width / 2,
+        w2 = width - width / 2
+    ));
+    for (si, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!("     {} {}\n", GLYPHS[si % GLYPHS.len()], label));
+    }
+    out
+}
+
+/// Render labelled values as a horizontal bar chart.
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    assert!(width >= 10, "chart too small");
+    assert!(!rows.is_empty(), "no rows");
+    let max = rows.iter().map(|r| r.1).fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    for (label, v) in rows {
+        let bars = if max > 0.0 {
+            ((v / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "  {label:<label_w$} |{} {v:.1}\n",
+            "#".repeat(bars)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_chart_renders_both_series() {
+        let a: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, (i + 1) as f64 / 10.0)).collect();
+        let b: Vec<(f64, f64)> = (0..10)
+            .map(|i| (2.0 * i as f64, (i + 1) as f64 / 10.0))
+            .collect();
+        let s = cdf_chart("waits", &[("fast", &a), ("slow", &b)], 40, 10);
+        assert!(s.contains('*') && s.contains('o'));
+        assert!(s.contains("1.0 |"));
+        assert!(s.contains("0.0 |"));
+        assert!(s.contains("fast") && s.contains("slow"));
+        assert!(s.contains("0.000"), "x-axis lower bound");
+        assert!(s.contains("18.000"), "x-axis upper bound");
+    }
+
+    #[test]
+    fn cdf_chart_handles_degenerate_range() {
+        let a = [(5.0, 1.0)];
+        let s = cdf_chart("point", &[("p", &a)], 20, 5);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let rows = vec![("short".to_string(), 1.0), ("long".to_string(), 4.0)];
+        let s = bar_chart("jct", &rows, 20);
+        let short_bars = s.lines().find(|l| l.contains("short")).unwrap();
+        let long_bars = s.lines().find(|l| l.contains("long")).unwrap();
+        let count = |l: &str| l.chars().filter(|&c| c == '#').count();
+        assert_eq!(count(long_bars), 20);
+        assert_eq!(count(short_bars), 5);
+    }
+
+    #[test]
+    fn bar_chart_all_zero_is_fine() {
+        let rows = vec![("a".to_string(), 0.0)];
+        let s = bar_chart("zeros", &rows, 20);
+        assert!(s.contains("a"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no series")]
+    fn cdf_chart_rejects_empty() {
+        let _ = cdf_chart("x", &[], 20, 5);
+    }
+}

@@ -1,0 +1,192 @@
+//! Figure 4 — scheduling model-update traffic from two colocated PSes.
+//!
+//! The paper's conceptual figure, regenerated from the chunk-level engine:
+//! two jobs' PSes share one host; each sends one model update to each of
+//! its workers. Under FIFO the transfers interleave and every worker gets
+//! its update near the end (4b); under TLs-One job 1's updates all arrive
+//! by the midpoint (4c); under TLs-RR a rotation mid-burst swaps the roles
+//! (4d).
+
+use crate::report::Table;
+use serde::Serialize;
+use simcore::SimTime;
+use tl_net::{Band, Bandwidth, PacketRun, PacketSim, Qdisc, Rotation, Transfer};
+
+/// Scenario parameters.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Fig4Config {
+    /// Workers per job.
+    pub workers: u32,
+    /// Model update size per worker (bytes).
+    pub update_bytes: u64,
+    /// Link speed.
+    pub link_gbps: f64,
+}
+
+impl Default for Fig4Config {
+    fn default() -> Self {
+        Fig4Config {
+            workers: 4,
+            update_bytes: 25_000_000,
+            link_gbps: 10.0,
+        }
+    }
+}
+
+/// Delivery times for one discipline.
+#[derive(Debug, Serialize)]
+pub struct Fig4Panel {
+    /// Panel label ("FIFO", "TLs-One", "TLs-RR").
+    pub label: &'static str,
+    /// `(job, worker, delivery time seconds)` per transfer.
+    pub deliveries: Vec<(u64, u32, f64)>,
+    /// When each job's *last* worker got the update (the barrier-relevant
+    /// time), per job.
+    pub job_done: Vec<(u64, f64)>,
+}
+
+/// The figure: three panels.
+#[derive(Debug, Serialize)]
+pub struct Fig4 {
+    /// Scenario used.
+    pub config: Fig4Config,
+    /// FIFO / TLs-One / TLs-RR panels.
+    pub panels: Vec<Fig4Panel>,
+    /// ASCII timelines (one row per panel) showing which job occupies the
+    /// link over time.
+    pub ascii: String,
+}
+
+fn transfers(cfg: &Fig4Config, bands: [u8; 2]) -> Vec<Transfer> {
+    let mut ts = Vec::new();
+    for (job, &band) in bands.iter().enumerate() {
+        for w in 0..cfg.workers {
+            ts.push(Transfer {
+                tag: job as u64 + 1,
+                dst: job as u32 * cfg.workers + w,
+                bytes: cfg.update_bytes,
+                band: Band(band),
+                arrival: SimTime::ZERO,
+            });
+        }
+    }
+    ts
+}
+
+fn panel(label: &'static str, run: &PacketRun) -> Fig4Panel {
+    Fig4Panel {
+        label,
+        deliveries: run
+            .outcomes
+            .iter()
+            .map(|o| (o.tag, o.dst, o.finished.as_secs_f64()))
+            .collect(),
+        job_done: [1u64, 2]
+            .iter()
+            .map(|&tag| (tag, run.last_finish_of_tag(tag).unwrap().as_secs_f64()))
+            .collect(),
+    }
+}
+
+/// Render a panel's link occupancy as a row of job digits (time buckets).
+fn ascii_row(run: &PacketRun, buckets: usize, total: f64) -> String {
+    let mut row = vec![b'.'; buckets];
+    for e in &run.timeline {
+        let frac = e.time.as_secs_f64() / total;
+        let idx = ((frac * buckets as f64) as usize).min(buckets - 1);
+        row[idx] = b'0' + e.tag as u8;
+    }
+    String::from_utf8(row).expect("ascii digits")
+}
+
+/// Run Figure 4.
+pub fn run(cfg: &Fig4Config) -> Fig4 {
+    let link = Bandwidth::from_gbps(cfg.link_gbps);
+    let total_bytes = 2 * cfg.workers as u64 * cfg.update_bytes;
+    let total_secs = total_bytes as f64 / link.bytes_per_sec();
+
+    let fifo = PacketSim::new(link, Qdisc::PfifoFast).run(&transfers(cfg, [0, 0]), &[]);
+    let one = PacketSim::new(link, Qdisc::Prio).run(&transfers(cfg, [0, 1]), &[]);
+    // TLs-RR: the rotation interval T elapses while job 1 is still mid-burst
+    // (T = total/4), so the roles swap as in the paper's panel (d): job 2
+    // passes, job 1 yields and finishes last.
+    let rot = Rotation {
+        at: SimTime::from_secs_f64(total_secs / 4.0),
+        assignment: vec![(1, Band(1)), (2, Band(0))],
+    };
+    let rr = PacketSim::new(link, Qdisc::Prio).run(&transfers(cfg, [0, 1]), &[rot]);
+
+    let ascii = format!(
+        "link occupancy over time ('1' = job 1, '2' = job 2):\n  FIFO    |{}|\n  TLs-One |{}|\n  TLs-RR  |{}|\n",
+        ascii_row(&fifo, 64, total_secs),
+        ascii_row(&one, 64, total_secs),
+        ascii_row(&rr, 64, total_secs),
+    );
+    Fig4 {
+        config: *cfg,
+        panels: vec![
+            panel("FIFO", &fifo),
+            panel("TLs-One", &one),
+            panel("TLs-RR", &rr),
+        ],
+        ascii,
+    }
+}
+
+impl Fig4 {
+    /// Per-panel job completion table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 4: two colocated PSes, last model-update delivery per job",
+            &["Policy", "job 1 done (s)", "job 2 done (s)"],
+        );
+        for p in &self.panels {
+            t.push_row(vec![
+                p.label.to_string(),
+                format!("{:.3}", p.job_done[0].1),
+                format!("{:.3}", p.job_done[1].1),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_narrative() {
+        let f = run(&Fig4Config::default());
+        let total = 2.0 * 4.0 * 25e6 / 1.25e9; // 0.16 s
+        let fifo = &f.panels[0];
+        let one = &f.panels[1];
+        // 4b: under FIFO both jobs finish near the very end.
+        assert!((fifo.job_done[0].1 - total).abs() < 0.02);
+        assert!((fifo.job_done[1].1 - total).abs() < 0.02);
+        // 4c: under TLs-One job 1 is done at the midpoint, job 2 no later
+        // than under FIFO.
+        assert!((one.job_done[0].1 - total / 2.0).abs() < 0.02);
+        assert!(one.job_done[1].1 <= fifo.job_done[1].1 + 1e-9);
+        // 4d: under TLs-RR the rotation lets job 2 finish before job 1.
+        let rr = &f.panels[2];
+        assert!(rr.job_done[1].1 < rr.job_done[0].1);
+    }
+
+    #[test]
+    fn ascii_timeline_shows_phases() {
+        let f = run(&Fig4Config::default());
+        // TLs-One row: first half all job 1, second half all job 2.
+        let one_row: &str = f.ascii.lines().nth(2).unwrap();
+        let bar = one_row.split('|').nth(1).unwrap();
+        let first: String = bar.chars().take(24).collect();
+        let last: String = bar.chars().rev().take(24).collect();
+        assert!(first.chars().all(|c| c == '1'), "{first}");
+        assert!(last.chars().all(|c| c == '2'), "{last}");
+        // FIFO row interleaves both.
+        let fifo_row: &str = f.ascii.lines().nth(1).unwrap();
+        let fbar = fifo_row.split('|').nth(1).unwrap();
+        assert!(fbar.contains('1') && fbar.contains('2'));
+        assert!(f.table().render().contains("TLs-RR"));
+    }
+}

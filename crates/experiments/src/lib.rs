@@ -1,0 +1,26 @@
+//! # tl-experiments — the reproduction harness
+//!
+//! One module per table/figure of the TensorLights paper, plus shared
+//! plumbing. Each module exposes `run(...)` producing a serializable result
+//! with paper-style `table()` rendering and a `summary()` quoting the
+//! paper's headline number next to the measured one. The `repro` binary
+//! drives them; see DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for measured-vs-paper results.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod charts;
+pub mod config;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod report;
+pub mod runner;
+pub mod table1;
+pub mod table2;
+
+pub use config::ExperimentConfig;
+pub use runner::{parallel_map, run_grid_search, run_table1, PolicyKind};

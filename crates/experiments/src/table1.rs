@@ -1,0 +1,80 @@
+//! Table I — the eight PS placements.
+
+use crate::report::Table;
+use tl_cluster::{table1_group_sizes, table1_placement, Table1Index};
+
+/// Reproduction of Table I.
+#[derive(Debug)]
+pub struct Table1 {
+    /// `(index, group sizes, hosts with contending PSes)` per placement.
+    pub rows: Vec<(u8, Vec<u32>, usize)>,
+}
+
+/// Generate Table I for the paper's 21 jobs / 21 hosts.
+pub fn run() -> Table1 {
+    let rows = Table1Index::all()
+        .into_iter()
+        .map(|idx| {
+            let groups = table1_group_sizes(idx, 21);
+            let placement = table1_placement(idx, 21, 21);
+            (
+                idx.0,
+                groups,
+                placement.hosts_with_contending_ps().len(),
+            )
+        })
+        .collect();
+    Table1 { rows }
+}
+
+impl Table1 {
+    /// Paper-style rendering.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Table I: PS placements (21 concurrent jobs, 21 hosts)",
+            &["Index", "PS placement", "contended hosts"],
+        );
+        for (idx, groups, contended) in &self.rows {
+            let placement = if groups.len() == 21 {
+                "1, ..., 1 (all ones)".to_string()
+            } else {
+                groups
+                    .iter()
+                    .map(|g| g.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            t.push_row(vec![
+                format!("#{idx}"),
+                placement,
+                contended.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_table() {
+        let t = run();
+        assert_eq!(t.rows.len(), 8);
+        assert_eq!(t.rows[0].1, vec![21]);
+        assert_eq!(t.rows[1].1, vec![5, 16]);
+        assert_eq!(t.rows[7].1, vec![1; 21]);
+        // Contended-host counts: #1 has 1, #7 has 7, #8 has none.
+        assert_eq!(t.rows[0].2, 1);
+        assert_eq!(t.rows[6].2, 7);
+        assert_eq!(t.rows[7].2, 0);
+    }
+
+    #[test]
+    fn renders_paper_shorthand() {
+        let s = run().table().render();
+        assert!(s.contains("5, 16"));
+        assert!(s.contains("1, ..., 1 (all ones)"));
+    }
+}

@@ -1,0 +1,559 @@
+//! Fluid (rate-based) network engine.
+//!
+//! Tracks the set of active flows and integrates their progress between
+//! events under the rates computed by [`MaxMinAllocator`]. The engine is
+//! *driven* by an outer simulation loop: after any mutation (flow start,
+//! completion, band change) the driver asks for [`FluidNet::next_event_time`]
+//! and schedules a wake-up; on wake-up it calls [`FluidNet::take_completions`].
+//!
+//! Determinism: flows are iterated in creation order (ids are monotonic),
+//! so floating-point summation order — and therefore results — are stable
+//! across runs.
+//!
+//! ```
+//! use simcore::SimTime;
+//! use tl_net::{Band, Bandwidth, FlowSpec, FluidNet, HostId, Topology};
+//!
+//! let mut net = FluidNet::new(Topology::uniform(2, Bandwidth::from_gbps(10.0)));
+//! net.start_flow(SimTime::ZERO, FlowSpec {
+//!     src: HostId(0),
+//!     dst: HostId(1),
+//!     bytes: 1.25e9, // exactly one second at 10 Gbps
+//!     band: Band(0),
+//!     weight: 1.0,
+//!     tag: 0,
+//! });
+//! let done_at = net.next_event_time().unwrap();
+//! assert!((done_at.as_secs_f64() - 1.0).abs() < 1e-6);
+//! assert_eq!(net.take_completions(done_at).len(), 1);
+//! ```
+
+use crate::maxmin::{FlowDemand, MaxMinAllocator};
+use crate::topology::Topology;
+use crate::types::{Band, FlowId, HostId};
+use simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Everything needed to start a flow.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSpec {
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Transfer size in bytes.
+    pub bytes: f64,
+    /// Strict-priority band at the sender NIC.
+    pub band: Band,
+    /// Fair-share weight within the band (models TCP unfairness).
+    pub weight: f64,
+    /// Caller-defined grouping tag (we use the owning job's id), used for
+    /// band reassignment on TLs-RR rotations.
+    pub tag: u64,
+}
+
+/// A finished transfer, reported once by [`FluidNet::take_completions`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedFlow {
+    /// The flow's id.
+    pub id: FlowId,
+    /// The caller-defined tag from the spec.
+    pub tag: u64,
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// When the flow was started.
+    pub started: SimTime,
+    /// When the last byte was delivered.
+    pub finished: SimTime,
+    /// Total bytes transferred.
+    pub bytes: f64,
+}
+
+#[derive(Debug)]
+struct FlowState {
+    spec: FlowSpec,
+    remaining: f64,
+    rate: f64,
+    max_rate: f64,
+    started: SimTime,
+}
+
+/// Bytes below which a flow counts as complete. Event times have nanosecond
+/// resolution, so a flow can be short of completion by up to
+/// `rate × 1 ns` bytes (≈ 50 bytes at the 400 Gbps loopback rate); 64 bytes
+/// of slack absorbs that without ever mattering at MB-scale transfers.
+const DONE_EPS: f64 = 64.0;
+/// Rates below this (bytes/sec) are treated as fully starved.
+const RATE_EPS: f64 = 1e-6;
+
+/// The fluid network: active flows, their rates, and byte accounting.
+#[derive(Debug)]
+pub struct FluidNet {
+    topo: Topology,
+    flows: HashMap<u64, FlowState>,
+    /// Active flow ids in creation order (ids are monotonic; completions are
+    /// removed with `retain`, preserving order → deterministic iteration).
+    active: Vec<u64>,
+    next_id: u64,
+    last_advance: SimTime,
+    rates_fresh: bool,
+    allocator: MaxMinAllocator,
+    // Scratch buffers reused across rate computations.
+    demands: Vec<FlowDemand>,
+    rates: Vec<f64>,
+    // Cumulative NIC byte counters (for utilization measurements).
+    egress_bytes: Vec<f64>,
+    ingress_bytes: Vec<f64>,
+}
+
+impl FluidNet {
+    /// Create an engine over `topo` with no active flows.
+    pub fn new(topo: Topology) -> Self {
+        let n = topo.num_hosts();
+        FluidNet {
+            topo,
+            flows: HashMap::new(),
+            active: Vec::new(),
+            next_id: 0,
+            last_advance: SimTime::ZERO,
+            rates_fresh: true,
+            allocator: MaxMinAllocator::new(),
+            demands: Vec::new(),
+            rates: Vec::new(),
+            egress_bytes: vec![0.0; n],
+            ingress_bytes: vec![0.0; n],
+        }
+    }
+
+    /// The topology this engine runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of currently active flows.
+    pub fn active_flow_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Current rate of a flow in bytes/sec (None if unknown/completed).
+    /// Refreshes rates if stale.
+    pub fn rate_of(&mut self, id: FlowId) -> Option<f64> {
+        self.refresh_rates();
+        self.flows.get(&id.0).map(|f| f.rate)
+    }
+
+    /// Remaining bytes of a flow (None if unknown/completed).
+    pub fn remaining_of(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id.0).map(|f| f.remaining)
+    }
+
+    /// Cumulative egress bytes per host since engine creation.
+    pub fn egress_bytes(&self) -> &[f64] {
+        &self.egress_bytes
+    }
+
+    /// Cumulative ingress bytes per host since engine creation.
+    pub fn ingress_bytes(&self) -> &[f64] {
+        &self.ingress_bytes
+    }
+
+    /// Start a flow at time `now`. Progress of existing flows is integrated
+    /// up to `now` first; rates are then recomputed lazily.
+    pub fn start_flow(&mut self, now: SimTime, spec: FlowSpec) -> FlowId {
+        self.start_flow_with_cap(now, spec, f64::INFINITY)
+    }
+
+    /// Start a flow whose rate the sender additionally limits to
+    /// `max_rate` bytes/sec — the §VII "explicit rate allocation"
+    /// alternative to work-conserving priority.
+    pub fn start_flow_with_cap(&mut self, now: SimTime, spec: FlowSpec, max_rate: f64) -> FlowId {
+        assert!(spec.bytes > 0.0 && spec.bytes.is_finite(), "invalid size");
+        assert!(max_rate > 0.0, "rate cap must be positive");
+        assert!(
+            self.topo.contains(spec.src) && self.topo.contains(spec.dst),
+            "flow endpoints outside topology"
+        );
+        self.advance(now);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            FlowState {
+                spec,
+                remaining: spec.bytes,
+                rate: 0.0,
+                max_rate,
+                started: now,
+            },
+        );
+        self.active.push(id);
+        self.rates_fresh = false;
+        FlowId(id)
+    }
+
+    /// Reassign the band of every active flow with the given tag.
+    /// Returns the number of flows affected. Used on TLs-RR rotations and
+    /// TLs-One (re)configuration at job arrival/departure.
+    pub fn set_band_for_tag(&mut self, now: SimTime, tag: u64, band: Band) -> usize {
+        self.advance(now);
+        let mut changed = 0;
+        for &id in &self.active {
+            let f = self.flows.get_mut(&id).expect("active flow missing");
+            if f.spec.tag == tag && f.spec.band != band {
+                f.spec.band = band;
+                changed += 1;
+            }
+        }
+        if changed > 0 {
+            self.rates_fresh = false;
+        }
+        changed
+    }
+
+    /// Integrate flow progress from the last advance point to `now` using
+    /// the current rates. Idempotent for equal `now`.
+    pub fn advance(&mut self, now: SimTime) {
+        assert!(
+            now >= self.last_advance,
+            "fluid engine cannot move backwards: {now} < {}",
+            self.last_advance
+        );
+        if now == self.last_advance {
+            return;
+        }
+        self.refresh_rates();
+        let dt = now.since(self.last_advance).as_secs_f64();
+        for &id in &self.active {
+            let f = self.flows.get_mut(&id).expect("active flow missing");
+            if f.rate > RATE_EPS {
+                let moved = (f.rate * dt).min(f.remaining);
+                f.remaining -= moved;
+                if f.spec.src != f.spec.dst {
+                    self.egress_bytes[f.spec.src.0 as usize] += moved;
+                    self.ingress_bytes[f.spec.dst.0 as usize] += moved;
+                }
+            }
+        }
+        self.last_advance = now;
+    }
+
+    /// The earliest time at which some flow completes under current rates,
+    /// if any flow is making progress.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.refresh_rates();
+        let mut best: Option<f64> = None;
+        for &id in &self.active {
+            let f = &self.flows[&id];
+            if f.rate > RATE_EPS {
+                let secs = (f.remaining / f.rate).max(0.0);
+                best = Some(match best {
+                    Some(b) => b.min(secs),
+                    None => secs,
+                });
+            }
+        }
+        // Round up by one tick so that at the returned instant the winning
+        // flow has provably crossed the completion threshold.
+        best.map(|secs| {
+            self.last_advance + SimDuration::from_secs_f64(secs) + SimDuration::from_nanos(1)
+        })
+    }
+
+    /// Advance to `now` and drain all flows that have finished by then,
+    /// in creation order.
+    pub fn take_completions(&mut self, now: SimTime) -> Vec<CompletedFlow> {
+        self.advance(now);
+        let mut done = Vec::new();
+        let flows = &mut self.flows;
+        self.active.retain(|&id| {
+            let f = &flows[&id];
+            if f.remaining <= DONE_EPS {
+                let f = flows.remove(&id).expect("flow vanished");
+                done.push(CompletedFlow {
+                    id: FlowId(id),
+                    tag: f.spec.tag,
+                    src: f.spec.src,
+                    dst: f.spec.dst,
+                    started: f.started,
+                    finished: now,
+                    bytes: f.spec.bytes,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        if !done.is_empty() {
+            self.rates_fresh = false;
+        }
+        done
+    }
+
+    fn refresh_rates(&mut self) {
+        if self.rates_fresh {
+            return;
+        }
+        self.demands.clear();
+        for &id in &self.active {
+            let f = &self.flows[&id];
+            self.demands.push(FlowDemand {
+                src: f.spec.src,
+                dst: f.spec.dst,
+                band: f.spec.band,
+                weight: f.spec.weight,
+                max_rate: f.max_rate,
+            });
+        }
+        self.allocator
+            .allocate_into(&self.topo, &self.demands, &mut self.rates);
+        for (k, &id) in self.active.iter().enumerate() {
+            self.flows.get_mut(&id).expect("active flow missing").rate = self.rates[k];
+        }
+        self.rates_fresh = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Bandwidth;
+
+    fn topo(hosts: usize) -> Topology {
+        Topology::uniform(hosts, Bandwidth::from_gbps(10.0))
+    }
+
+    fn spec(src: u32, dst: u32, bytes: f64, band: u8, tag: u64) -> FlowSpec {
+        FlowSpec {
+            src: HostId(src),
+            dst: HostId(dst),
+            bytes,
+            band: Band(band),
+            weight: 1.0,
+            tag,
+        }
+    }
+
+
+    #[test]
+    fn single_flow_completes_on_schedule() {
+        let mut net = FluidNet::new(topo(2));
+        // 1.25 GB at 10 Gbps = 1 second.
+        let id = net.start_flow(SimTime::ZERO, spec(0, 1, 1.25e9, 0, 7));
+        let t = net.next_event_time().unwrap();
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
+        let done = net.take_completions(t);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id);
+        assert_eq!(done[0].tag, 7);
+        assert_eq!(done[0].finished, t);
+        assert_eq!(net.active_flow_count(), 0);
+    }
+
+    #[test]
+    fn two_flows_share_then_speed_up() {
+        let mut net = FluidNet::new(topo(3));
+        // Both leave host 0; equal shares of 1.25 GB/s.
+        net.start_flow(SimTime::ZERO, spec(0, 1, 1.25e9, 0, 1));
+        net.start_flow(SimTime::ZERO, spec(0, 2, 0.625e9, 0, 2));
+        // Flow 2 (half the bytes) finishes first at t=1s (rate = LINK/2).
+        let t1 = net.next_event_time().unwrap();
+        assert!((t1.as_secs_f64() - 1.0).abs() < 1e-6);
+        let done = net.take_completions(t1);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 2);
+        // Flow 1 has 0.625e9 left, now at full rate: 0.5s more.
+        let t2 = net.next_event_time().unwrap();
+        assert!((t2.as_secs_f64() - 1.5).abs() < 1e-6);
+        let done = net.take_completions(t2);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 1);
+    }
+
+    #[test]
+    fn priority_starves_then_releases() {
+        let mut net = FluidNet::new(topo(3));
+        net.start_flow(SimTime::ZERO, spec(0, 1, 1.25e9, 0, 1)); // high
+        net.start_flow(SimTime::ZERO, spec(0, 2, 1.25e9, 1, 2)); // low
+        let t1 = net.next_event_time().unwrap();
+        assert!((t1.as_secs_f64() - 1.0).abs() < 1e-6);
+        let done = net.take_completions(t1);
+        assert_eq!(done[0].tag, 1, "high band first");
+        // The starved flow has all bytes left; finishes 1s later.
+        let t2 = net.next_event_time().unwrap();
+        let low = net.take_completions(t2);
+        assert!((low[0].finished.as_secs_f64() - 2.0).abs() < 1e-6);
+        assert_eq!(
+            low[0].started,
+            SimTime::ZERO,
+            "start time is arrival, not first service"
+        );
+    }
+
+    #[test]
+    fn fifo_vs_priority_total_time_identical() {
+        // The paper's Figure 4(b) vs 4(c): under FIFO both jobs finish at T;
+        // under priority job 1 finishes at T/2 and job 2 still at T.
+        let bytes = 1.25e9;
+        // FIFO
+        let mut fifo = FluidNet::new(topo(3));
+        fifo.start_flow(SimTime::ZERO, spec(0, 1, bytes, 0, 1));
+        fifo.start_flow(SimTime::ZERO, spec(0, 2, bytes, 0, 2));
+        let mut fifo_done = vec![];
+        while let Some(t) = fifo.next_event_time() {
+            fifo_done.extend(fifo.take_completions(t));
+        }
+        // Priority
+        let mut prio = FluidNet::new(topo(3));
+        prio.start_flow(SimTime::ZERO, spec(0, 1, bytes, 0, 1));
+        prio.start_flow(SimTime::ZERO, spec(0, 2, bytes, 1, 2));
+        let mut prio_done = vec![];
+        while let Some(t) = prio.next_event_time() {
+            prio_done.extend(prio.take_completions(t));
+        }
+        let fifo_last = fifo_done.iter().map(|d| d.finished).max().unwrap();
+        let prio_last = prio_done.iter().map(|d| d.finished).max().unwrap();
+        assert!((fifo_last.as_secs_f64() - prio_last.as_secs_f64()).abs() < 1e-6);
+        let prio_first = prio_done.iter().map(|d| d.finished).min().unwrap();
+        let fifo_first = fifo_done.iter().map(|d| d.finished).min().unwrap();
+        assert!(
+            prio_first.as_secs_f64() < fifo_first.as_secs_f64() - 0.4,
+            "priority finishes its first job much earlier"
+        );
+    }
+
+    #[test]
+    fn band_rotation_switches_winner() {
+        let mut net = FluidNet::new(topo(3));
+        net.start_flow(SimTime::ZERO, spec(0, 1, 2.5e9, 0, 1)); // 2s alone
+        net.start_flow(SimTime::ZERO, spec(0, 2, 2.5e9, 1, 2));
+        // Rotate at t=1s: tag 1 -> band 1, tag 2 -> band 0.
+        let t_rot = SimTime::from_secs(1);
+        net.advance(t_rot);
+        net.set_band_for_tag(t_rot, 1, Band(1));
+        net.set_band_for_tag(t_rot, 2, Band(0));
+        // Tag 2 now runs at full rate with all 2.5e9 left: completes at t=3.
+        let t = net.next_event_time().unwrap();
+        let done = net.take_completions(t);
+        assert_eq!(done[0].tag, 2);
+        assert!((t.as_secs_f64() - 3.0).abs() < 1e-6);
+        // Tag 1 had 1.25e9 left; completes at t=4.
+        let t = net.next_event_time().unwrap();
+        let done = net.take_completions(t);
+        assert_eq!(done[0].tag, 1);
+        assert!((t.as_secs_f64() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn set_band_counts_changes() {
+        let mut net = FluidNet::new(topo(3));
+        net.start_flow(SimTime::ZERO, spec(0, 1, 1e9, 0, 5));
+        net.start_flow(SimTime::ZERO, spec(0, 2, 1e9, 0, 5));
+        net.start_flow(SimTime::ZERO, spec(0, 2, 1e9, 0, 6));
+        assert_eq!(net.set_band_for_tag(SimTime::ZERO, 5, Band(2)), 2);
+        assert_eq!(net.set_band_for_tag(SimTime::ZERO, 5, Band(2)), 0, "idempotent");
+    }
+
+    #[test]
+    fn byte_accounting_matches_transfers() {
+        let mut net = FluidNet::new(topo(3));
+        net.start_flow(SimTime::ZERO, spec(0, 1, 1.0e9, 0, 1));
+        net.start_flow(SimTime::ZERO, spec(2, 1, 0.5e9, 0, 2));
+        while let Some(t) = net.next_event_time() {
+            net.take_completions(t);
+        }
+        assert!((net.egress_bytes()[0] - 1.0e9).abs() < 1.0);
+        assert!((net.egress_bytes()[2] - 0.5e9).abs() < 1.0);
+        assert!((net.ingress_bytes()[1] - 1.5e9).abs() < 1.0);
+        assert_eq!(net.egress_bytes()[1], 0.0);
+    }
+
+    #[test]
+    fn loopback_flows_complete_and_skip_counters() {
+        let mut net = FluidNet::new(topo(2));
+        net.start_flow(SimTime::ZERO, spec(0, 0, 1e9, 0, 1));
+        let t = net.next_event_time().unwrap();
+        let done = net.take_completions(t);
+        assert_eq!(done.len(), 1);
+        assert!(t.as_secs_f64() < 0.1, "loopback is fast");
+        assert_eq!(net.egress_bytes()[0], 0.0);
+        assert_eq!(net.ingress_bytes()[0], 0.0);
+    }
+
+    #[test]
+    fn weights_skew_completion_order() {
+        let mut net = FluidNet::new(topo(3));
+        let mut s1 = spec(0, 1, 1.25e9, 0, 1);
+        s1.weight = 3.0;
+        let mut s2 = spec(0, 2, 1.25e9, 0, 2);
+        s2.weight = 1.0;
+        net.start_flow(SimTime::ZERO, s1);
+        net.start_flow(SimTime::ZERO, s2);
+        let t = net.next_event_time().unwrap();
+        let done = net.take_completions(t);
+        assert_eq!(done[0].tag, 1, "heavier flow finishes first");
+        // Heavy flow at 3/4 link: 1.25e9 / (0.75 * 1.25e9) = 4/3 s.
+        assert!((t.as_secs_f64() - 4.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn next_event_none_when_idle_or_starved_only() {
+        let mut net = FluidNet::new(topo(2));
+        assert!(net.next_event_time().is_none());
+    }
+
+    #[test]
+    fn capped_flow_takes_proportionally_longer() {
+        let mut net = FluidNet::new(topo(2));
+        // 1.25 GB at a 1/4-link cap: 4 seconds instead of 1.
+        net.start_flow_with_cap(SimTime::ZERO, spec(0, 1, 1.25e9, 0, 1), 1.25e9 / 4.0);
+        let t = net.next_event_time().unwrap();
+        assert!((t.as_secs_f64() - 4.0).abs() < 1e-6, "got {t}");
+        assert_eq!(net.take_completions(t).len(), 1);
+    }
+
+    #[test]
+    fn cap_only_binds_under_slack() {
+        // Two flows share an egress (fair share = LINK/2); a cap above the
+        // fair share changes nothing.
+        let mut net = FluidNet::new(topo(3));
+        let a = net.start_flow_with_cap(SimTime::ZERO, spec(0, 1, 1e9, 0, 1), 0.9e9);
+        net.start_flow(SimTime::ZERO, spec(0, 2, 1e9, 0, 2));
+        assert!((net.rate_of(a).unwrap() - 0.625e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn advance_is_idempotent_at_same_time() {
+        let mut net = FluidNet::new(topo(2));
+        let id = net.start_flow(SimTime::ZERO, spec(0, 1, 1.25e9, 0, 1));
+        net.advance(SimTime::from_millis(500));
+        let r1 = net.remaining_of(id).unwrap();
+        net.advance(SimTime::from_millis(500));
+        let r2 = net.remaining_of(id).unwrap();
+        assert_eq!(r1, r2);
+        assert!((r1 - 0.625e9).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot move backwards")]
+    fn advance_rejects_time_reversal() {
+        let mut net = FluidNet::new(topo(2));
+        net.start_flow(SimTime::from_secs(2), spec(0, 1, 1e6, 0, 1));
+        net.advance(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn mid_run_arrival_reshapes_rates() {
+        let mut net = FluidNet::new(topo(3));
+        let a = net.start_flow(SimTime::ZERO, spec(0, 1, 2.5e9, 0, 1));
+        // Alone for 1s: 1.25e9 done. Then a second flow arrives.
+        net.start_flow(SimTime::from_secs(1), spec(0, 2, 1.25e9, 0, 2));
+        assert!((net.remaining_of(a).unwrap() - 1.25e9).abs() < 1.0);
+        // Both now at half rate; both have 1.25e9 left -> both done at t=3.
+        let t = net.next_event_time().unwrap();
+        assert!((t.as_secs_f64() - 3.0).abs() < 1e-6);
+        let done = net.take_completions(t);
+        assert_eq!(done.len(), 2);
+    }
+}

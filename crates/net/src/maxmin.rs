@@ -1,0 +1,597 @@
+//! Weighted max-min rate allocation with strict *egress-scoped* priority.
+//!
+//! This is the heart of the fluid network model. Given the set of active
+//! flows it computes the instantaneous rate of each flow under:
+//!
+//! * per-host NIC **egress** and **ingress** capacity constraints
+//!   (the switch is non-blocking, as in the paper's testbed);
+//! * **strict priority at the sender's egress NIC**: flows in band *b*
+//!   at an egress are served only while no flow of a band `< b` at *that
+//!   same egress* still wants bandwidth — the behaviour of the `tc`
+//!   htb/prio configuration the paper deploys. Priority is purely local to
+//!   the sending NIC: at a *receiver's* ingress, concurrent flows share
+//!   capacity without regard to the bands their senders used (real `tc`
+//!   shapes outbound traffic only);
+//! * **work conservation**: a high-band flow bottlenecked elsewhere (e.g. at
+//!   its receiver) releases its egress's lower bands;
+//! * **weighted fairness** among competing flows: bottleneck capacity is
+//!   shared in proportion to flow weights. Weights model stochastic TCP
+//!   unfairness (drawn per flow instance by the caller).
+//!
+//! The algorithm is progressive filling (water-filling) over an *eligible*
+//! set: a flow is eligible when it is unfrozen and belongs to the lowest
+//! (highest-priority) unfrozen band at its egress. Each round raises a
+//! common level `θ` (the rate of flow `i` grows by `θ·wᵢ`) until a link
+//! saturates, freezes the eligible flows on saturated links, and recomputes
+//! eligibility — freezing a band-0 flow may admit band-1 flows at that
+//! egress. Every round freezes at least one flow, so there are at most
+//! `flows` rounds; in the workloads here, saturation freezes whole links at
+//! a time and the round count tracks the number of busy links instead.
+
+use crate::topology::Topology;
+use crate::types::{Band, HostId};
+
+/// One flow's demand as seen by the allocator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowDemand {
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Strict-priority band at the sender's NIC (0 = highest).
+    pub band: Band,
+    /// Fair-share weight (must be positive).
+    pub weight: f64,
+    /// Optional sender-enforced rate ceiling in bytes/sec (htb `ceil`, or a
+    /// §VII-style explicit rate allocation). `INFINITY` means uncapped.
+    pub max_rate: f64,
+}
+
+impl FlowDemand {
+    /// An uncapped demand.
+    pub fn new(src: HostId, dst: HostId, band: Band, weight: f64) -> Self {
+        FlowDemand {
+            src,
+            dst,
+            band,
+            weight,
+            max_rate: f64::INFINITY,
+        }
+    }
+
+    /// Apply a rate ceiling.
+    pub fn with_max_rate(mut self, max_rate: f64) -> Self {
+        assert!(max_rate > 0.0, "rate ceiling must be positive");
+        self.max_rate = max_rate;
+        self
+    }
+}
+
+/// Numeric floor below which a link is considered saturated (bytes/sec).
+const CAP_EPS: f64 = 1e-6;
+
+/// Reusable allocator scratch space. Allocation runs on every network
+/// event, so buffers are kept and reused across calls.
+#[derive(Debug, Default)]
+pub struct MaxMinAllocator {
+    // Remaining capacity per link; links are [egress 0..n) ++ [ingress 0..n).
+    cap: Vec<f64>,
+    // Sum of weights of eligible flows per link (recomputed per round).
+    weight_sum: Vec<f64>,
+    // Per-flow frozen flag.
+    frozen: Vec<bool>,
+    // Per-flow eligible flag (recomputed per round).
+    eligible: Vec<bool>,
+    // Per-egress minimum unfrozen band (recomputed per round).
+    min_band: Vec<u16>,
+}
+
+/// Sentinel for "no unfrozen flow at this egress".
+const NO_BAND: u16 = u16::MAX;
+
+impl MaxMinAllocator {
+    /// Create an allocator (no per-topology state; reusable across calls).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compute rates (bytes/sec) for `flows`, writing into `rates`
+    /// (resized to `flows.len()`).
+    ///
+    /// Panics if any flow references a host outside `topo` or has a
+    /// non-positive weight.
+    pub fn allocate_into(&mut self, topo: &Topology, flows: &[FlowDemand], rates: &mut Vec<f64>) {
+        let n = topo.num_hosts();
+        rates.clear();
+        rates.resize(flows.len(), 0.0);
+        if flows.is_empty() {
+            return;
+        }
+
+        // Links: [egress 0..n) ++ [ingress 0..n) ++ [optional fabric core].
+        self.cap.clear();
+        self.cap
+            .extend(topo.hosts().map(|h| topo.egress(h).bytes_per_sec()));
+        self.cap
+            .extend(topo.hosts().map(|h| topo.ingress(h).bytes_per_sec()));
+        let core_link = topo.core_capacity().map(|c| {
+            self.cap.push(c.bytes_per_sec());
+            2 * n
+        });
+        let num_links = self.cap.len();
+
+        self.frozen.clear();
+        self.frozen.resize(flows.len(), false);
+        self.eligible.clear();
+        self.eligible.resize(flows.len(), false);
+
+        let loopback = topo.loopback().bytes_per_sec();
+        let mut remaining = 0usize;
+        for (i, f) in flows.iter().enumerate() {
+            assert!(
+                f.weight > 0.0 && f.weight.is_finite(),
+                "flow weight must be positive, got {}",
+                f.weight
+            );
+            assert!(
+                topo.contains(f.src) && topo.contains(f.dst),
+                "flow references host outside topology"
+            );
+            if f.src == f.dst {
+                // Loopback traffic never touches the NIC.
+                rates[i] = loopback;
+                self.frozen[i] = true;
+            } else {
+                remaining += 1;
+            }
+        }
+
+        while remaining > 0 {
+            // Eligibility: the lowest unfrozen band at each egress.
+            self.min_band.clear();
+            self.min_band.resize(n, NO_BAND);
+            for (i, f) in flows.iter().enumerate() {
+                if !self.frozen[i] {
+                    let e = f.src.0 as usize;
+                    self.min_band[e] = self.min_band[e].min(f.band.0 as u16);
+                }
+            }
+            self.weight_sum.clear();
+            self.weight_sum.resize(num_links, 0.0);
+            for (i, f) in flows.iter().enumerate() {
+                let el = !self.frozen[i] && f.band.0 as u16 == self.min_band[f.src.0 as usize];
+                self.eligible[i] = el;
+                if el {
+                    self.weight_sum[f.src.0 as usize] += f.weight;
+                    self.weight_sum[n + f.dst.0 as usize] += f.weight;
+                    if let Some(c) = core_link {
+                        self.weight_sum[c] += f.weight;
+                    }
+                }
+            }
+
+            // The common level can rise until the tightest link saturates
+            // or an eligible flow reaches its own rate ceiling.
+            let mut theta = f64::INFINITY;
+            for l in 0..num_links {
+                if self.weight_sum[l] > 0.0 {
+                    theta = theta.min(self.cap[l].max(0.0) / self.weight_sum[l]);
+                }
+            }
+            for (i, f) in flows.iter().enumerate() {
+                if self.eligible[i] && f.max_rate.is_finite() {
+                    theta = theta.min(((f.max_rate - rates[i]).max(0.0)) / f.weight);
+                }
+            }
+            debug_assert!(theta.is_finite(), "eligible flows but no constrained link");
+
+            // Raise all eligible flows by theta * weight and charge the links.
+            if theta > 0.0 {
+                for (i, f) in flows.iter().enumerate() {
+                    if !self.eligible[i] {
+                        continue;
+                    }
+                    let inc = theta * f.weight;
+                    rates[i] += inc;
+                    self.cap[f.src.0 as usize] -= inc;
+                    self.cap[n + f.dst.0 as usize] -= inc;
+                    if let Some(c) = core_link {
+                        self.cap[c] -= inc;
+                    }
+                }
+            }
+
+            // Freeze eligible flows touching a saturated link or sitting at
+            // their own ceiling.
+            for (i, f) in flows.iter().enumerate() {
+                if !self.eligible[i] || self.frozen[i] {
+                    continue;
+                }
+                let e = f.src.0 as usize;
+                let g = n + f.dst.0 as usize;
+                let capped = f.max_rate.is_finite() && rates[i] >= f.max_rate * (1.0 - 1e-12);
+                let core_full = core_link.map(|c| self.cap[c] <= CAP_EPS).unwrap_or(false);
+                if self.cap[e] <= CAP_EPS || self.cap[g] <= CAP_EPS || capped || core_full {
+                    self.frozen[i] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper returning a fresh rate vector.
+    pub fn allocate(&mut self, topo: &Topology, flows: &[FlowDemand]) -> Vec<f64> {
+        let mut rates = Vec::new();
+        self.allocate_into(topo, flows, &mut rates);
+        rates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Bandwidth;
+
+    fn topo(hosts: usize, gbps: f64) -> Topology {
+        Topology::uniform(hosts, Bandwidth::from_gbps(gbps))
+    }
+
+    fn demand(src: u32, dst: u32, band: u8, weight: f64) -> FlowDemand {
+        FlowDemand::new(HostId(src), HostId(dst), Band(band), weight)
+    }
+
+    const LINK: f64 = 1.25e9; // 10 Gbps in bytes/sec
+
+    #[test]
+    fn single_flow_gets_full_link() {
+        let t = topo(2, 10.0);
+        let mut a = MaxMinAllocator::new();
+        let r = a.allocate(&t, &[demand(0, 1, 0, 1.0)]);
+        assert!((r[0] - LINK).abs() < 1.0);
+    }
+
+    #[test]
+    fn equal_flows_split_evenly() {
+        let t = topo(3, 10.0);
+        let mut a = MaxMinAllocator::new();
+        // Two flows leaving host 0 to distinct receivers share its egress.
+        let r = a.allocate(&t, &[demand(0, 1, 0, 1.0), demand(0, 2, 0, 1.0)]);
+        assert!((r[0] - LINK / 2.0).abs() < 1.0);
+        assert!((r[1] - LINK / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn weights_split_proportionally() {
+        let t = topo(3, 10.0);
+        let mut a = MaxMinAllocator::new();
+        let r = a.allocate(&t, &[demand(0, 1, 0, 3.0), demand(0, 2, 0, 1.0)]);
+        assert!((r[0] - 0.75 * LINK).abs() < 1.0, "got {}", r[0]);
+        assert!((r[1] - 0.25 * LINK).abs() < 1.0, "got {}", r[1]);
+    }
+
+    #[test]
+    fn strict_priority_starves_lower_band_same_egress() {
+        let t = topo(3, 10.0);
+        let mut a = MaxMinAllocator::new();
+        let r = a.allocate(&t, &[demand(0, 1, 0, 1.0), demand(0, 2, 1, 1.0)]);
+        assert!((r[0] - LINK).abs() < 1.0, "high band takes all: {}", r[0]);
+        assert!(r[1] < 1.0, "low band starved: {}", r[1]);
+    }
+
+    #[test]
+    fn priority_is_local_to_the_egress() {
+        // Bands on different senders do not rank against each other: a
+        // band-5 flow from an unconfigured host shares a common *ingress*
+        // fairly with a band-0 flow from another host. Real tc shapes
+        // outbound traffic only.
+        let t = topo(3, 10.0);
+        let mut a = MaxMinAllocator::new();
+        let r = a.allocate(&t, &[demand(0, 2, 0, 1.0), demand(1, 2, 5, 1.0)]);
+        assert!((r[0] - LINK / 2.0).abs() < 1.0, "got {}", r[0]);
+        assert!((r[1] - LINK / 2.0).abs() < 1.0, "got {}", r[1]);
+    }
+
+    #[test]
+    fn priority_is_work_conserving() {
+        // High-band flow is bottlenecked at its receiver's ingress (shared
+        // with another flow into the same receiver), leaving egress headroom
+        // that the low-band flow at the same sender picks up.
+        let t = topo(4, 10.0);
+        let mut a = MaxMinAllocator::new();
+        let flows = [
+            demand(0, 2, 0, 1.0), // shares ingress of h2
+            demand(1, 2, 0, 1.0), // shares ingress of h2
+            demand(0, 3, 1, 1.0), // low band, egress of h0
+        ];
+        let r = a.allocate(&t, &flows);
+        assert!((r[0] - LINK / 2.0).abs() < 1.0);
+        assert!((r[1] - LINK / 2.0).abs() < 1.0);
+        // Low-band flow picks up the other half of h0's egress.
+        assert!((r[2] - LINK / 2.0).abs() < 1.0, "work conservation: {}", r[2]);
+    }
+
+    #[test]
+    fn ingress_contention_limits_fanin() {
+        // Twenty senders into one receiver (gradient-update pattern): each
+        // gets 1/20 of the receiver's ingress.
+        let t = topo(21, 10.0);
+        let mut a = MaxMinAllocator::new();
+        let flows: Vec<_> = (1..21).map(|s| demand(s, 0, 0, 1.0)).collect();
+        let r = a.allocate(&t, &flows);
+        for &x in &r {
+            assert!((x - LINK / 20.0).abs() < 1.0, "got {x}");
+        }
+    }
+
+    #[test]
+    fn fanout_contention_limits_sender() {
+        // One PS sending to 20 workers: each model-update flow gets 1/20 of
+        // the PS egress.
+        let t = topo(21, 10.0);
+        let mut a = MaxMinAllocator::new();
+        let flows: Vec<_> = (1..21).map(|d| demand(0, d, 0, 1.0)).collect();
+        let r = a.allocate(&t, &flows);
+        for &x in &r {
+            assert!((x - LINK / 20.0).abs() < 1.0, "got {x}");
+        }
+    }
+
+    #[test]
+    fn loopback_bypasses_nic() {
+        let t = topo(2, 10.0);
+        let mut a = MaxMinAllocator::new();
+        let flows = [demand(0, 0, 0, 1.0), demand(0, 1, 0, 1.0)];
+        let r = a.allocate(&t, &flows);
+        assert!((r[0] - t.loopback().bytes_per_sec()).abs() < 1.0);
+        // The network flow still sees the full link: loopback charged nothing.
+        assert!((r[1] - LINK).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_colocated_ps_fifo_share() {
+        // The paper's Figure 4a: two PSes on one host, each with 2 workers,
+        // same band (FIFO). All four flows share the sender egress equally.
+        let t = topo(5, 10.0);
+        let mut a = MaxMinAllocator::new();
+        let flows = [
+            demand(0, 1, 0, 1.0),
+            demand(0, 2, 0, 1.0),
+            demand(0, 3, 0, 1.0),
+            demand(0, 4, 0, 1.0),
+        ];
+        let r = a.allocate(&t, &flows);
+        for &x in &r {
+            assert!((x - LINK / 4.0).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn two_colocated_ps_priority_split() {
+        // Same scenario under TLs-One: job A in band 0, job B in band 1.
+        // Job A's flows split the full link; job B is starved meanwhile.
+        let t = topo(5, 10.0);
+        let mut a = MaxMinAllocator::new();
+        let flows = [
+            demand(0, 1, 0, 1.0),
+            demand(0, 2, 0, 1.0),
+            demand(0, 3, 1, 1.0),
+            demand(0, 4, 1, 1.0),
+        ];
+        let r = a.allocate(&t, &flows);
+        assert!((r[0] - LINK / 2.0).abs() < 1.0);
+        assert!((r[1] - LINK / 2.0).abs() < 1.0);
+        assert!(r[2] < 1.0);
+        assert!(r[3] < 1.0);
+    }
+
+    #[test]
+    fn three_bands_cascade() {
+        // Bands 0,1,2 at one egress: band 0 bottlenecked at its ingress
+        // (2 flows into one host from elsewhere), band 1 takes the rest,
+        // band 2 starves.
+        let t = topo(5, 10.0);
+        let mut a = MaxMinAllocator::new();
+        let flows = [
+            demand(0, 2, 0, 1.0), // with flow below, saturates h2 ingress
+            demand(1, 2, 0, 1.0),
+            demand(0, 3, 1, 1.0), // gets h0's leftover
+            demand(0, 4, 2, 1.0), // starved: band 1 uses all leftover
+        ];
+        let r = a.allocate(&t, &flows);
+        assert!((r[0] - LINK / 2.0).abs() < 1.0);
+        assert!((r[2] - LINK / 2.0).abs() < 1.0);
+        assert!(r[3] < 1.0, "band 2 starved: {}", r[3]);
+    }
+
+    #[test]
+    fn empty_flow_set() {
+        let t = topo(2, 10.0);
+        let mut a = MaxMinAllocator::new();
+        let r = a.allocate(&t, &[]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn no_link_oversubscribed_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let hosts = 8;
+        let t = topo(hosts, 10.0);
+        let mut a = MaxMinAllocator::new();
+        for _ in 0..50 {
+            let nf = rng.gen_range(1..40);
+            let flows: Vec<_> = (0..nf)
+                .map(|_| {
+                    demand(
+                        rng.gen_range(0..hosts as u32),
+                        rng.gen_range(0..hosts as u32),
+                        rng.gen_range(0..4),
+                        rng.gen_range(0.1..4.0),
+                    )
+                })
+                .collect();
+            let r = a.allocate(&t, &flows);
+            let mut eg = vec![0.0; hosts];
+            let mut ing = vec![0.0; hosts];
+            for (f, &x) in flows.iter().zip(&r) {
+                assert!(x >= 0.0);
+                if f.src != f.dst {
+                    eg[f.src.0 as usize] += x;
+                    ing[f.dst.0 as usize] += x;
+                }
+            }
+            for h in 0..hosts {
+                assert!(eg[h] <= LINK * (1.0 + 1e-9), "egress over: {}", eg[h]);
+                assert!(ing[h] <= LINK * (1.0 + 1e-9), "ingress over: {}", ing[h]);
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_is_saturating() {
+        // No flow is left with zero rate while both of its links have slack
+        // (starvation must come from priority, which consumes the slack).
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let hosts = 6;
+        let t = topo(hosts, 10.0);
+        let mut a = MaxMinAllocator::new();
+        for _ in 0..20 {
+            let nf = rng.gen_range(1..25);
+            let flows: Vec<_> = (0..nf)
+                .map(|_| {
+                    let s = rng.gen_range(0..hosts as u32);
+                    let mut d = rng.gen_range(0..hosts as u32);
+                    if d == s {
+                        d = (d + 1) % hosts as u32;
+                    }
+                    demand(s, d, rng.gen_range(0..3), 1.0)
+                })
+                .collect();
+            let r = a.allocate(&t, &flows);
+            let mut eg = vec![0.0; hosts];
+            let mut ing = vec![0.0; hosts];
+            for (f, &x) in flows.iter().zip(&r) {
+                eg[f.src.0 as usize] += x;
+                ing[f.dst.0 as usize] += x;
+            }
+            for (f, &x) in flows.iter().zip(&r) {
+                let egress_full = eg[f.src.0 as usize] >= LINK * (1.0 - 1e-6);
+                let ingress_full = ing[f.dst.0 as usize] >= LINK * (1.0 - 1e-6);
+                assert!(
+                    egress_full || ingress_full || x > 0.0,
+                    "flow starved with slack available"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_allocations_are_identical() {
+        // The allocator is reused across events; stale scratch state must
+        // not leak between calls.
+        let t = topo(4, 10.0);
+        let mut a = MaxMinAllocator::new();
+        let flows = [
+            demand(0, 1, 0, 1.3),
+            demand(0, 2, 1, 0.7),
+            demand(3, 2, 0, 2.0),
+        ];
+        let r1 = a.allocate(&t, &flows);
+        let _ = a.allocate(&t, &[demand(1, 0, 2, 1.0)]);
+        let r2 = a.allocate(&t, &flows);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn oversubscribed_core_binds_cross_host_traffic() {
+        // Four disjoint host pairs, each pair's flow could run at 10 Gbps,
+        // but a 2:1 oversubscribed core (20 Gbps for 40 Gbps of edge)
+        // halves everyone.
+        let t = Topology::uniform(8, Bandwidth::from_gbps(10.0))
+            .with_core_capacity(Bandwidth::from_gbps(20.0));
+        let mut a = MaxMinAllocator::new();
+        let flows: Vec<_> = (0..4).map(|k| demand(2 * k, 2 * k + 1, 0, 1.0)).collect();
+        let r = a.allocate(&t, &flows);
+        for &x in &r {
+            assert!((x - LINK / 2.0).abs() < 1.0, "core-shared rate {x}");
+        }
+    }
+
+    #[test]
+    fn non_blocking_core_changes_nothing() {
+        let t = Topology::uniform(8, Bandwidth::from_gbps(10.0));
+        let tc = Topology::uniform(8, Bandwidth::from_gbps(10.0))
+            .with_core_capacity(Bandwidth::from_gbps(1000.0));
+        let flows: Vec<_> = (0..4).map(|k| demand(2 * k, 2 * k + 1, 0, 1.0)).collect();
+        let mut a = MaxMinAllocator::new();
+        assert_eq!(a.allocate(&t, &flows), a.allocate(&tc, &flows));
+    }
+
+    #[test]
+    fn rate_cap_limits_flow_and_releases_slack() {
+        let t = topo(3, 10.0);
+        let mut a = MaxMinAllocator::new();
+        let flows = [
+            demand(0, 1, 0, 1.0).with_max_rate(LINK / 10.0),
+            demand(0, 2, 0, 1.0),
+        ];
+        let r = a.allocate(&t, &flows);
+        assert!((r[0] - LINK / 10.0).abs() < 1.0, "capped at ceil: {}", r[0]);
+        assert!(
+            (r[1] - 0.9 * LINK).abs() < 1.0,
+            "slack goes to the uncapped flow: {}",
+            r[1]
+        );
+    }
+
+    #[test]
+    fn capped_high_band_releases_lower_band() {
+        // A rate-limited band-0 flow must not block band 1 (htb ceil
+        // semantics: a class at its ceiling stops borrowing).
+        let t = topo(3, 10.0);
+        let mut a = MaxMinAllocator::new();
+        let flows = [
+            demand(0, 1, 0, 1.0).with_max_rate(LINK / 4.0),
+            demand(0, 2, 1, 1.0),
+        ];
+        let r = a.allocate(&t, &flows);
+        assert!((r[0] - LINK / 4.0).abs() < 1.0);
+        assert!((r[1] - 0.75 * LINK).abs() < 1.0, "lower band fills in: {}", r[1]);
+    }
+
+    #[test]
+    fn static_rate_allocation_underutilizes() {
+        // The §VII pitfall: give each of two flows a "safe" static half-link
+        // allocation; when one is absent the other cannot exceed its cap and
+        // half the link idles.
+        let t = topo(3, 10.0);
+        let mut a = MaxMinAllocator::new();
+        let r = a.allocate(&t, &[demand(0, 1, 0, 1.0).with_max_rate(LINK / 2.0)]);
+        assert!((r[0] - LINK / 2.0).abs() < 1.0, "static allocation wastes: {}", r[0]);
+    }
+
+    #[test]
+    fn uncapped_is_infinity_and_harmless() {
+        let d = demand(0, 1, 0, 1.0);
+        assert!(d.max_rate.is_infinite());
+        let t = topo(2, 10.0);
+        let mut a = MaxMinAllocator::new();
+        let r = a.allocate(&t, &[d]);
+        assert!((r[0] - LINK).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ceiling must be positive")]
+    fn rejects_zero_cap() {
+        let _ = demand(0, 1, 0, 1.0).with_max_rate(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn rejects_zero_weight() {
+        let t = topo(2, 10.0);
+        let mut a = MaxMinAllocator::new();
+        let _ = a.allocate(&t, &[demand(0, 1, 0, 0.0)]);
+    }
+}

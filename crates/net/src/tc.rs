@@ -1,0 +1,288 @@
+//! Linux `tc` configuration model and script generation.
+//!
+//! The paper implements TensorLights "with the hierarchical token bucket
+//! (htb) available in the tc tool on Linux", classifying a job's model-update
+//! traffic by its PS's TCP source port. This module models that
+//! configuration declaratively and renders the literal `tc` command lines:
+//! the artifact a real deployment would execute on each host with colocated
+//! PSes. It also renders minimal *reconfiguration* diffs, which is what the
+//! TLs-RR controller applies every rotation interval.
+//!
+//! The generated layout follows the common htb + prio pattern:
+//!
+//! ```text
+//! 1:        htb root (default -> lowest band class)
+//! └─ 1:1    htb parent class at link rate
+//!    ├─ 1:10  band 0 (prio 0, highest)
+//!    ├─ 1:11  band 1 (prio 1)
+//!    └─ ...   up to TC_BAND_LIMIT bands
+//! ```
+//!
+//! with one `u32` filter per PS port steering `ip sport <port>` into its
+//! band's class.
+
+use crate::types::{Band, Bandwidth};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Class id of the htb parent under root qdisc `1:`.
+const PARENT_CLASS: u32 = 1;
+/// Class minor ids for bands start here (band 0 -> 1:10).
+const BAND_CLASS_BASE: u32 = 10;
+
+/// A full htb configuration for one NIC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TcConfig {
+    /// Network device name (e.g. `eth0`).
+    pub dev: String,
+    /// Link rate used for the root class rate/ceil.
+    pub link: Bandwidth,
+    /// Number of priority bands to create (1..=8; the paper uses up to 6).
+    pub num_bands: u8,
+    /// Map from PS TCP source port to its assigned band.
+    pub port_bands: BTreeMap<u16, Band>,
+}
+
+impl TcConfig {
+    /// Create a config with `num_bands` bands and no filters yet.
+    pub fn new(dev: impl Into<String>, link: Bandwidth, num_bands: u8) -> Self {
+        assert!(
+            (1..=8).contains(&num_bands),
+            "tc prio supports a small number of bands; got {num_bands}"
+        );
+        TcConfig {
+            dev: dev.into(),
+            link,
+            num_bands,
+            port_bands: BTreeMap::new(),
+        }
+    }
+
+    /// Assign a PS port to a band. Panics if the band exceeds `num_bands`.
+    pub fn assign_port(&mut self, port: u16, band: Band) {
+        assert!(
+            band.0 < self.num_bands,
+            "band {band} out of range (have {} bands)",
+            self.num_bands
+        );
+        self.port_bands.insert(port, band);
+    }
+
+    /// The class id string for a band, e.g. `1:10` for band 0.
+    pub fn class_of(band: Band) -> String {
+        format!("{}:{}", PARENT_CLASS, BAND_CLASS_BASE + band.0 as u32)
+    }
+
+    fn rate_str(&self) -> String {
+        // tc accepts fractional gbit, but mbit keeps it integral and exact
+        // for common link speeds.
+        format!("{:.0}mbit", self.link.gbps() * 1000.0)
+    }
+
+    /// Render the full setup script (qdisc + classes + filters), one command
+    /// per line, in deterministic order.
+    pub fn render_setup(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let dev = &self.dev;
+        let rate = self.rate_str();
+        let default_class = BAND_CLASS_BASE + (self.num_bands - 1) as u32;
+        out.push(format!(
+            "tc qdisc add dev {dev} root handle 1: htb default {default_class}"
+        ));
+        out.push(format!(
+            "tc class add dev {dev} parent 1: classid 1:{PARENT_CLASS} htb rate {rate} ceil {rate}"
+        ));
+        for b in 0..self.num_bands {
+            let classid = BAND_CLASS_BASE + b as u32;
+            // Every class may borrow up to the full link (work conserving);
+            // the tiny guaranteed rate keeps htb happy, priority does the work.
+            out.push(format!(
+                "tc class add dev {dev} parent 1:{PARENT_CLASS} classid 1:{classid} htb \
+                 rate 1mbit ceil {rate} prio {b}"
+            ));
+        }
+        for (&port, &band) in &self.port_bands {
+            out.push(self.filter_add_cmd(port, band));
+        }
+        out
+    }
+
+    /// Render the teardown command (removes the whole hierarchy).
+    pub fn render_teardown(&self) -> Vec<String> {
+        vec![format!("tc qdisc del dev {} root", self.dev)]
+    }
+
+    fn filter_add_cmd(&self, port: u16, band: Band) -> String {
+        format!(
+            "tc filter add dev {} protocol ip parent 1:0 prio 1 u32 \
+             match ip sport {} 0xffff flowid {}",
+            self.dev,
+            port,
+            Self::class_of(band)
+        )
+    }
+
+    fn filter_del_cmd(&self, port: u16, band: Band) -> String {
+        format!(
+            "tc filter del dev {} protocol ip parent 1:0 prio 1 u32 \
+             match ip sport {} 0xffff flowid {}",
+            self.dev,
+            port,
+            Self::class_of(band)
+        )
+    }
+
+    /// Render the minimal command sequence that reconfigures `self` into
+    /// `new`: deleted filters, changed filters (delete + add), added filters.
+    /// This is what a TLs-RR rotation executes every interval `T` — note it
+    /// never touches the qdisc or classes, only filters.
+    ///
+    /// Panics if `new` differs in device, band count, or link rate (those
+    /// require a teardown + setup, not a live reconfiguration).
+    pub fn render_reconfigure(&self, new: &TcConfig) -> Vec<String> {
+        assert_eq!(self.dev, new.dev, "cannot diff across devices");
+        assert_eq!(self.num_bands, new.num_bands, "band count changed");
+        let mut out = Vec::new();
+        for (&port, &band) in &self.port_bands {
+            match new.port_bands.get(&port) {
+                None => out.push(self.filter_del_cmd(port, band)),
+                Some(&nb) if nb != band => {
+                    out.push(self.filter_del_cmd(port, band));
+                    out.push(new.filter_add_cmd(port, nb));
+                }
+                Some(_) => {}
+            }
+        }
+        for (&port, &band) in &new.port_bands {
+            if !self.port_bands.contains_key(&port) {
+                out.push(new.filter_add_cmd(port, band));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TcConfig {
+        let mut c = TcConfig::new("eth0", Bandwidth::from_gbps(10.0), 3);
+        c.assign_port(2222, Band(0));
+        c.assign_port(2223, Band(1));
+        c
+    }
+
+    #[test]
+    fn setup_script_structure() {
+        let lines = cfg().render_setup();
+        assert_eq!(
+            lines[0],
+            "tc qdisc add dev eth0 root handle 1: htb default 12"
+        );
+        assert!(lines[1].contains("classid 1:1 htb rate 10000mbit ceil 10000mbit"));
+        // Three band classes with ascending prio.
+        assert!(lines[2].contains("classid 1:10") && lines[2].contains("prio 0"));
+        assert!(lines[3].contains("classid 1:11") && lines[3].contains("prio 1"));
+        assert!(lines[4].contains("classid 1:12") && lines[4].contains("prio 2"));
+        // Two filters, ordered by port.
+        assert!(lines[5].contains("sport 2222") && lines[5].contains("flowid 1:10"));
+        assert!(lines[6].contains("sport 2223") && lines[6].contains("flowid 1:11"));
+        assert_eq!(lines.len(), 7);
+    }
+
+    #[test]
+    fn band_classes_borrow_to_full_link() {
+        let lines = cfg().render_setup();
+        for l in &lines[2..5] {
+            assert!(l.contains("ceil 10000mbit"), "work conserving: {l}");
+        }
+    }
+
+    #[test]
+    fn teardown_single_command() {
+        assert_eq!(cfg().render_teardown(), vec!["tc qdisc del dev eth0 root"]);
+    }
+
+    #[test]
+    fn class_naming() {
+        assert_eq!(TcConfig::class_of(Band(0)), "1:10");
+        assert_eq!(TcConfig::class_of(Band(5)), "1:15");
+    }
+
+    #[test]
+    fn reconfigure_rotation_swaps_filters_only() {
+        let old = cfg();
+        let mut new = TcConfig::new("eth0", Bandwidth::from_gbps(10.0), 3);
+        new.assign_port(2222, Band(1));
+        new.assign_port(2223, Band(0));
+        let diff = old.render_reconfigure(&new);
+        // Two ports changed: each needs one del and one add.
+        assert_eq!(diff.len(), 4);
+        assert!(diff.iter().all(|l| l.contains("filter")));
+        assert!(diff.iter().any(|l| l.contains("del") && l.contains("sport 2222")));
+        assert!(diff
+            .iter()
+            .any(|l| l.contains("add") && l.contains("sport 2222") && l.contains("1:11")));
+    }
+
+    #[test]
+    fn reconfigure_noop_is_empty() {
+        let a = cfg();
+        let b = cfg();
+        assert!(a.render_reconfigure(&b).is_empty());
+    }
+
+    #[test]
+    fn reconfigure_handles_arrival_and_departure() {
+        let old = cfg();
+        let mut new = cfg();
+        new.port_bands.remove(&2223); // job departed
+        new.assign_port(2224, Band(2)); // job arrived
+        let diff = old.render_reconfigure(&new);
+        assert_eq!(diff.len(), 2);
+        assert!(diff[0].contains("del") && diff[0].contains("sport 2223"));
+        assert!(diff[1].contains("add") && diff[1].contains("sport 2224"));
+    }
+
+    #[test]
+    #[should_panic(expected = "band count changed")]
+    fn reconfigure_rejects_band_count_change() {
+        let a = cfg();
+        let b = TcConfig::new("eth0", Bandwidth::from_gbps(10.0), 4);
+        let _ = a.render_reconfigure(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn assign_rejects_band_beyond_limit() {
+        let mut c = TcConfig::new("eth0", Bandwidth::from_gbps(10.0), 2);
+        c.assign_port(1000, Band(2));
+    }
+
+    #[test]
+    fn single_band_config_renders() {
+        let mut c = TcConfig::new("eth1", Bandwidth::from_gbps(25.0), 1);
+        c.assign_port(9999, Band(0));
+        let lines = c.render_setup();
+        assert_eq!(lines[0], "tc qdisc add dev eth1 root handle 1: htb default 10");
+        assert!(lines[1].contains("rate 25000mbit"));
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot diff across devices")]
+    fn reconfigure_rejects_device_change() {
+        let a = TcConfig::new("eth0", Bandwidth::from_gbps(10.0), 3);
+        let b = TcConfig::new("eth1", Bandwidth::from_gbps(10.0), 3);
+        let _ = a.render_reconfigure(&b);
+    }
+
+    #[test]
+    fn six_band_limit_matches_paper() {
+        // The paper: "we only use up to six distinct priority bands".
+        let c = TcConfig::new("eth0", Bandwidth::from_gbps(10.0), Band::TC_BAND_LIMIT);
+        let lines = c.render_setup();
+        assert_eq!(lines.len(), 2 + 6);
+    }
+}

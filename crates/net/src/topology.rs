@@ -1,0 +1,161 @@
+//! Cluster network topology.
+//!
+//! The paper's testbed is a single-switch topology: N hosts, each with one
+//! NIC, all links the same speed, a non-blocking switch. The contended
+//! resources are therefore exactly the per-host NIC egress and ingress
+//! capacities, which is what this model exposes.
+
+use crate::types::{Bandwidth, HostId};
+use serde::{Deserialize, Serialize};
+
+/// A single-switch topology: per-host egress and ingress link capacities,
+/// plus an optional switch-fabric ("core") capacity shared by all
+/// cross-host traffic.
+///
+/// The paper's testbed switch is non-blocking (no core constraint); the
+/// core option models the oversubscribed aggregation fabrics common in
+/// production clusters, where TensorLights' end-host priorities meet a
+/// contention point they cannot control.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    egress: Vec<Bandwidth>,
+    ingress: Vec<Bandwidth>,
+    /// Rate applied to flows whose source and destination host coincide
+    /// (loopback traffic never touches the NIC).
+    loopback: Bandwidth,
+    /// Aggregate capacity of the switch fabric (None = non-blocking).
+    core: Option<Bandwidth>,
+}
+
+impl Topology {
+    /// A uniform topology: `hosts` hosts, all NICs at `link` speed.
+    /// Matches the paper's testbed shape (21 hosts, 10 Gbps).
+    pub fn uniform(hosts: usize, link: Bandwidth) -> Self {
+        assert!(hosts > 0, "topology needs at least one host");
+        Topology {
+            egress: vec![link; hosts],
+            ingress: vec![link; hosts],
+            loopback: Bandwidth::from_gbps(400.0),
+            core: None,
+        }
+    }
+
+    /// A topology with per-host link speeds (heterogeneous NICs).
+    pub fn heterogeneous(egress: Vec<Bandwidth>, ingress: Vec<Bandwidth>) -> Self {
+        assert!(!egress.is_empty(), "topology needs at least one host");
+        assert_eq!(
+            egress.len(),
+            ingress.len(),
+            "egress/ingress host counts differ"
+        );
+        Topology {
+            egress,
+            ingress,
+            loopback: Bandwidth::from_gbps(400.0),
+            core: None,
+        }
+    }
+
+    /// Override the loopback (same-host) transfer rate.
+    pub fn with_loopback(mut self, loopback: Bandwidth) -> Self {
+        self.loopback = loopback;
+        self
+    }
+
+    /// Constrain the switch fabric to an aggregate capacity (an
+    /// oversubscribed core). All cross-host traffic shares it.
+    pub fn with_core_capacity(mut self, core: Bandwidth) -> Self {
+        self.core = Some(core);
+        self
+    }
+
+    /// The fabric capacity, if constrained.
+    pub fn core_capacity(&self) -> Option<Bandwidth> {
+        self.core
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.egress.len()
+    }
+
+    /// True if `h` is a valid host id.
+    pub fn contains(&self, h: HostId) -> bool {
+        (h.0 as usize) < self.egress.len()
+    }
+
+    /// Egress (outbound) capacity of host `h`.
+    pub fn egress(&self, h: HostId) -> Bandwidth {
+        self.egress[h.0 as usize]
+    }
+
+    /// Ingress (inbound) capacity of host `h`.
+    pub fn ingress(&self, h: HostId) -> Bandwidth {
+        self.ingress[h.0 as usize]
+    }
+
+    /// Loopback rate for same-host transfers.
+    pub fn loopback(&self) -> Bandwidth {
+        self.loopback
+    }
+
+    /// Iterator over all host ids.
+    pub fn hosts(&self) -> impl Iterator<Item = HostId> {
+        (0..self.egress.len() as u32).map(HostId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_topology() {
+        let t = Topology::uniform(21, Bandwidth::from_gbps(10.0));
+        assert_eq!(t.num_hosts(), 21);
+        assert!((t.egress(HostId(0)).gbps() - 10.0).abs() < 1e-9);
+        assert!((t.ingress(HostId(20)).gbps() - 10.0).abs() < 1e-9);
+        assert!(t.contains(HostId(20)));
+        assert!(!t.contains(HostId(21)));
+    }
+
+    #[test]
+    fn heterogeneous_topology() {
+        let t = Topology::heterogeneous(
+            vec![Bandwidth::from_gbps(10.0), Bandwidth::from_gbps(25.0)],
+            vec![Bandwidth::from_gbps(10.0), Bandwidth::from_gbps(25.0)],
+        );
+        assert_eq!(t.num_hosts(), 2);
+        assert!((t.egress(HostId(1)).gbps() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hosts_iterator_covers_all() {
+        let t = Topology::uniform(5, Bandwidth::from_gbps(1.0));
+        let ids: Vec<_> = t.hosts().collect();
+        assert_eq!(ids.len(), 5);
+        assert_eq!(ids[0], HostId(0));
+        assert_eq!(ids[4], HostId(4));
+    }
+
+    #[test]
+    fn core_capacity_option() {
+        let t = Topology::uniform(4, Bandwidth::from_gbps(10.0));
+        assert!(t.core_capacity().is_none(), "non-blocking by default");
+        let t = t.with_core_capacity(Bandwidth::from_gbps(20.0));
+        assert!((t.core_capacity().unwrap().gbps() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loopback_override() {
+        let t = Topology::uniform(2, Bandwidth::from_gbps(10.0))
+            .with_loopback(Bandwidth::from_gbps(100.0));
+        assert!((t.loopback().gbps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn rejects_empty() {
+        let _ = Topology::uniform(0, Bandwidth::from_gbps(10.0));
+    }
+}

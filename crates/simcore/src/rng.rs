@@ -1,0 +1,223 @@
+//! Deterministic random-number streams.
+//!
+//! All randomness in a simulation flows from a single master seed. Components
+//! obtain *named streams*: independent generators seeded from the master seed
+//! and a stream label via SplitMix64 mixing. Two runs with the same master
+//! seed produce bit-identical results; adding a new stream does not perturb
+//! existing ones (streams are keyed by label, not by creation order).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 step: a high-quality 64-bit mixer used to derive stream seeds.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a label, used to key streams by name.
+fn fnv1a(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Factory for named, independent RNG streams derived from one master seed.
+#[derive(Debug, Clone, Copy)]
+pub struct RngFactory {
+    master_seed: u64,
+}
+
+impl RngFactory {
+    /// Create a factory from a master seed.
+    pub fn new(master_seed: u64) -> Self {
+        RngFactory { master_seed }
+    }
+
+    /// The master seed this factory was built from.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Derive the seed for a named stream (pure function of seed + label).
+    pub fn stream_seed(&self, label: &str) -> u64 {
+        let mut s = self.master_seed ^ fnv1a(label);
+        // Two rounds of mixing to decorrelate labels differing in few bits.
+        let a = splitmix64(&mut s);
+        let b = splitmix64(&mut s);
+        a ^ b.rotate_left(32)
+    }
+
+    /// Create the RNG for a named stream.
+    pub fn stream(&self, label: &str) -> SmallRng {
+        SmallRng::seed_from_u64(self.stream_seed(label))
+    }
+
+    /// Create the RNG for a named stream with an index (e.g. per-job, per-flow).
+    pub fn indexed_stream(&self, label: &str, index: u64) -> SmallRng {
+        let mut s = self
+            .stream_seed(label)
+            .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        SmallRng::seed_from_u64(splitmix64(&mut s))
+    }
+}
+
+/// Sample from a lognormal distribution with the given parameters of the
+/// *underlying normal* (mu, sigma). Implemented via Box-Muller so we only
+/// depend on uniform sampling from `rand`.
+pub fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * sample_standard_normal(rng)).exp()
+}
+
+/// Sample a standard normal deviate via the Box-Muller transform.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample an exponential deviate with the given rate (lambda).
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive");
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+/// A lognormal multiplicative-noise source with mean 1.
+///
+/// Used to model stochastic unfairness (TCP throughput jitter, compute-time
+/// variation). The underlying normal is parameterized so that the expectation
+/// of the multiplier is exactly 1 for any sigma: `mu = -sigma^2 / 2`.
+#[derive(Debug, Clone, Copy)]
+pub struct UnitLogNormal {
+    sigma: f64,
+}
+
+impl UnitLogNormal {
+    /// Create a mean-1 lognormal noise source. `sigma = 0` yields the
+    /// constant 1 (useful to disable noise).
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "invalid sigma {sigma}");
+        UnitLogNormal { sigma }
+    }
+
+    /// The sigma of the underlying normal.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draw one multiplier (mean 1, always positive).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.sigma == 0.0 {
+            return 1.0;
+        }
+        sample_lognormal(rng, -self.sigma * self.sigma / 2.0, self.sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let f1 = RngFactory::new(42);
+        let f2 = RngFactory::new(42);
+        let mut a = f1.stream("net.jitter");
+        let mut b = f2.stream("net.jitter");
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn streams_differ_by_label() {
+        let f = RngFactory::new(42);
+        let mut a = f.stream("alpha");
+        let mut b = f.stream("beta");
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn streams_differ_by_seed() {
+        let a = RngFactory::new(1).stream_seed("x");
+        let b = RngFactory::new(2).stream_seed("x");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn indexed_streams_differ_by_index() {
+        let f = RngFactory::new(7);
+        let mut a = f.indexed_stream("job", 0);
+        let mut b = f.indexed_stream("job", 1);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_lognormal_mean_is_about_one() {
+        let f = RngFactory::new(123);
+        let mut rng = f.stream("test");
+        let noise = UnitLogNormal::new(0.3);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| noise.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean} not close to 1");
+    }
+
+    #[test]
+    fn unit_lognormal_zero_sigma_is_constant() {
+        let f = RngFactory::new(123);
+        let mut rng = f.stream("test");
+        let noise = UnitLogNormal::new(0.0);
+        for _ in 0..10 {
+            assert_eq!(noise.sample(&mut rng), 1.0);
+        }
+    }
+
+    #[test]
+    fn unit_lognormal_is_positive() {
+        let f = RngFactory::new(99);
+        let mut rng = f.stream("pos");
+        let noise = UnitLogNormal::new(1.0);
+        for _ in 0..10_000 {
+            assert!(noise.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let f = RngFactory::new(5);
+        let mut rng = f.stream("norm");
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let f = RngFactory::new(6);
+        let mut rng = f.stream("exp");
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| sample_exponential(&mut rng, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        let f = RngFactory::new(6);
+        let mut rng = f.stream("exp");
+        sample_exponential(&mut rng, 0.0);
+    }
+}

@@ -1,0 +1,500 @@
+//! Statistics for simulation measurements.
+//!
+//! Provides streaming moments (Welford), a sample reservoir with exact
+//! quantiles/CDFs, and a fixed-bin histogram. These back the paper's
+//! distribution plots (Figures 3 and 6) and summary tables.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite observation {x}");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divide by n).
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (divide by n-1); 0 with fewer than two observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (+inf when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (-inf when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// A complete sample set with exact quantiles and a CDF view.
+///
+/// The experiments in this suite collect at most a few hundred thousand
+/// observations per series, so keeping the raw samples is affordable and
+/// gives exact order statistics (the paper reports medians and CDFs).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SampleSet {
+    samples: Vec<f64>,
+    #[serde(skip)]
+    sorted: bool,
+}
+
+impl SampleSet {
+    /// Empty sample set.
+    pub fn new() -> Self {
+        SampleSet {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite observation {x}");
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Append all observations from another set.
+    pub fn extend_from(&mut self, other: &SampleSet) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample set"));
+            self.sorted = true;
+        }
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Population variance (0 when empty).
+    pub fn variance(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Exact quantile by linear interpolation between order statistics.
+    /// `q` must be in [0, 1]. Returns 0 when empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        if n == 1 {
+            return self.samples[0];
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Minimum (0 when empty).
+    pub fn min(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        self.samples[0]
+    }
+
+    /// Maximum (0 when empty).
+    pub fn max(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        *self.samples.last().unwrap()
+    }
+
+    /// Empirical CDF as `(value, cumulative_fraction)` points, downsampled to
+    /// at most `max_points` points (always including min and max).
+    pub fn cdf(&mut self, max_points: usize) -> Vec<(f64, f64)> {
+        assert!(max_points >= 2, "need at least two CDF points");
+        if self.samples.is_empty() {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let points = max_points.min(n);
+        let mut out = Vec::with_capacity(points);
+        if points == 1 {
+            out.push((self.samples[0], 1.0));
+            return out;
+        }
+        for k in 0..points {
+            let idx = if points == n {
+                k
+            } else {
+                (k * (n - 1)) / (points - 1)
+            };
+            out.push((self.samples[idx], (idx + 1) as f64 / n as f64));
+        }
+        out
+    }
+
+    /// Immutable view of the raw samples (unsorted order not guaranteed).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Summarize into a [`Summary`].
+    pub fn summary(&mut self) -> Summary {
+        Summary {
+            count: self.len() as u64,
+            mean: self.mean(),
+            variance: self.variance(),
+            min: self.min(),
+            p25: self.quantile(0.25),
+            median: self.median(),
+            p75: self.quantile(0.75),
+            p95: self.quantile(0.95),
+            max: self.max(),
+        }
+    }
+}
+
+/// Summary statistics of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range observations clamp
+/// into the first/last bin.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        let nbins = self.bins.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = if t < 0.0 {
+            0
+        } else {
+            ((t * nbins as f64) as usize).min(nbins - 1)
+        };
+        self.bins[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Midpoint value of bin `i`.
+    pub fn bin_mid(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 3.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.mean(), before.mean());
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty.mean(), before.mean());
+        assert_eq!(empty.count(), 2);
+    }
+
+    #[test]
+    fn sample_set_quantiles() {
+        let mut s = SampleSet::new();
+        for x in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            s.push(x);
+        }
+        assert_eq!(s.median(), 3.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 5.0);
+        assert_eq!(s.quantile(0.25), 2.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn sample_set_quantile_interpolates() {
+        let mut s = SampleSet::new();
+        s.push(0.0);
+        s.push(10.0);
+        assert_eq!(s.quantile(0.5), 5.0);
+        assert_eq!(s.quantile(0.3), 3.0);
+    }
+
+    #[test]
+    fn sample_set_empty() {
+        let mut s = SampleSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.median(), 0.0);
+        assert!(s.cdf(10).is_empty());
+    }
+
+    #[test]
+    fn cdf_monotone_and_complete() {
+        let mut s = SampleSet::new();
+        for i in 0..1000 {
+            s.push(((i * 7919) % 1000) as f64);
+        }
+        let cdf = s.cdf(50);
+        assert!(cdf.len() <= 50);
+        assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(cdf.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert_eq!(cdf.first().unwrap().0, 0.0);
+        assert_eq!(cdf.last().unwrap().0, 999.0);
+    }
+
+    #[test]
+    fn cdf_small_set_exact() {
+        let mut s = SampleSet::new();
+        for x in [1.0, 2.0, 3.0] {
+            s.push(x);
+        }
+        let cdf = s.cdf(10);
+        assert_eq!(
+            cdf,
+            vec![(1.0, 1.0 / 3.0), (2.0, 2.0 / 3.0), (3.0, 1.0)]
+        );
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let mut s = SampleSet::new();
+        for i in 1..=100 {
+            s.push(i as f64);
+        }
+        let sum = s.summary();
+        assert_eq!(sum.count, 100);
+        assert!((sum.mean - 50.5).abs() < 1e-9);
+        assert_eq!(sum.min, 1.0);
+        assert_eq!(sum.max, 100.0);
+        assert!((sum.median - 50.5).abs() < 1e-9);
+        assert!(sum.p25 < sum.median && sum.median < sum.p75 && sum.p75 < sum.p95);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push(0.5);
+        h.push(9.5);
+        h.push(-3.0); // clamps to first bin
+        h.push(42.0); // clamps to last bin
+        h.push(10.0); // boundary clamps to last bin
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bins()[0], 2);
+        assert_eq!(h.bins()[9], 3);
+        assert!((h.bin_mid(0) - 0.5).abs() < 1e-12);
+        assert!((h.bin_mid(9) - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be non-empty")]
+    fn histogram_rejects_empty_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,139 @@
+//! Lightweight event tracing.
+//!
+//! A [`TraceRecorder`] collects timestamped, labelled records during a run.
+//! Traces back the Figure-4-style timelines and are invaluable for debugging
+//! simulator state machines. Recording can be disabled (the default for
+//! large experiments) at which point pushes are near-free.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One trace record: an instant, a subsystem label, and a message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// When the event occurred.
+    pub time: SimTime,
+    /// Which subsystem emitted it (e.g. "net", "ps", "worker").
+    pub scope: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Collects trace records when enabled; drops them when disabled.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    enabled: bool,
+    records: Vec<TraceRecord>,
+}
+
+impl TraceRecorder {
+    /// A disabled recorder (records are dropped).
+    pub fn disabled() -> Self {
+        TraceRecorder {
+            enabled: false,
+            records: Vec::new(),
+        }
+    }
+
+    /// An enabled recorder.
+    pub fn enabled() -> Self {
+        TraceRecorder {
+            enabled: true,
+            records: Vec::new(),
+        }
+    }
+
+    /// Whether records are currently being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event. `message` is only materialized when enabled, so pass
+    /// a closure for anything that formats.
+    pub fn record_with(&mut self, time: SimTime, scope: &str, message: impl FnOnce() -> String) {
+        if self.enabled {
+            self.records.push(TraceRecord {
+                time,
+                scope: scope.to_string(),
+                message: message(),
+            });
+        }
+    }
+
+    /// Record a pre-built message.
+    pub fn record(&mut self, time: SimTime, scope: &str, message: &str) {
+        self.record_with(time, scope, || message.to_string());
+    }
+
+    /// All records in emission order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records from one scope only.
+    pub fn records_in_scope<'a>(&'a self, scope: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
+        self.records.iter().filter(move |r| r.scope == scope)
+    }
+
+    /// Render as plain text lines (one per record).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&format!("{} [{}] {}\n", r.time, r.scope, r.message));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_drops_records() {
+        let mut t = TraceRecorder::disabled();
+        t.record(SimTime::from_secs(1), "net", "flow started");
+        assert!(t.records().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_recorder_keeps_order() {
+        let mut t = TraceRecorder::enabled();
+        t.record(SimTime::from_secs(1), "net", "a");
+        t.record(SimTime::from_secs(2), "ps", "b");
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.records()[0].message, "a");
+        assert_eq!(t.records()[1].scope, "ps");
+    }
+
+    #[test]
+    fn scope_filter() {
+        let mut t = TraceRecorder::enabled();
+        t.record(SimTime::ZERO, "net", "x");
+        t.record(SimTime::ZERO, "ps", "y");
+        t.record(SimTime::ZERO, "net", "z");
+        let net: Vec<_> = t.records_in_scope("net").collect();
+        assert_eq!(net.len(), 2);
+    }
+
+    #[test]
+    fn lazy_message_not_built_when_disabled() {
+        let mut t = TraceRecorder::disabled();
+        let mut called = false;
+        t.record_with(SimTime::ZERO, "net", || {
+            called = true;
+            "expensive".to_string()
+        });
+        assert!(!called);
+    }
+
+    #[test]
+    fn render_contains_fields() {
+        let mut t = TraceRecorder::enabled();
+        t.record(SimTime::from_secs(3), "worker", "hello");
+        let s = t.render();
+        assert!(s.contains("[worker] hello"));
+        assert!(s.contains("3.000000s"));
+    }
+}

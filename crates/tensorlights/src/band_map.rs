@@ -1,0 +1,174 @@
+//! Ordering jobs into a limited number of priority bands.
+//!
+//! The paper: "Ideally, a host with contending PSes should assign a distinct
+//! priority for each job. However, tc only supports a limited number of
+//! priority bands. In our experiments, we only use up to six distinct
+//! priority bands, and multiple jobs may share the same priority band."
+//!
+//! [`JobOrdering`] captures the paper's suggestions for how priorities may
+//! be chosen ("we do not constrain how priorities are assigned"): random for
+//! homogeneous grid search, smallest-update-first to avoid head-of-line
+//! blocking across heterogeneous jobs, or plain arrival order.
+
+use crate::policy::JobTrafficInfo;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use simcore::RngFactory;
+use tl_net::Band;
+
+/// How a host's colocated jobs are ranked before mapping to bands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobOrdering {
+    /// By arrival sequence (first-come, highest priority).
+    ByArrival,
+    /// Random permutation, deterministic in the given seed — the paper's
+    /// suggestion for grid search where all updates are the same size.
+    Random {
+        /// Seed for the permutation.
+        seed: u64,
+    },
+    /// Smallest model update first — the paper's suggestion "to avoid
+    /// head-of-line blocking from a job with larger model update".
+    SmallestUpdateFirst,
+}
+
+impl JobOrdering {
+    /// Rank the jobs of one host group: returns the tags ordered from
+    /// highest priority to lowest. Deterministic: ties break by tag.
+    pub fn rank(&self, jobs: &[JobTrafficInfo]) -> Vec<u64> {
+        let mut tags: Vec<&JobTrafficInfo> = jobs.iter().collect();
+        match self {
+            JobOrdering::ByArrival => {
+                tags.sort_by_key(|j| (j.arrival_seq, j.tag));
+            }
+            JobOrdering::Random { seed } => {
+                tags.sort_by_key(|j| j.tag);
+                // Derive the shuffle from the seed and the host's job set so
+                // that different hosts get independent permutations.
+                let mix = tags.iter().fold(0u64, |acc, j| {
+                    acc.wrapping_mul(0x100000001B3).wrapping_add(j.tag)
+                });
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(
+                    RngFactory::new(*seed).stream_seed("band_map.random") ^ mix,
+                );
+                tags.shuffle(&mut rng);
+            }
+            JobOrdering::SmallestUpdateFirst => {
+                tags.sort_by_key(|j| (j.update_bytes, j.tag));
+            }
+        }
+        tags.into_iter().map(|j| j.tag).collect()
+    }
+}
+
+/// Map a priority ranking onto at most `num_bands` bands.
+///
+/// Uses blocked mapping: rank `i` of `n` jobs gets band
+/// `i * num_bands / n`, which preserves the ranking's monotonicity (a
+/// higher-ranked job never sits in a lower-priority band) and spreads jobs
+/// evenly when they outnumber bands.
+pub fn bands_for_ranking(ranked_tags: &[u64], num_bands: u8) -> Vec<(u64, Band)> {
+    assert!(num_bands >= 1, "need at least one band");
+    let n = ranked_tags.len();
+    ranked_tags
+        .iter()
+        .enumerate()
+        .map(|(i, &tag)| {
+            let band = if n <= num_bands as usize {
+                i as u8
+            } else {
+                ((i * num_bands as usize) / n) as u8
+            };
+            (tag, Band(band))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tl_net::HostId;
+
+    fn job(tag: u64, bytes: u64, seq: u64) -> JobTrafficInfo {
+        JobTrafficInfo {
+            tag,
+            ps_host: HostId(0),
+            update_bytes: bytes,
+            arrival_seq: seq,
+        }
+    }
+
+    #[test]
+    fn arrival_order_ranks_by_seq() {
+        let jobs = [job(5, 100, 2), job(6, 100, 0), job(7, 100, 1)];
+        assert_eq!(JobOrdering::ByArrival.rank(&jobs), vec![6, 7, 5]);
+    }
+
+    #[test]
+    fn smallest_update_first() {
+        let jobs = [job(1, 300, 0), job(2, 100, 1), job(3, 200, 2)];
+        assert_eq!(JobOrdering::SmallestUpdateFirst.rank(&jobs), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn smallest_update_ties_break_by_tag() {
+        let jobs = [job(9, 100, 0), job(3, 100, 1)];
+        assert_eq!(JobOrdering::SmallestUpdateFirst.rank(&jobs), vec![3, 9]);
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let jobs: Vec<_> = (0..10).map(|t| job(t, 100, t)).collect();
+        let a = JobOrdering::Random { seed: 42 }.rank(&jobs);
+        let b = JobOrdering::Random { seed: 42 }.rank(&jobs);
+        assert_eq!(a, b);
+        let c = JobOrdering::Random { seed: 43 }.rank(&jobs);
+        assert_ne!(a, c, "different seeds permute differently");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>(), "it is a permutation");
+    }
+
+    #[test]
+    fn random_is_input_order_independent() {
+        let fwd: Vec<_> = (0..8).map(|t| job(t, 100, t)).collect();
+        let rev: Vec<_> = (0..8).rev().map(|t| job(t, 100, t)).collect();
+        let a = JobOrdering::Random { seed: 7 }.rank(&fwd);
+        let b = JobOrdering::Random { seed: 7 }.rank(&rev);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn few_jobs_get_distinct_bands() {
+        let bands = bands_for_ranking(&[10, 11, 12], 6);
+        assert_eq!(
+            bands,
+            vec![(10, Band(0)), (11, Band(1)), (12, Band(2))]
+        );
+    }
+
+    #[test]
+    fn many_jobs_share_bands_evenly() {
+        // 21 jobs into 6 bands, like the paper's experiments.
+        let tags: Vec<u64> = (0..21).collect();
+        let bands = bands_for_ranking(&tags, 6);
+        // Monotone non-decreasing band along the ranking.
+        assert!(bands.windows(2).all(|w| w[0].1 <= w[1].1));
+        // All six bands used; group sizes differ by at most one.
+        let mut counts = [0usize; 6];
+        for &(_, b) in &bands {
+            counts[b.0 as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 3 || c == 4), "{counts:?}");
+        // Highest-ranked job is in the top band.
+        assert_eq!(bands[0].1, Band(0));
+        assert_eq!(bands[20].1, Band(5));
+    }
+
+    #[test]
+    fn single_band_collapses_to_fifo() {
+        let bands = bands_for_ranking(&[1, 2, 3], 1);
+        assert!(bands.iter().all(|&(_, b)| b == Band(0)));
+    }
+}

@@ -1,0 +1,236 @@
+//! The TensorLights host controller: policy → live `tc` configuration.
+//!
+//! In a deployment, each host with colocated PSes runs this controller. It
+//! turns an [`Assignment`] into per-host [`TcConfig`]s (classifying each
+//! job's model updates by its PS's TCP port, as in the paper's §V
+//! implementation) and emits exactly the shell commands needed to move from
+//! the previous configuration to the new one: full setup for newly
+//! contended hosts, filter diffs for rotations, teardown for hosts whose
+//! contention disappeared.
+
+use crate::policy::Assignment;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use tl_net::{Bandwidth, HostId, TcConfig};
+
+/// Network identity of one job as the controller sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobNetInfo {
+    /// The job tag used in the policy's assignment.
+    pub tag: u64,
+    /// Host running the job's PS.
+    pub ps_host: HostId,
+    /// The PS's TCP port (fixed for the application's lifetime in
+    /// TensorFlow, which is what makes port-based classification viable).
+    pub ps_port: u16,
+}
+
+/// Commands to execute on one host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostCommands {
+    /// Target host.
+    pub host: HostId,
+    /// Shell lines, in order.
+    pub commands: Vec<String>,
+}
+
+/// Tracks the deployed tc state across assignment changes.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    dev: String,
+    link: Bandwidth,
+    num_bands: u8,
+    deployed: BTreeMap<HostId, TcConfig>,
+}
+
+impl Controller {
+    /// A controller managing NIC `dev` at `link` speed with `num_bands`
+    /// htb classes per host.
+    pub fn new(dev: impl Into<String>, link: Bandwidth, num_bands: u8) -> Self {
+        Controller {
+            dev: dev.into(),
+            link,
+            num_bands,
+            deployed: BTreeMap::new(),
+        }
+    }
+
+    /// Currently configured hosts.
+    pub fn configured_hosts(&self) -> Vec<HostId> {
+        self.deployed.keys().copied().collect()
+    }
+
+    /// Desired per-host configs for an assignment.
+    fn desired(&self, assignment: &Assignment, jobs: &[JobNetInfo]) -> BTreeMap<HostId, TcConfig> {
+        let mut configs = BTreeMap::new();
+        for &(host, _) in &assignment.host_default_band {
+            let mut cfg = TcConfig::new(self.dev.clone(), self.link, self.num_bands);
+            for j in jobs.iter().filter(|j| j.ps_host == host) {
+                cfg.assign_port(j.ps_port, assignment.band_of(j.tag));
+            }
+            configs.insert(host, cfg);
+        }
+        configs
+    }
+
+    /// Move the deployed state to match `assignment`, returning the shell
+    /// commands per affected host (hosts with nothing to change are
+    /// omitted). Rotations produce pure filter diffs — the qdisc tree is
+    /// never rebuilt live.
+    pub fn apply(&mut self, assignment: &Assignment, jobs: &[JobNetInfo]) -> Vec<HostCommands> {
+        let desired = self.desired(assignment, jobs);
+        let mut out = Vec::new();
+
+        // Teardown hosts that are no longer contended.
+        let gone: Vec<HostId> = self
+            .deployed
+            .keys()
+            .filter(|h| !desired.contains_key(h))
+            .copied()
+            .collect();
+        for h in gone {
+            let cfg = self.deployed.remove(&h).expect("host was deployed");
+            out.push(HostCommands {
+                host: h,
+                commands: cfg.render_teardown(),
+            });
+        }
+
+        for (host, cfg) in desired {
+            match self.deployed.get(&host) {
+                None => {
+                    out.push(HostCommands {
+                        host,
+                        commands: cfg.render_setup(),
+                    });
+                    self.deployed.insert(host, cfg);
+                }
+                Some(old) => {
+                    let diff = old.render_reconfigure(&cfg);
+                    if !diff.is_empty() {
+                        out.push(HostCommands {
+                            host,
+                            commands: diff,
+                        });
+                    }
+                    self.deployed.insert(host, cfg);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::band_map::JobOrdering;
+    use crate::policy::{JobTrafficInfo, PriorityPolicy};
+    use crate::tls_one::TlsOne;
+    use crate::tls_rr::TlsRr;
+    use simcore::SimTime;
+
+    fn jobs_net(n: u64, host: u32) -> (Vec<JobNetInfo>, Vec<JobTrafficInfo>) {
+        let net: Vec<JobNetInfo> = (0..n)
+            .map(|t| JobNetInfo {
+                tag: t,
+                ps_host: HostId(host),
+                ps_port: 2222 + t as u16,
+            })
+            .collect();
+        let info: Vec<JobTrafficInfo> = (0..n)
+            .map(|t| JobTrafficInfo {
+                tag: t,
+                ps_host: HostId(host),
+                update_bytes: 1_900_000,
+                arrival_seq: t,
+            })
+            .collect();
+        (net, info)
+    }
+
+    fn controller() -> Controller {
+        Controller::new("eth0", Bandwidth::from_gbps(10.0), 6)
+    }
+
+    #[test]
+    fn first_apply_emits_full_setup() {
+        let mut c = controller();
+        let (net, info) = jobs_net(3, 0);
+        let mut policy = TlsOne::new(JobOrdering::ByArrival);
+        let a = policy.assign(SimTime::ZERO, &info);
+        let cmds = c.apply(&a, &net);
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].host, HostId(0));
+        assert!(cmds[0].commands[0].contains("qdisc add"));
+        // 1 qdisc + 1 parent class + 6 band classes + 3 filters.
+        assert_eq!(cmds[0].commands.len(), 11);
+        assert_eq!(c.configured_hosts(), vec![HostId(0)]);
+    }
+
+    #[test]
+    fn rotation_emits_filter_diffs_only() {
+        let mut c = controller();
+        let (net, info) = jobs_net(3, 0);
+        let mut policy = TlsRr::new(JobOrdering::ByArrival);
+        let a0 = policy.assign(SimTime::ZERO, &info);
+        c.apply(&a0, &net);
+        let a1 = policy.assign(SimTime::from_secs(20), &info);
+        let cmds = c.apply(&a1, &net);
+        assert_eq!(cmds.len(), 1);
+        assert!(cmds[0].commands.iter().all(|l| l.contains("filter")));
+        // All three jobs changed band: 3 dels + 3 adds.
+        assert_eq!(cmds[0].commands.len(), 6);
+    }
+
+    #[test]
+    fn idempotent_apply_is_silent() {
+        let mut c = controller();
+        let (net, info) = jobs_net(3, 0);
+        let mut policy = TlsOne::new(JobOrdering::ByArrival);
+        let a = policy.assign(SimTime::ZERO, &info);
+        c.apply(&a, &net);
+        let cmds = c.apply(&a, &net);
+        assert!(cmds.is_empty());
+    }
+
+    #[test]
+    fn contention_disappearing_tears_down() {
+        let mut c = controller();
+        let (net, info) = jobs_net(2, 0);
+        let mut policy = TlsOne::new(JobOrdering::ByArrival);
+        let a = policy.assign(SimTime::ZERO, &info);
+        c.apply(&a, &net);
+        // One job departs: host 0 no longer contended.
+        let a2 = policy.assign(SimTime::from_secs(5), &info[..1]);
+        let cmds = c.apply(&a2, &net[..1]);
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].commands, vec!["tc qdisc del dev eth0 root"]);
+        assert!(c.configured_hosts().is_empty());
+    }
+
+    #[test]
+    fn multiple_hosts_configured_independently() {
+        let mut c = controller();
+        let (mut net, mut info) = jobs_net(2, 0);
+        let (net2, info2) = jobs_net(2, 3);
+        // Give host 3's jobs distinct tags.
+        for (k, j) in net2.iter().enumerate() {
+            net.push(JobNetInfo {
+                tag: 10 + k as u64,
+                ..*j
+            });
+        }
+        for (k, j) in info2.iter().enumerate() {
+            info.push(JobTrafficInfo {
+                tag: 10 + k as u64,
+                ..*j
+            });
+        }
+        let mut policy = TlsOne::new(JobOrdering::ByArrival);
+        let a = policy.assign(SimTime::ZERO, &info);
+        let cmds = c.apply(&a, &net);
+        assert_eq!(cmds.len(), 2);
+        assert_eq!(c.configured_hosts(), vec![HostId(0), HostId(3)]);
+    }
+}

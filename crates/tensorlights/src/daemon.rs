@@ -1,0 +1,275 @@
+//! The `tlsd` planning core: job registry in, `tc` commands out.
+//!
+//! A real deployment runs a tiny agent on each host with colocated PSes
+//! (or one planner for the cluster). The agent's inputs are exactly what
+//! local configuration can know: which jobs have PSes where, on which TCP
+//! ports. This module parses that registry from JSON and plans the `tc`
+//! command sequences for a policy — full setup from scratch, or the minimal
+//! diff from a previous registry state and/or an elapsed rotation interval.
+//!
+//! The `tlsd` binary is a thin CLI over [`plan`].
+
+use crate::band_map::JobOrdering;
+use crate::controller::{Controller, HostCommands, JobNetInfo};
+use crate::policy::{JobTrafficInfo, PriorityPolicy};
+use crate::tls_one::TlsOne;
+use crate::tls_rr::TlsRr;
+use crate::FifoPolicy;
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+use tl_net::{Bandwidth, HostId};
+
+/// One job in the registry file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegistryJob {
+    /// Unique job tag.
+    pub tag: u64,
+    /// Host index carrying the job's PS.
+    pub ps_host: u32,
+    /// The PS's TCP port (the tc classification key).
+    pub ps_port: u16,
+    /// Model update size in bytes (for size-aware orderings); 0 if unknown.
+    #[serde(default)]
+    pub update_bytes: u64,
+    /// Arrival sequence; defaults to the tag.
+    #[serde(default)]
+    pub arrival_seq: Option<u64>,
+}
+
+/// The registry file: the set of currently active jobs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Registry {
+    /// Active jobs.
+    pub jobs: Vec<RegistryJob>,
+}
+
+impl Registry {
+    /// Parse a registry from JSON.
+    pub fn from_json(json: &str) -> Result<Registry, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    fn traffic_infos(&self) -> Vec<JobTrafficInfo> {
+        self.jobs
+            .iter()
+            .map(|j| JobTrafficInfo {
+                tag: j.tag,
+                ps_host: HostId(j.ps_host),
+                update_bytes: j.update_bytes,
+                arrival_seq: j.arrival_seq.unwrap_or(j.tag),
+            })
+            .collect()
+    }
+
+    fn net_infos(&self) -> Vec<JobNetInfo> {
+        self.jobs
+            .iter()
+            .map(|j| JobNetInfo {
+                tag: j.tag,
+                ps_host: HostId(j.ps_host),
+                ps_port: j.ps_port,
+            })
+            .collect()
+    }
+}
+
+/// Which TensorLights variant to plan for.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PlanMode {
+    /// No prioritization: plan removes any existing configuration.
+    Fifo,
+    /// TLs-One (static priorities).
+    One,
+    /// TLs-RR with the given rotation interval in seconds.
+    Rr {
+        /// Rotation interval T, seconds.
+        interval_secs: f64,
+    },
+}
+
+/// Planner configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DaemonConfig {
+    /// NIC device name.
+    pub dev: String,
+    /// Link speed in Gbit/s.
+    pub link_gbps: f64,
+    /// Number of priority bands.
+    pub num_bands: u8,
+    /// Policy variant.
+    pub mode: PlanMode,
+    /// Ordering of colocated jobs.
+    pub ordering: JobOrdering,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            dev: "eth0".into(),
+            link_gbps: 10.0,
+            num_bands: 6,
+            mode: PlanMode::Rr { interval_secs: 20.0 },
+            ordering: JobOrdering::ByArrival,
+        }
+    }
+}
+
+fn build_policy(cfg: &DaemonConfig) -> Box<dyn PriorityPolicy> {
+    match cfg.mode {
+        PlanMode::Fifo => Box::new(FifoPolicy),
+        PlanMode::One => Box::new(TlsOne::new(cfg.ordering).with_bands(cfg.num_bands)),
+        PlanMode::Rr { interval_secs } => Box::new(
+            TlsRr::new(cfg.ordering)
+                .with_bands(cfg.num_bands)
+                .with_interval(SimDuration::from_secs_f64(interval_secs)),
+        ),
+    }
+}
+
+/// Plan the commands that move the deployed state from `prev` — the
+/// registry applied at wall-clock offset `prev_at_secs` (empty state if
+/// `None`) — to `cur` at offset `now_secs` (the offsets drive the TLs-RR
+/// rotation phase). Returns per-host command lists; hosts with nothing to
+/// change are omitted.
+pub fn plan(
+    cfg: &DaemonConfig,
+    prev: Option<(&Registry, f64)>,
+    cur: &Registry,
+    now_secs: f64,
+) -> Vec<HostCommands> {
+    let mut policy = build_policy(cfg);
+    let link = Bandwidth::from_gbps(cfg.link_gbps);
+    let mut controller = Controller::new(cfg.dev.clone(), link, cfg.num_bands);
+    if let Some((prev, prev_at)) = prev {
+        // Bring the controller to the previously deployed state silently.
+        let a = policy.assign(SimTime::from_secs_f64(prev_at), &prev.traffic_infos());
+        let _ = controller.apply(&a, &prev.net_infos());
+    }
+    let a = policy.assign(SimTime::from_secs_f64(now_secs), &cur.traffic_infos());
+    controller.apply(&a, &cur.net_infos())
+}
+
+/// The next wall-clock offset (seconds) at which the plan must be refreshed
+/// even without registry churn; `None` for static modes.
+pub fn next_refresh_secs(cfg: &DaemonConfig, now_secs: f64) -> Option<f64> {
+    build_policy(cfg)
+        .next_update(SimTime::from_secs_f64(now_secs))
+        .map(|t| t.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry(n: u64) -> Registry {
+        Registry {
+            jobs: (0..n)
+                .map(|tag| RegistryJob {
+                    tag,
+                    ps_host: 0,
+                    ps_port: 2222 + tag as u16,
+                    update_bytes: 1_900_000,
+                    arrival_seq: None,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parses_minimal_json() {
+        let r = Registry::from_json(
+            r#"{"jobs":[{"tag":1,"ps_host":0,"ps_port":2222}]}"#,
+        )
+        .expect("valid json");
+        assert_eq!(r.jobs.len(), 1);
+        assert_eq!(r.jobs[0].update_bytes, 0, "defaults applied");
+        assert_eq!(r.jobs[0].arrival_seq, None);
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(Registry::from_json("{not json").is_err());
+        assert!(Registry::from_json(r#"{"jobs":[{"tag":"x"}]}"#).is_err());
+    }
+
+    #[test]
+    fn fresh_plan_is_full_setup() {
+        let cfg = DaemonConfig::default();
+        let cmds = plan(&cfg, None, &registry(3), 0.0);
+        assert_eq!(cmds.len(), 1);
+        assert!(cmds[0].commands[0].contains("qdisc add dev eth0"));
+        // qdisc + parent + 6 bands + 3 filters.
+        assert_eq!(cmds[0].commands.len(), 11);
+    }
+
+    #[test]
+    fn rotation_plan_is_filter_diff() {
+        let cfg = DaemonConfig::default();
+        let reg = registry(3);
+        // Same registry, one interval later: pure filter diff.
+        let cmds = plan(&cfg, Some((&reg, 0.0)), &reg, 20.0);
+        assert_eq!(cmds.len(), 1);
+        assert!(cmds[0].commands.iter().all(|c| c.contains("filter")));
+    }
+
+    #[test]
+    fn identical_state_needs_nothing() {
+        let cfg = DaemonConfig {
+            mode: PlanMode::One,
+            ..Default::default()
+        };
+        let reg = registry(3);
+        assert!(plan(&cfg, Some((&reg, 0.0)), &reg, 99.0).is_empty());
+    }
+
+    #[test]
+    fn departure_plan_tears_down_when_uncontended() {
+        let cfg = DaemonConfig {
+            mode: PlanMode::One,
+            ..Default::default()
+        };
+        let cmds = plan(&cfg, Some((&registry(2), 0.0)), &registry(1), 5.0);
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].commands, vec!["tc qdisc del dev eth0 root"]);
+    }
+
+    #[test]
+    fn fifo_mode_plans_removal_of_existing_config() {
+        let one = DaemonConfig {
+            mode: PlanMode::One,
+            ..Default::default()
+        };
+        let reg = registry(3);
+        // State deployed under TLs-One...
+        let mut policy = build_policy(&one);
+        let link = Bandwidth::from_gbps(one.link_gbps);
+        let mut controller = Controller::new("eth0", link, 6);
+        controller.apply(&policy.assign(SimTime::ZERO, &reg.traffic_infos()), &reg.net_infos());
+        // ...then a FIFO assignment (no configured hosts) tears it down.
+        let mut fifo = FifoPolicy;
+        let a = fifo.assign(SimTime::ZERO, &reg.traffic_infos());
+        let cmds = controller.apply(&a, &reg.net_infos());
+        assert_eq!(cmds.len(), 1);
+        assert!(cmds[0].commands[0].contains("qdisc del"));
+    }
+
+    #[test]
+    fn refresh_schedule_follows_mode() {
+        let rr = DaemonConfig::default();
+        assert_eq!(next_refresh_secs(&rr, 0.0), Some(20.0));
+        assert_eq!(next_refresh_secs(&rr, 25.0), Some(40.0));
+        let one = DaemonConfig {
+            mode: PlanMode::One,
+            ..Default::default()
+        };
+        assert_eq!(next_refresh_secs(&one, 0.0), None);
+    }
+
+    #[test]
+    fn registry_round_trips_through_serde() {
+        let reg = registry(2);
+        let json = serde_json::to_string(&reg).expect("serialize");
+        let back = Registry::from_json(&json).expect("parse");
+        assert_eq!(reg, back);
+    }
+}

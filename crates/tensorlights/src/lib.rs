@@ -1,0 +1,55 @@
+//! # tensorlights — end-host traffic prioritization for distributed DL
+//!
+//! The paper's contribution, as a library:
+//!
+//! * [`policy::PriorityPolicy`] — the policy abstraction, with the
+//!   [`policy::FifoPolicy`] baseline;
+//! * [`tls_one::TlsOne`] — static distinct priorities per job (TLs-One),
+//!   reconfigured only on job arrival/departure;
+//! * [`tls_rr::TlsRr`] — round-robin rotation every interval `T`
+//!   (TLs-RR) for fairness across concurrent jobs;
+//! * [`band_map`] — orderings (arrival / random / smallest-update-first)
+//!   and the blocked mapping of many jobs into tc's limited band count;
+//! * [`controller::Controller`] — turns assignments into literal `tc`
+//!   command sequences per host (full setup / filter-only rotation diffs /
+//!   teardown), the deployable artifact of §V.
+//!
+//! TensorLights is deliberately local: a policy sees only each host's
+//! colocated jobs and emits per-host configurations — no global
+//! coordination, no application or scheduler changes, matching the paper's
+//! deployment story.
+//!
+//! ```
+//! use simcore::SimTime;
+//! use tensorlights::{JobOrdering, JobTrafficInfo, PriorityPolicy, TlsOne};
+//! use tl_net::{Band, HostId};
+//!
+//! // Two jobs' PSes share host 0: TLs-One hands out distinct priorities.
+//! let jobs: Vec<JobTrafficInfo> = (0..2)
+//!     .map(|tag| JobTrafficInfo {
+//!         tag,
+//!         ps_host: HostId(0),
+//!         update_bytes: 1_900_000,
+//!         arrival_seq: tag,
+//!     })
+//!     .collect();
+//! let mut policy = TlsOne::new(JobOrdering::ByArrival);
+//! let assignment = policy.assign(SimTime::ZERO, &jobs);
+//! assert_eq!(assignment.band_of(0), Band(0));
+//! assert_eq!(assignment.band_of(1), Band(1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod band_map;
+pub mod daemon;
+pub mod controller;
+pub mod policy;
+pub mod tls_one;
+pub mod tls_rr;
+
+pub use band_map::{bands_for_ranking, JobOrdering};
+pub use controller::{Controller, HostCommands, JobNetInfo};
+pub use policy::{Assignment, FifoPolicy, JobTrafficInfo, PriorityPolicy};
+pub use tls_one::TlsOne;
+pub use tls_rr::TlsRr;

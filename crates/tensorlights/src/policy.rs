@@ -1,0 +1,132 @@
+//! The priority-policy abstraction.
+//!
+//! A policy decides, per host with colocated PSes, which priority band each
+//! job's *model-update* traffic uses. It is deliberately DL-agnostic: jobs
+//! are opaque tags with a PS host, an update size, and an arrival order —
+//! everything `tc` could learn from local configuration, honouring the
+//! paper's "no global coordination, no application changes" constraint.
+
+use simcore::SimTime;
+use tl_net::{Band, HostId};
+
+/// What a policy knows about one active job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobTrafficInfo {
+    /// Opaque job tag (the simulator uses the job id; a deployment uses the
+    /// PS port).
+    pub tag: u64,
+    /// Host running the job's PS — where its model updates egress.
+    pub ps_host: HostId,
+    /// Size of one model update in bytes (for size-aware orderings).
+    pub update_bytes: u64,
+    /// Arrival sequence number (for arrival-order tie-breaking).
+    pub arrival_seq: u64,
+}
+
+/// A complete band assignment produced by a policy.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Assignment {
+    /// Band for each job's model-update traffic, as `(tag, band)` pairs in
+    /// deterministic (tag) order.
+    pub job_bands: Vec<(u64, Band)>,
+    /// For each host where `tc` is configured: the band of the *default*
+    /// class, i.e. what unmatched egress traffic (colocated workers'
+    /// gradient updates) falls into — the lowest band, as in the paper's
+    /// htb layout. Hosts not listed are unconfigured (everything band 0).
+    pub host_default_band: Vec<(HostId, Band)>,
+}
+
+impl Assignment {
+    /// Band assigned to a job tag (band 0 if the policy did not mention it).
+    pub fn band_of(&self, tag: u64) -> Band {
+        self.job_bands
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|&(_, b)| b)
+            .unwrap_or(Band(0))
+    }
+
+    /// Default band for unmatched traffic leaving `host` (band 0 when the
+    /// host has no tc configuration).
+    pub fn default_band_of(&self, host: HostId) -> Band {
+        self.host_default_band
+            .iter()
+            .find(|(h, _)| *h == host)
+            .map(|&(_, b)| b)
+            .unwrap_or(Band(0))
+    }
+}
+
+/// A traffic-priority policy (FIFO baseline, TLs-One, TLs-RR, ...).
+pub trait PriorityPolicy {
+    /// Recompute the assignment. Called when the active job set changes
+    /// (arrival/departure) and at each time returned by
+    /// [`PriorityPolicy::next_update`].
+    fn assign(&mut self, now: SimTime, jobs: &[JobTrafficInfo]) -> Assignment;
+
+    /// The next time `assign` must be re-invoked even without job churn
+    /// (TLs-RR rotations); `None` for static policies.
+    fn next_update(&self, now: SimTime) -> Option<SimTime>;
+
+    /// Short policy name for reports ("fifo", "tls-one", "tls-rr").
+    fn name(&self) -> &'static str;
+}
+
+/// The FIFO baseline: no `tc` configuration anywhere; every flow shares its
+/// egress NIC in one band, exactly the paper's baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoPolicy;
+
+impl PriorityPolicy for FifoPolicy {
+    fn assign(&mut self, _now: SimTime, jobs: &[JobTrafficInfo]) -> Assignment {
+        Assignment {
+            job_bands: jobs.iter().map(|j| (j.tag, Band(0))).collect(),
+            host_default_band: Vec::new(),
+        }
+    }
+
+    fn next_update(&self, _now: SimTime) -> Option<SimTime> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(tag: u64, host: u32) -> JobTrafficInfo {
+        JobTrafficInfo {
+            tag,
+            ps_host: HostId(host),
+            update_bytes: 1_900_000,
+            arrival_seq: tag,
+        }
+    }
+
+    #[test]
+    fn fifo_assigns_band_zero_everywhere() {
+        let mut p = FifoPolicy;
+        let a = p.assign(SimTime::ZERO, &[job(1, 0), job(2, 0), job(3, 1)]);
+        assert!(a.job_bands.iter().all(|&(_, b)| b == Band(0)));
+        assert!(a.host_default_band.is_empty());
+        assert_eq!(a.default_band_of(HostId(0)), Band(0));
+        assert!(p.next_update(SimTime::ZERO).is_none());
+        assert_eq!(p.name(), "fifo");
+    }
+
+    #[test]
+    fn assignment_lookup_defaults() {
+        let a = Assignment {
+            job_bands: vec![(7, Band(3))],
+            host_default_band: vec![(HostId(2), Band(5))],
+        };
+        assert_eq!(a.band_of(7), Band(3));
+        assert_eq!(a.band_of(99), Band(0), "unknown tags default to band 0");
+        assert_eq!(a.default_band_of(HostId(2)), Band(5));
+        assert_eq!(a.default_band_of(HostId(9)), Band(0));
+    }
+}

@@ -1,0 +1,185 @@
+//! TensorLights-One: static per-job priorities.
+//!
+//! "In the batch processing mode which allows different progress of
+//! concurrent DL jobs, it suffices to reconfigure priority assignment upon
+//! job arrival and departure. We refer to such mode of priority assignment
+//! as TensorLights-One, or TLs-One."
+
+use crate::band_map::{bands_for_ranking, JobOrdering};
+use crate::policy::{Assignment, JobTrafficInfo, PriorityPolicy};
+use simcore::SimTime;
+use std::collections::BTreeMap;
+use tl_net::{Band, HostId};
+
+/// Group jobs by their PS host, in deterministic (host, input) order.
+pub(crate) fn group_by_ps_host(
+    jobs: &[JobTrafficInfo],
+) -> BTreeMap<HostId, Vec<JobTrafficInfo>> {
+    let mut groups: BTreeMap<HostId, Vec<JobTrafficInfo>> = BTreeMap::new();
+    for j in jobs {
+        groups.entry(j.ps_host).or_default().push(*j);
+    }
+    groups
+}
+
+/// Build an assignment from per-host rankings: hosts with two or more
+/// colocated PSes get configured (ranked jobs mapped into bands, default
+/// class = lowest band); lone-PS hosts stay unconfigured, exactly as the
+/// paper limits tc reconfiguration to "the hosts with contending PSes".
+pub(crate) fn assignment_from_rankings(
+    groups: &BTreeMap<HostId, Vec<JobTrafficInfo>>,
+    rank_host: impl Fn(HostId, &[JobTrafficInfo]) -> Vec<u64>,
+    num_bands: u8,
+) -> Assignment {
+    let mut job_bands = Vec::new();
+    let mut host_default_band = Vec::new();
+    for (&host, group) in groups {
+        if group.len() >= 2 {
+            let ranked = rank_host(host, group);
+            debug_assert_eq!(ranked.len(), group.len());
+            job_bands.extend(bands_for_ranking(&ranked, num_bands));
+            host_default_band.push((host, Band(num_bands - 1)));
+        } else {
+            for j in group {
+                job_bands.push((j.tag, Band(0)));
+            }
+        }
+    }
+    job_bands.sort_by_key(|&(tag, _)| tag);
+    Assignment {
+        job_bands,
+        host_default_band,
+    }
+}
+
+/// The TLs-One policy.
+#[derive(Debug, Clone, Copy)]
+pub struct TlsOne {
+    /// How each host ranks its colocated jobs.
+    pub ordering: JobOrdering,
+    /// Number of tc bands available (the paper uses up to 6).
+    pub num_bands: u8,
+}
+
+impl TlsOne {
+    /// TLs-One with the given ordering and the paper's six bands.
+    pub fn new(ordering: JobOrdering) -> Self {
+        TlsOne {
+            ordering,
+            num_bands: Band::TC_BAND_LIMIT,
+        }
+    }
+
+    /// Override the band budget (ablation knob).
+    pub fn with_bands(mut self, num_bands: u8) -> Self {
+        assert!((1..=8).contains(&num_bands), "bad band count {num_bands}");
+        self.num_bands = num_bands;
+        self
+    }
+}
+
+impl PriorityPolicy for TlsOne {
+    fn assign(&mut self, _now: SimTime, jobs: &[JobTrafficInfo]) -> Assignment {
+        let groups = group_by_ps_host(jobs);
+        assignment_from_rankings(&groups, |_h, g| self.ordering.rank(g), self.num_bands)
+    }
+
+    fn next_update(&self, _now: SimTime) -> Option<SimTime> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "tls-one"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(tag: u64, host: u32) -> JobTrafficInfo {
+        JobTrafficInfo {
+            tag,
+            ps_host: HostId(host),
+            update_bytes: 1_900_000,
+            arrival_seq: tag,
+        }
+    }
+
+    #[test]
+    fn contended_host_gets_distinct_bands() {
+        let mut p = TlsOne::new(JobOrdering::ByArrival);
+        let a = p.assign(SimTime::ZERO, &[job(0, 0), job(1, 0), job(2, 0)]);
+        assert_eq!(a.band_of(0), Band(0));
+        assert_eq!(a.band_of(1), Band(1));
+        assert_eq!(a.band_of(2), Band(2));
+        assert_eq!(a.host_default_band, vec![(HostId(0), Band(5))]);
+    }
+
+    #[test]
+    fn lone_ps_hosts_stay_unconfigured() {
+        let mut p = TlsOne::new(JobOrdering::ByArrival);
+        let a = p.assign(SimTime::ZERO, &[job(0, 0), job(1, 1)]);
+        assert_eq!(a.band_of(0), Band(0));
+        assert_eq!(a.band_of(1), Band(0));
+        assert!(a.host_default_band.is_empty());
+    }
+
+    #[test]
+    fn hosts_are_independent_priority_domains() {
+        // Two contended hosts each hand out bands starting at 0.
+        let mut p = TlsOne::new(JobOrdering::ByArrival);
+        let a = p.assign(
+            SimTime::ZERO,
+            &[job(0, 0), job(1, 0), job(10, 3), job(11, 3)],
+        );
+        assert_eq!(a.band_of(0), Band(0));
+        assert_eq!(a.band_of(1), Band(1));
+        assert_eq!(a.band_of(10), Band(0));
+        assert_eq!(a.band_of(11), Band(1));
+        assert_eq!(a.host_default_band.len(), 2);
+    }
+
+    #[test]
+    fn twentyone_jobs_share_six_bands() {
+        let mut p = TlsOne::new(JobOrdering::ByArrival);
+        let jobs: Vec<_> = (0..21).map(|t| job(t, 0)).collect();
+        let a = p.assign(SimTime::ZERO, &jobs);
+        let max_band = a.job_bands.iter().map(|&(_, b)| b).max().unwrap();
+        assert_eq!(max_band, Band(5));
+        assert!(a.job_bands.iter().all(|&(_, b)| b.0 < 6));
+    }
+
+    #[test]
+    fn band_budget_ablation() {
+        let mut p = TlsOne::new(JobOrdering::ByArrival).with_bands(2);
+        let jobs: Vec<_> = (0..4).map(|t| job(t, 0)).collect();
+        let a = p.assign(SimTime::ZERO, &jobs);
+        assert_eq!(a.band_of(0), Band(0));
+        assert_eq!(a.band_of(1), Band(0));
+        assert_eq!(a.band_of(2), Band(1));
+        assert_eq!(a.band_of(3), Band(1));
+        assert_eq!(a.default_band_of(HostId(0)), Band(1));
+    }
+
+    #[test]
+    fn assignment_is_static_over_time() {
+        let mut p = TlsOne::new(JobOrdering::Random { seed: 3 });
+        let jobs: Vec<_> = (0..8).map(|t| job(t, 0)).collect();
+        let a = p.assign(SimTime::ZERO, &jobs);
+        let b = p.assign(SimTime::from_secs(1000), &jobs);
+        assert_eq!(a, b, "TLs-One never rotates");
+        assert!(p.next_update(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn departure_recompacts_bands() {
+        let mut p = TlsOne::new(JobOrdering::ByArrival).with_bands(6);
+        let jobs: Vec<_> = (0..3).map(|t| job(t, 0)).collect();
+        let _ = p.assign(SimTime::ZERO, &jobs);
+        // Job 0 departs; remaining jobs move up.
+        let a = p.assign(SimTime::from_secs(10), &jobs[1..]);
+        assert_eq!(a.band_of(1), Band(0));
+        assert_eq!(a.band_of(2), Band(1));
+    }
+}

@@ -1,0 +1,221 @@
+//! TensorLights-Round Robin: rotating priorities for fairness.
+//!
+//! "To achieve fairness among concurrent DL jobs while using priority to
+//! mitigate straggler, we propose to rotate the priority assignment for the
+//! contending jobs once every time interval T. ... TLs-RR resembles the
+//! traffic lights on the road, which rotates the signals of 'pass' and
+//! 'yield'."
+//!
+//! Each rotation shifts every contended host's job ranking by one position,
+//! so over `n` intervals every job has occupied every rank once. The paper
+//! uses `T = 20` seconds, "sufficient for the DL jobs in our experiments
+//! that run for thousands of seconds".
+
+use crate::band_map::JobOrdering;
+use crate::policy::{Assignment, JobTrafficInfo, PriorityPolicy};
+use crate::tls_one::{assignment_from_rankings, group_by_ps_host};
+use simcore::{SimDuration, SimTime};
+use tl_net::Band;
+
+/// The TLs-RR policy.
+#[derive(Debug, Clone, Copy)]
+pub struct TlsRr {
+    /// Base ranking before rotation.
+    pub ordering: JobOrdering,
+    /// Number of tc bands available.
+    pub num_bands: u8,
+    /// Rotation interval T.
+    pub interval: SimDuration,
+}
+
+impl TlsRr {
+    /// TLs-RR with the paper's defaults: six bands, T = 20 s.
+    pub fn new(ordering: JobOrdering) -> Self {
+        TlsRr {
+            ordering,
+            num_bands: Band::TC_BAND_LIMIT,
+            interval: SimDuration::from_secs(20),
+        }
+    }
+
+    /// Override the rotation interval (ablation knob).
+    pub fn with_interval(mut self, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "rotation interval must be positive");
+        self.interval = interval;
+        self
+    }
+
+    /// Override the band budget (ablation knob).
+    pub fn with_bands(mut self, num_bands: u8) -> Self {
+        assert!((1..=8).contains(&num_bands), "bad band count {num_bands}");
+        self.num_bands = num_bands;
+        self
+    }
+
+    /// Number of whole intervals elapsed at `now`.
+    fn rotation_step(&self, now: SimTime) -> u64 {
+        now.as_nanos() / self.interval.as_nanos()
+    }
+}
+
+impl PriorityPolicy for TlsRr {
+    fn assign(&mut self, now: SimTime, jobs: &[JobTrafficInfo]) -> Assignment {
+        let step = self.rotation_step(now);
+        let groups = group_by_ps_host(jobs);
+        assignment_from_rankings(
+            &groups,
+            |_h, g| {
+                let mut ranked = self.ordering.rank(g);
+                let n = ranked.len();
+                // Rotate left: after k intervals, the job ranked k-th in the
+                // base ordering holds the top priority.
+                ranked.rotate_left((step % n as u64) as usize);
+                ranked
+            },
+            self.num_bands,
+        )
+    }
+
+    fn next_update(&self, now: SimTime) -> Option<SimTime> {
+        let next_step = self.rotation_step(now) + 1;
+        Some(SimTime::from_nanos(next_step * self.interval.as_nanos()))
+    }
+
+    fn name(&self) -> &'static str {
+        "tls-rr"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tl_net::HostId;
+
+    fn job(tag: u64, host: u32) -> JobTrafficInfo {
+        JobTrafficInfo {
+            tag,
+            ps_host: HostId(host),
+            update_bytes: 1_900_000,
+            arrival_seq: tag,
+        }
+    }
+
+    fn rr() -> TlsRr {
+        TlsRr::new(JobOrdering::ByArrival)
+    }
+
+    #[test]
+    fn initial_assignment_matches_tls_one() {
+        let mut p = rr();
+        let jobs = [job(0, 0), job(1, 0), job(2, 0)];
+        let a = p.assign(SimTime::ZERO, &jobs);
+        assert_eq!(a.band_of(0), Band(0));
+        assert_eq!(a.band_of(1), Band(1));
+        assert_eq!(a.band_of(2), Band(2));
+    }
+
+    #[test]
+    fn rotation_promotes_next_job() {
+        let mut p = rr();
+        let jobs = [job(0, 0), job(1, 0), job(2, 0)];
+        // Figure 4d: at T the assignment flips; job 1 leads.
+        let a = p.assign(SimTime::from_secs(20), &jobs);
+        assert_eq!(a.band_of(1), Band(0));
+        assert_eq!(a.band_of(2), Band(1));
+        assert_eq!(a.band_of(0), Band(2));
+    }
+
+    #[test]
+    fn rotation_cycles_completely() {
+        let mut p = rr();
+        let jobs = [job(0, 0), job(1, 0)];
+        let t0 = p.assign(SimTime::ZERO, &jobs);
+        let t1 = p.assign(SimTime::from_secs(20), &jobs);
+        let t2 = p.assign(SimTime::from_secs(40), &jobs);
+        assert_eq!(t0.band_of(0), Band(0));
+        assert_eq!(t1.band_of(0), Band(1));
+        assert_eq!(t2, t0, "period equals n intervals");
+    }
+
+    #[test]
+    fn every_job_leads_exactly_once_per_cycle() {
+        let mut p = rr();
+        let jobs: Vec<_> = (0..5).map(|t| job(t, 0)).collect();
+        let mut leaders = Vec::new();
+        for k in 0..5u64 {
+            let a = p.assign(SimTime::from_secs(20 * k), &jobs);
+            let leader = a
+                .job_bands
+                .iter()
+                .find(|&&(_, b)| b == Band(0))
+                .map(|&(t, _)| t)
+                .unwrap();
+            leaders.push(leader);
+        }
+        leaders.sort_unstable();
+        assert_eq!(leaders, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fairness_over_full_cycle() {
+        // Across one full rotation cycle, every job accumulates the same
+        // multiset of bands (the fairness property TLs-RR is for).
+        let mut p = rr();
+        let jobs: Vec<_> = (0..6).map(|t| job(t, 0)).collect();
+        let mut per_job: std::collections::HashMap<u64, Vec<u8>> = Default::default();
+        for k in 0..6u64 {
+            let a = p.assign(SimTime::from_secs(20 * k), &jobs);
+            for &(tag, b) in &a.job_bands {
+                per_job.entry(tag).or_default().push(b.0);
+            }
+        }
+        let mut sets: Vec<Vec<u8>> = per_job.into_values().collect();
+        for s in &mut sets {
+            s.sort_unstable();
+        }
+        assert!(sets.windows(2).all(|w| w[0] == w[1]), "{sets:?}");
+    }
+
+    #[test]
+    fn next_update_is_next_interval_boundary() {
+        let p = rr();
+        assert_eq!(p.next_update(SimTime::ZERO), Some(SimTime::from_secs(20)));
+        assert_eq!(
+            p.next_update(SimTime::from_secs(25)),
+            Some(SimTime::from_secs(40))
+        );
+        assert_eq!(
+            p.next_update(SimTime::from_secs(40)),
+            Some(SimTime::from_secs(60)),
+            "an update exactly at a boundary schedules the following one"
+        );
+    }
+
+    #[test]
+    fn custom_interval() {
+        let p = rr().with_interval(SimDuration::from_secs(5));
+        assert_eq!(p.next_update(SimTime::ZERO), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn rotation_is_per_host() {
+        let mut p = rr();
+        let jobs = [job(0, 0), job(1, 0), job(10, 1), job(11, 1), job(12, 1)];
+        // After one interval, host 0 (2 jobs) and host 1 (3 jobs) both
+        // rotate by one position independently.
+        let a = p.assign(SimTime::from_secs(20), &jobs);
+        assert_eq!(a.band_of(1), Band(0));
+        assert_eq!(a.band_of(11), Band(0));
+        assert_eq!(a.band_of(10), Band(2));
+    }
+
+    #[test]
+    fn uncontended_jobs_unaffected_by_rotation() {
+        let mut p = rr();
+        let jobs = [job(0, 0), job(1, 1)];
+        let a = p.assign(SimTime::from_secs(60), &jobs);
+        assert_eq!(a.band_of(0), Band(0));
+        assert_eq!(a.band_of(1), Band(0));
+        assert!(a.host_default_band.is_empty());
+    }
+}

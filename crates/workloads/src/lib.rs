@@ -1,0 +1,246 @@
+//! # tl-workloads — workload generators
+//!
+//! Builds the job sets the paper's evaluation runs:
+//!
+//! * [`GridSearchConfig`] — the §III workload: N identical ResNet-32 jobs
+//!   (grid search), launched with a small stagger "to avoid overloading RPC
+//!   or SSH connections";
+//! * [`heterogeneous_mix`] — jobs over a mix of model sizes, for the
+//!   smallest-update-first ordering ablation;
+//! * [`poisson_arrivals`] — open-loop job arrivals for arrival/departure
+//!   dynamics (TLs-One reconfigures on churn);
+//! * [`scenario`] — declarative JSON scenario files for arbitrary job
+//!   mixes (see the `custom_scenario` example).
+
+#![warn(missing_docs)]
+
+pub mod scenario;
+
+use rand::Rng;
+use simcore::{SimDuration, SimTime};
+use tl_cluster::Placement;
+use tl_dl::{JobId, JobSetup, JobSpec, ModelSpec, TrainingMode};
+
+pub use scenario::{load_scenario, ScenarioError, ScenarioFile, ScenarioJob};
+
+/// Configuration of a grid-search workload (the paper's §III).
+#[derive(Debug, Clone)]
+pub struct GridSearchConfig {
+    /// Number of concurrent jobs.
+    pub num_jobs: u32,
+    /// Workers per job.
+    pub workers_per_job: u32,
+    /// The model every instance trains.
+    pub model: ModelSpec,
+    /// Local batch size (the paper's contention-intensity knob).
+    pub local_batch_size: u32,
+    /// Stop at this global step.
+    pub target_global_steps: u64,
+    /// Delay between consecutive launches (the paper: 0.1 s).
+    pub launch_stagger: SimDuration,
+    /// Synchronous or asynchronous training.
+    pub mode: TrainingMode,
+    /// First PS port; job `i` uses `base_port + i`.
+    pub base_port: u16,
+}
+
+impl GridSearchConfig {
+    /// The paper's exact workload: 21 jobs × (1 PS + 20 workers),
+    /// ResNet-32/CIFAR-10, local batch 4, 30 000 global steps,
+    /// 0.1 s launch stagger.
+    pub fn paper() -> Self {
+        GridSearchConfig {
+            num_jobs: 21,
+            workers_per_job: 20,
+            model: ModelSpec::resnet32(),
+            local_batch_size: 4,
+            target_global_steps: 30_000,
+            launch_stagger: SimDuration::from_millis(100),
+            mode: TrainingMode::Synchronous,
+            base_port: 2222,
+        }
+    }
+
+    /// The paper's workload scaled down to `iterations` synchronous
+    /// iterations (the shape of every result is iteration-count invariant;
+    /// this keeps full-matrix reproductions tractable).
+    pub fn paper_scaled(iterations: u64) -> Self {
+        let mut cfg = Self::paper();
+        cfg.target_global_steps = iterations * cfg.workers_per_job as u64;
+        cfg
+    }
+
+    /// Total synchronous iterations each job will run.
+    pub fn iterations(&self) -> u64 {
+        self.target_global_steps
+            .div_ceil(self.workers_per_job as u64)
+    }
+
+    /// Materialize the job set on a placement (panics on shape mismatch).
+    pub fn build(&self, placement: &Placement) -> Vec<JobSetup> {
+        assert_eq!(
+            placement.jobs.len(),
+            self.num_jobs as usize,
+            "placement has {} jobs, workload expects {}",
+            placement.jobs.len(),
+            self.num_jobs
+        );
+        (0..self.num_jobs)
+            .map(|i| {
+                let jp = &placement.jobs[i as usize];
+                assert_eq!(
+                    jp.worker_hosts.len(),
+                    self.workers_per_job as usize,
+                    "job {i}: placement worker count mismatch"
+                );
+                JobSetup {
+                    spec: JobSpec {
+                        id: JobId(i),
+                        model: self.model.clone(),
+                        num_workers: self.workers_per_job,
+                        local_batch_size: self.local_batch_size,
+                        target_global_steps: self.target_global_steps,
+                        mode: self.mode,
+                        launch_time: SimTime::ZERO
+                            + SimDuration::from_nanos(
+                                self.launch_stagger.as_nanos() * i as u64,
+                            ),
+                        ps_port: self.base_port + i as u16,
+                    },
+                    placement: jp.clone(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// A grid-search-shaped workload where job `i` trains `models[i % len]` —
+/// heterogeneous update sizes for the head-of-line-blocking ablation.
+pub fn heterogeneous_mix(
+    base: &GridSearchConfig,
+    models: &[ModelSpec],
+    placement: &Placement,
+) -> Vec<JobSetup> {
+    assert!(!models.is_empty(), "need at least one model");
+    let mut setups = base.build(placement);
+    for (i, s) in setups.iter_mut().enumerate() {
+        s.spec.model = models[i % models.len()].clone();
+    }
+    setups
+}
+
+/// Draw `n` Poisson arrival times with the given mean inter-arrival gap.
+pub fn poisson_arrivals<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    mean_gap: SimDuration,
+) -> Vec<SimTime> {
+    assert!(!mean_gap.is_zero(), "mean gap must be positive");
+    let rate = 1.0 / mean_gap.as_secs_f64();
+    let mut t = 0.0;
+    (0..n)
+        .map(|_| {
+            t += simcore::rng::sample_exponential(rng, rate);
+            SimTime::from_secs_f64(t)
+        })
+        .collect()
+}
+
+/// Apply arrival times to a job set (e.g. from [`poisson_arrivals`]).
+pub fn with_arrivals(mut setups: Vec<JobSetup>, arrivals: &[SimTime]) -> Vec<JobSetup> {
+    assert_eq!(setups.len(), arrivals.len(), "one arrival per job");
+    for (s, &t) in setups.iter_mut().zip(arrivals) {
+        s.spec.launch_time = t;
+    }
+    setups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::RngFactory;
+    use tl_cluster::{table1_placement, Table1Index};
+
+    #[test]
+    fn paper_workload_matches_section_iii() {
+        let cfg = GridSearchConfig::paper();
+        assert_eq!(cfg.num_jobs, 21);
+        assert_eq!(cfg.workers_per_job, 20);
+        assert_eq!(cfg.local_batch_size, 4);
+        assert_eq!(cfg.target_global_steps, 30_000);
+        assert_eq!(cfg.iterations(), 1500);
+    }
+
+    #[test]
+    fn build_produces_staggered_launches() {
+        let cfg = GridSearchConfig::paper_scaled(10);
+        let p = table1_placement(Table1Index(1), 21, 21);
+        let setups = cfg.build(&p);
+        assert_eq!(setups.len(), 21);
+        assert_eq!(setups[0].spec.launch_time, SimTime::ZERO);
+        assert_eq!(setups[1].spec.launch_time, SimTime::from_millis(100));
+        assert_eq!(setups[20].spec.launch_time, SimTime::from_secs(2));
+        // Ports are distinct per job (tc filters key on them).
+        let mut ports: Vec<u16> = setups.iter().map(|s| s.spec.ps_port).collect();
+        ports.dedup();
+        assert_eq!(ports.len(), 21);
+    }
+
+    #[test]
+    fn scaled_preserves_everything_but_steps() {
+        let a = GridSearchConfig::paper();
+        let b = GridSearchConfig::paper_scaled(300);
+        assert_eq!(b.target_global_steps, 6000);
+        assert_eq!(b.iterations(), 300);
+        assert_eq!(a.local_batch_size, b.local_batch_size);
+        assert_eq!(a.num_jobs, b.num_jobs);
+    }
+
+    #[test]
+    #[should_panic(expected = "placement has")]
+    fn build_rejects_wrong_placement() {
+        let cfg = GridSearchConfig::paper();
+        let p = table1_placement(Table1Index(1), 11, 10);
+        let _ = cfg.build(&p);
+    }
+
+    #[test]
+    fn heterogeneous_mix_cycles_models() {
+        let cfg = GridSearchConfig::paper_scaled(10);
+        let p = table1_placement(Table1Index(1), 21, 21);
+        let models = [ModelSpec::resnet32(), ModelSpec::alexnet()];
+        let setups = heterogeneous_mix(&cfg, &models, &p);
+        assert_eq!(setups[0].spec.model.name, "resnet32-cifar10");
+        assert_eq!(setups[1].spec.model.name, "alexnet");
+        assert_eq!(setups[2].spec.model.name, "resnet32-cifar10");
+    }
+
+    #[test]
+    fn poisson_arrivals_are_increasing_and_scale() {
+        let mut rng = RngFactory::new(5).stream("arrivals");
+        let arr = poisson_arrivals(&mut rng, 1000, SimDuration::from_secs(10));
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        let mean_gap = arr.last().unwrap().as_secs_f64() / 1000.0;
+        assert!((mean_gap - 10.0).abs() < 1.0, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn async_workload_builds() {
+        let mut cfg = GridSearchConfig::paper_scaled(5);
+        cfg.mode = TrainingMode::Asynchronous;
+        let p = table1_placement(Table1Index(8), 21, 21);
+        let setups = cfg.build(&p);
+        assert!(setups
+            .iter()
+            .all(|s| s.spec.mode == TrainingMode::Asynchronous));
+    }
+
+    #[test]
+    fn with_arrivals_overrides_launches() {
+        let cfg = GridSearchConfig::paper_scaled(5);
+        let p = table1_placement(Table1Index(8), 21, 21);
+        let arrivals: Vec<SimTime> = (0..21).map(|i| SimTime::from_secs(i * 7)).collect();
+        let setups = with_arrivals(cfg.build(&p), &arrivals);
+        assert_eq!(setups[3].spec.launch_time, SimTime::from_secs(21));
+    }
+}

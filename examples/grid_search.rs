@@ -1,0 +1,51 @@
+//! The paper's §III workload end to end: 21 concurrent grid-search jobs
+//! (ResNet-32 / CIFAR-10, 1 PS + 20 workers each) on a 21-host cluster.
+//!
+//! ```sh
+//! cargo run --release --example grid_search -- [placement 1-8] [iterations] [fifo|tls-one|tls-rr]
+//! ```
+
+use tl_cluster::{table1_placement, Table1Index};
+use tl_experiments::{run_grid_search, ExperimentConfig, PolicyKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let index: u8 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let iterations: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let policy = match args.get(3).map(String::as_str) {
+        None | Some("fifo") => PolicyKind::Fifo,
+        Some("tls-one") => PolicyKind::TlsOne,
+        Some("tls-rr") => PolicyKind::TlsRr,
+        Some(other) => panic!("unknown policy {other}"),
+    };
+
+    let cfg = ExperimentConfig::scaled(iterations);
+    let placement = table1_placement(Table1Index(index), 21, 21);
+    println!(
+        "grid search: placement #{index} ({:?} PS groups), {iterations} iterations, {}",
+        placement.ps_colocation_counts().len(),
+        policy.label()
+    );
+
+    let t0 = std::time::Instant::now();
+    let out = run_grid_search(&cfg, &placement, policy, 4, None);
+    println!(
+        "simulated {} events in {:.1?} (simulated time {})\n",
+        out.events,
+        t0.elapsed(),
+        out.end_time
+    );
+
+    println!("job   JCT(s)  iterations  mean wait(s)  wait var");
+    for j in &out.jobs {
+        println!(
+            "{:5} {:7.1} {:11} {:13.3} {:9.5}",
+            j.id.to_string(),
+            j.jct_secs().expect("complete"),
+            j.iterations,
+            j.barrier_means.mean(),
+            j.barrier_vars.mean(),
+        );
+    }
+    println!("\nmean JCT: {:.1}s", out.mean_jct_secs());
+}

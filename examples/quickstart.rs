@@ -1,0 +1,75 @@
+//! Quickstart: two DL jobs with colocated parameter servers, FIFO vs
+//! TLs-One.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a 4-host cluster, places both jobs' PSes on host 0 (the
+//! contention pattern of the paper's Figure 4a), trains both jobs under the
+//! default FIFO NIC scheduling and under TensorLights-One, and prints the
+//! completion times and barrier wait statistics side by side.
+
+use simcore::SimTime;
+use tensorlights::{FifoPolicy, JobOrdering, PriorityPolicy, TlsOne};
+use tl_cluster::JobPlacement;
+use tl_dl::{
+    run_simulation, JobId, JobSetup, JobSpec, ModelSpec, SimConfig, SimOutput, TrainingMode,
+};
+use tl_net::HostId;
+
+fn jobs() -> Vec<JobSetup> {
+    (0..2u32)
+        .map(|id| JobSetup {
+            spec: JobSpec {
+                id: JobId(id),
+                model: ModelSpec::alexnet(), // communication-heavy: ~244 MB updates
+                num_workers: 3,
+                local_batch_size: 4,
+                target_global_steps: 50 * 3, // 50 iterations
+                mode: TrainingMode::Synchronous,
+                launch_time: SimTime::from_millis(100 * id as u64),
+                ps_port: 2222 + id as u16,
+            },
+            // Both PSes on host 0; workers spread over hosts 1-3.
+            placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2), HostId(3)]),
+        })
+        .collect()
+}
+
+fn report(label: &str, out: &SimOutput) {
+    println!("{label}:");
+    for j in &out.jobs {
+        println!(
+            "  {}: JCT {:6.2}s, mean barrier wait {:.3}s, wait variance {:.5}",
+            j.id,
+            j.jct_secs().expect("job finished"),
+            j.barrier_means.mean(),
+            j.barrier_vars.mean(),
+        );
+    }
+    println!("  mean JCT: {:.2}s\n", out.mean_jct_secs());
+}
+
+fn main() {
+    let cfg = SimConfig {
+        // AlexNet is compute-light and communication-heavy, so the two
+        // colocated PSes contend visibly on the shared 10 Gbps NIC.
+        compute: tl_dl::ComputeModel {
+            per_sample_core_secs: 0.01,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    let mut fifo = FifoPolicy;
+    let base = run_simulation(cfg.clone(), jobs(), &mut fifo);
+    report("FIFO (no tc configuration)", &base);
+
+    let mut tls: Box<dyn PriorityPolicy> = Box::new(TlsOne::new(JobOrdering::ByArrival));
+    let prio = run_simulation(cfg, jobs(), tls.as_mut());
+    report("TensorLights-One", &prio);
+
+    let gain = 1.0 - prio.mean_jct_secs() / base.mean_jct_secs();
+    println!("TLs-One improves mean JCT by {:.1}%", gain * 100.0);
+}

@@ -1,0 +1,77 @@
+//! Generate the literal Linux `tc` configuration TensorLights deploys.
+//!
+//! ```sh
+//! cargo run --example tc_script
+//! ```
+//!
+//! Models a host carrying three colocated PSes (ports 2222-2224), prints
+//! the full htb setup script, then the filter-only diff a TLs-RR rotation
+//! applies, then what happens when a job departs and when contention
+//! disappears entirely.
+
+use simcore::SimTime;
+use tensorlights::{
+    Controller, JobNetInfo, JobOrdering, JobTrafficInfo, PriorityPolicy, TlsRr,
+};
+use tl_net::{Band, Bandwidth, HostId, TcConfig};
+
+fn main() {
+    // The static view: one host's htb tree, rendered directly.
+    let mut tc = TcConfig::new("eth0", Bandwidth::from_gbps(10.0), Band::TC_BAND_LIMIT);
+    tc.assign_port(2222, Band(0));
+    tc.assign_port(2223, Band(1));
+    tc.assign_port(2224, Band(2));
+    println!("# full setup on a host with three contending PSes");
+    for line in tc.render_setup() {
+        println!("{line}");
+    }
+
+    // The dynamic view: the controller reacts to rotations and churn.
+    let jobs = |tags: &[u64]| -> (Vec<JobTrafficInfo>, Vec<JobNetInfo>) {
+        (
+            tags.iter()
+                .map(|&tag| JobTrafficInfo {
+                    tag,
+                    ps_host: HostId(0),
+                    update_bytes: 1_900_000,
+                    arrival_seq: tag,
+                })
+                .collect(),
+            tags.iter()
+                .map(|&tag| JobNetInfo {
+                    tag,
+                    ps_host: HostId(0),
+                    ps_port: 2222 + tag as u16,
+                })
+                .collect(),
+        )
+    };
+
+    let mut policy = TlsRr::new(JobOrdering::ByArrival);
+    let mut controller = Controller::new("eth0", Bandwidth::from_gbps(10.0), 6);
+    let (infos, nets) = jobs(&[0, 1, 2]);
+    controller.apply(&policy.assign(SimTime::ZERO, &infos), &nets);
+
+    println!("\n# rotation at t = T: filter diff only — the qdisc tree is untouched");
+    for hc in controller.apply(&policy.assign(SimTime::from_secs(20), &infos), &nets) {
+        for line in &hc.commands {
+            println!("{line}");
+        }
+    }
+
+    println!("\n# job 2 departs: its filter is removed, the others re-rank");
+    let (infos2, nets2) = jobs(&[0, 1]);
+    for hc in controller.apply(&policy.assign(SimTime::from_secs(25), &infos2), &nets2) {
+        for line in &hc.commands {
+            println!("{line}");
+        }
+    }
+
+    println!("\n# last contender gone: full teardown");
+    let (infos1, nets1) = jobs(&[0]);
+    for hc in controller.apply(&policy.assign(SimTime::from_secs(30), &infos1), &nets1) {
+        for line in &hc.commands {
+            println!("{line}");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # tensorlights-suite — reproduction of "Green, Yellow, Yield" (IPPS 2019)
+//!
+//! A meta-crate tying the workspace together; see the individual crates:
+//!
+//! * [`simcore`] — discrete-event kernel (time, events, RNG, statistics);
+//! * [`tl_net`] — fluid + chunk network models, `tc` script generation;
+//! * [`tl_cluster`] — hosts, CPU sharing, placements, utilization;
+//! * [`tl_dl`] — PS/worker training state machines and the simulation
+//!   engine;
+//! * [`tensorlights`] — the paper's contribution: FIFO / TLs-One / TLs-RR
+//!   policies and the host controller;
+//! * [`tl_workloads`] — grid-search and sweep workload generators;
+//! * [`tl_experiments`] — one module per paper table/figure plus the
+//!   `repro` binary.
+//!
+//! The `examples/` directory demonstrates the public API end to end; the
+//! `tests/` directory holds cross-crate integration and property tests.
+
+pub use simcore;
+pub use tensorlights;
+pub use tl_cluster as cluster;
+pub use tl_dl as dl;
+pub use tl_experiments as experiments;
+pub use tl_net as net;
+pub use tl_workloads as workloads;

@@ -1,0 +1,59 @@
+//! Full-stack determinism: identical configurations produce bit-identical
+//! results, and the randomness that exists is exactly the seeded kind.
+
+use tl_cluster::{table1_placement, Table1Index};
+use tl_experiments::{run_grid_search, ExperimentConfig, PolicyKind};
+
+fn jcts(cfg: &ExperimentConfig, policy: PolicyKind) -> Vec<f64> {
+    let placement = table1_placement(Table1Index(2), 21, 21);
+    let out = run_grid_search(cfg, &placement, policy, 4, None);
+    assert!(out.all_complete());
+    out.jobs.iter().map(|j| j.jct_secs().unwrap()).collect()
+}
+
+#[test]
+fn same_seed_same_results_across_policies() {
+    let cfg = ExperimentConfig::quick();
+    for policy in PolicyKind::all() {
+        let a = jcts(&cfg, policy);
+        let b = jcts(&cfg, policy);
+        assert_eq!(a, b, "{policy:?} not deterministic");
+    }
+}
+
+#[test]
+fn different_seed_different_results() {
+    let a = jcts(&ExperimentConfig::quick(), PolicyKind::Fifo);
+    let mut cfg = ExperimentConfig::quick();
+    cfg.seed ^= 0xDEAD_BEEF;
+    let b = jcts(&cfg, PolicyKind::Fifo);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn policies_actually_differ_under_contention() {
+    let cfg = ExperimentConfig::quick();
+    let placement = table1_placement(Table1Index(1), 21, 21);
+    let fifo = run_grid_search(&cfg, &placement, PolicyKind::Fifo, 4, None);
+    let one = run_grid_search(&cfg, &placement, PolicyKind::TlsOne, 4, None);
+    assert!(
+        one.mean_jct_secs() < fifo.mean_jct_secs(),
+        "TLs-One must beat FIFO at placement #1"
+    );
+}
+
+#[test]
+fn barrier_accounting_is_exact() {
+    // Every job observes exactly iterations-1 complete barriers, each with
+    // one wait sample per worker.
+    let cfg = ExperimentConfig::quick();
+    let placement = table1_placement(Table1Index(3), 21, 21);
+    let out = run_grid_search(&cfg, &placement, PolicyKind::TlsRr, 4, None);
+    for j in &out.jobs {
+        let barriers = (cfg.iterations - 1) as usize;
+        assert_eq!(j.barrier_means.len(), barriers);
+        assert_eq!(j.barrier_vars.len(), barriers);
+        assert_eq!(j.waits.len(), barriers * 20);
+        assert_eq!(j.global_steps, cfg.iterations * 20);
+    }
+}
