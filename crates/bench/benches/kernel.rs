@@ -94,6 +94,95 @@ fn bench_fluid(c: &mut Criterion) {
     g.finish();
 }
 
+/// Allocator churn as the TLs-RR policy produces it: the paper-scale
+/// 840-flow network stays up while band assignments rotate tag by tag,
+/// forcing a rate refresh after every rotation.
+fn bench_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/churn");
+
+    g.bench_function("band_rotation_840_flows", |b| {
+        let mut net = FluidNet::new(Topology::uniform(21, Bandwidth::from_gbps(10.0)));
+        for j in 0..21u64 {
+            for w in 0..20u32 {
+                net.start_flow(
+                    SimTime::ZERO,
+                    FlowSpec {
+                        src: HostId(0),
+                        dst: HostId(1 + w),
+                        bytes: 1e14,
+                        band: Band((j % 6) as u8),
+                        weight: 1.0 + j as f64 * 0.01,
+                        tag: j,
+                    },
+                );
+                net.start_flow(
+                    SimTime::ZERO,
+                    FlowSpec {
+                        src: HostId(1 + w),
+                        dst: HostId(0),
+                        bytes: 1e14,
+                        band: Band(0),
+                        weight: 1.0,
+                        tag: j,
+                    },
+                );
+            }
+        }
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            for j in 0..21u64 {
+                net.set_band_for_tag(SimTime::ZERO, j, Band(((j + round) % 6) as u8));
+                black_box(net.next_event_time());
+            }
+        });
+    });
+
+    // Churn on one pair of hosts while 31 other disjoint pairs carry
+    // long-lived elephants: the case where an incremental allocator only
+    // needs to re-solve the touched connected component.
+    g.bench_function("sparse_arrival_disjoint_pairs", |b| {
+        let mut net = FluidNet::new(Topology::uniform(64, Bandwidth::from_gbps(10.0)));
+        for p in 1..32u32 {
+            net.start_flow(
+                SimTime::ZERO,
+                FlowSpec {
+                    src: HostId(2 * p),
+                    dst: HostId(2 * p + 1),
+                    bytes: 1e14,
+                    band: Band(0),
+                    weight: 1.0,
+                    tag: p as u64,
+                },
+            );
+        }
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            net.start_flow(
+                now,
+                FlowSpec {
+                    src: HostId(0),
+                    dst: HostId(1),
+                    bytes: 1e6,
+                    band: Band(0),
+                    weight: 1.0,
+                    tag: 999,
+                },
+            );
+            loop {
+                let t = net.next_event_time().expect("pending flows");
+                now = t;
+                if !net.take_completions(t).is_empty() {
+                    break;
+                }
+            }
+            black_box(now)
+        });
+    });
+
+    g.finish();
+}
+
 fn bench_cpu(c: &mut Criterion) {
     let mut g = c.benchmark_group("kernel/cpu");
     g.bench_function("21_tasks_processor_sharing", |b| {
@@ -156,6 +245,7 @@ criterion_group!(
     bench_event_queue,
     bench_maxmin,
     bench_fluid,
+    bench_churn,
     bench_cpu,
     bench_packet,
     bench_psim

@@ -10,7 +10,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 use tl_cluster::Table1Index;
-use tl_experiments::{config::ExperimentConfig, fig2, fig3, fig4, fig5, fig6, table1, table2};
+use tl_experiments::{
+    config::ExperimentConfig, fig2, fig3, fig4, fig5, fig6, run_table1, table1, table2, PolicyKind,
+};
 
 fn quick() -> ExperimentConfig {
     ExperimentConfig::scaled(12)
@@ -19,6 +21,28 @@ fn quick() -> ExperimentConfig {
 fn configure(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(8));
+}
+
+/// One full 21-job grid-search step — the workload the incremental
+/// allocator targets. TLs-RR maximizes allocator churn (every rotation
+/// interval re-bands a tag); FIFO is the low-churn contrast.
+fn bench_grid_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grid_search");
+    configure(&mut g);
+    let cfg = quick();
+    g.bench_function("21_jobs_fifo", |b| {
+        b.iter(|| {
+            let out = run_table1(&cfg, Table1Index(8), PolicyKind::Fifo);
+            black_box(out.mean_jct_secs())
+        });
+    });
+    g.bench_function("21_jobs_tls_rr", |b| {
+        b.iter(|| {
+            let out = run_table1(&cfg, Table1Index(8), PolicyKind::TlsRr);
+            black_box(out.mean_jct_secs())
+        });
+    });
+    g.finish();
 }
 
 fn bench_table1(c: &mut Criterion) {
@@ -122,6 +146,7 @@ fn bench_table2(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_grid_search,
     bench_table1,
     bench_fig2,
     bench_fig3,

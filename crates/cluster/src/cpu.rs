@@ -13,7 +13,6 @@
 
 use crate::host::HostSpec;
 use simcore::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// Identifier of a compute task within a [`CpuEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -47,16 +46,48 @@ struct TaskState {
 /// Core-seconds below which a task counts as complete (ns-resolution slack).
 const DONE_EPS: f64 = 1e-7;
 
+/// Slab slot: the generation disambiguates reused slots so stale
+/// [`CpuTaskId`]s never alias a newer task.
+#[derive(Debug)]
+struct SlotEntry {
+    gen: u32,
+    state: Option<TaskState>,
+}
+
+fn slot_of(id: u64) -> usize {
+    (id & 0xFFFF_FFFF) as usize
+}
+
+fn make_id(gen: u32, slot: usize) -> u64 {
+    ((gen as u64) << 32) | slot as u64
+}
+
 /// Event-driven processor-sharing engine over a set of hosts.
+///
+/// Tasks live in a generational slab (ids are `(generation << 32) | slot`),
+/// and shares are recomputed incrementally: hosts are independent, so a
+/// task arrival or completion only re-runs the water-filling pass on its
+/// own host. The next-completion time is cached between mutations — it is
+/// an absolute time, invariant under [`CpuEngine::advance`] while shares
+/// are unchanged.
 #[derive(Debug)]
 pub struct CpuEngine {
     specs: Vec<HostSpec>,
-    tasks: HashMap<u64, TaskState>,
-    /// Active ids in creation order (deterministic iteration).
-    active: Vec<u64>,
-    next_id: u64,
+    slots: Vec<SlotEntry>,
+    /// Free slab slots available for reuse.
+    free: Vec<u32>,
+    /// Active slots in creation order (deterministic iteration).
+    active: Vec<u32>,
     last_advance: SimTime,
-    rates_fresh: bool,
+    /// Hosts whose shares must be recomputed before the next query.
+    dirty_hosts: Vec<bool>,
+    any_dirty: bool,
+    /// Cached `next_event_time` result; cleared on any mutation.
+    next_cache: Option<Option<SimTime>>,
+    /// Reusable per-host task grouping for the water-filling pass.
+    per_host: Vec<Vec<u32>>,
+    /// Reusable water-filling worklist.
+    unfrozen: Vec<u32>,
     /// Cumulative busy core-seconds per host (for utilization).
     busy_core_secs: Vec<f64>,
 }
@@ -68,11 +99,15 @@ impl CpuEngine {
         let n = specs.len();
         CpuEngine {
             specs,
-            tasks: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             active: Vec::new(),
-            next_id: 0,
             last_advance: SimTime::ZERO,
-            rates_fresh: true,
+            dirty_hosts: vec![false; n],
+            any_dirty: false,
+            next_cache: None,
+            per_host: vec![Vec::new(); n],
+            unfrozen: Vec::new(),
             busy_core_secs: vec![0.0; n],
         }
     }
@@ -109,22 +144,34 @@ impl CpuEngine {
         );
         assert!(cap > 0.0 && cap.is_finite(), "invalid cap {cap}");
         self.advance(now);
-        let id = self.next_id;
-        self.next_id += 1;
-        self.tasks.insert(
-            id,
-            TaskState {
-                host,
-                tag,
-                remaining: core_secs,
-                cap,
-                rate: 0.0,
-                started: now,
-            },
-        );
-        self.active.push(id);
-        self.rates_fresh = false;
-        CpuTaskId(id)
+        let state = TaskState {
+            host,
+            tag,
+            remaining: core_secs,
+            cap,
+            rate: 0.0,
+            started: now,
+        };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let entry = &mut self.slots[s as usize];
+                debug_assert!(entry.state.is_none(), "free slot still occupied");
+                entry.state = Some(state);
+                s as usize
+            }
+            None => {
+                self.slots.push(SlotEntry {
+                    gen: 0,
+                    state: Some(state),
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.active.push(slot as u32);
+        self.dirty_hosts[host] = true;
+        self.any_dirty = true;
+        self.next_cache = None;
+        CpuTaskId(make_id(self.slots[slot].gen, slot))
     }
 
     /// Integrate progress up to `now`.
@@ -139,23 +186,38 @@ impl CpuEngine {
         }
         self.refresh_rates();
         let dt = now.since(self.last_advance).as_secs_f64();
-        for &id in &self.active {
-            let t = self.tasks.get_mut(&id).expect("active task missing");
+        let slots = &mut self.slots;
+        let busy = &mut self.busy_core_secs;
+        for &slot in &self.active {
+            let t = slots[slot as usize]
+                .state
+                .as_mut()
+                .expect("active task missing");
             if t.rate > 0.0 {
                 let done = (t.rate * dt).min(t.remaining);
                 t.remaining -= done;
-                self.busy_core_secs[t.host] += done;
+                busy[t.host] += done;
             }
         }
         self.last_advance = now;
     }
 
     /// The earliest time a task completes under current shares, if any.
+    ///
+    /// The result is cached: while no task arrives or completes, shares —
+    /// and thus the absolute completion time — are unchanged, so repeated
+    /// calls (one per simulator event) cost nothing.
     pub fn next_event_time(&mut self) -> Option<SimTime> {
+        if let Some(cached) = self.next_cache {
+            return cached;
+        }
         self.refresh_rates();
         let mut best: Option<f64> = None;
-        for &id in &self.active {
-            let t = &self.tasks[&id];
+        for &slot in &self.active {
+            let t = self.slots[slot as usize]
+                .state
+                .as_ref()
+                .expect("active task missing");
             if t.rate > 0.0 {
                 let secs = (t.remaining / t.rate).max(0.0);
                 best = Some(match best {
@@ -164,34 +226,43 @@ impl CpuEngine {
                 });
             }
         }
-        best.map(|secs| {
+        let when = best.map(|secs| {
             self.last_advance + SimDuration::from_secs_f64(secs) + SimDuration::from_nanos(1)
-        })
+        });
+        self.next_cache = Some(when);
+        when
     }
 
     /// Advance to `now` and drain finished tasks in creation order.
     pub fn take_completions(&mut self, now: SimTime) -> Vec<CompletedTask> {
         self.advance(now);
         let mut done = Vec::new();
-        let tasks = &mut self.tasks;
-        self.active.retain(|&id| {
-            let t = &tasks[&id];
+        let slots = &mut self.slots;
+        let free = &mut self.free;
+        let dirty_hosts = &mut self.dirty_hosts;
+        self.active.retain(|&slot| {
+            let entry = &mut slots[slot as usize];
+            let t = entry.state.as_ref().expect("active task missing");
             if t.remaining <= DONE_EPS {
-                let t = tasks.remove(&id).expect("task vanished");
+                let t = entry.state.take().expect("task vanished");
                 done.push(CompletedTask {
-                    id: CpuTaskId(id),
+                    id: CpuTaskId(make_id(entry.gen, slot as usize)),
                     tag: t.tag,
                     host: t.host,
                     started: t.started,
                     finished: now,
                 });
+                entry.gen = entry.gen.wrapping_add(1);
+                free.push(slot);
+                dirty_hosts[t.host] = true;
                 false
             } else {
                 true
             }
         });
         if !done.is_empty() {
-            self.rates_fresh = false;
+            self.any_dirty = true;
+            self.next_cache = None;
         }
         done
     }
@@ -199,32 +270,57 @@ impl CpuEngine {
     /// Currently allocated cores for a task (None once completed).
     pub fn rate_of(&mut self, id: CpuTaskId) -> Option<f64> {
         self.refresh_rates();
-        self.tasks.get(&id.0).map(|t| t.rate)
+        let slot = slot_of(id.0);
+        let entry = self.slots.get(slot)?;
+        if make_id(entry.gen, slot) != id.0 {
+            return None;
+        }
+        entry.state.as_ref().map(|t| t.rate)
     }
 
     /// Capped max-min share of each host's cores among its runnable tasks.
+    ///
+    /// Hosts are independent, so only hosts marked dirty since the last
+    /// refresh are re-shared; everyone else keeps their rates.
     fn refresh_rates(&mut self) {
-        if self.rates_fresh {
+        if !self.any_dirty {
             return;
         }
-        // Group active tasks per host (creation order preserved).
-        let mut per_host: Vec<Vec<u64>> = vec![Vec::new(); self.specs.len()];
-        for &id in &self.active {
-            per_host[self.tasks[&id].host].push(id);
+        // Group the dirty hosts' active tasks (creation order preserved).
+        let mut per_host = std::mem::take(&mut self.per_host);
+        for (h, list) in per_host.iter_mut().enumerate() {
+            if self.dirty_hosts[h] {
+                list.clear();
+            }
         }
+        for &slot in &self.active {
+            let h = self.slots[slot as usize]
+                .state
+                .as_ref()
+                .expect("active task missing")
+                .host;
+            if self.dirty_hosts[h] {
+                per_host[h].push(slot);
+            }
+        }
+        let mut unfrozen = std::mem::take(&mut self.unfrozen);
         for (h, ids) in per_host.iter().enumerate() {
-            if ids.is_empty() {
+            if !self.dirty_hosts[h] || ids.is_empty() {
                 continue;
             }
             let mut remaining_cores = self.specs[h].cores;
-            let mut unfrozen: Vec<u64> = ids.clone();
+            unfrozen.clear();
+            unfrozen.extend_from_slice(ids);
             // Capped water-filling: tasks below the fair share take their
             // cap and release the slack to the rest.
             while !unfrozen.is_empty() {
                 let fair = remaining_cores / unfrozen.len() as f64;
                 let mut froze_any = false;
-                unfrozen.retain(|&id| {
-                    let t = self.tasks.get_mut(&id).expect("task missing");
+                unfrozen.retain(|&slot| {
+                    let t = self.slots[slot as usize]
+                        .state
+                        .as_mut()
+                        .expect("task missing");
                     if t.cap <= fair {
                         t.rate = t.cap;
                         remaining_cores -= t.cap;
@@ -235,14 +331,21 @@ impl CpuEngine {
                     }
                 });
                 if !froze_any {
-                    for &id in &unfrozen {
-                        self.tasks.get_mut(&id).expect("task missing").rate = fair;
+                    for &slot in &unfrozen {
+                        self.slots[slot as usize]
+                            .state
+                            .as_mut()
+                            .expect("task missing")
+                            .rate = fair;
                     }
                     break;
                 }
             }
         }
-        self.rates_fresh = true;
+        self.unfrozen = unfrozen;
+        self.per_host = per_host;
+        self.dirty_hosts.fill(false);
+        self.any_dirty = false;
     }
 }
 
@@ -310,7 +413,11 @@ mod tests {
     fn wide_task_is_limited_by_host_cores() {
         let mut e = engine(1, 12.0);
         let id = e.start_task(SimTime::ZERO, 0, 24.0, 16.0, 0);
-        assert_eq!(e.rate_of(id), Some(12.0), "capped by the host, not the task");
+        assert_eq!(
+            e.rate_of(id),
+            Some(12.0),
+            "capped by the host, not the task"
+        );
         let t = e.next_event_time().unwrap();
         assert!((t.as_secs_f64() - 2.0).abs() < 1e-6);
     }
@@ -335,7 +442,10 @@ mod tests {
         e.start_task(SimTime::ZERO, 0, 1.0, 1.0, 1);
         e.start_task(SimTime::ZERO, 1, 1.0, 1.0, 2);
         let t = e.next_event_time().unwrap();
-        assert!((t.as_secs_f64() - 1.0).abs() < 1e-6, "no cross-host sharing");
+        assert!(
+            (t.as_secs_f64() - 1.0).abs() < 1e-6,
+            "no cross-host sharing"
+        );
         let done = e.take_completions(t);
         assert_eq!(done.len(), 2);
         assert!((e.busy_core_secs()[0] - 1.0).abs() < 1e-6);

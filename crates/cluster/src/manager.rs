@@ -210,7 +210,10 @@ mod tests {
     fn rejects_worker_on_ps_host() {
         let m = ResourceManager::new(vec![HostSpec::paper_testbed(); 3]);
         let p = Placement {
-            jobs: vec![crate::placement::JobPlacement::new(HostId(0), vec![HostId(0), HostId(1)])],
+            jobs: vec![crate::placement::JobPlacement::new(
+                HostId(0),
+                vec![HostId(0), HostId(1)],
+            )],
         };
         assert_eq!(
             m.validate(&p),

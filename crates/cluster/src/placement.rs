@@ -222,9 +222,7 @@ pub fn make_placement<R: Rng + ?Sized>(
         PlacementStrategy::Table1(i) => {
             grouped_placement(num_hosts, workers_per_job, &table1_group_sizes(i, num_jobs))
         }
-        PlacementStrategy::Colocated => {
-            grouped_placement(num_hosts, workers_per_job, &[num_jobs])
-        }
+        PlacementStrategy::Colocated => grouped_placement(num_hosts, workers_per_job, &[num_jobs]),
         PlacementStrategy::Spread => {
             // Round-robin PS hosts; reuse grouped_placement by building the
             // per-host counts.

@@ -9,9 +9,10 @@
 //! * [`compute::ComputeModel`] — calibrated per-step compute costs;
 //! * [`metrics::BarrierTracker`] — the paper's barrier wait-time
 //!   measurement (per-barrier mean and standard variance across workers);
-//! * [`engine::run_simulation`] — the discrete-event engine wiring job
-//!   state machines to the network ([`tl_net`]) and CPU ([`tl_cluster`])
-//!   substrates under a [`tensorlights::PriorityPolicy`].
+//! * [`engine::Simulation`] — builder-style entry point to the
+//!   discrete-event engine wiring job state machines to the network
+//!   ([`tl_net`]) and CPU ([`tl_cluster`]) substrates under a
+//!   [`tensorlights::PriorityPolicy`].
 
 #![warn(missing_docs)]
 
@@ -22,7 +23,9 @@ pub mod metrics;
 pub mod model;
 
 pub use compute::ComputeModel;
-pub use engine::{run_simulation, JobResult, JobSetup, SimConfig, SimOutput};
+#[allow(deprecated)]
+pub use engine::run_simulation;
+pub use engine::{JobResult, JobSetup, SimConfig, SimOutput, Simulation};
 pub use job::{JobId, JobSpec, TrainingMode};
 pub use metrics::BarrierTracker;
 pub use model::ModelSpec;

@@ -87,7 +87,10 @@ impl BarrierTracker {
             a.enters[w].is_some(),
             "worker {w} exited barrier {barrier} it never entered"
         );
-        assert!(a.exits[w].is_none(), "worker {w} exited barrier {barrier} twice");
+        assert!(
+            a.exits[w].is_none(),
+            "worker {w} exited barrier {barrier} twice"
+        );
         a.exits[w] = Some(t);
         a.exits_seen += 1;
         if a.exits_seen == self.num_workers {
@@ -168,7 +171,10 @@ mod tests {
         assert_eq!(b.means.len(), 5);
         assert_eq!(b.vars.len(), 5);
         assert_eq!(b.waits.len(), 10);
-        assert!((b.vars.mean() - 0.0).abs() < 1e-12, "identical waits: no variance");
+        assert!(
+            (b.vars.mean() - 0.0).abs() < 1e-12,
+            "identical waits: no variance"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::report::Table;
 use crate::runner::{parallel_map, PolicyKind};
 use serde::Serialize;
 use tl_cluster::{table1_placement, Table1Index};
-use tl_dl::{run_simulation, TrainingMode};
+use tl_dl::{Simulation, TrainingMode};
 use tl_workloads::GridSearchConfig;
 
 /// One (mode, policy) cell.
@@ -49,7 +49,10 @@ pub fn run(cfg: &ExperimentConfig) -> AsyncAblation {
         let mut wl = GridSearchConfig::paper_scaled(cfg.iterations);
         wl.mode = mode;
         let mut p = policy.build(cfg);
-        let out = run_simulation(cfg.sim_config(), wl.build(&placement), p.as_mut());
+        let out = Simulation::new(cfg.sim_config())
+            .jobs(wl.build(&placement))
+            .policy_ref(p.as_mut())
+            .run();
         assert!(out.all_complete());
         AsyncRow {
             mode: match mode {

@@ -13,7 +13,7 @@ use serde::Serialize;
 use simcore::SampleSet;
 use tensorlights::{JobOrdering, TlsOne};
 use tl_cluster::{table1_placement, Table1Index};
-use tl_dl::run_simulation;
+use tl_dl::Simulation;
 use tl_workloads::GridSearchConfig;
 
 /// One band-count data point.
@@ -39,9 +39,11 @@ pub fn run(cfg: &ExperimentConfig, band_counts: &[u8]) -> BandsAblation {
     let rows = parallel_map(band_counts.to_vec(), |bands| {
         let placement = table1_placement(Table1Index(1), 21, 21);
         let setups = GridSearchConfig::paper_scaled(cfg.iterations).build(&placement);
-        let mut policy =
-            TlsOne::new(JobOrdering::Random { seed: cfg.seed }).with_bands(bands);
-        let out = run_simulation(cfg.sim_config(), setups, &mut policy);
+        let mut policy = TlsOne::new(JobOrdering::Random { seed: cfg.seed }).with_bands(bands);
+        let out = Simulation::new(cfg.sim_config())
+            .jobs(setups)
+            .policy_ref(&mut policy)
+            .run();
         assert!(out.all_complete());
         let mut vars = SampleSet::new();
         for j in &out.jobs {

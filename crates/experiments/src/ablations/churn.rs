@@ -13,7 +13,7 @@ use crate::runner::{parallel_map, PolicyKind};
 use serde::Serialize;
 use simcore::{RngFactory, SimDuration};
 use tl_cluster::{table1_placement, Table1Index};
-use tl_dl::run_simulation;
+use tl_dl::Simulation;
 use tl_workloads::{poisson_arrivals, with_arrivals, GridSearchConfig};
 
 /// One policy's outcome under churn.
@@ -42,17 +42,16 @@ pub struct ChurnStudy {
 /// keeps many jobs concurrent; a huge gap degenerates to sequential jobs.
 pub fn run(cfg: &ExperimentConfig, mean_gap_secs: f64) -> ChurnStudy {
     let mut rng = RngFactory::new(cfg.seed).stream("churn.arrivals");
-    let arrivals = poisson_arrivals(
-        &mut rng,
-        21,
-        SimDuration::from_secs_f64(mean_gap_secs),
-    );
+    let arrivals = poisson_arrivals(&mut rng, 21, SimDuration::from_secs_f64(mean_gap_secs));
     let rows = parallel_map(PolicyKind::all().to_vec(), |policy| {
         let placement = table1_placement(Table1Index(1), 21, 21);
         let wl = GridSearchConfig::paper_scaled(cfg.iterations);
         let setups = with_arrivals(wl.build(&placement), &arrivals);
         let mut p = policy.build(cfg);
-        let out = run_simulation(cfg.sim_config(), setups, p.as_mut());
+        let out = Simulation::new(cfg.sim_config())
+            .jobs(setups)
+            .policy_ref(p.as_mut())
+            .run();
         assert!(out.all_complete());
         let jcts: Vec<f64> = out.jobs.iter().map(|j| j.jct_secs().unwrap()).collect();
         ChurnRow {

@@ -13,7 +13,7 @@ use crate::report::Table;
 use crate::runner::{parallel_map, PolicyKind};
 use serde::Serialize;
 use tl_cluster::{table1_placement, Table1Index};
-use tl_dl::run_simulation;
+use tl_dl::Simulation;
 use tl_net::Bandwidth;
 use tl_workloads::GridSearchConfig;
 
@@ -56,7 +56,10 @@ pub fn run(cfg: &ExperimentConfig, factors: &[f64]) -> FabricAblation {
             sim_cfg.core_capacity = Some(Bandwidth::from_gbps(edge_gbps / factor));
         }
         let mut p = policy.build(cfg);
-        let out = run_simulation(sim_cfg, setups, p.as_mut());
+        let out = Simulation::new(sim_cfg)
+            .jobs(setups)
+            .policy_ref(p.as_mut())
+            .run();
         assert!(out.all_complete());
         out.mean_jct_secs()
     });

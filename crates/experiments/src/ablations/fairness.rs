@@ -17,7 +17,7 @@ use crate::runner::{parallel_map, PolicyKind};
 use serde::Serialize;
 use simcore::SimDuration;
 use tl_cluster::{table1_placement, Table1Index};
-use tl_dl::run_simulation;
+use tl_dl::Simulation;
 use tl_workloads::GridSearchConfig;
 
 /// One policy's progress-spread trajectory.
@@ -42,38 +42,35 @@ pub struct FairnessStudy {
 
 /// Sample progress under both TLs variants at placement #1.
 pub fn run(cfg: &ExperimentConfig, sample_secs: f64) -> FairnessStudy {
-    let sides = parallel_map(
-        vec![PolicyKind::TlsOne, PolicyKind::TlsRr],
-        |policy| {
-            let placement = table1_placement(Table1Index(1), 21, 21);
-            let wl = GridSearchConfig::paper_scaled(cfg.iterations);
-            let target = wl.target_global_steps as f64;
-            let setups = wl.build(&placement);
-            let mut sim_cfg = cfg.sim_config();
-            sim_cfg.sample_interval = Some(SimDuration::from_secs_f64(sample_secs));
-            let mut p = policy.build(cfg);
-            let out = run_simulation(sim_cfg, setups, p.as_mut());
-            assert!(out.all_complete());
-            let spread_series: Vec<(f64, f64)> = out
-                .samples
-                .iter()
-                .map(|s| {
-                    let max = *s.job_progress.iter().max().expect("jobs present");
-                    let min = *s.job_progress.iter().min().expect("jobs present");
-                    (s.at.as_secs_f64(), (max - min) as f64 / target)
-                })
-                .collect();
-            FairnessSide {
-                label: policy.label(),
-                max_spread: spread_series
-                    .iter()
-                    .map(|&(_, s)| s)
-                    .fold(0.0f64, f64::max),
-                mean_jct: out.mean_jct_secs(),
-                spread_series,
-            }
-        },
-    );
+    let sides = parallel_map(vec![PolicyKind::TlsOne, PolicyKind::TlsRr], |policy| {
+        let placement = table1_placement(Table1Index(1), 21, 21);
+        let wl = GridSearchConfig::paper_scaled(cfg.iterations);
+        let target = wl.target_global_steps as f64;
+        let setups = wl.build(&placement);
+        let mut sim_cfg = cfg.sim_config();
+        sim_cfg.sample_interval = Some(SimDuration::from_secs_f64(sample_secs));
+        let mut p = policy.build(cfg);
+        let out = Simulation::new(sim_cfg)
+            .jobs(setups)
+            .policy_ref(p.as_mut())
+            .run();
+        assert!(out.all_complete());
+        let spread_series: Vec<(f64, f64)> = out
+            .samples
+            .iter()
+            .map(|s| {
+                let max = *s.job_progress.iter().max().expect("jobs present");
+                let min = *s.job_progress.iter().min().expect("jobs present");
+                (s.at.as_secs_f64(), (max - min) as f64 / target)
+            })
+            .collect();
+        FairnessSide {
+            label: policy.label(),
+            max_spread: spread_series.iter().map(|&(_, s)| s).fold(0.0f64, f64::max),
+            mean_jct: out.mean_jct_secs(),
+            spread_series,
+        }
+    });
     FairnessStudy { sides }
 }
 

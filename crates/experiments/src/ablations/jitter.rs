@@ -91,7 +91,12 @@ mod tests {
         // TLs still helps at both extremes (burst alignment exists with or
         // without jitter).
         for r in &a.rows {
-            assert!(r.tls_one_norm < 1.0, "sigma {}: {}", r.sigma, r.tls_one_norm);
+            assert!(
+                r.tls_one_norm < 1.0,
+                "sigma {}: {}",
+                r.sigma,
+                r.tls_one_norm
+            );
         }
         assert!(a.table().render().contains("sigma"));
     }

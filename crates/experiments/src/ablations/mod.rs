@@ -31,10 +31,10 @@
 //!   mode NIC priorities cannot fix (negative control).
 
 pub mod async_mode;
+pub mod bands;
 pub mod churn;
 pub mod fabric;
 pub mod fairness;
-pub mod bands;
 pub mod jitter;
 pub mod model_size;
 pub mod ordering;

@@ -12,7 +12,7 @@ use crate::runner::parallel_map;
 use serde::Serialize;
 use tensorlights::{FifoPolicy, JobOrdering, PriorityPolicy, TlsOne};
 use tl_cluster::{table1_placement, Table1Index};
-use tl_dl::{run_simulation, ModelSpec};
+use tl_dl::{ModelSpec, Simulation};
 use tl_workloads::GridSearchConfig;
 
 /// One model-size data point.
@@ -40,11 +40,16 @@ pub fn run(cfg: &ExperimentConfig, sizes_mb: &[u64]) -> ModelSizeAblation {
         let mut wl = GridSearchConfig::paper_scaled(cfg.iterations);
         wl.model = ModelSpec::synthetic_mb(mb);
         let mut fifo = FifoPolicy;
-        let base = run_simulation(cfg.sim_config(), wl.build(&placement), &mut fifo);
-        let mut one: Box<dyn PriorityPolicy + Send> = Box::new(
-            TlsOne::new(JobOrdering::Random { seed: cfg.seed }).with_bands(cfg.num_bands),
-        );
-        let tls = run_simulation(cfg.sim_config(), wl.build(&placement), one.as_mut());
+        let base = Simulation::new(cfg.sim_config())
+            .jobs(wl.build(&placement))
+            .policy_ref(&mut fifo)
+            .run();
+        let mut one: Box<dyn PriorityPolicy + Send> =
+            Box::new(TlsOne::new(JobOrdering::Random { seed: cfg.seed }).with_bands(cfg.num_bands));
+        let tls = Simulation::new(cfg.sim_config())
+            .jobs(wl.build(&placement))
+            .policy_ref(one.as_mut())
+            .run();
         assert!(base.all_complete() && tls.all_complete());
         ModelSizeRow {
             update_mb: mb,

@@ -13,7 +13,7 @@ use crate::runner::parallel_map;
 use serde::Serialize;
 use tensorlights::{JobOrdering, TlsOne};
 use tl_cluster::{table1_placement, Table1Index};
-use tl_dl::{run_simulation, ModelSpec};
+use tl_dl::{ModelSpec, Simulation};
 use tl_workloads::{heterogeneous_mix, GridSearchConfig};
 
 /// One ordering's outcome.
@@ -41,7 +41,10 @@ pub fn run(cfg: &ExperimentConfig) -> OrderingAblation {
     let orderings: Vec<(String, JobOrdering)> = vec![
         ("random".into(), JobOrdering::Random { seed: cfg.seed }),
         ("by-arrival".into(), JobOrdering::ByArrival),
-        ("smallest-update-first".into(), JobOrdering::SmallestUpdateFirst),
+        (
+            "smallest-update-first".into(),
+            JobOrdering::SmallestUpdateFirst,
+        ),
     ];
     let models = [ModelSpec::resnet32(), ModelSpec::alexnet()];
     let rows = parallel_map(orderings, |(label, ordering)| {
@@ -51,7 +54,10 @@ pub fn run(cfg: &ExperimentConfig) -> OrderingAblation {
         let small: Vec<usize> = (0..21).filter(|i| i % 2 == 0).collect();
         let large: Vec<usize> = (0..21).filter(|i| i % 2 == 1).collect();
         let mut policy = TlsOne::new(ordering).with_bands(cfg.num_bands);
-        let out = run_simulation(cfg.sim_config(), setups, &mut policy);
+        let out = Simulation::new(cfg.sim_config())
+            .jobs(setups)
+            .policy_ref(&mut policy)
+            .run();
         assert!(out.all_complete());
         let jct = |idx: &[usize]| {
             idx.iter()
@@ -74,7 +80,12 @@ impl OrderingAblation {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Ablation: priority ordering on a ResNet-32 + AlexNet mix (TLs-One, placement #1)",
-            &["Ordering", "mean JCT (s)", "small jobs (s)", "large jobs (s)"],
+            &[
+                "Ordering",
+                "mean JCT (s)",
+                "small jobs (s)",
+                "large jobs (s)",
+            ],
         );
         for r in &self.rows {
             t.push_row(vec![

@@ -112,8 +112,6 @@ mod tests {
         let recovered = (worst - rescued) / (worst - spread);
         assert!(recovered > 0.5, "recovered only {recovered:.2}");
         // TLs also helps (or at least never hurts) random placements.
-        assert!(
-            s.jct("random scheduler + TLs-One") <= s.jct("random scheduler + FIFO") * 1.02
-        );
+        assert!(s.jct("random scheduler + TLs-One") <= s.jct("random scheduler + FIFO") * 1.02);
     }
 }

@@ -73,7 +73,11 @@ pub fn run() -> QdiscStudy {
         .map(|(label, qdisc, ts)| {
             let run = PacketSim::new(link, qdisc).run(ts, &[]);
             let job_done: Vec<f64> = (1..=jobs)
-                .map(|j| run.last_finish_of_tag(j).expect("job present").as_secs_f64())
+                .map(|j| {
+                    run.last_finish_of_tag(j)
+                        .expect("job present")
+                        .as_secs_f64()
+                })
                 .collect();
             QdiscRow {
                 label,

@@ -23,7 +23,7 @@ use crate::runner::{run_table1, PolicyKind};
 use serde::Serialize;
 use tensorlights::FifoPolicy;
 use tl_cluster::{table1_placement, Table1Index};
-use tl_dl::run_simulation;
+use tl_dl::Simulation;
 use tl_workloads::GridSearchConfig;
 
 /// One policy's outcome.
@@ -56,13 +56,18 @@ pub fn run(cfg: &ExperimentConfig) -> RateControlAblation {
     // share the PS egress; each flow gets a fixed 1/(21·20) of the link.
     let placement = table1_placement(Table1Index(1), 21, 21);
     let wl = GridSearchConfig::paper_scaled(cfg.iterations);
-    for (label, oversizing) in [("static rates (accurate)", 1.0), ("static rates (stale, 2x)", 2.0)]
-    {
+    for (label, oversizing) in [
+        ("static rates (accurate)", 1.0),
+        ("static rates (stale, 2x)", 2.0),
+    ] {
         let mut sim_cfg = cfg.sim_config();
         let link = sim_cfg.link.bytes_per_sec();
         sim_cfg.model_update_rate_cap = Some(link / (21.0 * 20.0 * oversizing));
         let mut fifo_policy = FifoPolicy;
-        let capped = run_simulation(sim_cfg, wl.build(&placement), &mut fifo_policy);
+        let capped = Simulation::new(sim_cfg)
+            .jobs(wl.build(&placement))
+            .policy_ref(&mut fifo_policy)
+            .run();
         assert!(capped.all_complete());
         rows.push(RateControlRow {
             label: label.into(),

@@ -13,7 +13,7 @@ use serde::Serialize;
 use simcore::SimDuration;
 use tensorlights::{JobOrdering, TlsRr};
 use tl_cluster::{table1_placement, Table1Index};
-use tl_dl::run_simulation;
+use tl_dl::Simulation;
 use tl_workloads::GridSearchConfig;
 
 /// One rotation-interval data point.
@@ -42,7 +42,10 @@ pub fn run(cfg: &ExperimentConfig, intervals_secs: &[f64]) -> RotationAblation {
         let mut policy = TlsRr::new(JobOrdering::Random { seed: cfg.seed })
             .with_bands(cfg.num_bands)
             .with_interval(SimDuration::from_secs_f64(t));
-        let out = run_simulation(cfg.sim_config(), setups, &mut policy);
+        let out = Simulation::new(cfg.sim_config())
+            .jobs(setups)
+            .policy_ref(&mut policy)
+            .run();
         assert!(out.all_complete());
         let jcts: Vec<f64> = out.jobs.iter().map(|j| j.jct_secs().unwrap()).collect();
         let min = jcts.iter().fold(f64::INFINITY, |a, &b| a.min(b));

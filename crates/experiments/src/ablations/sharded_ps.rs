@@ -12,7 +12,7 @@ use crate::report::Table;
 use crate::runner::{parallel_map, PolicyKind};
 use serde::Serialize;
 use tl_cluster::{table1_placement, Table1Index};
-use tl_dl::run_simulation;
+use tl_dl::Simulation;
 use tl_net::HostId;
 use tl_workloads::GridSearchConfig;
 
@@ -57,7 +57,10 @@ pub fn run(cfg: &ExperimentConfig, shard_counts: &[u32]) -> ShardedStudy {
             s.placement.extra_ps_hosts = extra;
         }
         let mut p = policy.build(cfg);
-        let out = run_simulation(cfg.sim_config(), setups, p.as_mut());
+        let out = Simulation::new(cfg.sim_config())
+            .jobs(setups)
+            .policy_ref(p.as_mut())
+            .run();
         assert!(out.all_complete());
         ShardedRow {
             shards,

@@ -14,7 +14,7 @@ use crate::report::Table;
 use crate::runner::{parallel_map, PolicyKind};
 use serde::Serialize;
 use tl_cluster::{table1_placement, HostSpec, Table1Index};
-use tl_dl::run_simulation;
+use tl_dl::Simulation;
 use tl_workloads::GridSearchConfig;
 
 /// One (scenario, policy) cell.
@@ -57,7 +57,10 @@ pub fn run(cfg: &ExperimentConfig) -> SlowHostStudy {
                 .push((5, HostSpec::with_cores(sim_cfg.host_spec.cores / 2.0)));
         }
         let mut p = policy.build(cfg);
-        let out = run_simulation(sim_cfg, setups, p.as_mut());
+        let out = Simulation::new(sim_cfg)
+            .jobs(setups)
+            .policy_ref(p.as_mut())
+            .run();
         assert!(out.all_complete());
         let mut vars = simcore::SampleSet::new();
         for j in &out.jobs {

@@ -15,7 +15,7 @@ use crate::runner::{parallel_map, PolicyKind};
 use serde::Serialize;
 use simcore::{SampleSet, SimDuration};
 use tl_cluster::{table1_placement, Table1Index};
-use tl_dl::run_simulation;
+use tl_dl::Simulation;
 use tl_workloads::GridSearchConfig;
 
 /// One policy's egress-utilization time series at the PS host.
@@ -40,38 +40,38 @@ pub struct TimelineStudy {
 
 /// Sample the PS-host (host 0) egress under FIFO and TLs-One.
 pub fn run(cfg: &ExperimentConfig, sample_ms: u64) -> TimelineStudy {
-    let sides = parallel_map(
-        vec![PolicyKind::Fifo, PolicyKind::TlsOne],
-        |policy| {
-            let placement = table1_placement(Table1Index(1), 21, 21);
-            let setups = GridSearchConfig::paper_scaled(cfg.iterations).build(&placement);
-            let mut sim_cfg = cfg.sim_config();
-            sim_cfg.sample_interval = Some(SimDuration::from_millis(sample_ms));
-            let mut p = policy.build(cfg);
-            let out = run_simulation(sim_cfg, setups, p.as_mut());
-            assert!(out.all_complete());
-            let series: Vec<(f64, f64)> = out
-                .samples
-                .iter()
-                .map(|s| (s.at.as_secs_f64(), s.per_host[0].net_out))
-                .collect();
-            let mut stats = SampleSet::new();
-            for &(_, u) in &series {
-                stats.push(u);
-            }
-            let mean = stats.mean();
-            TimelineSide {
-                label: policy.label(),
-                burstiness: if mean > 0.0 {
-                    stats.variance().sqrt() / mean
-                } else {
-                    0.0
-                },
-                mean,
-                series,
-            }
-        },
-    );
+    let sides = parallel_map(vec![PolicyKind::Fifo, PolicyKind::TlsOne], |policy| {
+        let placement = table1_placement(Table1Index(1), 21, 21);
+        let setups = GridSearchConfig::paper_scaled(cfg.iterations).build(&placement);
+        let mut sim_cfg = cfg.sim_config();
+        sim_cfg.sample_interval = Some(SimDuration::from_millis(sample_ms));
+        let mut p = policy.build(cfg);
+        let out = Simulation::new(sim_cfg)
+            .jobs(setups)
+            .policy_ref(p.as_mut())
+            .run();
+        assert!(out.all_complete());
+        let series: Vec<(f64, f64)> = out
+            .samples
+            .iter()
+            .map(|s| (s.at.as_secs_f64(), s.per_host[0].net_out))
+            .collect();
+        let mut stats = SampleSet::new();
+        for &(_, u) in &series {
+            stats.push(u);
+        }
+        let mean = stats.mean();
+        TimelineSide {
+            label: policy.label(),
+            burstiness: if mean > 0.0 {
+                stats.variance().sqrt() / mean
+            } else {
+                0.0
+            },
+            mean,
+            series,
+        }
+    });
     TimelineStudy { sides }
 }
 

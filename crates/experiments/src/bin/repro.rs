@@ -13,11 +13,11 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use tl_cluster::Table1Index;
-use tl_experiments::report::Table;
 use tl_experiments::ablations::{
     async_mode, bands, churn, fabric, fairness, jitter, model_size, ordering, ps_aware, qdisc,
     rate_control, rotation, sharded_ps, slow_host, timeline,
 };
+use tl_experiments::report::Table;
 use tl_experiments::{config::ExperimentConfig, fig2, fig3, fig4, fig5, fig6, table1, table2};
 
 struct Args {
@@ -57,7 +57,7 @@ fn parse_args() -> Args {
                 println!(
                     "repro — regenerate the TensorLights paper's tables and figures\n\
                      \n\
-                     --experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations\n\
+                     --experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations|perf\n\
                      --iterations N   scaled iteration count (default 300)\n\
                      --full           paper scale (1500 iterations)\n\
                      --seed S         master seed\n\
@@ -231,56 +231,175 @@ fn main() {
         ran += 1;
     }
 
+    if args.experiment == "perf" {
+        // One grid-search simulation per policy, reporting the engine's
+        // allocator performance counters (SimOutput::alloc_stats).
+        use tl_experiments::{run_table1, PolicyKind};
+        println!("allocator perf counters, Table I placement #8:");
+        for policy in PolicyKind::all() {
+            let t = std::time::Instant::now();
+            let out = run_table1(cfg, Table1Index(8), policy);
+            let wall = t.elapsed();
+            let s = out.alloc_stats;
+            println!(
+                "  {:<8} events={} sim_wall={:.2?} | alloc: invocations={} \
+                 full_solves={} components_solved={} components_retained={} \
+                 rounds={} flows_touched={} alloc_wall={:.2?}",
+                policy.label(),
+                out.events,
+                wall,
+                s.invocations,
+                s.full_solves,
+                s.components_solved,
+                s.components_retained,
+                s.rounds,
+                s.flows_touched,
+                std::time::Duration::from_nanos(s.wall_nanos),
+            );
+        }
+        ran += 1;
+    }
+
     if args.experiment == "ablations" {
         // Scale the ablation sweeps down relative to the headline figures;
         // they multiply many runs.
         let acfg = ExperimentConfig::scaled(cfg.iterations.min(80));
 
         let r = bands::run(&acfg, &[1, 2, 3, 4, 6, 8]);
-        emit(&args, "ablate_bands", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+        emit(
+            &args,
+            "ablate_bands",
+            &r.table(),
+            None,
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
 
         let r = rotation::run(&acfg, &[0.5, 1.0, 2.0, 5.0, 20.0, 1e6]);
-        emit(&args, "ablate_rotation", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+        emit(
+            &args,
+            "ablate_rotation",
+            &r.table(),
+            None,
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
 
         let r = jitter::run(&acfg, &[0.0, 0.15, 0.3, 0.5, 0.8]);
-        emit(&args, "ablate_jitter", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+        emit(
+            &args,
+            "ablate_jitter",
+            &r.table(),
+            None,
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
 
         let r = ordering::run(&acfg);
-        emit(&args, "ablate_ordering", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+        emit(
+            &args,
+            "ablate_ordering",
+            &r.table(),
+            None,
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
 
         let r = model_size::run(&acfg, &[1, 2, 4, 8, 16]);
-        emit(&args, "ablate_model_size", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+        emit(
+            &args,
+            "ablate_model_size",
+            &r.table(),
+            None,
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
 
         let r = rate_control::run(&acfg);
-        emit(&args, "ablate_rate_control", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+        emit(
+            &args,
+            "ablate_rate_control",
+            &r.table(),
+            None,
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
 
         let r = async_mode::run(&acfg);
-        emit(&args, "ablate_async", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+        emit(
+            &args,
+            "ablate_async",
+            &r.table(),
+            None,
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
 
         let r = ps_aware::run(&acfg);
-        emit(&args, "ablate_ps_aware", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+        emit(
+            &args,
+            "ablate_ps_aware",
+            &r.table(),
+            None,
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
 
         let r = qdisc::run();
-        emit(&args, "ablate_qdisc", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+        emit(
+            &args,
+            "ablate_qdisc",
+            &r.table(),
+            None,
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
 
         let r = churn::run(&acfg, 5.0);
-        emit(&args, "ablate_churn", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+        emit(
+            &args,
+            "ablate_churn",
+            &r.table(),
+            None,
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
 
         let r = timeline::run(&acfg, 250);
         let chart = r.ascii(100);
-        emit(&args, "ablate_timeline", &r.table(), Some(chart), serde_json::to_string_pretty(&r).expect("json"));
+        emit(
+            &args,
+            "ablate_timeline",
+            &r.table(),
+            Some(chart),
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
 
         let r = fabric::run(&acfg, &[1.0, 8.0, 16.0, 32.0]);
-        emit(&args, "ablate_fabric", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+        emit(
+            &args,
+            "ablate_fabric",
+            &r.table(),
+            None,
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
 
         let r = fairness::run(&acfg, 2.0);
-        emit(&args, "ablate_fairness", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+        emit(
+            &args,
+            "ablate_fairness",
+            &r.table(),
+            None,
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
 
         let r = sharded_ps::run(&acfg, &[1, 2, 4]);
-        emit(&args, "ablate_sharded_ps", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+        emit(
+            &args,
+            "ablate_sharded_ps",
+            &r.table(),
+            None,
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
 
         let r = slow_host::run(&acfg);
-        emit(&args, "ablate_slow_host", &r.table(), None, serde_json::to_string_pretty(&r).expect("json"));
+        emit(
+            &args,
+            "ablate_slow_host",
+            &r.table(),
+            None,
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
 
         ran += 15;
     }

@@ -9,7 +9,12 @@
 ///
 /// X is the value axis (linear, spanning all series); Y is cumulative
 /// probability 0..1. Each series uses its own glyph.
-pub fn cdf_chart(title: &str, series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
+pub fn cdf_chart(
+    title: &str,
+    series: &[(&str, &[(f64, f64)])],
+    width: usize,
+    height: usize,
+) -> String {
     assert!(width >= 16 && height >= 4, "chart too small");
     assert!(!series.is_empty(), "no series");
     const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];

@@ -78,11 +78,7 @@ impl Fig3 {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Figure 3: barrier wait time distributions under FIFO",
-            &[
-                "Placement",
-                "mean wait (s)",
-                "mean variance (s^2)",
-            ],
+            &["Placement", "mean wait (s)", "mean variance (s^2)"],
         );
         for side in [&self.heavy, &self.mild] {
             t.push_row(vec![

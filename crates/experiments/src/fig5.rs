@@ -98,9 +98,8 @@ fn run_axis(
             tls_rr: normalize(rr, fifo),
         });
     }
-    let best = |sel: fn(&Fig5Row) -> f64| {
-        rows.iter().map(sel).fold(0.0f64, |acc, m| acc.max(1.0 - m))
-    };
+    let best =
+        |sel: fn(&Fig5Row) -> f64| rows.iter().map(sel).fold(0.0f64, |acc, m| acc.max(1.0 - m));
     Fig5 {
         label,
         best_tls_one_improvement: best(|r| r.tls_one.mean),

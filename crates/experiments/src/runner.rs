@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 use tensorlights::{FifoPolicy, JobOrdering, PriorityPolicy, TlsOne, TlsRr};
 use tl_cluster::{table1_placement, Placement, Table1Index};
-use tl_dl::{run_simulation, SimOutput};
+use tl_dl::{SimOutput, Simulation};
 use tl_workloads::GridSearchConfig;
 
 /// The three network scheduling policies the paper evaluates.
@@ -67,7 +67,10 @@ pub fn run_grid_search(
     let mut sim_cfg = cfg.sim_config();
     sim_cfg.active_window = window;
     let mut policy = policy.build(cfg);
-    run_simulation(sim_cfg, setups, policy.as_mut())
+    Simulation::new(sim_cfg)
+        .jobs(setups)
+        .policy_ref(policy.as_mut())
+        .run()
 }
 
 /// Grid search on a Table I placement with the paper's batch size 4.
@@ -76,27 +79,49 @@ pub fn run_table1(cfg: &ExperimentConfig, index: Table1Index, policy: PolicyKind
     run_grid_search(cfg, &placement, policy, 4, None)
 }
 
-/// Run independent jobs in parallel threads (one per input), preserving
-/// input order in the output. Used by the sweep experiments.
+/// Run independent jobs across a bounded pool of worker threads (at most
+/// one per available core), preserving input order in the output. Workers
+/// pull from a shared queue, so uneven job costs balance dynamically.
+/// Used by the sweep experiments.
 pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
 where
     I: Send,
     O: Send,
     F: Fn(I) -> O + Sync,
 {
-    let mut results: Vec<Option<O>> = inputs.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (i, input) in inputs.into_iter().enumerate() {
-            let f = &f;
-            handles.push((i, s.spawn(move |_| f(input))));
-        }
-        for (i, h) in handles {
-            results[i] = Some(h.join().expect("sweep worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
-    results.into_iter().map(|o| o.expect("result set")).collect()
+    let n = inputs.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+    let queue = std::sync::Mutex::new(inputs.into_iter().enumerate());
+    let mut results: Vec<(usize, O)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let queue = &queue;
+                let f = &f;
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let next = queue.lock().expect("sweep queue poisoned").next();
+                        match next {
+                            Some((i, input)) => done.push((i, f(input))),
+                            None => return done,
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, o)| o).collect()
 }
 
 #[cfg(test)]

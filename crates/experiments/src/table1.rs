@@ -17,11 +17,7 @@ pub fn run() -> Table1 {
         .map(|idx| {
             let groups = table1_group_sizes(idx, 21);
             let placement = table1_placement(idx, 21, 21);
-            (
-                idx.0,
-                groups,
-                placement.hosts_with_contending_ps().len(),
-            )
+            (idx.0, groups, placement.hosts_with_contending_ps().len())
         })
         .collect();
     Table1 { rows }
@@ -44,11 +40,7 @@ impl Table1 {
                     .collect::<Vec<_>>()
                     .join(", ")
             };
-            t.push_row(vec![
-                format!("#{idx}"),
-                placement,
-                contended.to_string(),
-            ]);
+            t.push_row(vec![format!("#{idx}"), placement, contended.to_string()]);
         }
         t
     }

@@ -74,8 +74,7 @@ pub fn run(cfg: &ExperimentConfig, index: Table1Index) -> Table2 {
 
     let sides = parallel_map(PolicyKind::all().to_vec(), |p| {
         let placement = table1_placement(index, 21, 21);
-        let out =
-            crate::runner::run_grid_search(cfg, &placement, p, 4, Some((start, end)));
+        let out = crate::runner::run_grid_search(cfg, &placement, p, 4, Some((start, end)));
         let util = out.utilization.expect("window inside the run");
         Table2Side {
             label: p.label(),
@@ -121,12 +120,7 @@ impl Table2 {
             &["Resource", "Host type", "TLs-One", "TLs-RR"],
         );
         for (res, host, one, rr) in &self.normalized {
-            t.push_row(vec![
-                res.clone(),
-                host.clone(),
-                ratio(*one),
-                ratio(*rr),
-            ]);
+            t.push_row(vec![res.clone(), host.clone(), ratio(*one), ratio(*rr)]);
         }
         t
     }
@@ -142,7 +136,6 @@ impl Table2 {
             ratio(self.normalized[3].2),
         )
     }
-
 }
 
 #[cfg(test)]

@@ -6,9 +6,15 @@
 //! completion, band change) the driver asks for [`FluidNet::next_event_time`]
 //! and schedules a wake-up; on wake-up it calls [`FluidNet::take_completions`].
 //!
-//! Determinism: flows are iterated in creation order (ids are monotonic),
-//! so floating-point summation order — and therefore results — are stable
-//! across runs.
+//! Determinism: flows are iterated in creation order (the active list is
+//! append-only between completions), so floating-point summation order —
+//! and therefore results — are stable across runs.
+//!
+//! Rate refreshes are incremental: every mutation records the hosts it
+//! touched, and the next refresh re-solves only the connected components
+//! of the flow graph containing a touched host (see
+//! [`MaxMinAllocator::allocate_dirty_into`]). The result is bit-identical
+//! to a from-scratch allocation.
 //!
 //! ```
 //! use simcore::SimTime;
@@ -28,11 +34,10 @@
 //! assert_eq!(net.take_completions(done_at).len(), 1);
 //! ```
 
-use crate::maxmin::{FlowDemand, MaxMinAllocator};
+use crate::maxmin::{AllocStats, FlowDemand, MaxMinAllocator};
 use crate::topology::Topology;
 use crate::types::{Band, FlowId, HostId};
 use simcore::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// Everything needed to start a flow.
 #[derive(Debug, Clone, Copy)]
@@ -80,6 +85,22 @@ struct FlowState {
     started: SimTime,
 }
 
+/// One slab slot. The generation is baked into the [`FlowId`] handed out,
+/// so a stale id for a reused slot never resolves.
+#[derive(Debug)]
+struct SlotEntry {
+    gen: u32,
+    state: Option<FlowState>,
+}
+
+fn slot_of(id: u64) -> usize {
+    (id & 0xFFFF_FFFF) as usize
+}
+
+fn make_id(gen: u32, slot: usize) -> u64 {
+    ((gen as u64) << 32) | slot as u64
+}
+
 /// Bytes below which a flow counts as complete. Event times have nanosecond
 /// resolution, so a flow can be short of completion by up to
 /// `rate × 1 ns` bytes (≈ 50 bytes at the 400 Gbps loopback rate); 64 bytes
@@ -92,13 +113,20 @@ const RATE_EPS: f64 = 1e-6;
 #[derive(Debug)]
 pub struct FluidNet {
     topo: Topology,
-    flows: HashMap<u64, FlowState>,
-    /// Active flow ids in creation order (ids are monotonic; completions are
-    /// removed with `retain`, preserving order → deterministic iteration).
-    active: Vec<u64>,
-    next_id: u64,
+    /// Generational slab of flow state; completed slots go on the free list
+    /// and a bumped generation invalidates outstanding ids.
+    flows: Vec<SlotEntry>,
+    free: Vec<u32>,
+    /// Active slot indices in creation order (completions are removed with
+    /// `retain`, preserving order → deterministic iteration).
+    active: Vec<u32>,
     last_advance: SimTime,
-    rates_fresh: bool,
+    /// Hosts whose attached flow set or bands changed since the last rate
+    /// refresh; the allocator re-solves only their components.
+    dirty_hosts: Vec<bool>,
+    any_dirty: bool,
+    /// Cached `next_event_time` result; cleared on any mutation.
+    next_cache: Option<Option<SimTime>>,
     allocator: MaxMinAllocator,
     // Scratch buffers reused across rate computations.
     demands: Vec<FlowDemand>,
@@ -114,11 +142,13 @@ impl FluidNet {
         let n = topo.num_hosts();
         FluidNet {
             topo,
-            flows: HashMap::new(),
+            flows: Vec::new(),
+            free: Vec::new(),
             active: Vec::new(),
-            next_id: 0,
             last_advance: SimTime::ZERO,
-            rates_fresh: true,
+            dirty_hosts: vec![false; n],
+            any_dirty: false,
+            next_cache: None,
             allocator: MaxMinAllocator::new(),
             demands: Vec::new(),
             rates: Vec::new(),
@@ -137,16 +167,46 @@ impl FluidNet {
         self.active.len()
     }
 
+    /// Cumulative allocator performance counters (invocations, solved vs
+    /// retained components, rounds, flows touched, wall time).
+    pub fn alloc_stats(&self) -> AllocStats {
+        self.allocator.stats()
+    }
+
+    fn get(&self, id: FlowId) -> Option<&FlowState> {
+        let slot = slot_of(id.0);
+        self.flows.get(slot).and_then(|e| {
+            if make_id(e.gen, slot) == id.0 {
+                e.state.as_ref()
+            } else {
+                None
+            }
+        })
+    }
+
+    fn state(&self, slot: u32) -> &FlowState {
+        self.flows[slot as usize]
+            .state
+            .as_ref()
+            .expect("active flow missing")
+    }
+
+    fn mark_dirty(&mut self, host: HostId) {
+        self.dirty_hosts[host.0 as usize] = true;
+        self.any_dirty = true;
+        self.next_cache = None;
+    }
+
     /// Current rate of a flow in bytes/sec (None if unknown/completed).
     /// Refreshes rates if stale.
     pub fn rate_of(&mut self, id: FlowId) -> Option<f64> {
         self.refresh_rates();
-        self.flows.get(&id.0).map(|f| f.rate)
+        self.get(id).map(|f| f.rate)
     }
 
     /// Remaining bytes of a flow (None if unknown/completed).
     pub fn remaining_of(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id.0).map(|f| f.remaining)
+        self.get(id).map(|f| f.remaining)
     }
 
     /// Cumulative egress bytes per host since engine creation.
@@ -176,21 +236,30 @@ impl FluidNet {
             "flow endpoints outside topology"
         );
         self.advance(now);
-        let id = self.next_id;
-        self.next_id += 1;
-        self.flows.insert(
-            id,
-            FlowState {
-                spec,
-                remaining: spec.bytes,
-                rate: 0.0,
-                max_rate,
-                started: now,
-            },
-        );
-        self.active.push(id);
-        self.rates_fresh = false;
-        FlowId(id)
+        let state = FlowState {
+            spec,
+            remaining: spec.bytes,
+            rate: 0.0,
+            max_rate,
+            started: now,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.flows[slot as usize].state = Some(state);
+                slot
+            }
+            None => {
+                self.flows.push(SlotEntry {
+                    gen: 0,
+                    state: Some(state),
+                });
+                (self.flows.len() - 1) as u32
+            }
+        };
+        self.active.push(slot);
+        self.mark_dirty(spec.src);
+        self.mark_dirty(spec.dst);
+        FlowId(make_id(self.flows[slot as usize].gen, slot as usize))
     }
 
     /// Reassign the band of every active flow with the given tag.
@@ -199,15 +268,26 @@ impl FluidNet {
     pub fn set_band_for_tag(&mut self, now: SimTime, tag: u64, band: Band) -> usize {
         self.advance(now);
         let mut changed = 0;
-        for &id in &self.active {
-            let f = self.flows.get_mut(&id).expect("active flow missing");
+        let mut any = false;
+        for k in 0..self.active.len() {
+            let slot = self.active[k] as usize;
+            let f = self.flows[slot]
+                .state
+                .as_mut()
+                .expect("active flow missing");
             if f.spec.tag == tag && f.spec.band != band {
                 f.spec.band = band;
                 changed += 1;
+                // Bands are egress-scoped; marking the sender dirties the
+                // flow's whole component.
+                let src = f.spec.src;
+                self.dirty_hosts[src.0 as usize] = true;
+                any = true;
             }
         }
-        if changed > 0 {
-            self.rates_fresh = false;
+        if any {
+            self.any_dirty = true;
+            self.next_cache = None;
         }
         changed
     }
@@ -225,8 +305,11 @@ impl FluidNet {
         }
         self.refresh_rates();
         let dt = now.since(self.last_advance).as_secs_f64();
-        for &id in &self.active {
-            let f = self.flows.get_mut(&id).expect("active flow missing");
+        for &slot in &self.active {
+            let f = self.flows[slot as usize]
+                .state
+                .as_mut()
+                .expect("active flow missing");
             if f.rate > RATE_EPS {
                 let moved = (f.rate * dt).min(f.remaining);
                 f.remaining -= moved;
@@ -241,11 +324,18 @@ impl FluidNet {
 
     /// The earliest time at which some flow completes under current rates,
     /// if any flow is making progress.
+    ///
+    /// The result is cached: while no mutation dirties a host, rates — and
+    /// thus the absolute completion time — are unchanged, so repeated calls
+    /// (one per simulator event) cost nothing.
     pub fn next_event_time(&mut self) -> Option<SimTime> {
+        if let Some(cached) = self.next_cache {
+            return cached;
+        }
         self.refresh_rates();
         let mut best: Option<f64> = None;
-        for &id in &self.active {
-            let f = &self.flows[&id];
+        for &slot in &self.active {
+            let f = self.state(slot);
             if f.rate > RATE_EPS {
                 let secs = (f.remaining / f.rate).max(0.0);
                 best = Some(match best {
@@ -256,9 +346,11 @@ impl FluidNet {
         }
         // Round up by one tick so that at the returned instant the winning
         // flow has provably crossed the completion threshold.
-        best.map(|secs| {
+        let when = best.map(|secs| {
             self.last_advance + SimDuration::from_secs_f64(secs) + SimDuration::from_nanos(1)
-        })
+        });
+        self.next_cache = Some(when);
+        when
     }
 
     /// Advance to `now` and drain all flows that have finished by then,
@@ -267,12 +359,16 @@ impl FluidNet {
         self.advance(now);
         let mut done = Vec::new();
         let flows = &mut self.flows;
-        self.active.retain(|&id| {
-            let f = &flows[&id];
-            if f.remaining <= DONE_EPS {
-                let f = flows.remove(&id).expect("flow vanished");
+        let free = &mut self.free;
+        let dirty_hosts = &mut self.dirty_hosts;
+        let mut any = false;
+        self.active.retain(|&slot| {
+            let entry = &mut flows[slot as usize];
+            let remaining = entry.state.as_ref().expect("active flow missing").remaining;
+            if remaining <= DONE_EPS {
+                let f = entry.state.take().expect("flow vanished");
                 done.push(CompletedFlow {
-                    id: FlowId(id),
+                    id: FlowId(make_id(entry.gen, slot as usize)),
                     tag: f.spec.tag,
                     src: f.spec.src,
                     dst: f.spec.dst,
@@ -280,24 +376,34 @@ impl FluidNet {
                     finished: now,
                     bytes: f.spec.bytes,
                 });
+                entry.gen = entry.gen.wrapping_add(1);
+                free.push(slot);
+                dirty_hosts[f.spec.src.0 as usize] = true;
+                dirty_hosts[f.spec.dst.0 as usize] = true;
+                any = true;
                 false
             } else {
                 true
             }
         });
-        if !done.is_empty() {
-            self.rates_fresh = false;
+        if any {
+            self.any_dirty = true;
+            self.next_cache = None;
         }
         done
     }
 
     fn refresh_rates(&mut self) {
-        if self.rates_fresh {
+        if !self.any_dirty {
             return;
         }
         self.demands.clear();
-        for &id in &self.active {
-            let f = &self.flows[&id];
+        self.rates.clear();
+        for &slot in &self.active {
+            let f = self.flows[slot as usize]
+                .state
+                .as_ref()
+                .expect("active flow missing");
             self.demands.push(FlowDemand {
                 src: f.spec.src,
                 dst: f.spec.dst,
@@ -305,13 +411,25 @@ impl FluidNet {
                 weight: f.spec.weight,
                 max_rate: f.max_rate,
             });
+            // Seed with the cached rate; the allocator keeps it verbatim for
+            // flows in components untouched by the dirty set.
+            self.rates.push(f.rate);
         }
-        self.allocator
-            .allocate_into(&self.topo, &self.demands, &mut self.rates);
-        for (k, &id) in self.active.iter().enumerate() {
-            self.flows.get_mut(&id).expect("active flow missing").rate = self.rates[k];
+        self.allocator.allocate_dirty_into(
+            &self.topo,
+            &self.demands,
+            &self.dirty_hosts,
+            &mut self.rates,
+        );
+        for (k, &slot) in self.active.iter().enumerate() {
+            self.flows[slot as usize]
+                .state
+                .as_mut()
+                .expect("active flow missing")
+                .rate = self.rates[k];
         }
-        self.rates_fresh = true;
+        self.dirty_hosts.fill(false);
+        self.any_dirty = false;
     }
 }
 
@@ -334,7 +452,6 @@ mod tests {
             tag,
         }
     }
-
 
     #[test]
     fn single_flow_completes_on_schedule() {
@@ -452,7 +569,11 @@ mod tests {
         net.start_flow(SimTime::ZERO, spec(0, 2, 1e9, 0, 5));
         net.start_flow(SimTime::ZERO, spec(0, 2, 1e9, 0, 6));
         assert_eq!(net.set_band_for_tag(SimTime::ZERO, 5, Band(2)), 2);
-        assert_eq!(net.set_band_for_tag(SimTime::ZERO, 5, Band(2)), 0, "idempotent");
+        assert_eq!(
+            net.set_band_for_tag(SimTime::ZERO, 5, Band(2)),
+            0,
+            "idempotent"
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod topology;
 pub mod types;
 
 pub use fluid::{CompletedFlow, FlowSpec, FluidNet};
-pub use maxmin::{FlowDemand, MaxMinAllocator};
+pub use maxmin::{AllocStats, FlowDemand, MaxMinAllocator};
 pub use packet::{PacketRun, PacketSim, Qdisc, Rotation, TimelineEntry, Transfer, TransferOutcome};
 pub use psim::{EgressDiscipline, NetFlow, NetFlowOutcome, NetSimConfig};
 pub use tc::TcConfig;

@@ -70,24 +70,80 @@ impl FlowDemand {
 /// Numeric floor below which a link is considered saturated (bytes/sec).
 const CAP_EPS: f64 = 1e-6;
 
+/// Cumulative allocator performance counters. Monotonically increasing for
+/// the lifetime of a [`MaxMinAllocator`]; read them via
+/// [`MaxMinAllocator::stats`] and difference snapshots to meter a window.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Solver entry count (full and partial calls).
+    pub invocations: u64,
+    /// Calls that re-solved every component ([`MaxMinAllocator::allocate_into`]).
+    pub full_solves: u64,
+    /// Connected components actually re-solved.
+    pub components_solved: u64,
+    /// Components whose cached rates were kept (partial calls only).
+    pub components_retained: u64,
+    /// Progressive-filling rounds across all solved components.
+    pub rounds: u64,
+    /// Flows belonging to re-solved components (one count per solve).
+    pub flows_touched: u64,
+    /// Wall-clock time spent inside the solver, in nanoseconds.
+    pub wall_nanos: u64,
+}
+
 /// Reusable allocator scratch space. Allocation runs on every network
-/// event, so buffers are kept and reused across calls.
+/// event, so all working buffers are kept and reused across calls, and the
+/// solve is decomposed by connected component of the flow/link graph: a
+/// partial call ([`MaxMinAllocator::allocate_dirty_into`]) re-solves only
+/// components containing a changed ("dirty") host and keeps cached rates
+/// everywhere else. The full and partial paths run the identical
+/// per-component solve, so their results are bit-for-bit equal.
 #[derive(Debug, Default)]
 pub struct MaxMinAllocator {
-    // Remaining capacity per link; links are [egress 0..n) ++ [ingress 0..n).
+    // Remaining capacity per link; links are [egress 0..n) ++ [ingress 0..n)
+    // ++ [optional fabric core at 2n]. Only links of re-solved components
+    // are (re)initialized on each call.
     cap: Vec<f64>,
-    // Sum of weights of eligible flows per link (recomputed per round).
+    // Sum of weights of eligible flows per link, valid when the stamp
+    // matches the current round (avoids clearing per round).
     weight_sum: Vec<f64>,
-    // Per-flow frozen flag.
-    frozen: Vec<bool>,
-    // Per-flow eligible flag (recomputed per round).
-    eligible: Vec<bool>,
-    // Per-egress minimum unfrozen band (recomputed per round).
+    ws_stamp: Vec<u64>,
+    // Links with eligible flows this round (indices into `cap`).
+    touched_links: Vec<u32>,
+    // Per-egress minimum unfrozen band, stamp-validated like `weight_sum`.
     min_band: Vec<u16>,
+    mb_stamp: Vec<u64>,
+    round_stamp: u64,
+    // Per-flow eligible flag (valid only for flows visited this round).
+    eligible: Vec<bool>,
+    // Indices of still-unfrozen flows of the component being solved,
+    // in creation order (order is load-bearing: it fixes fp summation).
+    unfrozen: Vec<u32>,
+    // Union-find over hosts, rebuilt per call.
+    parent: Vec<u32>,
+    // Dense component ids in order of first appearance along `flows`.
+    host_comp: Vec<u32>,
+    host_comp_stamp: Vec<u64>,
+    comp_stamp: u64,
+    // CSR layout: component `c` owns flow indices
+    // `comp_flows[comp_start[c]..comp_start[c+1]]`, creation order.
+    comp_start: Vec<u32>,
+    comp_flows: Vec<u32>,
+    comp_of: Vec<u32>,
+    stats: AllocStats,
 }
 
 /// Sentinel for "no unfrozen flow at this egress".
 const NO_BAND: u16 = u16::MAX;
+
+fn uf_find(parent: &mut [u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        let grand = parent[parent[x as usize] as usize];
+        parent[x as usize] = grand;
+        x = grand;
+    }
+    x
+}
 
 impl MaxMinAllocator {
     /// Create an allocator (no per-topology state; reusable across calls).
@@ -95,39 +151,82 @@ impl MaxMinAllocator {
         Self::default()
     }
 
+    /// Cumulative performance counters for this allocator.
+    pub fn stats(&self) -> AllocStats {
+        self.stats
+    }
+
+    /// Reset the performance counters to zero.
+    pub fn reset_stats(&mut self) {
+        self.stats = AllocStats::default();
+    }
+
     /// Compute rates (bytes/sec) for `flows`, writing into `rates`
-    /// (resized to `flows.len()`).
+    /// (resized to `flows.len()`). Every component is (re)solved.
     ///
     /// Panics if any flow references a host outside `topo` or has a
     /// non-positive weight.
     pub fn allocate_into(&mut self, topo: &Topology, flows: &[FlowDemand], rates: &mut Vec<f64>) {
-        let n = topo.num_hosts();
+        let started = std::time::Instant::now();
         rates.clear();
         rates.resize(flows.len(), 0.0);
-        if flows.is_empty() {
-            return;
+        self.stats.invocations += 1;
+        self.stats.full_solves += 1;
+        if !flows.is_empty() {
+            let comp_count = self.build_components(topo, flows);
+            self.solve_components(topo, flows, rates, comp_count, None);
         }
+        self.stats.wall_nanos += started.elapsed().as_nanos() as u64;
+    }
 
-        // Links: [egress 0..n) ++ [ingress 0..n) ++ [optional fabric core].
-        self.cap.clear();
-        self.cap
-            .extend(topo.hosts().map(|h| topo.egress(h).bytes_per_sec()));
-        self.cap
-            .extend(topo.hosts().map(|h| topo.ingress(h).bytes_per_sec()));
-        let core_link = topo.core_capacity().map(|c| {
-            self.cap.push(c.bytes_per_sec());
-            2 * n
-        });
-        let num_links = self.cap.len();
+    /// Re-solve only the components that contain a host flagged in
+    /// `dirty_hosts`; for every flow of an untouched component, `rates[i]`
+    /// is left exactly as passed in (the caller supplies the previous
+    /// allocation). Produces bit-identical results to
+    /// [`MaxMinAllocator::allocate_into`] provided the rates of clean
+    /// components are indeed unchanged — which the dirty-host contract
+    /// guarantees: any input change to a component marks one of its hosts.
+    pub fn allocate_dirty_into(
+        &mut self,
+        topo: &Topology,
+        flows: &[FlowDemand],
+        dirty_hosts: &[bool],
+        rates: &mut [f64],
+    ) {
+        let started = std::time::Instant::now();
+        assert_eq!(
+            rates.len(),
+            flows.len(),
+            "partial solve needs the previous rate for every flow"
+        );
+        assert_eq!(
+            dirty_hosts.len(),
+            topo.num_hosts(),
+            "dirty set / topology mismatch"
+        );
+        self.stats.invocations += 1;
+        if !flows.is_empty() {
+            let comp_count = self.build_components(topo, flows);
+            self.solve_components(topo, flows, rates, comp_count, Some(dirty_hosts));
+        }
+        self.stats.wall_nanos += started.elapsed().as_nanos() as u64;
+    }
 
-        self.frozen.clear();
-        self.frozen.resize(flows.len(), false);
-        self.eligible.clear();
-        self.eligible.resize(flows.len(), false);
+    /// Convenience wrapper returning a fresh rate vector.
+    pub fn allocate(&mut self, topo: &Topology, flows: &[FlowDemand]) -> Vec<f64> {
+        let mut rates = Vec::new();
+        self.allocate_into(topo, flows, &mut rates);
+        rates
+    }
 
-        let loopback = topo.loopback().bytes_per_sec();
-        let mut remaining = 0usize;
-        for (i, f) in flows.iter().enumerate() {
+    /// Group flows into connected components of the host graph (loopback
+    /// flows join their host's component; a configured fabric core couples
+    /// everything into one). Returns the component count and fills the CSR
+    /// buffers; component ids follow first appearance in `flows`, and each
+    /// component lists its flows in creation order.
+    fn build_components(&mut self, topo: &Topology, flows: &[FlowDemand]) -> usize {
+        let n = topo.num_hosts();
+        for f in flows {
             assert!(
                 f.weight > 0.0 && f.weight.is_finite(),
                 "flow weight must be positive, got {}",
@@ -137,35 +236,179 @@ impl MaxMinAllocator {
                 topo.contains(f.src) && topo.contains(f.dst),
                 "flow references host outside topology"
             );
+        }
+
+        self.comp_of.clear();
+        self.comp_of.resize(flows.len(), 0);
+        let comp_count = if topo.core_capacity().is_some() {
+            // The shared core couples every flow's rate to every other's:
+            // a single component (the "full solve" fallback).
+            1
+        } else {
+            self.parent.clear();
+            self.parent.extend(0..n as u32);
+            for f in flows {
+                if f.src != f.dst {
+                    let a = uf_find(&mut self.parent, f.src.0);
+                    let b = uf_find(&mut self.parent, f.dst.0);
+                    if a != b {
+                        self.parent[a.max(b) as usize] = a.min(b);
+                    }
+                }
+            }
+            self.host_comp.resize(n.max(self.host_comp.len()), 0);
+            self.host_comp_stamp
+                .resize(n.max(self.host_comp_stamp.len()), 0);
+            self.comp_stamp += 1;
+            let mut count = 0u32;
+            for (i, f) in flows.iter().enumerate() {
+                let root = uf_find(&mut self.parent, f.src.0) as usize;
+                if self.host_comp_stamp[root] != self.comp_stamp {
+                    self.host_comp_stamp[root] = self.comp_stamp;
+                    self.host_comp[root] = count;
+                    count += 1;
+                }
+                self.comp_of[i] = self.host_comp[root];
+            }
+            count as usize
+        };
+
+        // CSR: counting sort by component id, stable in flow order.
+        self.comp_start.clear();
+        self.comp_start.resize(comp_count + 1, 0);
+        for &c in &self.comp_of {
+            self.comp_start[c as usize + 1] += 1;
+        }
+        for c in 0..comp_count {
+            self.comp_start[c + 1] += self.comp_start[c];
+        }
+        self.comp_flows.clear();
+        self.comp_flows.resize(flows.len(), 0);
+        let mut cursor: Vec<u32> = self.comp_start[..comp_count].to_vec();
+        for (i, &c) in self.comp_of.iter().enumerate() {
+            let slot = cursor[c as usize];
+            self.comp_flows[slot as usize] = i as u32;
+            cursor[c as usize] = slot + 1;
+        }
+        comp_count
+    }
+
+    fn solve_components(
+        &mut self,
+        topo: &Topology,
+        flows: &[FlowDemand],
+        rates: &mut [f64],
+        comp_count: usize,
+        dirty_hosts: Option<&[bool]>,
+    ) {
+        let n = topo.num_hosts();
+        let num_links = 2 * n + usize::from(topo.core_capacity().is_some());
+        self.cap.resize(num_links.max(self.cap.len()), 0.0);
+        self.weight_sum
+            .resize(num_links.max(self.weight_sum.len()), 0.0);
+        self.ws_stamp.resize(num_links.max(self.ws_stamp.len()), 0);
+        self.min_band.resize(n.max(self.min_band.len()), NO_BAND);
+        self.mb_stamp.resize(n.max(self.mb_stamp.len()), 0);
+        self.eligible
+            .resize(flows.len().max(self.eligible.len()), false);
+
+        // A core capacity couples every flow: bandwidth freed by a departed
+        // flow (whose hosts may appear in no surviving demand) can raise
+        // other flows' rates through the shared core link. Any dirtiness at
+        // all therefore re-solves the (single, global) component.
+        let core_dirty = topo.core_capacity().is_some()
+            && dirty_hosts.is_some_and(|dirty| dirty.iter().any(|&d| d));
+
+        let comp_start = std::mem::take(&mut self.comp_start);
+        let comp_flows = std::mem::take(&mut self.comp_flows);
+        for c in 0..comp_count {
+            let idxs = &comp_flows[comp_start[c] as usize..comp_start[c + 1] as usize];
+            let solve = core_dirty
+                || match dirty_hosts {
+                    None => true,
+                    Some(dirty) => idxs.iter().any(|&i| {
+                        let f = &flows[i as usize];
+                        dirty[f.src.0 as usize] || dirty[f.dst.0 as usize]
+                    }),
+                };
+            if solve {
+                self.solve_component(topo, flows, idxs, rates);
+            } else {
+                self.stats.components_retained += 1;
+            }
+        }
+        self.comp_start = comp_start;
+        self.comp_flows = comp_flows;
+    }
+
+    /// Progressive filling restricted to one component. `idxs` lists the
+    /// component's flows in creation order; only their `rates` entries and
+    /// their hosts' links are touched.
+    fn solve_component(
+        &mut self,
+        topo: &Topology,
+        flows: &[FlowDemand],
+        idxs: &[u32],
+        rates: &mut [f64],
+    ) {
+        let n = topo.num_hosts();
+        let core_link = topo.core_capacity().map(|c| {
+            self.cap[2 * n] = c.bytes_per_sec();
+            2 * n
+        });
+        self.stats.components_solved += 1;
+        self.stats.flows_touched += idxs.len() as u64;
+
+        let loopback = topo.loopback().bytes_per_sec();
+        self.unfrozen.clear();
+        for &i in idxs {
+            let f = &flows[i as usize];
             if f.src == f.dst {
                 // Loopback traffic never touches the NIC.
-                rates[i] = loopback;
-                self.frozen[i] = true;
+                rates[i as usize] = loopback;
             } else {
-                remaining += 1;
+                rates[i as usize] = 0.0;
+                self.cap[f.src.0 as usize] = topo.egress(f.src).bytes_per_sec();
+                self.cap[n + f.dst.0 as usize] = topo.ingress(f.dst).bytes_per_sec();
+                self.unfrozen.push(i);
             }
         }
 
-        while remaining > 0 {
+        while !self.unfrozen.is_empty() {
+            self.stats.rounds += 1;
+            self.round_stamp += 1;
+            let round = self.round_stamp;
+
             // Eligibility: the lowest unfrozen band at each egress.
-            self.min_band.clear();
-            self.min_band.resize(n, NO_BAND);
-            for (i, f) in flows.iter().enumerate() {
-                if !self.frozen[i] {
-                    let e = f.src.0 as usize;
-                    self.min_band[e] = self.min_band[e].min(f.band.0 as u16);
+            for &i in &self.unfrozen {
+                let f = &flows[i as usize];
+                let e = f.src.0 as usize;
+                let band = f.band.0 as u16;
+                if self.mb_stamp[e] != round {
+                    self.mb_stamp[e] = round;
+                    self.min_band[e] = band;
+                } else {
+                    self.min_band[e] = self.min_band[e].min(band);
                 }
             }
-            self.weight_sum.clear();
-            self.weight_sum.resize(num_links, 0.0);
-            for (i, f) in flows.iter().enumerate() {
-                let el = !self.frozen[i] && f.band.0 as u16 == self.min_band[f.src.0 as usize];
-                self.eligible[i] = el;
+            self.touched_links.clear();
+            for &i in &self.unfrozen {
+                let f = &flows[i as usize];
+                let el = f.band.0 as u16 == self.min_band[f.src.0 as usize];
+                self.eligible[i as usize] = el;
                 if el {
-                    self.weight_sum[f.src.0 as usize] += f.weight;
-                    self.weight_sum[n + f.dst.0 as usize] += f.weight;
-                    if let Some(c) = core_link {
-                        self.weight_sum[c] += f.weight;
+                    let egress = f.src.0 as usize;
+                    let ingress = n + f.dst.0 as usize;
+                    for l in [Some(egress), Some(ingress), core_link]
+                        .into_iter()
+                        .flatten()
+                    {
+                        if self.ws_stamp[l] != round {
+                            self.ws_stamp[l] = round;
+                            self.weight_sum[l] = 0.0;
+                            self.touched_links.push(l as u32);
+                        }
+                        self.weight_sum[l] += f.weight;
                     }
                 }
             }
@@ -173,57 +416,47 @@ impl MaxMinAllocator {
             // The common level can rise until the tightest link saturates
             // or an eligible flow reaches its own rate ceiling.
             let mut theta = f64::INFINITY;
-            for l in 0..num_links {
-                if self.weight_sum[l] > 0.0 {
-                    theta = theta.min(self.cap[l].max(0.0) / self.weight_sum[l]);
-                }
+            for &l in &self.touched_links {
+                let l = l as usize;
+                theta = theta.min(self.cap[l].max(0.0) / self.weight_sum[l]);
             }
-            for (i, f) in flows.iter().enumerate() {
-                if self.eligible[i] && f.max_rate.is_finite() {
-                    theta = theta.min(((f.max_rate - rates[i]).max(0.0)) / f.weight);
+            for &i in &self.unfrozen {
+                let f = &flows[i as usize];
+                if self.eligible[i as usize] && f.max_rate.is_finite() {
+                    theta = theta.min(((f.max_rate - rates[i as usize]).max(0.0)) / f.weight);
                 }
             }
             debug_assert!(theta.is_finite(), "eligible flows but no constrained link");
 
             // Raise all eligible flows by theta * weight and charge the links.
             if theta > 0.0 {
-                for (i, f) in flows.iter().enumerate() {
-                    if !self.eligible[i] {
-                        continue;
+                for &i in &self.unfrozen {
+                    if self.eligible[i as usize] {
+                        rates[i as usize] += theta * flows[i as usize].weight;
                     }
-                    let inc = theta * f.weight;
-                    rates[i] += inc;
-                    self.cap[f.src.0 as usize] -= inc;
-                    self.cap[n + f.dst.0 as usize] -= inc;
-                    if let Some(c) = core_link {
-                        self.cap[c] -= inc;
-                    }
+                }
+                for &l in &self.touched_links {
+                    let l = l as usize;
+                    self.cap[l] -= theta * self.weight_sum[l];
                 }
             }
 
             // Freeze eligible flows touching a saturated link or sitting at
-            // their own ceiling.
-            for (i, f) in flows.iter().enumerate() {
-                if !self.eligible[i] || self.frozen[i] {
-                    continue;
+            // their own ceiling; `retain` keeps creation order.
+            let core_full = core_link.map(|c| self.cap[c] <= CAP_EPS).unwrap_or(false);
+            let (unfrozen, eligible, cap) = (&mut self.unfrozen, &self.eligible, &self.cap);
+            unfrozen.retain(|&i| {
+                if !eligible[i as usize] {
+                    return true;
                 }
+                let f = &flows[i as usize];
                 let e = f.src.0 as usize;
                 let g = n + f.dst.0 as usize;
-                let capped = f.max_rate.is_finite() && rates[i] >= f.max_rate * (1.0 - 1e-12);
-                let core_full = core_link.map(|c| self.cap[c] <= CAP_EPS).unwrap_or(false);
-                if self.cap[e] <= CAP_EPS || self.cap[g] <= CAP_EPS || capped || core_full {
-                    self.frozen[i] = true;
-                    remaining -= 1;
-                }
-            }
+                let capped =
+                    f.max_rate.is_finite() && rates[i as usize] >= f.max_rate * (1.0 - 1e-12);
+                !(cap[e] <= CAP_EPS || cap[g] <= CAP_EPS || capped || core_full)
+            });
         }
-    }
-
-    /// Convenience wrapper returning a fresh rate vector.
-    pub fn allocate(&mut self, topo: &Topology, flows: &[FlowDemand]) -> Vec<f64> {
-        let mut rates = Vec::new();
-        self.allocate_into(topo, flows, &mut rates);
-        rates
     }
 }
 
@@ -307,7 +540,11 @@ mod tests {
         assert!((r[0] - LINK / 2.0).abs() < 1.0);
         assert!((r[1] - LINK / 2.0).abs() < 1.0);
         // Low-band flow picks up the other half of h0's egress.
-        assert!((r[2] - LINK / 2.0).abs() < 1.0, "work conservation: {}", r[2]);
+        assert!(
+            (r[2] - LINK / 2.0).abs() < 1.0,
+            "work conservation: {}",
+            r[2]
+        );
     }
 
     #[test]
@@ -557,7 +794,11 @@ mod tests {
         ];
         let r = a.allocate(&t, &flows);
         assert!((r[0] - LINK / 4.0).abs() < 1.0);
-        assert!((r[1] - 0.75 * LINK).abs() < 1.0, "lower band fills in: {}", r[1]);
+        assert!(
+            (r[1] - 0.75 * LINK).abs() < 1.0,
+            "lower band fills in: {}",
+            r[1]
+        );
     }
 
     #[test]
@@ -568,7 +809,11 @@ mod tests {
         let t = topo(3, 10.0);
         let mut a = MaxMinAllocator::new();
         let r = a.allocate(&t, &[demand(0, 1, 0, 1.0).with_max_rate(LINK / 2.0)]);
-        assert!((r[0] - LINK / 2.0).abs() < 1.0, "static allocation wastes: {}", r[0]);
+        assert!(
+            (r[0] - LINK / 2.0).abs() < 1.0,
+            "static allocation wastes: {}",
+            r[0]
+        );
     }
 
     #[test]

@@ -416,7 +416,10 @@ mod tests {
         let total = 200e6 / GBPS10;
         let fifo_job1 = fifo.last_finish_of_tag(1).unwrap().as_secs_f64();
         let prio_job1 = prio.last_finish_of_tag(1).unwrap().as_secs_f64();
-        assert!((fifo_job1 - total).abs() < 0.01, "FIFO: job 1 late ({fifo_job1})");
+        assert!(
+            (fifo_job1 - total).abs() < 0.01,
+            "FIFO: job 1 late ({fifo_job1})"
+        );
         assert!(
             (prio_job1 - total / 2.0).abs() < 0.01,
             "prio: job 1 done at midpoint ({prio_job1})"

@@ -177,7 +177,13 @@ pub fn run(cfg: &NetSimConfig, flows: &[NetFlow]) -> Vec<NetFlowOutcome> {
                 let h = state[i].src;
                 if egress_busy[h as usize].is_none() {
                     kick_egress(
-                        now, h, cfg, &mut state, &mut egress_busy, &mut egress_cursor, &mut queue,
+                        now,
+                        h,
+                        cfg,
+                        &mut state,
+                        &mut egress_busy,
+                        &mut egress_cursor,
+                        &mut queue,
                     );
                 }
             }
@@ -187,10 +193,23 @@ pub fn run(cfg: &NetSimConfig, flows: &[NetFlow]) -> Vec<NetFlowOutcome> {
                 let dst = state[i].dst as usize;
                 ingress_q[dst].push_back((i, chunk));
                 if !ingress_busy[dst] {
-                    kick_ingress(now, dst as u32, cfg, &mut ingress_q, &mut ingress_busy, &mut queue);
+                    kick_ingress(
+                        now,
+                        dst as u32,
+                        cfg,
+                        &mut ingress_q,
+                        &mut ingress_busy,
+                        &mut queue,
+                    );
                 }
                 kick_egress(
-                    now, h, cfg, &mut state, &mut egress_busy, &mut egress_cursor, &mut queue,
+                    now,
+                    h,
+                    cfg,
+                    &mut state,
+                    &mut egress_busy,
+                    &mut egress_cursor,
+                    &mut queue,
                 );
             }
             Ev::IngressDone(h) => {
@@ -208,7 +227,12 @@ pub fn run(cfg: &NetSimConfig, flows: &[NetFlow]) -> Vec<NetFlowOutcome> {
                 let src = state[i].src;
                 if egress_busy[src as usize].is_none() {
                     kick_egress(
-                        now, src, cfg, &mut state, &mut egress_busy, &mut egress_cursor,
+                        now,
+                        src,
+                        cfg,
+                        &mut state,
+                        &mut egress_busy,
+                        &mut egress_cursor,
                         &mut queue,
                     );
                 }
@@ -237,9 +261,8 @@ fn kick_egress(
     // A flow is ready when it has bytes left AND window room — a
     // window-stalled high-band flow releases the link to lower bands
     // (work conservation, as with htb borrowing).
-    let ready = |f: &FlowState| {
-        f.started && f.src == h && f.to_send > 0 && f.in_flight < cfg.window
-    };
+    let ready =
+        |f: &FlowState| f.started && f.src == h && f.to_send > 0 && f.in_flight < cfg.window;
     let candidates: Vec<usize> = state
         .iter()
         .enumerate()
@@ -405,7 +428,10 @@ mod tests {
         // C must finish well before a fully serialized schedule (A then C =
         // 0.08 s + 0.04 s): it borrows A's stalled egress slots.
         let c_done = out[2].finished.as_secs_f64();
-        assert!(c_done < 0.085, "work conservation through windows: {c_done}");
+        assert!(
+            c_done < 0.085,
+            "work conservation through windows: {c_done}"
+        );
     }
 
     #[test]

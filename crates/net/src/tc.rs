@@ -220,7 +220,9 @@ mod tests {
         // Two ports changed: each needs one del and one add.
         assert_eq!(diff.len(), 4);
         assert!(diff.iter().all(|l| l.contains("filter")));
-        assert!(diff.iter().any(|l| l.contains("del") && l.contains("sport 2222")));
+        assert!(diff
+            .iter()
+            .any(|l| l.contains("del") && l.contains("sport 2222")));
         assert!(diff
             .iter()
             .any(|l| l.contains("add") && l.contains("sport 2222") && l.contains("1:11")));
@@ -265,7 +267,10 @@ mod tests {
         let mut c = TcConfig::new("eth1", Bandwidth::from_gbps(25.0), 1);
         c.assign_port(9999, Band(0));
         let lines = c.render_setup();
-        assert_eq!(lines[0], "tc qdisc add dev eth1 root handle 1: htb default 10");
+        assert_eq!(
+            lines[0],
+            "tc qdisc add dev eth1 root handle 1: htb default 10"
+        );
         assert!(lines[1].contains("rate 25000mbit"));
         assert_eq!(lines.len(), 4);
     }

@@ -209,7 +209,10 @@ mod tests {
         let f = RngFactory::new(6);
         let mut rng = f.stream("exp");
         let n = 200_000;
-        let mean: f64 = (0..n).map(|_| sample_exponential(&mut rng, 2.0)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_exponential(&mut rng, 2.0))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 

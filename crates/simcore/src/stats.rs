@@ -456,10 +456,7 @@ mod tests {
             s.push(x);
         }
         let cdf = s.cdf(10);
-        assert_eq!(
-            cdf,
-            vec![(1.0, 1.0 / 3.0), (2.0, 2.0 / 3.0), (3.0, 1.0)]
-        );
+        assert_eq!(cdf, vec![(1.0, 1.0 / 3.0), (2.0, 2.0 / 3.0), (3.0, 1.0)]);
     }
 
     #[test]

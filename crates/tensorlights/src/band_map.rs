@@ -142,10 +142,7 @@ mod tests {
     #[test]
     fn few_jobs_get_distinct_bands() {
         let bands = bands_for_ranking(&[10, 11, 12], 6);
-        assert_eq!(
-            bands,
-            vec![(10, Band(0)), (11, Band(1)), (12, Band(2))]
-        );
+        assert_eq!(bands, vec![(10, Band(0)), (11, Band(1)), (12, Band(2))]);
     }
 
     #[test]

@@ -108,7 +108,9 @@ impl Default for DaemonConfig {
             dev: "eth0".into(),
             link_gbps: 10.0,
             num_bands: 6,
-            mode: PlanMode::Rr { interval_secs: 20.0 },
+            mode: PlanMode::Rr {
+                interval_secs: 20.0,
+            },
             ordering: JobOrdering::ByArrival,
         }
     }
@@ -177,10 +179,8 @@ mod tests {
 
     #[test]
     fn parses_minimal_json() {
-        let r = Registry::from_json(
-            r#"{"jobs":[{"tag":1,"ps_host":0,"ps_port":2222}]}"#,
-        )
-        .expect("valid json");
+        let r = Registry::from_json(r#"{"jobs":[{"tag":1,"ps_host":0,"ps_port":2222}]}"#)
+            .expect("valid json");
         assert_eq!(r.jobs.len(), 1);
         assert_eq!(r.jobs[0].update_bytes, 0, "defaults applied");
         assert_eq!(r.jobs[0].arrival_seq, None);
@@ -244,7 +244,10 @@ mod tests {
         let mut policy = build_policy(&one);
         let link = Bandwidth::from_gbps(one.link_gbps);
         let mut controller = Controller::new("eth0", link, 6);
-        controller.apply(&policy.assign(SimTime::ZERO, &reg.traffic_infos()), &reg.net_infos());
+        controller.apply(
+            &policy.assign(SimTime::ZERO, &reg.traffic_infos()),
+            &reg.net_infos(),
+        );
         // ...then a FIFO assignment (no configured hosts) tears it down.
         let mut fifo = FifoPolicy;
         let a = fifo.assign(SimTime::ZERO, &reg.traffic_infos());

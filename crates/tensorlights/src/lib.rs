@@ -42,8 +42,8 @@
 #![warn(missing_docs)]
 
 pub mod band_map;
-pub mod daemon;
 pub mod controller;
+pub mod daemon;
 pub mod policy;
 pub mod tls_one;
 pub mod tls_rr;

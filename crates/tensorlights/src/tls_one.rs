@@ -12,9 +12,7 @@ use std::collections::BTreeMap;
 use tl_net::{Band, HostId};
 
 /// Group jobs by their PS host, in deterministic (host, input) order.
-pub(crate) fn group_by_ps_host(
-    jobs: &[JobTrafficInfo],
-) -> BTreeMap<HostId, Vec<JobTrafficInfo>> {
+pub(crate) fn group_by_ps_host(jobs: &[JobTrafficInfo]) -> BTreeMap<HostId, Vec<JobTrafficInfo>> {
     let mut groups: BTreeMap<HostId, Vec<JobTrafficInfo>> = BTreeMap::new();
     for j in jobs {
         groups.entry(j.ps_host).or_default().push(*j);

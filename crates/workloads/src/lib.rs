@@ -102,9 +102,7 @@ impl GridSearchConfig {
                         target_global_steps: self.target_global_steps,
                         mode: self.mode,
                         launch_time: SimTime::ZERO
-                            + SimDuration::from_nanos(
-                                self.launch_stagger.as_nanos() * i as u64,
-                            ),
+                            + SimDuration::from_nanos(self.launch_stagger.as_nanos() * i as u64),
                         ps_port: self.base_port + i as u16,
                     },
                     placement: jp.clone(),

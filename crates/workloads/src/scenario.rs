@@ -246,10 +246,7 @@ mod tests {
               "worker_hosts": [3, 4] }
         ]}"#;
         let setups = load_scenario(json).expect("valid");
-        assert_eq!(
-            setups[0].placement.worker_hosts,
-            vec![HostId(3), HostId(4)]
-        );
+        assert_eq!(setups[0].placement.worker_hosts, vec![HostId(3), HostId(4)]);
     }
 
     #[test]
@@ -308,7 +305,10 @@ mod tests {
         use tensorlights::FifoPolicy;
         let setups = load_scenario(MINIMAL).expect("valid");
         let mut policy = FifoPolicy;
-        let out = tl_dl::run_simulation(tl_dl::SimConfig::default(), setups, &mut policy);
+        let out = tl_dl::Simulation::new(tl_dl::SimConfig::default())
+            .jobs(setups)
+            .policy_ref(&mut policy)
+            .run();
         assert!(out.all_complete());
     }
 }

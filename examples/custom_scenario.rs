@@ -10,7 +10,7 @@
 //! ordering protects the small job.
 
 use tensorlights::{FifoPolicy, JobOrdering, PriorityPolicy, TlsOne, TlsRr};
-use tl_dl::{run_simulation, SimConfig};
+use tensorlights_suite::prelude::*;
 use tl_workloads::load_scenario;
 
 const BUILTIN: &str = r#"{
@@ -57,7 +57,10 @@ fn main() {
         ..Default::default()
     };
     for (label, mut policy) in policies {
-        let out = run_simulation(cfg.clone(), setups.clone(), policy.as_mut());
+        let out = Simulation::new(cfg.clone())
+            .jobs(setups.clone())
+            .policy_ref(policy.as_mut())
+            .run();
         print!("{label}: mean JCT {:.1}s — per job:", out.mean_jct_secs());
         for j in &out.jobs {
             print!(" {}={:.1}s", j.id, j.jct_secs().unwrap_or(f64::NAN));

@@ -5,8 +5,9 @@
 //! cargo run --release --example grid_search -- [placement 1-8] [iterations] [fifo|tls-one|tls-rr]
 //! ```
 
+use tensorlights_suite::prelude::*;
 use tl_cluster::{table1_placement, Table1Index};
-use tl_experiments::{run_grid_search, ExperimentConfig, PolicyKind};
+use tl_experiments::{run_grid_search, ExperimentConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

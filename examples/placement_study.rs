@@ -15,7 +15,9 @@ fn main() {
         .unwrap_or(60);
     let cfg = ExperimentConfig::scaled(iterations);
 
-    println!("placement        FIFO     TLs-One   TLs-RR   (mean JCT seconds; {iterations} iterations)");
+    println!(
+        "placement        FIFO     TLs-One   TLs-RR   (mean JCT seconds; {iterations} iterations)"
+    );
     let mut tasks = Vec::new();
     for idx in Table1Index::all() {
         for p in PolicyKind::all() {

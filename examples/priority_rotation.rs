@@ -12,9 +12,7 @@
 //! It also prints the live `tc` reconfiguration commands a rotation issues.
 
 use simcore::{SimDuration, SimTime};
-use tensorlights::{
-    Controller, JobNetInfo, JobOrdering, JobTrafficInfo, PriorityPolicy, TlsRr,
-};
+use tensorlights::{Controller, JobNetInfo, JobOrdering, JobTrafficInfo, PriorityPolicy, TlsRr};
 use tl_cluster::{table1_placement, Table1Index};
 use tl_experiments::{run_grid_search, ExperimentConfig, PolicyKind};
 use tl_net::{Bandwidth, HostId};

@@ -12,10 +12,9 @@
 
 use simcore::SimTime;
 use tensorlights::{FifoPolicy, JobOrdering, PriorityPolicy, TlsOne};
+use tensorlights_suite::prelude::*;
 use tl_cluster::JobPlacement;
-use tl_dl::{
-    run_simulation, JobId, JobSetup, JobSpec, ModelSpec, SimConfig, SimOutput, TrainingMode,
-};
+use tl_dl::{JobId, JobSpec, ModelSpec, TrainingMode};
 use tl_net::HostId;
 
 fn jobs() -> Vec<JobSetup> {
@@ -63,11 +62,17 @@ fn main() {
     };
 
     let mut fifo = FifoPolicy;
-    let base = run_simulation(cfg.clone(), jobs(), &mut fifo);
+    let base = Simulation::new(cfg.clone())
+        .jobs(jobs())
+        .policy_ref(&mut fifo)
+        .run();
     report("FIFO (no tc configuration)", &base);
 
     let mut tls: Box<dyn PriorityPolicy> = Box::new(TlsOne::new(JobOrdering::ByArrival));
-    let prio = run_simulation(cfg, jobs(), tls.as_mut());
+    let prio = Simulation::new(cfg)
+        .jobs(jobs())
+        .policy_ref(tls.as_mut())
+        .run();
     report("TensorLights-One", &prio);
 
     let gain = 1.0 - prio.mean_jct_secs() / base.mean_jct_secs();

@@ -10,9 +10,7 @@
 //! disappears entirely.
 
 use simcore::SimTime;
-use tensorlights::{
-    Controller, JobNetInfo, JobOrdering, JobTrafficInfo, PriorityPolicy, TlsRr,
-};
+use tensorlights::{Controller, JobNetInfo, JobOrdering, JobTrafficInfo, PriorityPolicy, TlsRr};
 use tl_net::{Band, Bandwidth, HostId, TcConfig};
 
 fn main() {

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything a PR must keep green.
+#
+#   ./scripts/check.sh         # build + tests + clippy + bench smoke
+#   ./scripts/check.sh fast    # build + tests only (the original tier-1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" != "fast" ]]; then
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+
+    # Single-iteration smoke run of every criterion bench so the bench
+    # harness can't rot; numbers are meaningless, only compile+run matter.
+    echo "==> bench smoke (TL_BENCH_SMOKE=1)"
+    TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench kernel
+    TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench paper_experiments
+fi
+
+echo "==> all checks passed"

@@ -23,3 +23,17 @@ pub use tl_dl as dl;
 pub use tl_experiments as experiments;
 pub use tl_net as net;
 pub use tl_workloads as workloads;
+
+/// One-stop imports for driving simulations from examples and downstream
+/// code: `use tensorlights_suite::prelude::*;`.
+///
+/// Curated rather than exhaustive — the types every experiment touches:
+/// the [`dl::Simulation`] builder and its configuration/output, the
+/// paper's scheduling policies, and the placement / grid-search workload
+/// descriptions. Reach into the individual crates for anything deeper.
+pub mod prelude {
+    pub use crate::cluster::Placement;
+    pub use crate::dl::{JobSetup, SimConfig, SimOutput, Simulation};
+    pub use crate::experiments::PolicyKind;
+    pub use crate::workloads::GridSearchConfig;
+}

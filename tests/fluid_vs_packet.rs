@@ -5,9 +5,7 @@
 //! same completion times up to chunk quantization.
 
 use simcore::SimTime;
-use tl_net::{
-    Band, Bandwidth, FlowSpec, FluidNet, HostId, PacketSim, Qdisc, Topology, Transfer,
-};
+use tl_net::{Band, Bandwidth, FlowSpec, FluidNet, HostId, PacketSim, Qdisc, Topology, Transfer};
 
 const LINK_GBPS: f64 = 10.0;
 
@@ -18,7 +16,11 @@ fn fluid_times(transfers: &[Transfer]) -> Vec<f64> {
     let mut net = FluidNet::new(Topology::uniform(hosts, Bandwidth::from_gbps(LINK_GBPS)));
     let mut ids = Vec::new();
     for (k, t) in transfers.iter().enumerate() {
-        assert_eq!(t.arrival, SimTime::ZERO, "helper assumes simultaneous start");
+        assert_eq!(
+            t.arrival,
+            SimTime::ZERO,
+            "helper assumes simultaneous start"
+        );
         ids.push(net.start_flow(
             SimTime::ZERO,
             FlowSpec {
@@ -119,9 +121,7 @@ fn work_conservation_matches() {
     // whatever the discipline.
     let ts = [xfer(0, 33, 2), xfer(1, 21, 0), xfer(2, 46, 1)];
     let total = 100e6 / 1.25e9;
-    let fluid_last = fluid_times(&ts)
-        .into_iter()
-        .fold(0.0f64, f64::max);
+    let fluid_last = fluid_times(&ts).into_iter().fold(0.0f64, f64::max);
     assert!((fluid_last - total).abs() < 1e-3);
     for q in [Qdisc::PfifoFast, Qdisc::Prio] {
         let packet_last = packet_times(&ts, q).into_iter().fold(0.0f64, f64::max);
@@ -137,10 +137,7 @@ fn work_conservation_matches() {
 use tl_net::{psim, EgressDiscipline, NetFlow, NetSimConfig};
 
 fn psim_cfg(hosts: usize, d: EgressDiscipline) -> NetSimConfig {
-    NetSimConfig::new(
-        Topology::uniform(hosts, Bandwidth::from_gbps(LINK_GBPS)),
-        d,
-    )
+    NetSimConfig::new(Topology::uniform(hosts, Bandwidth::from_gbps(LINK_GBPS)), d)
 }
 
 fn fluid_multi(hosts: usize, flows: &[NetFlow]) -> Vec<f64> {
@@ -190,10 +187,7 @@ fn ps_fanout_agrees_across_models() {
     let total = 120e6 / 1.25e9;
     for (f, p) in fluid.iter().zip(&packet) {
         let pt = p.finished.as_secs_f64();
-        assert!(
-            (f - pt).abs() < 0.01,
-            "fanout: fluid {f} vs packet {pt}"
-        );
+        assert!((f - pt).abs() < 0.01, "fanout: fluid {f} vs packet {pt}");
         assert!((pt - total).abs() < 0.01, "all finish near the burst end");
     }
 }
@@ -224,10 +218,7 @@ fn two_colocated_ps_priority_agrees_across_models() {
     let packet = psim::run(&psim_cfg(7, EgressDiscipline::Priority), &flows);
     for (k, (f, p)) in fluid.iter().zip(&packet).enumerate() {
         let pt = p.finished.as_secs_f64();
-        assert!(
-            (f - pt).abs() < 0.015,
-            "flow {k}: fluid {f} vs packet {pt}"
-        );
+        assert!((f - pt).abs() < 0.015, "flow {k}: fluid {f} vs packet {pt}");
     }
     // And the job-level story holds in both: job 1's last delivery is at
     // about half of job 2's.
@@ -258,9 +249,6 @@ fn cross_traffic_pattern_agrees_across_models() {
     let packet = psim::run(&psim_cfg(4, EgressDiscipline::FifoFair), &flows);
     for (k, (f, p)) in fluid.iter().zip(&packet).enumerate() {
         let pt = p.finished.as_secs_f64();
-        assert!(
-            (f - pt).abs() < 0.02,
-            "flow {k}: fluid {f} vs packet {pt}"
-        );
+        assert!((f - pt).abs() < 0.02, "flow {k}: fluid {f} vs packet {pt}");
     }
 }

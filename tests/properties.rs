@@ -143,8 +143,8 @@ use tl_net::{psim, EgressDiscipline, FlowSpec, FluidNet, NetFlow, NetSimConfig};
 ///   remote queue half as fast — the chunk engine reproduces TCP's
 ///   RTT/feedback bias, which ideal max-min does not have.
 fn arb_netflows(hosts: u32) -> impl Strategy<Value = Vec<NetFlow>> {
-    prop::collection::vec((0..hosts, 5u64..40, 0u8..3), 1..(hosts as usize))
-        .prop_map(move |specs| {
+    prop::collection::vec((0..hosts, 5u64..40, 0u8..3), 1..(hosts as usize)).prop_map(
+        move |specs| {
             specs
                 .into_iter()
                 .enumerate()
@@ -163,7 +163,8 @@ fn arb_netflows(hosts: u32) -> impl Strategy<Value = Vec<NetFlow>> {
                     }
                 })
                 .collect()
-        })
+        },
+    )
 }
 
 proptest! {
@@ -223,4 +224,189 @@ proptest! {
         // Busy time never exceeds cores × elapsed.
         prop_assert!(e.busy_core_secs()[0] <= cores * t.as_secs_f64() + 1e-9);
     }
+}
+
+/// One step of the churn script for the incremental-allocator property
+/// tests: a flow arrival, a completion collection, or a band rotation.
+#[derive(Debug, Clone, Copy)]
+enum ChurnOp {
+    Arrive {
+        src: u32,
+        dst: u32,
+        bytes: f64,
+        band: u8,
+        weight: f64,
+        /// 0 = uncapped; otherwise the cap is `LINK / cap_div`.
+        cap_div: u8,
+        tag: u64,
+    },
+    Collect,
+    Rotate {
+        tag: u64,
+        band: u8,
+    },
+}
+
+fn arb_churn(hosts: u32) -> impl Strategy<Value = Vec<ChurnOp>> {
+    prop::collection::vec(
+        (
+            (0u8..5, 0..hosts, 0..hosts),
+            (1.0f64..100.0, 0u8..3, 0.1f64..4.0),
+            (0u8..8, 0u64..4),
+        )
+            .prop_map(
+                |((kind, src, dst), (mb, band, weight), (cap_div, tag))| match kind {
+                    0..=2 => ChurnOp::Arrive {
+                        src,
+                        dst,
+                        bytes: mb * 1e6,
+                        band,
+                        weight,
+                        cap_div,
+                        tag,
+                    },
+                    3 => ChurnOp::Collect,
+                    _ => ChurnOp::Rotate { tag, band },
+                },
+            ),
+        1..60,
+    )
+}
+
+/// Drive `ops` through a `FluidNet` (incremental allocator) and mirror the
+/// live demand set outside it; after every op, a from-scratch solve over
+/// the mirror must produce bitwise-identical rates.
+fn check_churn_against_scratch(
+    topo: &Topology,
+    ops: &[ChurnOp],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    use simcore::SimDuration;
+    use tl_net::{FlowId, FlowSpec, FluidNet};
+
+    let mut net = FluidNet::new(topo.clone());
+    let mut scratch = MaxMinAllocator::new();
+    // (id, tag, demand) per live flow, in the engine's creation order.
+    let mut live: Vec<(FlowId, u64, FlowDemand)> = Vec::new();
+    let mut demands: Vec<FlowDemand> = Vec::new();
+    let mut now = SimTime::ZERO;
+    for op in ops {
+        match *op {
+            ChurnOp::Arrive {
+                src,
+                dst,
+                bytes,
+                band,
+                weight,
+                cap_div,
+                tag,
+            } => {
+                now += SimDuration::from_micros(50);
+                let spec = FlowSpec {
+                    src: HostId(src),
+                    dst: HostId(dst),
+                    bytes,
+                    band: Band(band),
+                    weight,
+                    tag,
+                };
+                let mut demand = FlowDemand::new(spec.src, spec.dst, spec.band, weight);
+                let id = if cap_div == 0 {
+                    net.start_flow(now, spec)
+                } else {
+                    let cap = LINK / cap_div as f64;
+                    demand = demand.with_max_rate(cap);
+                    net.start_flow_with_cap(now, spec, cap)
+                };
+                live.push((id, tag, demand));
+            }
+            ChurnOp::Collect => {
+                if let Some(t) = net.next_event_time() {
+                    now = t;
+                    for c in net.take_completions(t) {
+                        live.retain(|&(id, _, _)| id != c.id);
+                    }
+                }
+            }
+            ChurnOp::Rotate { tag, band } => {
+                net.set_band_for_tag(now, tag, Band(band));
+                for (_, t, d) in live.iter_mut() {
+                    if *t == tag {
+                        d.band = Band(band);
+                    }
+                }
+            }
+        }
+        demands.clear();
+        demands.extend(live.iter().map(|&(_, _, d)| d));
+        let want = scratch.allocate(topo, &demands);
+        for (k, &(id, _, _)) in live.iter().enumerate() {
+            let got = net.rate_of(id).expect("live flow has a rate");
+            prop_assert_eq!(
+                got.to_bits(),
+                want[k].to_bits(),
+                "rate diverged for flow {} after {:?}: incremental {} vs scratch {}",
+                k,
+                op,
+                got,
+                want[k]
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// The incremental (dirty-component) allocator inside `FluidNet` stays
+    /// bitwise-identical to a from-scratch solve under arbitrary churn:
+    /// arrivals, completions, band rotations, and rate caps.
+    #[test]
+    fn incremental_allocator_matches_scratch_under_churn(ops in arb_churn(6)) {
+        let topo = Topology::uniform(6, Bandwidth::from_gbps(10.0));
+        check_churn_against_scratch(&topo, &ops)?;
+    }
+
+    /// Same as above with a binding core capacity, which forces the
+    /// single-component (full re-solve) path.
+    #[test]
+    fn incremental_allocator_matches_scratch_with_core(ops in arb_churn(6)) {
+        let topo = Topology::uniform(6, Bandwidth::from_gbps(10.0))
+            .with_core_capacity(Bandwidth::from_gbps(25.0));
+        check_churn_against_scratch(&topo, &ops)?;
+    }
+}
+
+/// Perf counters are observational: two identical runs produce identical
+/// simulation results and identical counters, except for wall time (the
+/// only non-deterministic field).
+#[test]
+fn perf_counters_do_not_perturb_results() {
+    use tensorlights_suite::prelude::*;
+
+    let scenario = r#"{
+      "hosts": 4,
+      "jobs": [
+        { "model": "synthetic:20", "workers": 3, "iterations": 12, "ps_host": 0 },
+        { "model": "synthetic:10", "workers": 3, "iterations": 12, "ps_host": 0 }
+      ]
+    }"#;
+    let run = || {
+        let setups = tl_workloads::load_scenario(scenario).expect("valid scenario");
+        Simulation::new(SimConfig::default()).jobs(setups).run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.events, b.events, "event counts must match");
+    assert_eq!(a.jobs.len(), b.jobs.len());
+    for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
+        assert_eq!(ja.jct_secs(), jb.jct_secs(), "JCTs must match exactly");
+    }
+    let strip = |mut s: tensorlights_suite::net::AllocStats| {
+        s.wall_nanos = 0;
+        s
+    };
+    assert_eq!(
+        strip(a.alloc_stats),
+        strip(b.alloc_stats),
+        "counters must be deterministic"
+    );
 }

@@ -1,0 +1,346 @@
+//! Offline stand-in for the subset of `serde` used by this workspace.
+//!
+//! Instead of serde's zero-copy visitor machinery, everything funnels
+//! through an owned [`Value`] tree: `Serialize` renders a type into a
+//! `Value`, `Deserialize` rebuilds it from one. `serde_json` (also
+//! vendored) converts between `Value` and JSON text. The derive macros
+//! live in the companion `serde_derive` proc-macro crate and are
+//! re-exported here under the usual names when the `derive` feature is
+//! on, so `#[derive(Serialize, Deserialize)]` and `use serde::{...}`
+//! work unchanged.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree, the interchange format between
+/// `Serialize`, `Deserialize`, and `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered map (JSON object).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an `Object`; `None` for other variants too.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Error produced while rebuilding a type from a [`Value`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error::custom(format!("missing field `{field}` for `{ty}`"))
+    }
+
+    pub fn invalid_type(ty: &str, expected: &str, got: &Value) -> Self {
+        Error::custom(format!(
+            "invalid type for `{ty}`: expected {expected}, got {}",
+            got.kind()
+        ))
+    }
+
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Error::custom(format!("unknown variant `{variant}` for `{ty}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `self` as a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide: u64 = match *value {
+                    Value::UInt(v) => v,
+                    Value::Int(v) if v >= 0 => v as u64,
+                    Value::Float(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => v as u64,
+                    ref other => {
+                        return Err(Error::invalid_type(stringify!($t), "unsigned integer", other))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    Error::custom(format!("{} out of range for {}", wide, stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide: i64 = match *value {
+                    Value::Int(v) => v,
+                    Value::UInt(v) if v <= i64::MAX as u64 => v as i64,
+                    Value::Float(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => v as i64,
+                    ref other => {
+                        return Err(Error::invalid_type(stringify!($t), "integer", other))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    Error::custom(format!("{} out of range for {}", wide, stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match *value {
+                    Value::Float(v) => Ok(v as $t),
+                    Value::Int(v) => Ok(v as $t),
+                    Value::UInt(v) => Ok(v as $t),
+                    ref other => Err(Error::invalid_type(stringify!($t), "number", other)),
+                }
+            }
+        }
+    )*};
+}
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(v) => Ok(*v),
+            other => Err(Error::invalid_type("bool", "boolean", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::invalid_type("String", "string", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::invalid_type("Vec", "array", other)),
+        }
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+) => $len:expr;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::invalid_type("tuple", "fixed-size array", other)),
+                }
+            }
+        }
+    )*};
+}
+ser_de_tuple! {
+    (A: 0, B: 1) => 2;
+    (A: 0, B: 1, C: 2) => 3;
+    (A: 0, B: 1, C: 2, D: 3) => 4;
+}
+
+/// Types usable as JSON object keys (stringified, like serde_json maps).
+pub trait MapKey: Sized + Ord {
+    fn to_key(&self) -> String;
+    fn parse_key(key: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn parse_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn parse_key(key: &str) -> Result<Self, Error> {
+                key.parse().map_err(|_| {
+                    Error::custom(format!("invalid {} map key: {key:?}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((K::parse_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::invalid_type("BTreeMap", "object", other)),
+        }
+    }
+}

@@ -1,0 +1,594 @@
+//! Offline stand-in for serde's derive macros.
+//!
+//! `syn`/`quote` are unavailable (no network, no vendored copies), so this
+//! crate walks the raw `proc_macro::TokenTree` stream directly and emits the
+//! impl as a source string parsed back into a `TokenStream`. It supports the
+//! shapes this workspace actually derives on: non-generic named structs,
+//! tuple/newtype structs, unit structs, and enums with unit / newtype /
+//! struct variants (externally tagged, like serde's default). Recognised
+//! field attributes: `#[serde(default)]`, `#[serde(default = "path")]`,
+//! `#[serde(skip)]`. Anything else fails loudly at compile time rather than
+//! silently diverging from real serde.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Parsed item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+    /// `None`: required. `Some(None)`: `Default::default()`.
+    /// `Some(Some(path))`: call `path()`.
+    default: Option<Option<String>>,
+    is_option: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            toks: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Skip `#[...]` attributes, returning the serde attrs seen.
+    fn skip_attrs(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
+        while self.at_punct('#') {
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    parse_attr_group(g.stream(), &mut attrs);
+                }
+                other => panic!("serde derive: malformed attribute, got {other:?}"),
+            }
+        }
+        attrs
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: Option<Option<String>>,
+}
+
+fn parse_attr_group(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let mut c = Cursor::new(stream);
+    // Only `serde(...)` attributes matter; skip doc comments etc.
+    if !c.at_ident("serde") {
+        return;
+    }
+    c.next();
+    let inner = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        other => panic!("serde derive: malformed #[serde] attribute, got {other:?}"),
+    };
+    let mut c = Cursor::new(inner);
+    while let Some(tok) = c.next() {
+        let word = match tok {
+            TokenTree::Ident(i) => i.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => continue,
+            other => panic!("serde derive: unsupported #[serde] contents: {other:?}"),
+        };
+        match word.as_str() {
+            "skip" => attrs.skip = true,
+            "default" => {
+                if c.at_punct('=') {
+                    c.next();
+                    match c.next() {
+                        Some(TokenTree::Literal(lit)) => {
+                            let s = lit.to_string();
+                            let path = s.trim_matches('"').to_string();
+                            attrs.default = Some(Some(path));
+                        }
+                        other => {
+                            panic!("serde derive: expected string after default =, got {other:?}")
+                        }
+                    }
+                } else {
+                    attrs.default = Some(None);
+                }
+            }
+            other => panic!("serde derive: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+/// Consume one type's tokens (until a top-level `,` or end of stream).
+/// Returns whether the type's leading ident is `Option`.
+fn skip_type(c: &mut Cursor) -> bool {
+    let mut angle_depth = 0i32;
+    let mut first = true;
+    let mut is_option = false;
+    loop {
+        match c.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) => {
+                let ch = p.as_char();
+                if ch == ',' && angle_depth == 0 {
+                    break;
+                }
+                if ch == '<' {
+                    angle_depth += 1;
+                }
+                if ch == '>' {
+                    angle_depth -= 1;
+                }
+                c.next();
+            }
+            Some(TokenTree::Ident(i)) => {
+                if first && i.to_string() == "Option" {
+                    is_option = true;
+                }
+                c.next();
+            }
+            Some(_) => {
+                c.next();
+            }
+        }
+        first = false;
+    }
+    is_option
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        if c.peek().is_none() {
+            break;
+        }
+        let attrs = c.skip_attrs();
+        c.skip_visibility();
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        let is_option = skip_type(&mut c);
+        if c.at_punct(',') {
+            c.next();
+        }
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+            default: attrs.default,
+            is_option,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    loop {
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_attrs();
+        c.skip_visibility();
+        skip_type(&mut c);
+        count += 1;
+        if c.at_punct(',') {
+            c.next();
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_attrs();
+        let name = c.expect_ident("variant name");
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                if n == 1 {
+                    VariantKind::Newtype
+                } else {
+                    VariantKind::Tuple(n)
+                }
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        if c.at_punct('=') {
+            while let Some(t) = c.peek() {
+                if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                c.next();
+            }
+        }
+        if c.at_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_visibility();
+    let keyword = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if c.at_punct('<') {
+        panic!("serde derive: generic types are not supported by the vendored derive");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("serde derive: unsupported struct body: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde derive: expected struct or enum, got `{other}`"),
+    };
+    Item { name, kind }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn field_ser(out: &mut String, fields: &[Field], access: &str) {
+    let _ = writeln!(
+        out,
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();"
+    );
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "__fields.push((::std::string::String::from(\"{name}\"), \
+             ::serde::Serialize::to_value({access}{name})));",
+            name = f.name,
+            access = access,
+        );
+    }
+    let _ = writeln!(out, "::serde::Value::Object(__fields)");
+}
+
+/// Expression rebuilding one named field from `__obj` (an
+/// `&Vec<(String, Value)>`), honouring skip/default/Option semantics.
+fn field_de_expr(ty_name: &str, f: &Field) -> String {
+    if f.skip {
+        return "::std::default::Default::default()".to_string();
+    }
+    let missing = match (&f.default, f.is_option) {
+        (Some(None), _) => "::std::default::Default::default()".to_string(),
+        (Some(Some(path)), _) => format!("{path}()"),
+        (None, true) => "::std::option::Option::None".to_string(),
+        (None, false) => format!(
+            "return ::std::result::Result::Err(::serde::Error::missing_field(\
+             \"{ty_name}\", \"{name}\"))",
+            name = f.name
+        ),
+    };
+    format!(
+        "match __obj.iter().find(|(__k, _)| __k == \"{name}\") {{ \
+         ::std::option::Option::Some((_, __v)) => ::serde::Deserialize::from_value(__v)?, \
+         ::std::option::Option::None => {missing}, }}",
+        name = f.name
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        ItemKind::NamedStruct(fields) => field_ser(&mut body, fields, "&self."),
+        ItemKind::TupleStruct(0) | ItemKind::UnitStruct => {
+            let _ = writeln!(body, "::serde::Value::Null");
+        }
+        ItemKind::TupleStruct(1) => {
+            let _ = writeln!(body, "::serde::Serialize::to_value(&self.0)");
+        }
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            let _ = writeln!(body, "::serde::Value::Array(vec![{}])", items.join(", "));
+        }
+        ItemKind::Enum(variants) => {
+            let _ = writeln!(body, "match self {{");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vn} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vn}\")),"
+                        );
+                    }
+                    VariantKind::Newtype => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Array(vec![{items}]))]),",
+                            binds = binds.join(", "),
+                            items = items.join(", "),
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::new();
+                        field_ser(&mut inner, fields, "");
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vn} {{ {binds} }} => {{ \
+                             let __inner = {{ {inner} }}; \
+                             ::serde::Value::Object(vec![(\
+                             ::std::string::String::from(\"{vn}\"), __inner)]) }},",
+                            binds = binds.join(", "),
+                        );
+                    }
+                }
+            }
+            let _ = writeln!(body, "}}");
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: {}", f.name, field_de_expr(name, f)))
+                .collect();
+            let _ = writeln!(
+                body,
+                "match __value {{ \
+                 ::serde::Value::Object(__obj) => \
+                 ::std::result::Result::Ok({name} {{ {inits} }}), \
+                 __other => ::std::result::Result::Err(\
+                 ::serde::Error::invalid_type(\"{name}\", \"object\", __other)), }}",
+                inits = inits.join(", "),
+            );
+        }
+        ItemKind::TupleStruct(0) | ItemKind::UnitStruct => {
+            let ctor = if matches!(item.kind, ItemKind::UnitStruct) {
+                name.to_string()
+            } else {
+                format!("{name}()")
+            };
+            let _ = writeln!(body, "::std::result::Result::Ok({ctor})");
+        }
+        ItemKind::TupleStruct(1) => {
+            let _ = writeln!(
+                body,
+                "::std::result::Result::Ok({name}(\
+                 ::serde::Deserialize::from_value(__value)?))"
+            );
+        }
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            let _ = writeln!(
+                body,
+                "match __value {{ \
+                 ::serde::Value::Array(__items) if __items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({items})), \
+                 __other => ::std::result::Result::Err(\
+                 ::serde::Error::invalid_type(\"{name}\", \"array of {n}\", __other)), }}",
+                items = items.join(", "),
+            );
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(
+                            unit_arms,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        );
+                    }
+                    VariantKind::Newtype => {
+                        let _ = writeln!(
+                            data_arms,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        let _ = writeln!(
+                            data_arms,
+                            "\"{vn}\" => match __inner {{ \
+                             ::serde::Value::Array(__items) if __items.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{vn}({items})), \
+                             __other => ::std::result::Result::Err(\
+                             ::serde::Error::invalid_type(\
+                             \"{name}::{vn}\", \"array of {n}\", __other)), }},",
+                            items = items.join(", "),
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{}: {}", f.name, field_de_expr(name, f)))
+                            .collect();
+                        let _ = writeln!(
+                            data_arms,
+                            "\"{vn}\" => match __inner {{ \
+                             ::serde::Value::Object(__obj) => \
+                             ::std::result::Result::Ok({name}::{vn} {{ {inits} }}), \
+                             __other => ::std::result::Result::Err(\
+                             ::serde::Error::invalid_type(\
+                             \"{name}::{vn}\", \"object\", __other)), }},",
+                            inits = inits.join(", "),
+                        );
+                    }
+                }
+            }
+            let _ = writeln!(
+                body,
+                "match __value {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                 {unit_arms} \
+                 __other => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant(\"{name}\", __other)), }}, \
+                 ::serde::Value::Object(__tagged) if __tagged.len() == 1 => {{ \
+                 let (__tag, __inner) = &__tagged[0]; \
+                 match __tag.as_str() {{ \
+                 {data_arms} \
+                 __other => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant(\"{name}\", __other)), }} }}, \
+                 __other => ::std::result::Result::Err(\
+                 ::serde::Error::invalid_type(\"{name}\", \"string or 1-key object\", \
+                 __other)), }}"
+            );
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_serialize(&item);
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde derive: generated invalid code: {e:?}\n{code}"))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_deserialize(&item);
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde derive: generated invalid code: {e:?}\n{code}"))
+}
