@@ -26,7 +26,8 @@ pub use cpu::{CompletedTask, CpuEngine, CpuTaskId};
 pub use host::HostSpec;
 pub use manager::{PlacementError, ResourceManager, TaskAssignment, TaskRole};
 pub use monitor::{
-    mean_utilization, snapshot, utilization_between, HostUtilization, ResourceSnapshot,
+    mean_utilization, record_utilization, snapshot, utilization_between, HostUtilization,
+    ResourceSnapshot,
 };
 pub use placement::{
     grouped_placement, make_placement, table1_group_sizes, table1_placement, JobPlacement,

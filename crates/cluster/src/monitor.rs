@@ -15,6 +15,7 @@ use crate::host::HostSpec;
 use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 use tl_net::{FluidNet, Topology};
+use tl_telemetry::{MetricKind, MetricsRegistry};
 
 /// Cumulative resource counters at one instant.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -78,6 +79,21 @@ pub fn utilization_between(
             }
         })
         .collect()
+}
+
+/// Mirror per-host utilization into telemetry gauges named
+/// `host{h}.cpu` / `host{h}.net_in` / `host{h}.net_out` (registered on
+/// first use). Callers sample the registry afterwards to build the
+/// timeseries.
+pub fn record_utilization(reg: &mut MetricsRegistry, util: &[HostUtilization]) {
+    for (h, u) in util.iter().enumerate() {
+        let cpu = reg.register(&format!("host{h}.cpu"), MetricKind::Gauge);
+        let net_in = reg.register(&format!("host{h}.net_in"), MetricKind::Gauge);
+        let net_out = reg.register(&format!("host{h}.net_out"), MetricKind::Gauge);
+        reg.set(cpu, u.cpu);
+        reg.set(net_in, u.net_in);
+        reg.set(net_out, u.net_out);
+    }
 }
 
 /// Mean utilization across a subset of hosts (e.g. "PS hosts" vs "worker
@@ -180,6 +196,30 @@ mod tests {
         assert!((m.net_out - 0.4).abs() < 1e-12);
         let solo = mean_utilization(&us, &[1]);
         assert_eq!(solo.cpu, 0.4);
+    }
+
+    #[test]
+    fn record_utilization_fills_gauges() {
+        let us = vec![
+            HostUtilization {
+                cpu: 0.25,
+                net_in: 0.5,
+                net_out: 0.75,
+            },
+            HostUtilization {
+                cpu: 0.1,
+                net_in: 0.2,
+                net_out: 0.3,
+            },
+        ];
+        let mut reg = MetricsRegistry::new();
+        record_utilization(&mut reg, &us);
+        assert_eq!(reg.len(), 6);
+        let id = reg.lookup("host1.net_out").unwrap();
+        assert_eq!(reg.value(id), 0.3);
+        // Re-recording reuses the same gauges.
+        record_utilization(&mut reg, &us);
+        assert_eq!(reg.len(), 6);
     }
 
     #[test]

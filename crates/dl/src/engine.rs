@@ -17,10 +17,9 @@ use crate::compute::ComputeModel;
 use crate::job::{JobId, JobSpec, TrainingMode};
 use crate::metrics::BarrierTracker;
 use rand::rngs::SmallRng;
-use simcore::{
-    EventHandle, EventQueue, RngFactory, SampleSet, SimTime, TraceRecorder, UnitLogNormal,
-};
+use simcore::{EventHandle, EventQueue, RngFactory, SampleSet, SimTime, UnitLogNormal};
 use std::collections::HashMap;
+use tl_telemetry::{MetricKind, SimEvent, Telemetry, TelemetryConfig, TelemetryOutput};
 use tensorlights::{Assignment, FifoPolicy, JobTrafficInfo, PriorityPolicy};
 use tl_cluster::{
     monitor, CpuEngine, CpuTaskId, HostSpec, HostUtilization, JobPlacement, ResourceSnapshot,
@@ -50,7 +49,8 @@ pub struct SimConfig {
     pub active_window: Option<(SimTime, SimTime)>,
     /// Hard stop; jobs unfinished by then report `completion: None`.
     pub max_sim_time: SimTime,
-    /// Record a detailed event trace (debugging / Figure-4 narratives).
+    /// Record typed telemetry events (debugging / Figure-4 narratives /
+    /// Chrome-trace export). See [`SimOutput::telemetry`].
     pub trace: bool,
     /// If set, every model-update flow is additionally capped at this rate
     /// (bytes/sec) at the sender — models the paper's §VII alternative of
@@ -60,6 +60,10 @@ pub struct SimConfig {
     /// intervals of this length (a utilization time series, as `ifstat`
     /// would report). Sampling stops when the last job completes.
     pub sample_interval: Option<simcore::SimDuration>,
+    /// If set, sample the telemetry metrics registry (host utilization
+    /// gauges, allocator counters, per-job progress) on this cadence into
+    /// timeseries exported via [`SimOutput::telemetry`].
+    pub metrics_interval: Option<simcore::SimDuration>,
     /// Optional switch-fabric aggregate capacity (an oversubscribed core);
     /// `None` keeps the paper's non-blocking switch.
     pub core_capacity: Option<Bandwidth>,
@@ -81,6 +85,7 @@ impl Default for SimConfig {
             trace: false,
             model_update_rate_cap: None,
             sample_interval: None,
+            metrics_interval: None,
             core_capacity: None,
             host_spec_overrides: Vec::new(),
         }
@@ -154,8 +159,11 @@ pub struct SimOutput {
     /// Rate-allocator performance counters for the whole run (invocations,
     /// components solved vs retained, rounds, flows touched, wall time).
     pub alloc_stats: AllocStats,
-    /// Event trace (empty unless `SimConfig::trace`).
-    pub trace: TraceRecorder,
+    /// Structured telemetry: typed events (empty unless `SimConfig::trace`)
+    /// and metric timeseries (empty unless `SimConfig::metrics_interval`).
+    /// Export with [`TelemetryOutput::to_jsonl`] /
+    /// [`TelemetryOutput::to_chrome_trace`] / [`TelemetryOutput::metrics_json`].
+    pub telemetry: TelemetryOutput,
 }
 
 impl SimConfig {
@@ -195,6 +203,7 @@ enum Ev {
     SnapshotStart,
     SnapshotEnd,
     Sample,
+    MetricsSample,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -310,7 +319,8 @@ struct Sim<'a> {
     last_sample: Option<ResourceSnapshot>,
     samples: Vec<UtilizationSample>,
     done_count: usize,
-    trace: TraceRecorder,
+    telemetry: Telemetry,
+    metrics_prev: Option<ResourceSnapshot>,
 }
 
 /// How a [`Simulation`] holds its policy: borrowed from the caller or owned
@@ -402,6 +412,15 @@ impl<'p> Simulation<'p> {
         self
     }
 
+    /// Configure the structured telemetry layer in one call: `spec.events`
+    /// overrides `cfg.trace` and `spec.metrics_interval` overrides
+    /// `cfg.metrics_interval`.
+    pub fn telemetry(mut self, spec: TelemetryConfig) -> Self {
+        self.cfg.trace = spec.events;
+        self.cfg.metrics_interval = spec.metrics_interval;
+        self
+    }
+
     /// Run the simulation to completion (or the configured horizon).
     ///
     /// Panics if no jobs were added or a setup is inconsistent.
@@ -467,6 +486,15 @@ fn run_inner(cfg: SimConfig, setups: Vec<JobSetup>, policy: &mut dyn PriorityPol
         assert!(!dt.is_zero(), "sample interval must be positive");
         queue.schedule(SimTime::ZERO + dt, Ev::Sample);
     }
+    if let Some(dt) = cfg.metrics_interval {
+        assert!(!dt.is_zero(), "metrics interval must be positive");
+        queue.schedule(SimTime::ZERO + dt, Ev::MetricsSample);
+    }
+
+    let telemetry = Telemetry::from_config(TelemetryConfig {
+        events: cfg.trace,
+        metrics_interval: cfg.metrics_interval,
+    });
 
     let jobs: Vec<JobRt> = setups
         .into_iter()
@@ -482,7 +510,11 @@ fn run_inner(cfg: SimConfig, setups: Vec<JobSetup>, policy: &mut dyn PriorityPol
                 );
             }
             JobRt {
-                tracker: BarrierTracker::new(workers as usize),
+                tracker: BarrierTracker::with_telemetry(
+                    workers as usize,
+                    i as u64,
+                    telemetry.clone(),
+                ),
                 rng: factory.indexed_stream("dl.job", i as u64),
                 async_remaining: (0..workers).map(|w| s.spec.async_local_steps(w)).collect(),
                 async_pending_wait: vec![None; workers as usize],
@@ -502,14 +534,11 @@ fn run_inner(cfg: SimConfig, setups: Vec<JobSetup>, policy: &mut dyn PriorityPol
         .collect();
 
     let weight_noise = UnitLogNormal::new(cfg.net_weight_sigma);
-    let trace = if cfg.trace {
-        TraceRecorder::enabled()
-    } else {
-        TraceRecorder::disabled()
-    };
+    let mut net = FluidNet::new(topo);
+    net.set_telemetry(telemetry.clone());
     let sim = Sim {
         cpu: CpuEngine::new(cfg.host_specs(num_hosts)),
-        net: FluidNet::new(topo),
+        net,
         cfg,
         queue,
         jobs,
@@ -526,7 +555,8 @@ fn run_inner(cfg: SimConfig, setups: Vec<JobSetup>, policy: &mut dyn PriorityPol
         last_sample: None,
         samples: Vec::new(),
         done_count: 0,
-        trace,
+        telemetry,
+        metrics_prev: None,
     };
     sim.run()
 }
@@ -557,6 +587,7 @@ impl<'a> Sim<'a> {
                     self.snap_end = Some(monitor::snapshot(t, &self.cpu, &self.net));
                 }
                 Ev::Sample => self.on_sample(t),
+                Ev::MetricsSample => self.on_metrics_sample(t),
             }
             self.rearm(t);
             let snaps_done =
@@ -597,7 +628,7 @@ impl<'a> Sim<'a> {
             end_time,
             events,
             alloc_stats: self.net.alloc_stats(),
-            trace: self.trace,
+            telemetry: self.telemetry.take_output(),
         }
     }
 
@@ -605,8 +636,8 @@ impl<'a> Sim<'a> {
 
     fn on_launch(&mut self, now: SimTime, j: usize) {
         self.jobs[j].launched = true;
-        self.trace
-            .record_with(now, "job", || format!("{} launched", self.jobs[j].spec.id));
+        self.telemetry
+            .emit_with(now, || SimEvent::JobArrival { job: j as u64 });
         self.refresh_policy(now);
         self.send_model_updates(now, j, None);
     }
@@ -878,8 +909,10 @@ impl<'a> Sim<'a> {
         debug_assert!(self.jobs[j].completion.is_none(), "job completed twice");
         self.jobs[j].completion = Some(now);
         self.done_count += 1;
-        self.trace
-            .record_with(now, "job", || format!("{} completed", self.jobs[j].spec.id));
+        self.telemetry.emit_with(now, || SimEvent::JobCompletion {
+            job: j as u64,
+            iterations: self.jobs[j].iterations,
+        });
         self.refresh_policy(now);
     }
 
@@ -903,6 +936,47 @@ impl<'a> Sim<'a> {
         }
     }
 
+    /// Sample the telemetry metrics registry: per-host utilization gauges
+    /// over the interval just ended, cumulative allocator counters, and
+    /// per-job progress gauges.
+    fn on_metrics_sample(&mut self, now: SimTime) {
+        self.net.advance(now);
+        self.cpu.advance(now);
+        let snap = monitor::snapshot(now, &self.cpu, &self.net);
+        let util = self.metrics_prev.take().map(|prev| {
+            let specs = self.cfg.host_specs(self.net.topology().num_hosts());
+            monitor::utilization_between(&prev, &snap, &specs, self.net.topology())
+        });
+        self.metrics_prev = Some(snap);
+        let alloc = self.net.alloc_stats();
+        let progress: Vec<u64> = self.jobs.iter().map(|j| j.global_steps).collect();
+        self.telemetry.metrics(|reg| {
+            if let Some(util) = &util {
+                monitor::record_utilization(reg, util);
+            }
+            for (name, v) in [
+                ("alloc.invocations", alloc.invocations),
+                ("alloc.full_solves", alloc.full_solves),
+                ("alloc.components_solved", alloc.components_solved),
+                ("alloc.components_retained", alloc.components_retained),
+                ("alloc.rounds", alloc.rounds),
+                ("alloc.flows_touched", alloc.flows_touched),
+            ] {
+                let id = reg.register(name, MetricKind::Counter);
+                reg.set(id, v as f64);
+            }
+            for (j, steps) in progress.iter().enumerate() {
+                let id = reg.register(&format!("job{j}.steps"), MetricKind::Gauge);
+                reg.set(id, *steps as f64);
+            }
+            reg.sample(now);
+        });
+        if self.done_count < self.jobs.len() {
+            let dt = self.cfg.metrics_interval.expect("metrics configured");
+            self.queue.schedule(now + dt, Ev::MetricsSample);
+        }
+    }
+
     // ---- policy plumbing ------------------------------------------------
 
     fn refresh_policy(&mut self, now: SimTime) {
@@ -918,10 +992,20 @@ impl<'a> Sim<'a> {
                 arrival_seq: i as u64,
             })
             .collect();
-        self.assignment = self.policy.assign(now, &infos);
+        let old = std::mem::replace(&mut self.assignment, self.policy.assign(now, &infos));
         for info in &infos {
-            self.net
-                .set_band_for_tag(now, info.tag, self.assignment.band_of(info.tag));
+            let band = self.assignment.band_of(info.tag);
+            let changed = self.net.set_band_for_tag(now, info.tag, band);
+            // The fluid engine emits the rotation when it re-bands in-flight
+            // flows; when none are in flight the band change is still a
+            // policy-level fact worth tracing.
+            if changed == 0 && band != old.band_of(info.tag) {
+                self.telemetry.emit_with(now, || SimEvent::PriorityRotation {
+                    tag: info.tag,
+                    band: band.0,
+                    flows: 0,
+                });
+            }
         }
         if let Some(h) = self.policy_wake.take() {
             self.queue.cancel(h);
@@ -1367,9 +1451,48 @@ mod tests {
             .jobs(small_setup(2))
             .policy_ref(&mut policy)
             .run();
-        let text = out.trace.render();
+        let text = out.telemetry.render();
         assert!(text.contains("job0 launched"));
         assert!(text.contains("job1 completed"));
+        // The typed stream carries the full lifecycle, not just job marks.
+        assert_eq!(out.telemetry.events_of_kind("job_arrival").len(), 2);
+        assert_eq!(out.telemetry.events_of_kind("job_completion").len(), 2);
+        assert!(!out.telemetry.events_of_kind("flow_start").is_empty());
+        assert!(!out.telemetry.events_of_kind("flow_finish").is_empty());
+        assert!(!out.telemetry.events_of_kind("barrier_enter").is_empty());
+        assert!(!out.telemetry.events_of_kind("barrier_exit").is_empty());
+    }
+
+    #[test]
+    fn telemetry_builder_collects_metrics_timeseries() {
+        let mut policy = FifoPolicy;
+        let out = Simulation::new(fast_cfg())
+            .jobs(small_setup(2))
+            .policy_ref(&mut policy)
+            .telemetry(tl_telemetry::TelemetryConfig::full(
+                simcore::SimDuration::from_millis(50),
+            ))
+            .run();
+        let reg = &out.telemetry.metrics;
+        assert!(!reg.is_empty(), "metrics were sampled");
+        let id = reg.lookup("alloc.invocations").expect("allocator counter");
+        assert!(reg.value(id) > 0.0);
+        assert!(!reg.series(id).is_empty());
+        let steps = reg.lookup("job0.steps").expect("progress gauge");
+        assert!(reg.value(steps) > 0.0);
+        // Host gauges appear once a full interval has elapsed.
+        assert!(reg.lookup("host0.cpu").is_some());
+    }
+
+    #[test]
+    fn disabled_telemetry_output_is_empty() {
+        let mut policy = FifoPolicy;
+        let out = Simulation::new(fast_cfg())
+            .jobs(small_setup(2))
+            .policy_ref(&mut policy)
+            .run();
+        assert_eq!(out.telemetry.events.len(), 0);
+        assert!(out.telemetry.metrics.is_empty());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use simcore::{SampleSet, SimTime};
 use std::collections::HashMap;
+use tl_telemetry::{SimEvent, Telemetry};
 
 #[derive(Debug)]
 struct Accum {
@@ -33,11 +34,22 @@ pub struct BarrierTracker {
     /// Every individual worker wait (seconds), across all barriers.
     pub waits: SampleSet,
     completed: u64,
+    /// Structured event sink (disabled unless built by
+    /// [`BarrierTracker::with_telemetry`]).
+    telemetry: Telemetry,
+    /// Job index reported in emitted barrier events.
+    job: u64,
 }
 
 impl BarrierTracker {
     /// Tracker for a job with `num_workers` workers.
     pub fn new(num_workers: usize) -> Self {
+        Self::with_telemetry(num_workers, 0, Telemetry::disabled())
+    }
+
+    /// Tracker that additionally emits [`SimEvent::BarrierEnter`] /
+    /// [`SimEvent::BarrierExit`] events for job index `job`.
+    pub fn with_telemetry(num_workers: usize, job: u64, telemetry: Telemetry) -> Self {
         assert!(num_workers > 0, "job has no workers");
         BarrierTracker {
             num_workers,
@@ -46,6 +58,8 @@ impl BarrierTracker {
             vars: SampleSet::new(),
             waits: SampleSet::new(),
             completed: 0,
+            telemetry,
+            job,
         }
     }
 
@@ -77,6 +91,11 @@ impl BarrierTracker {
             "worker {w} entered barrier {barrier} twice"
         );
         a.enters[w] = Some(t);
+        self.telemetry.emit_with(t, || SimEvent::BarrierEnter {
+            job: self.job,
+            worker: w as u32,
+            barrier,
+        });
     }
 
     /// Worker `w` exited `barrier` at `t`. When the last worker exits, the
@@ -93,6 +112,12 @@ impl BarrierTracker {
         );
         a.exits[w] = Some(t);
         a.exits_seen += 1;
+        self.telemetry.emit_with(t, || SimEvent::BarrierExit {
+            job: self.job,
+            worker: w as u32,
+            barrier,
+        });
+        let a = self.accum(barrier);
         if a.exits_seen == self.num_workers {
             let a = self.pending.remove(&barrier).expect("accum exists");
             self.finalize(a, barrier);
@@ -132,10 +157,9 @@ mod tests {
         b.record_exit(0, SimTime::from_secs(14), 0); // wait 4
         b.record_exit(1, SimTime::from_secs(13), 0); // wait 2
         assert_eq!(b.completed_barriers(), 1);
-        let mut means = b.means.clone();
-        let mut vars = b.vars.clone();
-        assert!((means.quantile(0.5) - 3.0).abs() < 1e-12);
-        assert!((vars.quantile(0.5) - 1.0).abs() < 1e-12);
+        // `quantile` takes `&self` now — no defensive clones needed.
+        assert!((b.means.quantile(0.5) - 3.0).abs() < 1e-12);
+        assert!((b.vars.quantile(0.5) - 1.0).abs() < 1e-12);
     }
 
     #[test]

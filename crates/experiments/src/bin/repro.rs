@@ -5,10 +5,18 @@
 //! ```text
 //! repro [--experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2]
 //!       [--iterations N] [--full] [--seed S] [--csv DIR] [--json DIR]
+//!       [--trace-out PATH] [--metrics-out PATH] [--check-trace PATH]
 //! ```
 //!
 //! `--full` runs at the paper's 1500 iterations (slow); the default is the
 //! scaled 300-iteration configuration, which preserves every result's shape.
+//!
+//! `--trace-out` writes structured telemetry from experiments that produce
+//! it (`fig4`, `perf`): a Chrome `trace_event` JSON document loadable in
+//! Perfetto / `chrome://tracing`, or a JSONL event log when the path ends
+//! in `.jsonl`. `--metrics-out` writes the sampled metrics timeseries
+//! (`perf` only). `--check-trace` validates a previously written Chrome
+//! trace and exits (0 valid, 2 invalid).
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -25,6 +33,8 @@ struct Args {
     cfg: ExperimentConfig,
     csv_dir: Option<PathBuf>,
     json_dir: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
     markdown: std::cell::RefCell<Option<(PathBuf, String)>>,
 }
 
@@ -33,6 +43,8 @@ fn parse_args() -> Args {
     let mut cfg = ExperimentConfig::default();
     let mut csv_dir = None;
     let mut json_dir = None;
+    let mut trace_out = None;
+    let mut metrics_out = None;
     let mut markdown: Option<PathBuf> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -52,6 +64,12 @@ fn parse_args() -> Args {
             "--seed" | "-s" => cfg.seed = next(&mut i).parse().expect("numeric seed"),
             "--csv" => csv_dir = Some(PathBuf::from(next(&mut i))),
             "--json" => json_dir = Some(PathBuf::from(next(&mut i))),
+            "--trace-out" => trace_out = Some(PathBuf::from(next(&mut i))),
+            "--metrics-out" => metrics_out = Some(PathBuf::from(next(&mut i))),
+            "--check-trace" => {
+                let code = check_trace(&PathBuf::from(next(&mut i)));
+                std::process::exit(code);
+            }
             "--markdown" => markdown = Some(PathBuf::from(next(&mut i))),
             "--help" | "-h" => {
                 println!(
@@ -63,6 +81,10 @@ fn parse_args() -> Args {
                      --seed S         master seed\n\
                      --csv DIR        also write each table as CSV\n\
                      --json DIR       also write each result as JSON\n\
+                     --trace-out PATH     write telemetry as Chrome trace_event JSON (Perfetto);\n\
+                     \x20                    .jsonl extension switches to a JSONL event log\n\
+                     --metrics-out PATH   write sampled metrics timeseries JSON (perf)\n\
+                     --check-trace PATH   validate a Chrome trace file and exit (0 ok, 2 bad)\n\
                      --markdown FILE  also write all tables as one markdown report"
                 );
                 std::process::exit(0);
@@ -76,8 +98,59 @@ fn parse_args() -> Args {
         cfg,
         csv_dir,
         json_dir,
+        trace_out,
+        metrics_out,
         markdown: std::cell::RefCell::new(markdown.map(|p| (p, String::new()))),
     }
+}
+
+/// Validate a Chrome `trace_event` file without external tooling: it must
+/// parse as JSON, hold a non-empty `traceEvents` array, and contain the
+/// metadata ("M"), span ("X"), and instant ("i") phases the exporter emits.
+/// Returns the process exit code (0 valid, 2 invalid).
+fn check_trace(path: &std::path::Path) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check-trace: cannot read {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let doc: serde::Value = match serde_json::from_str_value(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("check-trace: {} is not valid JSON: {e}", path.display());
+            return 2;
+        }
+    };
+    let events = match doc.get("traceEvents") {
+        Some(serde::Value::Array(evs)) if !evs.is_empty() => evs,
+        _ => {
+            eprintln!(
+                "check-trace: {} has no non-empty traceEvents array",
+                path.display()
+            );
+            return 2;
+        }
+    };
+    for required in ["M", "X", "i"] {
+        let found = events.iter().any(|e| {
+            matches!(e.get("ph"), Some(serde::Value::Str(ph)) if ph == required)
+        });
+        if !found {
+            eprintln!(
+                "check-trace: {} contains no ph={required:?} event",
+                path.display()
+            );
+            return 2;
+        }
+    }
+    println!(
+        "check-trace: {} ok ({} trace events)",
+        path.display(),
+        events.len()
+    );
+    0
 }
 
 fn emit(args: &Args, name: &str, table: &Table, summary: Option<String>, json: String) {
@@ -99,6 +172,24 @@ fn emit(args: &Args, name: &str, table: &Table, summary: Option<String>, json: S
             body.push_str(&format!("{s}\n\n"));
         }
     }
+}
+
+/// Write `events` to `path`: JSONL if the extension is `.jsonl`, Chrome
+/// `trace_event` JSON otherwise.
+fn write_events(path: &std::path::Path, events: &[tl_telemetry::TimedEvent]) {
+    let jsonl = path.extension().is_some_and(|e| e == "jsonl");
+    let body = if jsonl {
+        tl_telemetry::export::events_to_jsonl(events)
+    } else {
+        tl_telemetry::export::chrome_trace(events)
+    };
+    std::fs::write(path, body).expect("write trace");
+    println!(
+        "telemetry: {} events written to {} ({})",
+        events.len(),
+        path.display(),
+        if jsonl { "JSONL" } else { "Chrome trace_event" }
+    );
 }
 
 fn main() {
@@ -162,7 +253,8 @@ fn main() {
         ran += 1;
     }
     if wanted("fig4") {
-        let r = fig4::run(&fig4::Fig4Config::default());
+        let fig_cfg = fig4::Fig4Config::default();
+        let r = fig4::run(&fig_cfg);
         emit(
             &args,
             "fig4",
@@ -170,6 +262,10 @@ fn main() {
             Some(r.ascii.clone()),
             serde_json::to_string_pretty(&r).expect("json"),
         );
+        if let Some(path) = &args.trace_out {
+            let events = fig4::telemetry_events(&fig_cfg);
+            write_events(path, &events);
+        }
         ran += 1;
     }
     if wanted("fig5a") {
@@ -256,6 +352,35 @@ fn main() {
                 s.flows_touched,
                 std::time::Duration::from_nanos(s.wall_nanos),
             );
+        }
+        if args.trace_out.is_some() || args.metrics_out.is_some() {
+            // One instrumented TLs-RR run for the requested exports.
+            // Placement #1 colocates every PS on one host, so the trace
+            // shows the rotations TLs-RR exists for (at #8 every PS host is
+            // dedicated and rotation never re-bands anything).
+            use tl_cluster::table1_placement;
+            use tl_experiments::run_grid_search_telemetry;
+            use tl_telemetry::TelemetryConfig;
+            let placement = table1_placement(Table1Index(1), 21, 21);
+            let out = run_grid_search_telemetry(
+                cfg,
+                &placement,
+                PolicyKind::TlsRr,
+                4,
+                None,
+                TelemetryConfig::full(simcore::SimDuration::from_millis(100)),
+            );
+            if let Some(path) = &args.trace_out {
+                write_events(path, &out.telemetry.events);
+            }
+            if let Some(path) = &args.metrics_out {
+                std::fs::write(path, out.telemetry.metrics_json()).expect("write metrics");
+                println!(
+                    "telemetry: {} metrics written to {}",
+                    out.telemetry.metrics.len(),
+                    path.display()
+                );
+            }
         }
         ran += 1;
     }

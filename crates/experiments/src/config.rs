@@ -88,6 +88,7 @@ impl ExperimentConfig {
             trace: false,
             model_update_rate_cap: None,
             sample_interval: None,
+            metrics_interval: None,
             core_capacity: None,
             host_spec_overrides: Vec::new(),
         }

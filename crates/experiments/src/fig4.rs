@@ -11,6 +11,7 @@ use crate::report::Table;
 use serde::Serialize;
 use simcore::SimTime;
 use tl_net::{Band, Bandwidth, PacketRun, PacketSim, Qdisc, Rotation, Transfer};
+use tl_telemetry::{SimEvent, TimedEvent};
 
 /// Scenario parameters.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -133,6 +134,85 @@ pub fn run(cfg: &Fig4Config) -> Fig4 {
     }
 }
 
+/// Synthesize a typed telemetry stream for the TLs-RR panel — the paper's
+/// richest narrative (panel 4d): both jobs arrive, their model-update
+/// transfers start, the mid-burst rotation swaps the bands, job 2's
+/// transfers overtake, and each job completes when its last worker is
+/// served. Feed the result to [`tl_telemetry::export::chrome_trace`] for a
+/// Perfetto-loadable timeline with one track per job.
+pub fn telemetry_events(cfg: &Fig4Config) -> Vec<TimedEvent> {
+    let link = Bandwidth::from_gbps(cfg.link_gbps);
+    let total_bytes = 2 * cfg.workers as u64 * cfg.update_bytes;
+    let total_secs = total_bytes as f64 / link.bytes_per_sec();
+    let rot = Rotation {
+        at: SimTime::from_secs_f64(total_secs / 4.0),
+        assignment: vec![(1, Band(1)), (2, Band(0))],
+    };
+    let ts = transfers(cfg, [0, 1]);
+    let run = PacketSim::new(link, Qdisc::Prio).run(&ts, std::slice::from_ref(&rot));
+
+    let mut events = Vec::new();
+    for tag in [1u64, 2] {
+        events.push(TimedEvent {
+            at: SimTime::ZERO,
+            event: SimEvent::JobArrival { job: tag },
+        });
+    }
+    // All transfers leave the two colocated PSes on host 0.
+    for (i, (t, o)) in ts.iter().zip(run.outcomes.iter()).enumerate() {
+        events.push(TimedEvent {
+            at: o.arrival,
+            event: SimEvent::FlowStart {
+                flow: i as u64,
+                tag: t.tag,
+                src: 0,
+                dst: o.dst,
+                bytes: o.bytes as f64,
+                band: t.band.0,
+            },
+        });
+        events.push(TimedEvent {
+            at: o.finished,
+            event: SimEvent::FlowFinish {
+                flow: i as u64,
+                tag: o.tag,
+                src: 0,
+                dst: o.dst,
+                bytes: o.bytes as f64,
+                started: o.first_service,
+            },
+        });
+    }
+    for &(tag, band) in &rot.assignment {
+        let in_flight = run
+            .outcomes
+            .iter()
+            .filter(|o| o.tag == tag && o.finished > rot.at)
+            .count() as u32;
+        events.push(TimedEvent {
+            at: rot.at,
+            event: SimEvent::PriorityRotation {
+                tag,
+                band: band.0,
+                flows: in_flight,
+            },
+        });
+    }
+    for tag in [1u64, 2] {
+        events.push(TimedEvent {
+            at: run.last_finish_of_tag(tag).expect("tag has transfers"),
+            event: SimEvent::JobCompletion {
+                job: tag,
+                iterations: 1,
+            },
+        });
+    }
+    // Stable sort keeps same-instant events in the construction order above,
+    // so the stream is deterministic.
+    events.sort_by_key(|e| e.at);
+    events
+}
+
 impl Fig4 {
     /// Per-panel job completion table.
     pub fn table(&self) -> Table {
@@ -188,5 +268,22 @@ mod tests {
         let fbar = fifo_row.split('|').nth(1).unwrap();
         assert!(fbar.contains('1') && fbar.contains('2'));
         assert!(f.table().render().contains("TLs-RR"));
+    }
+
+    #[test]
+    fn telemetry_stream_covers_the_narrative() {
+        let cfg = Fig4Config::default();
+        let events = telemetry_events(&cfg);
+        let count = |k: &str| events.iter().filter(|e| e.event.kind() == k).count();
+        assert_eq!(count("job_arrival"), 2);
+        assert_eq!(count("job_completion"), 2);
+        assert_eq!(count("flow_start"), 2 * cfg.workers as usize);
+        assert_eq!(count("flow_finish"), 2 * cfg.workers as usize);
+        assert_eq!(count("priority_rotation"), 2);
+        // Sorted by time, and the rotation happens mid-burst.
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+        let trace = tl_telemetry::export::chrome_trace(&events);
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("rotate -> band"));
     }
 }

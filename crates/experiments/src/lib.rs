@@ -23,4 +23,6 @@ pub mod table1;
 pub mod table2;
 
 pub use config::ExperimentConfig;
-pub use runner::{parallel_map, run_grid_search, run_table1, PolicyKind};
+pub use runner::{
+    parallel_map, run_grid_search, run_grid_search_telemetry, run_table1, PolicyKind,
+};

@@ -7,6 +7,7 @@ use simcore::SimTime;
 use tensorlights::{FifoPolicy, JobOrdering, PriorityPolicy, TlsOne, TlsRr};
 use tl_cluster::{table1_placement, Placement, Table1Index};
 use tl_dl::{SimOutput, Simulation};
+use tl_telemetry::TelemetryConfig;
 use tl_workloads::GridSearchConfig;
 
 /// The three network scheduling policies the paper evaluates.
@@ -61,6 +62,26 @@ pub fn run_grid_search(
     batch_size: u32,
     window: Option<(SimTime, SimTime)>,
 ) -> SimOutput {
+    run_grid_search_telemetry(
+        cfg,
+        placement,
+        policy,
+        batch_size,
+        window,
+        TelemetryConfig::disabled(),
+    )
+}
+
+/// [`run_grid_search`] with an explicit telemetry configuration; the
+/// structured events/metrics land in [`SimOutput::telemetry`].
+pub fn run_grid_search_telemetry(
+    cfg: &ExperimentConfig,
+    placement: &Placement,
+    policy: PolicyKind,
+    batch_size: u32,
+    window: Option<(SimTime, SimTime)>,
+    telemetry: TelemetryConfig,
+) -> SimOutput {
     let mut wl = GridSearchConfig::paper_scaled(cfg.iterations);
     wl.local_batch_size = batch_size;
     let setups = wl.build(placement);
@@ -70,6 +91,7 @@ pub fn run_grid_search(
     Simulation::new(sim_cfg)
         .jobs(setups)
         .policy_ref(policy.as_mut())
+        .telemetry(telemetry)
         .run()
 }
 

@@ -38,6 +38,7 @@ use crate::maxmin::{AllocStats, FlowDemand, MaxMinAllocator};
 use crate::topology::Topology;
 use crate::types::{Band, FlowId, HostId};
 use simcore::{SimDuration, SimTime};
+use tl_telemetry::{SimEvent, Telemetry};
 
 /// Everything needed to start a flow.
 #[derive(Debug, Clone, Copy)]
@@ -134,6 +135,8 @@ pub struct FluidNet {
     // Cumulative NIC byte counters (for utilization measurements).
     egress_bytes: Vec<f64>,
     ingress_bytes: Vec<f64>,
+    /// Structured event sink; disabled by default (near-free emits).
+    telemetry: Telemetry,
 }
 
 impl FluidNet {
@@ -154,7 +157,14 @@ impl FluidNet {
             rates: Vec::new(),
             egress_bytes: vec![0.0; n],
             ingress_bytes: vec![0.0; n],
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle; the engine emits flow lifecycle, band
+    /// rotation, and allocator re-solve events through it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The topology this engine runs over.
@@ -259,7 +269,16 @@ impl FluidNet {
         self.active.push(slot);
         self.mark_dirty(spec.src);
         self.mark_dirty(spec.dst);
-        FlowId(make_id(self.flows[slot as usize].gen, slot as usize))
+        let id = FlowId(make_id(self.flows[slot as usize].gen, slot as usize));
+        self.telemetry.emit_with(now, || SimEvent::FlowStart {
+            flow: id.0,
+            tag: spec.tag,
+            src: spec.src.0,
+            dst: spec.dst.0,
+            bytes: spec.bytes,
+            band: spec.band.0,
+        });
+        id
     }
 
     /// Reassign the band of every active flow with the given tag.
@@ -288,6 +307,11 @@ impl FluidNet {
         if any {
             self.any_dirty = true;
             self.next_cache = None;
+            self.telemetry.emit_with(now, || SimEvent::PriorityRotation {
+                tag,
+                band: band.0,
+                flows: changed as u32,
+            });
         }
         changed
     }
@@ -390,6 +414,21 @@ impl FluidNet {
             self.any_dirty = true;
             self.next_cache = None;
         }
+        if self.telemetry.is_enabled() {
+            for d in &done {
+                self.telemetry.emit(
+                    now,
+                    SimEvent::FlowFinish {
+                        flow: d.id.0,
+                        tag: d.tag,
+                        src: d.src.0,
+                        dst: d.dst.0,
+                        bytes: d.bytes,
+                        started: d.started,
+                    },
+                );
+            }
+        }
         done
     }
 
@@ -415,13 +454,39 @@ impl FluidNet {
             // flows in components untouched by the dirty set.
             self.rates.push(f.rate);
         }
+        let events_on = self.telemetry.is_enabled();
+        let stats_before = events_on.then(|| self.allocator.stats());
         self.allocator.allocate_dirty_into(
             &self.topo,
             &self.demands,
             &self.dirty_hosts,
             &mut self.rates,
         );
+        if let Some(before) = stats_before {
+            let after = self.allocator.stats();
+            self.telemetry.emit(
+                self.last_advance,
+                SimEvent::AllocSolve {
+                    components_solved: after.components_solved - before.components_solved,
+                    components_retained: after.components_retained - before.components_retained,
+                    rounds: after.rounds - before.rounds,
+                    flows_touched: after.flows_touched - before.flows_touched,
+                },
+            );
+        }
         for (k, &slot) in self.active.iter().enumerate() {
+            let entry = &self.flows[slot as usize];
+            let f = entry.state.as_ref().expect("active flow missing");
+            if events_on && (f.rate - self.rates[k]).abs() > RATE_EPS {
+                self.telemetry.emit(
+                    self.last_advance,
+                    SimEvent::FlowRate {
+                        flow: make_id(entry.gen, slot as usize),
+                        tag: f.spec.tag,
+                        rate: self.rates[k],
+                    },
+                );
+            }
             self.flows[slot as usize]
                 .state
                 .as_mut()
@@ -662,6 +727,62 @@ mod tests {
         let mut net = FluidNet::new(topo(2));
         net.start_flow(SimTime::from_secs(2), spec(0, 1, 1e6, 0, 1));
         net.advance(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn telemetry_captures_flow_lifecycle_and_rotation() {
+        use tl_telemetry::TelemetryConfig;
+        let telemetry = Telemetry::from_config(TelemetryConfig::events());
+        let mut net = FluidNet::new(topo(3));
+        net.set_telemetry(telemetry.clone());
+        net.start_flow(SimTime::ZERO, spec(0, 1, 2.5e9, 0, 1));
+        net.start_flow(SimTime::ZERO, spec(0, 2, 2.5e9, 1, 2));
+        let t_rot = SimTime::from_secs(1);
+        net.advance(t_rot);
+        net.set_band_for_tag(t_rot, 1, Band(1));
+        net.set_band_for_tag(t_rot, 2, Band(0));
+        while let Some(t) = net.next_event_time() {
+            net.take_completions(t);
+        }
+        let out = telemetry.take_output();
+        assert_eq!(out.events_of_kind("flow_start").len(), 2);
+        assert_eq!(out.events_of_kind("flow_finish").len(), 2);
+        assert_eq!(out.events_of_kind("priority_rotation").len(), 2);
+        assert!(!out.events_of_kind("alloc_solve").is_empty());
+        assert!(!out.events_of_kind("flow_rate").is_empty());
+        // Start/finish ids pair up.
+        let starts: Vec<u64> = out
+            .events_of_kind("flow_start")
+            .iter()
+            .map(|e| match e.event {
+                SimEvent::FlowStart { flow, .. } => flow,
+                _ => unreachable!(),
+            })
+            .collect();
+        for ev in out.events_of_kind("flow_finish") {
+            match ev.event {
+                SimEvent::FlowFinish { flow, .. } => assert!(starts.contains(&flow)),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_telemetry_changes_nothing() {
+        let run = |attach: bool| {
+            let mut net = FluidNet::new(topo(3));
+            if attach {
+                net.set_telemetry(Telemetry::disabled());
+            }
+            net.start_flow(SimTime::ZERO, spec(0, 1, 1.25e9, 0, 1));
+            net.start_flow(SimTime::ZERO, spec(0, 2, 0.625e9, 1, 2));
+            let mut done = vec![];
+            while let Some(t) = net.next_event_time() {
+                done.extend(net.take_completions(t));
+            }
+            done.iter().map(|d| d.finished).collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -115,30 +115,29 @@ impl OnlineStats {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SampleSet {
     samples: Vec<f64>,
+    /// Sorted copy of `samples`, built lazily on the first order-statistic
+    /// query and reused until more samples arrive. Samples only ever grow,
+    /// so a length mismatch is exactly the staleness condition — no
+    /// explicit invalidation is needed.
     #[serde(skip)]
-    sorted: bool,
+    sorted: std::cell::RefCell<Vec<f64>>,
 }
 
 impl SampleSet {
     /// Empty sample set.
     pub fn new() -> Self {
-        SampleSet {
-            samples: Vec::new(),
-            sorted: true,
-        }
+        SampleSet::default()
     }
 
     /// Add one observation.
     pub fn push(&mut self, x: f64) {
         debug_assert!(x.is_finite(), "non-finite observation {x}");
         self.samples.push(x);
-        self.sorted = false;
     }
 
     /// Append all observations from another set.
     pub fn extend_from(&mut self, other: &SampleSet) {
         self.samples.extend_from_slice(&other.samples);
-        self.sorted = false;
     }
 
     /// Number of observations.
@@ -151,12 +150,16 @@ impl SampleSet {
         self.samples.is_empty()
     }
 
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample set"));
-            self.sorted = true;
+    fn sorted_cache(&self) -> std::cell::Ref<'_, Vec<f64>> {
+        {
+            let mut cache = self.sorted.borrow_mut();
+            if cache.len() != self.samples.len() {
+                cache.clear();
+                cache.extend_from_slice(&self.samples);
+                cache.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample set"));
+            }
         }
+        self.sorted.borrow()
     }
 
     /// Arithmetic mean (0 when empty).
@@ -178,59 +181,57 @@ impl SampleSet {
 
     /// Exact quantile by linear interpolation between order statistics.
     /// `q` must be in [0, 1]. Returns 0 when empty.
-    pub fn quantile(&mut self, q: f64) -> f64 {
+    pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.ensure_sorted();
-        let n = self.samples.len();
+        let sorted = self.sorted_cache();
+        let n = sorted.len();
         if n == 1 {
-            return self.samples[0];
+            return sorted[0];
         }
         let pos = q * (n - 1) as f64;
         let lo = pos.floor() as usize;
         let hi = pos.ceil() as usize;
         let frac = pos - lo as f64;
-        self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
     }
 
     /// Median (50th percentile).
-    pub fn median(&mut self) -> f64 {
+    pub fn median(&self) -> f64 {
         self.quantile(0.5)
     }
 
     /// Minimum (0 when empty).
-    pub fn min(&mut self) -> f64 {
+    pub fn min(&self) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.ensure_sorted();
-        self.samples[0]
+        self.sorted_cache()[0]
     }
 
     /// Maximum (0 when empty).
-    pub fn max(&mut self) -> f64 {
+    pub fn max(&self) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.ensure_sorted();
-        *self.samples.last().unwrap()
+        *self.sorted_cache().last().unwrap()
     }
 
     /// Empirical CDF as `(value, cumulative_fraction)` points, downsampled to
     /// at most `max_points` points (always including min and max).
-    pub fn cdf(&mut self, max_points: usize) -> Vec<(f64, f64)> {
+    pub fn cdf(&self, max_points: usize) -> Vec<(f64, f64)> {
         assert!(max_points >= 2, "need at least two CDF points");
         if self.samples.is_empty() {
             return Vec::new();
         }
-        self.ensure_sorted();
-        let n = self.samples.len();
+        let sorted = self.sorted_cache();
+        let n = sorted.len();
         let points = max_points.min(n);
         let mut out = Vec::with_capacity(points);
         if points == 1 {
-            out.push((self.samples[0], 1.0));
+            out.push((sorted[0], 1.0));
             return out;
         }
         for k in 0..points {
@@ -239,7 +240,7 @@ impl SampleSet {
             } else {
                 (k * (n - 1)) / (points - 1)
             };
-            out.push((self.samples[idx], (idx + 1) as f64 / n as f64));
+            out.push((sorted[idx], (idx + 1) as f64 / n as f64));
         }
         out
     }
@@ -250,7 +251,7 @@ impl SampleSet {
     }
 
     /// Summarize into a [`Summary`].
-    pub fn summary(&mut self) -> Summary {
+    pub fn summary(&self) -> Summary {
         Summary {
             count: self.len() as u64,
             mean: self.mean(),
@@ -427,11 +428,26 @@ mod tests {
 
     #[test]
     fn sample_set_empty() {
-        let mut s = SampleSet::new();
+        let s = SampleSet::new();
         assert!(s.is_empty());
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.median(), 0.0);
         assert!(s.cdf(10).is_empty());
+    }
+
+    #[test]
+    fn quantiles_work_through_shared_reference() {
+        let mut s = SampleSet::new();
+        for x in [5.0, 1.0, 3.0] {
+            s.push(x);
+        }
+        let shared: &SampleSet = &s;
+        assert_eq!(shared.median(), 3.0);
+        assert_eq!(shared.min(), 1.0);
+        // The cache follows later pushes (length-based staleness check).
+        s.push(0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.quantile(1.0), 5.0);
     }
 
     #[test]

@@ -1,20 +1,24 @@
-//! Lightweight event tracing.
+//! Lightweight event tracing (legacy shim).
 //!
 //! A [`TraceRecorder`] collects timestamped, labelled records during a run.
-//! Traces back the Figure-4-style timelines and are invaluable for debugging
-//! simulator state machines. Recording can be disabled (the default for
-//! large experiments) at which point pushes are near-free.
+//! The structured `tl-telemetry` crate supersedes this for simulator
+//! instrumentation (typed events, metrics, exporters); this recorder stays
+//! for ad-hoc debugging of small state machines. Recording can be disabled
+//! (the default for large experiments) at which point pushes are near-free.
+//!
+//! Scopes are interned `&'static str` labels — a record costs one `String`
+//! allocation (the message), not two.
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// One trace record: an instant, a subsystem label, and a message.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct TraceRecord {
     /// When the event occurred.
     pub time: SimTime,
     /// Which subsystem emitted it (e.g. "net", "ps", "worker").
-    pub scope: String,
+    pub scope: &'static str,
     /// Human-readable description.
     pub message: String,
 }
@@ -50,18 +54,23 @@ impl TraceRecorder {
 
     /// Record an event. `message` is only materialized when enabled, so pass
     /// a closure for anything that formats.
-    pub fn record_with(&mut self, time: SimTime, scope: &str, message: impl FnOnce() -> String) {
+    pub fn record_with(
+        &mut self,
+        time: SimTime,
+        scope: &'static str,
+        message: impl FnOnce() -> String,
+    ) {
         if self.enabled {
             self.records.push(TraceRecord {
                 time,
-                scope: scope.to_string(),
+                scope,
                 message: message(),
             });
         }
     }
 
     /// Record a pre-built message.
-    pub fn record(&mut self, time: SimTime, scope: &str, message: &str) {
+    pub fn record(&mut self, time: SimTime, scope: &'static str, message: &str) {
         self.record_with(time, scope, || message.to_string());
     }
 

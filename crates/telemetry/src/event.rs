@@ -1,0 +1,341 @@
+//! Typed simulation events.
+//!
+//! Every observable state change in the simulators is one [`SimEvent`]
+//! variant. Events carry plain integer identifiers (job tag, host index,
+//! flow id) rather than the domain newtypes so this crate sits below
+//! `tl-net`/`tl-dl` in the dependency graph; the emitting engine owns the
+//! id scheme.
+
+use serde::{Serialize, Value};
+use simcore::SimTime;
+
+/// One simulation event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimEvent {
+    /// A network flow entered the fluid engine.
+    FlowStart {
+        /// Engine-assigned flow id.
+        flow: u64,
+        /// Caller-defined grouping tag (the owning job).
+        tag: u64,
+        /// Sending host index.
+        src: u32,
+        /// Receiving host index.
+        dst: u32,
+        /// Transfer size in bytes.
+        bytes: f64,
+        /// Initial strict-priority band.
+        band: u8,
+    },
+    /// A network flow delivered its last byte.
+    FlowFinish {
+        /// Engine-assigned flow id.
+        flow: u64,
+        /// Caller-defined grouping tag.
+        tag: u64,
+        /// Sending host index.
+        src: u32,
+        /// Receiving host index.
+        dst: u32,
+        /// Transfer size in bytes.
+        bytes: f64,
+        /// When the flow started (service span start for the trace view).
+        started: SimTime,
+    },
+    /// The allocator assigned a flow a new rate (emitted only for flows
+    /// whose rate actually changed, and only while telemetry is enabled).
+    FlowRate {
+        /// Engine-assigned flow id.
+        flow: u64,
+        /// Caller-defined grouping tag.
+        tag: u64,
+        /// New rate in bytes/sec.
+        rate: f64,
+    },
+    /// A tag's flows moved to a different priority band (TLs-RR rotation
+    /// or TLs-One reconfiguration at job arrival/departure).
+    PriorityRotation {
+        /// The retagged flow group (job).
+        tag: u64,
+        /// The new band.
+        band: u8,
+        /// Number of in-flight flows that changed band.
+        flows: u32,
+    },
+    /// The incremental max-min allocator re-solved dirty components.
+    /// Counter fields are deltas for this solve, not cumulative totals.
+    AllocSolve {
+        /// Connected components re-solved.
+        components_solved: u64,
+        /// Components whose cached rates were kept.
+        components_retained: u64,
+        /// Water-filling rounds run.
+        rounds: u64,
+        /// Flows touched by the solve.
+        flows_touched: u64,
+    },
+    /// A job launched (its first model updates left the PS).
+    JobArrival {
+        /// Job index.
+        job: u64,
+    },
+    /// A job reached its target step count.
+    JobCompletion {
+        /// Job index.
+        job: u64,
+        /// Iterations fully aggregated.
+        iterations: u64,
+    },
+    /// A worker entered a synchronization barrier (finished computing its
+    /// local step and began sending gradients).
+    BarrierEnter {
+        /// Job index.
+        job: u64,
+        /// Worker index within the job.
+        worker: u32,
+        /// Barrier (iteration) index.
+        barrier: u64,
+    },
+    /// A worker exited a barrier (received the full next model update).
+    BarrierExit {
+        /// Job index.
+        job: u64,
+        /// Worker index within the job.
+        worker: u32,
+        /// Barrier (iteration) index.
+        barrier: u64,
+    },
+    /// Free-text escape hatch for one-off annotations; the scope is an
+    /// interned static label, mirroring the legacy `TraceRecorder` shim.
+    Mark {
+        /// Subsystem label (e.g. "net", "job").
+        scope: &'static str,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl SimEvent {
+    /// Stable machine-readable kind tag, used as the `kind` field of the
+    /// JSONL export and by filters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimEvent::FlowStart { .. } => "flow_start",
+            SimEvent::FlowFinish { .. } => "flow_finish",
+            SimEvent::FlowRate { .. } => "flow_rate",
+            SimEvent::PriorityRotation { .. } => "priority_rotation",
+            SimEvent::AllocSolve { .. } => "alloc_solve",
+            SimEvent::JobArrival { .. } => "job_arrival",
+            SimEvent::JobCompletion { .. } => "job_completion",
+            SimEvent::BarrierEnter { .. } => "barrier_enter",
+            SimEvent::BarrierExit { .. } => "barrier_exit",
+            SimEvent::Mark { .. } => "mark",
+        }
+    }
+
+    /// Interned subsystem label (the legacy trace "scope").
+    pub fn scope(&self) -> &'static str {
+        match self {
+            SimEvent::FlowStart { .. }
+            | SimEvent::FlowFinish { .. }
+            | SimEvent::FlowRate { .. } => "net",
+            SimEvent::PriorityRotation { .. } => "policy",
+            SimEvent::AllocSolve { .. } => "alloc",
+            SimEvent::JobArrival { .. } | SimEvent::JobCompletion { .. } => "job",
+            SimEvent::BarrierEnter { .. } | SimEvent::BarrierExit { .. } => "barrier",
+            SimEvent::Mark { scope, .. } => scope,
+        }
+    }
+
+    /// Human-readable one-line description (the legacy trace "message").
+    pub fn describe(&self) -> String {
+        match self {
+            SimEvent::FlowStart {
+                flow, tag, src, dst, ..
+            } => format!("flow {flow} start tag={tag} {src}->{dst}"),
+            SimEvent::FlowFinish {
+                flow, tag, src, dst, ..
+            } => format!("flow {flow} finish tag={tag} {src}->{dst}"),
+            SimEvent::FlowRate { flow, rate, .. } => {
+                format!("flow {flow} rate {rate:.0} B/s")
+            }
+            SimEvent::PriorityRotation { tag, band, flows } => {
+                format!("tag {tag} -> band {band} ({flows} flows)")
+            }
+            SimEvent::AllocSolve {
+                components_solved,
+                components_retained,
+                ..
+            } => format!("solved {components_solved} components, retained {components_retained}"),
+            SimEvent::JobArrival { job } => format!("job{job} launched"),
+            SimEvent::JobCompletion { job, .. } => format!("job{job} completed"),
+            SimEvent::BarrierEnter {
+                job,
+                worker,
+                barrier,
+            } => format!("job{job} worker {worker} entered barrier {barrier}"),
+            SimEvent::BarrierExit {
+                job,
+                worker,
+                barrier,
+            } => format!("job{job} worker {worker} exited barrier {barrier}"),
+            SimEvent::Mark { message, .. } => message.clone(),
+        }
+    }
+
+    /// Event payload as ordered `(field, value)` pairs — the JSONL schema
+    /// minus the envelope (`t`, `kind`).
+    pub fn fields(&self) -> Vec<(&'static str, Value)> {
+        match *self {
+            SimEvent::FlowStart {
+                flow,
+                tag,
+                src,
+                dst,
+                bytes,
+                band,
+            } => vec![
+                ("flow", Value::UInt(flow)),
+                ("tag", Value::UInt(tag)),
+                ("src", Value::UInt(src as u64)),
+                ("dst", Value::UInt(dst as u64)),
+                ("bytes", Value::Float(bytes)),
+                ("band", Value::UInt(band as u64)),
+            ],
+            SimEvent::FlowFinish {
+                flow,
+                tag,
+                src,
+                dst,
+                bytes,
+                started,
+            } => vec![
+                ("flow", Value::UInt(flow)),
+                ("tag", Value::UInt(tag)),
+                ("src", Value::UInt(src as u64)),
+                ("dst", Value::UInt(dst as u64)),
+                ("bytes", Value::Float(bytes)),
+                ("started", Value::Float(started.as_secs_f64())),
+            ],
+            SimEvent::FlowRate { flow, tag, rate } => vec![
+                ("flow", Value::UInt(flow)),
+                ("tag", Value::UInt(tag)),
+                ("rate", Value::Float(rate)),
+            ],
+            SimEvent::PriorityRotation { tag, band, flows } => vec![
+                ("tag", Value::UInt(tag)),
+                ("band", Value::UInt(band as u64)),
+                ("flows", Value::UInt(flows as u64)),
+            ],
+            SimEvent::AllocSolve {
+                components_solved,
+                components_retained,
+                rounds,
+                flows_touched,
+            } => vec![
+                ("components_solved", Value::UInt(components_solved)),
+                ("components_retained", Value::UInt(components_retained)),
+                ("rounds", Value::UInt(rounds)),
+                ("flows_touched", Value::UInt(flows_touched)),
+            ],
+            SimEvent::JobArrival { job } => vec![("job", Value::UInt(job))],
+            SimEvent::JobCompletion { job, iterations } => vec![
+                ("job", Value::UInt(job)),
+                ("iterations", Value::UInt(iterations)),
+            ],
+            SimEvent::BarrierEnter {
+                job,
+                worker,
+                barrier,
+            }
+            | SimEvent::BarrierExit {
+                job,
+                worker,
+                barrier,
+            } => vec![
+                ("job", Value::UInt(job)),
+                ("worker", Value::UInt(worker as u64)),
+                ("barrier", Value::UInt(barrier)),
+            ],
+            SimEvent::Mark {
+                scope,
+                ref message,
+            } => vec![
+                ("scope", Value::Str(scope.to_string())),
+                ("message", Value::Str(message.clone())),
+            ],
+        }
+    }
+}
+
+/// A [`SimEvent`] plus when it happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Simulation time of the event.
+    pub at: SimTime,
+    /// The event itself.
+    pub event: SimEvent,
+}
+
+impl Serialize for TimedEvent {
+    /// Flat JSONL record: `{"t": <secs>, "kind": "...", <payload...>}`.
+    fn to_value(&self) -> Value {
+        let mut fields = Vec::with_capacity(2 + 6);
+        fields.push(("t".to_string(), Value::Float(self.at.as_secs_f64())));
+        fields.push(("kind".to_string(), Value::Str(self.event.kind().to_string())));
+        for (k, v) in self.event.fields() {
+            fields.push((k.to_string(), v));
+        }
+        Value::Object(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_scopes_are_stable() {
+        let e = SimEvent::JobArrival { job: 3 };
+        assert_eq!(e.kind(), "job_arrival");
+        assert_eq!(e.scope(), "job");
+        assert_eq!(e.describe(), "job3 launched");
+        let r = SimEvent::PriorityRotation {
+            tag: 1,
+            band: 2,
+            flows: 5,
+        };
+        assert_eq!(r.kind(), "priority_rotation");
+        assert_eq!(r.scope(), "policy");
+    }
+
+    #[test]
+    fn jsonl_record_is_flat() {
+        let ev = TimedEvent {
+            at: SimTime::from_millis(1500),
+            event: SimEvent::FlowStart {
+                flow: 9,
+                tag: 2,
+                src: 0,
+                dst: 3,
+                bytes: 1e6,
+                band: 1,
+            },
+        };
+        let line = serde_json::to_string(&ev).unwrap();
+        assert_eq!(
+            line,
+            r#"{"t":1.5,"kind":"flow_start","flow":9,"tag":2,"src":0,"dst":3,"bytes":1000000.0,"band":1}"#
+        );
+    }
+
+    #[test]
+    fn mark_keeps_interned_scope() {
+        let ev = SimEvent::Mark {
+            scope: "ps",
+            message: "rebalanced".into(),
+        };
+        assert_eq!(ev.scope(), "ps");
+        assert_eq!(ev.kind(), "mark");
+    }
+}

@@ -1,0 +1,364 @@
+//! Exporters: JSONL event log and Chrome `trace_event` JSON.
+//!
+//! The Chrome format is the JSON Object Format of the Trace Event spec
+//! (`{"traceEvents": [...]}`), loadable in Perfetto and
+//! `chrome://tracing`. Track layout:
+//!
+//! * pid 1 "jobs" — one thread per job/tag: an `X` (complete) span for
+//!   each job's lifetime, `i` (instant) markers for priority rotations,
+//!   and a `C` (counter) series of workers currently inside the barrier;
+//! * pid 2 "hosts" — one thread per sending host: an `X` span per
+//!   finished flow (service start → finish);
+//! * pid 0 "sim" — free-text [`SimEvent::Mark`] annotations.
+//!
+//! `flow_rate` and `alloc_solve` events stay in the JSONL/metrics exports
+//! only; they have no natural span representation.
+//!
+//! Both exporters format purely from event emission order, so output is
+//! byte-identical across identically-seeded runs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::Value;
+use simcore::SimTime;
+
+use crate::event::{SimEvent, TimedEvent};
+
+/// One flat JSON object per line, in emission order.
+pub fn events_to_jsonl(events: &[TimedEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&serde_json::to_string(ev).expect("event JSON render"));
+        out.push('\n');
+    }
+    out
+}
+
+const PID_SIM: u64 = 0;
+const PID_JOBS: u64 = 1;
+const PID_HOSTS: u64 = 2;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn micros(t: SimTime) -> Value {
+    Value::Float(t.as_secs_f64() * 1e6)
+}
+
+fn metadata(kind: &str, pid: u64, tid: u64, name: &str) -> Value {
+    obj(vec![
+        ("name", Value::Str(kind.to_string())),
+        ("ph", Value::Str("M".to_string())),
+        ("pid", Value::UInt(pid)),
+        ("tid", Value::UInt(tid)),
+        ("args", obj(vec![("name", Value::Str(name.to_string()))])),
+    ])
+}
+
+fn span(name: String, pid: u64, tid: u64, start: SimTime, end: SimTime, args: Value) -> Value {
+    let dur = (end.as_secs_f64() - start.as_secs_f64()).max(0.0) * 1e6;
+    obj(vec![
+        ("name", Value::Str(name)),
+        ("ph", Value::Str("X".to_string())),
+        ("ts", micros(start)),
+        ("dur", Value::Float(dur)),
+        ("pid", Value::UInt(pid)),
+        ("tid", Value::UInt(tid)),
+        ("args", args),
+    ])
+}
+
+fn instant(name: String, pid: u64, tid: u64, at: SimTime, args: Value) -> Value {
+    obj(vec![
+        ("name", Value::Str(name)),
+        ("ph", Value::Str("i".to_string())),
+        ("ts", micros(at)),
+        ("pid", Value::UInt(pid)),
+        ("tid", Value::UInt(tid)),
+        ("s", Value::Str("t".to_string())),
+        ("args", args),
+    ])
+}
+
+/// Render `events` as a Chrome `trace_event` JSON document.
+pub fn chrome_trace(events: &[TimedEvent]) -> String {
+    let mut records: Vec<Value> = Vec::new();
+
+    // --- First pass: discover tracks and job/flow lifetimes.
+    let mut job_tids: BTreeSet<u64> = BTreeSet::new();
+    let mut tag_tids: BTreeSet<u64> = BTreeSet::new();
+    let mut host_tids: BTreeSet<u64> = BTreeSet::new();
+    let mut has_marks = false;
+    let mut arrivals: BTreeMap<u64, SimTime> = BTreeMap::new();
+    let mut completions: BTreeMap<u64, SimTime> = BTreeMap::new();
+    let mut finished_flows: BTreeSet<u64> = BTreeSet::new();
+    let mut max_t = SimTime::ZERO;
+    for ev in events {
+        max_t = max_t.max(ev.at);
+        match ev.event {
+            SimEvent::JobArrival { job } => {
+                job_tids.insert(job);
+                arrivals.entry(job).or_insert(ev.at);
+            }
+            SimEvent::JobCompletion { job, .. } => {
+                job_tids.insert(job);
+                completions.insert(job, ev.at);
+            }
+            SimEvent::BarrierEnter { job, .. } | SimEvent::BarrierExit { job, .. } => {
+                job_tids.insert(job);
+            }
+            SimEvent::PriorityRotation { tag, .. } => {
+                tag_tids.insert(tag);
+            }
+            SimEvent::FlowStart { src, .. } => {
+                host_tids.insert(src as u64);
+            }
+            SimEvent::FlowFinish { flow, src, .. } => {
+                host_tids.insert(src as u64);
+                finished_flows.insert(flow);
+            }
+            SimEvent::Mark { .. } => has_marks = true,
+            SimEvent::FlowRate { .. } | SimEvent::AllocSolve { .. } => {}
+        }
+    }
+
+    // --- Metadata: process and thread names, in sorted track order.
+    if has_marks {
+        records.push(metadata("process_name", PID_SIM, 0, "sim"));
+    }
+    if !job_tids.is_empty() || !tag_tids.is_empty() {
+        records.push(metadata("process_name", PID_JOBS, 0, "jobs"));
+        for &tid in &job_tids {
+            records.push(metadata("thread_name", PID_JOBS, tid, &format!("job {tid}")));
+        }
+        for &tid in &tag_tids {
+            if !job_tids.contains(&tid) {
+                records.push(metadata("thread_name", PID_JOBS, tid, &format!("tag {tid}")));
+            }
+        }
+    }
+    if !host_tids.is_empty() {
+        records.push(metadata("process_name", PID_HOSTS, 0, "hosts"));
+        for &tid in &host_tids {
+            records.push(metadata(
+                "thread_name",
+                PID_HOSTS,
+                tid,
+                &format!("host {tid}"),
+            ));
+        }
+    }
+
+    // --- Job lifetime spans (arrival → completion, or end of trace).
+    for (&job, &start) in &arrivals {
+        let end = completions.get(&job).copied().unwrap_or(max_t);
+        records.push(span(
+            format!("job {job}"),
+            PID_JOBS,
+            job,
+            start,
+            end,
+            obj(vec![(
+                "completed",
+                Value::Bool(completions.contains_key(&job)),
+            )]),
+        ));
+    }
+
+    // --- Second pass: per-event records, in emission order.
+    let mut in_barrier: BTreeMap<u64, i64> = BTreeMap::new();
+    for ev in events {
+        match ev.event {
+            SimEvent::PriorityRotation { tag, band, flows } => {
+                records.push(instant(
+                    format!("rotate -> band {band}"),
+                    PID_JOBS,
+                    tag,
+                    ev.at,
+                    obj(vec![
+                        ("band", Value::UInt(band as u64)),
+                        ("flows", Value::UInt(flows as u64)),
+                    ]),
+                ));
+            }
+            SimEvent::FlowFinish {
+                flow,
+                tag,
+                src,
+                dst,
+                bytes,
+                started,
+            } => {
+                records.push(span(
+                    format!("tag {tag} -> host {dst}"),
+                    PID_HOSTS,
+                    src as u64,
+                    started,
+                    ev.at,
+                    obj(vec![
+                        ("flow", Value::UInt(flow)),
+                        ("tag", Value::UInt(tag)),
+                        ("dst", Value::UInt(dst as u64)),
+                        ("bytes", Value::Float(bytes)),
+                    ]),
+                ));
+            }
+            SimEvent::FlowStart {
+                flow, tag, src, ..
+            } if !finished_flows.contains(&flow) => {
+                records.push(instant(
+                    format!("flow {flow} start (unfinished)"),
+                    PID_HOSTS,
+                    src as u64,
+                    ev.at,
+                    obj(vec![("tag", Value::UInt(tag))]),
+                ));
+            }
+            SimEvent::BarrierEnter { job, .. } | SimEvent::BarrierExit { job, .. } => {
+                let count = in_barrier.entry(job).or_insert(0);
+                if matches!(ev.event, SimEvent::BarrierEnter { .. }) {
+                    *count += 1;
+                } else {
+                    *count -= 1;
+                }
+                records.push(obj(vec![
+                    ("name", Value::Str(format!("job {job} in barrier"))),
+                    ("ph", Value::Str("C".to_string())),
+                    ("ts", micros(ev.at)),
+                    ("pid", Value::UInt(PID_JOBS)),
+                    ("tid", Value::UInt(job)),
+                    ("args", obj(vec![("workers", Value::Int((*count).max(0)))])),
+                ]));
+            }
+            SimEvent::Mark { scope, ref message } => {
+                records.push(instant(
+                    scope.to_string(),
+                    PID_SIM,
+                    0,
+                    ev.at,
+                    obj(vec![("message", Value::Str(message.clone()))]),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    let doc = obj(vec![
+        ("traceEvents", Value::Array(records)),
+        ("displayTimeUnit", Value::Str("ms".to_string())),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("trace JSON render")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TimedEvent> {
+        vec![
+            TimedEvent {
+                at: SimTime::ZERO,
+                event: SimEvent::JobArrival { job: 1 },
+            },
+            TimedEvent {
+                at: SimTime::ZERO,
+                event: SimEvent::FlowStart {
+                    flow: 0,
+                    tag: 1,
+                    src: 0,
+                    dst: 2,
+                    bytes: 1e6,
+                    band: 0,
+                },
+            },
+            TimedEvent {
+                at: SimTime::from_millis(300),
+                event: SimEvent::PriorityRotation {
+                    tag: 1,
+                    band: 1,
+                    flows: 1,
+                },
+            },
+            TimedEvent {
+                at: SimTime::from_millis(500),
+                event: SimEvent::FlowFinish {
+                    flow: 0,
+                    tag: 1,
+                    src: 0,
+                    dst: 2,
+                    bytes: 1e6,
+                    started: SimTime::ZERO,
+                },
+            },
+            TimedEvent {
+                at: SimTime::from_millis(500),
+                event: SimEvent::JobCompletion {
+                    job: 1,
+                    iterations: 1,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let text = events_to_jsonl(&sample_events());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for line in &lines {
+            let parsed = serde_json::from_str_value(line).unwrap();
+            assert!(parsed.get("t").is_some(), "missing t in {line}");
+            assert!(parsed.get("kind").is_some(), "missing kind in {line}");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_has_tracks() {
+        let json = chrome_trace(&sample_events());
+        let doc = serde_json::from_str_value(&json).unwrap();
+        let events = match doc.get("traceEvents") {
+            Some(Value::Array(items)) => items,
+            other => panic!("no traceEvents: {other:?}"),
+        };
+        assert!(!events.is_empty());
+        let phase = |v: &Value| match v.get("ph") {
+            Some(Value::Str(s)) => s.clone(),
+            _ => panic!("event without ph"),
+        };
+        assert!(events.iter().any(|e| phase(e) == "M"));
+        assert!(events.iter().any(|e| phase(e) == "X"));
+        assert!(events.iter().any(|e| phase(e) == "i"));
+        // The rotation instant sits on the job's track (pid 1, tid 1).
+        let rotation = events
+            .iter()
+            .find(|e| phase(e) == "i")
+            .expect("rotation instant");
+        assert_eq!(rotation.get("pid"), Some(&Value::UInt(PID_JOBS)));
+        assert_eq!(rotation.get("tid"), Some(&Value::UInt(1)));
+    }
+
+    #[test]
+    fn unfinished_flow_becomes_instant() {
+        let events = vec![TimedEvent {
+            at: SimTime::from_millis(10),
+            event: SimEvent::FlowStart {
+                flow: 3,
+                tag: 2,
+                src: 1,
+                dst: 0,
+                bytes: 5e5,
+                band: 1,
+            },
+        }];
+        let json = chrome_trace(&events);
+        assert!(json.contains("unfinished"), "{json}");
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let events = sample_events();
+        assert_eq!(chrome_trace(&events), chrome_trace(&events));
+        assert_eq!(events_to_jsonl(&events), events_to_jsonl(&events));
+    }
+}

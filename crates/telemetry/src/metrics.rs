@@ -1,0 +1,273 @@
+//! Named metrics sampled into timeseries.
+//!
+//! A [`MetricsRegistry`] holds counters, gauges, and histograms registered
+//! by name. Engines update current values as the simulation runs; the
+//! driver calls [`MetricsRegistry::sample`] on its cadence to append one
+//! `(time, value)` point per metric. Metrics iterate in registration
+//! order (a `Vec`, with a `HashMap` used only for name lookup), so the
+//! JSON export is deterministic for a deterministic simulation.
+
+use std::collections::HashMap;
+
+use serde::{Serialize, Value};
+use simcore::SimTime;
+
+/// What a metric measures — descriptive metadata carried into the export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing total (e.g. allocator invocations).
+    Counter,
+    /// Point-in-time level (e.g. per-host egress utilization).
+    Gauge,
+    /// Running summary of observed values (count/sum/min/max); the sampled
+    /// timeseries records the running mean.
+    Histogram,
+}
+
+impl MetricKind {
+    fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Stable handle for a registered metric; cheap to copy and store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricId(pub u32);
+
+#[derive(Debug, Clone)]
+struct Metric {
+    name: String,
+    kind: MetricKind,
+    /// Current value: counter total, gauge level, or histogram running mean.
+    value: f64,
+    /// Histogram running stats (unused for counters/gauges).
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Sampled timeseries, appended by [`MetricsRegistry::sample`].
+    series: Vec<(SimTime, f64)>,
+}
+
+/// Registry of named metrics with periodic sampling into timeseries.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: Vec<Metric>,
+    index: HashMap<String, u32>,
+}
+
+impl MetricsRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `name` with `kind`, or return the existing id if `name`
+    /// is already registered.
+    ///
+    /// # Panics
+    /// If `name` exists with a different kind — that is a programming
+    /// error (two subsystems fighting over one name).
+    pub fn register(&mut self, name: &str, kind: MetricKind) -> MetricId {
+        if let Some(&slot) = self.index.get(name) {
+            let existing = self.metrics[slot as usize].kind;
+            assert!(
+                existing == kind,
+                "metric {name:?} already registered as {} (requested {})",
+                existing.name(),
+                kind.name()
+            );
+            return MetricId(slot);
+        }
+        let slot = u32::try_from(self.metrics.len()).expect("too many metrics");
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            kind,
+            value: 0.0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            series: Vec::new(),
+        });
+        self.index.insert(name.to_string(), slot);
+        MetricId(slot)
+    }
+
+    /// Increment a counter by `delta`.
+    pub fn add(&mut self, id: MetricId, delta: f64) {
+        self.metrics[id.0 as usize].value += delta;
+    }
+
+    /// Set the current value (any kind; for counters this overwrites the
+    /// total, which suits engines that track their own cumulative stats).
+    pub fn set(&mut self, id: MetricId, value: f64) {
+        self.metrics[id.0 as usize].value = value;
+    }
+
+    /// Record one observation into a histogram.
+    pub fn observe(&mut self, id: MetricId, value: f64) {
+        let m = &mut self.metrics[id.0 as usize];
+        m.count += 1;
+        m.sum += value;
+        m.min = m.min.min(value);
+        m.max = m.max.max(value);
+        m.value = m.sum / m.count as f64;
+    }
+
+    /// Current value of a metric (counter total, gauge level, or
+    /// histogram running mean).
+    pub fn value(&self, id: MetricId) -> f64 {
+        self.metrics[id.0 as usize].value
+    }
+
+    /// Look up a metric id by name.
+    pub fn lookup(&self, name: &str) -> Option<MetricId> {
+        self.index.get(name).map(|&slot| MetricId(slot))
+    }
+
+    /// Append the current value of every metric to its timeseries,
+    /// stamped `now`.
+    pub fn sample(&mut self, now: SimTime) {
+        for m in &mut self.metrics {
+            m.series.push((now, m.value));
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Sampled timeseries for a metric.
+    pub fn series(&self, id: MetricId) -> &[(SimTime, f64)] {
+        &self.metrics[id.0 as usize].series
+    }
+
+    /// Pretty JSON export: one object per metric, in registration order,
+    /// with kind, final value, histogram stats when populated, and the
+    /// sampled `[t, value]` series.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics JSON render")
+    }
+}
+
+impl Serialize for MetricsRegistry {
+    fn to_value(&self) -> Value {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|m| {
+                let mut fields = vec![
+                    ("name".to_string(), Value::Str(m.name.clone())),
+                    ("kind".to_string(), Value::Str(m.kind.name().to_string())),
+                    ("value".to_string(), Value::Float(m.value)),
+                ];
+                if m.kind == MetricKind::Histogram && m.count > 0 {
+                    fields.push(("count".to_string(), Value::UInt(m.count)));
+                    fields.push(("sum".to_string(), Value::Float(m.sum)));
+                    fields.push(("min".to_string(), Value::Float(m.min)));
+                    fields.push(("max".to_string(), Value::Float(m.max)));
+                }
+                fields.push((
+                    "series".to_string(),
+                    Value::Array(
+                        m.series
+                            .iter()
+                            .map(|&(t, v)| {
+                                Value::Array(vec![
+                                    Value::Float(t.as_secs_f64()),
+                                    Value::Float(v),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+                Value::Object(fields)
+            })
+            .collect();
+        Value::Object(vec![("metrics".to_string(), Value::Array(metrics))])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.register("alloc.invocations", MetricKind::Counter);
+        let b = reg.register("alloc.invocations", MetricKind::Counter);
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.lookup("alloc.invocations"), Some(a));
+        assert_eq!(reg.lookup("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let mut reg = MetricsRegistry::new();
+        reg.register("x", MetricKind::Counter);
+        reg.register("x", MetricKind::Gauge);
+    }
+
+    #[test]
+    fn counter_gauge_histogram_update() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.register("c", MetricKind::Counter);
+        let g = reg.register("g", MetricKind::Gauge);
+        let h = reg.register("h", MetricKind::Histogram);
+        reg.add(c, 2.0);
+        reg.add(c, 3.0);
+        reg.set(g, 0.75);
+        reg.observe(h, 1.0);
+        reg.observe(h, 3.0);
+        assert_eq!(reg.value(c), 5.0);
+        assert_eq!(reg.value(g), 0.75);
+        assert_eq!(reg.value(h), 2.0); // running mean
+    }
+
+    #[test]
+    fn sample_builds_timeseries() {
+        let mut reg = MetricsRegistry::new();
+        let g = reg.register("util", MetricKind::Gauge);
+        reg.set(g, 0.5);
+        reg.sample(SimTime::from_millis(100));
+        reg.set(g, 0.9);
+        reg.sample(SimTime::from_millis(200));
+        let series = reg.series(g);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0], (SimTime::from_millis(100), 0.5));
+        assert_eq!(series[1], (SimTime::from_millis(200), 0.9));
+    }
+
+    #[test]
+    fn json_export_in_registration_order() {
+        let mut reg = MetricsRegistry::new();
+        let z = reg.register("zeta", MetricKind::Gauge);
+        reg.register("alpha", MetricKind::Counter);
+        reg.set(z, 1.25);
+        reg.sample(SimTime::from_secs_f64(2.0));
+        let json = reg.to_json();
+        let zeta_pos = json.find("zeta").unwrap();
+        let alpha_pos = json.find("alpha").unwrap();
+        assert!(zeta_pos < alpha_pos, "registration order must be kept");
+        let parsed = serde_json::from_str_value(&json).unwrap();
+        let metrics = match parsed.get("metrics") {
+            Some(Value::Array(items)) => items,
+            other => panic!("bad metrics export: {other:?}"),
+        };
+        assert_eq!(metrics.len(), 2);
+    }
+}

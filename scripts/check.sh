@@ -21,6 +21,16 @@ if [[ "${1:-}" != "fast" ]]; then
     echo "==> bench smoke (TL_BENCH_SMOKE=1)"
     TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench kernel
     TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench paper_experiments
+    TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench telemetry
+
+    # Telemetry smoke: emit a Chrome trace from the Figure 4 narrative and
+    # validate it — parses as JSON, non-empty traceEvents, and contains the
+    # metadata/span/instant phases — using repro's built-in checker (no jq).
+    echo "==> telemetry trace smoke"
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    ./target/release/repro --experiment fig4 --trace-out "$tmp/trace.json" > /dev/null
+    ./target/release/repro --check-trace "$tmp/trace.json"
 fi
 
 echo "==> all checks passed"

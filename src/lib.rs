@@ -10,6 +10,8 @@
 //! * [`tensorlights`] — the paper's contribution: FIFO / TLs-One / TLs-RR
 //!   policies and the host controller;
 //! * [`tl_workloads`] — grid-search and sweep workload generators;
+//! * [`tl_telemetry`] — structured observability: typed sim events,
+//!   metrics registry, JSONL / Chrome-trace exporters;
 //! * [`tl_experiments`] — one module per paper table/figure plus the
 //!   `repro` binary.
 //!
@@ -22,6 +24,7 @@ pub use tl_cluster as cluster;
 pub use tl_dl as dl;
 pub use tl_experiments as experiments;
 pub use tl_net as net;
+pub use tl_telemetry as telemetry;
 pub use tl_workloads as workloads;
 
 /// One-stop imports for driving simulations from examples and downstream
@@ -35,5 +38,6 @@ pub mod prelude {
     pub use crate::cluster::Placement;
     pub use crate::dl::{JobSetup, SimConfig, SimOutput, Simulation};
     pub use crate::experiments::PolicyKind;
+    pub use crate::telemetry::{TelemetryConfig, TelemetryOutput};
     pub use crate::workloads::GridSearchConfig;
 }

@@ -2,7 +2,9 @@
 //! results, and the randomness that exists is exactly the seeded kind.
 
 use tl_cluster::{table1_placement, Table1Index};
-use tl_experiments::{run_grid_search, ExperimentConfig, PolicyKind};
+use tl_experiments::{
+    run_grid_search, run_grid_search_telemetry, ExperimentConfig, PolicyKind,
+};
 
 fn jcts(cfg: &ExperimentConfig, policy: PolicyKind) -> Vec<f64> {
     let placement = table1_placement(Table1Index(2), 21, 21);
@@ -40,6 +42,34 @@ fn policies_actually_differ_under_contention() {
         one.mean_jct_secs() < fifo.mean_jct_secs(),
         "TLs-One must beat FIFO at placement #1"
     );
+}
+
+#[test]
+fn telemetry_export_is_byte_identical() {
+    // Two same-seed instrumented runs must serialize to exactly the same
+    // bytes across every exporter — events in emission order, metrics in
+    // registration order, deterministic float rendering throughout.
+    let cfg = ExperimentConfig::quick();
+    let placement = table1_placement(Table1Index(2), 21, 21);
+    let run = || {
+        run_grid_search_telemetry(
+            &cfg,
+            &placement,
+            PolicyKind::TlsRr,
+            4,
+            None,
+            tensorlights_suite::telemetry::TelemetryConfig::full(
+                simcore::SimDuration::from_millis(100),
+            ),
+        )
+    };
+    let a = run().telemetry;
+    let b = run().telemetry;
+    assert!(!a.events.is_empty(), "instrumented run emitted events");
+    assert!(!a.metrics.is_empty(), "instrumented run sampled metrics");
+    assert_eq!(a.to_jsonl(), b.to_jsonl());
+    assert_eq!(a.to_chrome_trace(), b.to_chrome_trace());
+    assert_eq!(a.metrics_json(), b.metrics_json());
 }
 
 #[test]

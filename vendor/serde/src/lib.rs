@@ -92,6 +92,18 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 /// Rebuild `Self` from a [`Value`] tree.
 pub trait Deserialize: Sized {
     fn from_value(value: &Value) -> Result<Self, Error>;
