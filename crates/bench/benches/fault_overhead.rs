@@ -1,0 +1,52 @@
+//! Overhead of the fault-injection subsystem on the hot simulation loop.
+//!
+//! The contract is zero-cost-when-empty: a grid-search run with an empty
+//! `FaultPlan` must be within noise of the plain baseline — the fault
+//! machinery adds per-event work only when a timeline entry actually
+//! fires. The `seeded_faults` variant quantifies what live injection and
+//! recovery cost, so future changes can't silently tax the healthy path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tl_cluster::{table1_placement, Table1Index};
+use tl_dl::{FaultPlan, Simulation};
+use tl_experiments::{config::ExperimentConfig, run_grid_search, PolicyKind};
+use tl_workloads::GridSearchConfig;
+
+fn run_with_plan(cfg: &ExperimentConfig, plan: FaultPlan) -> f64 {
+    let placement = table1_placement(Table1Index(8), 21, 21);
+    let setups = GridSearchConfig::paper_scaled(cfg.iterations).build(&placement);
+    let mut sim_cfg = cfg.sim_config();
+    sim_cfg.faults = plan;
+    let mut policy = PolicyKind::TlsRr.build(cfg);
+    Simulation::new(sim_cfg)
+        .jobs(setups)
+        .policy_ref(policy.as_mut())
+        .run()
+        .mean_jct_secs()
+}
+
+fn bench_fault_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault_overhead");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    let cfg = ExperimentConfig::scaled(12);
+    let placement = table1_placement(Table1Index(8), 21, 21);
+    g.bench_function("baseline", |b| {
+        b.iter(|| {
+            black_box(run_grid_search(&cfg, &placement, PolicyKind::TlsRr, 4, None).mean_jct_secs())
+        });
+    });
+    g.bench_function("empty_plan", |b| {
+        b.iter(|| black_box(run_with_plan(&cfg, FaultPlan::default())));
+    });
+    let seeded = FaultPlan::seeded(cfg.seed, 1.0, 21, 21, 60.0);
+    g.bench_function("seeded_faults", |b| {
+        b.iter(|| black_box(run_with_plan(&cfg, seeded.clone())));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fault_overhead);
+criterion_main!(benches);

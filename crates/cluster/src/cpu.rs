@@ -267,6 +267,63 @@ impl CpuEngine {
         done
     }
 
+    /// Change `host`'s core count at time `now` (a compute-straggler
+    /// window, or its end). Running tasks are integrated under the old
+    /// shares first, then re-shared at the new capacity.
+    pub fn set_host_cores(&mut self, now: SimTime, host: usize, cores: f64) {
+        assert!(host < self.specs.len(), "host {host} out of range");
+        assert!(cores > 0.0 && cores.is_finite(), "invalid cores {cores}");
+        self.advance(now);
+        self.specs[host].cores = cores;
+        self.dirty_hosts[host] = true;
+        self.any_dirty = true;
+        self.next_cache = None;
+    }
+
+    /// Current core count of `host` (nominal or fault-degraded).
+    pub fn host_cores(&self, host: usize) -> f64 {
+        self.specs[host].cores
+    }
+
+    /// Abort every runnable task for which `pred(id, host, tag)` holds
+    /// (e.g. all tasks on a crashed host). Partially served demand is
+    /// discarded; aborted ids no longer resolve. Returns the aborted
+    /// `(id, tag)` pairs in creation order.
+    pub fn abort_tasks_where(
+        &mut self,
+        now: SimTime,
+        mut pred: impl FnMut(CpuTaskId, usize, u64) -> bool,
+    ) -> Vec<(CpuTaskId, u64)> {
+        self.advance(now);
+        let mut aborted = Vec::new();
+        let slots = &mut self.slots;
+        let free = &mut self.free;
+        let dirty_hosts = &mut self.dirty_hosts;
+        self.active.retain(|&slot| {
+            let entry = &mut slots[slot as usize];
+            let id = CpuTaskId(make_id(entry.gen, slot as usize));
+            let (host, tag) = {
+                let t = entry.state.as_ref().expect("active task missing");
+                (t.host, t.tag)
+            };
+            if pred(id, host, tag) {
+                entry.state = None;
+                entry.gen = entry.gen.wrapping_add(1);
+                free.push(slot);
+                dirty_hosts[host] = true;
+                aborted.push((id, tag));
+                false
+            } else {
+                true
+            }
+        });
+        if !aborted.is_empty() {
+            self.any_dirty = true;
+            self.next_cache = None;
+        }
+        aborted
+    }
+
     /// Currently allocated cores for a task (None once completed).
     pub fn rate_of(&mut self, id: CpuTaskId) -> Option<f64> {
         self.refresh_rates();
@@ -469,6 +526,42 @@ mod tests {
         assert_eq!(e.rate_of(a), Some(0.5));
         let t = e.next_event_time().unwrap();
         assert!((t.as_secs_f64() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn core_change_reshapes_running_tasks() {
+        let mut e = engine(1, 4.0);
+        let id = e.start_task(SimTime::ZERO, 0, 8.0, 8.0, 1);
+        assert_eq!(e.rate_of(id), Some(4.0));
+        // 1s at 4 cores: 4 core-secs left. Halve the host.
+        e.set_host_cores(SimTime::from_secs(1), 0, 2.0);
+        assert_eq!(e.rate_of(id), Some(2.0));
+        assert!((e.host_cores(0) - 2.0).abs() < 1e-12);
+        // 4 core-secs at 2 cores: finishes at t=3.
+        let t = e.next_event_time().unwrap();
+        assert!((t.as_secs_f64() - 3.0).abs() < 1e-6, "got {t}");
+        // Restore; no tasks left, engine stays consistent.
+        e.take_completions(t);
+        e.set_host_cores(t, 0, 4.0);
+        assert_eq!(e.active_task_count(), 0);
+    }
+
+    #[test]
+    fn abort_discards_tasks_and_ids() {
+        let mut e = engine(2, 1.0);
+        let a = e.start_task(SimTime::ZERO, 0, 5.0, 1.0, 1);
+        let b = e.start_task(SimTime::ZERO, 0, 5.0, 1.0, 2);
+        let c = e.start_task(SimTime::ZERO, 1, 5.0, 1.0, 3);
+        let aborted = e.abort_tasks_where(SimTime::from_secs(1), |_, host, _| host == 0);
+        assert_eq!(aborted, vec![(a, 1), (b, 2)]);
+        assert_eq!(e.active_task_count(), 1);
+        assert!(e.rate_of(a).is_none());
+        assert!(e.rate_of(b).is_none());
+        assert_eq!(e.rate_of(c), Some(1.0));
+        // The survivor completes on schedule.
+        let t = e.next_event_time().unwrap();
+        assert!((t.as_secs_f64() - 5.0).abs() < 1e-6);
+        assert_eq!(e.take_completions(t).len(), 1);
     }
 
     #[test]

@@ -24,7 +24,8 @@ use tensorlights::{Assignment, FifoPolicy, JobTrafficInfo, PriorityPolicy};
 use tl_cluster::{
     monitor, CpuEngine, CpuTaskId, HostSpec, HostUtilization, JobPlacement, ResourceSnapshot,
 };
-use tl_net::{AllocStats, Bandwidth, FlowId, FlowSpec, FluidNet, Topology};
+use tl_faults::{BarrierLossPolicy, FaultAction, FaultPlan, RetryConfig, TimedFault};
+use tl_net::{AllocStats, Bandwidth, FlowId, FlowSpec, FluidNet, HostId, Topology};
 
 /// Tag prefix distinguishing gradient flows from model-update flows in the
 /// fluid engine (rotations must only retag model updates).
@@ -70,6 +71,15 @@ pub struct SimConfig {
     /// Per-host hardware overrides (heterogeneous clusters); hosts beyond
     /// the list's length fall back to `host_spec`.
     pub host_spec_overrides: Vec<(u32, HostSpec)>,
+    /// Faults to inject during the run (host crashes, NIC degradation,
+    /// PS failures, control-plane outages). The empty plan — the default
+    /// — costs nothing.
+    pub faults: FaultPlan,
+    /// Timeout-and-backoff policy for work blocked by a down host or a
+    /// dead PS process.
+    pub retry: RetryConfig,
+    /// What a synchronous barrier does when a worker's host crashes.
+    pub barrier_loss: BarrierLossPolicy,
 }
 
 impl Default for SimConfig {
@@ -88,9 +98,53 @@ impl Default for SimConfig {
             metrics_interval: None,
             core_capacity: None,
             host_spec_overrides: Vec::new(),
+            faults: FaultPlan::default(),
+            retry: RetryConfig::default(),
+            barrier_loss: BarrierLossPolicy::default(),
         }
     }
 }
+
+/// A structural inconsistency detected while the engine ran: a substrate
+/// reported a completion for work the engine has no record of. This is
+/// unreachable through the public API (contexts are registered at start
+/// and removed exactly once), but [`Simulation::try_run`] surfaces it as
+/// a typed error instead of a panic so harnesses can report *which*
+/// flow or task lost its context.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimError {
+    /// The network engine completed a flow with no registered context.
+    MissingFlowContext {
+        /// The orphaned flow.
+        flow: FlowId,
+        /// When the completion surfaced.
+        at: SimTime,
+    },
+    /// The CPU engine completed a task with no registered context.
+    MissingTaskContext {
+        /// The orphaned task.
+        task: CpuTaskId,
+        /// When the completion surfaced.
+        at: SimTime,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SimError::MissingFlowContext { flow, at } => write!(
+                f,
+                "completed flow {flow:?} at {at:?} has no context (engine bookkeeping bug)"
+            ),
+            SimError::MissingTaskContext { task, at } => write!(
+                f,
+                "completed task {task:?} at {at:?} has no context (engine bookkeeping bug)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// One job plus where its tasks run.
 #[derive(Debug, Clone)]
@@ -204,6 +258,37 @@ enum Ev {
     SnapshotEnd,
     Sample,
     MetricsSample,
+    /// Apply `timeline[i]` (a compiled fault action).
+    Fault(usize),
+    /// Re-attempt `retries[i]` (work blocked by a down host / dead PS).
+    Retry(usize),
+}
+
+/// Work displaced by a fault, awaiting retry. The context alone suffices:
+/// on resume the engine rebuilds the flow/task spec from current job
+/// state, exactly as a real worker re-issuing a pull/push would.
+#[derive(Debug, Clone, Copy)]
+enum PendingWork {
+    Flow(FlowCtx),
+    Task(TaskCtx),
+}
+
+impl PendingWork {
+    fn job(&self) -> usize {
+        match self {
+            PendingWork::Flow(c) => c.job,
+            PendingWork::Task(c) => c.job,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RetryState {
+    work: PendingWork,
+    /// 1-based attempt number of the *next* firing.
+    attempt: u32,
+    /// Resolved: resumed, or cancelled (job done / worker dropped).
+    done: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -265,6 +350,29 @@ struct JobRt {
     async_remaining: Vec<u64>,
     async_pending_wait: Vec<Option<SimTime>>,
     async_done_workers: u32,
+    // Fault state.
+    /// The PS process is dead (hosts may be fine).
+    ps_down: bool,
+    /// Workers dropped from the barrier (DropAndContinue only).
+    lost: Vec<bool>,
+    lost_count: u32,
+    /// Lost workers whose host has recovered, awaiting a round boundary.
+    rejoin_pending: Vec<bool>,
+    /// Suppress the next `record_exit` for a rejoining worker (it never
+    /// entered the barrier the model delivery would exit).
+    skip_exit: Vec<bool>,
+    /// Suppress the next `record_enter` for a worker replaying a round it
+    /// had already entered before being lost.
+    skip_enter: Vec<bool>,
+    /// Per-worker bitmask of shards whose gradient was counted into
+    /// `grads_received` this round but not yet consumed by a release —
+    /// what must be un-counted if the worker is dropped mid-round.
+    grad_bits: Vec<u64>,
+    /// Shards whose aggregation was released this round.
+    agg_started: Vec<bool>,
+    /// Gradients actually aggregated this round (effective batch after
+    /// worker drops); 0 until the first shard release of the round.
+    round_contrib: u32,
 }
 
 impl JobRt {
@@ -284,6 +392,12 @@ impl JobRt {
         } else {
             self.placement.extra_ps_hosts[s as usize - 1]
         }
+    }
+
+    /// Gradients a shard must collect before aggregating this round
+    /// (the effective quorum after dropped workers).
+    fn expected_grads(&self) -> u32 {
+        self.spec.num_workers - self.lost_count
     }
 
     /// Bytes of one shard's model/gradient slice (shard 0 takes the
@@ -321,6 +435,13 @@ struct Sim<'a> {
     done_count: usize,
     telemetry: Telemetry,
     metrics_prev: Option<ResourceSnapshot>,
+    /// Compiled fault timeline; `Ev::Fault(i)` indexes into it.
+    timeline: Vec<TimedFault>,
+    host_down: Vec<bool>,
+    /// The tlsd control plane is unreachable: bands freeze.
+    ctrl_outage: bool,
+    /// Displaced work awaiting retry; `Ev::Retry(i)` indexes into it.
+    retries: Vec<RetryState>,
 }
 
 /// How a [`Simulation`] holds its policy: borrowed from the caller or owned
@@ -421,10 +542,36 @@ impl<'p> Simulation<'p> {
         self
     }
 
+    /// Inject `plan` during the run (overrides `cfg.faults`).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = plan;
+        self
+    }
+
+    /// Retry policy for fault-displaced work (overrides `cfg.retry`).
+    pub fn retry(mut self, retry: RetryConfig) -> Self {
+        self.cfg.retry = retry;
+        self
+    }
+
+    /// Barrier behavior on worker loss (overrides `cfg.barrier_loss`).
+    pub fn barrier_loss(mut self, policy: BarrierLossPolicy) -> Self {
+        self.cfg.barrier_loss = policy;
+        self
+    }
+
     /// Run the simulation to completion (or the configured horizon).
     ///
     /// Panics if no jobs were added or a setup is inconsistent.
     pub fn run(self) -> SimOutput {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`run`](Simulation::run), but surfaces engine bookkeeping
+    /// inconsistencies as a typed [`SimError`] instead of panicking.
+    /// Configuration errors (no jobs, bad placement, invalid fault plan)
+    /// still panic: those are caller bugs, not runtime conditions.
+    pub fn try_run(self) -> Result<SimOutput, SimError> {
         let Simulation {
             cfg,
             setups,
@@ -445,10 +592,14 @@ pub fn run_simulation(
     setups: Vec<JobSetup>,
     policy: &mut dyn PriorityPolicy,
 ) -> SimOutput {
-    run_inner(cfg, setups, policy)
+    run_inner(cfg, setups, policy).unwrap_or_else(|e| panic!("{e}"))
 }
 
-fn run_inner(cfg: SimConfig, setups: Vec<JobSetup>, policy: &mut dyn PriorityPolicy) -> SimOutput {
+fn run_inner(
+    cfg: SimConfig,
+    setups: Vec<JobSetup>,
+    policy: &mut dyn PriorityPolicy,
+) -> Result<SimOutput, SimError> {
     assert!(!setups.is_empty(), "no jobs to simulate");
     let num_hosts = setups
         .iter()
@@ -490,6 +641,13 @@ fn run_inner(cfg: SimConfig, setups: Vec<JobSetup>, policy: &mut dyn PriorityPol
         assert!(!dt.is_zero(), "metrics interval must be positive");
         queue.schedule(SimTime::ZERO + dt, Ev::MetricsSample);
     }
+    let timeline = cfg
+        .faults
+        .compile(num_hosts as u32, setups.len() as u32)
+        .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
+    for (i, tf) in timeline.iter().enumerate() {
+        queue.schedule(tf.at, Ev::Fault(i));
+    }
 
     let telemetry = Telemetry::from_config(TelemetryConfig {
         events: cfg.trace,
@@ -509,6 +667,7 @@ fn run_inner(cfg: SimConfig, setups: Vec<JobSetup>, policy: &mut dyn PriorityPol
                     s.spec.id
                 );
             }
+            assert!(shards <= 64, "{}: more than 64 PS shards", s.spec.id);
             JobRt {
                 tracker: BarrierTracker::with_telemetry(
                     workers as usize,
@@ -521,6 +680,15 @@ fn run_inner(cfg: SimConfig, setups: Vec<JobSetup>, policy: &mut dyn PriorityPol
                 async_done_workers: 0,
                 grads_received: vec![0; shards],
                 worker_shards_recv: vec![0; workers as usize],
+                ps_down: false,
+                lost: vec![false; workers as usize],
+                lost_count: 0,
+                rejoin_pending: vec![false; workers as usize],
+                skip_exit: vec![false; workers as usize],
+                skip_enter: vec![false; workers as usize],
+                grad_bits: vec![0; workers as usize],
+                agg_started: vec![false; shards],
+                round_contrib: 0,
                 spec: s.spec,
                 placement: s.placement,
                 launched: false,
@@ -557,12 +725,16 @@ fn run_inner(cfg: SimConfig, setups: Vec<JobSetup>, policy: &mut dyn PriorityPol
         done_count: 0,
         telemetry,
         metrics_prev: None,
+        timeline,
+        host_down: vec![false; num_hosts],
+        ctrl_outage: false,
+        retries: Vec::new(),
     };
     sim.run()
 }
 
 impl<'a> Sim<'a> {
-    fn run(mut self) -> SimOutput {
+    fn run(mut self) -> Result<SimOutput, SimError> {
         let window_configured = self.cfg.active_window.is_some();
         let mut end_time = SimTime::ZERO;
         while let Some((t, ev)) = self.queue.pop() {
@@ -573,9 +745,11 @@ impl<'a> Sim<'a> {
             end_time = t;
             match ev {
                 Ev::Launch(j) => self.on_launch(t, j),
-                Ev::NetWake => self.on_net_wake(t),
-                Ev::CpuWake => self.on_cpu_wake(t),
+                Ev::NetWake => self.on_net_wake(t)?,
+                Ev::CpuWake => self.on_cpu_wake(t)?,
                 Ev::PolicyUpdate => self.refresh_policy(t),
+                Ev::Fault(i) => self.on_fault(t, i),
+                Ev::Retry(i) => self.on_retry(t, i),
                 Ev::SnapshotStart => {
                     self.net.advance(t);
                     self.cpu.advance(t);
@@ -607,7 +781,7 @@ impl<'a> Sim<'a> {
             _ => None,
         };
         let events = self.queue.events_processed();
-        SimOutput {
+        Ok(SimOutput {
             samples: self.samples,
             jobs: self
                 .jobs
@@ -629,7 +803,7 @@ impl<'a> Sim<'a> {
             events,
             alloc_stats: self.net.alloc_stats(),
             telemetry: self.telemetry.take_output(),
-        }
+        })
     }
 
     // ---- event handlers ------------------------------------------------
@@ -642,13 +816,13 @@ impl<'a> Sim<'a> {
         self.send_model_updates(now, j, None);
     }
 
-    fn on_net_wake(&mut self, now: SimTime) {
+    fn on_net_wake(&mut self, now: SimTime) -> Result<(), SimError> {
         let completions = self.net.take_completions(now);
         for c in completions {
             let ctx = self
                 .flows
                 .remove(&c.id)
-                .expect("completed flow has a context");
+                .ok_or(SimError::MissingFlowContext { flow: c.id, at: now })?;
             match ctx.kind {
                 FlowKind::ModelUpdate { round, .. } => self.on_model_delivered(now, ctx, round),
                 FlowKind::GradUpdate { round, shard } => {
@@ -656,15 +830,16 @@ impl<'a> Sim<'a> {
                 }
             }
         }
+        Ok(())
     }
 
-    fn on_cpu_wake(&mut self, now: SimTime) {
+    fn on_cpu_wake(&mut self, now: SimTime) -> Result<(), SimError> {
         let completions = self.cpu.take_completions(now);
         for c in completions {
             let ctx = self
                 .tasks
                 .remove(&c.id)
-                .expect("completed task has a context");
+                .ok_or(SimError::MissingTaskContext { task: c.id, at: now })?;
             match ctx.kind {
                 TaskKind::WorkerStep { worker, round } => {
                     self.on_step_computed(now, ctx.job, worker, round)
@@ -673,6 +848,7 @@ impl<'a> Sim<'a> {
                 TaskKind::PsAsyncApply { worker } => self.on_async_applied(now, ctx.job, worker),
             }
         }
+        Ok(())
     }
 
     // ---- synchronous state machine -------------------------------------
@@ -688,7 +864,10 @@ impl<'a> Sim<'a> {
             let mut ctxs = Vec::new();
             let workers: Vec<u32> = match only_worker {
                 Some(w) => vec![w],
-                None => (0..job.spec.num_workers).collect(),
+                // Dropped workers get no model until they rejoin.
+                None => (0..job.spec.num_workers)
+                    .filter(|&w| !job.lost[w as usize])
+                    .collect(),
             };
             for shard in 0..job.num_shards() {
                 let src = job.shard_host(shard);
@@ -712,6 +891,10 @@ impl<'a> Sim<'a> {
             (specs, ctxs)
         };
         for (spec, ctx) in specs.into_iter().zip(ctxs) {
+            if self.flow_blocked(&ctx) {
+                self.queue_retry(now, PendingWork::Flow(ctx));
+                continue;
+            }
             let id = match self.cfg.model_update_rate_cap {
                 Some(cap) => self.net.start_flow_with_cap(now, spec, cap),
                 None => self.net.start_flow(now, spec),
@@ -725,7 +908,7 @@ impl<'a> Sim<'a> {
     fn on_model_delivered(&mut self, now: SimTime, ctx: FlowCtx, round: u64) {
         let j = ctx.job;
         let w = ctx.worker;
-        let (demand, cap, host) = {
+        let (demand, cap) = {
             let job = &mut self.jobs[j];
             job.worker_shards_recv[w as usize] += 1;
             if job.worker_shards_recv[w as usize] < job.num_shards() {
@@ -735,7 +918,13 @@ impl<'a> Sim<'a> {
             match job.spec.mode {
                 TrainingMode::Synchronous => {
                     if round > 0 {
-                        job.tracker.record_exit(w as usize, now, round - 1);
+                        if job.skip_exit[w as usize] {
+                            // Rejoining worker: it never entered the
+                            // barrier this delivery would exit.
+                            job.skip_exit[w as usize] = false;
+                        } else {
+                            job.tracker.record_exit(w as usize, now, round - 1);
+                        }
                     }
                 }
                 TrainingMode::Asynchronous => {
@@ -749,15 +938,12 @@ impl<'a> Sim<'a> {
                 &job.spec.model,
                 job.spec.local_batch_size,
             );
-            (
-                demand,
-                self.cfg.compute.worker_parallelism,
-                job.placement.worker_hosts[w as usize].0 as usize,
-            )
+            (demand, self.cfg.compute.worker_parallelism)
         };
-        let id = self.cpu.start_task(now, host, demand, cap, j as u64);
-        self.tasks.insert(
-            id,
+        self.dispatch_task(
+            now,
+            demand,
+            cap,
             TaskCtx {
                 job: j,
                 kind: TaskKind::WorkerStep { worker: w, round },
@@ -772,7 +958,13 @@ impl<'a> Sim<'a> {
             let job = &mut self.jobs[j];
             match job.spec.mode {
                 TrainingMode::Synchronous => {
-                    job.tracker.record_enter(w as usize, now, round);
+                    if job.skip_enter[w as usize] {
+                        // Rejoined worker replaying a round it already
+                        // entered before its host crashed.
+                        job.skip_enter[w as usize] = false;
+                    } else {
+                        job.tracker.record_enter(w as usize, now, round);
+                    }
                 }
                 TrainingMode::Asynchronous => {
                     job.async_pending_wait[w as usize] = Some(now);
@@ -797,15 +989,17 @@ impl<'a> Sim<'a> {
                 .collect()
         };
         for (spec, shard) in specs {
+            let ctx = FlowCtx {
+                job: j,
+                worker: w,
+                kind: FlowKind::GradUpdate { round, shard },
+            };
+            if self.flow_blocked(&ctx) {
+                self.queue_retry(now, PendingWork::Flow(ctx));
+                continue;
+            }
             let id = self.net.start_flow(now, spec);
-            self.flows.insert(
-                id,
-                FlowCtx {
-                    job: j,
-                    worker: w,
-                    kind: FlowKind::GradUpdate { round, shard },
-                },
-            );
+            self.flows.insert(id, ctx);
         }
     }
 
@@ -816,26 +1010,8 @@ impl<'a> Sim<'a> {
         match job.spec.mode {
             TrainingMode::Synchronous => {
                 job.grads_received[shard as usize] += 1;
-                if job.grads_received[shard as usize] == job.spec.num_workers {
-                    job.grads_received[shard as usize] = 0;
-                    // The shard aggregates its slice of every gradient.
-                    let demand = (self
-                        .cfg
-                        .compute
-                        .ps_aggregate_core_secs(&job.spec.model, job.spec.num_workers)
-                        / job.num_shards() as f64)
-                        .max(1e-6);
-                    let host = job.shard_host(shard).0 as usize;
-                    let cap = self.cfg.compute.ps_parallelism;
-                    let id = self.cpu.start_task(now, host, demand, cap, j as u64);
-                    self.tasks.insert(
-                        id,
-                        TaskCtx {
-                            job: j,
-                            kind: TaskKind::PsAggregate { shard },
-                        },
-                    );
-                }
+                job.grad_bits[ctx.worker as usize] |= 1 << shard;
+                self.maybe_release_shard(now, j, shard);
             }
             TrainingMode::Asynchronous => {
                 let demand = (self
@@ -844,11 +1020,11 @@ impl<'a> Sim<'a> {
                     .ps_aggregate_core_secs(&job.spec.model, job.spec.num_workers)
                     / job.spec.num_workers as f64)
                     .max(1e-6);
-                let host = job.placement.ps_host.0 as usize;
                 let cap = self.cfg.compute.ps_parallelism;
-                let id = self.cpu.start_task(now, host, demand, cap, j as u64);
-                self.tasks.insert(
-                    id,
+                self.dispatch_task(
+                    now,
+                    demand,
+                    cap,
                     TaskCtx {
                         job: j,
                         kind: TaskKind::PsAsyncApply { worker: ctx.worker },
@@ -856,6 +1032,48 @@ impl<'a> Sim<'a> {
                 );
             }
         }
+    }
+
+    /// Release PS shard `shard`'s aggregation if its gradient quorum —
+    /// `num_workers` minus dropped workers — is met and it has not
+    /// already aggregated this round.
+    fn maybe_release_shard(&mut self, now: SimTime, j: usize, shard: u32) {
+        let (demand, cap) = {
+            let job = &mut self.jobs[j];
+            let expected = job.expected_grads();
+            if job.agg_started[shard as usize]
+                || expected == 0
+                || job.grads_received[shard as usize] < expected
+            {
+                return;
+            }
+            let count = job.grads_received[shard as usize];
+            job.grads_received[shard as usize] = 0;
+            job.agg_started[shard as usize] = true;
+            job.round_contrib = job.round_contrib.max(count);
+            // These gradients are consumed: a later worker drop must not
+            // un-count them.
+            for bits in job.grad_bits.iter_mut() {
+                *bits &= !(1 << shard);
+            }
+            // The shard aggregates its slice of every collected gradient.
+            let demand = (self
+                .cfg
+                .compute
+                .ps_aggregate_core_secs(&job.spec.model, job.spec.num_workers)
+                / job.num_shards() as f64)
+                .max(1e-6);
+            (demand, self.cfg.compute.ps_parallelism)
+        };
+        self.dispatch_task(
+            now,
+            demand,
+            cap,
+            TaskCtx {
+                job: j,
+                kind: TaskKind::PsAggregate { shard },
+            },
+        );
     }
 
     /// A PS shard finished aggregating. When every shard is done the
@@ -869,13 +1087,38 @@ impl<'a> Sim<'a> {
                 return;
             }
             job.shards_aggregated = 0;
-            job.global_steps += job.spec.num_workers as u64;
+            for started in job.agg_started.iter_mut() {
+                *started = false;
+            }
+            // The effective batch of this iteration: gradients actually
+            // aggregated (reduced while workers are dropped).
+            job.global_steps += job.round_contrib as u64;
+            job.round_contrib = 0;
             job.iterations += 1;
             job.global_steps >= job.spec.target_global_steps
         };
         if finished {
             self.complete_job(now, j);
         } else {
+            // Round boundary: recovered workers rejoin here.
+            let rejoins: Vec<usize> = {
+                let job = &self.jobs[j];
+                (0..job.spec.num_workers as usize)
+                    .filter(|&w| {
+                        job.rejoin_pending[w]
+                            && !self.host_down[job.placement.worker_hosts[w].0 as usize]
+                    })
+                    .collect()
+            };
+            for w in rejoins {
+                let job = &mut self.jobs[j];
+                job.rejoin_pending[w] = false;
+                job.lost[w] = false;
+                job.lost_count -= 1;
+                job.worker_shards_recv[w] = 0;
+                // The rejoin model delivery exits no barrier.
+                job.skip_exit[w] = true;
+            }
             self.jobs[j].round += 1;
             self.send_model_updates(now, j, None);
         }
@@ -980,6 +1223,19 @@ impl<'a> Sim<'a> {
     // ---- policy plumbing ------------------------------------------------
 
     fn refresh_policy(&mut self, now: SimTime) {
+        if self.ctrl_outage {
+            // tlsd is unreachable: the deployed band map freezes (no
+            // assign, no tc pushes), but the tick stays armed so rotation
+            // resumes the instant the outage ends.
+            if let Some(h) = self.policy_wake.take() {
+                self.queue.cancel(h);
+            }
+            if let Some(t) = self.policy.next_update(now) {
+                debug_assert!(t > now, "policy next_update must be in the future");
+                self.policy_wake = Some(self.queue.schedule(t, Ev::PolicyUpdate));
+            }
+            return;
+        }
         let infos: Vec<JobTrafficInfo> = self
             .jobs
             .iter()
@@ -1013,6 +1269,491 @@ impl<'a> Sim<'a> {
         if let Some(t) = self.policy.next_update(now) {
             debug_assert!(t > now, "policy next_update must be in the future");
             self.policy_wake = Some(self.queue.schedule(t, Ev::PolicyUpdate));
+        }
+    }
+
+    // ---- fault injection and recovery ----------------------------------
+
+    fn on_fault(&mut self, now: SimTime, i: usize) {
+        match self.timeline[i].action {
+            FaultAction::HostDown { host } => self.on_host_down(now, host),
+            FaultAction::HostUp { host } => self.on_host_up(now, host),
+            FaultAction::NicCapacity { host, factor } => {
+                let cap = Bandwidth::from_bytes_per_sec(self.cfg.link.bytes_per_sec() * factor);
+                self.net.set_host_capacity(now, HostId(host), cap, cap);
+                self.emit_capacity_event(now, "nic_degrade", host, factor);
+            }
+            FaultAction::ComputeCapacity { host, factor } => {
+                let n = self.net.topology().num_hosts();
+                let base = self.cfg.host_specs(n)[host as usize].cores;
+                self.cpu.set_host_cores(now, host as usize, base * factor);
+                self.emit_capacity_event(now, "compute_slowdown", host, factor);
+            }
+            FaultAction::PsDown { job } => self.on_ps_down(now, job as usize),
+            FaultAction::PsUp { job } => {
+                self.jobs[job as usize].ps_down = false;
+                self.telemetry.emit_with(now, || SimEvent::FaultRecovered {
+                    fault: "ps_failure",
+                    target: job as u64,
+                });
+            }
+            FaultAction::CtrlOutageStart => {
+                self.ctrl_outage = true;
+                self.telemetry.emit_with(now, || SimEvent::FaultInjected {
+                    fault: "ctrl_outage",
+                    target: 0,
+                });
+            }
+            FaultAction::CtrlStale => self.on_ctrl_stale(now),
+            FaultAction::CtrlOutageEnd => {
+                self.ctrl_outage = false;
+                self.telemetry.emit_with(now, || SimEvent::FaultRecovered {
+                    fault: "ctrl_outage",
+                    target: 0,
+                });
+                // Re-sync: rebuild band state from the live job set.
+                self.refresh_policy(now);
+            }
+        }
+    }
+
+    fn emit_capacity_event(&mut self, now: SimTime, fault: &'static str, host: u32, factor: f64) {
+        if factor < 1.0 {
+            self.telemetry.emit_with(now, || SimEvent::FaultInjected {
+                fault,
+                target: host as u64,
+            });
+        } else {
+            self.telemetry.emit_with(now, || SimEvent::FaultRecovered {
+                fault,
+                target: host as u64,
+            });
+        }
+    }
+
+    fn on_host_down(&mut self, now: SimTime, h: u32) {
+        self.host_down[h as usize] = true;
+        self.telemetry.emit_with(now, || SimEvent::FaultInjected {
+            fault: "host_crash",
+            target: h as u64,
+        });
+        let hid = HostId(h);
+        // In-flight work touching the host is lost (partial bytes are not
+        // resumed — the transfer restarts from scratch on retry).
+        let flows = self
+            .net
+            .abort_flows_where(now, |_, spec| spec.src == hid || spec.dst == hid);
+        for (id, _tag) in flows {
+            if let Some(ctx) = self.flows.remove(&id) {
+                self.route_aborted(now, PendingWork::Flow(ctx));
+            }
+        }
+        let tasks = self
+            .cpu
+            .abort_tasks_where(now, |_, host, _| host == h as usize);
+        for (id, _tag) in tasks {
+            if let Some(ctx) = self.tasks.remove(&id) {
+                self.route_aborted(now, PendingWork::Task(ctx));
+            }
+        }
+        // Under DropAndContinue every synchronous worker on the host
+        // leaves its barrier; under StallUntilRecovery the queued retries
+        // hold the job until the host returns.
+        if self.cfg.barrier_loss == BarrierLossPolicy::DropAndContinue {
+            for j in 0..self.jobs.len() {
+                let ws: Vec<usize> = {
+                    let job = &self.jobs[j];
+                    if !matches!(job.spec.mode, TrainingMode::Synchronous)
+                        || !job.launched
+                        || job.done()
+                    {
+                        continue;
+                    }
+                    (0..job.spec.num_workers as usize)
+                        .filter(|&w| job.placement.worker_hosts[w] == hid)
+                        .collect()
+                };
+                for w in ws {
+                    if self.jobs[j].rejoin_pending[w] {
+                        // Was awaiting rejoin; its host just died again.
+                        self.jobs[j].rejoin_pending[w] = false;
+                    } else if !self.jobs[j].lost[w] {
+                        self.mark_worker_lost(now, j, w);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_host_up(&mut self, now: SimTime, h: u32) {
+        self.host_down[h as usize] = false;
+        self.telemetry.emit_with(now, || SimEvent::FaultRecovered {
+            fault: "host_crash",
+            target: h as u64,
+        });
+        let hid = HostId(h);
+        // Dropped workers on this host rejoin at the next round boundary;
+        // stalled work simply lands on its next retry tick.
+        for j in 0..self.jobs.len() {
+            let mut any = false;
+            {
+                let job = &mut self.jobs[j];
+                for w in 0..job.spec.num_workers as usize {
+                    if job.lost[w] && !job.rejoin_pending[w] && job.placement.worker_hosts[w] == hid
+                    {
+                        job.rejoin_pending[w] = true;
+                        any = true;
+                    }
+                }
+            }
+            if any {
+                self.try_immediate_rejoin(now, j);
+            }
+        }
+    }
+
+    /// Dropped workers normally rejoin at a round boundary, but a job
+    /// whose every worker is lost commits no more rounds. If the job is
+    /// completely idle when a host returns, rejoin immediately instead of
+    /// deadlocking.
+    fn try_immediate_rejoin(&mut self, now: SimTime, j: usize) {
+        {
+            let job = &self.jobs[j];
+            if !job.launched || job.done() || !job.rejoin_pending.iter().any(|&p| p) {
+                return;
+            }
+        }
+        if self.flows.values().any(|c| c.job == j)
+            || self.tasks.values().any(|c| c.job == j)
+            || self.retries.iter().any(|r| !r.done && r.work.job() == j)
+        {
+            return; // in-flight work will carry the job to a boundary
+        }
+        let rejoins: Vec<usize> = {
+            let job = &self.jobs[j];
+            (0..job.spec.num_workers as usize)
+                .filter(|&w| job.rejoin_pending[w])
+                .collect()
+        };
+        for w in rejoins {
+            let round = {
+                let job = &mut self.jobs[j];
+                job.rejoin_pending[w] = false;
+                job.lost[w] = false;
+                job.lost_count -= 1;
+                job.worker_shards_recv[w] = 0;
+                job.skip_exit[w] = job.round > 0;
+                job.round
+            };
+            // If the worker had already entered the current round's
+            // barrier before being lost, its replayed step must not
+            // enter again.
+            let entered = self.jobs[j].tracker.has_entered(w, round);
+            self.jobs[j].skip_enter[w] = entered;
+            self.send_model_updates(now, j, Some(w as u32));
+        }
+    }
+
+    fn mark_worker_lost(&mut self, now: SimTime, j: usize, w: usize) {
+        let num_shards = {
+            let job = &mut self.jobs[j];
+            job.lost[w] = true;
+            job.lost_count += 1;
+            job.worker_shards_recv[w] = 0;
+            // Un-count its gradients not yet consumed by a shard release.
+            let bits = job.grad_bits[w];
+            job.grad_bits[w] = 0;
+            for s in 0..job.num_shards() {
+                if bits & (1 << s) != 0 {
+                    job.grads_received[s as usize] -= 1;
+                }
+            }
+            job.num_shards()
+        };
+        self.telemetry.emit_with(now, || SimEvent::WorkerLost {
+            job: j as u64,
+            worker: w as u32,
+        });
+        // The reduced quorum may already be satisfied.
+        for s in 0..num_shards {
+            self.maybe_release_shard(now, j, s);
+        }
+    }
+
+    fn on_ps_down(&mut self, now: SimTime, j: usize) {
+        self.jobs[j].ps_down = true;
+        self.telemetry.emit_with(now, || SimEvent::FaultInjected {
+            fault: "ps_failure",
+            target: j as u64,
+        });
+        // Every flow of the job has the PS on one end; abort them and any
+        // PS-side compute, then retry against the warm-restarted process.
+        // Worker-local compute is unaffected.
+        let t_model = j as u64;
+        let t_grad = GRAD_TAG_BASE | j as u64;
+        let flows = self
+            .net
+            .abort_flows_where(now, |_, spec| spec.tag == t_model || spec.tag == t_grad);
+        for (id, _tag) in flows {
+            if let Some(ctx) = self.flows.remove(&id) {
+                self.queue_retry(now, PendingWork::Flow(ctx));
+            }
+        }
+        let tasks_map = &self.tasks;
+        let tasks = self.cpu.abort_tasks_where(now, |id, _, tag| {
+            tag == t_model
+                && matches!(
+                    tasks_map.get(&id).map(|c| c.kind),
+                    Some(TaskKind::PsAggregate { .. } | TaskKind::PsAsyncApply { .. })
+                )
+        });
+        for (id, _tag) in tasks {
+            if let Some(ctx) = self.tasks.remove(&id) {
+                self.queue_retry(now, PendingWork::Task(ctx));
+            }
+        }
+    }
+
+    /// The frozen band map has outlived its trust: degrade gracefully to
+    /// FIFO (every flow in the default band) until the outage ends.
+    fn on_ctrl_stale(&mut self, now: SimTime) {
+        if !self.ctrl_outage {
+            return;
+        }
+        self.assignment = Assignment::default();
+        let tags: Vec<u64> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, job)| job.launched && !job.done())
+            .map(|(i, _)| i as u64)
+            .collect();
+        for &tag in &tags {
+            let band = self.assignment.band_of(tag);
+            self.net.set_band_for_tag(now, tag, band);
+            self.net.set_band_for_tag(now, GRAD_TAG_BASE | tag, band);
+        }
+        self.telemetry.emit_with(now, || SimEvent::DegradedToFifo {
+            jobs: tags.len() as u64,
+        });
+    }
+
+    // ---- retry machinery ------------------------------------------------
+
+    /// True if one of the flow's endpoints (worker host, PS shard host,
+    /// or the PS process itself) is currently down.
+    fn flow_blocked(&self, ctx: &FlowCtx) -> bool {
+        let job = &self.jobs[ctx.job];
+        let shard = match ctx.kind {
+            FlowKind::ModelUpdate { shard, .. } | FlowKind::GradUpdate { shard, .. } => shard,
+        };
+        job.ps_down
+            || self.host_down[job.shard_host(shard).0 as usize]
+            || self.host_down[job.placement.worker_hosts[ctx.worker as usize].0 as usize]
+    }
+
+    fn task_blocked(&self, ctx: &TaskCtx) -> bool {
+        let job = &self.jobs[ctx.job];
+        match ctx.kind {
+            TaskKind::WorkerStep { worker, .. } => {
+                self.host_down[job.placement.worker_hosts[worker as usize].0 as usize]
+            }
+            TaskKind::PsAggregate { shard } => {
+                job.ps_down || self.host_down[job.shard_host(shard).0 as usize]
+            }
+            TaskKind::PsAsyncApply { .. } => {
+                job.ps_down || self.host_down[job.placement.ps_host.0 as usize]
+            }
+        }
+    }
+
+    fn task_host(&self, ctx: &TaskCtx) -> usize {
+        let job = &self.jobs[ctx.job];
+        match ctx.kind {
+            TaskKind::WorkerStep { worker, .. } => {
+                job.placement.worker_hosts[worker as usize].0 as usize
+            }
+            TaskKind::PsAggregate { shard } => job.shard_host(shard).0 as usize,
+            TaskKind::PsAsyncApply { .. } => job.placement.ps_host.0 as usize,
+        }
+    }
+
+    /// Start `ctx`'s compute, or queue a retry if its host/PS is down.
+    fn dispatch_task(&mut self, now: SimTime, demand: f64, cap: f64, ctx: TaskCtx) {
+        if self.task_blocked(&ctx) {
+            self.queue_retry(now, PendingWork::Task(ctx));
+            return;
+        }
+        let host = self.task_host(&ctx);
+        let id = self.cpu.start_task(now, host, demand, cap, ctx.job as u64);
+        self.tasks.insert(id, ctx);
+    }
+
+    /// Aborted work either retries (the default) or, for a synchronous
+    /// worker dropped from its barrier, is discarded — the rejoin path
+    /// re-issues it from scratch.
+    fn route_aborted(&mut self, now: SimTime, work: PendingWork) {
+        let drop_it = {
+            let job = &self.jobs[work.job()];
+            self.cfg.barrier_loss == BarrierLossPolicy::DropAndContinue
+                && matches!(job.spec.mode, TrainingMode::Synchronous)
+                && match work {
+                    PendingWork::Flow(c) => {
+                        self.host_down[job.placement.worker_hosts[c.worker as usize].0 as usize]
+                    }
+                    PendingWork::Task(TaskCtx {
+                        kind: TaskKind::WorkerStep { worker, .. },
+                        ..
+                    }) => self.host_down[job.placement.worker_hosts[worker as usize].0 as usize],
+                    PendingWork::Task(_) => false,
+                }
+        };
+        if !drop_it {
+            self.queue_retry(now, work);
+        }
+    }
+
+    fn queue_retry(&mut self, now: SimTime, work: PendingWork) {
+        let idx = self.retries.len();
+        self.retries.push(RetryState {
+            work,
+            attempt: 1,
+            done: false,
+        });
+        let delay = self.cfg.retry.delay_for_attempt(1);
+        self.queue.schedule(now + delay, Ev::Retry(idx));
+    }
+
+    fn on_retry(&mut self, now: SimTime, i: usize) {
+        if self.retries[i].done {
+            return;
+        }
+        let work = self.retries[i].work;
+        let j = work.job();
+        // Cancelled: the job finished, or the owning worker was dropped
+        // (its rejoin re-issues everything from scratch).
+        let cancelled = {
+            let job = &self.jobs[j];
+            job.done()
+                || match work {
+                    PendingWork::Flow(c) => job.lost[c.worker as usize],
+                    PendingWork::Task(TaskCtx {
+                        kind: TaskKind::WorkerStep { worker, .. },
+                        ..
+                    }) => job.lost[worker as usize],
+                    PendingWork::Task(_) => false,
+                }
+        };
+        if cancelled {
+            self.retries[i].done = true;
+            // This retry may have been the last in-flight item keeping a
+            // fully-lost job from its immediate rejoin.
+            self.try_immediate_rejoin(now, j);
+            return;
+        }
+        let blocked = match &work {
+            PendingWork::Flow(ctx) => self.flow_blocked(ctx),
+            PendingWork::Task(ctx) => self.task_blocked(ctx),
+        };
+        let attempt = self.retries[i].attempt;
+        let label = match work {
+            PendingWork::Flow(_) => "flow",
+            PendingWork::Task(_) => "task",
+        };
+        self.telemetry.emit_with(now, || SimEvent::RetryAttempt {
+            job: j as u64,
+            work: label,
+            attempt: attempt as u64,
+            resumed: !blocked,
+        });
+        if blocked {
+            self.retries[i].attempt += 1;
+            let delay = self.cfg.retry.delay_for_attempt(attempt + 1);
+            self.queue.schedule(now + delay, Ev::Retry(i));
+        } else {
+            self.retries[i].done = true;
+            self.resume_work(now, work);
+        }
+    }
+
+    /// Re-issue displaced work against current state: specs (bytes, band,
+    /// weight, compute demand) are rebuilt exactly as the original
+    /// dispatch path would build them now.
+    fn resume_work(&mut self, now: SimTime, work: PendingWork) {
+        match work {
+            PendingWork::Flow(ctx) => {
+                let j = ctx.job;
+                let spec = {
+                    let band = match ctx.kind {
+                        FlowKind::ModelUpdate { .. } => self.assignment.band_of(j as u64),
+                        FlowKind::GradUpdate { .. } => {
+                            let src = self.jobs[j].placement.worker_hosts[ctx.worker as usize];
+                            self.assignment.default_band_of(src)
+                        }
+                    };
+                    let job = &mut self.jobs[j];
+                    let weight = self.weight_noise.sample(&mut job.rng);
+                    match ctx.kind {
+                        FlowKind::ModelUpdate { shard, .. } => FlowSpec {
+                            src: job.shard_host(shard),
+                            dst: job.placement.worker_hosts[ctx.worker as usize],
+                            bytes: job.shard_bytes(shard),
+                            band,
+                            weight,
+                            tag: j as u64,
+                        },
+                        FlowKind::GradUpdate { shard, .. } => FlowSpec {
+                            src: job.placement.worker_hosts[ctx.worker as usize],
+                            dst: job.shard_host(shard),
+                            bytes: job.shard_bytes(shard),
+                            band,
+                            weight,
+                            tag: GRAD_TAG_BASE | j as u64,
+                        },
+                    }
+                };
+                let id = match (self.cfg.model_update_rate_cap, ctx.kind) {
+                    (Some(cap), FlowKind::ModelUpdate { .. }) => {
+                        self.net.start_flow_with_cap(now, spec, cap)
+                    }
+                    _ => self.net.start_flow(now, spec),
+                };
+                self.flows.insert(id, ctx);
+            }
+            PendingWork::Task(ctx) => {
+                let (demand, cap) = {
+                    let job = &mut self.jobs[ctx.job];
+                    match ctx.kind {
+                        TaskKind::WorkerStep { .. } => (
+                            self.cfg.compute.sample_step_core_secs(
+                                &mut job.rng,
+                                &job.spec.model,
+                                job.spec.local_batch_size,
+                            ),
+                            self.cfg.compute.worker_parallelism,
+                        ),
+                        TaskKind::PsAggregate { .. } => (
+                            (self
+                                .cfg
+                                .compute
+                                .ps_aggregate_core_secs(&job.spec.model, job.spec.num_workers)
+                                / job.num_shards() as f64)
+                                .max(1e-6),
+                            self.cfg.compute.ps_parallelism,
+                        ),
+                        TaskKind::PsAsyncApply { .. } => (
+                            (self
+                                .cfg
+                                .compute
+                                .ps_aggregate_core_secs(&job.spec.model, job.spec.num_workers)
+                                / job.spec.num_workers as f64)
+                                .max(1e-6),
+                            self.cfg.compute.ps_parallelism,
+                        ),
+                    }
+                };
+                self.dispatch_task(now, demand, cap, ctx);
+            }
         }
     }
 
@@ -1745,6 +2486,15 @@ mod shard_tests {
             async_remaining: vec![1],
             async_pending_wait: vec![None],
             async_done_workers: 0,
+            ps_down: false,
+            lost: vec![false; 1],
+            lost_count: 0,
+            rejoin_pending: vec![false; 1],
+            skip_exit: vec![false; 1],
+            skip_enter: vec![false; 1],
+            grad_bits: vec![0; 1],
+            agg_started: vec![false; 3],
+            round_contrib: 0,
         };
         let total: f64 = (0..3).map(|s| job.shard_bytes(s)).sum();
         assert_eq!(total, 7.0, "slices cover every byte");
@@ -1761,5 +2511,240 @@ mod shard_tests {
             .jobs(setups)
             .policy_ref(&mut policy)
             .run();
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::model::ModelSpec;
+    use tensorlights::{FifoPolicy, JobOrdering, TlsOne};
+    use tl_faults::FaultSpec;
+    use tl_net::HostId;
+
+    /// Two synchronous 3-worker jobs on 4 hosts, PSes colocated on host 0.
+    fn jobs2(iter_target: u64) -> Vec<JobSetup> {
+        (0..2u32)
+            .map(|id| JobSetup {
+                spec: JobSpec {
+                    id: JobId(id),
+                    model: ModelSpec::synthetic_mb(20),
+                    num_workers: 3,
+                    local_batch_size: 4,
+                    target_global_steps: iter_target * 3,
+                    mode: TrainingMode::Synchronous,
+                    launch_time: SimTime::from_millis(100 * id as u64),
+                    ps_port: 2222 + id as u16,
+                },
+                placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2), HostId(3)]),
+            })
+            .collect()
+    }
+
+    fn traced_cfg() -> SimConfig {
+        SimConfig {
+            compute: ComputeModel {
+                per_sample_core_secs: 0.01,
+                ..Default::default()
+            },
+            trace: true,
+            ..Default::default()
+        }
+    }
+
+    fn run_with(plan: FaultPlan, loss: BarrierLossPolicy) -> SimOutput {
+        let mut policy = FifoPolicy;
+        Simulation::new(traced_cfg())
+            .jobs(jobs2(10))
+            .policy_ref(&mut policy)
+            .faults(plan)
+            .barrier_loss(loss)
+            .run()
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        // With no faults scheduled, the fault machinery (including the
+        // barrier-loss knob) must not perturb the schedule at all.
+        let a = run_with(FaultPlan::default(), BarrierLossPolicy::StallUntilRecovery);
+        let b = run_with(FaultPlan::default(), BarrierLossPolicy::DropAndContinue);
+        assert!(a.all_complete() && b.all_complete());
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.completion, y.completion);
+        }
+        assert_eq!(a.events, b.events);
+        assert!(a.telemetry.events_of_kind("fault_injected").is_empty());
+        assert!(a.telemetry.events_of_kind("retry_attempt").is_empty());
+    }
+
+    #[test]
+    fn host_crash_stalls_until_recovery_then_completes() {
+        let base = run_with(FaultPlan::default(), BarrierLossPolicy::StallUntilRecovery);
+        let plan = FaultPlan {
+            faults: vec![FaultSpec::HostCrash {
+                host: 1,
+                at_secs: 0.5,
+                downtime_secs: 2.0,
+            }],
+        };
+        let out = run_with(plan, BarrierLossPolicy::StallUntilRecovery);
+        assert!(out.all_complete(), "stalled jobs finish after recovery");
+        assert_eq!(out.telemetry.events_of_kind("fault_injected").len(), 1);
+        assert_eq!(out.telemetry.events_of_kind("fault_recovered").len(), 1);
+        // The crash must actually have displaced in-flight work...
+        let retries = out.telemetry.events_of_kind("retry_attempt");
+        assert!(!retries.is_empty(), "displaced work retried");
+        // ...and under the stall policy no worker ever leaves its barrier.
+        assert!(out.telemetry.events_of_kind("worker_lost").is_empty());
+        assert!(
+            out.mean_jct_secs() > base.mean_jct_secs() + 1.0,
+            "a 2s stall must lengthen the JCT: {:.2}s vs {:.2}s",
+            out.mean_jct_secs(),
+            base.mean_jct_secs()
+        );
+    }
+
+    #[test]
+    fn host_crash_drop_policy_sheds_workers_and_completes() {
+        let plan = FaultPlan {
+            faults: vec![FaultSpec::HostCrash {
+                host: 1,
+                at_secs: 0.5,
+                downtime_secs: 2.0,
+            }],
+        };
+        let out = run_with(plan, BarrierLossPolicy::DropAndContinue);
+        assert!(out.all_complete());
+        let lost = out.telemetry.events_of_kind("worker_lost");
+        assert!(!lost.is_empty(), "workers on the crashed host are shed");
+        // Surviving quorum keeps committing rounds: each job still reaches
+        // its target step count (with more iterations at reduced batch).
+        for j in &out.jobs {
+            assert!(j.global_steps >= 30);
+            assert!(j.iterations >= 10, "reduced rounds contribute fewer steps");
+        }
+    }
+
+    #[test]
+    fn crash_of_unused_host_is_a_jct_noop() {
+        // Jobs only touch hosts 0..=3; host 4 exists because one placement
+        // names it but its job launches long after the fault window.
+        let mut setups = jobs2(10);
+        setups[1].spec.launch_time = SimTime::from_secs(500);
+        setups[1].placement =
+            JobPlacement::new(HostId(4), vec![HostId(1), HostId(2), HostId(3)]);
+        let mk = |plan: FaultPlan| {
+            let mut policy = FifoPolicy;
+            Simulation::new(traced_cfg())
+                .jobs(setups.clone())
+                .policy_ref(&mut policy)
+                .faults(plan)
+                .run()
+        };
+        let base = mk(FaultPlan::default());
+        let plan = FaultPlan {
+            faults: vec![FaultSpec::HostCrash {
+                host: 4,
+                at_secs: 0.5,
+                downtime_secs: 1.0,
+            }],
+        };
+        let out = mk(plan);
+        assert!(base.all_complete() && out.all_complete());
+        for (a, b) in base.jobs.iter().zip(&out.jobs) {
+            assert_eq!(a.completion, b.completion, "idle-host crash is free");
+        }
+        assert!(out.telemetry.events_of_kind("retry_attempt").is_empty());
+    }
+
+    #[test]
+    fn nic_degradation_lengthens_jct() {
+        let base = run_with(FaultPlan::default(), BarrierLossPolicy::StallUntilRecovery);
+        // Choke the PS host's NIC to 5% for the whole run.
+        let plan = FaultPlan {
+            faults: vec![FaultSpec::NicDegrade {
+                host: 0,
+                at_secs: 0.1,
+                duration_secs: 60.0,
+                factor: 0.05,
+            }],
+        };
+        let out = run_with(plan, BarrierLossPolicy::StallUntilRecovery);
+        assert!(out.all_complete());
+        assert!(
+            out.mean_jct_secs() > base.mean_jct_secs() * 1.3,
+            "20x slower distribution must hurt: {:.2}s vs {:.2}s",
+            out.mean_jct_secs(),
+            base.mean_jct_secs()
+        );
+    }
+
+    #[test]
+    fn ps_failure_retries_and_recovers() {
+        let base = run_with(FaultPlan::default(), BarrierLossPolicy::StallUntilRecovery);
+        let plan = FaultPlan {
+            faults: vec![FaultSpec::PsFailure {
+                job: 0,
+                at_secs: 0.5,
+                downtime_secs: 1.5,
+            }],
+        };
+        let out = run_with(plan, BarrierLossPolicy::StallUntilRecovery);
+        assert!(out.all_complete());
+        assert_eq!(out.telemetry.events_of_kind("fault_injected").len(), 1);
+        assert_eq!(out.telemetry.events_of_kind("fault_recovered").len(), 1);
+        assert!(!out.telemetry.events_of_kind("retry_attempt").is_empty());
+        let j0 = out.jobs[0].jct_secs().unwrap();
+        let b0 = base.jobs[0].jct_secs().unwrap();
+        assert!(j0 > b0 + 1.0, "PS outage stalls job 0: {j0:.2}s vs {b0:.2}s");
+    }
+
+    #[test]
+    fn ctrl_outage_degrades_to_fifo_and_resyncs() {
+        let mut tls = TlsOne::new(JobOrdering::ByArrival);
+        let plan = FaultPlan {
+            faults: vec![FaultSpec::CtrlOutage {
+                at_secs: 0.3,
+                duration_secs: 1.0,
+                stale_after_secs: Some(0.3),
+            }],
+        };
+        let out = Simulation::new(traced_cfg())
+            .jobs(jobs2(10))
+            .policy_ref(&mut tls)
+            .faults(plan)
+            .run();
+        assert!(out.all_complete(), "jobs survive the control outage");
+        assert_eq!(out.telemetry.events_of_kind("fault_injected").len(), 1);
+        assert_eq!(out.telemetry.events_of_kind("fault_recovered").len(), 1);
+        let degraded = out.telemetry.events_of_kind("degraded_to_fifo");
+        assert_eq!(degraded.len(), 1, "stale band map falls back to FIFO once");
+    }
+
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        let plan = FaultPlan {
+            faults: vec![
+                FaultSpec::HostCrash {
+                    host: 1,
+                    at_secs: 0.5,
+                    downtime_secs: 1.0,
+                },
+                FaultSpec::PsFailure {
+                    job: 1,
+                    at_secs: 0.8,
+                    downtime_secs: 0.5,
+                },
+            ],
+        };
+        let a = run_with(plan.clone(), BarrierLossPolicy::DropAndContinue);
+        let b = run_with(plan, BarrierLossPolicy::DropAndContinue);
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.completion, y.completion);
+            assert_eq!(x.global_steps, y.global_steps);
+        }
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.telemetry.events.len(), b.telemetry.events.len());
     }
 }

@@ -25,7 +25,8 @@ pub mod model;
 pub use compute::ComputeModel;
 #[allow(deprecated)]
 pub use engine::run_simulation;
-pub use engine::{JobResult, JobSetup, SimConfig, SimOutput, Simulation};
+pub use engine::{JobResult, JobSetup, SimConfig, SimError, SimOutput, Simulation};
+pub use tl_faults::{BarrierLossPolicy, FaultPlan, FaultSpec, RetryConfig};
 pub use job::{JobId, JobSpec, TrainingMode};
 pub use metrics::BarrierTracker;
 pub use model::ModelSpec;

@@ -98,6 +98,16 @@ impl BarrierTracker {
         });
     }
 
+    /// True if worker `w`'s entry into `barrier` has been recorded and the
+    /// barrier has not yet finalized. Fault-recovery bookkeeping: a worker
+    /// rejoining mid-round must not re-enter a barrier it already entered
+    /// before being lost.
+    pub fn has_entered(&self, w: usize, barrier: u64) -> bool {
+        self.pending
+            .get(&barrier)
+            .is_some_and(|a| a.enters[w].is_some())
+    }
+
     /// Worker `w` exited `barrier` at `t`. When the last worker exits, the
     /// barrier's statistics are finalized.
     pub fn record_exit(&mut self, w: usize, t: SimTime, barrier: u64) {

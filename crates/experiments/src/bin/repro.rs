@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2]
+//! repro [--experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations|faults|perf]
 //!       [--iterations N] [--full] [--seed S] [--csv DIR] [--json DIR]
 //!       [--trace-out PATH] [--metrics-out PATH] [--check-trace PATH]
 //! ```
@@ -26,7 +26,7 @@ use tl_experiments::ablations::{
     rate_control, rotation, sharded_ps, slow_host, timeline,
 };
 use tl_experiments::report::Table;
-use tl_experiments::{config::ExperimentConfig, fig2, fig3, fig4, fig5, fig6, table1, table2};
+use tl_experiments::{config::ExperimentConfig, faults, fig2, fig3, fig4, fig5, fig6, table1, table2};
 
 struct Args {
     experiment: String,
@@ -75,7 +75,7 @@ fn parse_args() -> Args {
                 println!(
                     "repro — regenerate the TensorLights paper's tables and figures\n\
                      \n\
-                     --experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations|perf\n\
+                     --experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations|faults|perf\n\
                      --iterations N   scaled iteration count (default 300)\n\
                      --full           paper scale (1500 iterations)\n\
                      --seed S         master seed\n\
@@ -324,6 +324,43 @@ fn main() {
             Some(r.summary()),
             serde_json::to_string_pretty(&r).expect("json"),
         );
+        ran += 1;
+    }
+
+    if args.experiment == "faults" {
+        // Robustness extension (not a paper figure): JCT under injected
+        // host/NIC/PS/control-plane faults, both barrier-loss policies.
+        use tl_dl::BarrierLossPolicy;
+        let intensities = [0.0, 0.5, 1.0, 2.0];
+        for loss in [
+            BarrierLossPolicy::StallUntilRecovery,
+            BarrierLossPolicy::DropAndContinue,
+        ] {
+            let r = faults::run(cfg, &intensities, loss);
+            for row in &r.rows {
+                assert_eq!(
+                    row.completed, 21,
+                    "faults: only {} of 21 jobs completed at intensity {} under {}",
+                    row.completed, row.intensity, row.policy
+                );
+            }
+            let name = match loss {
+                BarrierLossPolicy::StallUntilRecovery => "faults_stall",
+                BarrierLossPolicy::DropAndContinue => "faults_drop",
+            };
+            summaries.insert(name, r.summary());
+            emit(
+                &args,
+                name,
+                &r.table(),
+                Some(r.summary()),
+                serde_json::to_string_pretty(&r).expect("json"),
+            );
+        }
+        if let Some(path) = &args.trace_out {
+            let events = faults::telemetry_events(cfg, 2.0, BarrierLossPolicy::DropAndContinue);
+            write_events(path, &events);
+        }
         ran += 1;
     }
 

@@ -91,6 +91,9 @@ impl ExperimentConfig {
             metrics_interval: None,
             core_capacity: None,
             host_spec_overrides: Vec::new(),
+            faults: tl_dl::FaultPlan::default(),
+            retry: tl_dl::RetryConfig::default(),
+            barrier_loss: tl_dl::BarrierLossPolicy::default(),
         }
     }
 }

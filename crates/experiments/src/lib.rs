@@ -12,6 +12,7 @@
 pub mod ablations;
 pub mod charts;
 pub mod config;
+pub mod faults;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

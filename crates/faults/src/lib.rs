@@ -1,0 +1,791 @@
+//! Deterministic fault injection for the TensorLights simulation.
+//!
+//! Real clusters do not stay healthy: hosts crash and come back, NICs
+//! degrade and flap, parameter-server processes die, and the `tc`
+//! control plane (the paper's `tlsd`) misses rotation ticks or serves a
+//! stale band map. The paper's argument — that unlucky bandwidth
+//! sharing stalls synchronous-SGD barriers — only matters if the
+//! scheduling wins survive such conditions, so this crate provides a
+//! *declarative, seeded, fully deterministic* fault layer:
+//!
+//! * [`FaultSpec`] — one human-meaningful fault (crash window, NIC
+//!   degradation, link flap burst, compute slowdown, PS failure,
+//!   control-plane outage), timed in plain seconds so plans serialize
+//!   naturally;
+//! * [`FaultPlan`] — an ordered collection of specs, either hand-built
+//!   or drawn from a seed at a chosen intensity ([`FaultPlan::seeded`]);
+//! * [`FaultPlan::compile`] — validation plus expansion into a sorted
+//!   timeline of primitive [`FaultAction`]s the engine schedules as
+//!   ordinary simulation events.
+//!
+//! Recovery *policy* also lives here so every layer shares one
+//! vocabulary: [`RetryConfig`] (timeout + bounded exponential backoff
+//! for worker pull/push traffic) and [`BarrierLossPolicy`] (what a
+//! synchronous barrier does when a worker's host is down).
+//!
+//! Everything is plain data: the same plan compiled twice yields the
+//! same timeline, and the same seed yields the same plan — the
+//! engine's bit-reproducibility guarantee extends through failures.
+
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+use std::fmt;
+
+/// Floor for capacity-degradation factors. `Bandwidth` (and the CPU
+/// engine's core counts) must stay strictly positive, so a "down" link
+/// is modeled as this sliver of its nominal rate rather than zero —
+/// indistinguishable from an outage at simulation timescales.
+pub const MIN_CAPACITY_FACTOR: f64 = 1e-6;
+
+/// One declarative fault. Times are f64 seconds from simulation start
+/// (the engine converts to `SimTime`), which keeps plans trivially
+/// serializable and hand-writable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultSpec {
+    /// Host `host` crashes at `at_secs` and restarts `downtime_secs`
+    /// later. In-flight flows touching the host and tasks running on it
+    /// are aborted and retried per [`RetryConfig`].
+    HostCrash {
+        /// Host index.
+        host: u32,
+        /// Crash instant, seconds.
+        at_secs: f64,
+        /// Seconds until the host restarts.
+        downtime_secs: f64,
+    },
+    /// Host `host`'s NIC runs at `factor` × nominal capacity (both
+    /// directions) for `duration_secs`, then recovers.
+    NicDegrade {
+        /// Host index.
+        host: u32,
+        /// Onset, seconds.
+        at_secs: f64,
+        /// Degradation window length, seconds.
+        duration_secs: f64,
+        /// Capacity multiplier in (0, 1]; clamped up to
+        /// [`MIN_CAPACITY_FACTOR`].
+        factor: f64,
+    },
+    /// `flaps` consecutive down/up cycles of host `host`'s link,
+    /// starting at `at_secs`: down for `down_secs` (capacity pinned to
+    /// [`MIN_CAPACITY_FACTOR`]), then up for `up_secs`, repeated.
+    LinkFlap {
+        /// Host index.
+        host: u32,
+        /// First flap onset, seconds.
+        at_secs: f64,
+        /// Number of down/up cycles.
+        flaps: u32,
+        /// Down phase length, seconds.
+        down_secs: f64,
+        /// Up phase length between flaps, seconds.
+        up_secs: f64,
+    },
+    /// Host `host` computes at `factor` × nominal core count for
+    /// `duration_secs` (an overloaded / thermally-throttled machine —
+    /// the compute straggler the paper's NIC priorities cannot fix).
+    ComputeSlowdown {
+        /// Host index.
+        host: u32,
+        /// Onset, seconds.
+        at_secs: f64,
+        /// Window length, seconds.
+        duration_secs: f64,
+        /// Core-count multiplier in (0, 1]; clamped up to
+        /// [`MIN_CAPACITY_FACTOR`].
+        factor: f64,
+    },
+    /// Job `job`'s parameter-server process dies at `at_secs` and is
+    /// restarted (warm, state intact) `downtime_secs` later; traffic to
+    /// and from the PS retries per [`RetryConfig`] in the interim.
+    PsFailure {
+        /// Job index.
+        job: u32,
+        /// Failure instant, seconds.
+        at_secs: f64,
+        /// Seconds until the PS process is back.
+        downtime_secs: f64,
+    },
+    /// The tlsd control plane stops responding for `duration_secs`:
+    /// rotation ticks that fall inside the window are skipped (bands
+    /// freeze). If the outage outlives `stale_after_secs`, the stale
+    /// band map is declared untrustworthy and every job degrades to the
+    /// FIFO default band until the outage ends, at which point the
+    /// controller re-syncs from the registry.
+    CtrlOutage {
+        /// Onset, seconds.
+        at_secs: f64,
+        /// Outage length, seconds.
+        duration_secs: f64,
+        /// Optional staleness horizon; `None` means bands stay frozen
+        /// but trusted for the whole outage.
+        stale_after_secs: Option<f64>,
+    },
+}
+
+/// A declarative fault-injection plan: just an ordered list of specs.
+/// An empty plan is the default and costs nothing at simulation time.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The faults to inject.
+    pub faults: Vec<FaultSpec>,
+}
+
+/// A primitive, instantaneous state change the engine applies at one
+/// simulated instant. [`FaultPlan::compile`] expands each [`FaultSpec`]
+/// into one or more of these (e.g. a crash becomes `HostDown` +
+/// `HostUp`; a flap burst becomes alternating `NicCapacity` actions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Host goes down: abort its flows/tasks, queue retries.
+    HostDown {
+        /// Host index.
+        host: u32,
+    },
+    /// Host restarts: pending retries may now land.
+    HostUp {
+        /// Host index.
+        host: u32,
+    },
+    /// Set host NIC capacity to `factor` × nominal (1.0 restores).
+    NicCapacity {
+        /// Host index.
+        host: u32,
+        /// Capacity multiplier; ≥ [`MIN_CAPACITY_FACTOR`].
+        factor: f64,
+    },
+    /// Set host compute capacity to `factor` × nominal (1.0 restores).
+    ComputeCapacity {
+        /// Host index.
+        host: u32,
+        /// Core-count multiplier; ≥ [`MIN_CAPACITY_FACTOR`].
+        factor: f64,
+    },
+    /// Job's PS process dies (warm state preserved).
+    PsDown {
+        /// Job index.
+        job: u32,
+    },
+    /// Job's PS process is back.
+    PsUp {
+        /// Job index.
+        job: u32,
+    },
+    /// Control plane stops responding; rotations freeze.
+    CtrlOutageStart,
+    /// The frozen band map is now stale: degrade every job to the
+    /// default (FIFO) band.
+    CtrlStale,
+    /// Control plane is back; the engine re-syncs band state.
+    CtrlOutageEnd,
+}
+
+/// One scheduled primitive action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedFault {
+    /// When the action fires.
+    pub at: SimTime,
+    /// What happens.
+    pub action: FaultAction,
+    /// Index of the originating [`FaultSpec`] in the plan (for
+    /// telemetry and debugging).
+    pub spec_index: usize,
+}
+
+/// Why a [`FaultPlan`] failed to compile.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// A spec names a host ≥ the simulation's host count.
+    HostOutOfRange {
+        /// Offending spec index.
+        spec_index: usize,
+        /// The host named.
+        host: u32,
+        /// The simulation's host count.
+        num_hosts: u32,
+    },
+    /// A spec names a job ≥ the simulation's job count.
+    JobOutOfRange {
+        /// Offending spec index.
+        spec_index: usize,
+        /// The job named.
+        job: u32,
+        /// The simulation's job count.
+        num_jobs: u32,
+    },
+    /// A time or duration field is negative, NaN, or infinite.
+    InvalidTime {
+        /// Offending spec index.
+        spec_index: usize,
+        /// Which field.
+        field: &'static str,
+        /// The bad value.
+        value: f64,
+    },
+    /// A capacity factor is not in (0, 1].
+    InvalidFactor {
+        /// Offending spec index.
+        spec_index: usize,
+        /// The bad factor.
+        factor: f64,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultPlanError::HostOutOfRange {
+                spec_index,
+                host,
+                num_hosts,
+            } => write!(
+                f,
+                "fault #{spec_index}: host {host} out of range (cluster has {num_hosts} hosts)"
+            ),
+            FaultPlanError::JobOutOfRange {
+                spec_index,
+                job,
+                num_jobs,
+            } => write!(
+                f,
+                "fault #{spec_index}: job {job} out of range (simulation has {num_jobs} jobs)"
+            ),
+            FaultPlanError::InvalidTime {
+                spec_index,
+                field,
+                value,
+            } => write!(f, "fault #{spec_index}: {field} = {value} is not a valid non-negative finite time"),
+            FaultPlanError::InvalidFactor { spec_index, factor } => {
+                write!(f, "fault #{spec_index}: factor {factor} not in (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+fn check_time(spec_index: usize, field: &'static str, value: f64) -> Result<(), FaultPlanError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(())
+    } else {
+        Err(FaultPlanError::InvalidTime {
+            spec_index,
+            field,
+            value,
+        })
+    }
+}
+
+fn check_factor(spec_index: usize, factor: f64) -> Result<f64, FaultPlanError> {
+    if factor.is_finite() && factor > 0.0 && factor <= 1.0 {
+        Ok(factor.max(MIN_CAPACITY_FACTOR))
+    } else {
+        Err(FaultPlanError::InvalidFactor { spec_index, factor })
+    }
+}
+
+fn check_host(spec_index: usize, host: u32, num_hosts: u32) -> Result<(), FaultPlanError> {
+    if host < num_hosts {
+        Ok(())
+    } else {
+        Err(FaultPlanError::HostOutOfRange {
+            spec_index,
+            host,
+            num_hosts,
+        })
+    }
+}
+
+impl FaultPlan {
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Validate against a cluster of `num_hosts` hosts and `num_jobs`
+    /// jobs, and expand into a timeline of primitive actions sorted by
+    /// firing time (stable: ties keep plan order).
+    pub fn compile(
+        &self,
+        num_hosts: u32,
+        num_jobs: u32,
+    ) -> Result<Vec<TimedFault>, FaultPlanError> {
+        let mut timeline = Vec::new();
+        let at = |s: f64| SimTime::ZERO + SimDuration::from_secs_f64(s);
+        for (i, spec) in self.faults.iter().enumerate() {
+            match *spec {
+                FaultSpec::HostCrash {
+                    host,
+                    at_secs,
+                    downtime_secs,
+                } => {
+                    check_host(i, host, num_hosts)?;
+                    check_time(i, "at_secs", at_secs)?;
+                    check_time(i, "downtime_secs", downtime_secs)?;
+                    timeline.push(TimedFault {
+                        at: at(at_secs),
+                        action: FaultAction::HostDown { host },
+                        spec_index: i,
+                    });
+                    timeline.push(TimedFault {
+                        at: at(at_secs + downtime_secs),
+                        action: FaultAction::HostUp { host },
+                        spec_index: i,
+                    });
+                }
+                FaultSpec::NicDegrade {
+                    host,
+                    at_secs,
+                    duration_secs,
+                    factor,
+                } => {
+                    check_host(i, host, num_hosts)?;
+                    check_time(i, "at_secs", at_secs)?;
+                    check_time(i, "duration_secs", duration_secs)?;
+                    let factor = check_factor(i, factor)?;
+                    timeline.push(TimedFault {
+                        at: at(at_secs),
+                        action: FaultAction::NicCapacity { host, factor },
+                        spec_index: i,
+                    });
+                    timeline.push(TimedFault {
+                        at: at(at_secs + duration_secs),
+                        action: FaultAction::NicCapacity { host, factor: 1.0 },
+                        spec_index: i,
+                    });
+                }
+                FaultSpec::LinkFlap {
+                    host,
+                    at_secs,
+                    flaps,
+                    down_secs,
+                    up_secs,
+                } => {
+                    check_host(i, host, num_hosts)?;
+                    check_time(i, "at_secs", at_secs)?;
+                    check_time(i, "down_secs", down_secs)?;
+                    check_time(i, "up_secs", up_secs)?;
+                    let mut t = at_secs;
+                    for _ in 0..flaps {
+                        timeline.push(TimedFault {
+                            at: at(t),
+                            action: FaultAction::NicCapacity {
+                                host,
+                                factor: MIN_CAPACITY_FACTOR,
+                            },
+                            spec_index: i,
+                        });
+                        t += down_secs;
+                        timeline.push(TimedFault {
+                            at: at(t),
+                            action: FaultAction::NicCapacity { host, factor: 1.0 },
+                            spec_index: i,
+                        });
+                        t += up_secs;
+                    }
+                }
+                FaultSpec::ComputeSlowdown {
+                    host,
+                    at_secs,
+                    duration_secs,
+                    factor,
+                } => {
+                    check_host(i, host, num_hosts)?;
+                    check_time(i, "at_secs", at_secs)?;
+                    check_time(i, "duration_secs", duration_secs)?;
+                    let factor = check_factor(i, factor)?;
+                    timeline.push(TimedFault {
+                        at: at(at_secs),
+                        action: FaultAction::ComputeCapacity { host, factor },
+                        spec_index: i,
+                    });
+                    timeline.push(TimedFault {
+                        at: at(at_secs + duration_secs),
+                        action: FaultAction::ComputeCapacity { host, factor: 1.0 },
+                        spec_index: i,
+                    });
+                }
+                FaultSpec::PsFailure {
+                    job,
+                    at_secs,
+                    downtime_secs,
+                } => {
+                    if job >= num_jobs {
+                        return Err(FaultPlanError::JobOutOfRange {
+                            spec_index: i,
+                            job,
+                            num_jobs,
+                        });
+                    }
+                    check_time(i, "at_secs", at_secs)?;
+                    check_time(i, "downtime_secs", downtime_secs)?;
+                    timeline.push(TimedFault {
+                        at: at(at_secs),
+                        action: FaultAction::PsDown { job },
+                        spec_index: i,
+                    });
+                    timeline.push(TimedFault {
+                        at: at(at_secs + downtime_secs),
+                        action: FaultAction::PsUp { job },
+                        spec_index: i,
+                    });
+                }
+                FaultSpec::CtrlOutage {
+                    at_secs,
+                    duration_secs,
+                    stale_after_secs,
+                } => {
+                    check_time(i, "at_secs", at_secs)?;
+                    check_time(i, "duration_secs", duration_secs)?;
+                    timeline.push(TimedFault {
+                        at: at(at_secs),
+                        action: FaultAction::CtrlOutageStart,
+                        spec_index: i,
+                    });
+                    if let Some(stale) = stale_after_secs {
+                        check_time(i, "stale_after_secs", stale)?;
+                        if stale < duration_secs {
+                            timeline.push(TimedFault {
+                                at: at(at_secs + stale),
+                                action: FaultAction::CtrlStale,
+                                spec_index: i,
+                            });
+                        }
+                    }
+                    timeline.push(TimedFault {
+                        at: at(at_secs + duration_secs),
+                        action: FaultAction::CtrlOutageEnd,
+                        spec_index: i,
+                    });
+                }
+            }
+        }
+        timeline.sort_by_key(|t| t.at);
+        Ok(timeline)
+    }
+
+    /// Draw a random plan at a given `intensity` (expected number of
+    /// faults ≈ `4 × intensity`) over the first `horizon_secs` of a run
+    /// on `num_hosts` hosts and `num_jobs` jobs. Same arguments ⇒ same
+    /// plan, always: this is how the failure experiments sweep
+    /// intensity deterministically.
+    ///
+    /// `intensity = 0` yields the empty plan.
+    pub fn seeded(
+        seed: u64,
+        intensity: f64,
+        num_hosts: u32,
+        num_jobs: u32,
+        horizon_secs: f64,
+    ) -> FaultPlan {
+        assert!(
+            intensity.is_finite() && intensity >= 0.0,
+            "invalid intensity {intensity}"
+        );
+        assert!(num_hosts > 0 && num_jobs > 0, "empty cluster");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA17_5EED);
+        let count = (intensity * 4.0).round() as usize;
+        let mut faults = Vec::with_capacity(count);
+        for _ in 0..count {
+            let host = rng.gen_range(0..num_hosts);
+            let at_secs = rng.gen_range(0.0..horizon_secs);
+            // Durations sized so faults overlap real work but always
+            // resolve well before any sane max_sim_time.
+            let dur = rng.gen_range(0.02..0.25) * horizon_secs;
+            faults.push(match rng.gen_range(0u32..6) {
+                0 => FaultSpec::HostCrash {
+                    host,
+                    at_secs,
+                    downtime_secs: dur,
+                },
+                1 => FaultSpec::NicDegrade {
+                    host,
+                    at_secs,
+                    duration_secs: dur,
+                    factor: rng.gen_range(0.05..0.5),
+                },
+                2 => FaultSpec::LinkFlap {
+                    host,
+                    at_secs,
+                    flaps: rng.gen_range(1u32..4),
+                    down_secs: dur * 0.2,
+                    up_secs: dur * 0.3,
+                },
+                3 => FaultSpec::ComputeSlowdown {
+                    host,
+                    at_secs,
+                    duration_secs: dur,
+                    factor: rng.gen_range(0.2..0.7),
+                },
+                4 => FaultSpec::PsFailure {
+                    job: rng.gen_range(0..num_jobs),
+                    at_secs,
+                    downtime_secs: dur * 0.5,
+                },
+                _ => FaultSpec::CtrlOutage {
+                    at_secs,
+                    duration_secs: dur,
+                    stale_after_secs: if rng.gen_bool(0.5) {
+                        Some(dur * 0.3)
+                    } else {
+                        None
+                    },
+                },
+            });
+        }
+        FaultPlan { faults }
+    }
+}
+
+/// Timeout-and-retry policy for worker pull/push traffic (and PS-side
+/// compute) blocked by a down host or dead PS: a blocked transfer waits
+/// `timeout`, then retries with exponential backoff starting at
+/// `base_backoff` and capped at `max_backoff` ("bounded": the *backoff*
+/// is bounded; retries continue until the target recovers).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryConfig {
+    /// Delay before the first retry of blocked work, seconds.
+    pub timeout_secs: f64,
+    /// First backoff step, seconds.
+    pub base_backoff_secs: f64,
+    /// Backoff ceiling, seconds.
+    pub max_backoff_secs: f64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            timeout_secs: 0.5,
+            base_backoff_secs: 0.5,
+            max_backoff_secs: 8.0,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// Delay before retry number `attempt` (1-based): `timeout` for the
+    /// first, then `min(base × 2^(attempt-2), max)` thereafter.
+    pub fn delay_for_attempt(&self, attempt: u32) -> SimDuration {
+        let secs = if attempt <= 1 {
+            self.timeout_secs
+        } else {
+            let backoff = self.base_backoff_secs * f64::powi(2.0, attempt as i32 - 2);
+            backoff.min(self.max_backoff_secs)
+        };
+        SimDuration::from_secs_f64(secs.max(1e-9))
+    }
+}
+
+/// What a synchronous-SGD barrier does when a worker's host crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BarrierLossPolicy {
+    /// The barrier waits: the job makes no progress until the worker's
+    /// host restarts and its traffic retries through (TensorFlow's
+    /// classic sync behavior). The default.
+    #[default]
+    StallUntilRecovery,
+    /// The lost worker is dropped from the barrier and the job
+    /// continues with a reduced effective batch (`num_workers - lost`
+    /// gradients per step); the worker rejoins at the next round
+    /// boundary after its host recovers.
+    DropAndContinue,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_compiles_to_empty_timeline() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert_eq!(plan.compile(4, 2).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn crash_expands_to_down_then_up() {
+        let plan = FaultPlan {
+            faults: vec![FaultSpec::HostCrash {
+                host: 1,
+                at_secs: 2.0,
+                downtime_secs: 3.0,
+            }],
+        };
+        let tl = plan.compile(4, 1).unwrap();
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[0].action, FaultAction::HostDown { host: 1 });
+        assert_eq!(tl[0].at, SimTime::from_secs(2));
+        assert_eq!(tl[1].action, FaultAction::HostUp { host: 1 });
+        assert_eq!(tl[1].at, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn flap_burst_alternates_and_sorts() {
+        let plan = FaultPlan {
+            faults: vec![
+                FaultSpec::LinkFlap {
+                    host: 0,
+                    at_secs: 10.0,
+                    flaps: 2,
+                    down_secs: 1.0,
+                    up_secs: 1.0,
+                },
+                FaultSpec::NicDegrade {
+                    host: 2,
+                    at_secs: 0.5,
+                    duration_secs: 1.0,
+                    factor: 0.25,
+                },
+            ],
+        };
+        let tl = plan.compile(4, 1).unwrap();
+        assert_eq!(tl.len(), 6);
+        // Sorted: the degrade (t=0.5, 1.5) precedes the flaps (t=10..).
+        assert_eq!(
+            tl[0].action,
+            FaultAction::NicCapacity {
+                host: 2,
+                factor: 0.25
+            }
+        );
+        assert_eq!(tl[2].spec_index, 0);
+        let downs = tl
+            .iter()
+            .filter(
+                |t| matches!(t.action, FaultAction::NicCapacity { host: 0, factor } if factor < 1e-3),
+            )
+            .count();
+        assert_eq!(downs, 2);
+    }
+
+    #[test]
+    fn ctrl_outage_emits_stale_only_inside_window() {
+        let stale = FaultPlan {
+            faults: vec![FaultSpec::CtrlOutage {
+                at_secs: 1.0,
+                duration_secs: 10.0,
+                stale_after_secs: Some(2.0),
+            }],
+        };
+        let tl = stale.compile(1, 1).unwrap();
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl[1].action, FaultAction::CtrlStale);
+
+        let never_stale = FaultPlan {
+            faults: vec![FaultSpec::CtrlOutage {
+                at_secs: 1.0,
+                duration_secs: 10.0,
+                stale_after_secs: Some(20.0),
+            }],
+        };
+        assert_eq!(never_stale.compile(1, 1).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let bad_host = FaultPlan {
+            faults: vec![FaultSpec::HostCrash {
+                host: 9,
+                at_secs: 0.0,
+                downtime_secs: 1.0,
+            }],
+        };
+        assert!(matches!(
+            bad_host.compile(4, 1),
+            Err(FaultPlanError::HostOutOfRange { host: 9, .. })
+        ));
+
+        let bad_job = FaultPlan {
+            faults: vec![FaultSpec::PsFailure {
+                job: 3,
+                at_secs: 0.0,
+                downtime_secs: 1.0,
+            }],
+        };
+        assert!(matches!(
+            bad_job.compile(4, 2),
+            Err(FaultPlanError::JobOutOfRange { job: 3, .. })
+        ));
+
+        let bad_time = FaultPlan {
+            faults: vec![FaultSpec::HostCrash {
+                host: 0,
+                at_secs: -1.0,
+                downtime_secs: 1.0,
+            }],
+        };
+        assert!(matches!(
+            bad_time.compile(4, 1),
+            Err(FaultPlanError::InvalidTime { field: "at_secs", .. })
+        ));
+
+        let bad_factor = FaultPlan {
+            faults: vec![FaultSpec::NicDegrade {
+                host: 0,
+                at_secs: 0.0,
+                duration_secs: 1.0,
+                factor: 1.5,
+            }],
+        };
+        assert!(matches!(
+            bad_factor.compile(4, 1),
+            Err(FaultPlanError::InvalidFactor { factor, .. }) if factor == 1.5
+        ));
+        // The error renders.
+        let msg = bad_factor.compile(4, 1).unwrap_err().to_string();
+        assert!(msg.contains("factor"), "{msg}");
+    }
+
+    #[test]
+    fn tiny_factors_clamp_to_positive() {
+        let plan = FaultPlan {
+            faults: vec![FaultSpec::NicDegrade {
+                host: 0,
+                at_secs: 0.0,
+                duration_secs: 1.0,
+                factor: 1e-12,
+            }],
+        };
+        let tl = plan.compile(1, 1).unwrap();
+        match tl[0].action {
+            FaultAction::NicCapacity { factor, .. } => {
+                assert!(factor >= MIN_CAPACITY_FACTOR)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_scale() {
+        let a = FaultPlan::seeded(7, 2.0, 21, 21, 100.0);
+        let b = FaultPlan::seeded(7, 2.0, 21, 21, 100.0);
+        assert_eq!(a, b);
+        assert_eq!(a.faults.len(), 8);
+        assert!(a.compile(21, 21).is_ok());
+        assert!(FaultPlan::seeded(7, 0.0, 21, 21, 100.0).is_empty());
+        // A different seed gives a different plan.
+        assert_ne!(a, FaultPlan::seeded(8, 2.0, 21, 21, 100.0));
+    }
+
+    #[test]
+    fn retry_backoff_is_bounded() {
+        let r = RetryConfig::default();
+        assert_eq!(r.delay_for_attempt(1), SimDuration::from_secs_f64(0.5));
+        assert_eq!(r.delay_for_attempt(2), SimDuration::from_secs_f64(0.5));
+        assert_eq!(r.delay_for_attempt(3), SimDuration::from_secs_f64(1.0));
+        assert_eq!(r.delay_for_attempt(10), SimDuration::from_secs_f64(8.0));
+        assert_eq!(r.delay_for_attempt(30), SimDuration::from_secs_f64(8.0));
+    }
+
+    #[test]
+    fn plans_roundtrip_through_json() {
+        let plan = FaultPlan::seeded(3, 1.5, 8, 4, 50.0);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

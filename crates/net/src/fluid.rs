@@ -36,7 +36,7 @@
 
 use crate::maxmin::{AllocStats, FlowDemand, MaxMinAllocator};
 use crate::topology::Topology;
-use crate::types::{Band, FlowId, HostId};
+use crate::types::{Band, Bandwidth, FlowId, HostId};
 use simcore::{SimDuration, SimTime};
 use tl_telemetry::{SimEvent, Telemetry};
 
@@ -279,6 +279,62 @@ impl FluidNet {
             band: spec.band.0,
         });
         id
+    }
+
+    /// Change host `h`'s NIC capacity (both directions) at time `now`.
+    /// Progress under the old rates is integrated up to `now` first, then
+    /// the host's whole flow component is re-solved — in-flight flows see
+    /// the new capacity immediately. This is the fault layer's NIC
+    /// degradation / link-flap primitive.
+    pub fn set_host_capacity(
+        &mut self,
+        now: SimTime,
+        h: HostId,
+        egress: Bandwidth,
+        ingress: Bandwidth,
+    ) {
+        assert!(self.topo.contains(h), "host outside topology");
+        self.advance(now);
+        self.topo.set_host_capacity(h, egress, ingress);
+        self.mark_dirty(h);
+    }
+
+    /// Abort every active flow for which `pred` holds (e.g. all flows
+    /// touching a crashed host), returning the aborted flows' ids and
+    /// tags in creation order. Aborted flows vanish without a
+    /// `FlowFinish` event — the bytes were lost, not delivered; their
+    /// slots are recycled and stale ids no longer resolve.
+    pub fn abort_flows_where(
+        &mut self,
+        now: SimTime,
+        mut pred: impl FnMut(FlowId, &FlowSpec) -> bool,
+    ) -> Vec<(FlowId, u64)> {
+        self.advance(now);
+        let mut aborted = Vec::new();
+        let flows = &mut self.flows;
+        let free = &mut self.free;
+        let dirty_hosts = &mut self.dirty_hosts;
+        self.active.retain(|&slot| {
+            let entry = &mut flows[slot as usize];
+            let id = FlowId(make_id(entry.gen, slot as usize));
+            let spec = entry.state.as_ref().expect("active flow missing").spec;
+            if pred(id, &spec) {
+                entry.state = None;
+                entry.gen = entry.gen.wrapping_add(1);
+                free.push(slot);
+                dirty_hosts[spec.src.0 as usize] = true;
+                dirty_hosts[spec.dst.0 as usize] = true;
+                aborted.push((id, spec.tag));
+                false
+            } else {
+                true
+            }
+        });
+        if !aborted.is_empty() {
+            self.any_dirty = true;
+            self.next_cache = None;
+        }
+        aborted
     }
 
     /// Reassign the band of every active flow with the given tag.
@@ -783,6 +839,54 @@ mod tests {
             done.iter().map(|d| d.finished).collect::<Vec<_>>()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn capacity_change_resolves_in_flight_flows() {
+        let mut net = FluidNet::new(topo(2));
+        let id = net.start_flow(SimTime::ZERO, spec(0, 1, 2.5e9, 0, 1));
+        // 1s at full rate: half done. Then the NIC halves.
+        let t = SimTime::from_secs(1);
+        net.set_host_capacity(t, HostId(0), Bandwidth::from_gbps(5.0), Bandwidth::from_gbps(5.0));
+        assert!((net.remaining_of(id).unwrap() - 1.25e9).abs() < 1.0);
+        // Remaining 1.25e9 at 0.625e9 B/s -> 2 more seconds.
+        let done_at = net.next_event_time().unwrap();
+        assert!((done_at.as_secs_f64() - 3.0).abs() < 1e-6, "got {done_at}");
+        assert_eq!(net.take_completions(done_at).len(), 1);
+        // Restoring capacity is symmetric.
+        net.set_host_capacity(
+            done_at,
+            HostId(0),
+            Bandwidth::from_gbps(10.0),
+            Bandwidth::from_gbps(10.0),
+        );
+        assert!((net.topology().egress(HostId(0)).gbps() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_removes_matching_flows_without_finish() {
+        use tl_telemetry::TelemetryConfig;
+        let telemetry = Telemetry::from_config(TelemetryConfig::events());
+        let mut net = FluidNet::new(topo(3));
+        net.set_telemetry(telemetry.clone());
+        let a = net.start_flow(SimTime::ZERO, spec(0, 1, 1.25e9, 0, 1));
+        let b = net.start_flow(SimTime::ZERO, spec(2, 1, 1.25e9, 0, 2));
+        let t = SimTime::from_millis(100);
+        let aborted = net.abort_flows_where(t, |_, s| s.src == HostId(0) || s.dst == HostId(0));
+        assert_eq!(aborted, vec![(a, 1)]);
+        assert_eq!(net.active_flow_count(), 1);
+        // The aborted id no longer resolves; the survivor does.
+        assert!(net.remaining_of(a).is_none());
+        assert!(net.remaining_of(b).is_some());
+        // The survivor speeds up to the full ingress rate and completes.
+        let done_at = net.next_event_time().unwrap();
+        let done = net.take_completions(done_at);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 2);
+        // No FlowFinish was emitted for the aborted flow.
+        let out = telemetry.take_output();
+        assert_eq!(out.events_of_kind("flow_finish").len(), 1);
+        assert_eq!(out.events_of_kind("flow_start").len(), 2);
     }
 
     #[test]

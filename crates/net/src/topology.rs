@@ -99,6 +99,17 @@ impl Topology {
         self.loopback
     }
 
+    /// Replace host `h`'s NIC capacities (both directions). This is the
+    /// fault layer's degradation knob; callers driving a live
+    /// [`crate::FluidNet`] must go through
+    /// [`crate::FluidNet::set_host_capacity`] so in-flight allocations
+    /// are re-solved.
+    pub fn set_host_capacity(&mut self, h: HostId, egress: Bandwidth, ingress: Bandwidth) {
+        assert!(self.contains(h), "host {h:?} not in topology");
+        self.egress[h.0 as usize] = egress;
+        self.ingress[h.0 as usize] = ingress;
+    }
+
     /// Iterator over all host ids.
     pub fn hosts(&self) -> impl Iterator<Item = HostId> {
         (0..self.egress.len() as u32).map(HostId)

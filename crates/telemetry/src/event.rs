@@ -105,6 +105,50 @@ pub enum SimEvent {
         /// Barrier (iteration) index.
         barrier: u64,
     },
+    /// A fault fired: a host crashed, a NIC degraded, a PS process died,
+    /// or the control plane went dark.
+    FaultInjected {
+        /// Fault kind label (e.g. "host_crash", "nic_degrade",
+        /// "ps_failure", "ctrl_outage").
+        fault: &'static str,
+        /// The affected entity: host index, job index, or 0 for
+        /// cluster-wide control-plane faults.
+        target: u64,
+    },
+    /// A previously injected fault healed (host restarted, NIC capacity
+    /// restored, PS back up, control plane reachable again).
+    FaultRecovered {
+        /// Fault kind label, matching the `FaultInjected` event.
+        fault: &'static str,
+        /// The recovered entity.
+        target: u64,
+    },
+    /// Blocked work (a model-update or gradient transfer, or a PS-side
+    /// compute task) retried after a timeout or backoff delay.
+    RetryAttempt {
+        /// Owning job index.
+        job: u64,
+        /// What retried: "flow" or "task".
+        work: &'static str,
+        /// Retry number for this piece of work (1-based).
+        attempt: u64,
+        /// True if the retry went through; false if it backed off again.
+        resumed: bool,
+    },
+    /// The stale-band-map guard tripped: every job's traffic fell back
+    /// to the default (FIFO) band until the control plane recovers.
+    DegradedToFifo {
+        /// Number of jobs whose bands were reset.
+        jobs: u64,
+    },
+    /// A synchronous job dropped a worker from its barrier
+    /// (drop-and-continue policy) after the worker's host crashed.
+    WorkerLost {
+        /// Job index.
+        job: u64,
+        /// Worker index within the job.
+        worker: u32,
+    },
     /// Free-text escape hatch for one-off annotations; the scope is an
     /// interned static label, mirroring the legacy `TraceRecorder` shim.
     Mark {
@@ -129,6 +173,11 @@ impl SimEvent {
             SimEvent::JobCompletion { .. } => "job_completion",
             SimEvent::BarrierEnter { .. } => "barrier_enter",
             SimEvent::BarrierExit { .. } => "barrier_exit",
+            SimEvent::FaultInjected { .. } => "fault_injected",
+            SimEvent::FaultRecovered { .. } => "fault_recovered",
+            SimEvent::RetryAttempt { .. } => "retry_attempt",
+            SimEvent::DegradedToFifo { .. } => "degraded_to_fifo",
+            SimEvent::WorkerLost { .. } => "worker_lost",
             SimEvent::Mark { .. } => "mark",
         }
     }
@@ -143,6 +192,11 @@ impl SimEvent {
             SimEvent::AllocSolve { .. } => "alloc",
             SimEvent::JobArrival { .. } | SimEvent::JobCompletion { .. } => "job",
             SimEvent::BarrierEnter { .. } | SimEvent::BarrierExit { .. } => "barrier",
+            SimEvent::FaultInjected { .. }
+            | SimEvent::FaultRecovered { .. }
+            | SimEvent::RetryAttempt { .. }
+            | SimEvent::DegradedToFifo { .. }
+            | SimEvent::WorkerLost { .. } => "fault",
             SimEvent::Mark { scope, .. } => scope,
         }
     }
@@ -179,6 +233,27 @@ impl SimEvent {
                 worker,
                 barrier,
             } => format!("job{job} worker {worker} exited barrier {barrier}"),
+            SimEvent::FaultInjected { fault, target } => {
+                format!("fault {fault} hit target {target}")
+            }
+            SimEvent::FaultRecovered { fault, target } => {
+                format!("fault {fault} on target {target} recovered")
+            }
+            SimEvent::RetryAttempt {
+                job,
+                work,
+                attempt,
+                resumed,
+            } => {
+                let outcome = if *resumed { "resumed" } else { "backed off" };
+                format!("job{job} {work} retry #{attempt} {outcome}")
+            }
+            SimEvent::DegradedToFifo { jobs } => {
+                format!("stale band map: {jobs} jobs degraded to FIFO")
+            }
+            SimEvent::WorkerLost { job, worker } => {
+                format!("job{job} dropped worker {worker} from barrier")
+            }
             SimEvent::Mark { message, .. } => message.clone(),
         }
     }
@@ -256,6 +331,27 @@ impl SimEvent {
                 ("job", Value::UInt(job)),
                 ("worker", Value::UInt(worker as u64)),
                 ("barrier", Value::UInt(barrier)),
+            ],
+            SimEvent::FaultInjected { fault, target }
+            | SimEvent::FaultRecovered { fault, target } => vec![
+                ("fault", Value::Str(fault.to_string())),
+                ("target", Value::UInt(target)),
+            ],
+            SimEvent::RetryAttempt {
+                job,
+                work,
+                attempt,
+                resumed,
+            } => vec![
+                ("job", Value::UInt(job)),
+                ("work", Value::Str(work.to_string())),
+                ("attempt", Value::UInt(attempt)),
+                ("resumed", Value::Bool(resumed)),
+            ],
+            SimEvent::DegradedToFifo { jobs } => vec![("jobs", Value::UInt(jobs))],
+            SimEvent::WorkerLost { job, worker } => vec![
+                ("job", Value::UInt(job)),
+                ("worker", Value::UInt(worker as u64)),
             ],
             SimEvent::Mark {
                 scope,

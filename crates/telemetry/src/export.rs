@@ -119,6 +119,13 @@ pub fn chrome_trace(events: &[TimedEvent]) -> String {
                 finished_flows.insert(flow);
             }
             SimEvent::Mark { .. } => has_marks = true,
+            // Fault-layer events render as instants on the sim track.
+            SimEvent::FaultInjected { .. }
+            | SimEvent::FaultRecovered { .. }
+            | SimEvent::DegradedToFifo { .. } => has_marks = true,
+            SimEvent::RetryAttempt { job, .. } | SimEvent::WorkerLost { job, .. } => {
+                job_tids.insert(job);
+            }
             SimEvent::FlowRate { .. } | SimEvent::AllocSolve { .. } => {}
         }
     }
@@ -238,6 +245,53 @@ pub fn chrome_trace(events: &[TimedEvent]) -> String {
                     0,
                     ev.at,
                     obj(vec![("message", Value::Str(message.clone()))]),
+                ));
+            }
+            SimEvent::FaultInjected { fault, target }
+            | SimEvent::FaultRecovered { fault, target } => {
+                let verb = if matches!(ev.event, SimEvent::FaultInjected { .. }) {
+                    "fault"
+                } else {
+                    "recover"
+                };
+                records.push(instant(
+                    format!("{verb}: {fault}"),
+                    PID_SIM,
+                    0,
+                    ev.at,
+                    obj(vec![("target", Value::UInt(target))]),
+                ));
+            }
+            SimEvent::DegradedToFifo { jobs } => {
+                records.push(instant(
+                    "degraded to FIFO".to_string(),
+                    PID_SIM,
+                    0,
+                    ev.at,
+                    obj(vec![("jobs", Value::UInt(jobs))]),
+                ));
+            }
+            SimEvent::RetryAttempt {
+                job,
+                work,
+                attempt,
+                resumed,
+            } => {
+                records.push(instant(
+                    format!("retry {work} #{attempt}"),
+                    PID_JOBS,
+                    job,
+                    ev.at,
+                    obj(vec![("resumed", Value::Bool(resumed))]),
+                ));
+            }
+            SimEvent::WorkerLost { job, worker } => {
+                records.push(instant(
+                    format!("worker {worker} lost"),
+                    PID_JOBS,
+                    job,
+                    ev.at,
+                    obj(vec![("worker", Value::UInt(worker as u64))]),
                 ));
             }
             _ => {}

@@ -32,6 +32,8 @@ fn usage() -> ! {
          --seed S          seed for --ordering random (default 0)\n\
          --at S            wall-clock offset seconds (default 0)\n\
          --prev-at S       offset at which --prev was applied (default 0)\n\
+         --hosts N         cluster size; rejects registries whose ps_host\n\
+                           indices fall outside 0..N (default: unchecked)\n\
          --host N          only print commands for host N"
     );
     std::process::exit(2);
@@ -45,6 +47,7 @@ fn main() {
     let mut at = 0.0f64;
     let mut prev_at = 0.0f64;
     let mut only_host: Option<u32> = None;
+    let mut num_hosts: Option<u32> = None;
     let mut interval = 20.0f64;
     let mut ordering_name = "arrival".to_string();
     let mut mode_name = "rr".to_string();
@@ -68,6 +71,7 @@ fn main() {
             "--ordering" => ordering_name = next(&mut i),
             "--seed" => seed = next(&mut i).parse().unwrap_or_else(|_| usage()),
             "--at" => at = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--hosts" => num_hosts = Some(next(&mut i).parse().unwrap_or_else(|_| usage())),
             "--host" => only_host = Some(next(&mut i).parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -96,10 +100,15 @@ fn main() {
             eprintln!("tlsd: cannot read {path}: {e}");
             std::process::exit(1);
         });
-        Registry::from_json(&text).unwrap_or_else(|e| {
+        let reg = Registry::from_json(&text).unwrap_or_else(|e| {
             eprintln!("tlsd: cannot parse {path}: {e}");
             std::process::exit(1);
-        })
+        });
+        reg.validate(num_hosts).unwrap_or_else(|e| {
+            eprintln!("tlsd: invalid registry {path}: {e}");
+            std::process::exit(1);
+        });
+        reg
     };
     let cur = read(&registry_path);
     let prev = prev_path.map(|p| read(&p));

@@ -60,6 +60,15 @@ impl Controller {
         self.deployed.keys().copied().collect()
     }
 
+    /// Forget the deployed state. A restarted daemon cannot trust what a
+    /// previous incarnation configured (the host may have rebooted, or
+    /// `tc` state may have been torn down out of band), so after a resync
+    /// the next [`Controller::apply`] re-emits full setup for every
+    /// contended host instead of assuming diffs suffice.
+    pub fn resync(&mut self) {
+        self.deployed.clear();
+    }
+
     /// Desired per-host configs for an assignment.
     fn desired(&self, assignment: &Assignment, jobs: &[JobNetInfo]) -> BTreeMap<HostId, TcConfig> {
         let mut configs = BTreeMap::new();
@@ -192,6 +201,21 @@ mod tests {
         c.apply(&a, &net);
         let cmds = c.apply(&a, &net);
         assert!(cmds.is_empty());
+    }
+
+    #[test]
+    fn resync_rebuilds_from_scratch() {
+        let mut c = controller();
+        let (net, info) = jobs_net(3, 0);
+        let mut policy = TlsOne::new(JobOrdering::ByArrival);
+        let a = policy.assign(SimTime::ZERO, &info);
+        let first = c.apply(&a, &net);
+        assert!(c.apply(&a, &net).is_empty(), "steady state is silent");
+        // Daemon restart: deployed state can no longer be trusted.
+        c.resync();
+        assert!(c.configured_hosts().is_empty());
+        let rebuilt = c.apply(&a, &net);
+        assert_eq!(rebuilt, first, "resync re-emits the full setup");
     }
 
     #[test]

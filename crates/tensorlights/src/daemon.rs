@@ -43,10 +43,91 @@ pub struct Registry {
     pub jobs: Vec<RegistryJob>,
 }
 
+/// Why a registry was rejected.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The JSON itself is malformed.
+    Json(serde_json::Error),
+    /// Two jobs carry the same tag — band assignment and tc filter
+    /// classification would silently collide.
+    DuplicateTag {
+        /// The repeated tag.
+        tag: u64,
+    },
+    /// A job names a PS host outside the cluster.
+    PsHostOutOfRange {
+        /// The offending job's tag.
+        tag: u64,
+        /// The out-of-range host index.
+        ps_host: u32,
+        /// The cluster size the registry was validated against.
+        num_hosts: u32,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Json(e) => write!(f, "malformed registry JSON: {e}"),
+            RegistryError::DuplicateTag { tag } => {
+                write!(f, "duplicate job tag {tag} in registry")
+            }
+            RegistryError::PsHostOutOfRange {
+                tag,
+                ps_host,
+                num_hosts,
+            } => write!(
+                f,
+                "job {tag}: ps_host {ps_host} out of range (cluster has {num_hosts} hosts)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for RegistryError {
+    fn from(e: serde_json::Error) -> Self {
+        RegistryError::Json(e)
+    }
+}
+
 impl Registry {
-    /// Parse a registry from JSON.
-    pub fn from_json(json: &str) -> Result<Registry, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Parse a registry from JSON and validate it (tag uniqueness; host
+    /// indices are unchecked because the cluster size is unknown here —
+    /// use [`Registry::validate`] with a host count for that).
+    pub fn from_json(json: &str) -> Result<Registry, RegistryError> {
+        let reg: Registry = serde_json::from_str(json)?;
+        reg.validate(None)?;
+        Ok(reg)
+    }
+
+    /// Check registry invariants: job tags must be unique, and — when the
+    /// cluster size is known — every `ps_host` must be a valid host index.
+    pub fn validate(&self, num_hosts: Option<u32>) -> Result<(), RegistryError> {
+        let mut seen = std::collections::HashSet::new();
+        for j in &self.jobs {
+            if !seen.insert(j.tag) {
+                return Err(RegistryError::DuplicateTag { tag: j.tag });
+            }
+            if let Some(n) = num_hosts {
+                if j.ps_host >= n {
+                    return Err(RegistryError::PsHostOutOfRange {
+                        tag: j.tag,
+                        ps_host: j.ps_host,
+                        num_hosts: n,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     fn traffic_infos(&self) -> Vec<JobTrafficInfo> {
@@ -188,8 +269,44 @@ mod tests {
 
     #[test]
     fn rejects_malformed_json() {
-        assert!(Registry::from_json("{not json").is_err());
+        assert!(matches!(
+            Registry::from_json("{not json"),
+            Err(RegistryError::Json(_))
+        ));
         assert!(Registry::from_json(r#"{"jobs":[{"tag":"x"}]}"#).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_tags() {
+        let json = r#"{"jobs":[
+            {"tag":7,"ps_host":0,"ps_port":2222},
+            {"tag":7,"ps_host":1,"ps_port":2223}]}"#;
+        match Registry::from_json(json) {
+            Err(RegistryError::DuplicateTag { tag }) => assert_eq!(tag, 7),
+            other => panic!("expected DuplicateTag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_ps_host() {
+        let json = r#"{"jobs":[
+            {"tag":0,"ps_host":0,"ps_port":2222},
+            {"tag":1,"ps_host":21,"ps_port":2223}]}"#;
+        // Parse alone cannot check host bounds...
+        let reg = Registry::from_json(json).expect("tags are unique");
+        // ...but validation against the cluster size does.
+        match reg.validate(Some(21)) {
+            Err(RegistryError::PsHostOutOfRange {
+                tag,
+                ps_host,
+                num_hosts,
+            }) => {
+                assert_eq!((tag, ps_host, num_hosts), (1, 21, 21));
+            }
+            other => panic!("expected PsHostOutOfRange, got {other:?}"),
+        }
+        assert!(reg.validate(Some(22)).is_ok(), "host 21 valid in 22 hosts");
+        assert!(reg.validate(None).is_ok(), "unknown cluster size: no bound");
     }
 
     #[test]

@@ -22,6 +22,7 @@ if [[ "${1:-}" != "fast" ]]; then
     TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench kernel
     TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench paper_experiments
     TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench telemetry
+    TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench fault_overhead
 
     # Telemetry smoke: emit a Chrome trace from the Figure 4 narrative and
     # validate it — parses as JSON, non-empty traceEvents, and contains the
@@ -31,6 +32,16 @@ if [[ "${1:-}" != "fast" ]]; then
     trap 'rm -rf "$tmp"' EXIT
     ./target/release/repro --experiment fig4 --trace-out "$tmp/trace.json" > /dev/null
     ./target/release/repro --check-trace "$tmp/trace.json"
+
+    # Fault smoke: a small faulted sweep runs crash+recover scenarios under
+    # all three policies (repro asserts every job completes), the emitted
+    # trace validates, and it shows retries plus barrier-loss events.
+    echo "==> fault smoke"
+    ./target/release/repro --experiment faults --iterations 20 \
+        --trace-out "$tmp/faults.json" > /dev/null
+    ./target/release/repro --check-trace "$tmp/faults.json"
+    grep -qE '"retry (flow|task)' "$tmp/faults.json"   # >=1 retry event
+    grep -qE '"worker [0-9]+ lost"' "$tmp/faults.json" # >=1 barrier-loss event
 fi
 
 echo "==> all checks passed"

@@ -87,3 +87,129 @@ fn barrier_accounting_is_exact() {
         assert_eq!(j.global_steps, cfg.iterations * 20);
     }
 }
+
+// ---- fault-injection determinism -----------------------------------------
+
+use proptest::prelude::*;
+use simcore::SimTime;
+use tl_cluster::JobPlacement;
+use tl_dl::{
+    BarrierLossPolicy, ComputeModel, FaultPlan, JobId, JobSpec, ModelSpec, SimConfig, SimOutput,
+    Simulation, TrainingMode,
+};
+use tl_net::HostId;
+
+/// A small instrumented 2-job scenario for fault-replay checks (full grid
+/// search is too heavy to replay hundreds of times under proptest).
+fn faulted_run(plan: FaultPlan, loss: BarrierLossPolicy) -> SimOutput {
+    let setups: Vec<tl_dl::engine::JobSetup> = (0..2u32)
+        .map(|id| tl_dl::engine::JobSetup {
+            spec: JobSpec {
+                id: JobId(id),
+                model: ModelSpec::synthetic_mb(20),
+                num_workers: 3,
+                local_batch_size: 4,
+                target_global_steps: 8 * 3,
+                mode: TrainingMode::Synchronous,
+                launch_time: SimTime::from_millis(100 * id as u64),
+                ps_port: 2222 + id as u16,
+            },
+            placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2), HostId(3)]),
+        })
+        .collect();
+    let cfg = SimConfig {
+        compute: ComputeModel {
+            per_sample_core_secs: 0.01,
+            ..Default::default()
+        },
+        trace: true,
+        faults: plan,
+        barrier_loss: loss,
+        ..Default::default()
+    };
+    let mut policy = tensorlights::FifoPolicy;
+    Simulation::new(cfg)
+        .jobs(setups)
+        .policy_ref(&mut policy)
+        .run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any seeded fault plan, replayed with the same seed, yields
+    /// byte-identical telemetry exports — fault handling introduces no
+    /// hidden nondeterminism (iteration order, float noise, map ordering).
+    #[test]
+    fn seeded_fault_plan_replays_byte_identically(
+        seed in 0u64..u64::MAX,
+        intensity in 0.0f64..2.5,
+        drop in 0u8..2,
+    ) {
+        let loss = if drop == 1 {
+            BarrierLossPolicy::DropAndContinue
+        } else {
+            BarrierLossPolicy::StallUntilRecovery
+        };
+        let plan = FaultPlan::seeded(seed, intensity, 4, 2, 3.0);
+        let a = faulted_run(plan.clone(), loss).telemetry;
+        let b = faulted_run(plan, loss).telemetry;
+        prop_assert!(!a.events.is_empty());
+        prop_assert_eq!(a.to_jsonl(), b.to_jsonl());
+        prop_assert_eq!(a.to_chrome_trace(), b.to_chrome_trace());
+    }
+}
+
+#[test]
+fn idle_host_crash_and_recover_is_a_jct_noop() {
+    // Host 4 exists (one placement names it) but carries no work while it
+    // is down: job 1 launches long after the crash has healed. Fault
+    // handling must not perturb either job's completion time.
+    let mk = |plan: FaultPlan| {
+        let mut setups: Vec<tl_dl::engine::JobSetup> = (0..2u32)
+            .map(|id| tl_dl::engine::JobSetup {
+                spec: JobSpec {
+                    id: JobId(id),
+                    model: ModelSpec::synthetic_mb(20),
+                    num_workers: 3,
+                    local_batch_size: 4,
+                    target_global_steps: 8 * 3,
+                    mode: TrainingMode::Synchronous,
+                    launch_time: SimTime::ZERO,
+                    ps_port: 2222 + id as u16,
+                },
+                placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2), HostId(3)]),
+            })
+            .collect();
+        setups[1].spec.launch_time = SimTime::from_secs(300);
+        setups[1].placement = JobPlacement::new(HostId(4), vec![HostId(1), HostId(2), HostId(3)]);
+        let cfg = SimConfig {
+            compute: ComputeModel {
+                per_sample_core_secs: 0.01,
+                ..Default::default()
+            },
+            faults: plan,
+            ..Default::default()
+        };
+        let mut policy = tensorlights::FifoPolicy;
+        Simulation::new(cfg)
+            .jobs(setups)
+            .policy_ref(&mut policy)
+            .run()
+    };
+    let healthy = mk(FaultPlan::default());
+    let crashed = mk(FaultPlan {
+        faults: vec![tl_faults::FaultSpec::HostCrash {
+            host: 4,
+            at_secs: 0.5,
+            downtime_secs: 1.0,
+        }],
+    });
+    assert!(healthy.all_complete() && crashed.all_complete());
+    for (a, b) in healthy.jobs.iter().zip(&crashed.jobs) {
+        assert_eq!(
+            a.completion, b.completion,
+            "crash of an unused host must not move any completion"
+        );
+    }
+}
