@@ -6,15 +6,16 @@
 //! with vmstat, and the network interface utilization with ifstat."
 //!
 //! Here the kernel counters are replaced by the simulator's cumulative
-//! busy-core-seconds ([`crate::cpu::CpuEngine`]) and NIC byte counters
-//! ([`tl_net::FluidNet`]); utilization over a window is the difference of
-//! two snapshots divided by capacity × duration.
+//! busy-core-seconds ([`crate::cpu::CpuEngine`]) and the network engine's
+//! per-host NIC byte counters (any engine exposing cumulative egress /
+//! ingress byte slices works — fluid or packet); utilization over a window
+//! is the difference of two snapshots divided by capacity × duration.
 
 use crate::cpu::CpuEngine;
 use crate::host::HostSpec;
 use serde::{Deserialize, Serialize};
 use simcore::SimTime;
-use tl_net::{FluidNet, Topology};
+use tl_net::Topology;
 use tl_telemetry::{MetricKind, MetricsRegistry};
 
 /// Cumulative resource counters at one instant.
@@ -30,14 +31,20 @@ pub struct ResourceSnapshot {
     pub ingress_bytes: Vec<f64>,
 }
 
-/// Take a snapshot. Both engines must already be advanced to `now`
+/// Take a snapshot from the CPU engine and the network engine's cumulative
+/// per-host byte counters. Both engines must already be advanced to `now`
 /// (their counters only reflect integrated progress).
-pub fn snapshot(now: SimTime, cpu: &CpuEngine, net: &FluidNet) -> ResourceSnapshot {
+pub fn snapshot(
+    now: SimTime,
+    cpu: &CpuEngine,
+    egress_bytes: &[f64],
+    ingress_bytes: &[f64],
+) -> ResourceSnapshot {
     ResourceSnapshot {
         at: now,
         busy_core_secs: cpu.busy_core_secs().to_vec(),
-        egress_bytes: net.egress_bytes().to_vec(),
-        ingress_bytes: net.ingress_bytes().to_vec(),
+        egress_bytes: egress_bytes.to_vec(),
+        ingress_bytes: ingress_bytes.to_vec(),
     }
 }
 
@@ -119,7 +126,7 @@ pub fn mean_utilization(all: &[HostUtilization], hosts: &[usize]) -> HostUtiliza
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tl_net::Bandwidth;
+    use tl_net::{Bandwidth, FluidNet};
 
     fn setup() -> (CpuEngine, FluidNet, Vec<HostSpec>, Topology) {
         let specs = vec![HostSpec::with_cores(4.0); 2];
@@ -149,11 +156,11 @@ mod tests {
                 tag: 0,
             },
         );
-        let s0 = snapshot(SimTime::ZERO, &cpu, &net);
+        let s0 = snapshot(SimTime::ZERO, &cpu, net.egress_bytes(), net.ingress_bytes());
         let t = SimTime::from_secs(10);
         cpu.advance(t);
         net.advance(t);
-        let s1 = snapshot(t, &cpu, &net);
+        let s1 = snapshot(t, &cpu, net.egress_bytes(), net.ingress_bytes());
         let u = utilization_between(&s0, &s1, &specs, &topo);
         assert!((u[0].cpu - 0.5).abs() < 1e-6);
         assert!((u[0].net_out - 1.0).abs() < 1e-6);
@@ -169,9 +176,9 @@ mod tests {
         cpu.start_task(SimTime::ZERO, 0, 5.0, 1.0, 0);
         cpu.advance(SimTime::from_secs(5));
         cpu.take_completions(SimTime::from_secs(5));
-        let s0 = snapshot(SimTime::from_secs(5), &cpu, &net);
+        let s0 = snapshot(SimTime::from_secs(5), &cpu, net.egress_bytes(), net.ingress_bytes());
         cpu.advance(SimTime::from_secs(10));
-        let s1 = snapshot(SimTime::from_secs(10), &cpu, &net);
+        let s1 = snapshot(SimTime::from_secs(10), &cpu, net.egress_bytes(), net.ingress_bytes());
         let u = utilization_between(&s0, &s1, &specs, &topo);
         assert_eq!(u[0].cpu, 0.0);
     }
@@ -226,7 +233,7 @@ mod tests {
     #[should_panic(expected = "positive length")]
     fn rejects_empty_window() {
         let (cpu, net, specs, topo) = setup();
-        let s = snapshot(SimTime::ZERO, &cpu, &net);
+        let s = snapshot(SimTime::ZERO, &cpu, net.egress_bytes(), net.ingress_bytes());
         let _ = utilization_between(&s, &s, &specs, &topo);
     }
 }

@@ -1,0 +1,196 @@
+//! Pluggable network backends for the training engine.
+//!
+//! The engine drives the network substrate through the [`NetBackend`]
+//! trait, so the *same* simulation — barriers, compute, priority
+//! rotations, faults — can run on either of two independently built
+//! models:
+//!
+//! * [`FluidNet`] — the rate-based weighted max-min model the paper's
+//!   experiments use (fast; one event per flow completion);
+//! * [`PacketNet`] — a chunk-level store-and-forward model with TCP-like
+//!   windows (slow; one event per chunk hop), used as an *oracle* to
+//!   differentially validate the fluid model end to end (see
+//!   `repro --experiment validate`).
+//!
+//! The engine is generic over the backend (monomorphized), so the fluid
+//! fast path pays nothing for the indirection.
+//!
+//! Semantics the packet oracle does **not** reproduce — scenarios meant
+//! for cross-checking must avoid them (the validate harness does):
+//!
+//! * per-flow *weights* (its round-robin is unweighted — set
+//!   `net_weight_sigma = 0`);
+//! * an oversubscribed fabric core (`core_capacity` is ignored: chunks
+//!   only queue at NICs).
+
+use simcore::{InvariantChecker, SimTime};
+use tl_net::{
+    AllocStats, Band, Bandwidth, CompletedFlow, FlowId, FlowSpec, FluidNet, HostId, PacketNet,
+    Topology,
+};
+use tl_telemetry::Telemetry;
+
+/// Which network model a [`crate::Simulation`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetBackendKind {
+    /// The fluid max-min model (the default; what the paper's numbers use).
+    #[default]
+    Fluid,
+    /// The chunk-level packet model (the differential-validation oracle).
+    Packet,
+}
+
+/// The network surface the training engine drives. Both engines implement
+/// it with identical semantics for flow lifecycle, band rotation, capacity
+/// changes, and aborts; they differ only in how bandwidth is shared.
+pub trait NetBackend {
+    /// Integrate network state up to `now`.
+    fn advance(&mut self, now: SimTime);
+    /// The topology the engine runs over.
+    fn topology(&self) -> &Topology;
+    /// Rate-allocator perf counters (all-zero for the packet model, which
+    /// has no allocator).
+    fn alloc_stats(&self) -> AllocStats;
+    /// Advance to `now` and drain flows that completed by then.
+    fn take_completions(&mut self, now: SimTime) -> Vec<CompletedFlow>;
+    /// Start a flow.
+    fn start_flow(&mut self, now: SimTime, spec: FlowSpec) -> FlowId;
+    /// Start a flow rate-limited at the sender to `max_rate` bytes/sec.
+    fn start_flow_with_cap(&mut self, now: SimTime, spec: FlowSpec, max_rate: f64) -> FlowId;
+    /// Re-band every active flow with `tag`; returns how many changed.
+    fn set_band_for_tag(&mut self, now: SimTime, tag: u64, band: Band) -> usize;
+    /// Change a host's NIC capacity in both directions.
+    fn set_host_capacity(
+        &mut self,
+        now: SimTime,
+        host: HostId,
+        egress: Bandwidth,
+        ingress: Bandwidth,
+    );
+    /// When the network next needs the driver's attention, if ever.
+    fn next_event_time(&mut self) -> Option<SimTime>;
+    /// Abort all flows matching `pred`; returns `(id, tag)` per abort.
+    fn abort_flows_where(
+        &mut self,
+        now: SimTime,
+        pred: &mut dyn FnMut(FlowId, &FlowSpec) -> bool,
+    ) -> Vec<(FlowId, u64)>;
+    /// Cumulative egress bytes per host.
+    fn egress_bytes(&self) -> &[f64];
+    /// Cumulative ingress bytes per host.
+    fn ingress_bytes(&self) -> &[f64];
+    /// Attach a telemetry handle.
+    fn set_telemetry(&mut self, telemetry: Telemetry);
+    /// Attach an invariant checker.
+    fn set_invariants(&mut self, invariants: InvariantChecker);
+}
+
+impl NetBackend for FluidNet {
+    fn advance(&mut self, now: SimTime) {
+        FluidNet::advance(self, now);
+    }
+    fn topology(&self) -> &Topology {
+        FluidNet::topology(self)
+    }
+    fn alloc_stats(&self) -> AllocStats {
+        FluidNet::alloc_stats(self)
+    }
+    fn take_completions(&mut self, now: SimTime) -> Vec<CompletedFlow> {
+        FluidNet::take_completions(self, now)
+    }
+    fn start_flow(&mut self, now: SimTime, spec: FlowSpec) -> FlowId {
+        FluidNet::start_flow(self, now, spec)
+    }
+    fn start_flow_with_cap(&mut self, now: SimTime, spec: FlowSpec, max_rate: f64) -> FlowId {
+        FluidNet::start_flow_with_cap(self, now, spec, max_rate)
+    }
+    fn set_band_for_tag(&mut self, now: SimTime, tag: u64, band: Band) -> usize {
+        FluidNet::set_band_for_tag(self, now, tag, band)
+    }
+    fn set_host_capacity(
+        &mut self,
+        now: SimTime,
+        host: HostId,
+        egress: Bandwidth,
+        ingress: Bandwidth,
+    ) {
+        FluidNet::set_host_capacity(self, now, host, egress, ingress);
+    }
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        FluidNet::next_event_time(self)
+    }
+    fn abort_flows_where(
+        &mut self,
+        now: SimTime,
+        pred: &mut dyn FnMut(FlowId, &FlowSpec) -> bool,
+    ) -> Vec<(FlowId, u64)> {
+        FluidNet::abort_flows_where(self, now, pred)
+    }
+    fn egress_bytes(&self) -> &[f64] {
+        FluidNet::egress_bytes(self)
+    }
+    fn ingress_bytes(&self) -> &[f64] {
+        FluidNet::ingress_bytes(self)
+    }
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        FluidNet::set_telemetry(self, telemetry);
+    }
+    fn set_invariants(&mut self, invariants: InvariantChecker) {
+        FluidNet::set_invariants(self, invariants);
+    }
+}
+
+impl NetBackend for PacketNet {
+    fn advance(&mut self, now: SimTime) {
+        PacketNet::advance(self, now);
+    }
+    fn topology(&self) -> &Topology {
+        PacketNet::topology(self)
+    }
+    fn alloc_stats(&self) -> AllocStats {
+        PacketNet::alloc_stats(self)
+    }
+    fn take_completions(&mut self, now: SimTime) -> Vec<CompletedFlow> {
+        PacketNet::take_completions(self, now)
+    }
+    fn start_flow(&mut self, now: SimTime, spec: FlowSpec) -> FlowId {
+        PacketNet::start_flow(self, now, spec)
+    }
+    fn start_flow_with_cap(&mut self, now: SimTime, spec: FlowSpec, max_rate: f64) -> FlowId {
+        PacketNet::start_flow_with_cap(self, now, spec, max_rate)
+    }
+    fn set_band_for_tag(&mut self, now: SimTime, tag: u64, band: Band) -> usize {
+        PacketNet::set_band_for_tag(self, now, tag, band)
+    }
+    fn set_host_capacity(
+        &mut self,
+        now: SimTime,
+        host: HostId,
+        egress: Bandwidth,
+        ingress: Bandwidth,
+    ) {
+        PacketNet::set_host_capacity(self, now, host, egress, ingress);
+    }
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        PacketNet::next_event_time(self)
+    }
+    fn abort_flows_where(
+        &mut self,
+        now: SimTime,
+        pred: &mut dyn FnMut(FlowId, &FlowSpec) -> bool,
+    ) -> Vec<(FlowId, u64)> {
+        PacketNet::abort_flows_where(self, now, pred)
+    }
+    fn egress_bytes(&self) -> &[f64] {
+        PacketNet::egress_bytes(self)
+    }
+    fn ingress_bytes(&self) -> &[f64] {
+        PacketNet::ingress_bytes(self)
+    }
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        PacketNet::set_telemetry(self, telemetry);
+    }
+    fn set_invariants(&mut self, invariants: InvariantChecker) {
+        PacketNet::set_invariants(self, invariants);
+    }
+}

@@ -13,11 +13,15 @@
 //! deterministic in `(config, jobs, policy)` — see the determinism
 //! integration tests.
 
+use crate::backend::{NetBackend, NetBackendKind};
 use crate::compute::ComputeModel;
 use crate::job::{JobId, JobSpec, TrainingMode};
 use crate::metrics::BarrierTracker;
 use rand::rngs::SmallRng;
-use simcore::{EventHandle, EventQueue, RngFactory, SampleSet, SimTime, UnitLogNormal};
+use simcore::{
+    EventHandle, EventQueue, InvariantChecker, InvariantViolation, RngFactory, SampleSet, SimTime,
+    UnitLogNormal,
+};
 use std::collections::HashMap;
 use tl_telemetry::{MetricKind, SimEvent, Telemetry, TelemetryConfig, TelemetryOutput};
 use tensorlights::{Assignment, FifoPolicy, JobTrafficInfo, PriorityPolicy};
@@ -25,7 +29,7 @@ use tl_cluster::{
     monitor, CpuEngine, CpuTaskId, HostSpec, HostUtilization, JobPlacement, ResourceSnapshot,
 };
 use tl_faults::{BarrierLossPolicy, FaultAction, FaultPlan, RetryConfig, TimedFault};
-use tl_net::{AllocStats, Bandwidth, FlowId, FlowSpec, FluidNet, HostId, Topology};
+use tl_net::{AllocStats, Bandwidth, FlowId, FlowSpec, FluidNet, HostId, PacketNet, Topology};
 
 /// Tag prefix distinguishing gradient flows from model-update flows in the
 /// fluid engine (rotations must only retag model updates).
@@ -80,6 +84,16 @@ pub struct SimConfig {
     pub retry: RetryConfig,
     /// What a synchronous barrier does when a worker's host crashes.
     pub barrier_loss: BarrierLossPolicy,
+    /// Which network model carries the traffic: the fluid max-min engine
+    /// (default — the paper's numbers) or the chunk-level packet oracle
+    /// (slow; used by the differential-validation harness).
+    pub backend: NetBackendKind,
+    /// Run runtime invariant checks (NIC capacity conservation, band
+    /// ordering, per-flow byte conservation, barrier accounting) and
+    /// report violations in [`SimOutput::invariant_violations`]. Defaults
+    /// to on in debug builds (so every `cargo test` checks them) and off
+    /// in release builds (zero overhead for experiments and benches).
+    pub invariants: bool,
 }
 
 impl Default for SimConfig {
@@ -101,6 +115,8 @@ impl Default for SimConfig {
             faults: FaultPlan::default(),
             retry: RetryConfig::default(),
             barrier_loss: BarrierLossPolicy::default(),
+            backend: NetBackendKind::Fluid,
+            invariants: cfg!(debug_assertions),
         }
     }
 }
@@ -218,6 +234,11 @@ pub struct SimOutput {
     /// Export with [`TelemetryOutput::to_jsonl`] /
     /// [`TelemetryOutput::to_chrome_trace`] / [`TelemetryOutput::metrics_json`].
     pub telemetry: TelemetryOutput,
+    /// Invariant violations recorded during the run (empty unless
+    /// `SimConfig::invariants`; always empty on a healthy engine).
+    /// [`Simulation::run`] panics if any are present;
+    /// [`Simulation::try_run`] hands them to the caller.
+    pub invariant_violations: Vec<InvariantViolation>,
 }
 
 impl SimConfig {
@@ -414,10 +435,10 @@ impl JobRt {
     }
 }
 
-struct Sim<'a> {
+struct Sim<'a, N: NetBackend> {
     cfg: SimConfig,
     queue: EventQueue<Ev>,
-    net: FluidNet,
+    net: N,
     cpu: CpuEngine,
     jobs: Vec<JobRt>,
     policy: &'a mut dyn PriorityPolicy,
@@ -442,6 +463,9 @@ struct Sim<'a> {
     ctrl_outage: bool,
     /// Displaced work awaiting retry; `Ev::Retry(i)` indexes into it.
     retries: Vec<RetryState>,
+    /// Shared with the network backend; engine-level checks (flow timing,
+    /// barrier accounting, progress) report into the same sink.
+    invariants: InvariantChecker,
 }
 
 /// How a [`Simulation`] holds its policy: borrowed from the caller or owned
@@ -560,11 +584,33 @@ impl<'p> Simulation<'p> {
         self
     }
 
+    /// Select the network model (overrides `cfg.backend`).
+    pub fn backend(mut self, backend: NetBackendKind) -> Self {
+        self.cfg.backend = backend;
+        self
+    }
+
+    /// Enable or disable runtime invariant checks (overrides
+    /// `cfg.invariants`).
+    pub fn invariants(mut self, enabled: bool) -> Self {
+        self.cfg.invariants = enabled;
+        self
+    }
+
     /// Run the simulation to completion (or the configured horizon).
     ///
-    /// Panics if no jobs were added or a setup is inconsistent.
+    /// Panics if no jobs were added, a setup is inconsistent, or — with
+    /// `SimConfig::invariants` on — any runtime invariant was violated.
+    /// Use [`try_run`](Simulation::try_run) to collect violations instead.
     pub fn run(self) -> SimOutput {
-        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+        let out = self.try_run().unwrap_or_else(|e| panic!("{e}"));
+        if let Some(first) = out.invariant_violations.first() {
+            panic!(
+                "{} invariant violation(s); first: {first}",
+                out.invariant_violations.len()
+            );
+        }
+        out
     }
 
     /// Like [`run`](Simulation::run), but surfaces engine bookkeeping
@@ -583,16 +629,6 @@ impl<'p> Simulation<'p> {
         };
         run_inner(cfg, setups, policy)
     }
-}
-
-/// Run a full training simulation. See module docs.
-#[deprecated(since = "0.2.0", note = "use the `Simulation` builder instead")]
-pub fn run_simulation(
-    cfg: SimConfig,
-    setups: Vec<JobSetup>,
-    policy: &mut dyn PriorityPolicy,
-) -> SimOutput {
-    run_inner(cfg, setups, policy).unwrap_or_else(|e| panic!("{e}"))
 }
 
 fn run_inner(
@@ -623,6 +659,21 @@ fn run_inner(
     if let Some(core) = cfg.core_capacity {
         topo = topo.with_core_capacity(core);
     }
+    // Dispatch once on the backend kind; everything below is generic and
+    // monomorphized, so the fluid fast path pays nothing for pluggability.
+    match cfg.backend {
+        NetBackendKind::Fluid => run_with_net(cfg, setups, policy, FluidNet::new(topo)),
+        NetBackendKind::Packet => run_with_net(cfg, setups, policy, PacketNet::new(topo)),
+    }
+}
+
+fn run_with_net<N: NetBackend>(
+    cfg: SimConfig,
+    setups: Vec<JobSetup>,
+    policy: &mut dyn PriorityPolicy,
+    mut net: N,
+) -> Result<SimOutput, SimError> {
+    let num_hosts = net.topology().num_hosts();
     let factory = RngFactory::new(cfg.seed);
     let mut queue = EventQueue::new();
     for (i, s) in setups.iter().enumerate() {
@@ -702,8 +753,13 @@ fn run_inner(
         .collect();
 
     let weight_noise = UnitLogNormal::new(cfg.net_weight_sigma);
-    let mut net = FluidNet::new(topo);
+    let invariants = if cfg.invariants {
+        InvariantChecker::enabled()
+    } else {
+        InvariantChecker::disabled()
+    };
     net.set_telemetry(telemetry.clone());
+    net.set_invariants(invariants.clone());
     let sim = Sim {
         cpu: CpuEngine::new(cfg.host_specs(num_hosts)),
         net,
@@ -729,11 +785,12 @@ fn run_inner(
         host_down: vec![false; num_hosts],
         ctrl_outage: false,
         retries: Vec::new(),
+        invariants,
     };
     sim.run()
 }
 
-impl<'a> Sim<'a> {
+impl<'a, N: NetBackend> Sim<'a, N> {
     fn run(mut self) -> Result<SimOutput, SimError> {
         let window_configured = self.cfg.active_window.is_some();
         let mut end_time = SimTime::ZERO;
@@ -753,12 +810,12 @@ impl<'a> Sim<'a> {
                 Ev::SnapshotStart => {
                     self.net.advance(t);
                     self.cpu.advance(t);
-                    self.snap_start = Some(monitor::snapshot(t, &self.cpu, &self.net));
+                    self.snap_start = Some(monitor::snapshot(t, &self.cpu, self.net.egress_bytes(), self.net.ingress_bytes()));
                 }
                 Ev::SnapshotEnd => {
                     self.net.advance(t);
                     self.cpu.advance(t);
-                    self.snap_end = Some(monitor::snapshot(t, &self.cpu, &self.net));
+                    self.snap_end = Some(monitor::snapshot(t, &self.cpu, self.net.egress_bytes(), self.net.ingress_bytes()));
                 }
                 Ev::Sample => self.on_sample(t),
                 Ev::MetricsSample => self.on_metrics_sample(t),
@@ -803,6 +860,7 @@ impl<'a> Sim<'a> {
             events,
             alloc_stats: self.net.alloc_stats(),
             telemetry: self.telemetry.take_output(),
+            invariant_violations: self.invariants.take(),
         })
     }
 
@@ -819,6 +877,17 @@ impl<'a> Sim<'a> {
     fn on_net_wake(&mut self, now: SimTime) -> Result<(), SimError> {
         let completions = self.net.take_completions(now);
         for c in completions {
+            self.invariants.check(
+                now,
+                "dl.flow_time",
+                || c.started <= c.finished && c.finished <= now,
+                || {
+                    format!(
+                        "flow {:?} completion out of order: started {}, finished {}, drained {now}",
+                        c.id, c.started, c.finished
+                    )
+                },
+            );
             let ctx = self
                 .flows
                 .remove(&c.id)
@@ -1038,7 +1107,7 @@ impl<'a> Sim<'a> {
     /// `num_workers` minus dropped workers — is met and it has not
     /// already aggregated this round.
     fn maybe_release_shard(&mut self, now: SimTime, j: usize, shard: u32) {
-        let (demand, cap) = {
+        let (demand, cap, count, workers) = {
             let job = &mut self.jobs[j];
             let expected = job.expected_grads();
             if job.agg_started[shard as usize]
@@ -1063,8 +1132,22 @@ impl<'a> Sim<'a> {
                 .ps_aggregate_core_secs(&job.spec.model, job.spec.num_workers)
                 / job.num_shards() as f64)
                 .max(1e-6);
-            (demand, self.cfg.compute.ps_parallelism)
+            (
+                demand,
+                self.cfg.compute.ps_parallelism,
+                count,
+                job.spec.num_workers,
+            )
         };
+        // Barrier accounting: a shard can never have collected more
+        // gradients than the job has workers (double-counted deliveries
+        // or a missed un-count after a worker drop would break this).
+        self.invariants.check(
+            now,
+            "dl.barrier",
+            || count <= workers,
+            || format!("job {j} shard {shard} released with {count} grads > {workers} workers"),
+        );
         self.dispatch_task(
             now,
             demand,
@@ -1080,7 +1163,7 @@ impl<'a> Sim<'a> {
     /// iteration commits: advance the global step; finish the job or
     /// distribute the next round from all shards.
     fn on_aggregated(&mut self, now: SimTime, j: usize, _shard: u32) {
-        let finished = {
+        let (finished, contrib, workers) = {
             let job = &mut self.jobs[j];
             job.shards_aggregated += 1;
             if job.shards_aggregated < job.num_shards() {
@@ -1092,11 +1175,24 @@ impl<'a> Sim<'a> {
             }
             // The effective batch of this iteration: gradients actually
             // aggregated (reduced while workers are dropped).
-            job.global_steps += job.round_contrib as u64;
+            let contrib = job.round_contrib;
+            job.global_steps += contrib as u64;
             job.round_contrib = 0;
             job.iterations += 1;
-            job.global_steps >= job.spec.target_global_steps
+            (
+                job.global_steps >= job.spec.target_global_steps,
+                contrib,
+                job.spec.num_workers,
+            )
         };
+        // Gradient-accounting balance: every committed iteration must have
+        // aggregated between 1 and `num_workers` gradients.
+        self.invariants.check(
+            now,
+            "dl.barrier",
+            || (1..=workers).contains(&contrib),
+            || format!("job {j} committed an iteration with {contrib} of {workers} gradients"),
+        );
         if finished {
             self.complete_job(now, j);
         } else {
@@ -1150,6 +1246,16 @@ impl<'a> Sim<'a> {
 
     fn complete_job(&mut self, now: SimTime, j: usize) {
         debug_assert!(self.jobs[j].completion.is_none(), "job completed twice");
+        let (steps, target) = (
+            self.jobs[j].global_steps,
+            self.jobs[j].spec.target_global_steps,
+        );
+        self.invariants.check(
+            now,
+            "dl.progress",
+            || steps >= target,
+            || format!("job {j} completed with {steps} of {target} global steps"),
+        );
         self.jobs[j].completion = Some(now);
         self.done_count += 1;
         self.telemetry.emit_with(now, || SimEvent::JobCompletion {
@@ -1162,7 +1268,7 @@ impl<'a> Sim<'a> {
     fn on_sample(&mut self, now: SimTime) {
         self.net.advance(now);
         self.cpu.advance(now);
-        let snap = monitor::snapshot(now, &self.cpu, &self.net);
+        let snap = monitor::snapshot(now, &self.cpu, self.net.egress_bytes(), self.net.ingress_bytes());
         if let Some(prev) = self.last_sample.take() {
             let specs = self.cfg.host_specs(self.net.topology().num_hosts());
             self.samples.push(UtilizationSample {
@@ -1185,7 +1291,7 @@ impl<'a> Sim<'a> {
     fn on_metrics_sample(&mut self, now: SimTime) {
         self.net.advance(now);
         self.cpu.advance(now);
-        let snap = monitor::snapshot(now, &self.cpu, &self.net);
+        let snap = monitor::snapshot(now, &self.cpu, self.net.egress_bytes(), self.net.ingress_bytes());
         let util = self.metrics_prev.take().map(|prev| {
             let specs = self.cfg.host_specs(self.net.topology().num_hosts());
             monitor::utilization_between(&prev, &snap, &specs, self.net.topology())
@@ -1342,7 +1448,7 @@ impl<'a> Sim<'a> {
         // resumed — the transfer restarts from scratch on retry).
         let flows = self
             .net
-            .abort_flows_where(now, |_, spec| spec.src == hid || spec.dst == hid);
+            .abort_flows_where(now, &mut |_, spec| spec.src == hid || spec.dst == hid);
         for (id, _tag) in flows {
             if let Some(ctx) = self.flows.remove(&id) {
                 self.route_aborted(now, PendingWork::Flow(ctx));
@@ -1493,7 +1599,7 @@ impl<'a> Sim<'a> {
         let t_grad = GRAD_TAG_BASE | j as u64;
         let flows = self
             .net
-            .abort_flows_where(now, |_, spec| spec.tag == t_model || spec.tag == t_grad);
+            .abort_flows_where(now, &mut |_, spec| spec.tag == t_model || spec.tag == t_grad);
         for (id, _tag) in flows {
             if let Some(ctx) = self.flows.remove(&id) {
                 self.queue_retry(now, PendingWork::Flow(ctx));
@@ -2237,16 +2343,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_builder() {
+    fn borrowed_policy_matches_owned_policy() {
+        // Successor of the removed `run_simulation` shim-equivalence test:
+        // the two builder policy-ownership paths stay bit-identical.
         let mut policy = FifoPolicy;
-        let shim = run_simulation(fast_cfg(), small_setup(3), &mut policy);
-        let built = Simulation::new(fast_cfg())
+        let borrowed = Simulation::new(fast_cfg())
+            .jobs(small_setup(3))
+            .policy_ref(&mut policy)
+            .run();
+        let owned = Simulation::new(fast_cfg())
             .jobs(small_setup(3))
             .policy(FifoPolicy)
             .run();
-        assert_eq!(shim.events, built.events);
-        for (a, b) in shim.jobs.iter().zip(&built.jobs) {
+        assert_eq!(borrowed.events, owned.events);
+        for (a, b) in borrowed.jobs.iter().zip(&owned.jobs) {
             assert_eq!(a.completion, b.completion);
         }
     }
@@ -2746,5 +2856,127 @@ mod fault_tests {
         }
         assert_eq!(a.events, b.events);
         assert_eq!(a.telemetry.events.len(), b.telemetry.events.len());
+    }
+
+}
+
+#[cfg(test)]
+mod backend_tests {
+    use super::*;
+    use crate::model::ModelSpec;
+    use tl_faults::FaultSpec;
+    use tl_net::HostId;
+
+    /// Same shape as `tests::small_setup`: two colocated-PS jobs.
+    fn small_setup(iter_target: u64) -> Vec<JobSetup> {
+        (0..2u32)
+            .map(|id| JobSetup {
+                spec: JobSpec {
+                    id: JobId(id),
+                    model: ModelSpec::synthetic_mb(20),
+                    num_workers: 3,
+                    local_batch_size: 4,
+                    target_global_steps: iter_target * 3,
+                    mode: TrainingMode::Synchronous,
+                    launch_time: SimTime::from_millis(100 * id as u64),
+                    ps_port: 2222 + id as u16,
+                },
+                placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2), HostId(3)]),
+            })
+            .collect()
+    }
+
+    fn fast_cfg() -> SimConfig {
+        SimConfig {
+            compute: ComputeModel {
+                per_sample_core_secs: 0.01,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn packet_backend_runs_jobs_to_completion() {
+        let mut cfg = fast_cfg();
+        cfg.backend = NetBackendKind::Packet;
+        cfg.net_weight_sigma = 0.0; // the packet model's RR ignores weights
+        let out = Simulation::new(cfg).jobs(small_setup(3)).run();
+        assert!(out.all_complete());
+        for j in &out.jobs {
+            assert_eq!(j.iterations, 3);
+            assert_eq!(j.global_steps, 9);
+        }
+        assert!(out.invariant_violations.is_empty());
+    }
+
+    #[test]
+    fn packet_backend_is_deterministic() {
+        let run = || {
+            let mut cfg = fast_cfg();
+            cfg.backend = NetBackendKind::Packet;
+            cfg.net_weight_sigma = 0.0;
+            Simulation::new(cfg).jobs(small_setup(3)).run()
+        };
+        let (a, b) = (run(), run());
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.completion, y.completion);
+        }
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn backends_agree_on_jct_within_chunk_tolerance() {
+        // The fluid model and the packet oracle must tell the same story
+        // on the same workload: per-job JCTs within a per-chunk tolerance
+        // (chunk-boundary rounding and pipelining are the packet model's
+        // only extra frictions on an uncontended-to-mildly-contended run).
+        let run = |backend| {
+            let mut cfg = fast_cfg();
+            cfg.backend = backend;
+            cfg.net_weight_sigma = 0.0;
+            Simulation::new(cfg).jobs(small_setup(5)).run()
+        };
+        let fluid = run(NetBackendKind::Fluid);
+        let packet = run(NetBackendKind::Packet);
+        for (f, p) in fluid.jobs.iter().zip(&packet.jobs) {
+            let (fj, pj) = (f.jct_secs().unwrap(), p.jct_secs().unwrap());
+            let rel = (fj - pj).abs() / fj.max(pj);
+            assert!(
+                rel < 0.15,
+                "job {:?}: fluid {fj:.3}s vs packet {pj:.3}s (rel {rel:.3})",
+                f.id
+            );
+        }
+    }
+
+    #[test]
+    fn packet_backend_survives_faults() {
+        let mut cfg = fast_cfg();
+        cfg.backend = NetBackendKind::Packet;
+        cfg.net_weight_sigma = 0.0;
+        let plan = FaultPlan {
+            faults: vec![FaultSpec::HostCrash {
+                host: 1,
+                at_secs: 0.3,
+                downtime_secs: 0.6,
+            }],
+        };
+        let out = Simulation::new(cfg)
+            .jobs(small_setup(4))
+            .faults(plan)
+            .barrier_loss(BarrierLossPolicy::StallUntilRecovery)
+            .run();
+        assert!(out.all_complete());
+        assert!(out.invariant_violations.is_empty());
+    }
+
+    #[test]
+    fn invariants_off_yields_empty_report() {
+        let out = Simulation::new(fast_cfg())
+            .jobs(small_setup(2))
+            .invariants(false)
+            .run();
+        assert!(out.invariant_violations.is_empty());
     }
 }

@@ -12,19 +12,23 @@
 //! * [`engine::Simulation`] — builder-style entry point to the
 //!   discrete-event engine wiring job state machines to the network
 //!   ([`tl_net`]) and CPU ([`tl_cluster`]) substrates under a
-//!   [`tensorlights::PriorityPolicy`].
+//!   [`tensorlights::PriorityPolicy`];
+//! * [`backend::NetBackend`] — the pluggable network surface: the same
+//!   simulation runs on the fluid max-min model or the chunk-level packet
+//!   oracle (`SimConfig::backend`), which the differential-validation
+//!   harness cross-checks.
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod compute;
 pub mod engine;
 pub mod job;
 pub mod metrics;
 pub mod model;
 
+pub use backend::{NetBackend, NetBackendKind};
 pub use compute::ComputeModel;
-#[allow(deprecated)]
-pub use engine::run_simulation;
 pub use engine::{JobResult, JobSetup, SimConfig, SimError, SimOutput, Simulation};
 pub use tl_faults::{BarrierLossPolicy, FaultPlan, FaultSpec, RetryConfig};
 pub use job::{JobId, JobSpec, TrainingMode};

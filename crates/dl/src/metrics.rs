@@ -168,8 +168,8 @@ mod tests {
         b.record_exit(1, SimTime::from_secs(13), 0); // wait 2
         assert_eq!(b.completed_barriers(), 1);
         // `quantile` takes `&self` now — no defensive clones needed.
-        assert!((b.means.quantile(0.5) - 3.0).abs() < 1e-12);
-        assert!((b.vars.quantile(0.5) - 1.0).abs() < 1e-12);
+        assert!((b.means.quantile(0.5).unwrap() - 3.0).abs() < 1e-12);
+        assert!((b.vars.quantile(0.5).unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations|faults|perf]
+//! repro [--experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations|faults|perf|validate]
 //!       [--iterations N] [--full] [--seed S] [--csv DIR] [--json DIR]
 //!       [--trace-out PATH] [--metrics-out PATH] [--check-trace PATH]
 //! ```
@@ -26,7 +26,9 @@ use tl_experiments::ablations::{
     rate_control, rotation, sharded_ps, slow_host, timeline,
 };
 use tl_experiments::report::Table;
-use tl_experiments::{config::ExperimentConfig, faults, fig2, fig3, fig4, fig5, fig6, table1, table2};
+use tl_experiments::{
+    config::ExperimentConfig, faults, fig2, fig3, fig4, fig5, fig6, table1, table2, validate,
+};
 
 struct Args {
     experiment: String,
@@ -75,7 +77,7 @@ fn parse_args() -> Args {
                 println!(
                     "repro — regenerate the TensorLights paper's tables and figures\n\
                      \n\
-                     --experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations|faults|perf\n\
+                     --experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations|faults|perf|validate\n\
                      --iterations N   scaled iteration count (default 300)\n\
                      --full           paper scale (1500 iterations)\n\
                      --seed S         master seed\n\
@@ -360,6 +362,31 @@ fn main() {
         if let Some(path) = &args.trace_out {
             let events = faults::telemetry_events(cfg, 2.0, BarrierLossPolicy::DropAndContinue);
             write_events(path, &events);
+        }
+        ran += 1;
+    }
+
+    if args.experiment == "validate" {
+        // Differential validation (not a paper figure): every scenario of
+        // the seeded matrix runs through the full DL engine on both the
+        // fluid and the packet network backend with invariant checks on;
+        // any divergence beyond tolerance or invariant violation fails
+        // the process (exit 3).
+        let r = validate::run(cfg);
+        summaries.insert("validate", r.summary());
+        emit(
+            &args,
+            "validate",
+            &r.table(),
+            Some(r.summary()),
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
+        if let Some(path) = &args.trace_out {
+            write_events(path, &r.mark_events());
+        }
+        if !r.passed() {
+            eprintln!("validate: FAILED — backend divergence or invariant violations (see table)");
+            std::process::exit(3);
         }
         ran += 1;
     }

@@ -94,6 +94,7 @@ impl ExperimentConfig {
             faults: tl_dl::FaultPlan::default(),
             retry: tl_dl::RetryConfig::default(),
             barrier_loss: tl_dl::BarrierLossPolicy::default(),
+            ..SimConfig::default()
         }
     }
 }

@@ -105,7 +105,9 @@ pub fn run(cfg: &ExperimentConfig, intensities: &[f64], loss: BarrierLossPolicy)
             intensity,
             policy: policy.label(),
             mean_jct: jct.mean(),
-            p99_jct: jct.quantile(0.99),
+            // NaN (rendered as such) when a fault plan kills every job in
+            // the window — not a fake "p99 = 0 s".
+            p99_jct: jct.quantile(0.99).unwrap_or(f64::NAN),
             retries: out.telemetry.events_of_kind("retry_attempt").len() as u64,
             workers_lost: out.telemetry.events_of_kind("worker_lost").len() as u64,
             completed: out.jobs.iter().filter(|j| j.completion.is_some()).count(),

@@ -55,7 +55,7 @@ pub fn run(cfg: &ExperimentConfig) -> Fig6 {
             label: policy.label(),
             mean_of_means: means.mean(),
             mean_of_vars: vars.mean(),
-            median_of_vars: vars.median(),
+            median_of_vars: vars.median().unwrap_or(f64::NAN),
             cdf_mean: means.cdf(64),
             cdf_var: vars.cdf(64),
         }

@@ -22,6 +22,7 @@ pub mod report;
 pub mod runner;
 pub mod table1;
 pub mod table2;
+pub mod validate;
 
 pub use config::ExperimentConfig;
 pub use runner::{

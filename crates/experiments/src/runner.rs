@@ -105,32 +105,68 @@ pub fn run_table1(cfg: &ExperimentConfig, index: Table1Index, policy: PolicyKind
 /// one per available core), preserving input order in the output. Workers
 /// pull from a shared queue, so uneven job costs balance dynamically.
 /// Used by the sweep experiments.
+///
+/// If a closure panics, the *first* panic payload is re-raised on the
+/// calling thread after the remaining items drain — siblings keep running
+/// and the original message survives, instead of every worker dying with
+/// a misleading "sweep queue poisoned"/"sweep worker panicked".
 pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
 where
     I: Send,
     O: Send,
     F: Fn(I) -> O + Sync,
 {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
     let n = inputs.len();
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
         .min(n);
     if workers <= 1 {
-        return inputs.into_iter().map(f).collect();
+        // Same drain-then-reraise semantics as the threaded path.
+        let mut out = Vec::with_capacity(n);
+        let mut first_panic = None;
+        for input in inputs {
+            match catch_unwind(AssertUnwindSafe(|| f(input))) {
+                Ok(o) => out.push(o),
+                Err(payload) => {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        return out;
     }
     let queue = std::sync::Mutex::new(inputs.into_iter().enumerate());
+    let first_panic: std::sync::Mutex<Option<Box<dyn std::any::Any + Send>>> =
+        std::sync::Mutex::new(None);
     let mut results: Vec<(usize, O)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let queue = &queue;
+                let first_panic = &first_panic;
                 let f = &f;
                 s.spawn(move || {
                     let mut done = Vec::new();
                     loop {
-                        let next = queue.lock().expect("sweep queue poisoned").next();
+                        // `into_inner` recovers a poisoned queue: the lock
+                        // only guards the iterator cursor, which a panic
+                        // elsewhere cannot corrupt.
+                        let next = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
                         match next {
-                            Some((i, input)) => done.push((i, f(input))),
+                            Some((i, input)) => {
+                                match catch_unwind(AssertUnwindSafe(|| f(input))) {
+                                    Ok(out) => done.push((i, out)),
+                                    Err(payload) => {
+                                        first_panic
+                                            .lock()
+                                            .unwrap_or_else(|e| e.into_inner())
+                                            .get_or_insert(payload);
+                                    }
+                                }
+                            }
                             None => return done,
                         }
                     }
@@ -139,9 +175,12 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .flat_map(|h| h.join().expect("sweep worker died outside the job closure"))
             .collect()
     });
+    if let Some(payload) = first_panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        resume_unwind(payload);
+    }
     results.sort_by_key(|(i, _)| *i);
     results.into_iter().map(|(_, o)| o).collect()
 }
@@ -180,5 +219,42 @@ mod tests {
     fn parallel_map_preserves_order() {
         let out = parallel_map((0..16).collect(), |x: i32| x * x);
         assert_eq!(out, (0..16).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_propagates_original_panic() {
+        // Regression: a panicking closure used to surface as "sweep worker
+        // panicked" (or poison siblings) — the original payload must win.
+        let result = std::panic::catch_unwind(|| {
+            parallel_map((0..32).collect(), |x: i32| {
+                if x == 3 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        });
+        let payload = result.expect_err("panic in a sweep job must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("payload is the original format string");
+        assert!(msg.contains("boom at 3"), "original panic lost: {msg}");
+    }
+
+    #[test]
+    fn parallel_map_drains_siblings_after_panic() {
+        // Items other than the panicking one still run to completion.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let ran = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(|| {
+            parallel_map((0..16).collect(), |x: i32| {
+                if x == 0 {
+                    panic!("early item panics");
+                }
+                ran.fetch_add(1, Ordering::SeqCst);
+                x
+            })
+        });
+        assert!(result.is_err());
+        assert_eq!(ran.load(Ordering::SeqCst), 15, "remaining items drained");
     }
 }

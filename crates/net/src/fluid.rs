@@ -37,7 +37,7 @@
 use crate::maxmin::{AllocStats, FlowDemand, MaxMinAllocator};
 use crate::topology::Topology;
 use crate::types::{Band, Bandwidth, FlowId, HostId};
-use simcore::{SimDuration, SimTime};
+use simcore::{InvariantChecker, SimDuration, SimTime};
 use tl_telemetry::{SimEvent, Telemetry};
 
 /// Everything needed to start a flow.
@@ -128,6 +128,9 @@ pub struct FluidNet {
     any_dirty: bool,
     /// Cached `next_event_time` result; cleared on any mutation.
     next_cache: Option<Option<SimTime>>,
+    /// Flows harvested by `advance` at their exact depletion instant,
+    /// buffered until the next `take_completions` call.
+    pending_done: Vec<CompletedFlow>,
     allocator: MaxMinAllocator,
     // Scratch buffers reused across rate computations.
     demands: Vec<FlowDemand>,
@@ -137,6 +140,8 @@ pub struct FluidNet {
     ingress_bytes: Vec<f64>,
     /// Structured event sink; disabled by default (near-free emits).
     telemetry: Telemetry,
+    /// Runtime invariant checks on every rate refresh; disabled by default.
+    invariants: InvariantChecker,
 }
 
 impl FluidNet {
@@ -152,12 +157,14 @@ impl FluidNet {
             dirty_hosts: vec![false; n],
             any_dirty: false,
             next_cache: None,
+            pending_done: Vec::new(),
             allocator: MaxMinAllocator::new(),
             demands: Vec::new(),
             rates: Vec::new(),
             egress_bytes: vec![0.0; n],
             ingress_bytes: vec![0.0; n],
             telemetry: Telemetry::disabled(),
+            invariants: InvariantChecker::disabled(),
         }
     }
 
@@ -165,6 +172,13 @@ impl FluidNet {
     /// rotation, and allocator re-solve events through it.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Attach an invariant checker: every rate refresh then validates NIC
+    /// capacity conservation and strict-priority band ordering. Costs
+    /// nothing when the checker is disabled.
+    pub fn set_invariants(&mut self, invariants: InvariantChecker) {
+        self.invariants = invariants;
     }
 
     /// The topology this engine runs over.
@@ -372,14 +386,34 @@ impl FluidNet {
         changed
     }
 
-    /// Integrate flow progress from the last advance point to `now` using
-    /// the current rates. Idempotent for equal `now`.
+    /// Integrate flow progress from the last advance point to `now`.
+    ///
+    /// The interval is stepped piecewise through every depletion crossing
+    /// inside it: a flow that runs dry mid-interval is stamped finished at
+    /// its exact crossing instant (buffered until the next
+    /// [`FluidNet::take_completions`]) and its capacity is redistributed
+    /// to the surviving flows for the remainder of the interval. A caller
+    /// may therefore jump arbitrarily far — e.g. a fault injected long
+    /// after the last scheduled event — without skewing completion
+    /// timestamps or byte accounting. Idempotent for equal `now`.
     pub fn advance(&mut self, now: SimTime) {
         assert!(
             now >= self.last_advance,
             "fluid engine cannot move backwards: {now} < {}",
             self.last_advance
         );
+        while let Some(t) = self.next_event_time() {
+            if t > now {
+                break;
+            }
+            self.integrate_to(t);
+            self.harvest_completions(t);
+        }
+        self.integrate_to(now);
+    }
+
+    /// Single-segment integration under the current (constant) rates.
+    fn integrate_to(&mut self, now: SimTime) {
         if now == self.last_advance {
             return;
         }
@@ -400,6 +434,59 @@ impl FluidNet {
             }
         }
         self.last_advance = now;
+    }
+
+    /// Move every flow at or below the completion threshold out of the
+    /// active set, stamped finished at `at`, into the pending buffer.
+    fn harvest_completions(&mut self, at: SimTime) {
+        let flows = &mut self.flows;
+        let free = &mut self.free;
+        let dirty_hosts = &mut self.dirty_hosts;
+        let done = &mut self.pending_done;
+        let before = done.len();
+        self.active.retain(|&slot| {
+            let entry = &mut flows[slot as usize];
+            let remaining = entry.state.as_ref().expect("active flow missing").remaining;
+            if remaining <= DONE_EPS {
+                let f = entry.state.take().expect("flow vanished");
+                done.push(CompletedFlow {
+                    id: FlowId(make_id(entry.gen, slot as usize)),
+                    tag: f.spec.tag,
+                    src: f.spec.src,
+                    dst: f.spec.dst,
+                    started: f.started,
+                    finished: at,
+                    bytes: f.spec.bytes,
+                });
+                dirty_hosts[f.spec.src.0 as usize] = true;
+                dirty_hosts[f.spec.dst.0 as usize] = true;
+                entry.gen = entry.gen.wrapping_add(1);
+                free.push(slot);
+                false
+            } else {
+                true
+            }
+        });
+        if done.len() == before {
+            return;
+        }
+        self.any_dirty = true;
+        self.next_cache = None;
+        if self.telemetry.is_enabled() {
+            for d in &self.pending_done[before..] {
+                self.telemetry.emit(
+                    at,
+                    SimEvent::FlowFinish {
+                        flow: d.id.0,
+                        tag: d.tag,
+                        src: d.src.0,
+                        dst: d.dst.0,
+                        bytes: d.bytes,
+                        started: d.started,
+                    },
+                );
+            }
+        }
     }
 
     /// The earliest time at which some flow completes under current rates,
@@ -434,58 +521,13 @@ impl FluidNet {
     }
 
     /// Advance to `now` and drain all flows that have finished by then,
-    /// in creation order.
+    /// ordered by completion time, then creation. A flow whose bytes
+    /// depleted strictly before `now` carries its exact depletion instant
+    /// as `finished`, not the harvest time.
     pub fn take_completions(&mut self, now: SimTime) -> Vec<CompletedFlow> {
         self.advance(now);
-        let mut done = Vec::new();
-        let flows = &mut self.flows;
-        let free = &mut self.free;
-        let dirty_hosts = &mut self.dirty_hosts;
-        let mut any = false;
-        self.active.retain(|&slot| {
-            let entry = &mut flows[slot as usize];
-            let remaining = entry.state.as_ref().expect("active flow missing").remaining;
-            if remaining <= DONE_EPS {
-                let f = entry.state.take().expect("flow vanished");
-                done.push(CompletedFlow {
-                    id: FlowId(make_id(entry.gen, slot as usize)),
-                    tag: f.spec.tag,
-                    src: f.spec.src,
-                    dst: f.spec.dst,
-                    started: f.started,
-                    finished: now,
-                    bytes: f.spec.bytes,
-                });
-                entry.gen = entry.gen.wrapping_add(1);
-                free.push(slot);
-                dirty_hosts[f.spec.src.0 as usize] = true;
-                dirty_hosts[f.spec.dst.0 as usize] = true;
-                any = true;
-                false
-            } else {
-                true
-            }
-        });
-        if any {
-            self.any_dirty = true;
-            self.next_cache = None;
-        }
-        if self.telemetry.is_enabled() {
-            for d in &done {
-                self.telemetry.emit(
-                    now,
-                    SimEvent::FlowFinish {
-                        flow: d.id.0,
-                        tag: d.tag,
-                        src: d.src.0,
-                        dst: d.dst.0,
-                        bytes: d.bytes,
-                        started: d.started,
-                    },
-                );
-            }
-        }
-        done
+        self.harvest_completions(now);
+        std::mem::take(&mut self.pending_done)
     }
 
     fn refresh_rates(&mut self) {
@@ -551,6 +593,101 @@ impl FluidNet {
         }
         self.dirty_hosts.fill(false);
         self.any_dirty = false;
+        if self.invariants.is_enabled() {
+            self.check_allocation();
+        }
+    }
+
+    /// Validate the freshly computed allocation (only runs when an enabled
+    /// [`InvariantChecker`] is attached):
+    ///
+    /// * **`net.capacity`** — per-host egress and ingress rate sums of
+    ///   non-loopback flows never exceed the NIC capacity, and the
+    ///   aggregate never exceeds a configured fabric core.
+    /// * **`net.band_order`** — strict priority: an uncapped flow can only
+    ///   be starved while a *lower*-priority flow shares its egress if
+    ///   something else explains the starvation (its destination ingress
+    ///   or the fabric core is saturated).
+    fn check_allocation(&mut self) {
+        let at = self.last_advance;
+        let n = self.topo.num_hosts();
+        let mut egress_sum = vec![0.0; n];
+        let mut ingress_sum = vec![0.0; n];
+        let mut total = 0.0;
+        for &slot in &self.active {
+            let f = self.state(slot);
+            if f.spec.src == f.spec.dst {
+                continue;
+            }
+            egress_sum[f.spec.src.0 as usize] += f.rate;
+            ingress_sum[f.spec.dst.0 as usize] += f.rate;
+            total += f.rate;
+        }
+        // Relative slack for float summation error; a real bug overshoots
+        // by a whole fair share, many orders of magnitude larger.
+        const REL: f64 = 1e-6;
+        for h in 0..n {
+            let host = HostId(h as u32);
+            let e_cap = self.topo.egress(host).bytes_per_sec();
+            let i_cap = self.topo.ingress(host).bytes_per_sec();
+            self.invariants.check(
+                at,
+                "net.capacity",
+                || egress_sum[h] <= e_cap * (1.0 + REL),
+                || format!("host {h} egress {} B/s > cap {e_cap} B/s", egress_sum[h]),
+            );
+            self.invariants.check(
+                at,
+                "net.capacity",
+                || ingress_sum[h] <= i_cap * (1.0 + REL),
+                || format!("host {h} ingress {} B/s > cap {i_cap} B/s", ingress_sum[h]),
+            );
+        }
+        if let Some(core) = self.topo.core_capacity() {
+            let core = core.bytes_per_sec();
+            self.invariants.check(
+                at,
+                "net.capacity",
+                || total <= core * (1.0 + REL),
+                || format!("aggregate {total} B/s > fabric core {core} B/s"),
+            );
+        }
+        let core_saturated = self
+            .topo
+            .core_capacity()
+            .is_some_and(|c| total >= c.bytes_per_sec() * (1.0 - REL));
+        for &slot in &self.active {
+            let f = self.state(slot);
+            if f.spec.src == f.spec.dst || f.rate >= RATE_EPS || f.max_rate.is_finite() {
+                continue;
+            }
+            // `f` is an uncapped, fully starved flow. Under strict egress
+            // priority that is only legitimate if every same-egress flow
+            // still running has equal or higher priority, or `f` is
+            // blocked elsewhere (saturated destination ingress / core).
+            let preempted_by_lower = self.active.iter().any(|&other| {
+                let g = self.state(other);
+                other != slot
+                    && g.spec.src == f.spec.src
+                    && g.spec.dst != g.spec.src
+                    && g.spec.band > f.spec.band
+                    && g.rate >= RATE_EPS
+            });
+            if preempted_by_lower {
+                let dst = f.spec.dst.0 as usize;
+                let i_cap = self.topo.ingress(f.spec.dst).bytes_per_sec();
+                let explained = ingress_sum[dst] >= i_cap * (1.0 - REL) || core_saturated;
+                if !explained {
+                    let (src, dst_h, band) = (f.spec.src.0, f.spec.dst.0, f.spec.band.0);
+                    self.invariants.violation(at, "net.band_order", || {
+                        format!(
+                            "flow in band {band} at host {src} starved while a \
+                             lower-priority flow sends, yet ingress {dst_h} has headroom"
+                        )
+                    });
+                }
+            }
+        }
     }
 }
 
@@ -572,6 +709,28 @@ mod tests {
             weight: 1.0,
             tag,
         }
+    }
+
+    #[test]
+    fn invariants_clean_under_contention() {
+        // Shared egress, three bands, a mid-run rotation and a capacity
+        // change: the allocator must never violate capacity conservation
+        // or strict-priority ordering.
+        let inv = InvariantChecker::enabled();
+        let mut net = FluidNet::new(topo(4));
+        net.set_invariants(inv.clone());
+        for k in 0..6u32 {
+            net.start_flow(SimTime::ZERO, spec(0, 1 + k % 3, 200e6, (k % 3) as u8, k as u64));
+        }
+        let t = SimTime::from_millis(50);
+        net.set_band_for_tag(t, 0, Band(2));
+        net.set_host_capacity(t, HostId(1), Bandwidth::from_gbps(5.0), Bandwidth::from_gbps(5.0));
+        let mut done = 0;
+        while let Some(t) = net.next_event_time() {
+            done += net.take_completions(t).len();
+        }
+        assert_eq!(done, 6);
+        assert_eq!(inv.violation_count(), 0, "{:?}", inv.take());
     }
 
     #[test]
@@ -887,6 +1046,44 @@ mod tests {
         let out = telemetry.take_output();
         assert_eq!(out.events_of_kind("flow_finish").len(), 1);
         assert_eq!(out.events_of_kind("flow_start").len(), 2);
+    }
+
+    #[test]
+    fn completion_crossed_by_jump_keeps_exact_timestamp() {
+        // Regression: a mutation arriving after a flow's last byte used to
+        // stamp the completion at the mutation time. Here 12.5 MB at
+        // 10 Gbps depletes at t = 10 ms, but the next engine touch is a
+        // capacity change (fault) at 46 ms.
+        let mut net = FluidNet::new(topo(2));
+        net.start_flow(SimTime::ZERO, spec(0, 1, 1.25e7, 0, 7));
+        let t_fault = SimTime::from_millis(46);
+        net.set_host_capacity(
+            t_fault,
+            HostId(0),
+            Bandwidth::from_gbps(1.0),
+            Bandwidth::from_gbps(1.0),
+        );
+        let done = net.take_completions(t_fault);
+        assert_eq!(done.len(), 1);
+        let finished = done[0].finished.as_secs_f64();
+        assert!(
+            (finished - 0.01).abs() < 1e-6,
+            "stamped {finished}, want ~0.01"
+        );
+    }
+
+    #[test]
+    fn capacity_freed_mid_jump_is_redistributed() {
+        // Two flows share host 0's egress at 6.25e8 B/s each. Flow A
+        // (62.5 MB) depletes at t = 0.1 s; from then on B runs at the full
+        // 1.25e9 B/s. A single advance spanning the crossing must
+        // integrate both segments, not hold B at the stale half rate.
+        let mut net = FluidNet::new(topo(3));
+        net.start_flow(SimTime::ZERO, spec(0, 1, 6.25e7, 0, 1));
+        let b = net.start_flow(SimTime::ZERO, spec(0, 2, 1.25e9, 0, 2));
+        net.advance(SimTime::from_millis(300));
+        let moved = 1.25e9 - net.remaining_of(b).unwrap();
+        assert!((moved - 3.125e8).abs() < 1e3, "B moved {moved} bytes");
     }
 
     #[test]

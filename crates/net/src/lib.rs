@@ -12,6 +12,10 @@
 //! * [`packet::PacketSim`] — a chunk-level single-link simulator with
 //!   pfifo_fast / prio / DRR disciplines, used for Figure-4-style timelines
 //!   and to cross-validate the fluid model on small scenarios.
+//! * [`pnet::PacketNet`] — an *interactive* chunk-level engine with the
+//!   same driving surface as `FluidNet` (mid-run arrivals, band rotations,
+//!   capacity changes, aborts), so the full training engine can run on
+//!   either model; the differential-validation harness cross-checks them.
 //!
 //! [`tc::TcConfig`] renders the actual Linux `tc` command lines (htb
 //! classes plus u32 sport filters) for real deployment, including the
@@ -22,6 +26,7 @@
 pub mod fluid;
 pub mod maxmin;
 pub mod packet;
+pub mod pnet;
 pub mod psim;
 pub mod tc;
 pub mod topology;
@@ -30,6 +35,7 @@ pub mod types;
 pub use fluid::{CompletedFlow, FlowSpec, FluidNet};
 pub use maxmin::{AllocStats, FlowDemand, MaxMinAllocator};
 pub use packet::{PacketRun, PacketSim, Qdisc, Rotation, TimelineEntry, Transfer, TransferOutcome};
+pub use pnet::PacketNet;
 pub use psim::{EgressDiscipline, NetFlow, NetFlowOutcome, NetSimConfig};
 pub use tc::TcConfig;
 pub use topology::Topology;

@@ -1,0 +1,828 @@
+//! Interactive chunk-level packet network engine.
+//!
+//! The third network model in this crate, and the second at packet
+//! granularity: where [`crate::psim`] runs a fixed batch of flows to
+//! completion, `PacketNet` exposes the *same driving surface as
+//! [`crate::fluid::FluidNet`]* — flows start mid-run, bands rotate,
+//! capacities change, flows abort — so the full training engine in `tl-dl`
+//! can run unmodified on either model and the two can be differentially
+//! validated end to end (the `repro --experiment validate` harness).
+//!
+//! The queueing mechanics mirror `psim`: every flow is a stream of
+//! fixed-size chunks passing through two serial servers (sender egress,
+//! receiver ingress) with a store-and-forward switch in between, a
+//! per-flow sliding window for TCP-like self-clocking, strict-priority or
+//! fair round-robin egress scheduling, and FIFO ingress. On top of that,
+//! this engine adds the interactive pieces the DL workload needs:
+//!
+//! * **loopback flows** (colocated PS/worker) complete at the topology's
+//!   loopback rate without touching the NIC servers or byte counters,
+//!   matching the fluid engine's semantics;
+//! * **rate caps** ([`PacketNet::start_flow_with_cap`]) are modelled as
+//!   sender pacing: a capped flow schedules its next chunk no earlier than
+//!   `chunk / cap` after the previous one, leaving the idle egress slots
+//!   to other flows;
+//! * **aborts** drop queued and in-flight chunks; bytes of a dead flow
+//!   never count as delivered.
+//!
+//! The engine is driven exactly like the fluid one: after any mutation the
+//! caller asks [`PacketNet::next_event_time`] and schedules a wake-up; on
+//! wake-up it calls [`PacketNet::take_completions`]. Chunk-level events
+//! are far denser than fluid completion events, so a run on this backend
+//! costs more wall time — it is an oracle, not a replacement.
+
+use crate::psim::EgressDiscipline;
+use crate::topology::Topology;
+use crate::types::{Band, Bandwidth, FlowId, HostId};
+use crate::fluid::{CompletedFlow, FlowSpec};
+use simcore::{EventHandle, EventQueue, InvariantChecker, SimDuration, SimTime};
+use std::collections::VecDeque;
+use tl_telemetry::{SimEvent, Telemetry};
+
+/// Default chunk size: 64 KiB, matching `psim` and the single-link packet
+/// simulator.
+pub const DEFAULT_CHUNK_BYTES: u64 = 64 * 1024;
+/// Default per-flow window: 16 chunks in flight.
+pub const DEFAULT_WINDOW: u32 = 16;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Active,
+    Finished,
+    Aborted,
+}
+
+#[derive(Debug)]
+struct PFlow {
+    spec: FlowSpec,
+    total: u64,
+    /// Bytes not yet handed to the egress server.
+    to_send: u64,
+    /// Chunks sent but not yet fully received.
+    in_flight: u32,
+    /// Bytes fully received.
+    received: u64,
+    started: SimTime,
+    max_rate: f64,
+    /// Pacing gate for capped flows: no chunk before this instant.
+    next_allowed: SimTime,
+    status: Status,
+}
+
+/// A chunk occupying a NIC server, with enough context to re-rate it when
+/// the host's capacity changes mid-service.
+#[derive(Debug, Clone, Copy)]
+struct Service {
+    /// Flow index of the chunk in service.
+    flow: u32,
+    /// Chunk size, bytes.
+    chunk: u64,
+    /// Scheduled completion instant.
+    finish: SimTime,
+    /// Rate the schedule assumed, bytes/sec.
+    rate: f64,
+    /// Handle of the scheduled completion event (for rescheduling).
+    handle: EventHandle,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PEv {
+    /// The egress server of host `h` finished serializing a chunk.
+    EgressDone(u32),
+    /// The ingress server of host `h` finished receiving a chunk.
+    IngressDone(u32),
+    /// A loopback flow delivered its last byte.
+    LoopbackDone(u32),
+    /// A pacing gate on host `h` opened; re-examine its egress.
+    Pace(u32),
+}
+
+/// The interactive chunk-level network engine. API mirrors
+/// [`FluidNet`](crate::fluid::FluidNet); see the module docs.
+#[derive(Debug)]
+pub struct PacketNet {
+    topo: Topology,
+    chunk_bytes: u64,
+    window: u32,
+    discipline: EgressDiscipline,
+    flows: Vec<PFlow>,
+    /// Alive flow indices in creation order (deterministic iteration).
+    active: Vec<u32>,
+    queue: EventQueue<PEv>,
+    /// Per-host egress server: the chunk in service, if any.
+    egress_busy: Vec<Option<Service>>,
+    egress_cursor: Vec<u32>,
+    /// Per-host ingress FIFO of (flow index, chunk size).
+    ingress_q: Vec<VecDeque<(u32, u64)>>,
+    /// Per-host ingress server: the chunk in service (the FIFO's front).
+    ingress_busy: Vec<Option<Service>>,
+    /// Earliest scheduled pace wake-up per host (dedup, not correctness).
+    pace_wake: Vec<Option<SimTime>>,
+    /// Completions accumulated since the last `take_completions`.
+    done: Vec<CompletedFlow>,
+    last_advance: SimTime,
+    egress_bytes: Vec<f64>,
+    ingress_bytes: Vec<f64>,
+    telemetry: Telemetry,
+    invariants: InvariantChecker,
+}
+
+impl PacketNet {
+    /// Create an engine over `topo` with default chunking (64 KiB chunks,
+    /// 16-chunk window, strict-priority egress — the discipline the
+    /// TensorLights policies assume).
+    pub fn new(topo: Topology) -> Self {
+        Self::with_chunking(
+            topo,
+            DEFAULT_CHUNK_BYTES,
+            DEFAULT_WINDOW,
+            EgressDiscipline::Priority,
+        )
+    }
+
+    /// Create an engine with explicit chunk size, window, and discipline.
+    pub fn with_chunking(
+        topo: Topology,
+        chunk_bytes: u64,
+        window: u32,
+        discipline: EgressDiscipline,
+    ) -> Self {
+        assert!(chunk_bytes > 0, "chunk size must be positive");
+        assert!(window > 0, "window must be positive");
+        let n = topo.num_hosts();
+        PacketNet {
+            topo,
+            chunk_bytes,
+            window,
+            discipline,
+            flows: Vec::new(),
+            active: Vec::new(),
+            queue: EventQueue::new(),
+            egress_busy: vec![None; n],
+            egress_cursor: vec![0; n],
+            ingress_q: vec![VecDeque::new(); n],
+            ingress_busy: vec![None; n],
+            pace_wake: vec![None; n],
+            done: Vec::new(),
+            last_advance: SimTime::ZERO,
+            egress_bytes: vec![0.0; n],
+            ingress_bytes: vec![0.0; n],
+            telemetry: Telemetry::disabled(),
+            invariants: InvariantChecker::disabled(),
+        }
+    }
+
+    /// Attach a telemetry handle (flow lifecycle + rotation events).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Attach an invariant checker (per-flow byte conservation, window
+    /// bounds).
+    pub fn set_invariants(&mut self, invariants: InvariantChecker) {
+        self.invariants = invariants;
+    }
+
+    /// The topology this engine runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of currently active flows.
+    pub fn active_flow_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Rate-allocator counters, for API parity with the fluid engine.
+    /// The packet model has no allocator, so these are always zero.
+    pub fn alloc_stats(&self) -> crate::maxmin::AllocStats {
+        crate::maxmin::AllocStats::default()
+    }
+
+    /// Cumulative egress bytes per host since engine creation.
+    pub fn egress_bytes(&self) -> &[f64] {
+        &self.egress_bytes
+    }
+
+    /// Cumulative ingress bytes per host since engine creation.
+    pub fn ingress_bytes(&self) -> &[f64] {
+        &self.ingress_bytes
+    }
+
+    /// Remaining (undelivered) bytes of a flow; `None` once finished or
+    /// aborted.
+    pub fn remaining_of(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(id.0 as usize).and_then(|f| {
+            (f.status == Status::Active).then(|| (f.total - f.received) as f64)
+        })
+    }
+
+    /// Start a flow at time `now`.
+    pub fn start_flow(&mut self, now: SimTime, spec: FlowSpec) -> FlowId {
+        self.start_flow_with_cap(now, spec, f64::INFINITY)
+    }
+
+    /// Start a flow whose average rate the sender limits to `max_rate`
+    /// bytes/sec by pacing its chunks.
+    pub fn start_flow_with_cap(&mut self, now: SimTime, spec: FlowSpec, max_rate: f64) -> FlowId {
+        assert!(spec.bytes > 0.0 && spec.bytes.is_finite(), "invalid size");
+        assert!(max_rate > 0.0, "rate cap must be positive");
+        assert!(
+            self.topo.contains(spec.src) && self.topo.contains(spec.dst),
+            "flow endpoints outside topology"
+        );
+        self.advance(now);
+        let idx = self.flows.len() as u32;
+        let total = spec.bytes.ceil().max(1.0) as u64;
+        self.flows.push(PFlow {
+            spec,
+            total,
+            to_send: total,
+            in_flight: 0,
+            received: 0,
+            started: now,
+            max_rate,
+            next_allowed: now,
+            status: Status::Active,
+        });
+        self.active.push(idx);
+        let id = FlowId(idx as u64);
+        self.telemetry.emit_with(now, || SimEvent::FlowStart {
+            flow: id.0,
+            tag: spec.tag,
+            src: spec.src.0,
+            dst: spec.dst.0,
+            bytes: spec.bytes,
+            band: spec.band.0,
+        });
+        if spec.src == spec.dst {
+            // Colocated endpoints: deliver at the loopback rate, bypassing
+            // both NIC servers (mirrors the fluid engine).
+            let secs = spec.bytes / self.topo.loopback().bytes_per_sec();
+            self.queue
+                .schedule(now + SimDuration::from_secs_f64(secs), PEv::LoopbackDone(idx));
+        } else {
+            self.kick_egress(now, spec.src.0);
+        }
+        id
+    }
+
+    /// Change host `h`'s NIC capacity (both directions) at `now`. A chunk
+    /// in service is re-rated: its remaining bytes drain at the new speed
+    /// (the fluid engine does the same, and a real NIC's wire rate change
+    /// applies to unsent bytes — without this, a chunk that starts during
+    /// a brownout would hold its near-zero rate long after recovery).
+    pub fn set_host_capacity(
+        &mut self,
+        now: SimTime,
+        h: HostId,
+        egress: Bandwidth,
+        ingress: Bandwidth,
+    ) {
+        assert!(self.topo.contains(h), "host outside topology");
+        self.advance(now);
+        self.topo.set_host_capacity(h, egress, ingress);
+        self.rerate_service(now, h.0, /* egress: */ true);
+        self.rerate_service(now, h.0, /* egress: */ false);
+    }
+
+    /// Reschedule the chunk in service at `h`'s egress or ingress server
+    /// to the host's current rate, preserving the bytes already on the
+    /// wire under the old rate.
+    fn rerate_service(&mut self, now: SimTime, h: u32, egress: bool) {
+        let new_rate = if egress {
+            self.topo.egress(HostId(h)).bytes_per_sec()
+        } else {
+            self.topo.ingress(HostId(h)).bytes_per_sec()
+        };
+        let slot = if egress {
+            &mut self.egress_busy[h as usize]
+        } else {
+            &mut self.ingress_busy[h as usize]
+        };
+        let Some(svc) = slot.as_mut() else { return };
+        if svc.rate == new_rate {
+            return;
+        }
+        debug_assert!(svc.finish > now, "stale service survived advance()");
+        let remaining_bytes = svc.finish.since(now).as_secs_f64() * svc.rate;
+        let finish = now + SimDuration::from_secs_f64(remaining_bytes / new_rate);
+        self.queue.cancel(svc.handle);
+        svc.rate = new_rate;
+        svc.finish = finish;
+        svc.handle = self.queue.schedule(
+            finish,
+            if egress {
+                PEv::EgressDone(h)
+            } else {
+                PEv::IngressDone(h)
+            },
+        );
+    }
+
+    /// Abort every active flow for which `pred` holds, returning ids and
+    /// tags in creation order. Queued and in-flight chunks of aborted
+    /// flows are dropped; no `FlowFinish` is emitted.
+    pub fn abort_flows_where(
+        &mut self,
+        now: SimTime,
+        mut pred: impl FnMut(FlowId, &FlowSpec) -> bool,
+    ) -> Vec<(FlowId, u64)> {
+        self.advance(now);
+        let mut aborted = Vec::new();
+        let flows = &mut self.flows;
+        self.active.retain(|&idx| {
+            let f = &mut flows[idx as usize];
+            let id = FlowId(idx as u64);
+            if pred(id, &f.spec) {
+                f.status = Status::Aborted;
+                f.to_send = 0;
+                aborted.push((id, f.spec.tag));
+                false
+            } else {
+                true
+            }
+        });
+        if !aborted.is_empty() {
+            // Drop queued (not-in-service) chunks of dead flows. The chunk
+            // currently in service at each busy server completes on the
+            // wire and is discarded on arrival.
+            for h in 0..self.ingress_q.len() {
+                let keep_front = self.ingress_busy[h].is_some();
+                let mut kept = 0usize;
+                self.ingress_q[h].retain(|&(i, _)| {
+                    kept += 1;
+                    (keep_front && kept == 1) || flows[i as usize].status != Status::Aborted
+                });
+            }
+            // Freed egress slots and windows may unblock surviving flows.
+            for h in 0..self.egress_busy.len() {
+                self.kick_egress(now, h as u32);
+            }
+        }
+        aborted
+    }
+
+    /// Reassign the band of every active flow with the given tag; returns
+    /// the number of flows affected. Chunks already queued or in service
+    /// keep their position; future chunks compete in the new band.
+    pub fn set_band_for_tag(&mut self, now: SimTime, tag: u64, band: Band) -> usize {
+        self.advance(now);
+        let mut changed = 0;
+        for &idx in &self.active {
+            let f = &mut self.flows[idx as usize];
+            if f.spec.tag == tag && f.spec.band != band {
+                f.spec.band = band;
+                changed += 1;
+            }
+        }
+        if changed > 0 {
+            self.telemetry.emit_with(now, || SimEvent::PriorityRotation {
+                tag,
+                band: band.0,
+                flows: changed as u32,
+            });
+        }
+        changed
+    }
+
+    /// Process all internal chunk events up to `now`.
+    pub fn advance(&mut self, now: SimTime) {
+        assert!(
+            now >= self.last_advance,
+            "packet engine cannot move backwards: {now} < {}",
+            self.last_advance
+        );
+        while let Some(t) = self.queue.peek_time() {
+            if t > now {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event vanished");
+            match ev {
+                PEv::EgressDone(h) => self.on_egress_done(t, h),
+                PEv::IngressDone(h) => self.on_ingress_done(t, h),
+                PEv::LoopbackDone(i) => self.on_loopback_done(t, i),
+                PEv::Pace(h) => {
+                    if self.pace_wake[h as usize] == Some(t) {
+                        self.pace_wake[h as usize] = None;
+                    }
+                    if self.egress_busy[h as usize].is_none() {
+                        self.kick_egress(t, h);
+                    }
+                }
+            }
+        }
+        self.last_advance = now;
+    }
+
+    /// The time of the next internal chunk event, if any. Unlike the fluid
+    /// engine this is *not* necessarily a flow completion — the driver
+    /// wakes per chunk event and usually drains nothing.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Advance to `now` and drain all flows that finished by then, in
+    /// completion order.
+    pub fn take_completions(&mut self, now: SimTime) -> Vec<CompletedFlow> {
+        self.advance(now);
+        std::mem::take(&mut self.done)
+    }
+
+    // ---- internal event handlers ---------------------------------------
+
+    fn on_egress_done(&mut self, now: SimTime, h: u32) {
+        let svc = self.egress_busy[h as usize].take().expect("egress was busy");
+        let (i, chunk) = (svc.flow, svc.chunk);
+        let f = &self.flows[i as usize];
+        if f.status != Status::Aborted {
+            self.egress_bytes[h as usize] += chunk as f64;
+            let dst = f.spec.dst.0 as usize;
+            self.ingress_q[dst].push_back((i, chunk));
+            self.kick_ingress(now, dst as u32);
+        }
+        self.kick_egress(now, h);
+    }
+
+    fn on_ingress_done(&mut self, now: SimTime, h: u32) {
+        let (i, chunk) = self.ingress_q[h as usize]
+            .pop_front()
+            .expect("ingress completed a chunk");
+        self.ingress_busy[h as usize] = None;
+        let f = &mut self.flows[i as usize];
+        if f.status != Status::Aborted {
+            f.in_flight -= 1;
+            f.received += chunk;
+            self.ingress_bytes[h as usize] += chunk as f64;
+            if f.received >= f.total && f.status == Status::Active {
+                self.finish_flow(now, i);
+            } else {
+                // The window opened: the sender may proceed.
+                let src = self.flows[i as usize].spec.src.0;
+                if self.egress_busy[src as usize].is_none() {
+                    self.kick_egress(now, src);
+                }
+            }
+        }
+        self.kick_ingress(now, h);
+    }
+
+    fn on_loopback_done(&mut self, now: SimTime, i: u32) {
+        if self.flows[i as usize].status == Status::Active {
+            self.flows[i as usize].received = self.flows[i as usize].total;
+            self.finish_flow(now, i);
+        }
+    }
+
+    fn finish_flow(&mut self, now: SimTime, i: u32) {
+        let f = &mut self.flows[i as usize];
+        f.status = Status::Finished;
+        self.invariants.check(
+            now,
+            "pnet.conservation",
+            || f.received == f.total,
+            || {
+                format!(
+                    "flow {i} finished with {} of {} bytes delivered",
+                    f.received, f.total
+                )
+            },
+        );
+        let done = CompletedFlow {
+            id: FlowId(i as u64),
+            tag: f.spec.tag,
+            src: f.spec.src,
+            dst: f.spec.dst,
+            started: f.started,
+            finished: now,
+            bytes: f.spec.bytes,
+        };
+        self.active.retain(|&k| k != i);
+        self.done.push(done);
+        self.telemetry.emit_with(now, || SimEvent::FlowFinish {
+            flow: done.id.0,
+            tag: done.tag,
+            src: done.src.0,
+            dst: done.dst.0,
+            bytes: done.bytes,
+            started: done.started,
+        });
+        // A finished flow frees its sender for lower-priority work.
+        let src = done.src.0;
+        if src != done.dst.0 && self.egress_busy[src as usize].is_none() {
+            self.kick_egress(now, src);
+        }
+    }
+
+    /// Put the next eligible chunk into host `h`'s egress server, if it is
+    /// idle and a flow is ready. Schedules a pace wake-up when every ready
+    /// flow is gated by its cap.
+    fn kick_egress(&mut self, now: SimTime, h: u32) {
+        if self.egress_busy[h as usize].is_some() {
+            return;
+        }
+        // A flow is ready when it has bytes left AND window room AND its
+        // pacing gate has opened — a window-stalled high-band flow releases
+        // the link to lower bands (work conservation, htb-style).
+        let mut candidates: Vec<u32> = Vec::new();
+        let mut next_gate: Option<SimTime> = None;
+        for &idx in &self.active {
+            let f = &self.flows[idx as usize];
+            if f.spec.src.0 != h
+                || f.spec.src == f.spec.dst
+                || f.to_send == 0
+                || f.in_flight >= self.window
+            {
+                continue;
+            }
+            if f.next_allowed > now {
+                next_gate = Some(match next_gate {
+                    Some(t) => t.min(f.next_allowed),
+                    None => f.next_allowed,
+                });
+                continue;
+            }
+            candidates.push(idx);
+        }
+        if candidates.is_empty() {
+            if let Some(t) = next_gate {
+                // Only paced flows are pending: wake when the earliest gate
+                // opens (dedup so repeated kicks don't pile up events).
+                if self.pace_wake[h as usize].is_none_or(|w| t < w) {
+                    self.pace_wake[h as usize] = Some(t);
+                    self.queue.schedule(t, PEv::Pace(h));
+                }
+            }
+            return;
+        }
+        let eligible: Vec<u32> = match self.discipline {
+            EgressDiscipline::FifoFair => candidates,
+            EgressDiscipline::Priority => {
+                let best = candidates
+                    .iter()
+                    .map(|&i| self.flows[i as usize].spec.band)
+                    .min()
+                    .expect("nonempty");
+                candidates
+                    .into_iter()
+                    .filter(|&i| self.flows[i as usize].spec.band == best)
+                    .collect()
+            }
+        };
+        // Round-robin: first eligible index strictly after the cursor,
+        // else wrap to the first.
+        let cursor = self.egress_cursor[h as usize];
+        let i = eligible
+            .iter()
+            .copied()
+            .find(|&i| i > cursor)
+            .unwrap_or(eligible[0]);
+        self.egress_cursor[h as usize] = i;
+
+        let f = &mut self.flows[i as usize];
+        let chunk = self.chunk_bytes.min(f.to_send);
+        f.to_send -= chunk;
+        f.in_flight += 1;
+        if f.max_rate.is_finite() {
+            f.next_allowed = now + SimDuration::from_secs_f64(chunk as f64 / f.max_rate);
+        }
+        self.invariants.check(
+            now,
+            "pnet.window",
+            || self.flows[i as usize].in_flight <= self.window,
+            || format!("flow {i} exceeded its window"),
+        );
+        let rate = self.topo.egress(HostId(h)).bytes_per_sec();
+        let finish = now + SimDuration::from_secs_f64(chunk as f64 / rate);
+        let handle = self.queue.schedule(finish, PEv::EgressDone(h));
+        self.egress_busy[h as usize] = Some(Service {
+            flow: i,
+            chunk,
+            finish,
+            rate,
+            handle,
+        });
+    }
+
+    fn kick_ingress(&mut self, now: SimTime, h: u32) {
+        if self.ingress_busy[h as usize].is_some() {
+            return;
+        }
+        if let Some(&(i, chunk)) = self.ingress_q[h as usize].front() {
+            let rate = self.topo.ingress(HostId(h)).bytes_per_sec();
+            let finish = now + SimDuration::from_secs_f64(chunk as f64 / rate);
+            let handle = self.queue.schedule(finish, PEv::IngressDone(h));
+            self.ingress_busy[h as usize] = Some(Service {
+                flow: i,
+                chunk,
+                finish,
+                rate,
+                handle,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Bandwidth;
+
+    const LINK: f64 = 1.25e9;
+
+    fn net(hosts: usize) -> PacketNet {
+        PacketNet::new(Topology::uniform(hosts, Bandwidth::from_gbps(10.0)))
+    }
+
+    fn spec(src: u32, dst: u32, bytes: f64, band: u8, tag: u64) -> FlowSpec {
+        FlowSpec {
+            src: HostId(src),
+            dst: HostId(dst),
+            bytes,
+            band: Band(band),
+            weight: 1.0,
+            tag,
+        }
+    }
+
+    fn drain(net: &mut PacketNet) -> Vec<CompletedFlow> {
+        let mut done = Vec::new();
+        while let Some(t) = net.next_event_time() {
+            done.extend(net.take_completions(t));
+        }
+        done
+    }
+
+    #[test]
+    fn single_flow_matches_psim_timing() {
+        let mut n = net(2);
+        n.start_flow(SimTime::ZERO, spec(0, 1, 125e6, 0, 1));
+        let done = drain(&mut n);
+        assert_eq!(done.len(), 1);
+        // Pipelined through two links: serialization + one chunk.
+        let want = 125e6 / LINK + DEFAULT_CHUNK_BYTES as f64 / LINK;
+        let got = done[0].finished.as_secs_f64();
+        assert!((got - want).abs() < 1e-3, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn priority_staircases_shared_egress() {
+        let mut n = net(3);
+        n.start_flow(SimTime::ZERO, spec(0, 1, 50e6, 0, 1));
+        n.start_flow(SimTime::ZERO, spec(0, 2, 50e6, 1, 2));
+        let done = drain(&mut n);
+        let half = 50e6 / LINK;
+        let by_tag = |t: u64| {
+            done.iter()
+                .find(|d| d.tag == t)
+                .unwrap()
+                .finished
+                .as_secs_f64()
+        };
+        assert!((by_tag(1) - half).abs() < 0.01);
+        assert!((by_tag(2) - 2.0 * half).abs() < 0.01);
+    }
+
+    #[test]
+    fn mid_run_arrival_and_band_rotation() {
+        let mut n = net(3);
+        n.start_flow(SimTime::ZERO, spec(0, 1, 250e6, 0, 1));
+        // Arrives mid-run at lower priority; then rotation promotes it.
+        n.start_flow(SimTime::from_millis(50), spec(0, 2, 125e6, 1, 2));
+        let t_rot = SimTime::from_millis(100);
+        n.advance(t_rot);
+        assert_eq!(n.set_band_for_tag(t_rot, 1, Band(1)), 1);
+        assert_eq!(n.set_band_for_tag(t_rot, 2, Band(0)), 1);
+        let done = drain(&mut n);
+        assert_eq!(done.len(), 2);
+        // Tag 2 (promoted) finishes before tag 1, which started 2x larger.
+        let f1 = done.iter().find(|d| d.tag == 1).unwrap().finished;
+        let f2 = done.iter().find(|d| d.tag == 2).unwrap().finished;
+        assert!(f2 < f1, "promoted flow must finish first: {f2} vs {f1}");
+    }
+
+    #[test]
+    fn loopback_bypasses_nic_and_counters() {
+        let mut n = net(2);
+        n.start_flow(SimTime::ZERO, spec(0, 0, 1e9, 0, 1));
+        let done = drain(&mut n);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].finished.as_secs_f64() < 0.1, "loopback is fast");
+        assert_eq!(n.egress_bytes()[0], 0.0);
+        assert_eq!(n.ingress_bytes()[0], 0.0);
+    }
+
+    #[test]
+    fn abort_drops_in_flight_chunks() {
+        let mut n = net(3);
+        let a = n.start_flow(SimTime::ZERO, spec(0, 1, 125e6, 0, 1));
+        let b = n.start_flow(SimTime::ZERO, spec(2, 1, 125e6, 0, 2));
+        let t = SimTime::from_millis(10);
+        let aborted = n.abort_flows_where(t, |_, s| s.src == HostId(0));
+        assert_eq!(aborted, vec![(a, 1)]);
+        assert_eq!(n.active_flow_count(), 1);
+        assert!(n.remaining_of(a).is_none());
+        let done = drain(&mut n);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 2);
+        // Survivor monopolizes the shared ingress after the abort: it must
+        // finish well before the fair-share schedule (0.2 s).
+        assert!(done[0].finished.as_secs_f64() < 0.15);
+        assert!(n.remaining_of(b).is_none(), "finished flows do not resolve");
+    }
+
+    #[test]
+    fn rate_cap_paces_sender() {
+        let mut n = net(2);
+        // 125 MB at a quarter-link cap: ~0.4 s instead of ~0.1 s.
+        n.start_flow_with_cap(SimTime::ZERO, spec(0, 1, 125e6, 0, 1), LINK / 4.0);
+        let done = drain(&mut n);
+        let got = done[0].finished.as_secs_f64();
+        let want = 125e6 / (LINK / 4.0);
+        assert!((got - want).abs() < 0.01, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn capped_flow_leaves_slots_to_others() {
+        let mut n = net(3);
+        n.start_flow_with_cap(SimTime::ZERO, spec(0, 1, 62.5e6, 0, 1), LINK / 2.0);
+        n.start_flow(SimTime::ZERO, spec(0, 2, 62.5e6, 1, 2));
+        let done = drain(&mut n);
+        // Uncapped lower-band flow fills the pacing gaps: both finish near
+        // 0.1 s instead of serializing to 0.15 s.
+        for d in &done {
+            assert!(
+                d.finished.as_secs_f64() < 0.115,
+                "tag {} too slow: {}",
+                d.tag,
+                d.finished
+            );
+        }
+    }
+
+    /// Regression: the differential harness caught a 52 s JCT divergence
+    /// (scenario: LinkFlap fault, 24 ms brownout to 1e-6 × capacity). A
+    /// chunk that entered service during the brownout kept its near-zero
+    /// service rate after recovery — 64 KiB at 1.25 kB/s ≈ 52 s — because
+    /// capacity changes never re-rated chunks already in service.
+    #[test]
+    fn capacity_recovery_rerates_chunk_in_service() {
+        let mut n = net(2);
+        n.start_flow(SimTime::ZERO, spec(0, 1, 10e6, 0, 1));
+        // Brownout 1 ms in: both directions collapse to 1e-6 x nominal.
+        let down = Bandwidth::from_bytes_per_sec(LINK * 1e-6);
+        n.set_host_capacity(SimTime::from_millis(1), HostId(0), down, down);
+        n.set_host_capacity(SimTime::from_millis(1), HostId(1), down, down);
+        // Recovery 24 ms later (the seeded LinkFlap's down window).
+        let up = Bandwidth::from_bytes_per_sec(LINK);
+        n.set_host_capacity(SimTime::from_millis(25), HostId(0), up, up);
+        n.set_host_capacity(SimTime::from_millis(25), HostId(1), up, up);
+        let done = drain(&mut n);
+        assert_eq!(done.len(), 1);
+        let got = done[0].finished.as_secs_f64();
+        // ~1 ms at full rate + 24 ms stalled + remaining ~7 ms at full
+        // rate; anything near a chunk/1e-6-rate timescale (>> 1 s) means
+        // the brownout rate leaked past recovery.
+        assert!(got < 0.1, "chunk kept its brownout rate: finished at {got}s");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut n = net(4);
+            for k in 0..8u32 {
+                n.start_flow(
+                    SimTime::from_millis(u64::from(k) * 3),
+                    spec(k % 3, 3, 5e6 + f64::from(k) * 1e6, (k % 3) as u8, u64::from(k)),
+                );
+            }
+            drain(&mut n)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn conservation_invariant_is_clean() {
+        let inv = InvariantChecker::enabled();
+        let mut n = net(3);
+        n.set_invariants(inv.clone());
+        n.start_flow(SimTime::ZERO, spec(0, 1, 10e6, 0, 1));
+        n.start_flow(SimTime::ZERO, spec(2, 1, 10e6, 0, 2));
+        let done = drain(&mut n);
+        assert_eq!(done.len(), 2);
+        assert_eq!(inv.violation_count(), 0);
+    }
+
+    #[test]
+    fn telemetry_captures_lifecycle() {
+        use tl_telemetry::TelemetryConfig;
+        let telemetry = Telemetry::from_config(TelemetryConfig::events());
+        let mut n = net(2);
+        n.set_telemetry(telemetry.clone());
+        n.start_flow(SimTime::ZERO, spec(0, 1, 1e6, 0, 7));
+        drain(&mut n);
+        let out = telemetry.take_output();
+        assert_eq!(out.events_of_kind("flow_start").len(), 1);
+        assert_eq!(out.events_of_kind("flow_finish").len(), 1);
+    }
+}

@@ -47,8 +47,9 @@ impl TcConfig {
     /// Create a config with `num_bands` bands and no filters yet.
     pub fn new(dev: impl Into<String>, link: Bandwidth, num_bands: u8) -> Self {
         assert!(
-            (1..=8).contains(&num_bands),
-            "tc prio supports a small number of bands; got {num_bands}"
+            Band::valid_band_count(num_bands),
+            "tc prio supports 1..={} bands; got {num_bands}",
+            Band::MAX_TC_BANDS
         );
         TcConfig {
             dev: dev.into(),

@@ -38,6 +38,16 @@ impl Band {
     /// The number of distinct bands Linux `tc` realistically offers; the
     /// paper uses "up to six distinct priority bands".
     pub const TC_BAND_LIMIT: u8 = 6;
+    /// The hard ceiling on band counts the tc hierarchy accepts — the
+    /// single source of truth for every band-count validation (policies,
+    /// [`TcConfig`](crate::tc::TcConfig), ablation sweeps). `TC_BAND_LIMIT`
+    /// is the paper's operating point; this is the qdisc budget.
+    pub const MAX_TC_BANDS: u8 = 8;
+
+    /// True if `count` bands can be realised as a tc hierarchy.
+    pub const fn valid_band_count(count: u8) -> bool {
+        count >= 1 && count <= Band::MAX_TC_BANDS
+    }
 }
 
 impl fmt::Display for Band {
@@ -135,6 +145,9 @@ mod tests {
     fn band_ordering_matches_tc() {
         assert!(Band::HIGHEST < Band(1));
         assert_eq!(Band::TC_BAND_LIMIT, 6);
+        const { assert!(Band::TC_BAND_LIMIT <= Band::MAX_TC_BANDS) }
+        assert!(Band::valid_band_count(1) && Band::valid_band_count(Band::MAX_TC_BANDS));
+        assert!(!Band::valid_band_count(0) && !Band::valid_band_count(Band::MAX_TC_BANDS + 1));
     }
 
     #[test]

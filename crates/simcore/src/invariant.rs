@@ -1,0 +1,162 @@
+//! Runtime invariant checking hooks.
+//!
+//! An [`InvariantChecker`] is a cheap, cloneable handle the simulation
+//! engines thread through their hot paths. When disabled (the default in
+//! release builds) every check is one branch on an `Option` — the predicate
+//! and message closures are never evaluated. When enabled, failed checks
+//! are recorded as [`InvariantViolation`]s in a sink shared by all clones
+//! of the handle, so the network engine, the training engine, and the
+//! outer harness all report into one list.
+//!
+//! The checker deliberately *records* instead of panicking: the
+//! differential-validation harness wants to finish a scenario, collect
+//! every violation, and minimize them into regression tests. Callers that
+//! want fail-fast behaviour assert on the collected list (the `tl-dl`
+//! engine's `run()` does exactly that).
+
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One failed invariant check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvariantViolation {
+    /// Simulation time of the check.
+    pub at: SimTime,
+    /// Stable rule identifier (e.g. `"net.capacity"`, `"dl.barrier"`).
+    pub rule: &'static str,
+    /// Human-readable details: what was observed vs. what was required.
+    pub detail: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] at {}: {}", self.rule, self.at, self.detail)
+    }
+}
+
+/// Shared-handle invariant checker. Clones share one violation sink.
+#[derive(Debug, Clone, Default)]
+pub struct InvariantChecker {
+    sink: Option<Rc<RefCell<Vec<InvariantViolation>>>>,
+}
+
+impl InvariantChecker {
+    /// A disabled checker: every check is a single branch, closures never
+    /// run. This is `Default`.
+    pub fn disabled() -> Self {
+        InvariantChecker { sink: None }
+    }
+
+    /// An enabled checker with an empty violation sink.
+    pub fn enabled() -> Self {
+        InvariantChecker {
+            sink: Some(Rc::new(RefCell::new(Vec::new()))),
+        }
+    }
+
+    /// True when checks actually run.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Evaluate `ok`; if it returns false, record a violation described by
+    /// `detail`. Both closures are skipped entirely when disabled.
+    #[inline]
+    pub fn check(
+        &self,
+        at: SimTime,
+        rule: &'static str,
+        ok: impl FnOnce() -> bool,
+        detail: impl FnOnce() -> String,
+    ) {
+        if let Some(sink) = &self.sink {
+            if !ok() {
+                sink.borrow_mut().push(InvariantViolation {
+                    at,
+                    rule,
+                    detail: detail(),
+                });
+            }
+        }
+    }
+
+    /// Record a violation unconditionally (for checks whose predicate the
+    /// caller already evaluated). No-op when disabled.
+    #[inline]
+    pub fn violation(&self, at: SimTime, rule: &'static str, detail: impl FnOnce() -> String) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().push(InvariantViolation {
+                at,
+                rule,
+                detail: detail(),
+            });
+        }
+    }
+
+    /// Number of violations recorded so far across all clones.
+    pub fn violation_count(&self) -> usize {
+        self.sink.as_ref().map_or(0, |s| s.borrow().len())
+    }
+
+    /// Drain and return all recorded violations (shared across clones).
+    pub fn take(&self) -> Vec<InvariantViolation> {
+        self.sink
+            .as_ref()
+            .map_or_else(Vec::new, |s| std::mem::take(&mut *s.borrow_mut()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_checker_never_evaluates() {
+        let c = InvariantChecker::disabled();
+        assert!(!c.is_enabled());
+        c.check(
+            SimTime::ZERO,
+            "test",
+            || panic!("predicate must not run"),
+            || panic!("detail must not run"),
+        );
+        assert_eq!(c.violation_count(), 0);
+        assert!(c.take().is_empty());
+    }
+
+    #[test]
+    fn enabled_checker_records_failures_only() {
+        let c = InvariantChecker::enabled();
+        c.check(SimTime::from_secs(1), "ok.rule", || true, || "unused".into());
+        c.check(SimTime::from_secs(2), "bad.rule", || false, || "1 > 2".into());
+        assert_eq!(c.violation_count(), 1);
+        let v = c.take();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "bad.rule");
+        assert_eq!(v[0].at, SimTime::from_secs(2));
+        assert!(v[0].detail.contains("1 > 2"));
+        assert!(c.take().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let a = InvariantChecker::enabled();
+        let b = a.clone();
+        b.violation(SimTime::ZERO, "shared", || "from clone".into());
+        assert_eq!(a.violation_count(), 1);
+        assert_eq!(a.take()[0].rule, "shared");
+        assert_eq!(b.violation_count(), 0, "drain visible through both");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = InvariantViolation {
+            at: SimTime::from_millis(1500),
+            rule: "net.capacity",
+            detail: "egress 11 Gbps > cap 10 Gbps".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("net.capacity") && s.contains("egress"), "{s}");
+    }
+}

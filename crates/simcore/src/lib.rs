@@ -29,12 +29,14 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod invariant;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use event::{EventHandle, EventQueue};
+pub use invariant::{InvariantChecker, InvariantViolation};
 pub use rng::{RngFactory, UnitLogNormal};
 pub use stats::{Histogram, OnlineStats, SampleSet, Summary};
 pub use time::{SimDuration, SimTime};

@@ -180,26 +180,28 @@ impl SampleSet {
     }
 
     /// Exact quantile by linear interpolation between order statistics.
-    /// `q` must be in [0, 1]. Returns 0 when empty.
-    pub fn quantile(&self, q: f64) -> f64 {
+    /// `q` must be in [0, 1]. Returns `None` when empty: an empty window
+    /// has no order statistics, and silently reporting 0 turned "no jobs
+    /// completed" into "p99 = 0 s" in downstream tables.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
         if self.samples.is_empty() {
-            return 0.0;
+            return None;
         }
         let sorted = self.sorted_cache();
         let n = sorted.len();
         if n == 1 {
-            return sorted[0];
+            return Some(sorted[0]);
         }
         let pos = q * (n - 1) as f64;
         let lo = pos.floor() as usize;
         let hi = pos.ceil() as usize;
         let frac = pos - lo as f64;
-        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
     }
 
-    /// Median (50th percentile).
-    pub fn median(&self) -> f64 {
+    /// Median (50th percentile); `None` when empty.
+    pub fn median(&self) -> Option<f64> {
         self.quantile(0.5)
     }
 
@@ -250,17 +252,19 @@ impl SampleSet {
         &self.samples
     }
 
-    /// Summarize into a [`Summary`].
+    /// Summarize into a [`Summary`]. The order-statistic fields are NaN
+    /// for an empty set (the count field disambiguates).
     pub fn summary(&self) -> Summary {
+        let q = |p: f64| self.quantile(p).unwrap_or(f64::NAN);
         Summary {
             count: self.len() as u64,
             mean: self.mean(),
             variance: self.variance(),
             min: self.min(),
-            p25: self.quantile(0.25),
-            median: self.median(),
-            p75: self.quantile(0.75),
-            p95: self.quantile(0.95),
+            p25: q(0.25),
+            median: q(0.5),
+            p75: q(0.75),
+            p95: q(0.95),
             max: self.max(),
         }
     }
@@ -409,10 +413,10 @@ mod tests {
         for x in [5.0, 1.0, 3.0, 2.0, 4.0] {
             s.push(x);
         }
-        assert_eq!(s.median(), 3.0);
-        assert_eq!(s.quantile(0.0), 1.0);
-        assert_eq!(s.quantile(1.0), 5.0);
-        assert_eq!(s.quantile(0.25), 2.0);
+        assert_eq!(s.median(), Some(3.0));
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(5.0));
+        assert_eq!(s.quantile(0.25), Some(2.0));
         assert_eq!(s.min(), 1.0);
         assert_eq!(s.max(), 5.0);
     }
@@ -422,17 +426,23 @@ mod tests {
         let mut s = SampleSet::new();
         s.push(0.0);
         s.push(10.0);
-        assert_eq!(s.quantile(0.5), 5.0);
-        assert_eq!(s.quantile(0.3), 3.0);
+        assert_eq!(s.quantile(0.5), Some(5.0));
+        assert_eq!(s.quantile(0.3), Some(3.0));
     }
 
     #[test]
     fn sample_set_empty() {
+        // Regression: an empty window must not report quantiles of 0 — a
+        // p99 of "0 seconds" is a claim, None is an absence.
         let s = SampleSet::new();
         assert!(s.is_empty());
         assert_eq!(s.mean(), 0.0);
-        assert_eq!(s.median(), 0.0);
+        assert_eq!(s.median(), None);
+        assert_eq!(s.quantile(0.99), None);
         assert!(s.cdf(10).is_empty());
+        let sum = s.summary();
+        assert_eq!(sum.count, 0);
+        assert!(sum.median.is_nan() && sum.p95.is_nan());
     }
 
     #[test]
@@ -442,12 +452,12 @@ mod tests {
             s.push(x);
         }
         let shared: &SampleSet = &s;
-        assert_eq!(shared.median(), 3.0);
+        assert_eq!(shared.median(), Some(3.0));
         assert_eq!(shared.min(), 1.0);
         // The cache follows later pushes (length-based staleness check).
         s.push(0.0);
         assert_eq!(s.min(), 0.0);
-        assert_eq!(s.quantile(1.0), 5.0);
+        assert_eq!(s.quantile(1.0), Some(5.0));
     }
 
     #[test]

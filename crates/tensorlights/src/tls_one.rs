@@ -68,9 +68,15 @@ impl TlsOne {
         }
     }
 
-    /// Override the band budget (ablation knob).
+    /// Override the band budget (ablation knob). Validated against the tc
+    /// budget ([`Band::MAX_TC_BANDS`]) so the policy can never hand out a
+    /// band the real qdisc hierarchy would reject.
     pub fn with_bands(mut self, num_bands: u8) -> Self {
-        assert!((1..=8).contains(&num_bands), "bad band count {num_bands}");
+        assert!(
+            Band::valid_band_count(num_bands),
+            "band count {num_bands} outside tc budget 1..={}",
+            Band::MAX_TC_BANDS
+        );
         self.num_bands = num_bands;
         self
     }
@@ -102,6 +108,20 @@ mod tests {
             update_bytes: 1_900_000,
             arrival_seq: tag,
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside tc budget")]
+    fn with_bands_rejects_counts_tc_rejects() {
+        // Regression: the policy used to hard-code its own 1..=8 range,
+        // drifting from the tc constant that owns the real budget.
+        let _ = TlsOne::new(JobOrdering::ByArrival).with_bands(Band::MAX_TC_BANDS + 1);
+    }
+
+    #[test]
+    fn with_bands_accepts_full_tc_budget() {
+        let p = TlsOne::new(JobOrdering::ByArrival).with_bands(Band::MAX_TC_BANDS);
+        assert_eq!(p.num_bands, Band::MAX_TC_BANDS);
     }
 
     #[test]

@@ -45,9 +45,15 @@ impl TlsRr {
         self
     }
 
-    /// Override the band budget (ablation knob).
+    /// Override the band budget (ablation knob). Validated against the tc
+    /// budget ([`Band::MAX_TC_BANDS`]) so the policy can never hand out a
+    /// band the real qdisc hierarchy would reject.
     pub fn with_bands(mut self, num_bands: u8) -> Self {
-        assert!((1..=8).contains(&num_bands), "bad band count {num_bands}");
+        assert!(
+            Band::valid_band_count(num_bands),
+            "band count {num_bands} outside tc budget 1..={}",
+            Band::MAX_TC_BANDS
+        );
         self.num_bands = num_bands;
         self
     }
@@ -102,6 +108,12 @@ mod tests {
 
     fn rr() -> TlsRr {
         TlsRr::new(JobOrdering::ByArrival)
+    }
+
+    #[test]
+    #[should_panic(expected = "outside tc budget")]
+    fn with_bands_rejects_counts_tc_rejects() {
+        let _ = rr().with_bands(Band::MAX_TC_BANDS + 1);
     }
 
     #[test]

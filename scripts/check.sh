@@ -42,6 +42,12 @@ if [[ "${1:-}" != "fast" ]]; then
     ./target/release/repro --check-trace "$tmp/faults.json"
     grep -qE '"retry (flow|task)' "$tmp/faults.json"   # >=1 retry event
     grep -qE '"worker [0-9]+ lost"' "$tmp/faults.json" # >=1 barrier-loss event
+
+    # Differential validation: the full 24-scenario fluid-vs-packet sweep
+    # through the DL engine with invariant checks on; exits 3 on any
+    # divergence beyond tolerance (see EXPERIMENTS.md).
+    echo "==> differential validation (fluid vs packet)"
+    ./target/release/repro --experiment validate > /dev/null
 fi
 
 echo "==> all checks passed"
