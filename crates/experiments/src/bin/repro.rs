@@ -3,8 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations|faults|perf|validate]
-//!       [--iterations N] [--full] [--seed S] [--csv DIR] [--json DIR]
+//! repro [--experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations|faults|perf|validate|scale]
+//!       [--iterations N] [--full] [--quick] [--seed S] [--csv DIR] [--json DIR]
 //!       [--trace-out PATH] [--metrics-out PATH] [--check-trace PATH]
 //! ```
 //!
@@ -33,6 +33,7 @@ use tl_experiments::{
 struct Args {
     experiment: String,
     cfg: ExperimentConfig,
+    quick: bool,
     csv_dir: Option<PathBuf>,
     json_dir: Option<PathBuf>,
     trace_out: Option<PathBuf>,
@@ -43,6 +44,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut experiment = "all".to_string();
     let mut cfg = ExperimentConfig::default();
+    let mut quick = false;
     let mut csv_dir = None;
     let mut json_dir = None;
     let mut trace_out = None;
@@ -63,6 +65,7 @@ fn parse_args() -> Args {
                 cfg = ExperimentConfig::scaled(next(&mut i).parse().expect("numeric iterations"))
             }
             "--full" => cfg = ExperimentConfig::full(),
+            "--quick" => quick = true,
             "--seed" | "-s" => cfg.seed = next(&mut i).parse().expect("numeric seed"),
             "--csv" => csv_dir = Some(PathBuf::from(next(&mut i))),
             "--json" => json_dir = Some(PathBuf::from(next(&mut i))),
@@ -77,9 +80,10 @@ fn parse_args() -> Args {
                 println!(
                     "repro — regenerate the TensorLights paper's tables and figures\n\
                      \n\
-                     --experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations|faults|perf|validate\n\
+                     --experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations|faults|perf|validate|scale\n\
                      --iterations N   scaled iteration count (default 300)\n\
                      --full           paper scale (1500 iterations)\n\
+                     --quick          scale: smallest grid cell only (smoke run)\n\
                      --seed S         master seed\n\
                      --csv DIR        also write each table as CSV\n\
                      --json DIR       also write each result as JSON\n\
@@ -98,6 +102,7 @@ fn parse_args() -> Args {
     Args {
         experiment,
         cfg,
+        quick,
         csv_dir,
         json_dir,
         trace_out,
@@ -388,6 +393,31 @@ fn main() {
             eprintln!("validate: FAILED — backend divergence or invariant violations (see table)");
             std::process::exit(3);
         }
+        ran += 1;
+    }
+
+    if args.experiment == "scale" {
+        // Scale-out engine throughput sweep (not a paper figure): the
+        // (hosts x jobs) grid up to 500 hosts / 200 jobs under all three
+        // policies, reporting wall-clock, events and allocator counters
+        // per cell. `--quick` runs only the smallest cell (smoke run).
+        use tl_experiments::scale;
+        let r = scale::run(cfg, args.quick);
+        for row in &r.rows {
+            assert_eq!(
+                row.completed as u32, row.jobs,
+                "scale cell {}h x {}j ({}) left jobs incomplete",
+                row.hosts, row.jobs, row.policy
+            );
+        }
+        summaries.insert("scale", r.summary());
+        emit(
+            &args,
+            "scale",
+            &r.table(),
+            Some(r.summary()),
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
         ran += 1;
     }
 

@@ -20,11 +20,13 @@ pub mod fig5;
 pub mod fig6;
 pub mod report;
 pub mod runner;
+pub mod scale;
 pub mod table1;
 pub mod table2;
 pub mod validate;
 
 pub use config::ExperimentConfig;
 pub use runner::{
-    parallel_map, run_grid_search, run_grid_search_telemetry, run_table1, PolicyKind,
+    parallel_map, parallel_map_with_workers, run_grid_search, run_grid_search_telemetry,
+    run_table1, PolicyKind,
 };

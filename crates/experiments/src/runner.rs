@@ -116,11 +116,29 @@ where
     O: Send,
     F: Fn(I) -> O + Sync,
 {
+    parallel_map_with_workers(inputs, None, f)
+}
+
+/// [`parallel_map`] with the worker count forced to `workers` (when
+/// `Some`) instead of the available core count. `Some(1)` runs strictly
+/// sequentially on the calling thread. Exists so determinism tests can
+/// prove results are byte-identical no matter how many threads ran the
+/// sweep; everything else should use [`parallel_map`].
+pub fn parallel_map_with_workers<I, O, F>(inputs: Vec<I>, workers: Option<usize>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
     use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
     let n = inputs.len();
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
+    let workers = workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .max(1)
         .min(n);
     if workers <= 1 {
         // Same drain-then-reraise semantics as the threaded path.

@@ -1,0 +1,304 @@
+//! Scale-out sweep — engine throughput at 10–25× the paper's testbed.
+//!
+//! Not from the paper: TensorLights stops at 21 hosts / 21 jobs. The
+//! ROADMAP north-star is a simulator that stays fast at cluster scale
+//! (CASSINI/MLTCP regimes), so this experiment sweeps a
+//! (hosts × concurrent jobs) grid under the three policies and reports
+//! *simulator* performance per cell — wall-clock, events processed,
+//! events/sec, allocator counters — alongside the usual mean JCT.
+//!
+//! Cells run sequentially (never under [`parallel_map`]) so per-cell
+//! wall-clock numbers are not polluted by sibling cells on other cores.
+//! The workload shape is fixed: every job is the paper's 20-worker
+//! synchronous job, PSes are colocated into three groups (Table I #4
+//! generalized), and each cell runs a fixed short iteration count — the
+//! sweep measures engine cost, not convergence.
+
+use crate::config::ExperimentConfig;
+use crate::report::Table;
+use crate::runner::PolicyKind;
+use serde::Serialize;
+use simcore::SimDuration;
+use tl_cluster::{grouped_placement, table1_group_sizes, Table1Index};
+use tl_dl::{SimOutput, Simulation};
+use tl_workloads::GridSearchConfig;
+
+/// Workers per job everywhere in the sweep (the paper's job shape).
+const WORKERS_PER_JOB: u32 = 20;
+/// Synchronous iterations per job in every full-grid cell.
+const ITERS: u64 = 5;
+/// Iterations in the `--quick` smoke cell.
+const QUICK_ITERS: u64 = 4;
+/// PS colocation shape: three even PS groups (Table I #4, generalized).
+const PS_GROUPS: Table1Index = Table1Index(4);
+
+/// Host counts swept by the full grid.
+pub const GRID_HOSTS: [u32; 5] = [21, 63, 147, 315, 500];
+/// Concurrent-job counts swept by the full grid.
+pub const GRID_JOBS: [u32; 3] = [21, 80, 200];
+
+/// One (hosts, jobs, policy) cell of the sweep.
+#[derive(Debug, Serialize)]
+pub struct ScaleRow {
+    /// Cluster size.
+    pub hosts: u32,
+    /// Concurrent jobs.
+    pub jobs: u32,
+    /// Policy label.
+    pub policy: &'static str,
+    /// Wall-clock seconds spent simulating this cell.
+    pub wall_secs: f64,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Events per wall-clock second (the throughput headline).
+    pub events_per_sec: f64,
+    /// Allocator invocations.
+    pub alloc_invocations: u64,
+    /// Connected components re-solved.
+    pub components_solved: u64,
+    /// Components whose cached rates were kept.
+    pub components_retained: u64,
+    /// Progressive-filling rounds across all solves.
+    pub rounds: u64,
+    /// Flows belonging to re-solved components.
+    pub flows_touched: u64,
+    /// Wall-clock milliseconds inside the rate allocator.
+    pub alloc_wall_ms: f64,
+    /// Mean JCT over completed jobs, seconds (sanity, not the headline).
+    pub mean_jct: f64,
+    /// Jobs that ran to completion.
+    pub completed: usize,
+}
+
+/// The whole sweep.
+#[derive(Debug, Serialize)]
+pub struct ScaleResult {
+    /// Iterations per job in every cell.
+    pub iterations: u64,
+    /// Workers per job in every cell.
+    pub workers_per_job: u32,
+    /// One row per (hosts, jobs, policy), hosts-major.
+    pub rows: Vec<ScaleRow>,
+}
+
+/// The experiment configuration actually used for one cell: the caller's
+/// seed and calibration knobs, but a fixed short iteration count and a
+/// fixed 5 s TLs-RR rotation interval (the `scaled()` interval shrinks
+/// with iterations and would drown large cells in rotation events).
+fn cell_config(cfg: &ExperimentConfig, iters: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        iterations: iters,
+        rr_interval: SimDuration::from_secs(5),
+        ..cfg.clone()
+    }
+}
+
+/// Run one grid cell and return its raw [`SimOutput`]. Public so the
+/// determinism tests can push the exact cell the sweep runs through
+/// `parallel_map` with a forced worker count.
+pub fn run_cell(cfg: &ExperimentConfig, hosts: u32, jobs: u32, policy: PolicyKind) -> SimOutput {
+    let cell_cfg = cell_config(cfg, cfg.iterations);
+    let placement = grouped_placement(
+        hosts,
+        WORKERS_PER_JOB,
+        &table1_group_sizes(PS_GROUPS, jobs),
+    );
+    let mut wl = GridSearchConfig::paper_scaled(cell_cfg.iterations);
+    wl.num_jobs = jobs;
+    wl.workers_per_job = WORKERS_PER_JOB;
+    let setups = wl.build(&placement);
+    let sim_cfg = cell_cfg.sim_config();
+    let mut policy = policy.build(&cell_cfg);
+    Simulation::new(sim_cfg)
+        .jobs(setups)
+        .policy_ref(policy.as_mut())
+        .run()
+}
+
+fn measure(cfg: &ExperimentConfig, iters: u64, hosts: u32, jobs: u32, policy: PolicyKind) -> ScaleRow {
+    let cell_cfg = ExperimentConfig {
+        iterations: iters,
+        ..cfg.clone()
+    };
+    let started = std::time::Instant::now();
+    let out = run_cell(&cell_cfg, hosts, jobs, policy);
+    let wall = started.elapsed().as_secs_f64();
+    let a = out.alloc_stats;
+    ScaleRow {
+        hosts,
+        jobs,
+        policy: policy.label(),
+        wall_secs: wall,
+        events: out.events,
+        events_per_sec: out.events as f64 / wall.max(1e-9),
+        alloc_invocations: a.invocations,
+        components_solved: a.components_solved,
+        components_retained: a.components_retained,
+        rounds: a.rounds,
+        flows_touched: a.flows_touched,
+        alloc_wall_ms: a.wall_nanos as f64 / 1e6,
+        mean_jct: out.mean_jct_secs(),
+        completed: out.jobs.iter().filter(|j| j.completion.is_some()).count(),
+    }
+}
+
+/// Run the sweep. `quick` restricts it to the smallest grid cell
+/// (21 hosts × 21 jobs, all three policies) — the check-script smoke run.
+pub fn run(cfg: &ExperimentConfig, quick: bool) -> ScaleResult {
+    let (hosts_axis, jobs_axis, iters): (&[u32], &[u32], u64) = if quick {
+        (&GRID_HOSTS[..1], &GRID_JOBS[..1], QUICK_ITERS)
+    } else {
+        (&GRID_HOSTS, &GRID_JOBS, ITERS)
+    };
+    let mut rows = Vec::new();
+    for &hosts in hosts_axis {
+        for &jobs in jobs_axis {
+            for policy in PolicyKind::all() {
+                rows.push(measure(cfg, iters, hosts, jobs, policy));
+            }
+        }
+    }
+    ScaleResult {
+        iterations: iters,
+        workers_per_job: WORKERS_PER_JOB,
+        rows,
+    }
+}
+
+impl ScaleResult {
+    /// Render the sweep as a report table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Scale sweep: simulator throughput per (hosts x jobs) cell",
+            &[
+                "hosts", "jobs", "policy", "wall (s)", "events", "kev/s", "solved",
+                "retained", "alloc (ms)", "mean JCT (s)",
+            ],
+        );
+        for r in &self.rows {
+            t.push_row(vec![
+                r.hosts.to_string(),
+                r.jobs.to_string(),
+                r.policy.to_string(),
+                format!("{:.3}", r.wall_secs),
+                r.events.to_string(),
+                format!("{:.1}", r.events_per_sec / 1e3),
+                r.components_solved.to_string(),
+                r.components_retained.to_string(),
+                format!("{:.1}", r.alloc_wall_ms),
+                format!("{:.1}", r.mean_jct),
+            ]);
+        }
+        t
+    }
+
+    /// One-line summary: total wall, total events, and the largest cell.
+    pub fn summary(&self) -> String {
+        let total_wall: f64 = self.rows.iter().map(|r| r.wall_secs).sum();
+        let total_events: u64 = self.rows.iter().map(|r| r.events).sum();
+        let largest = self
+            .rows
+            .iter()
+            .max_by_key(|r| (r.hosts, r.jobs))
+            .expect("sweep has rows");
+        format!(
+            "scale: {} cells, {total_events} events in {total_wall:.1} s wall; \
+             largest cell ({}h x {}j, {}) {:.2} s at {:.0} kev/s",
+            self.rows.len(),
+            largest.hosts,
+            largest.jobs,
+            largest.policy,
+            largest.wall_secs,
+            largest.events_per_sec / 1e3,
+        )
+    }
+}
+
+/// A canonical, fully deterministic JSON rendering of a [`SimOutput`] for
+/// byte-identity assertions: job lifecycles and engine counters with every
+/// float captured as its exact IEEE-754 bit pattern. Wall-clock fields
+/// (`AllocStats::wall_nanos`) are deliberately excluded — they are real
+/// time, not simulated time.
+pub fn canonical_json(out: &SimOutput) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"end_time\":{},\"events\":{},\"jobs\":[",
+        out.end_time.as_nanos(),
+        out.events
+    );
+    for (k, j) in out.jobs.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"completion\":{},\"jct_bits\":{},\"steps\":{}}}",
+            j.completion.map(|t| t.as_nanos()).unwrap_or(u64::MAX),
+            j.jct_secs().map(f64::to_bits).unwrap_or(0),
+            j.global_steps
+        );
+    }
+    let a = out.alloc_stats;
+    let _ = write!(
+        s,
+        "],\"alloc\":[{},{},{},{},{},{}]}}",
+        a.invocations, a.full_solves, a.components_solved, a.components_retained, a.rounds,
+        a.flows_touched
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::parallel_map_with_workers;
+
+    fn tiny_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            iterations: 2,
+            ..ExperimentConfig::quick()
+        }
+    }
+
+    #[test]
+    fn quick_sweep_completes_every_job() {
+        let cfg = ExperimentConfig {
+            iterations: QUICK_ITERS,
+            ..ExperimentConfig::quick()
+        };
+        let out = run_cell(&cfg, GRID_HOSTS[0], GRID_JOBS[0], PolicyKind::Fifo);
+        assert!(out.all_complete());
+        assert_eq!(out.jobs.len(), GRID_JOBS[0] as usize);
+    }
+
+    #[test]
+    fn sweep_rows_cover_the_grid() {
+        let result = run(&tiny_cfg(), true);
+        assert_eq!(result.rows.len(), 3, "quick = smallest cell x 3 policies");
+        assert!(result.rows.iter().all(|r| r.hosts == 21 && r.jobs == 21));
+        assert!(result.rows.iter().all(|r| r.events > 0 && r.completed == 21));
+        let t = result.table();
+        assert!(t.render().contains("TLs-RR"));
+        assert!(result.summary().contains("scale:"));
+    }
+
+    #[test]
+    fn deterministic_across_parallel_map_worker_counts() {
+        // The satellite guarantee: a sweep cell run under `parallel_map`
+        // serializes to byte-identical JSON whether the pool had one
+        // worker or many — thread count can never leak into results.
+        let cfg = tiny_cfg();
+        let run_with = |workers: usize| -> Vec<String> {
+            let cells: Vec<PolicyKind> = PolicyKind::all().to_vec();
+            parallel_map_with_workers(cells, Some(workers), |policy| {
+                canonical_json(&run_cell(&cfg, GRID_HOSTS[0], GRID_JOBS[0], policy))
+            })
+        };
+        let sequential = run_with(1);
+        let threaded = run_with(4);
+        assert!(sequential[0].contains("\"jobs\":["));
+        assert_eq!(sequential, threaded, "worker count changed results");
+    }
+}

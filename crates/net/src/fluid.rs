@@ -16,6 +16,15 @@
 //! [`MaxMinAllocator::allocate_dirty_into`]). The result is bit-identical
 //! to a from-scratch allocation.
 //!
+//! Next-event queries are indexed rather than scanned: every rate change
+//! pushes the flow's absolute depletion time into a lazy min-heap, and
+//! [`FluidNet::next_event_time`] inspects only the heap top (plus a few
+//! nanoseconds of near-top candidates whose exact times are recomputed
+//! from current state), instead of dividing `remaining / rate` across the
+//! whole active set. Stale heap entries are invalidated by a per-slot
+//! version counter and dropped lazily. The returned instant is
+//! bit-identical to the full scan — see `scan_depletion_heap`.
+//!
 //! ```
 //! use simcore::SimTime;
 //! use tl_net::{Band, Bandwidth, FlowSpec, FluidNet, HostId, Topology};
@@ -38,6 +47,8 @@ use crate::maxmin::{AllocStats, FlowDemand, MaxMinAllocator};
 use crate::topology::Topology;
 use crate::types::{Band, Bandwidth, FlowId, HostId};
 use simcore::{InvariantChecker, SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use tl_telemetry::{SimEvent, Telemetry};
 
 /// Everything needed to start a flow.
@@ -110,6 +121,27 @@ const DONE_EPS: f64 = 64.0;
 /// Rates below this (bytes/sec) are treated as fully starved.
 const RATE_EPS: f64 = 1e-6;
 
+/// One lazy-heap entry: the absolute instant `slot`'s flow crosses the
+/// completion threshold under the rate it held when the entry was pushed.
+/// `ver` must match the slot's current [`FluidNet::depl_ver`] for the entry
+/// to be live; any rate change, completion, or abort bumps the version and
+/// strands older entries for lazy removal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct DeplEntry {
+    at: SimTime,
+    slot: u32,
+    ver: u32,
+}
+
+/// Heap keys for clean-component flows were computed at an *earlier*
+/// refresh point than the current query; re-deriving the same absolute
+/// crossing from a different `(base time, remaining)` pair shifts it by
+/// floating-point accumulation plus the 1 ns round-up — a few nanoseconds
+/// at the very worst. Every live entry within this window of the heap top
+/// is therefore a candidate for the true minimum and gets an exact
+/// recompute; entries beyond it provably cannot win.
+const CAND_WINDOW: SimDuration = SimDuration::from_nanos(50);
+
 /// The fluid network: active flows, their rates, and byte accounting.
 #[derive(Debug)]
 pub struct FluidNet {
@@ -132,9 +164,22 @@ pub struct FluidNet {
     /// buffered until the next `take_completions` call.
     pending_done: Vec<CompletedFlow>,
     allocator: MaxMinAllocator,
-    // Scratch buffers reused across rate computations.
+    // Persistent allocator inputs maintained in lock-step with `active`
+    // (same order): `demands[k]`/`rates[k]` describe the flow in slot
+    // `active[k]`. Starts append, completions/aborts compact in place, and
+    // band changes patch `demands[k].band` — so a refresh hands the
+    // allocator ready-made vectors instead of rebuilding them per call.
     demands: Vec<FlowDemand>,
     rates: Vec<f64>,
+    // True when `active`'s membership or order changed since the last
+    // refresh; while false, the allocator may reuse its cached component
+    // structure (band/weight/capacity changes don't alter connectivity).
+    structure_dirty: bool,
+    // Lazy min-heap over absolute depletion instants, one live entry per
+    // flow with a meaningful rate; `depl_ver[slot]` names the live entry.
+    depl_heap: BinaryHeap<Reverse<DeplEntry>>,
+    depl_ver: Vec<u32>,
+    depl_scratch: Vec<DeplEntry>,
     // Cumulative NIC byte counters (for utilization measurements).
     egress_bytes: Vec<f64>,
     ingress_bytes: Vec<f64>,
@@ -161,6 +206,10 @@ impl FluidNet {
             allocator: MaxMinAllocator::new(),
             demands: Vec::new(),
             rates: Vec::new(),
+            structure_dirty: false,
+            depl_heap: BinaryHeap::new(),
+            depl_ver: Vec::new(),
+            depl_scratch: Vec::new(),
             egress_bytes: vec![0.0; n],
             ingress_bytes: vec![0.0; n],
             telemetry: Telemetry::disabled(),
@@ -281,6 +330,18 @@ impl FluidNet {
             }
         };
         self.active.push(slot);
+        self.demands.push(FlowDemand {
+            src: spec.src,
+            dst: spec.dst,
+            band: spec.band,
+            weight: spec.weight,
+            max_rate,
+        });
+        self.rates.push(0.0);
+        if self.depl_ver.len() < self.flows.len() {
+            self.depl_ver.resize(self.flows.len(), 0);
+        }
+        self.structure_dirty = true;
         self.mark_dirty(spec.src);
         self.mark_dirty(spec.dst);
         let id = FlowId(make_id(self.flows[slot as usize].gen, slot as usize));
@@ -325,26 +386,34 @@ impl FluidNet {
     ) -> Vec<(FlowId, u64)> {
         self.advance(now);
         let mut aborted = Vec::new();
-        let flows = &mut self.flows;
-        let free = &mut self.free;
-        let dirty_hosts = &mut self.dirty_hosts;
-        self.active.retain(|&slot| {
-            let entry = &mut flows[slot as usize];
+        // In-place compaction keeps `active`/`demands`/`rates` in lock-step
+        // and preserves creation order for the survivors.
+        let mut w = 0usize;
+        for r in 0..self.active.len() {
+            let slot = self.active[r];
+            let entry = &mut self.flows[slot as usize];
             let id = FlowId(make_id(entry.gen, slot as usize));
             let spec = entry.state.as_ref().expect("active flow missing").spec;
             if pred(id, &spec) {
                 entry.state = None;
                 entry.gen = entry.gen.wrapping_add(1);
-                free.push(slot);
-                dirty_hosts[spec.src.0 as usize] = true;
-                dirty_hosts[spec.dst.0 as usize] = true;
+                self.free.push(slot);
+                self.dirty_hosts[spec.src.0 as usize] = true;
+                self.dirty_hosts[spec.dst.0 as usize] = true;
+                self.depl_ver[slot as usize] = self.depl_ver[slot as usize].wrapping_add(1);
                 aborted.push((id, spec.tag));
-                false
             } else {
-                true
+                self.active[w] = slot;
+                self.demands[w] = self.demands[r];
+                self.rates[w] = self.rates[r];
+                w += 1;
             }
-        });
+        }
         if !aborted.is_empty() {
+            self.active.truncate(w);
+            self.demands.truncate(w);
+            self.rates.truncate(w);
+            self.structure_dirty = true;
             self.any_dirty = true;
             self.next_cache = None;
         }
@@ -366,6 +435,7 @@ impl FluidNet {
                 .expect("active flow missing");
             if f.spec.tag == tag && f.spec.band != band {
                 f.spec.band = band;
+                self.demands[k].band = band;
                 changed += 1;
                 // Bands are egress-scoped; marking the sender dirties the
                 // flow's whole component.
@@ -439,18 +509,21 @@ impl FluidNet {
     /// Move every flow at or below the completion threshold out of the
     /// active set, stamped finished at `at`, into the pending buffer.
     fn harvest_completions(&mut self, at: SimTime) {
-        let flows = &mut self.flows;
-        let free = &mut self.free;
-        let dirty_hosts = &mut self.dirty_hosts;
-        let done = &mut self.pending_done;
-        let before = done.len();
-        self.active.retain(|&slot| {
-            let entry = &mut flows[slot as usize];
+        let before = self.pending_done.len();
+        // In-place compaction keeps `active`/`demands`/`rates` in lock-step
+        // and preserves creation order for the survivors (order is
+        // load-bearing: it fixes the allocator's fp summation order).
+        let mut w = 0usize;
+        for r in 0..self.active.len() {
+            let slot = self.active[r];
+            let entry = &mut self.flows[slot as usize];
             let remaining = entry.state.as_ref().expect("active flow missing").remaining;
             if remaining <= DONE_EPS {
                 let f = entry.state.take().expect("flow vanished");
-                done.push(CompletedFlow {
-                    id: FlowId(make_id(entry.gen, slot as usize)),
+                let id = FlowId(make_id(entry.gen, slot as usize));
+                entry.gen = entry.gen.wrapping_add(1);
+                self.pending_done.push(CompletedFlow {
+                    id,
                     tag: f.spec.tag,
                     src: f.spec.src,
                     dst: f.spec.dst,
@@ -458,18 +531,24 @@ impl FluidNet {
                     finished: at,
                     bytes: f.spec.bytes,
                 });
-                dirty_hosts[f.spec.src.0 as usize] = true;
-                dirty_hosts[f.spec.dst.0 as usize] = true;
-                entry.gen = entry.gen.wrapping_add(1);
-                free.push(slot);
-                false
+                self.dirty_hosts[f.spec.src.0 as usize] = true;
+                self.dirty_hosts[f.spec.dst.0 as usize] = true;
+                self.free.push(slot);
+                self.depl_ver[slot as usize] = self.depl_ver[slot as usize].wrapping_add(1);
             } else {
-                true
+                self.active[w] = slot;
+                self.demands[w] = self.demands[r];
+                self.rates[w] = self.rates[r];
+                w += 1;
             }
-        });
-        if done.len() == before {
+        }
+        if self.pending_done.len() == before {
             return;
         }
+        self.active.truncate(w);
+        self.demands.truncate(w);
+        self.rates.truncate(w);
+        self.structure_dirty = true;
         self.any_dirty = true;
         self.next_cache = None;
         if self.telemetry.is_enabled() {
@@ -494,30 +573,70 @@ impl FluidNet {
     ///
     /// The result is cached: while no mutation dirties a host, rates — and
     /// thus the absolute completion time — are unchanged, so repeated calls
-    /// (one per simulator event) cost nothing.
+    /// (one per simulator event) cost nothing. A cache miss consults the
+    /// depletion heap instead of scanning the active set.
     pub fn next_event_time(&mut self) -> Option<SimTime> {
         if let Some(cached) = self.next_cache {
             return cached;
         }
         self.refresh_rates();
+        let when = self.scan_depletion_heap();
+        self.next_cache = Some(when);
+        when
+    }
+
+    /// Earliest depletion instant from the lazy heap, bit-identical to the
+    /// pre-indexed full scan `min over active of
+    /// last_advance + d(remaining/rate) + 1 ns`.
+    ///
+    /// Heap keys are only used to *select* candidates: every live entry
+    /// within [`CAND_WINDOW`] of the heap top has its exact `remaining /
+    /// rate` recomputed from current flow state (both maintained as of
+    /// `last_advance`, exactly like the old scan), and the minimum of
+    /// those exact values is converted to an instant. `d(·)` is monotone,
+    /// so taking the minimum before converting matches the full scan's
+    /// result bit for bit; entries beyond the window cannot hold the
+    /// minimum because key drift is orders of magnitude smaller than the
+    /// window (see [`CAND_WINDOW`]).
+    fn scan_depletion_heap(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse(top)) = self.depl_heap.peek() {
+            if self.depl_ver[top.slot as usize] == top.ver {
+                break;
+            }
+            self.depl_heap.pop();
+        }
+        let top = match self.depl_heap.peek() {
+            Some(&Reverse(e)) => e,
+            None => return None,
+        };
+        let limit = top.at + CAND_WINDOW;
         let mut best: Option<f64> = None;
-        for &slot in &self.active {
-            let f = self.state(slot);
-            if f.rate > RATE_EPS {
+        let mut live = std::mem::take(&mut self.depl_scratch);
+        while let Some(&Reverse(e)) = self.depl_heap.peek() {
+            if e.at > limit {
+                break;
+            }
+            self.depl_heap.pop();
+            if self.depl_ver[e.slot as usize] == e.ver {
+                let f = self.state(e.slot);
+                debug_assert!(f.rate > RATE_EPS, "live entry for a starved flow");
                 let secs = (f.remaining / f.rate).max(0.0);
                 best = Some(match best {
                     Some(b) => b.min(secs),
                     None => secs,
                 });
+                live.push(e);
             }
         }
+        for e in live.drain(..) {
+            self.depl_heap.push(Reverse(e));
+        }
+        self.depl_scratch = live;
         // Round up by one tick so that at the returned instant the winning
         // flow has provably crossed the completion threshold.
-        let when = best.map(|secs| {
+        best.map(|secs| {
             self.last_advance + SimDuration::from_secs_f64(secs) + SimDuration::from_nanos(1)
-        });
-        self.next_cache = Some(when);
-        when
+        })
     }
 
     /// Advance to `now` and drain all flows that have finished by then,
@@ -534,32 +653,21 @@ impl FluidNet {
         if !self.any_dirty {
             return;
         }
-        self.demands.clear();
-        self.rates.clear();
-        for &slot in &self.active {
-            let f = self.flows[slot as usize]
-                .state
-                .as_ref()
-                .expect("active flow missing");
-            self.demands.push(FlowDemand {
-                src: f.spec.src,
-                dst: f.spec.dst,
-                band: f.spec.band,
-                weight: f.spec.weight,
-                max_rate: f.max_rate,
-            });
-            // Seed with the cached rate; the allocator keeps it verbatim for
-            // flows in components untouched by the dirty set.
-            self.rates.push(f.rate);
-        }
+        debug_assert_eq!(self.demands.len(), self.active.len());
+        debug_assert_eq!(self.rates.len(), self.active.len());
         let events_on = self.telemetry.is_enabled();
         let stats_before = events_on.then(|| self.allocator.stats());
-        self.allocator.allocate_dirty_into(
+        // `demands`/`rates` are maintained incrementally (see the field
+        // docs), so nothing is rebuilt here; `rates` seeds the allocator
+        // with the previous allocation, kept verbatim for clean components.
+        self.allocator.allocate_dirty_reuse(
             &self.topo,
             &self.demands,
             &self.dirty_hosts,
             &mut self.rates,
+            !self.structure_dirty,
         );
+        self.structure_dirty = false;
         if let Some(before) = stats_before {
             let after = self.allocator.stats();
             self.telemetry.emit(
@@ -572,24 +680,57 @@ impl FluidNet {
                 },
             );
         }
-        for (k, &slot) in self.active.iter().enumerate() {
-            let entry = &self.flows[slot as usize];
-            let f = entry.state.as_ref().expect("active flow missing");
-            if events_on && (f.rate - self.rates[k]).abs() > RATE_EPS {
+        // Write-back visits only the flows the allocator re-solved
+        // (ascending order = active order, so telemetry emission order is
+        // identical to a full sweep); everything else kept its rate
+        // bit-for-bit and its heap entry stays live.
+        for idx in 0..self.allocator.last_touched().len() {
+            let k = self.allocator.last_touched()[idx] as usize;
+            let slot = self.active[k] as usize;
+            let new_rate = self.rates[k];
+            let gen = self.flows[slot].gen;
+            let (old_rate, remaining, tag) = {
+                let f = self.flows[slot]
+                    .state
+                    .as_mut()
+                    .expect("active flow missing");
+                let prev = (f.rate, f.remaining, f.spec.tag);
+                f.rate = new_rate;
+                prev
+            };
+            if events_on && (old_rate - new_rate).abs() > RATE_EPS {
                 self.telemetry.emit(
                     self.last_advance,
                     SimEvent::FlowRate {
-                        flow: make_id(entry.gen, slot as usize),
-                        tag: f.spec.tag,
-                        rate: self.rates[k],
+                        flow: make_id(gen, slot),
+                        tag,
+                        rate: new_rate,
                     },
                 );
             }
-            self.flows[slot as usize]
-                .state
-                .as_mut()
-                .expect("active flow missing")
-                .rate = self.rates[k];
+            if old_rate != new_rate {
+                // Re-key the depletion heap: strand the old entry and, if
+                // the flow is actually moving, push the new crossing.
+                self.depl_ver[slot] = self.depl_ver[slot].wrapping_add(1);
+                if new_rate > RATE_EPS {
+                    let secs = (remaining / new_rate).max(0.0);
+                    let at = self.last_advance
+                        + SimDuration::from_secs_f64(secs)
+                        + SimDuration::from_nanos(1);
+                    self.depl_heap.push(Reverse(DeplEntry {
+                        at,
+                        slot: slot as u32,
+                        ver: self.depl_ver[slot],
+                    }));
+                }
+            }
+        }
+        // Stranded entries accumulate across rotations; rebuild the heap
+        // from its live entries once they are outnumbered.
+        if self.depl_heap.len() > 2 * self.active.len() + 64 {
+            let mut entries = std::mem::take(&mut self.depl_heap).into_vec();
+            entries.retain(|&Reverse(e)| self.depl_ver[e.slot as usize] == e.ver);
+            self.depl_heap = entries.into();
         }
         self.dirty_hosts.fill(false);
         self.any_dirty = false;

@@ -37,6 +37,6 @@ pub use maxmin::{AllocStats, FlowDemand, MaxMinAllocator};
 pub use packet::{PacketRun, PacketSim, Qdisc, Rotation, TimelineEntry, Transfer, TransferOutcome};
 pub use pnet::PacketNet;
 pub use psim::{EgressDiscipline, NetFlow, NetFlowOutcome, NetSimConfig};
-pub use tc::TcConfig;
+pub use tc::{PortBands, TcConfig};
 pub use topology::Topology;
 pub use types::{Band, Bandwidth, FlowId, HostId};

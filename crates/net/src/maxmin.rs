@@ -130,6 +130,14 @@ pub struct MaxMinAllocator {
     comp_start: Vec<u32>,
     comp_flows: Vec<u32>,
     comp_of: Vec<u32>,
+    // Component count of the CSR currently in the buffers, tagged with the
+    // flow count it was built for; lets a caller that knows the flow list
+    // is unchanged skip the per-call union-find + CSR rebuild.
+    cached_structure: Option<(usize, usize)>,
+    // Flow indices whose rates the last call (re)wrote — i.e. members of
+    // re-solved components — in ascending order. Callers use it to update
+    // only the affected downstream state (see `FluidNet::refresh_rates`).
+    touched: Vec<u32>,
     stats: AllocStats,
 }
 
@@ -161,6 +169,15 @@ impl MaxMinAllocator {
         self.stats = AllocStats::default();
     }
 
+    /// Flow indices written by the most recent allocate call (members of
+    /// re-solved components), in ascending order. Flows outside this set
+    /// kept their previous rates bit-for-bit, so callers can limit
+    /// write-back, telemetry diffing, and completion re-keying to exactly
+    /// these indices.
+    pub fn last_touched(&self) -> &[u32] {
+        &self.touched
+    }
+
     /// Compute rates (bytes/sec) for `flows`, writing into `rates`
     /// (resized to `flows.len()`). Every component is (re)solved.
     ///
@@ -172,6 +189,7 @@ impl MaxMinAllocator {
         rates.resize(flows.len(), 0.0);
         self.stats.invocations += 1;
         self.stats.full_solves += 1;
+        self.touched.clear();
         if !flows.is_empty() {
             let comp_count = self.build_components(topo, flows);
             self.solve_components(topo, flows, rates, comp_count, None);
@@ -193,6 +211,26 @@ impl MaxMinAllocator {
         dirty_hosts: &[bool],
         rates: &mut [f64],
     ) {
+        self.allocate_dirty_reuse(topo, flows, dirty_hosts, rates, false);
+    }
+
+    /// [`MaxMinAllocator::allocate_dirty_into`] with an optional shortcut:
+    /// when `structure_unchanged` is true the caller asserts that `flows`
+    /// has the same length, order, and endpoints as on the previous call to
+    /// this allocator, so the union-find + CSR component structure from
+    /// that call is still valid and is reused instead of rebuilt. Band,
+    /// weight, and `max_rate` changes do not affect connectivity and are
+    /// fine under the shortcut; any insertion, removal, or reordering of
+    /// flows is not. The hint is ignored (and the structure rebuilt) if the
+    /// flow count disagrees with the cached structure.
+    pub fn allocate_dirty_reuse(
+        &mut self,
+        topo: &Topology,
+        flows: &[FlowDemand],
+        dirty_hosts: &[bool],
+        rates: &mut [f64],
+        structure_unchanged: bool,
+    ) {
         let started = std::time::Instant::now();
         assert_eq!(
             rates.len(),
@@ -205,8 +243,12 @@ impl MaxMinAllocator {
             "dirty set / topology mismatch"
         );
         self.stats.invocations += 1;
+        self.touched.clear();
         if !flows.is_empty() {
-            let comp_count = self.build_components(topo, flows);
+            let comp_count = match self.cached_structure {
+                Some((len, count)) if structure_unchanged && len == flows.len() => count,
+                _ => self.build_components(topo, flows),
+            };
             self.solve_components(topo, flows, rates, comp_count, Some(dirty_hosts));
         }
         self.stats.wall_nanos += started.elapsed().as_nanos() as u64;
@@ -290,6 +332,7 @@ impl MaxMinAllocator {
             self.comp_flows[slot as usize] = i as u32;
             cursor[c as usize] = slot + 1;
         }
+        self.cached_structure = Some((flows.len(), comp_count));
         comp_count
     }
 
@@ -332,6 +375,7 @@ impl MaxMinAllocator {
                     }),
                 };
             if solve {
+                self.touched.extend_from_slice(idxs);
                 self.solve_component(topo, flows, idxs, rates);
             } else {
                 self.stats.components_retained += 1;
@@ -339,6 +383,10 @@ impl MaxMinAllocator {
         }
         self.comp_start = comp_start;
         self.comp_flows = comp_flows;
+        // CSR order groups by component; downstream consumers iterate
+        // `touched` expecting ascending flow order (it keeps telemetry
+        // emission order identical to a full scan over the flow list).
+        self.touched.sort_unstable();
     }
 
     /// Progressive filling restricted to one component. `idxs` lists the
@@ -838,5 +886,56 @@ mod tests {
         let t = topo(2, 10.0);
         let mut a = MaxMinAllocator::new();
         let _ = a.allocate(&t, &[demand(0, 1, 0, 0.0)]);
+    }
+
+    #[test]
+    fn last_touched_lists_resolved_flows_in_order() {
+        let t = topo(6, 10.0);
+        let mut a = MaxMinAllocator::new();
+        // Three disjoint components: (0,1), (2,3), (4,5).
+        let flows = [demand(0, 1, 0, 1.0), demand(2, 3, 0, 1.0), demand(4, 5, 0, 1.0)];
+        let mut rates = a.allocate(&t, &flows);
+        assert_eq!(a.last_touched(), &[0, 1, 2], "full solve touches all");
+
+        let mut dirty = vec![false; 6];
+        dirty[2] = true;
+        a.allocate_dirty_into(&t, &flows, &dirty, &mut rates);
+        assert_eq!(a.last_touched(), &[1], "only the dirty component");
+    }
+
+    #[test]
+    fn structure_reuse_matches_rebuild_bit_for_bit() {
+        let t = topo(6, 10.0);
+        let mut a = MaxMinAllocator::new();
+        let mut flows = vec![
+            demand(0, 1, 0, 1.3),
+            demand(0, 2, 1, 0.7),
+            demand(0, 3, 0, 2.0),
+            demand(4, 5, 0, 1.0),
+        ];
+        let mut rates = a.allocate(&t, &flows);
+
+        // A band rotation changes no endpoints: the reuse path must agree
+        // exactly with a from-scratch allocator seeing the same demands.
+        for f in &mut flows {
+            f.band = Band((f.band.0 + 1) % 3);
+        }
+        let mut dirty = vec![false; 6];
+        dirty[0] = true;
+        a.allocate_dirty_reuse(&t, &flows, &dirty, &mut rates, true);
+
+        let fresh = MaxMinAllocator::new().allocate(&t, &flows);
+        assert_eq!(rates[..3], fresh[..3], "reused structure diverged");
+        assert_eq!(a.last_touched(), &[0, 1, 2]);
+
+        // A stale hint with a different flow count is ignored, not trusted.
+        flows.push(demand(1, 4, 0, 1.0));
+        rates.push(0.0);
+        let mut dirty = vec![false; 6];
+        dirty[1] = true;
+        dirty[4] = true;
+        a.allocate_dirty_reuse(&t, &flows, &dirty, &mut rates, true);
+        let fresh = MaxMinAllocator::new().allocate(&t, &flows);
+        assert_eq!(rates, fresh, "count mismatch must force a rebuild");
     }
 }

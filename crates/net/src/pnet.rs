@@ -29,7 +29,16 @@
 //! caller asks [`PacketNet::next_event_time`] and schedules a wake-up; on
 //! wake-up it calls [`PacketNet::take_completions`]. Chunk-level events
 //! are far denser than fluid completion events, so a run on this backend
-//! costs more wall time — it is an oracle, not a replacement.
+//! costs more wall time — it is an oracle, not a replacement. One
+//! mitigation keeps the oracle usable at scale: when a flow has **sole
+//! occupancy** of its egress and ingress servers, its remaining chunks
+//! are fused into a single bulk event whose boundary instants replay the
+//! per-chunk arithmetic bit-for-bit (see `Bulk`); any contention change
+//! splits the fusion back into ordinary chunk state. Event counts drop by
+//! orders of magnitude on uncontended paths while every observable —
+//! completion times, byte counters, remaining bytes — stays identical to
+//! the unbatched engine ([`PacketNet::set_bulk_service`] toggles it for
+//! A/B verification).
 
 use crate::psim::EgressDiscipline;
 use crate::topology::Topology;
@@ -85,6 +94,62 @@ struct Service {
     handle: EventHandle,
 }
 
+/// A fused run of chunk events for a flow with sole occupancy of its
+/// egress and ingress servers (see [`PacketNet::kick_egress`] for the
+/// entry conditions). Instead of 2 queue events per chunk, the whole
+/// remaining transfer is scheduled as ONE event at its final ingress-done
+/// instant; the per-chunk recurrence
+///
+/// ```text
+/// s_{j+1} = max(e_j, i_{j+1-W})        // egress start: link free + window
+/// e_j     = s_j + d(c_j / E)           // egress done
+/// i_j     = max(e_j, i_{j-1}) + d(c_j / I)  // ingress done (FIFO serial)
+/// ```
+///
+/// is replayed *arithmetically* — the identical `SimTime`/`f64` operations
+/// the per-chunk path performs, in the same order — so every chunk
+/// boundary lands on the bit-identical instant. Observable state (byte
+/// counters, `received`, `in_flight`, `to_send`) is caught up lazily on
+/// every [`PacketNet::advance`] by applying the virtual chunk boundaries
+/// at or before `now`; a contention change (flow start on either host,
+/// capacity change, abort) splits the bulk by reconstructing the exact
+/// per-chunk server/queue state at the split instant and resuming
+/// unbatched.
+#[derive(Debug)]
+struct Bulk {
+    /// Flow index being bulk-served.
+    flow: u32,
+    /// Destination host (the ingress side).
+    dst: u32,
+    /// Server rates frozen at entry (capacity changes split the bulk).
+    egress_rate: f64,
+    ingress_rate: f64,
+    /// Generated (egress-started) chunks not yet fully received:
+    /// `(bytes, egress_done, ingress_done)`, oldest first. Usually at
+    /// most window + 1 entries; transiently larger when one advance jumps
+    /// over many chunk boundaries.
+    pipeline: VecDeque<(u64, SimTime, SimTime)>,
+    /// Egress-service start of the next ungenerated chunk.
+    next_start: SimTime,
+    /// Ingress-done of the previous generated chunk (FIFO serialization).
+    last_i: SimTime,
+    /// Ring of the last `window` ingress-done instants; slot `(j-1) % W`
+    /// holds `i_j`, read as the window gate for chunk `j + W`.
+    i_ring: Vec<SimTime>,
+    /// Chunks generated (= egress service started) so far.
+    generated: u64,
+    /// Total chunks this bulk covers.
+    total_chunks: u64,
+    /// Bytes not yet assigned to a generated chunk.
+    bytes_ungenerated: u64,
+    /// Chunks whose egress-done / ingress-done effects have been applied.
+    egress_applied: u64,
+    ingress_applied: u64,
+    /// The single scheduled event: ingress-done of the last chunk.
+    finish: SimTime,
+    handle: EventHandle,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum PEv {
     /// The egress server of host `h` finished serializing a chunk.
@@ -95,6 +160,8 @@ enum PEv {
     LoopbackDone(u32),
     /// A pacing gate on host `h` opened; re-examine its egress.
     Pace(u32),
+    /// The bulk run owned by host `h`'s egress delivered its last chunk.
+    BulkDone(u32),
 }
 
 /// The interactive chunk-level network engine. API mirrors
@@ -123,6 +190,16 @@ pub struct PacketNet {
     last_advance: SimTime,
     egress_bytes: Vec<f64>,
     ingress_bytes: Vec<f64>,
+    /// Active bulk run per egress host (see [`Bulk`]).
+    bulk_egress: Vec<Option<Bulk>>,
+    /// Reverse index: ingress host -> egress host of the bulk feeding it.
+    bulk_ingress: Vec<Option<u32>>,
+    /// Egress hosts with an active bulk, for cheap advance-time catch-up.
+    active_bulks: Vec<u32>,
+    bulk_enabled: bool,
+    /// Chunks whose egress+ingress events were fused away (~2 queue
+    /// events saved per chunk).
+    bulk_virtual_chunks: u64,
     telemetry: Telemetry,
     invariants: InvariantChecker,
 }
@@ -167,9 +244,32 @@ impl PacketNet {
             last_advance: SimTime::ZERO,
             egress_bytes: vec![0.0; n],
             ingress_bytes: vec![0.0; n],
+            bulk_egress: (0..n).map(|_| None).collect(),
+            bulk_ingress: vec![None; n],
+            active_bulks: Vec::new(),
+            bulk_enabled: true,
+            bulk_virtual_chunks: 0,
             telemetry: Telemetry::disabled(),
             invariants: InvariantChecker::disabled(),
         }
+    }
+
+    /// Enable or disable bulk chunk fusion (on by default). The toggle
+    /// exists for regression tests and A/B event-count measurements —
+    /// observable behavior is bit-identical either way (see `Bulk`).
+    /// Must be called before any flow starts.
+    pub fn set_bulk_service(&mut self, enabled: bool) {
+        assert!(
+            self.flows.is_empty(),
+            "toggle bulk service before starting flows"
+        );
+        self.bulk_enabled = enabled;
+    }
+
+    /// Chunks delivered inside bulk runs instead of through individually
+    /// scheduled egress/ingress events (each saved ~2 queue events).
+    pub fn bulk_virtual_chunks(&self) -> u64 {
+        self.bulk_virtual_chunks
     }
 
     /// Attach a telemetry handle (flow lifecycle + rotation events).
@@ -232,6 +332,14 @@ impl PacketNet {
             "flow endpoints outside topology"
         );
         self.advance(now);
+        if spec.src != spec.dst {
+            // A new competitor ends sole occupancy: split any bulk run
+            // sharing its egress or ingress server before it joins.
+            self.split_bulk(now, spec.src.0);
+            if let Some(hb) = self.bulk_ingress[spec.dst.0 as usize] {
+                self.split_bulk(now, hb);
+            }
+        }
         let idx = self.flows.len() as u32;
         let total = spec.bytes.ceil().max(1.0) as u64;
         self.flows.push(PFlow {
@@ -281,6 +389,14 @@ impl PacketNet {
     ) {
         assert!(self.topo.contains(h), "host outside topology");
         self.advance(now);
+        // A bulk run froze this host's rates at entry: split it back to
+        // per-chunk state (still under the old rates) so the re-rating
+        // below applies to a reconstructed in-service chunk, exactly as
+        // it would on the unbatched path.
+        self.split_bulk(now, h.0);
+        if let Some(hb) = self.bulk_ingress[h.0 as usize] {
+            self.split_bulk(now, hb);
+        }
         self.topo.set_host_capacity(h, egress, ingress);
         self.rerate_service(now, h.0, /* egress: */ true);
         self.rerate_service(now, h.0, /* egress: */ false);
@@ -330,20 +446,33 @@ impl PacketNet {
     ) -> Vec<(FlowId, u64)> {
         self.advance(now);
         let mut aborted = Vec::new();
-        let flows = &mut self.flows;
-        self.active.retain(|&idx| {
-            let f = &mut flows[idx as usize];
-            let id = FlowId(idx as u64);
-            if pred(id, &f.spec) {
-                f.status = Status::Aborted;
-                f.to_send = 0;
-                aborted.push((id, f.spec.tag));
-                false
-            } else {
-                true
+        for k in 0..self.active.len() {
+            let idx = self.active[k];
+            let f = &self.flows[idx as usize];
+            if !pred(FlowId(idx as u64), &f.spec) {
+                continue;
             }
-        });
+            let src = f.spec.src.0;
+            aborted.push((FlowId(idx as u64), f.spec.tag));
+            // A dying bulk-served flow first splits back to per-chunk
+            // state so the generic teardown below sees ordinary queued
+            // and in-service chunks. (Bulks of surviving flows are
+            // unaffected: a competitor on their hosts would have split
+            // them at its start.)
+            if self.bulk_egress[src as usize]
+                .as_ref()
+                .is_some_and(|b| b.flow == idx)
+            {
+                self.split_bulk(now, src);
+            }
+            let f = &mut self.flows[idx as usize];
+            f.status = Status::Aborted;
+            f.to_send = 0;
+        }
         if !aborted.is_empty() {
+            let flows = &mut self.flows;
+            self.active
+                .retain(|&idx| flows[idx as usize].status != Status::Aborted);
             // Drop queued (not-in-service) chunks of dead flows. The chunk
             // currently in service at each busy server completes on the
             // wire and is discarded on arrival.
@@ -410,7 +539,18 @@ impl PacketNet {
                         self.kick_egress(t, h);
                     }
                 }
+                PEv::BulkDone(h) => self.on_bulk_done(t, h),
             }
+        }
+        // Bulk runs deliver chunks between queue events: apply every
+        // virtual chunk boundary at or before `now` so byte counters,
+        // `received`, and window state read exactly as the per-chunk path
+        // would have left them.
+        for k in 0..self.active_bulks.len() {
+            let h = self.active_bulks[k] as usize;
+            let mut bulk = self.bulk_egress[h].take().expect("tracked bulk vanished");
+            self.catch_up_bulk(&mut bulk, now);
+            self.bulk_egress[h] = Some(bulk);
         }
         self.last_advance = now;
     }
@@ -518,7 +658,7 @@ impl PacketNet {
     /// idle and a flow is ready. Schedules a pace wake-up when every ready
     /// flow is gated by its cap.
     fn kick_egress(&mut self, now: SimTime, h: u32) {
-        if self.egress_busy[h as usize].is_some() {
+        if self.egress_busy[h as usize].is_some() || self.bulk_egress[h as usize].is_some() {
             return;
         }
         // A flow is ready when it has bytes left AND window room AND its
@@ -578,6 +718,9 @@ impl PacketNet {
             .find(|&i| i > cursor)
             .unwrap_or(eligible[0]);
         self.egress_cursor[h as usize] = i;
+        if self.try_enter_bulk(now, h, i) {
+            return;
+        }
 
         let f = &mut self.flows[i as usize];
         let chunk = self.chunk_bytes.min(f.to_send);
@@ -602,6 +745,208 @@ impl PacketNet {
             rate,
             handle,
         });
+    }
+
+    // ---- bulk chunk service --------------------------------------------
+
+    /// Attempt to fuse flow `i`'s entire remaining transfer into a single
+    /// bulk event (see [`Bulk`]). Called after `i` won host `h`'s egress;
+    /// requires sole occupancy of both servers and a clean pipeline.
+    fn try_enter_bulk(&mut self, now: SimTime, h: u32, i: u32) -> bool {
+        if !self.bulk_enabled {
+            return false;
+        }
+        let f = &self.flows[i as usize];
+        let d = f.spec.dst.0;
+        // Cheap gates first: `in_flight == 0` only holds on a flow's first
+        // chunk or after a full pipeline drain, so the O(active) scan
+        // below runs rarely, not per chunk.
+        if f.max_rate.is_finite()
+            || f.in_flight != 0
+            || !self.ingress_q[d as usize].is_empty()
+            || self.ingress_busy[d as usize].is_some()
+        {
+            return false;
+        }
+        // Sole occupancy: no other active non-loopback flow touches this
+        // egress or that ingress. Window-stalled and paced flows count —
+        // they are absent from `candidates` but contend later.
+        for &j in &self.active {
+            if j == i {
+                continue;
+            }
+            let g = &self.flows[j as usize].spec;
+            if g.src != g.dst && (g.src.0 == h || g.dst.0 == d) {
+                return false;
+            }
+        }
+        let egress_rate = self.topo.egress(HostId(h)).bytes_per_sec();
+        let ingress_rate = self.topo.ingress(HostId(d)).bytes_per_sec();
+        let to_send = f.to_send;
+        let total_chunks = to_send.div_ceil(self.chunk_bytes);
+        // Dry-run the recurrence to the last ingress-done: the one event
+        // this whole transfer schedules. The lazy catch-up in
+        // `catch_up_bulk` re-generates the identical values on demand.
+        let w = u64::from(self.window);
+        let mut ring = vec![SimTime::ZERO; self.window as usize];
+        let mut s = now;
+        let mut last_i = SimTime::ZERO;
+        let mut left = to_send;
+        for j in 1..=total_chunks {
+            let c = self.chunk_bytes.min(left);
+            left -= c;
+            let e = s + SimDuration::from_secs_f64(c as f64 / egress_rate);
+            let i_done = e.max(last_i) + SimDuration::from_secs_f64(c as f64 / ingress_rate);
+            ring[((j - 1) % w) as usize] = i_done;
+            let gate = if j >= w {
+                ring[((j - w) % w) as usize]
+            } else {
+                SimTime::ZERO
+            };
+            s = e.max(gate);
+            last_i = i_done;
+        }
+        let finish = last_i;
+        let handle = self.queue.schedule(finish, PEv::BulkDone(h));
+        ring.fill(SimTime::ZERO);
+        self.bulk_egress[h as usize] = Some(Bulk {
+            flow: i,
+            dst: d,
+            egress_rate,
+            ingress_rate,
+            pipeline: VecDeque::new(),
+            next_start: now,
+            last_i: SimTime::ZERO,
+            i_ring: ring,
+            generated: 0,
+            total_chunks,
+            bytes_ungenerated: to_send,
+            egress_applied: 0,
+            ingress_applied: 0,
+            finish,
+            handle,
+        });
+        self.bulk_ingress[d as usize] = Some(h);
+        self.active_bulks.push(h);
+        true
+    }
+
+    /// Apply every virtual chunk boundary of `bulk` at or before `now`:
+    /// egress starts debit `to_send` and open the window, egress-dones
+    /// credit the sender's byte counter, ingress-dones credit the
+    /// receiver's and `received`. Each sequence is replayed with the
+    /// per-chunk path's exact arithmetic, in chunk order, so the state at
+    /// any probed instant is bit-identical to an unbatched run.
+    fn catch_up_bulk(&mut self, bulk: &mut Bulk, now: SimTime) {
+        let h = self.flows[bulk.flow as usize].spec.src.0 as usize;
+        let d = bulk.dst as usize;
+        let w = u64::from(self.window);
+        // 1. Generate (= egress-start) chunks due by `now`. `next_start`
+        //    already folds in the window gate, so this is purely
+        //    time-driven.
+        while bulk.generated < bulk.total_chunks && bulk.next_start <= now {
+            let c = self.chunk_bytes.min(bulk.bytes_ungenerated);
+            bulk.bytes_ungenerated -= c;
+            let j = bulk.generated + 1;
+            let e = bulk.next_start + SimDuration::from_secs_f64(c as f64 / bulk.egress_rate);
+            let i_done =
+                e.max(bulk.last_i) + SimDuration::from_secs_f64(c as f64 / bulk.ingress_rate);
+            bulk.i_ring[((j - 1) % w) as usize] = i_done;
+            let gate = if j >= w {
+                bulk.i_ring[((j - w) % w) as usize]
+            } else {
+                SimTime::ZERO
+            };
+            bulk.next_start = e.max(gate);
+            bulk.last_i = i_done;
+            bulk.pipeline.push_back((c, e, i_done));
+            bulk.generated = j;
+            let f = &mut self.flows[bulk.flow as usize];
+            f.to_send -= c;
+            f.in_flight += 1;
+        }
+        // 2. Egress-done effects, in chunk order (e_j is monotone).
+        while bulk.egress_applied < bulk.generated {
+            let k = (bulk.egress_applied - bulk.ingress_applied) as usize;
+            let (c, e, _) = bulk.pipeline[k];
+            if e > now {
+                break;
+            }
+            self.egress_bytes[h] += c as f64;
+            bulk.egress_applied += 1;
+        }
+        // 3. Ingress-done effects (i_j is monotone too).
+        while let Some(&(c, _, i_done)) = bulk.pipeline.front() {
+            if i_done > now {
+                break;
+            }
+            bulk.pipeline.pop_front();
+            bulk.ingress_applied += 1;
+            self.bulk_virtual_chunks += 1;
+            let f = &mut self.flows[bulk.flow as usize];
+            f.in_flight -= 1;
+            f.received += c;
+            self.ingress_bytes[d] += c as f64;
+        }
+    }
+
+    fn on_bulk_done(&mut self, now: SimTime, h: u32) {
+        let mut bulk = self.bulk_egress[h as usize]
+            .take()
+            .expect("bulk event fired without a bulk");
+        debug_assert_eq!(bulk.finish, now);
+        self.bulk_ingress[bulk.dst as usize] = None;
+        self.active_bulks.retain(|&x| x != h);
+        self.catch_up_bulk(&mut bulk, now);
+        debug_assert_eq!(bulk.ingress_applied, bulk.total_chunks);
+        self.finish_flow(now, bulk.flow);
+    }
+
+    /// End a bulk run at `now`, reconstructing the exact per-chunk engine
+    /// state the unbatched path would hold at this instant: the chunk on
+    /// the egress wire re-enters service, chunks between the servers
+    /// refill the ingress FIFO with the front one in service, and their
+    /// completion events are rescheduled at the already-computed instants.
+    /// No-op if `h` owns no bulk.
+    fn split_bulk(&mut self, now: SimTime, h: u32) {
+        let Some(mut bulk) = self.bulk_egress[h as usize].take() else {
+            return;
+        };
+        self.bulk_ingress[bulk.dst as usize] = None;
+        self.active_bulks.retain(|&x| x != h);
+        self.queue.cancel(bulk.handle);
+        self.catch_up_bulk(&mut bulk, now);
+        let d = bulk.dst as usize;
+        // At most one generated chunk can be mid-serialization (egress is
+        // serial): the last one, when its wire time extends past `now`.
+        if bulk.egress_applied < bulk.generated {
+            debug_assert_eq!(bulk.egress_applied + 1, bulk.generated);
+            let &(c, e, _) = bulk.pipeline.back().expect("generated chunk in pipeline");
+            let handle = self.queue.schedule(e, PEv::EgressDone(h));
+            self.egress_busy[h as usize] = Some(Service {
+                flow: bulk.flow,
+                chunk: c,
+                finish: e,
+                rate: bulk.egress_rate,
+                handle,
+            });
+        }
+        let queued = (bulk.egress_applied - bulk.ingress_applied) as usize;
+        for k in 0..queued {
+            let (c, _, _) = bulk.pipeline[k];
+            self.ingress_q[d].push_back((bulk.flow, c));
+        }
+        if queued > 0 {
+            let (c, _, i_done) = bulk.pipeline[0];
+            let handle = self.queue.schedule(i_done, PEv::IngressDone(d as u32));
+            self.ingress_busy[d] = Some(Service {
+                flow: bulk.flow,
+                chunk: c,
+                finish: i_done,
+                rate: bulk.ingress_rate,
+                handle,
+            });
+        }
     }
 
     fn kick_ingress(&mut self, now: SimTime, h: u32) {
@@ -811,6 +1156,100 @@ mod tests {
         let done = drain(&mut n);
         assert_eq!(done.len(), 2);
         assert_eq!(inv.violation_count(), 0);
+    }
+
+    #[test]
+    fn bulk_fuses_sole_occupancy_transfers() {
+        let mut n = net(2);
+        n.start_flow(SimTime::ZERO, spec(0, 1, 125e6, 0, 1));
+        let done = drain(&mut n);
+        assert_eq!(done.len(), 1);
+        // 125 MB / 64 KiB = 1908 chunks; all of them should ride the bulk
+        // path, and the drain loop should see a single event.
+        assert_eq!(
+            n.bulk_virtual_chunks(),
+            1908,
+            "bulk service never engaged"
+        );
+        // Completion must still match the pipelined two-server schedule.
+        let want = 125e6 / LINK + DEFAULT_CHUNK_BYTES as f64 / LINK;
+        let got = done[0].finished.as_secs_f64();
+        assert!((got - want).abs() < 1e-3, "got {got}, want {want}");
+    }
+
+    /// The bulk fast path must be *bitwise* indistinguishable from the
+    /// unbatched engine: identical completion instants, identical byte
+    /// counters and remaining-bytes at every probed instant. The scenario
+    /// exercises all three split triggers — a competitor on the shared
+    /// egress, a competitor on the shared ingress, and a capacity change
+    /// mid-bulk — plus a concurrent loopback flow (which must not block
+    /// fusion).
+    #[test]
+    fn bulk_service_matches_unbatched_bit_for_bit() {
+        #[allow(clippy::type_complexity)]
+        let run = |bulk: bool| -> (Vec<(Option<f64>, Vec<u64>, Vec<u64>)>, Vec<CompletedFlow>) {
+            let mut n = net(4);
+            n.set_bulk_service(bulk);
+            let mut probes = Vec::new();
+            let mut probe = |n: &mut PacketNet, at: SimTime, flow: u64| {
+                n.advance(at);
+                probes.push((
+                    n.remaining_of(FlowId(flow)),
+                    n.egress_bytes().iter().map(|b| b.to_bits()).collect(),
+                    n.ingress_bytes().iter().map(|b| b.to_bits()).collect(),
+                ));
+            };
+            // Phase 1: flow 0 (0->1) runs alone and fuses; flow 1 (2->1)
+            // splits it on the shared ingress; flow 2 (0->3) then contends
+            // on the egress.
+            n.start_flow(SimTime::ZERO, spec(0, 1, 50e6, 0, 1));
+            probe(&mut n, SimTime::from_millis(3), 0);
+            n.start_flow(SimTime::from_millis(5), spec(2, 1, 10e6, 0, 2));
+            n.start_flow(SimTime::from_millis(9), spec(0, 3, 20e6, 1, 3));
+            probe(&mut n, SimTime::from_millis(20), 0);
+            // Phase 2: flow 3 (3->2) fuses; a capacity change on its
+            // ingress host splits it and re-rates the in-service chunks.
+            n.start_flow(SimTime::from_millis(150), spec(3, 2, 40e6, 0, 4));
+            let half = Bandwidth::from_bytes_per_sec(LINK / 2.0);
+            n.set_host_capacity(SimTime::from_millis(155), HostId(2), half, half);
+            probe(&mut n, SimTime::from_millis(160), 3);
+            // Phase 3: flow 4 (1->3) fuses next to a loopback flow; flow 6
+            // (1->0) splits it on the shared egress.
+            n.start_flow(SimTime::from_millis(300), spec(1, 3, 30e6, 0, 5));
+            n.start_flow(SimTime::from_millis(302), spec(2, 2, 10e6, 0, 6));
+            n.start_flow(SimTime::from_millis(305), spec(1, 0, 5e6, 0, 7));
+            probe(&mut n, SimTime::from_millis(310), 4);
+            let done = drain(&mut n);
+            (probes, done)
+        };
+        let fast = run(true);
+        let slow = run(false);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.1.len(), 7);
+    }
+
+    #[test]
+    fn bulk_split_on_abort_drops_the_dying_flow_only() {
+        let run = |bulk: bool| {
+            let mut n = net(4);
+            n.set_bulk_service(bulk);
+            n.start_flow(SimTime::ZERO, spec(0, 1, 50e6, 0, 1));
+            n.start_flow(SimTime::ZERO, spec(2, 3, 50e6, 0, 2));
+            let aborted = n.abort_flows_where(SimTime::from_millis(7), |_, s| s.tag == 1);
+            assert_eq!(aborted.len(), 1);
+            assert!(n.remaining_of(FlowId(0)).is_none());
+            let done = drain(&mut n);
+            (
+                done,
+                n.egress_bytes().iter().map(|b| b.to_bits()).collect::<Vec<_>>(),
+                n.ingress_bytes().iter().map(|b| b.to_bits()).collect::<Vec<_>>(),
+            )
+        };
+        let fast = run(true);
+        let slow = run(false);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.0.len(), 1);
+        assert_eq!(fast.0[0].tag, 2);
     }
 
     #[test]

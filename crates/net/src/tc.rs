@@ -23,12 +23,76 @@
 
 use crate::types::{Band, Bandwidth};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Class id of the htb parent under root qdisc `1:`.
 const PARENT_CLASS: u32 = 1;
 /// Class minor ids for bands start here (band 0 -> 1:10).
 const BAND_CLASS_BASE: u32 = 10;
+
+/// Port→band filter assignments, sorted by port.
+///
+/// A NIC carries one filter per colocated PS — a handful of entries that
+/// the TLs-RR controller diffs on every rotation. A sorted `Vec` with
+/// binary search keeps the whole set in one or two cache lines, where the
+/// `BTreeMap` it replaced paid a node allocation per entry; iteration
+/// order (ascending port) is unchanged, so rendered scripts are
+/// byte-identical.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PortBands(Vec<(u16, Band)>);
+
+impl PortBands {
+    /// An empty assignment set.
+    pub fn new() -> Self {
+        PortBands(Vec::new())
+    }
+
+    /// Insert or replace a port's band; returns the previous band if any.
+    pub fn insert(&mut self, port: u16, band: Band) -> Option<Band> {
+        match self.0.binary_search_by_key(&port, |&(p, _)| p) {
+            Ok(i) => Some(std::mem::replace(&mut self.0[i].1, band)),
+            Err(i) => {
+                self.0.insert(i, (port, band));
+                None
+            }
+        }
+    }
+
+    /// The band assigned to `port`, if any.
+    pub fn get(&self, port: u16) -> Option<Band> {
+        self.0
+            .binary_search_by_key(&port, |&(p, _)| p)
+            .ok()
+            .map(|i| self.0[i].1)
+    }
+
+    /// Remove a port's assignment; returns its band if it was present.
+    pub fn remove(&mut self, port: u16) -> Option<Band> {
+        self.0
+            .binary_search_by_key(&port, |&(p, _)| p)
+            .ok()
+            .map(|i| self.0.remove(i).1)
+    }
+
+    /// True if `port` has an assignment.
+    pub fn contains(&self, port: u16) -> bool {
+        self.get(port).is_some()
+    }
+
+    /// Number of assigned ports.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if no ports are assigned.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate assignments in ascending port order.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, Band)> + '_ {
+        self.0.iter().copied()
+    }
+}
 
 /// A full htb configuration for one NIC.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -40,7 +104,7 @@ pub struct TcConfig {
     /// Number of priority bands to create (1..=8; the paper uses up to 6).
     pub num_bands: u8,
     /// Map from PS TCP source port to its assigned band.
-    pub port_bands: BTreeMap<u16, Band>,
+    pub port_bands: PortBands,
 }
 
 impl TcConfig {
@@ -55,7 +119,7 @@ impl TcConfig {
             dev: dev.into(),
             link,
             num_bands,
-            port_bands: BTreeMap::new(),
+            port_bands: PortBands::new(),
         }
     }
 
@@ -102,7 +166,7 @@ impl TcConfig {
                  rate 1mbit ceil {rate} prio {b}"
             ));
         }
-        for (&port, &band) in &self.port_bands {
+        for (port, band) in self.port_bands.iter() {
             out.push(self.filter_add_cmd(port, band));
         }
         out
@@ -144,18 +208,18 @@ impl TcConfig {
         assert_eq!(self.dev, new.dev, "cannot diff across devices");
         assert_eq!(self.num_bands, new.num_bands, "band count changed");
         let mut out = Vec::new();
-        for (&port, &band) in &self.port_bands {
-            match new.port_bands.get(&port) {
+        for (port, band) in self.port_bands.iter() {
+            match new.port_bands.get(port) {
                 None => out.push(self.filter_del_cmd(port, band)),
-                Some(&nb) if nb != band => {
+                Some(nb) if nb != band => {
                     out.push(self.filter_del_cmd(port, band));
                     out.push(new.filter_add_cmd(port, nb));
                 }
                 Some(_) => {}
             }
         }
-        for (&port, &band) in &new.port_bands {
-            if !self.port_bands.contains_key(&port) {
+        for (port, band) in new.port_bands.iter() {
+            if !self.port_bands.contains(port) {
                 out.push(new.filter_add_cmd(port, band));
             }
         }
@@ -172,6 +236,25 @@ mod tests {
         c.assign_port(2222, Band(0));
         c.assign_port(2223, Band(1));
         c
+    }
+
+    #[test]
+    fn port_bands_sorted_vec_semantics() {
+        let mut pb = PortBands::new();
+        assert!(pb.is_empty());
+        pb.insert(3000, Band(2));
+        pb.insert(1000, Band(0));
+        pb.insert(2000, Band(1));
+        assert_eq!(pb.insert(2000, Band(2)), Some(Band(1)), "insert replaces");
+        assert_eq!(pb.len(), 3);
+        assert_eq!(pb.get(1000), Some(Band(0)));
+        assert_eq!(pb.get(1500), None);
+        assert!(pb.contains(3000));
+        let ports: Vec<u16> = pb.iter().map(|(p, _)| p).collect();
+        assert_eq!(ports, vec![1000, 2000, 3000], "iteration is port-sorted");
+        assert_eq!(pb.remove(1000), Some(Band(0)));
+        assert_eq!(pb.remove(1000), None);
+        assert_eq!(pb.len(), 2);
     }
 
     #[test]
@@ -240,7 +323,7 @@ mod tests {
     fn reconfigure_handles_arrival_and_departure() {
         let old = cfg();
         let mut new = cfg();
-        new.port_bands.remove(&2223); // job departed
+        assert_eq!(new.port_bands.remove(2223), Some(Band(1))); // job departed
         new.assign_port(2224, Band(2)); // job arrived
         let diff = old.render_reconfigure(&new);
         assert_eq!(diff.len(), 2);

@@ -111,7 +111,29 @@ impl<E> EventQueue<E> {
         if handle.0 >= self.next_seq {
             return false;
         }
-        self.cancelled.insert(handle.0)
+        let fresh = self.cancelled.insert(handle.0);
+        // Lazy deletion must not leak: once tombstones outnumber live
+        // entries, rebuild the heap without them and drop the set. This
+        // also reclaims tombstones for events that had already fired —
+        // cancelling a fired handle is accepted as a no-op, but each one
+        // used to pin its seq in the set forever.
+        if fresh && self.cancelled.len() > self.len().max(64) {
+            self.compact();
+        }
+        fresh
+    }
+
+    /// Rebuild the heap without tombstoned entries and clear the tombstone
+    /// set. Pop order is unchanged: `Scheduled`'s total order on
+    /// `(time, seq)` fully determines the sequence regardless of heap
+    /// layout.
+    fn compact(&mut self) {
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        let cancelled = std::mem::take(&mut self.cancelled);
+        self.heap = entries
+            .into_iter()
+            .filter(|ev| !cancelled.contains(&ev.seq))
+            .collect();
     }
 
     /// Pop the earliest non-cancelled event, advancing the clock.
@@ -147,12 +169,22 @@ impl<E> EventQueue<E> {
         self.peek_time().is_none()
     }
 
-    /// Number of live (non-cancelled) scheduled events.
+    /// Number of live (non-cancelled) scheduled events. Between
+    /// compactions this can briefly undercount when fired handles were
+    /// cancelled (their tombstones are reclaimed by the next compaction);
+    /// it never overcounts.
     // `is_empty` needs `&mut self` (it prunes cancelled entries), so the
     // usual pairing lint does not apply.
     #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len().saturating_sub(self.cancelled.len())
+    }
+
+    /// Total heap entries including not-yet-compacted tombstones — a
+    /// diagnostic for the lazy-deletion bound, not a live count (that is
+    /// [`EventQueue::len`]).
+    pub fn heap_entries(&self) -> usize {
+        self.heap.len()
     }
 }
 
@@ -241,6 +273,50 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 0);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_fire_keeps_len_sane() {
+        // Regression: cancelling a handle whose event already popped used
+        // to leave a permanent tombstone and drive `len()` into underflow.
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_secs(1), ());
+        q.pop();
+        q.cancel(h);
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_churn_does_not_leak() {
+        let mut q = EventQueue::new();
+        // Long-lived events keep a stable live population.
+        for i in 0..10u64 {
+            q.schedule(SimTime::from_secs(1000 + i), 1000 + i);
+        }
+        // Heavy churn: every round schedules and pops one event, then
+        // schedules and cancels another, then cancels the fired handle
+        // too. Before compaction existed, the tombstone set and heap grew
+        // without bound under exactly this pattern.
+        for round in 0..10_000u64 {
+            let fired = q.schedule(SimTime::from_secs(1), round);
+            let (_, payload) = q.pop().expect("the near event pops first");
+            assert_eq!(payload, round);
+            let doomed = q.schedule(SimTime::from_secs(999), round);
+            assert!(q.cancel(doomed));
+            q.cancel(fired); // stale: the event already popped
+        }
+        assert!(
+            q.heap_entries() < 500,
+            "lazy deletion leaked: {} heap entries for 10 live events",
+            q.heap_entries()
+        );
+        // The survivors drain in order, untouched by 20k cancellations.
+        let mut drained = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            drained.push(v);
+        }
+        assert_eq!(drained, (1000..1010).collect::<Vec<_>>());
     }
 
     #[test]

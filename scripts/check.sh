@@ -23,6 +23,7 @@ if [[ "${1:-}" != "fast" ]]; then
     TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench paper_experiments
     TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench telemetry
     TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench fault_overhead
+    TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench scale
 
     # Telemetry smoke: emit a Chrome trace from the Figure 4 narrative and
     # validate it — parses as JSON, non-empty traceEvents, and contains the
@@ -48,6 +49,11 @@ if [[ "${1:-}" != "fast" ]]; then
     # divergence beyond tolerance (see EXPERIMENTS.md).
     echo "==> differential validation (fluid vs packet)"
     ./target/release/repro --experiment validate > /dev/null
+
+    # Scale smoke: the smallest grid cell of the scale sweep under all
+    # three policies (repro asserts every job completes).
+    echo "==> scale sweep smoke (--quick)"
+    ./target/release/repro --experiment scale --quick > /dev/null
 fi
 
 echo "==> all checks passed"
