@@ -180,6 +180,42 @@ fn bench_churn(c: &mut Criterion) {
         });
     });
 
+    // Incremental re-solve on a multi-link fabric: 4 racks × 16 hosts at
+    // 4:1 oversubscription, every host streaming cross-rack, one rack's
+    // flows churning bands each iteration. Fabric links couple flows that
+    // share no host, so dirtiness must spill across the uplink — this
+    // meters `allocate_dirty_reuse` with the fabric-aware dirty check.
+    g.bench_function("dirty_reuse_leaf_spine_4x16", |b| {
+        let topo = tl_net::TopologyBuilder::leaf_spine(4, 16, 4.0)
+            .link(Bandwidth::from_gbps(10.0))
+            .build();
+        let n = 64u32;
+        let mut flows: Vec<FlowDemand> = (0..n)
+            .map(|h| {
+                FlowDemand::new(
+                    HostId(h),
+                    HostId((h + 16) % n), // next rack over
+                    Band((h % 6) as u8),
+                    1.0 + h as f64 * 0.01,
+                )
+            })
+            .collect();
+        let mut alloc = MaxMinAllocator::new();
+        let mut rates = Vec::new();
+        alloc.allocate_into(&topo, &flows, &mut rates);
+        let mut dirty = vec![false; n as usize];
+        dirty[..16].fill(true);
+        let mut round = 0u8;
+        b.iter(|| {
+            round = round.wrapping_add(1);
+            for f in &mut flows[..16] {
+                f.band = Band((f.band.0 + round) % 6);
+            }
+            alloc.allocate_dirty_reuse(&topo, black_box(&flows), &dirty, &mut rates, true);
+            black_box(rates[0])
+        });
+    });
+
     g.finish();
 }
 

@@ -31,5 +31,5 @@ pub use monitor::{
 };
 pub use placement::{
     grouped_placement, make_placement, table1_group_sizes, table1_placement, JobPlacement,
-    Placement, PlacementStrategy, Table1Index,
+    Placement, PlacementStrategy, PsShards, Table1Index,
 };

@@ -112,15 +112,17 @@ impl ResourceManager {
         let n = self.specs.len() as u32;
         let mut load = vec![0usize; self.specs.len()];
         for (ji, j) in placement.jobs.iter().enumerate() {
-            if j.ps_host.0 >= n {
-                return Err(PlacementError::UnknownHost { host: j.ps_host });
+            for ps in j.ps.iter() {
+                if ps.0 >= n {
+                    return Err(PlacementError::UnknownHost { host: ps });
+                }
+                load[ps.0 as usize] += 1;
             }
-            load[j.ps_host.0 as usize] += 1;
             for w in &j.worker_hosts {
                 if w.0 >= n {
                     return Err(PlacementError::UnknownHost { host: *w });
                 }
-                if *w == j.ps_host {
+                if *w == j.ps_host() {
                     return Err(PlacementError::WorkerOnPsHost { job: ji as u32 });
                 }
                 load[w.0 as usize] += 1;
@@ -151,7 +153,7 @@ impl ResourceManager {
             out.push(TaskAssignment {
                 job: ji as u32,
                 role: TaskRole::ParameterServer,
-                host: j.ps_host,
+                host: j.ps_host(),
             });
             for (wi, w) in j.worker_hosts.iter().enumerate() {
                 out.push(TaskAssignment {

@@ -11,44 +11,87 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use tl_net::HostId;
 
-/// Placement of one job: its PS host and its workers' hosts.
+/// The PS shard hosts of one job, primary first: shard 0 is the primary
+/// parameter server, shards `1..` are the paper's "more general case where
+/// one DL job has multiple PSes, each PS communicates with remote workers
+/// in a similar way". Always non-empty; the common single-PS job has
+/// exactly one shard.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PsShards {
+    hosts: Vec<HostId>,
+}
+
+impl PsShards {
+    /// A single-shard PS on `primary`.
+    pub fn single(primary: HostId) -> Self {
+        PsShards {
+            hosts: vec![primary],
+        }
+    }
+
+    /// A sharded PS: the primary plus one extra shard per host in
+    /// `extras` (shard `k` lives on `extras[k-1]`).
+    pub fn sharded(primary: HostId, extras: Vec<HostId>) -> Self {
+        let mut hosts = Vec::with_capacity(1 + extras.len());
+        hosts.push(primary);
+        hosts.extend(extras);
+        PsShards { hosts }
+    }
+
+    /// Host of the primary shard (shard 0).
+    pub fn primary(&self) -> HostId {
+        self.hosts[0]
+    }
+
+    /// Number of shards (at least 1).
+    pub fn count(&self) -> u32 {
+        self.hosts.len() as u32
+    }
+
+    /// Host of shard `s`.
+    pub fn host(&self, s: u32) -> HostId {
+        self.hosts[s as usize]
+    }
+
+    /// All shard hosts, primary first.
+    pub fn iter(&self) -> impl Iterator<Item = HostId> + '_ {
+        self.hosts.iter().copied()
+    }
+}
+
+/// Placement of one job: its PS shards and its workers' hosts.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct JobPlacement {
-    /// Host running the (primary) parameter server.
-    pub ps_host: HostId,
+    /// The PS shard hosts (primary first).
+    pub ps: PsShards,
     /// Hosts running the workers (index = worker index within the job).
     pub worker_hosts: Vec<HostId>,
-    /// Hosts of additional PS shards — the paper's "more general case
-    /// where one DL job has multiple PSes, each PS communicates with
-    /// remote workers in a similar way". Empty for the common single-PS
-    /// job; shard `k` lives on `extra_ps_hosts[k-1]`.
-    #[serde(default)]
-    pub extra_ps_hosts: Vec<HostId>,
 }
 
 impl JobPlacement {
     /// A single-PS placement.
     pub fn new(ps_host: HostId, worker_hosts: Vec<HostId>) -> Self {
         JobPlacement {
-            ps_host,
+            ps: PsShards::single(ps_host),
             worker_hosts,
-            extra_ps_hosts: Vec::new(),
         }
     }
 
     /// Add PS shards on the given hosts (model parameters are split evenly
     /// across all shards).
     pub fn with_extra_ps(mut self, hosts: Vec<HostId>) -> Self {
-        self.extra_ps_hosts = hosts;
+        self.ps = PsShards::sharded(self.ps.primary(), hosts);
         self
+    }
+
+    /// Host of the primary PS shard.
+    pub fn ps_host(&self) -> HostId {
+        self.ps.primary()
     }
 
     /// All PS shard hosts, primary first.
     pub fn ps_shard_hosts(&self) -> Vec<HostId> {
-        let mut hosts = Vec::with_capacity(1 + self.extra_ps_hosts.len());
-        hosts.push(self.ps_host);
-        hosts.extend_from_slice(&self.extra_ps_hosts);
-        hosts
+        self.ps.iter().collect()
     }
 }
 
@@ -64,7 +107,7 @@ impl Placement {
     pub fn ps_colocation_counts(&self) -> BTreeMap<HostId, usize> {
         let mut counts = BTreeMap::new();
         for j in &self.jobs {
-            *counts.entry(j.ps_host).or_insert(0) += 1;
+            *counts.entry(j.ps_host()).or_insert(0) += 1;
         }
         counts
     }
@@ -85,7 +128,7 @@ impl Placement {
         self.jobs
             .iter()
             .enumerate()
-            .filter(|(_, j)| j.ps_host == host)
+            .filter(|(_, j)| j.ps_host() == host)
             .map(|(i, _)| i)
             .collect()
     }
@@ -301,7 +344,7 @@ mod tests {
         let p = table1_placement(Table1Index(1), 21, 21);
         assert_eq!(p.jobs.len(), 21);
         // All PSes on host 0.
-        assert!(p.jobs.iter().all(|j| j.ps_host == HostId(0)));
+        assert!(p.jobs.iter().all(|j| j.ps_host() == HostId(0)));
         assert_eq!(p.max_colocation(), 21);
         // Each job's 20 workers cover all hosts except the PS host.
         for j in &p.jobs {
@@ -340,7 +383,7 @@ mod tests {
         for host in 0..21u32 {
             for (ji, j) in p.jobs.iter().enumerate() {
                 let n = j.worker_hosts.iter().filter(|h| h.0 == host).count();
-                if j.ps_host.0 == host {
+                if j.ps_host().0 == host {
                     assert_eq!(n, 0, "job {ji} has no worker on its PS host");
                 } else {
                     assert_eq!(n, 1, "job {ji} has one worker on host {host}");
@@ -374,7 +417,7 @@ mod tests {
         for j in &a.jobs {
             assert_eq!(j.worker_hosts.len(), 6);
             assert!(j.worker_hosts.iter().all(|h| h.0 < 10));
-            assert!(!j.worker_hosts.contains(&j.ps_host));
+            assert!(!j.worker_hosts.contains(&j.ps_host()));
         }
     }
 
@@ -383,7 +426,7 @@ mod tests {
         let p = grouped_placement(10, 4, &[3, 3]);
         for j in &p.jobs {
             assert_eq!(j.worker_hosts.len(), 4);
-            assert!(!j.worker_hosts.contains(&j.ps_host));
+            assert!(!j.worker_hosts.contains(&j.ps_host()));
         }
         // Jobs rotate their worker sets, so total load is spread.
         let mut counts = vec![0; 10];

@@ -20,8 +20,10 @@
 //!
 //! * per-flow *weights* (its round-robin is unweighted — set
 //!   `net_weight_sigma = 0`);
-//! * an oversubscribed fabric core (`core_capacity` is ignored: chunks
-//!   only queue at NICs).
+//! * the legacy aggregate `core_capacity` cap (ignored: chunks only queue
+//!   at NICs and routed fabric links). Per-link leaf–spine fabric *is*
+//!   modelled on both backends (serial servers in the packet engine,
+//!   water-filled link capacities in the fluid one).
 
 use simcore::{InvariantChecker, SimTime};
 use tl_net::{
@@ -79,6 +81,9 @@ pub trait NetBackend {
     fn egress_bytes(&self) -> &[f64];
     /// Cumulative ingress bytes per host.
     fn ingress_bytes(&self) -> &[f64];
+    /// Cumulative bytes per fabric link (empty on single-switch
+    /// topologies), indexed by `LinkId`.
+    fn fabric_bytes(&self) -> &[f64];
     /// Attach a telemetry handle.
     fn set_telemetry(&mut self, telemetry: Telemetry);
     /// Attach an invariant checker.
@@ -131,6 +136,9 @@ impl NetBackend for FluidNet {
     }
     fn ingress_bytes(&self) -> &[f64] {
         FluidNet::ingress_bytes(self)
+    }
+    fn fabric_bytes(&self) -> &[f64] {
+        FluidNet::fabric_bytes(self)
     }
     fn set_telemetry(&mut self, telemetry: Telemetry) {
         FluidNet::set_telemetry(self, telemetry);
@@ -186,6 +194,9 @@ impl NetBackend for PacketNet {
     }
     fn ingress_bytes(&self) -> &[f64] {
         PacketNet::ingress_bytes(self)
+    }
+    fn fabric_bytes(&self) -> &[f64] {
+        PacketNet::fabric_bytes(self)
     }
     fn set_telemetry(&mut self, telemetry: Telemetry) {
         PacketNet::set_telemetry(self, telemetry);

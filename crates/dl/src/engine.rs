@@ -17,6 +17,7 @@ use crate::backend::{NetBackend, NetBackendKind};
 use crate::compute::ComputeModel;
 use crate::job::{JobId, JobSpec, TrainingMode};
 use crate::metrics::BarrierTracker;
+use crate::pattern::{TopologySpec, TrafficPattern};
 use rand::rngs::SmallRng;
 use simcore::{
     EventHandle, EventQueue, InvariantChecker, InvariantViolation, RngFactory, SampleSet, SimTime,
@@ -29,7 +30,7 @@ use tl_cluster::{
     monitor, CpuEngine, CpuTaskId, HostSpec, HostUtilization, JobPlacement, ResourceSnapshot,
 };
 use tl_faults::{BarrierLossPolicy, FaultAction, FaultPlan, RetryConfig, TimedFault};
-use tl_net::{AllocStats, Bandwidth, FlowId, FlowSpec, FluidNet, HostId, PacketNet, Topology};
+use tl_net::{AllocStats, Bandwidth, FlowId, FlowSpec, FluidNet, HostId, LinkId, PacketNet};
 
 /// Tag prefix distinguishing gradient flows from model-update flows in the
 /// fluid engine (rotations must only retag model updates).
@@ -72,6 +73,14 @@ pub struct SimConfig {
     /// Optional switch-fabric aggregate capacity (an oversubscribed core);
     /// `None` keeps the paper's non-blocking switch.
     pub core_capacity: Option<Bandwidth>,
+    /// The link graph the run is simulated on: the paper's single
+    /// non-blocking switch (default) or a leaf–spine fabric with per-rack
+    /// uplink/downlink capacities.
+    pub topology: TopologySpec,
+    /// Run-wide traffic pattern; individual jobs may override it via
+    /// `JobSpec::pattern`. Non-star patterns require synchronous mode, a
+    /// single PS shard, and an empty fault plan.
+    pub pattern: TrafficPattern,
     /// Per-host hardware overrides (heterogeneous clusters); hosts beyond
     /// the list's length fall back to `host_spec`.
     pub host_spec_overrides: Vec<(u32, HostSpec)>,
@@ -111,6 +120,8 @@ impl Default for SimConfig {
             sample_interval: None,
             metrics_interval: None,
             core_capacity: None,
+            topology: TopologySpec::SingleSwitch,
+            pattern: TrafficPattern::PsStar,
             host_spec_overrides: Vec::new(),
             faults: FaultPlan::default(),
             retry: RetryConfig::default(),
@@ -325,6 +336,26 @@ enum FlowKind {
     /// Worker → PS shard, carrying the shard's slice of the gradients of
     /// step `round`.
     GradUpdate { round: u64, shard: u32 },
+    /// Ring all-reduce: worker `w` → worker `(w+1) % k`, carrying a
+    /// `1/k`-sized slice during step `step` of round `round`'s all-reduce
+    /// (`ctx.worker` is the sender).
+    RingShift { round: u64, step: u32 },
+    /// Hierarchical: a group member's full gradient → its rack leader
+    /// (`ctx.worker` is the sending member).
+    HierGrad { round: u64 },
+    /// Hierarchical: a rack leader's reduced gradient → the PS
+    /// (`ctx.worker` is the leader; the round is for debugging — the PS
+    /// counts leader gradients without distinguishing rounds).
+    HierGradToPs {
+        #[allow(dead_code)]
+        round: u64,
+    },
+    /// Hierarchical: the PS's model → a rack leader (`ctx.worker` is the
+    /// leader).
+    HierModelToLeader { round: u64 },
+    /// Hierarchical: a rack leader relaying the model → a group member
+    /// (`ctx.worker` is the receiving member).
+    HierModelRelay { round: u64 },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -353,6 +384,9 @@ struct TaskCtx {
 struct JobRt {
     spec: JobSpec,
     placement: JobPlacement,
+    /// Resolved traffic pattern (`spec.pattern` falling back to the
+    /// run-wide `SimConfig::pattern`).
+    pattern: TrafficPattern,
     launched: bool,
     completion: Option<SimTime>,
     /// Round currently being distributed/computed (sync mode).
@@ -394,6 +428,25 @@ struct JobRt {
     /// Gradients actually aggregated this round (effective batch after
     /// worker drops); 0 until the first shard release of the round.
     round_contrib: u32,
+    // Ring all-reduce state.
+    /// Workers that finished computing this round (the all-reduce starts
+    /// when all `k` are ready).
+    ring_ready: u32,
+    /// Current all-reduce step (0 .. 2(k-1)).
+    ring_step: u32,
+    /// Shift flows received in the current step.
+    ring_recv: u32,
+    // Hierarchical-pattern state.
+    /// Worker indices per rack group (ordered by rack id; `groups[g][0]`
+    /// is the group's leader). Empty unless the pattern is hierarchical.
+    groups: Vec<Vec<u32>>,
+    /// Group index of each worker.
+    worker_group: Vec<usize>,
+    /// Gradients collected by each group's leader this round (the
+    /// leader's own counts too).
+    group_recv: Vec<u32>,
+    /// Reduced leader gradients received by the PS this round.
+    hier_grads: u32,
 }
 
 impl JobRt {
@@ -401,18 +454,14 @@ impl JobRt {
         self.completion.is_some()
     }
 
-    /// Number of PS shards (1 + extras).
+    /// Number of PS shards.
     fn num_shards(&self) -> u32 {
-        1 + self.placement.extra_ps_hosts.len() as u32
+        self.placement.ps.count()
     }
 
     /// Host of PS shard `s`.
     fn shard_host(&self, s: u32) -> tl_net::HostId {
-        if s == 0 {
-            self.placement.ps_host
-        } else {
-            self.placement.extra_ps_hosts[s as usize - 1]
-        }
+        self.placement.ps.host(s)
     }
 
     /// Gradients a shard must collect before aggregating this round
@@ -456,6 +505,9 @@ struct Sim<'a, N: NetBackend> {
     done_count: usize,
     telemetry: Telemetry,
     metrics_prev: Option<ResourceSnapshot>,
+    /// Cumulative per-fabric-link byte counters at the previous metrics
+    /// sample (for per-interval utilization gauges).
+    metrics_prev_fabric: Option<Vec<f64>>,
     /// Compiled fault timeline; `Ev::Fault(i)` indexes into it.
     timeline: Vec<TimedFault>,
     host_down: Vec<bool>,
@@ -590,6 +642,19 @@ impl<'p> Simulation<'p> {
         self
     }
 
+    /// Simulate on the given link graph (overrides `cfg.topology`).
+    pub fn topology(mut self, spec: TopologySpec) -> Self {
+        self.cfg.topology = spec;
+        self
+    }
+
+    /// Run-wide traffic pattern (overrides `cfg.pattern`; jobs may still
+    /// override per-job via `JobSpec::pattern`).
+    pub fn pattern(mut self, pattern: TrafficPattern) -> Self {
+        self.cfg.pattern = pattern;
+        self
+    }
+
     /// Enable or disable runtime invariant checks (overrides
     /// `cfg.invariants`).
     pub fn invariants(mut self, enabled: bool) -> Self {
@@ -640,7 +705,10 @@ fn run_inner(
     let num_hosts = setups
         .iter()
         .flat_map(|s| {
-            std::iter::once(s.placement.ps_host.0)
+            s.placement
+                .ps
+                .iter()
+                .map(|h| h.0)
                 .chain(s.placement.worker_hosts.iter().map(|h| h.0))
         })
         .max()
@@ -655,10 +723,7 @@ fn run_inner(
         );
     }
 
-    let mut topo = Topology::uniform(num_hosts, cfg.link);
-    if let Some(core) = cfg.core_capacity {
-        topo = topo.with_core_capacity(core);
-    }
+    let topo = cfg.topology.build(num_hosts, cfg.link, cfg.core_capacity);
     // Dispatch once on the backend kind; everything below is generic and
     // monomorphized, so the fluid fast path pays nothing for pluggability.
     match cfg.backend {
@@ -710,7 +775,7 @@ fn run_with_net<N: NetBackend>(
         .enumerate()
         .map(|(i, s)| {
             let workers = s.spec.num_workers;
-            let shards = 1 + s.placement.extra_ps_hosts.len();
+            let shards = s.placement.ps.count() as usize;
             if matches!(s.spec.mode, TrainingMode::Asynchronous) {
                 assert_eq!(
                     shards, 1,
@@ -719,6 +784,48 @@ fn run_with_net<N: NetBackend>(
                 );
             }
             assert!(shards <= 64, "{}: more than 64 PS shards", s.spec.id);
+            let pattern = s.spec.pattern.unwrap_or(cfg.pattern);
+            if pattern != TrafficPattern::PsStar {
+                assert!(
+                    matches!(s.spec.mode, TrainingMode::Synchronous),
+                    "{}: the {pattern} pattern is only modelled for synchronous training",
+                    s.spec.id
+                );
+                assert_eq!(
+                    shards, 1,
+                    "{}: the {pattern} pattern does not use a sharded PS",
+                    s.spec.id
+                );
+                assert!(
+                    timeline.is_empty(),
+                    "{}: fault injection is only modelled for the ps-star pattern",
+                    s.spec.id
+                );
+            }
+            // Rack groups for the hierarchical pattern: workers bucketed
+            // by the rack their host sits in (one group on a single
+            // switch), each led by its lowest-indexed worker.
+            let groups: Vec<Vec<u32>> = if pattern == TrafficPattern::Hierarchical {
+                let topo = net.topology();
+                let mut by_rack: Vec<(u32, Vec<u32>)> = Vec::new();
+                for (w, h) in s.placement.worker_hosts.iter().enumerate() {
+                    let rack = topo.rack_of(*h).unwrap_or(0);
+                    match by_rack.iter_mut().find(|(r, _)| *r == rack) {
+                        Some((_, ws)) => ws.push(w as u32),
+                        None => by_rack.push((rack, vec![w as u32])),
+                    }
+                }
+                by_rack.sort_by_key(|(r, _)| *r);
+                by_rack.into_iter().map(|(_, ws)| ws).collect()
+            } else {
+                Vec::new()
+            };
+            let mut worker_group = vec![0usize; workers as usize];
+            for (g, ws) in groups.iter().enumerate() {
+                for &w in ws {
+                    worker_group[w as usize] = g;
+                }
+            }
             JobRt {
                 tracker: BarrierTracker::with_telemetry(
                     workers as usize,
@@ -740,6 +847,14 @@ fn run_with_net<N: NetBackend>(
                 grad_bits: vec![0; workers as usize],
                 agg_started: vec![false; shards],
                 round_contrib: 0,
+                ring_ready: 0,
+                ring_step: 0,
+                ring_recv: 0,
+                group_recv: vec![0; groups.len()],
+                hier_grads: 0,
+                groups,
+                worker_group,
+                pattern,
                 spec: s.spec,
                 placement: s.placement,
                 launched: false,
@@ -781,6 +896,7 @@ fn run_with_net<N: NetBackend>(
         done_count: 0,
         telemetry,
         metrics_prev: None,
+        metrics_prev_fabric: None,
         timeline,
         host_down: vec![false; num_hosts],
         ctrl_outage: false,
@@ -871,7 +987,17 @@ impl<'a, N: NetBackend> Sim<'a, N> {
         self.telemetry
             .emit_with(now, || SimEvent::JobArrival { job: j as u64 });
         self.refresh_policy(now);
-        self.send_model_updates(now, j, None);
+        match self.jobs[j].pattern {
+            TrafficPattern::PsStar => self.send_model_updates(now, j, None),
+            // No PS: workers hold the model locally and start computing
+            // round 0 straight away.
+            TrafficPattern::Ring => {
+                for w in 0..self.jobs[j].spec.num_workers {
+                    self.start_worker_step(now, j, w, 0);
+                }
+            }
+            TrafficPattern::Hierarchical => self.send_hier_models(now, j),
+        }
     }
 
     fn on_net_wake(&mut self, now: SimTime) -> Result<(), SimError> {
@@ -896,6 +1022,19 @@ impl<'a, N: NetBackend> Sim<'a, N> {
                 FlowKind::ModelUpdate { round, .. } => self.on_model_delivered(now, ctx, round),
                 FlowKind::GradUpdate { round, shard } => {
                     self.on_grad_delivered(now, ctx, round, shard)
+                }
+                FlowKind::RingShift { round, step } => {
+                    self.on_ring_shift(now, ctx.job, round, step)
+                }
+                FlowKind::HierGrad { round } => {
+                    self.on_hier_grad(now, ctx.job, ctx.worker, round)
+                }
+                FlowKind::HierGradToPs { .. } => self.on_hier_ps_grad(now, ctx.job),
+                FlowKind::HierModelToLeader { round } => {
+                    self.on_hier_model_at_leader(now, ctx.job, ctx.worker, round)
+                }
+                FlowKind::HierModelRelay { round } => {
+                    self.on_hier_model_at_member(now, ctx.job, ctx.worker, round)
                 }
             }
         }
@@ -1020,9 +1159,43 @@ impl<'a, N: NetBackend> Sim<'a, N> {
         );
     }
 
-    /// A worker finished computing step `round`: enter the barrier and send
-    /// a gradient slice to every PS shard.
+    /// Sample a local step's compute demand and dispatch it for `w`.
+    fn start_worker_step(&mut self, now: SimTime, j: usize, w: u32, round: u64) {
+        let (demand, cap) = {
+            let job = &mut self.jobs[j];
+            (
+                self.cfg.compute.sample_step_core_secs(
+                    &mut job.rng,
+                    &job.spec.model,
+                    job.spec.local_batch_size,
+                ),
+                self.cfg.compute.worker_parallelism,
+            )
+        };
+        self.dispatch_task(
+            now,
+            demand,
+            cap,
+            TaskCtx {
+                job: j,
+                kind: TaskKind::WorkerStep { worker: w, round },
+            },
+        );
+    }
+
+    /// A worker finished computing step `round`: continue per the job's
+    /// traffic pattern.
     fn on_step_computed(&mut self, now: SimTime, j: usize, w: u32, round: u64) {
+        match self.jobs[j].pattern {
+            TrafficPattern::PsStar => self.on_step_computed_star(now, j, w, round),
+            TrafficPattern::Ring => self.on_step_computed_ring(now, j, w, round),
+            TrafficPattern::Hierarchical => self.on_step_computed_hier(now, j, w, round),
+        }
+    }
+
+    /// PS-star: enter the barrier and send a gradient slice to every PS
+    /// shard.
+    fn on_step_computed_star(&mut self, now: SimTime, j: usize, w: u32, round: u64) {
         let specs: Vec<(FlowSpec, u32)> = {
             let job = &mut self.jobs[j];
             match job.spec.mode {
@@ -1101,6 +1274,325 @@ impl<'a, N: NetBackend> Sim<'a, N> {
                 );
             }
         }
+    }
+
+    // ---- ring all-reduce state machine ---------------------------------
+
+    /// Ring: a worker finished computing. It enters the barrier; when all
+    /// `k` workers are ready the barrier-synchronized all-reduce starts
+    /// (2(k-1) steps of `1/k`-sized shifts around the ring).
+    fn on_step_computed_ring(&mut self, now: SimTime, j: usize, w: u32, round: u64) {
+        let k = {
+            let job = &mut self.jobs[j];
+            job.tracker.record_enter(w as usize, now, round);
+            job.ring_ready += 1;
+            if job.ring_ready < job.spec.num_workers {
+                return;
+            }
+            job.ring_ready = 0;
+            job.ring_step = 0;
+            job.spec.num_workers
+        };
+        if k > 1 {
+            self.start_ring_step(now, j, round);
+        } else {
+            // A one-worker ring has nothing to reduce.
+            self.jobs[j].tracker.record_exit(0, now, round);
+            self.ring_commit(now, j);
+        }
+    }
+
+    /// Launch the `k` concurrent shift flows of the current ring step:
+    /// worker `w` sends its slice to worker `(w+1) % k`.
+    fn start_ring_step(&mut self, now: SimTime, j: usize, round: u64) {
+        let (specs, ctxs) = {
+            let job = &mut self.jobs[j];
+            let step = job.ring_step;
+            let k = job.spec.num_workers;
+            let bytes = job.spec.model.update_bytes() as f64 / k as f64;
+            let mut specs = Vec::with_capacity(k as usize);
+            let mut ctxs = Vec::with_capacity(k as usize);
+            for w in 0..k {
+                let src = job.placement.worker_hosts[w as usize];
+                let dst = job.placement.worker_hosts[((w + 1) % k) as usize];
+                let band = self.assignment.default_band_of(src);
+                specs.push(FlowSpec {
+                    src,
+                    dst,
+                    bytes,
+                    band,
+                    weight: self.weight_noise.sample(&mut job.rng),
+                    tag: GRAD_TAG_BASE | j as u64,
+                });
+                ctxs.push(FlowCtx {
+                    job: j,
+                    worker: w,
+                    kind: FlowKind::RingShift { round, step },
+                });
+            }
+            (specs, ctxs)
+        };
+        for (spec, ctx) in specs.into_iter().zip(ctxs) {
+            let id = self.net.start_flow(now, spec);
+            self.flows.insert(id, ctx);
+        }
+    }
+
+    /// A ring-shift slice arrived. When all `k` slices of the step are in,
+    /// advance to the next step or finish the all-reduce.
+    fn on_ring_shift(&mut self, now: SimTime, j: usize, round: u64, step: u32) {
+        let complete = {
+            let job = &mut self.jobs[j];
+            debug_assert_eq!(step, job.ring_step, "ring steps are barrier-synchronized");
+            job.ring_recv += 1;
+            if job.ring_recv < job.spec.num_workers {
+                return;
+            }
+            job.ring_recv = 0;
+            job.ring_step += 1;
+            job.ring_step == 2 * (job.spec.num_workers - 1)
+        };
+        if complete {
+            // Every worker now holds the fully reduced update: the barrier
+            // opens for all of them at once.
+            for w in 0..self.jobs[j].spec.num_workers {
+                self.jobs[j].tracker.record_exit(w as usize, now, round);
+            }
+            self.ring_commit(now, j);
+        } else {
+            self.start_ring_step(now, j, round);
+        }
+    }
+
+    /// Commit one ring iteration: every worker contributed a step.
+    fn ring_commit(&mut self, now: SimTime, j: usize) {
+        let finished = {
+            let job = &mut self.jobs[j];
+            job.global_steps += job.spec.num_workers as u64;
+            job.iterations += 1;
+            job.ring_step = 0;
+            job.global_steps >= job.spec.target_global_steps
+        };
+        if finished {
+            self.complete_job(now, j);
+        } else {
+            self.jobs[j].round += 1;
+            let round = self.jobs[j].round;
+            for w in 0..self.jobs[j].spec.num_workers {
+                self.start_worker_step(now, j, w, round);
+            }
+        }
+    }
+
+    // ---- hierarchical (rack-local reduce) state machine ----------------
+
+    /// Hierarchical: the PS sends the full model to every rack-group
+    /// leader (launch and each round boundary).
+    fn send_hier_models(&mut self, now: SimTime, j: usize) {
+        let (specs, ctxs) = {
+            let band = self.assignment.band_of(j as u64);
+            let job = &mut self.jobs[j];
+            let round = job.round;
+            let src = job.placement.ps_host();
+            let bytes = job.spec.model.update_bytes() as f64;
+            let leaders: Vec<u32> = job.groups.iter().map(|g| g[0]).collect();
+            let mut specs = Vec::with_capacity(leaders.len());
+            let mut ctxs = Vec::with_capacity(leaders.len());
+            for leader in leaders {
+                specs.push(FlowSpec {
+                    src,
+                    dst: job.placement.worker_hosts[leader as usize],
+                    bytes,
+                    band,
+                    weight: self.weight_noise.sample(&mut job.rng),
+                    tag: j as u64,
+                });
+                ctxs.push(FlowCtx {
+                    job: j,
+                    worker: leader,
+                    kind: FlowKind::HierModelToLeader { round },
+                });
+            }
+            (specs, ctxs)
+        };
+        for (spec, ctx) in specs.into_iter().zip(ctxs) {
+            let id = match self.cfg.model_update_rate_cap {
+                Some(cap) => self.net.start_flow_with_cap(now, spec, cap),
+                None => self.net.start_flow(now, spec),
+            };
+            self.flows.insert(id, ctx);
+        }
+    }
+
+    /// The model reached a rack leader: relay it to the group's members
+    /// and start the leader's own step.
+    fn on_hier_model_at_leader(&mut self, now: SimTime, j: usize, leader: u32, round: u64) {
+        let (specs, ctxs) = {
+            let band = self.assignment.band_of(j as u64);
+            let job = &mut self.jobs[j];
+            let g = job.worker_group[leader as usize];
+            let src = job.placement.worker_hosts[leader as usize];
+            let bytes = job.spec.model.update_bytes() as f64;
+            let members: Vec<u32> = job.groups[g][1..].to_vec();
+            let mut specs = Vec::with_capacity(members.len());
+            let mut ctxs = Vec::with_capacity(members.len());
+            for m in members {
+                specs.push(FlowSpec {
+                    src,
+                    dst: job.placement.worker_hosts[m as usize],
+                    bytes,
+                    band,
+                    weight: self.weight_noise.sample(&mut job.rng),
+                    tag: j as u64,
+                });
+                ctxs.push(FlowCtx {
+                    job: j,
+                    worker: m,
+                    kind: FlowKind::HierModelRelay { round },
+                });
+            }
+            (specs, ctxs)
+        };
+        for (spec, ctx) in specs.into_iter().zip(ctxs) {
+            let id = match self.cfg.model_update_rate_cap {
+                Some(cap) => self.net.start_flow_with_cap(now, spec, cap),
+                None => self.net.start_flow(now, spec),
+            };
+            self.flows.insert(id, ctx);
+        }
+        self.hier_worker_has_model(now, j, leader, round);
+    }
+
+    /// A relayed model reached a group member.
+    fn on_hier_model_at_member(&mut self, now: SimTime, j: usize, w: u32, round: u64) {
+        self.hier_worker_has_model(now, j, w, round);
+    }
+
+    /// A worker holds round `round`'s model: exit the previous barrier and
+    /// start computing (mirrors the PS-star model-delivery path).
+    fn hier_worker_has_model(&mut self, now: SimTime, j: usize, w: u32, round: u64) {
+        if round > 0 {
+            self.jobs[j].tracker.record_exit(w as usize, now, round - 1);
+        }
+        self.start_worker_step(now, j, w, round);
+    }
+
+    /// Hierarchical: a worker finished computing. Members push their full
+    /// gradient to the rack leader; the leader's own gradient is local.
+    fn on_step_computed_hier(&mut self, now: SimTime, j: usize, w: u32, round: u64) {
+        let (spec, leader, group_complete) = {
+            let job = &mut self.jobs[j];
+            job.tracker.record_enter(w as usize, now, round);
+            let g = job.worker_group[w as usize];
+            let leader = job.groups[g][0];
+            if w == leader {
+                job.group_recv[g] += 1;
+                (None, leader, job.group_recv[g] == job.groups[g].len() as u32)
+            } else {
+                let src = job.placement.worker_hosts[w as usize];
+                let band = self.assignment.default_band_of(src);
+                let spec = FlowSpec {
+                    src,
+                    dst: job.placement.worker_hosts[leader as usize],
+                    bytes: job.spec.model.update_bytes() as f64,
+                    band,
+                    weight: self.weight_noise.sample(&mut job.rng),
+                    tag: GRAD_TAG_BASE | j as u64,
+                };
+                (Some(spec), leader, false)
+            }
+        };
+        match spec {
+            Some(spec) => {
+                let ctx = FlowCtx {
+                    job: j,
+                    worker: w,
+                    kind: FlowKind::HierGrad { round },
+                };
+                let id = self.net.start_flow(now, spec);
+                self.flows.insert(id, ctx);
+            }
+            None if group_complete => self.send_leader_gradient(now, j, leader, round),
+            None => {}
+        }
+    }
+
+    /// A member's gradient reached its rack leader. Once the whole group
+    /// reported, the leader forwards one reduced gradient to the PS.
+    fn on_hier_grad(&mut self, now: SimTime, j: usize, member: u32, round: u64) {
+        let (leader, complete) = {
+            let job = &mut self.jobs[j];
+            let g = job.worker_group[member as usize];
+            job.group_recv[g] += 1;
+            (job.groups[g][0], job.group_recv[g] == job.groups[g].len() as u32)
+        };
+        if complete {
+            self.send_leader_gradient(now, j, leader, round);
+        }
+    }
+
+    /// A rack leader sends its group's reduced gradient to the PS.
+    fn send_leader_gradient(&mut self, now: SimTime, j: usize, leader: u32, round: u64) {
+        let spec = {
+            let job = &mut self.jobs[j];
+            let src = job.placement.worker_hosts[leader as usize];
+            let band = self.assignment.default_band_of(src);
+            FlowSpec {
+                src,
+                dst: job.placement.ps_host(),
+                bytes: job.spec.model.update_bytes() as f64,
+                band,
+                weight: self.weight_noise.sample(&mut job.rng),
+                tag: GRAD_TAG_BASE | j as u64,
+            }
+        };
+        let ctx = FlowCtx {
+            job: j,
+            worker: leader,
+            kind: FlowKind::HierGradToPs { round },
+        };
+        let id = self.net.start_flow(now, spec);
+        self.flows.insert(id, ctx);
+    }
+
+    /// A reduced gradient reached the PS. With one per rack group in, the
+    /// PS aggregates (the commit then flows through `on_aggregated`).
+    fn on_hier_ps_grad(&mut self, now: SimTime, j: usize) {
+        let release = {
+            let job = &mut self.jobs[j];
+            job.hier_grads += 1;
+            job.hier_grads == job.groups.len() as u32
+        };
+        if !release {
+            return;
+        }
+        let (demand, cap) = {
+            let job = &mut self.jobs[j];
+            job.hier_grads = 0;
+            for r in job.group_recv.iter_mut() {
+                *r = 0;
+            }
+            // Every worker contributed a step; the leaders pre-reduced, so
+            // the PS folds only one gradient per rack group.
+            job.round_contrib = job.spec.num_workers;
+            let groups = job.groups.len() as u32;
+            (
+                self.cfg
+                    .compute
+                    .ps_aggregate_core_secs(&job.spec.model, groups)
+                    .max(1e-6),
+                self.cfg.compute.ps_parallelism,
+            )
+        };
+        self.dispatch_task(
+            now,
+            demand,
+            cap,
+            TaskCtx {
+                job: j,
+                kind: TaskKind::PsAggregate { shard: 0 },
+            },
+        );
     }
 
     /// Release PS shard `shard`'s aggregation if its gradient quorum —
@@ -1216,7 +1708,10 @@ impl<'a, N: NetBackend> Sim<'a, N> {
                 job.skip_exit[w] = true;
             }
             self.jobs[j].round += 1;
-            self.send_model_updates(now, j, None);
+            match self.jobs[j].pattern {
+                TrafficPattern::Hierarchical => self.send_hier_models(now, j),
+                _ => self.send_model_updates(now, j, None),
+            }
         }
     }
 
@@ -1297,6 +1792,34 @@ impl<'a, N: NetBackend> Sim<'a, N> {
             monitor::utilization_between(&prev, &snap, &specs, self.net.topology())
         });
         self.metrics_prev = Some(snap);
+        // Per-fabric-link utilization over the interval just ended (empty
+        // on single-switch topologies).
+        let fabric_util: Vec<(String, f64)> = {
+            let cur = self.net.fabric_bytes().to_vec();
+            let prev = self.metrics_prev_fabric.replace(cur.clone());
+            match prev {
+                Some(prev) => {
+                    let dt = self
+                        .cfg
+                        .metrics_interval
+                        .expect("metrics configured")
+                        .as_secs_f64();
+                    let topo = self.net.topology();
+                    cur.iter()
+                        .enumerate()
+                        .map(|(l, &bytes)| {
+                            let link = LinkId(l as u32);
+                            let cap = topo.fabric_capacity(link).bytes_per_sec();
+                            (
+                                format!("fabric.{}.util", topo.fabric_label(link)),
+                                (bytes - prev[l]) / (cap * dt),
+                            )
+                        })
+                        .collect()
+                }
+                None => Vec::new(),
+            }
+        };
         let alloc = self.net.alloc_stats();
         let progress: Vec<u64> = self.jobs.iter().map(|j| j.global_steps).collect();
         self.telemetry.metrics(|reg| {
@@ -1317,6 +1840,10 @@ impl<'a, N: NetBackend> Sim<'a, N> {
             for (j, steps) in progress.iter().enumerate() {
                 let id = reg.register(&format!("job{j}.steps"), MetricKind::Gauge);
                 reg.set(id, *steps as f64);
+            }
+            for (name, util) in &fabric_util {
+                let id = reg.register(name, MetricKind::Gauge);
+                reg.set(id, *util);
             }
             reg.sample(now);
         });
@@ -1349,7 +1876,7 @@ impl<'a, N: NetBackend> Sim<'a, N> {
             .filter(|(_, job)| job.launched && !job.done())
             .map(|(i, job)| JobTrafficInfo {
                 tag: i as u64,
-                ps_host: job.placement.ps_host,
+                ps_host: job.placement.ps.primary(),
                 update_bytes: job.spec.model.update_bytes(),
                 arrival_seq: i as u64,
             })
@@ -1652,6 +2179,9 @@ impl<'a, N: NetBackend> Sim<'a, N> {
         let job = &self.jobs[ctx.job];
         let shard = match ctx.kind {
             FlowKind::ModelUpdate { shard, .. } | FlowKind::GradUpdate { shard, .. } => shard,
+            // Non-star patterns run with an empty fault plan (asserted at
+            // setup), so their endpoints are never down.
+            _ => return false,
         };
         job.ps_down
             || self.host_down[job.shard_host(shard).0 as usize]
@@ -1668,7 +2198,7 @@ impl<'a, N: NetBackend> Sim<'a, N> {
                 job.ps_down || self.host_down[job.shard_host(shard).0 as usize]
             }
             TaskKind::PsAsyncApply { .. } => {
-                job.ps_down || self.host_down[job.placement.ps_host.0 as usize]
+                job.ps_down || self.host_down[job.placement.ps.primary().0 as usize]
             }
         }
     }
@@ -1680,7 +2210,7 @@ impl<'a, N: NetBackend> Sim<'a, N> {
                 job.placement.worker_hosts[worker as usize].0 as usize
             }
             TaskKind::PsAggregate { shard } => job.shard_host(shard).0 as usize,
-            TaskKind::PsAsyncApply { .. } => job.placement.ps_host.0 as usize,
+            TaskKind::PsAsyncApply { .. } => job.placement.ps.primary().0 as usize,
         }
     }
 
@@ -1796,6 +2326,9 @@ impl<'a, N: NetBackend> Sim<'a, N> {
                             let src = self.jobs[j].placement.worker_hosts[ctx.worker as usize];
                             self.assignment.default_band_of(src)
                         }
+                        // Non-star patterns reject fault plans, so their
+                        // flows are never displaced.
+                        _ => unreachable!("non-star flows are never retried"),
                     };
                     let job = &mut self.jobs[j];
                     let weight = self.weight_noise.sample(&mut job.rng);
@@ -1816,6 +2349,7 @@ impl<'a, N: NetBackend> Sim<'a, N> {
                             weight,
                             tag: GRAD_TAG_BASE | j as u64,
                         },
+                        _ => unreachable!("non-star flows are never retried"),
                     }
                 };
                 let id = match (self.cfg.model_update_rate_cap, ctx.kind) {
@@ -1935,6 +2469,7 @@ mod tests {
                     mode: TrainingMode::Synchronous,
                     launch_time: SimTime::from_millis(100 * id as u64),
                     ps_port: 2222 + id as u16,
+                    pattern: None,
                 };
                 JobSetup {
                     spec,
@@ -2026,6 +2561,7 @@ mod tests {
                         mode: TrainingMode::Synchronous,
                         launch_time: SimTime::ZERO,
                         ps_port: 2222 + id as u16,
+                        pattern: None,
                     },
                     placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2), HostId(3)]),
                 })
@@ -2079,6 +2615,7 @@ mod tests {
                         mode: TrainingMode::Synchronous,
                         launch_time: SimTime::ZERO,
                         ps_port: 2222 + id as u16,
+                        pattern: None,
                     },
                     placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2), HostId(3)]),
                 })
@@ -2165,6 +2702,7 @@ mod tests {
                 mode: TrainingMode::Synchronous,
                 launch_time: SimTime::ZERO,
                 ps_port: 2222,
+                pattern: None,
             },
             placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2)]),
         }];
@@ -2198,6 +2736,7 @@ mod tests {
                 mode: TrainingMode::Synchronous,
                 launch_time: SimTime::ZERO,
                 ps_port: 2222,
+                pattern: None,
             },
             placement: JobPlacement::new(HostId(0), vec![HostId(0), HostId(1)]),
         }];
@@ -2222,6 +2761,7 @@ mod tests {
                 mode: TrainingMode::Synchronous,
                 launch_time: SimTime::ZERO,
                 ps_port: 2222,
+                pattern: None,
             },
             placement: JobPlacement::new(HostId(0), vec![HostId(1)]),
         }];
@@ -2265,6 +2805,7 @@ mod tests {
                     mode: TrainingMode::Synchronous,
                     launch_time: SimTime::ZERO,
                     ps_port: 2222,
+                    pattern: None,
                 },
                 placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2)]),
             }]
@@ -2417,6 +2958,7 @@ mod sampling_tests {
                 mode: TrainingMode::Synchronous,
                 launch_time: SimTime::ZERO,
                 ps_port: 2222,
+                pattern: None,
             },
             placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2)]),
         }];
@@ -2466,6 +3008,7 @@ mod sampling_tests {
                 mode: TrainingMode::Synchronous,
                 launch_time: SimTime::ZERO,
                 ps_port: 2222,
+                pattern: None,
             },
             placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2)]),
         }];
@@ -2496,6 +3039,7 @@ mod shard_tests {
                 mode: TrainingMode::Synchronous,
                 launch_time: SimTime::ZERO,
                 ps_port: 2222,
+                pattern: None,
             },
             placement: JobPlacement::new(HostId(0), vec![HostId(2), HostId(3), HostId(4)])
                 .with_extra_ps(extra_ps),
@@ -2580,9 +3124,11 @@ mod shard_tests {
                 mode: TrainingMode::Synchronous,
                 launch_time: SimTime::ZERO,
                 ps_port: 1,
+                pattern: None,
             },
             placement: JobPlacement::new(HostId(0), vec![HostId(2)])
                 .with_extra_ps(vec![HostId(1), HostId(3)]),
+            pattern: TrafficPattern::PsStar,
             launched: false,
             completion: None,
             round: 0,
@@ -2605,6 +3151,13 @@ mod shard_tests {
             grad_bits: vec![0; 1],
             agg_started: vec![false; 3],
             round_contrib: 0,
+            ring_ready: 0,
+            ring_step: 0,
+            ring_recv: 0,
+            groups: Vec::new(),
+            worker_group: vec![0],
+            group_recv: Vec::new(),
+            hier_grads: 0,
         };
         let total: f64 = (0..3).map(|s| job.shard_bytes(s)).sum();
         assert_eq!(total, 7.0, "slices cover every byte");
@@ -2645,6 +3198,7 @@ mod fault_tests {
                     mode: TrainingMode::Synchronous,
                     launch_time: SimTime::from_millis(100 * id as u64),
                     ps_port: 2222 + id as u16,
+                    pattern: None,
                 },
                 placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2), HostId(3)]),
             })
@@ -2880,6 +3434,7 @@ mod backend_tests {
                     mode: TrainingMode::Synchronous,
                     launch_time: SimTime::from_millis(100 * id as u64),
                     ps_port: 2222 + id as u16,
+                    pattern: None,
                 },
                 placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2), HostId(3)]),
             })
@@ -2978,5 +3533,249 @@ mod backend_tests {
             .invariants(false)
             .run();
         assert!(out.invariant_violations.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod pattern_tests {
+    use super::*;
+    use crate::model::ModelSpec;
+    use tl_faults::FaultSpec;
+    use tl_net::HostId;
+
+    fn one_job(iterations: u64, workers: Vec<HostId>) -> Vec<JobSetup> {
+        let n = workers.len() as u32;
+        vec![JobSetup {
+            spec: JobSpec {
+                id: JobId(0),
+                model: ModelSpec::synthetic_mb(20),
+                num_workers: n,
+                local_batch_size: 4,
+                target_global_steps: iterations * n as u64,
+                mode: TrainingMode::Synchronous,
+                launch_time: SimTime::ZERO,
+                ps_port: 2222,
+                pattern: None,
+            },
+            placement: JobPlacement::new(HostId(0), workers),
+        }]
+    }
+
+    fn fast_cfg() -> SimConfig {
+        SimConfig {
+            compute: ComputeModel {
+                per_sample_core_secs: 0.01,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ring_completes_with_exact_accounting() {
+        let out = Simulation::new(fast_cfg())
+            .jobs(one_job(6, vec![HostId(1), HostId(2), HostId(3)]))
+            .pattern(TrafficPattern::Ring)
+            .run();
+        assert!(out.all_complete());
+        let j = &out.jobs[0];
+        assert_eq!(j.iterations, 6);
+        assert_eq!(j.global_steps, 18);
+        // Unlike the star, the ring's last barrier completes (every worker
+        // exits when the final all-reduce lands), so all 6 are recorded.
+        assert_eq!(j.barrier_means.len(), 6);
+        assert_eq!(j.waits.len(), 6 * 3);
+    }
+
+    #[test]
+    fn ring_single_worker_degenerates_cleanly() {
+        let out = Simulation::new(fast_cfg())
+            .jobs(one_job(5, vec![HostId(1)]))
+            .pattern(TrafficPattern::Ring)
+            .run();
+        assert!(out.all_complete());
+        assert_eq!(out.jobs[0].global_steps, 5);
+    }
+
+    #[test]
+    fn hierarchical_single_switch_is_one_group() {
+        // On a flat topology every worker lands in one rack group, so the
+        // PS sees exactly one reduced gradient per round.
+        let out = Simulation::new(fast_cfg())
+            .jobs(one_job(6, vec![HostId(1), HostId(2), HostId(3)]))
+            .pattern(TrafficPattern::Hierarchical)
+            .run();
+        assert!(out.all_complete());
+        let j = &out.jobs[0];
+        assert_eq!(j.iterations, 6);
+        assert_eq!(j.global_steps, 18);
+        // Star-like barrier shape: the final barrier has no exits.
+        assert_eq!(j.barrier_means.len(), 5);
+    }
+
+    #[test]
+    fn hierarchical_leaf_spine_reduces_per_rack() {
+        // 2 racks x 2 hosts: PS on host 0; workers on hosts 1, 2, 3 form
+        // two rack groups ({w0}, {w1, w2}).
+        let out = Simulation::new(fast_cfg())
+            .jobs(one_job(5, vec![HostId(1), HostId(2), HostId(3)]))
+            .topology(TopologySpec::LeafSpine {
+                racks: 2,
+                hosts_per_rack: 2,
+                oversub: 2.0,
+            })
+            .pattern(TrafficPattern::Hierarchical)
+            .run();
+        assert!(out.all_complete());
+        assert_eq!(out.jobs[0].iterations, 5);
+        assert_eq!(out.jobs[0].global_steps, 15);
+    }
+
+    #[test]
+    fn per_job_override_mixes_patterns() {
+        let mut setups = one_job(4, vec![HostId(1), HostId(2)]);
+        setups.extend(one_job(4, vec![HostId(3), HostId(4)]));
+        setups[1].spec.id = JobId(1);
+        setups[1].spec.ps_port = 2223;
+        setups[1].spec.pattern = Some(TrafficPattern::Ring);
+        let out = Simulation::new(fast_cfg()).jobs(setups).run();
+        assert!(out.all_complete());
+        // Job 0 ran the star (incomplete final barrier), job 1 the ring.
+        assert_eq!(out.jobs[0].barrier_means.len(), 3);
+        assert_eq!(out.jobs[1].barrier_means.len(), 4);
+    }
+
+    #[test]
+    fn one_to_one_leaf_spine_matches_single_switch_bitwise() {
+        // A non-blocking leaf-spine emits no fabric links, so the whole
+        // run — completions, event counts, barrier samples — is bitwise
+        // the run on the equivalent single switch.
+        for pattern in [TrafficPattern::PsStar, TrafficPattern::Ring] {
+            let run = |spec: TopologySpec| {
+                Simulation::new(fast_cfg())
+                    .jobs(one_job(4, vec![HostId(1), HostId(2), HostId(3)]))
+                    .topology(spec)
+                    .pattern(pattern)
+                    .run()
+            };
+            let flat = run(TopologySpec::SingleSwitch);
+            let tiered = run(TopologySpec::LeafSpine {
+                racks: 2,
+                hosts_per_rack: 2,
+                oversub: 1.0,
+            });
+            assert_eq!(flat.events, tiered.events, "{pattern}");
+            for (a, b) in flat.jobs.iter().zip(&tiered.jobs) {
+                assert_eq!(a.completion, b.completion, "{pattern}");
+                assert_eq!(a.barrier_means.samples(), b.barrier_means.samples());
+            }
+        }
+    }
+
+    #[test]
+    fn oversubscription_slows_cross_rack_traffic() {
+        // PS in rack 0, workers in rack 1: every update crosses the spine.
+        let mk = |oversub| {
+            Simulation::new(fast_cfg())
+                .jobs(one_job(5, vec![HostId(2), HostId(3)]))
+                .topology(TopologySpec::LeafSpine {
+                    racks: 2,
+                    hosts_per_rack: 2,
+                    oversub,
+                })
+                .run()
+        };
+        let free = mk(1.0);
+        let choked = mk(4.0);
+        assert!(free.all_complete() && choked.all_complete());
+        assert!(
+            choked.mean_jct_secs() > free.mean_jct_secs() * 1.2,
+            "4:1 oversubscription must hurt cross-rack JCT: {:.2}s vs {:.2}s",
+            choked.mean_jct_secs(),
+            free.mean_jct_secs()
+        );
+    }
+
+    #[test]
+    fn fabric_gauges_appear_in_metrics() {
+        let out = Simulation::new(fast_cfg())
+            .jobs(one_job(4, vec![HostId(2), HostId(3)]))
+            .topology(TopologySpec::LeafSpine {
+                racks: 2,
+                hosts_per_rack: 2,
+                oversub: 2.0,
+            })
+            .telemetry(tl_telemetry::TelemetryConfig::full(
+                simcore::SimDuration::from_millis(50),
+            ))
+            .run();
+        assert!(out.all_complete());
+        let reg = &out.telemetry.metrics;
+        let up = reg.lookup("fabric.rack0.up.util").expect("uplink gauge");
+        assert!(!reg.series(up).is_empty());
+        // Cross-rack model updates keep rack 0's uplink busy at some point.
+        assert!(reg.series(up).iter().any(|&(_, v)| v > 0.1));
+        assert!(reg.lookup("fabric.rack1.down.util").is_some());
+    }
+
+    #[test]
+    fn ring_runs_are_deterministic_on_both_backends() {
+        for backend in [NetBackendKind::Fluid, NetBackendKind::Packet] {
+            let run = || {
+                let mut cfg = fast_cfg();
+                cfg.backend = backend;
+                cfg.net_weight_sigma = 0.0;
+                Simulation::new(cfg)
+                    .jobs(one_job(3, vec![HostId(1), HostId(2), HostId(3)]))
+                    .pattern(TrafficPattern::Ring)
+                    .run()
+            };
+            let (a, b) = (run(), run());
+            assert!(a.all_complete());
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.jobs[0].completion, b.jobs[0].completion);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fault injection is only modelled for the ps-star")]
+    fn non_star_rejects_fault_plans() {
+        let plan = FaultPlan {
+            faults: vec![FaultSpec::HostCrash {
+                host: 1,
+                at_secs: 0.5,
+                downtime_secs: 1.0,
+            }],
+        };
+        let _ = Simulation::new(fast_cfg())
+            .jobs(one_job(3, vec![HostId(1), HostId(2)]))
+            .pattern(TrafficPattern::Ring)
+            .faults(plan)
+            .run();
+    }
+
+    #[test]
+    #[should_panic(expected = "only modelled for synchronous training")]
+    fn non_star_rejects_async_mode() {
+        let mut setups = one_job(3, vec![HostId(1), HostId(2)]);
+        setups[0].spec.mode = TrainingMode::Asynchronous;
+        let _ = Simulation::new(fast_cfg())
+            .jobs(setups)
+            .pattern(TrafficPattern::Hierarchical)
+            .run();
+    }
+
+    #[test]
+    #[should_panic(expected = "does not use a sharded PS")]
+    fn non_star_rejects_sharded_ps() {
+        let mut setups = one_job(3, vec![HostId(2), HostId(3)]);
+        setups[0].placement = setups[0]
+            .placement
+            .clone()
+            .with_extra_ps(vec![HostId(1)]);
+        let _ = Simulation::new(fast_cfg())
+            .jobs(setups)
+            .pattern(TrafficPattern::Ring)
+            .run();
     }
 }

@@ -1,6 +1,7 @@
 //! Job specifications.
 
 use crate::model::ModelSpec;
+use crate::pattern::TrafficPattern;
 use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 use std::fmt;
@@ -51,6 +52,10 @@ pub struct JobSpec {
     pub launch_time: SimTime,
     /// The PS's TCP port (identifies the job to `tc` filters).
     pub ps_port: u16,
+    /// Traffic pattern override for this job; `None` uses the run-wide
+    /// `SimConfig::pattern`.
+    #[serde(default)]
+    pub pattern: Option<TrafficPattern>,
 }
 
 impl JobSpec {
@@ -66,6 +71,7 @@ impl JobSpec {
             mode: TrainingMode::Synchronous,
             launch_time: SimTime::ZERO,
             ps_port: 2222 + id.0 as u16,
+            pattern: None,
         }
     }
 

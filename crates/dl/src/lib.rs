@@ -26,6 +26,7 @@ pub mod engine;
 pub mod job;
 pub mod metrics;
 pub mod model;
+pub mod pattern;
 
 pub use backend::{NetBackend, NetBackendKind};
 pub use compute::ComputeModel;
@@ -34,3 +35,4 @@ pub use tl_faults::{BarrierLossPolicy, FaultPlan, FaultSpec, RetryConfig};
 pub use job::{JobId, JobSpec, TrainingMode};
 pub use metrics::BarrierTracker;
 pub use model::ModelSpec;
+pub use pattern::{TopologySpec, TrafficPattern};

@@ -54,7 +54,7 @@ pub fn run(cfg: &ExperimentConfig, shard_counts: &[u32]) -> ShardedStudy {
             // worker overlap as-is — shards and workers may share hosts,
             // as in real clusters.
             let extra: Vec<HostId> = (1..shards).map(HostId).collect();
-            s.placement.extra_ps_hosts = extra;
+            s.placement = s.placement.clone().with_extra_ps(extra);
         }
         let mut p = policy.build(cfg);
         let out = Simulation::new(cfg.sim_config())

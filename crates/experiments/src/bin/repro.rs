@@ -3,8 +3,9 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations|faults|perf|validate|scale]
+//! repro [--experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations|faults|perf|validate|scale|fabric]
 //!       [--iterations N] [--full] [--quick] [--seed S] [--csv DIR] [--json DIR]
+//!       [--topology SPEC] [--pattern NAME]
 //!       [--trace-out PATH] [--metrics-out PATH] [--check-trace PATH]
 //! ```
 //!
@@ -27,7 +28,8 @@ use tl_experiments::ablations::{
 };
 use tl_experiments::report::Table;
 use tl_experiments::{
-    config::ExperimentConfig, faults, fig2, fig3, fig4, fig5, fig6, table1, table2, validate,
+    config::ExperimentConfig, fabric as fabric_sweep, faults, fig2, fig3, fig4, fig5, fig6,
+    table1, table2, validate,
 };
 
 struct Args {
@@ -50,6 +52,8 @@ fn parse_args() -> Args {
     let mut trace_out = None;
     let mut metrics_out = None;
     let mut markdown: Option<PathBuf> = None;
+    let mut topology: Option<tl_dl::TopologySpec> = None;
+    let mut pattern: Option<tl_dl::TrafficPattern> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -67,6 +71,14 @@ fn parse_args() -> Args {
             "--full" => cfg = ExperimentConfig::full(),
             "--quick" => quick = true,
             "--seed" | "-s" => cfg.seed = next(&mut i).parse().expect("numeric seed"),
+            "--topology" => {
+                let v = next(&mut i);
+                topology = Some(v.parse().unwrap_or_else(|e| panic!("{e}")));
+            }
+            "--pattern" => {
+                let v = next(&mut i);
+                pattern = Some(v.parse().unwrap_or_else(|e| panic!("{e}")));
+            }
             "--csv" => csv_dir = Some(PathBuf::from(next(&mut i))),
             "--json" => json_dir = Some(PathBuf::from(next(&mut i))),
             "--trace-out" => trace_out = Some(PathBuf::from(next(&mut i))),
@@ -80,11 +92,13 @@ fn parse_args() -> Args {
                 println!(
                     "repro — regenerate the TensorLights paper's tables and figures\n\
                      \n\
-                     --experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations|faults|perf|validate|scale\n\
+                     --experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations|faults|perf|validate|scale|fabric\n\
                      --iterations N   scaled iteration count (default 300)\n\
                      --full           paper scale (1500 iterations)\n\
-                     --quick          scale: smallest grid cell only (smoke run)\n\
+                     --quick          scale/fabric: smoke-sized run\n\
                      --seed S         master seed\n\
+                     --topology SPEC  single-switch (default) or leaf-spine:<racks>x<hosts>[@<oversub>]\n\
+                     --pattern NAME   ps-star (default), ring, or hierarchical\n\
                      --csv DIR        also write each table as CSV\n\
                      --json DIR       also write each result as JSON\n\
                      --trace-out PATH     write telemetry as Chrome trace_event JSON (Perfetto);\n\
@@ -98,6 +112,14 @@ fn parse_args() -> Args {
             other => panic!("unknown argument: {other}"),
         }
         i += 1;
+    }
+    // Applied after the loop so `--iterations`/`--full` (which rebuild the
+    // config) cannot clobber an earlier `--topology`/`--pattern`.
+    if let Some(t) = topology {
+        cfg.topology = t;
+    }
+    if let Some(p) = pattern {
+        cfg.pattern = p;
     }
     Args {
         experiment,
@@ -414,6 +436,29 @@ fn main() {
         emit(
             &args,
             "scale",
+            &r.table(),
+            Some(r.summary()),
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
+        ran += 1;
+    }
+
+    if args.experiment == "fabric" {
+        // Multi-link fabric sweep (not a paper figure): the cross-rack
+        // workload under policy x oversubscription x traffic pattern on a
+        // 3-rack leaf-spine topology. Every cell must complete all jobs.
+        let r = fabric_sweep::run(cfg, args.quick);
+        for row in &r.rows {
+            assert_eq!(
+                row.completed as u32, row.jobs,
+                "fabric cell {}:1/{}/{} left jobs incomplete",
+                row.oversub, row.pattern, row.policy
+            );
+        }
+        summaries.insert("fabric", r.summary());
+        emit(
+            &args,
+            "fabric",
             &r.table(),
             Some(r.summary()),
             serde_json::to_string_pretty(&r).expect("json"),

@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
-use tl_dl::{ComputeModel, SimConfig};
+use tl_dl::{ComputeModel, SimConfig, TopologySpec, TrafficPattern};
 use tl_net::Bandwidth;
 
 /// Top-level knobs shared by every reproduction experiment.
@@ -33,6 +33,14 @@ pub struct ExperimentConfig {
     pub num_bands: u8,
     /// Link speed.
     pub link_gbps: f64,
+    /// Link graph the simulations run on (`repro --topology`); the paper's
+    /// single non-blocking switch unless overridden.
+    #[serde(default)]
+    pub topology: TopologySpec,
+    /// Run-wide traffic pattern (`repro --pattern`); the paper's PS star
+    /// unless overridden.
+    #[serde(default)]
+    pub pattern: TrafficPattern,
 }
 
 impl Default for ExperimentConfig {
@@ -58,6 +66,8 @@ impl ExperimentConfig {
             rr_interval: SimDuration::from_secs_f64(20.0 * iterations as f64 / 1500.0),
             num_bands: 6,
             link_gbps: 10.0,
+            topology: TopologySpec::SingleSwitch,
+            pattern: TrafficPattern::PsStar,
         }
     }
 
@@ -94,6 +104,8 @@ impl ExperimentConfig {
             faults: tl_dl::FaultPlan::default(),
             retry: tl_dl::RetryConfig::default(),
             barrier_loss: tl_dl::BarrierLossPolicy::default(),
+            topology: self.topology,
+            pattern: self.pattern,
             ..SimConfig::default()
         }
     }
@@ -115,11 +127,19 @@ mod tests {
         let e = ExperimentConfig {
             seed: 7,
             net_sigma: 0.5,
+            topology: TopologySpec::LeafSpine {
+                racks: 3,
+                hosts_per_rack: 7,
+                oversub: 2.0,
+            },
+            pattern: TrafficPattern::Ring,
             ..Default::default()
         };
         let s = e.sim_config();
         assert_eq!(s.seed, 7);
         assert_eq!(s.net_weight_sigma, 0.5);
         assert!((s.link.gbps() - 10.0).abs() < 1e-9);
+        assert_eq!(s.topology, e.topology);
+        assert_eq!(s.pattern, TrafficPattern::Ring);
     }
 }

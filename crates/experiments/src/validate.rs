@@ -49,6 +49,7 @@ use simcore::{RngFactory, SimDuration, SimTime};
 use tl_cluster::{grouped_placement, Placement};
 use tl_dl::{
     BarrierLossPolicy, FaultPlan, ModelSpec, NetBackendKind, SimError, SimOutput, Simulation,
+    TopologySpec, TrafficPattern,
 };
 use tl_telemetry::{SimEvent, TimedEvent};
 use tl_workloads::{poisson_arrivals, with_arrivals, GridSearchConfig};
@@ -61,8 +62,13 @@ pub const TOL_REL_FAULTED: f64 = 0.50;
 /// 10 Gb/s — generous against per-barrier rounding on these short runs).
 pub const TOL_ABS_SECS: f64 = 0.025;
 
-/// Scenarios generated per sweep (≥ 20 by design).
-pub const NUM_SCENARIOS: usize = 24;
+/// Single-switch scenarios generated per sweep (≥ 20 by design).
+pub const NUM_FLAT_SCENARIOS: usize = 24;
+/// Multi-tier (leaf–spine) scenarios appended to the matrix: ring and
+/// hierarchical patterns, varying oversubscription, both arrival shapes.
+pub const NUM_FABRIC_SCENARIOS: usize = 8;
+/// Total scenarios per sweep.
+pub const NUM_SCENARIOS: usize = NUM_FLAT_SCENARIOS + NUM_FABRIC_SCENARIOS;
 
 /// How a scenario's PSes are spread over hosts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +128,10 @@ pub struct Scenario {
     pub workers: u32,
     /// Model update size, MB.
     pub model_mb: u64,
+    /// Link graph the scenario runs on.
+    pub topology: TopologySpec,
+    /// Traffic pattern the jobs use.
+    pub pattern: TrafficPattern,
 }
 
 impl Scenario {
@@ -187,14 +197,22 @@ fn scenario_cfg(master: &ExperimentConfig) -> ExperimentConfig {
         rr_interval: SimDuration::from_millis(250),
         num_bands: 6,
         link_gbps: 10.0,
+        // Per-scenario; `run_backend` installs the scenario's own.
+        topology: TopologySpec::SingleSwitch,
+        pattern: TrafficPattern::PsStar,
     }
 }
 
 /// The seeded scenario matrix. Dimensions are cycled at co-prime strides
 /// so all policies, shapes, arrival patterns, and fault intensities mix.
+/// The first [`NUM_FLAT_SCENARIOS`] run the paper's single switch with
+/// the PS star; the remaining [`NUM_FABRIC_SCENARIOS`] run on leaf–spine
+/// fabrics of varying oversubscription under all three traffic patterns
+/// (fault-free — fault injection is only modelled for the ps-star
+/// pattern, and the multi-tier rows validate topology, not recovery).
 pub fn scenarios(master: &ExperimentConfig) -> Vec<Scenario> {
     let _ = master; // matrix is structural; the seed enters via the runs
-    (0..NUM_SCENARIOS)
+    let mut scs: Vec<Scenario> = (0..NUM_FLAT_SCENARIOS)
         .map(|i| Scenario {
             id: i,
             shape: match i % 3 {
@@ -212,8 +230,40 @@ pub fn scenarios(master: &ExperimentConfig) -> Vec<Scenario> {
             num_jobs: 2 + (i as u32 % 3),
             workers: 2 + ((i as u32 / 4) % 2),
             model_mb: [8, 16, 32][(i / 5) % 3],
+            topology: TopologySpec::SingleSwitch,
+            pattern: TrafficPattern::PsStar,
         })
-        .collect()
+        .collect();
+    for k in 0..NUM_FABRIC_SCENARIOS {
+        let i = NUM_FLAT_SCENARIOS + k;
+        scs.push(Scenario {
+            id: i,
+            shape: match (k + 1) % 3 {
+                0 => PlacementShape::Colocated,
+                1 => PlacementShape::Split,
+                _ => PlacementShape::Spread,
+            },
+            policy: PolicyKind::all()[(k / 3) % 3],
+            arrivals: if k % 2 == 0 {
+                ArrivalPattern::Staggered
+            } else {
+                ArrivalPattern::Poisson
+            },
+            fault_intensity: 0.0,
+            num_jobs: 2 + (k as u32 % 3),
+            workers: 2 + ((k as u32 / 3) % 2),
+            model_mb: [8, 16, 32][k % 3],
+            // 2 racks x 3 hosts covers every shape above; oversubscription
+            // cycles through non-blocking, 2:1, and 4:1.
+            topology: TopologySpec::LeafSpine {
+                racks: 2,
+                hosts_per_rack: 3,
+                oversub: [1.0, 2.0, 4.0][(k / 2) % 3],
+            },
+            pattern: TrafficPattern::all()[k % 3],
+        });
+    }
+    scs
 }
 
 /// One scenario's differential verdict.
@@ -227,6 +277,10 @@ pub struct ScenarioRow {
     pub policy: &'static str,
     /// Arrival pattern label.
     pub arrivals: &'static str,
+    /// Topology label (`single-switch` or `leaf-spine:RxH@O`).
+    pub topology: String,
+    /// Traffic pattern name.
+    pub pattern: &'static str,
     /// Fault intensity (0 = healthy).
     pub fault_intensity: f64,
     /// Concurrent jobs.
@@ -288,6 +342,8 @@ fn run_backend(
     sim_cfg.net_weight_sigma = 0.0;
     sim_cfg.faults = faults;
     sim_cfg.barrier_loss = BarrierLossPolicy::StallUntilRecovery;
+    sim_cfg.topology = sc.topology;
+    sim_cfg.pattern = sc.pattern;
     let mut policy = sc.policy.build(ecfg);
     Simulation::new(sim_cfg)
         .jobs(sc.setups(ecfg))
@@ -307,6 +363,8 @@ fn run_scenario(ecfg: &ExperimentConfig, sc: &Scenario) -> ScenarioRow {
         placement: sc.shape.label(),
         policy: sc.policy.label(),
         arrivals: sc.arrivals.label(),
+        topology: sc.topology.to_string(),
+        pattern: sc.pattern.name(),
         fault_intensity: sc.fault_intensity,
         num_jobs: sc.num_jobs,
         workers: sc.workers,
@@ -425,6 +483,8 @@ impl ValidateResult {
                 "placement",
                 "policy",
                 "arrivals",
+                "topology",
+                "pattern",
                 "fault",
                 "jobs x workers",
                 "MB",
@@ -440,6 +500,8 @@ impl ValidateResult {
                 r.placement.to_string(),
                 r.policy.to_string(),
                 r.arrivals.to_string(),
+                r.topology.clone(),
+                r.pattern.to_string(),
                 format!("{:.1}", r.fault_intensity),
                 format!("{}x{}", r.num_jobs, r.workers),
                 r.model_mb.to_string(),
@@ -496,12 +558,14 @@ impl ValidateResult {
                 event: SimEvent::Mark {
                     scope: "validate",
                     message: format!(
-                        "scenario {} ({}/{}/{}, fault {:.1}): {} — job {} fluid \
+                        "scenario {} ({}/{}/{} on {} via {}, fault {:.1}): {} — job {} fluid \
                          {:.3}s vs packet {:.3}s (rel {:.4}, tol {}), violations {}/{}{}",
                         r.id,
                         r.placement,
                         r.policy,
                         r.arrivals,
+                        r.topology,
+                        r.pattern,
                         r.fault_intensity,
                         if r.pass { "divergent but in tolerance" } else { "FAIL" },
                         r.worst_job,
@@ -557,6 +621,39 @@ mod tests {
         // Every scenario builds a well-formed placement.
         for s in &scs {
             assert_eq!(s.placement().jobs.len(), s.num_jobs as usize);
+        }
+        // Multi-tier coverage: enough leaf-spine scenarios, every traffic
+        // pattern represented on them, every oversubscription tier swept,
+        // and none of them faulted (faults are ps-star-only).
+        let fabric: Vec<_> = scs
+            .iter()
+            .filter(|s| s.topology != TopologySpec::SingleSwitch)
+            .collect();
+        assert!(fabric.len() >= 6, "need >= 6 multi-tier scenarios");
+        for p in TrafficPattern::all() {
+            assert!(fabric.iter().any(|s| s.pattern == p), "{p} missing on fabric");
+        }
+        for o in [1.0, 2.0, 4.0] {
+            assert!(
+                fabric.iter().any(
+                    |s| matches!(s.topology, TopologySpec::LeafSpine { oversub, .. } if oversub == o)
+                ),
+                "oversub {o} missing"
+            );
+        }
+        assert!(fabric
+            .iter()
+            .all(|s| s.fault_intensity == 0.0 || s.pattern == TrafficPattern::PsStar));
+        // The fabric is always big enough for its placement.
+        for s in &fabric {
+            if let TopologySpec::LeafSpine {
+                racks,
+                hosts_per_rack,
+                ..
+            } = s.topology
+            {
+                assert!(racks * hosts_per_rack >= s.num_hosts());
+            }
         }
     }
 
@@ -618,6 +715,8 @@ mod tests {
             placement: "colocated",
             policy: "FIFO",
             arrivals: "staggered",
+            topology: "single-switch".into(),
+            pattern: "ps-star",
             fault_intensity: 0.0,
             num_jobs: 3,
             workers: 2,

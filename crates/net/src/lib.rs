@@ -38,5 +38,5 @@ pub use packet::{PacketRun, PacketSim, Qdisc, Rotation, TimelineEntry, Transfer,
 pub use pnet::PacketNet;
 pub use psim::{EgressDiscipline, NetFlow, NetFlowOutcome, NetSimConfig};
 pub use tc::{PortBands, TcConfig};
-pub use topology::Topology;
-pub use types::{Band, Bandwidth, FlowId, HostId};
+pub use topology::{Topology, TopologyBuilder};
+pub use types::{Band, Bandwidth, FlowId, HostId, LinkId};

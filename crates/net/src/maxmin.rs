@@ -4,7 +4,11 @@
 //! flows it computes the instantaneous rate of each flow under:
 //!
 //! * per-host NIC **egress** and **ingress** capacity constraints
-//!   (the switch is non-blocking, as in the paper's testbed);
+//!   (the switch is non-blocking, as in the paper's testbed), plus any
+//!   **fabric links** on the flow's deterministic route
+//!   ([`Topology::route`]) — rack uplinks/downlinks in a leaf–spine
+//!   build. Each flow is filled against its own link set, so the same
+//!   water-filling covers the single-switch and multi-tier cases;
 //! * **strict priority at the sender's egress NIC**: flows in band *b*
 //!   at an egress are served only while no flow of a band `< b` at *that
 //!   same egress* still wants bandwidth — the behaviour of the `tc`
@@ -101,8 +105,8 @@ pub struct AllocStats {
 #[derive(Debug, Default)]
 pub struct MaxMinAllocator {
     // Remaining capacity per link; links are [egress 0..n) ++ [ingress 0..n)
-    // ++ [optional fabric core at 2n]. Only links of re-solved components
-    // are (re)initialized on each call.
+    // ++ [fabric links 2n..2n+F) ++ [optional aggregate core at 2n+F].
+    // Only links of re-solved components are (re)initialized on each call.
     cap: Vec<f64>,
     // Sum of weights of eligible flows per link, valid when the stamp
     // matches the current round (avoids clearing per round).
@@ -138,6 +142,11 @@ pub struct MaxMinAllocator {
     // re-solved components — in ascending order. Callers use it to update
     // only the affected downstream state (see `FluidNet::refresh_rates`).
     touched: Vec<u32>,
+    // Fabric links adjacent to a dirty host's rack, rebuilt per partial
+    // call. Dirtiness must propagate host → fabric tier: two flows can
+    // share a rack uplink without sharing a host, so a host-only dirty
+    // check would wrongly retain the neighbour's component.
+    fab_dirty: Vec<bool>,
     stats: AllocStats,
 }
 
@@ -261,13 +270,16 @@ impl MaxMinAllocator {
         rates
     }
 
-    /// Group flows into connected components of the host graph (loopback
-    /// flows join their host's component; a configured fabric core couples
-    /// everything into one). Returns the component count and fills the CSR
-    /// buffers; component ids follow first appearance in `flows`, and each
-    /// component lists its flows in creation order.
+    /// Group flows into connected components of the host + fabric-link
+    /// graph (loopback flows join their host's component; flows sharing a
+    /// routed fabric link are coupled even when they share no host; a
+    /// configured aggregate core couples everything into one). Returns the
+    /// component count and fills the CSR buffers; component ids follow
+    /// first appearance in `flows`, and each component lists its flows in
+    /// creation order.
     fn build_components(&mut self, topo: &Topology, flows: &[FlowDemand]) -> usize {
         let n = topo.num_hosts();
+        let nf = topo.num_fabric_links();
         for f in flows {
             assert!(
                 f.weight > 0.0 && f.weight.is_finite(),
@@ -287,14 +299,25 @@ impl MaxMinAllocator {
             // a single component (the "full solve" fallback).
             1
         } else {
+            // Union-find nodes: hosts 0..n, then fabric links n..n+nf. A
+            // set containing a fabric node always contains a host (unions
+            // only arise from flows) and roots are minima, so every root
+            // is a host id.
             self.parent.clear();
-            self.parent.extend(0..n as u32);
+            self.parent.extend(0..(n + nf) as u32);
             for f in flows {
                 if f.src != f.dst {
                     let a = uf_find(&mut self.parent, f.src.0);
                     let b = uf_find(&mut self.parent, f.dst.0);
                     if a != b {
                         self.parent[a.max(b) as usize] = a.min(b);
+                    }
+                    for l in topo.route(f.src, f.dst).into_iter().flatten() {
+                        let a = uf_find(&mut self.parent, f.src.0);
+                        let b = uf_find(&mut self.parent, n as u32 + l.0);
+                        if a != b {
+                            self.parent[a.max(b) as usize] = a.min(b);
+                        }
                     }
                 }
             }
@@ -345,7 +368,7 @@ impl MaxMinAllocator {
         dirty_hosts: Option<&[bool]>,
     ) {
         let n = topo.num_hosts();
-        let num_links = 2 * n + usize::from(topo.core_capacity().is_some());
+        let num_links = 2 * n + topo.num_fabric_links() + usize::from(topo.core_capacity().is_some());
         self.cap.resize(num_links.max(self.cap.len()), 0.0);
         self.weight_sum
             .resize(num_links.max(self.weight_sum.len()), 0.0);
@@ -362,6 +385,24 @@ impl MaxMinAllocator {
         let core_dirty = topo.core_capacity().is_some()
             && dirty_hosts.is_some_and(|dirty| dirty.iter().any(|&d| d));
 
+        // Lift host dirtiness onto the fabric tier: a change at host `h`
+        // frees or claims capacity on its rack's uplink *and* downlink, and
+        // flows elsewhere on those links share no host with `h` — they are
+        // coupled only through the link. Components are then dirty if any
+        // flow touches a dirty host or routes over a dirty fabric link.
+        let fab_links = topo.num_fabric_links();
+        if fab_links > 0 && dirty_hosts.is_some() {
+            self.fab_dirty.clear();
+            self.fab_dirty.resize(fab_links, false);
+            if let Some(dirty) = dirty_hosts {
+                for (h, _) in dirty.iter().enumerate().filter(|(_, &d)| d) {
+                    for l in topo.host_fabric_links(HostId(h as u32)).into_iter().flatten() {
+                        self.fab_dirty[l.0 as usize] = true;
+                    }
+                }
+            }
+        }
+
         let comp_start = std::mem::take(&mut self.comp_start);
         let comp_flows = std::mem::take(&mut self.comp_flows);
         for c in 0..comp_count {
@@ -371,7 +412,14 @@ impl MaxMinAllocator {
                     None => true,
                     Some(dirty) => idxs.iter().any(|&i| {
                         let f = &flows[i as usize];
-                        dirty[f.src.0 as usize] || dirty[f.dst.0 as usize]
+                        dirty[f.src.0 as usize]
+                            || dirty[f.dst.0 as usize]
+                            || (fab_links > 0
+                                && topo
+                                    .route(f.src, f.dst)
+                                    .into_iter()
+                                    .flatten()
+                                    .any(|l| self.fab_dirty[l.0 as usize]))
                     }),
                 };
             if solve {
@@ -400,9 +448,12 @@ impl MaxMinAllocator {
         rates: &mut [f64],
     ) {
         let n = topo.num_hosts();
+        // Fabric links occupy cap[2n..2n+F); the aggregate core sits after.
+        let fab_base = 2 * n;
         let core_link = topo.core_capacity().map(|c| {
-            self.cap[2 * n] = c.bytes_per_sec();
-            2 * n
+            let idx = fab_base + topo.num_fabric_links();
+            self.cap[idx] = c.bytes_per_sec();
+            idx
         });
         self.stats.components_solved += 1;
         self.stats.flows_touched += idxs.len() as u64;
@@ -418,6 +469,9 @@ impl MaxMinAllocator {
                 rates[i as usize] = 0.0;
                 self.cap[f.src.0 as usize] = topo.egress(f.src).bytes_per_sec();
                 self.cap[n + f.dst.0 as usize] = topo.ingress(f.dst).bytes_per_sec();
+                for l in topo.route(f.src, f.dst).into_iter().flatten() {
+                    self.cap[fab_base + l.0 as usize] = topo.fabric_capacity(l).bytes_per_sec();
+                }
                 self.unfrozen.push(i);
             }
         }
@@ -447,9 +501,16 @@ impl MaxMinAllocator {
                 if el {
                     let egress = f.src.0 as usize;
                     let ingress = n + f.dst.0 as usize;
-                    for l in [Some(egress), Some(ingress), core_link]
-                        .into_iter()
-                        .flatten()
+                    let [up, down] = topo.route(f.src, f.dst);
+                    for l in [
+                        Some(egress),
+                        Some(ingress),
+                        up.map(|l| fab_base + l.0 as usize),
+                        down.map(|l| fab_base + l.0 as usize),
+                        core_link,
+                    ]
+                    .into_iter()
+                    .flatten()
                     {
                         if self.ws_stamp[l] != round {
                             self.ws_stamp[l] = round;
@@ -502,7 +563,12 @@ impl MaxMinAllocator {
                 let g = n + f.dst.0 as usize;
                 let capped =
                     f.max_rate.is_finite() && rates[i as usize] >= f.max_rate * (1.0 - 1e-12);
-                !(cap[e] <= CAP_EPS || cap[g] <= CAP_EPS || capped || core_full)
+                let fabric_full = topo
+                    .route(f.src, f.dst)
+                    .into_iter()
+                    .flatten()
+                    .any(|l| cap[fab_base + l.0 as usize] <= CAP_EPS);
+                !(cap[e] <= CAP_EPS || cap[g] <= CAP_EPS || capped || core_full || fabric_full)
             });
         }
     }
@@ -793,8 +859,9 @@ mod tests {
         // Four disjoint host pairs, each pair's flow could run at 10 Gbps,
         // but a 2:1 oversubscribed core (20 Gbps for 40 Gbps of edge)
         // halves everyone.
-        let t = Topology::uniform(8, Bandwidth::from_gbps(10.0))
-            .with_core_capacity(Bandwidth::from_gbps(20.0));
+        let t = crate::topology::TopologyBuilder::single_switch(8)
+            .core_capacity(Bandwidth::from_gbps(20.0))
+            .build();
         let mut a = MaxMinAllocator::new();
         let flows: Vec<_> = (0..4).map(|k| demand(2 * k, 2 * k + 1, 0, 1.0)).collect();
         let r = a.allocate(&t, &flows);
@@ -806,8 +873,9 @@ mod tests {
     #[test]
     fn non_blocking_core_changes_nothing() {
         let t = Topology::uniform(8, Bandwidth::from_gbps(10.0));
-        let tc = Topology::uniform(8, Bandwidth::from_gbps(10.0))
-            .with_core_capacity(Bandwidth::from_gbps(1000.0));
+        let tc = crate::topology::TopologyBuilder::single_switch(8)
+            .core_capacity(Bandwidth::from_gbps(1000.0))
+            .build();
         let flows: Vec<_> = (0..4).map(|k| demand(2 * k, 2 * k + 1, 0, 1.0)).collect();
         let mut a = MaxMinAllocator::new();
         assert_eq!(a.allocate(&t, &flows), a.allocate(&tc, &flows));
@@ -901,6 +969,162 @@ mod tests {
         dirty[2] = true;
         a.allocate_dirty_into(&t, &flows, &dirty, &mut rates);
         assert_eq!(a.last_touched(), &[1], "only the dirty component");
+    }
+
+    #[test]
+    fn oversubscribed_uplink_binds_cross_rack_traffic() {
+        // 2 racks × 4 hosts, 4:1 oversubscription: each uplink carries
+        // 4 × 10 / 4 = 10 Gbps. Four cross-rack flows out of rack 0 share
+        // its single uplink even though their NICs could carry 40 Gbps.
+        let t = crate::topology::TopologyBuilder::leaf_spine(2, 4, 4.0)
+            .link(Bandwidth::from_gbps(10.0))
+            .build();
+        let mut a = MaxMinAllocator::new();
+        let flows: Vec<_> = (0..4).map(|k| demand(k, 4 + k, 0, 1.0)).collect();
+        let r = a.allocate(&t, &flows);
+        for &x in &r {
+            assert!((x - LINK / 4.0).abs() < 1.0, "uplink-shared rate {x}");
+        }
+    }
+
+    #[test]
+    fn rack_local_traffic_ignores_fabric() {
+        let t = crate::topology::TopologyBuilder::leaf_spine(2, 4, 4.0)
+            .link(Bandwidth::from_gbps(10.0))
+            .build();
+        let mut a = MaxMinAllocator::new();
+        // Same-rack flow runs at full NIC speed regardless of oversub.
+        let r = a.allocate(&t, &[demand(0, 1, 0, 1.0)]);
+        assert!((r[0] - LINK).abs() < 1.0, "got {}", r[0]);
+    }
+
+    #[test]
+    fn downlink_contention_limits_fanin_across_racks() {
+        // 2:1 oversub, 2 racks × 4 hosts: downlink = 20 Gbps. Four senders
+        // in rack 0 target distinct hosts in rack 1; NICs would allow
+        // 4 × 10 Gbps but the shared downlink halves everyone.
+        let t = crate::topology::TopologyBuilder::leaf_spine(2, 4, 2.0)
+            .link(Bandwidth::from_gbps(10.0))
+            .build();
+        let mut a = MaxMinAllocator::new();
+        let flows: Vec<_> = (0..4).map(|k| demand(k, 4 + k, 0, 1.0)).collect();
+        let r = a.allocate(&t, &flows);
+        for &x in &r {
+            assert!((x - LINK / 2.0).abs() < 1.0, "downlink-shared rate {x}");
+        }
+    }
+
+    #[test]
+    fn one_to_one_leaf_spine_matches_single_switch_bitwise() {
+        let flat = topo(8, 10.0);
+        let ls = crate::topology::TopologyBuilder::leaf_spine(2, 4, 1.0)
+            .link(Bandwidth::from_gbps(10.0))
+            .build();
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut a = MaxMinAllocator::new();
+        let mut b = MaxMinAllocator::new();
+        for _ in 0..20 {
+            let nf = rng.gen_range(1..30);
+            let flows: Vec<_> = (0..nf)
+                .map(|_| {
+                    demand(
+                        rng.gen_range(0..8),
+                        rng.gen_range(0..8),
+                        rng.gen_range(0..4),
+                        rng.gen_range(0.1..4.0),
+                    )
+                })
+                .collect();
+            assert_eq!(a.allocate(&flat, &flows), b.allocate(&ls, &flows));
+        }
+    }
+
+    #[test]
+    fn fabric_coupling_joins_components_across_racks() {
+        // Two flows share rack 0's uplink but no host; dirtying one must
+        // re-solve the other (they are one component), while a rack-local
+        // pair elsewhere stays cached.
+        let t = crate::topology::TopologyBuilder::leaf_spine(2, 4, 2.0)
+            .link(Bandwidth::from_gbps(10.0))
+            .build();
+        let mut a = MaxMinAllocator::new();
+        let flows = [
+            demand(0, 4, 0, 1.0), // rack0 → rack1, via uplink 0
+            demand(1, 5, 0, 1.0), // rack0 → rack1, via uplink 0
+            demand(6, 7, 0, 1.0), // rack1-local
+        ];
+        let mut rates = a.allocate(&t, &flows);
+        let mut dirty = vec![false; 8];
+        dirty[0] = true;
+        a.allocate_dirty_into(&t, &flows, &dirty, &mut rates);
+        assert_eq!(
+            a.last_touched(),
+            &[0, 1],
+            "uplink-coupled flows form one component; local pair cached"
+        );
+    }
+
+    #[test]
+    fn dirty_reuse_on_fabric_matches_full_solve() {
+        let t = crate::topology::TopologyBuilder::leaf_spine(3, 3, 2.0)
+            .link(Bandwidth::from_gbps(10.0))
+            .build();
+        let mut a = MaxMinAllocator::new();
+        let mut flows = vec![
+            demand(0, 3, 0, 1.2), // rack0 → rack1
+            demand(1, 4, 1, 0.8), // rack0 → rack1
+            demand(6, 8, 0, 1.0), // rack2-local
+        ];
+        let mut rates = a.allocate(&t, &flows);
+        for f in &mut flows {
+            f.band = Band((f.band.0 + 1) % 3);
+        }
+        let mut dirty = vec![false; 9];
+        dirty[0] = true;
+        dirty[1] = true;
+        a.allocate_dirty_reuse(&t, &flows, &dirty, &mut rates, true);
+        let fresh = MaxMinAllocator::new().allocate(&t, &flows);
+        assert_eq!(rates, fresh, "fabric dirty-reuse diverged");
+    }
+
+    #[test]
+    fn fabric_neighbour_is_resolved_when_link_mate_departs() {
+        // Regression: flows 0→2 and 1→3 share rack0's uplink (and rack1's
+        // downlink) but no host. When 0→2 departs, only hosts {0, 2} are
+        // dirty — a host-only dirty check would retain 1→3's component at
+        // its stale uplink half-share instead of letting it claim the freed
+        // fabric capacity.
+        let t = crate::topology::TopologyBuilder::leaf_spine(2, 2, 4.0)
+            .link(Bandwidth::from_gbps(10.0))
+            .build();
+        let mut a = MaxMinAllocator::new();
+        let both = [demand(0, 2, 0, 1.0), demand(1, 3, 0, 1.0)];
+        let rates = a.allocate(&t, &both);
+        // 4:1 oversubscription: uplink = 2·LINK/4 = LINK/2, split two ways.
+        assert!((rates[0] - LINK / 4.0).abs() < 1.0, "got {}", rates[0]);
+        assert!((rates[1] - LINK / 4.0).abs() < 1.0, "got {}", rates[1]);
+
+        let survivor = [both[1]];
+        let mut partial = vec![rates[1]];
+        let mut dirty = vec![false; 4];
+        dirty[0] = true;
+        dirty[2] = true;
+        a.allocate_dirty_into(&t, &survivor, &dirty, &mut partial);
+        let fresh = MaxMinAllocator::new().allocate(&t, &survivor);
+        assert!(
+            (fresh[0] - LINK / 2.0).abs() < 1.0,
+            "survivor alone fills the uplink: {}",
+            fresh[0]
+        );
+        assert_eq!(
+            partial[0].to_bits(),
+            fresh[0].to_bits(),
+            "partial solve kept a stale fabric share: {} vs {}",
+            partial[0],
+            fresh[0]
+        );
+        assert_eq!(a.last_touched(), &[0], "survivor's component re-solved");
     }
 
     #[test]

@@ -23,7 +23,14 @@
 //!   `chunk / cap` after the previous one, leaving the idle egress slots
 //!   to other flows;
 //! * **aborts** drop queued and in-flight chunks; bytes of a dead flow
-//!   never count as delivered.
+//!   never count as delivered;
+//! * **fabric hops**: on a leaf–spine topology ([`Topology::route`]), a
+//!   cross-rack chunk passes through one FIFO serial server per routed
+//!   fabric link (rack uplink, then destination-rack downlink) between the
+//!   sender's egress and the receiver's ingress — store-and-forward at
+//!   every tier, so in-fabric contention serializes chunks exactly where
+//!   the fluid model water-fills link capacity. Flows with fabric hops
+//!   never enter bulk fusion.
 //!
 //! The engine is driven exactly like the fluid one: after any mutation the
 //! caller asks [`PacketNet::next_event_time`] and schedules a wake-up; on
@@ -42,7 +49,7 @@
 
 use crate::psim::EgressDiscipline;
 use crate::topology::Topology;
-use crate::types::{Band, Bandwidth, FlowId, HostId};
+use crate::types::{Band, Bandwidth, FlowId, HostId, LinkId};
 use crate::fluid::{CompletedFlow, FlowSpec};
 use simcore::{EventHandle, EventQueue, InvariantChecker, SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -162,6 +169,8 @@ enum PEv {
     Pace(u32),
     /// The bulk run owned by host `h`'s egress delivered its last chunk.
     BulkDone(u32),
+    /// Fabric link `l`'s serial server finished forwarding a chunk.
+    FabricDone(u32),
 }
 
 /// The interactive chunk-level network engine. API mirrors
@@ -183,6 +192,10 @@ pub struct PacketNet {
     ingress_q: Vec<VecDeque<(u32, u64)>>,
     /// Per-host ingress server: the chunk in service (the FIFO's front).
     ingress_busy: Vec<Option<Service>>,
+    /// Per-fabric-link FIFO of (flow index, chunk size).
+    fab_q: Vec<VecDeque<(u32, u64)>>,
+    /// Per-fabric-link serial server (the FIFO's front).
+    fab_busy: Vec<Option<Service>>,
     /// Earliest scheduled pace wake-up per host (dedup, not correctness).
     pace_wake: Vec<Option<SimTime>>,
     /// Completions accumulated since the last `take_completions`.
@@ -190,6 +203,8 @@ pub struct PacketNet {
     last_advance: SimTime,
     egress_bytes: Vec<f64>,
     ingress_bytes: Vec<f64>,
+    /// Cumulative bytes forwarded per fabric link.
+    fabric_bytes: Vec<f64>,
     /// Active bulk run per egress host (see [`Bulk`]).
     bulk_egress: Vec<Option<Bulk>>,
     /// Reverse index: ingress host -> egress host of the bulk feeding it.
@@ -227,6 +242,7 @@ impl PacketNet {
         assert!(chunk_bytes > 0, "chunk size must be positive");
         assert!(window > 0, "window must be positive");
         let n = topo.num_hosts();
+        let nf = topo.num_fabric_links();
         PacketNet {
             topo,
             chunk_bytes,
@@ -239,11 +255,14 @@ impl PacketNet {
             egress_cursor: vec![0; n],
             ingress_q: vec![VecDeque::new(); n],
             ingress_busy: vec![None; n],
+            fab_q: vec![VecDeque::new(); nf],
+            fab_busy: vec![None; nf],
             pace_wake: vec![None; n],
             done: Vec::new(),
             last_advance: SimTime::ZERO,
             egress_bytes: vec![0.0; n],
             ingress_bytes: vec![0.0; n],
+            fabric_bytes: vec![0.0; nf],
             bulk_egress: (0..n).map(|_| None).collect(),
             bulk_ingress: vec![None; n],
             active_bulks: Vec::new(),
@@ -307,6 +326,12 @@ impl PacketNet {
     /// Cumulative ingress bytes per host since engine creation.
     pub fn ingress_bytes(&self) -> &[f64] {
         &self.ingress_bytes
+    }
+
+    /// Cumulative bytes forwarded per fabric link since engine creation,
+    /// indexed by [`LinkId`]. Empty on single-switch topologies.
+    pub fn fabric_bytes(&self) -> &[f64] {
+        &self.fabric_bytes
     }
 
     /// Remaining (undelivered) bytes of a flow; `None` once finished or
@@ -484,6 +509,14 @@ impl PacketNet {
                     (keep_front && kept == 1) || flows[i as usize].status != Status::Aborted
                 });
             }
+            for l in 0..self.fab_q.len() {
+                let keep_front = self.fab_busy[l].is_some();
+                let mut kept = 0usize;
+                self.fab_q[l].retain(|&(i, _)| {
+                    kept += 1;
+                    (keep_front && kept == 1) || flows[i as usize].status != Status::Aborted
+                });
+            }
             // Freed egress slots and windows may unblock surviving flows.
             for h in 0..self.egress_busy.len() {
                 self.kick_egress(now, h as u32);
@@ -540,6 +573,7 @@ impl PacketNet {
                     }
                 }
                 PEv::BulkDone(h) => self.on_bulk_done(t, h),
+                PEv::FabricDone(l) => self.on_fabric_done(t, l),
             }
         }
         // Bulk runs deliver chunks between queue events: apply every
@@ -578,10 +612,44 @@ impl PacketNet {
         if f.status != Status::Aborted {
             self.egress_bytes[h as usize] += chunk as f64;
             let dst = f.spec.dst.0 as usize;
-            self.ingress_q[dst].push_back((i, chunk));
-            self.kick_ingress(now, dst as u32);
+            // Cross-rack chunks enter the routed uplink's serial server;
+            // everything else goes straight to the receiver's ingress.
+            match self.topo.route(f.spec.src, f.spec.dst)[0] {
+                Some(up) => {
+                    self.fab_q[up.0 as usize].push_back((i, chunk));
+                    self.kick_fab(now, up.0);
+                }
+                None => {
+                    self.ingress_q[dst].push_back((i, chunk));
+                    self.kick_ingress(now, dst as u32);
+                }
+            }
         }
         self.kick_egress(now, h);
+    }
+
+    fn on_fabric_done(&mut self, now: SimTime, l: u32) {
+        let (i, chunk) = self.fab_q[l as usize]
+            .pop_front()
+            .expect("fabric link completed a chunk");
+        self.fab_busy[l as usize] = None;
+        let f = &self.flows[i as usize];
+        if f.status != Status::Aborted {
+            self.fabric_bytes[l as usize] += chunk as f64;
+            let [up, down] = self.topo.route(f.spec.src, f.spec.dst);
+            let dst = f.spec.dst.0 as usize;
+            if up == Some(LinkId(l)) {
+                // Leaving the source rack: hop to the destination rack's
+                // downlink (store-and-forward at the spine).
+                let down = down.expect("routed uplink implies a downlink").0;
+                self.fab_q[down as usize].push_back((i, chunk));
+                self.kick_fab(now, down);
+            } else {
+                self.ingress_q[dst].push_back((i, chunk));
+                self.kick_ingress(now, dst as u32);
+            }
+        }
+        self.kick_fab(now, l);
     }
 
     fn on_ingress_done(&mut self, now: SimTime, h: u32) {
@@ -768,6 +836,11 @@ impl PacketNet {
         {
             return false;
         }
+        // Fabric-routed flows pass through shared per-link servers whose
+        // contention the two-server recurrence cannot replay: never fuse.
+        if self.topo.route(f.spec.src, f.spec.dst)[0].is_some() {
+            return false;
+        }
         // Sole occupancy: no other active non-loopback flow touches this
         // egress or that ingress. Window-stalled and paced flows count —
         // they are absent from `candidates` but contend later.
@@ -944,6 +1017,26 @@ impl PacketNet {
                 chunk: c,
                 finish: i_done,
                 rate: bulk.ingress_rate,
+                handle,
+            });
+        }
+    }
+
+    /// Put the next queued chunk into fabric link `l`'s serial server, if
+    /// it is idle and its FIFO is nonempty.
+    fn kick_fab(&mut self, now: SimTime, l: u32) {
+        if self.fab_busy[l as usize].is_some() {
+            return;
+        }
+        if let Some(&(i, chunk)) = self.fab_q[l as usize].front() {
+            let rate = self.topo.fabric_capacity(LinkId(l)).bytes_per_sec();
+            let finish = now + SimDuration::from_secs_f64(chunk as f64 / rate);
+            let handle = self.queue.schedule(finish, PEv::FabricDone(l));
+            self.fab_busy[l as usize] = Some(Service {
+                flow: i,
+                chunk,
+                finish,
+                rate,
                 handle,
             });
         }
@@ -1263,5 +1356,89 @@ mod tests {
         let out = telemetry.take_output();
         assert_eq!(out.events_of_kind("flow_start").len(), 1);
         assert_eq!(out.events_of_kind("flow_finish").len(), 1);
+    }
+
+    // ---- fabric (leaf-spine) tests --------------------------------------
+
+    /// 2 racks x 2 hosts, 10 Gbps NICs, given oversubscription.
+    fn leaf_spine(oversub: f64) -> PacketNet {
+        PacketNet::new(
+            crate::topology::TopologyBuilder::leaf_spine(2, 2, oversub)
+                .link(Bandwidth::from_gbps(10.0))
+                .build(),
+        )
+    }
+
+    #[test]
+    fn oversubscribed_uplink_serializes_cross_rack_flows() {
+        // Hosts 0,1 in rack 0; 2,3 in rack 1. At 2:1 the shared 10 Gbps
+        // uplink halves two concurrent 10 Gbps cross-rack senders.
+        let mut n = leaf_spine(2.0);
+        n.start_flow(SimTime::ZERO, spec(0, 2, 125e6, 0, 1));
+        n.start_flow(SimTime::ZERO, spec(1, 3, 125e6, 0, 2));
+        let done = drain(&mut n);
+        assert_eq!(done.len(), 2);
+        for d in &done {
+            let got = d.finished.as_secs_f64();
+            // Each flow effectively gets half the uplink: ~0.2 s, not the
+            // NIC-limited ~0.1 s. Store-and-forward adds a few chunk times.
+            assert!(
+                (0.19..0.22).contains(&got),
+                "tag {} finished at {got}s, want ~0.2s",
+                d.tag
+            );
+        }
+        // Bytes crossed rack 0's uplink and rack 1's downlink; the reverse
+        // pair idled.
+        assert!(n.fabric_bytes()[0] > 2.4e8, "rack0 uplink");
+        assert!(n.fabric_bytes()[3] > 2.4e8, "rack1 downlink");
+        assert_eq!(n.fabric_bytes()[1], 0.0, "rack0 downlink idle");
+        assert_eq!(n.fabric_bytes()[2], 0.0, "rack1 uplink idle");
+    }
+
+    #[test]
+    fn rack_local_flow_skips_the_fabric() {
+        let mut n = leaf_spine(4.0);
+        n.start_flow(SimTime::ZERO, spec(0, 1, 125e6, 0, 1));
+        let done = drain(&mut n);
+        assert_eq!(done.len(), 1);
+        // NIC-limited, untouched by the 2.5 Gbps fabric.
+        assert!(done[0].finished.as_secs_f64() < 0.11);
+        assert!(n.fabric_bytes().iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn abort_purges_fabric_queues() {
+        // 4:1 oversubscription backs chunks up in the uplink FIFO; abort
+        // the flow mid-run and the survivor must still finish cleanly.
+        let mut n = leaf_spine(4.0);
+        let a = n.start_flow(SimTime::ZERO, spec(0, 2, 125e6, 0, 1));
+        n.start_flow(SimTime::from_millis(5), spec(1, 3, 50e6, 0, 2));
+        let aborted = n.abort_flows_where(SimTime::from_millis(20), |_, s| s.tag == 1);
+        assert_eq!(aborted, vec![(a, 1)]);
+        let done = drain(&mut n);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 2);
+    }
+
+    #[test]
+    fn one_to_one_leaf_spine_matches_single_switch_bitwise() {
+        let run = |n: &mut PacketNet| {
+            for k in 0..6u32 {
+                n.start_flow(
+                    SimTime::from_millis(u64::from(k) * 2),
+                    spec(k % 4, (k + 1) % 4, 4e6 + f64::from(k) * 1e6, (k % 2) as u8, u64::from(k)),
+                );
+            }
+            let done = drain(n);
+            (
+                done.iter().map(|d| (d.tag, d.finished)).collect::<Vec<_>>(),
+                n.egress_bytes().iter().map(|b| b.to_bits()).collect::<Vec<_>>(),
+            )
+        };
+        let mut flat = net(4);
+        let mut tiered = leaf_spine(1.0);
+        assert_eq!(tiered.topology().num_fabric_links(), 0);
+        assert_eq!(run(&mut flat), run(&mut tiered));
     }
 }

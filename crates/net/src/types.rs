@@ -15,6 +15,22 @@ impl fmt::Display for HostId {
     }
 }
 
+/// Identifier of a shared fabric link (index into the topology's
+/// fabric-link table). Host NICs are addressed by [`HostId`] plus a
+/// direction; `LinkId` names only the fabric tier between them — rack
+/// uplinks and downlinks in a leaf–spine build. A non-blocking fabric has
+/// no links to name.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct LinkId(pub u32);
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
 /// Identifier of a flow within a [`crate::fluid::FluidNet`] engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FlowId(pub u64);
@@ -160,6 +176,7 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(format!("{}", HostId(3)), "h3");
+        assert_eq!(format!("{}", LinkId(4)), "l4");
         assert_eq!(format!("{}", FlowId(9)), "f9");
         assert_eq!(format!("{}", Band(2)), "band2");
         assert_eq!(format!("{}", Bandwidth::from_gbps(10.0)), "10.000Gbps");

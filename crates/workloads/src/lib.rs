@@ -104,6 +104,7 @@ impl GridSearchConfig {
                         launch_time: SimTime::ZERO
                             + SimDuration::from_nanos(self.launch_stagger.as_nanos() * i as u64),
                         ps_port: self.base_port + i as u16,
+                        pattern: None,
                     },
                     placement: jp.clone(),
                 }

@@ -195,6 +195,7 @@ pub fn load_scenario(json: &str) -> Result<Vec<JobSetup>, ScenarioError> {
                 mode,
                 launch_time: launch,
                 ps_port: 2222 + i as u16,
+                pattern: None,
                 model,
             },
             placement: JobPlacement::new(HostId(ps_host), worker_hosts),
@@ -226,7 +227,7 @@ mod tests {
         assert_eq!(a.spec.local_batch_size, 4, "defaults");
         assert_eq!(a.spec.target_global_steps, 300);
         assert_eq!(a.spec.mode, TrainingMode::Synchronous);
-        assert_eq!(a.placement.ps_host, HostId(0));
+        assert_eq!(a.placement.ps_host(), HostId(0));
         assert_eq!(a.spec.launch_time, SimTime::ZERO);
 
         let b = &setups[1];
@@ -234,9 +235,9 @@ mod tests {
         assert_eq!(b.spec.mode, TrainingMode::Asynchronous);
         assert_eq!(b.spec.target_global_steps, 14);
         assert_eq!(b.spec.launch_time, SimTime::from_secs_f64(2.5));
-        assert_eq!(b.placement.ps_host, HostId(0));
+        assert_eq!(b.placement.ps_host(), HostId(0));
         // Default worker hosts avoid the PS host.
-        assert!(!b.placement.worker_hosts.contains(&b.placement.ps_host));
+        assert!(!b.placement.worker_hosts.contains(&b.placement.ps_host()));
     }
 
     #[test]

@@ -29,6 +29,7 @@ fn jobs() -> Vec<JobSetup> {
                 mode: TrainingMode::Synchronous,
                 launch_time: SimTime::from_millis(100 * id as u64),
                 ps_port: 2222 + id as u16,
+                pattern: None,
             },
             // Both PSes on host 0; workers spread over hosts 1-3.
             placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2), HostId(3)]),

@@ -44,9 +44,10 @@ if [[ "${1:-}" != "fast" ]]; then
     grep -qE '"retry (flow|task)' "$tmp/faults.json"   # >=1 retry event
     grep -qE '"worker [0-9]+ lost"' "$tmp/faults.json" # >=1 barrier-loss event
 
-    # Differential validation: the full 24-scenario fluid-vs-packet sweep
-    # through the DL engine with invariant checks on; exits 3 on any
-    # divergence beyond tolerance (see EXPERIMENTS.md).
+    # Differential validation: the full 32-scenario fluid-vs-packet sweep
+    # (24 single-switch + 8 leaf-spine multi-tier) through the DL engine
+    # with invariant checks on; exits 3 on any divergence beyond tolerance
+    # (see EXPERIMENTS.md).
     echo "==> differential validation (fluid vs packet)"
     ./target/release/repro --experiment validate > /dev/null
 
@@ -54,6 +55,12 @@ if [[ "${1:-}" != "fast" ]]; then
     # three policies (repro asserts every job completes).
     echo "==> scale sweep smoke (--quick)"
     ./target/release/repro --experiment scale --quick > /dev/null
+
+    # Fabric smoke: the full policy x oversubscription x pattern grid on
+    # the leaf-spine topology at smoke-test iteration counts (repro asserts
+    # every cell completes all jobs).
+    echo "==> fabric sweep smoke (--quick)"
+    ./target/release/repro --experiment fabric --quick > /dev/null
 fi
 
 echo "==> all checks passed"

@@ -113,6 +113,7 @@ fn faulted_run(plan: FaultPlan, loss: BarrierLossPolicy) -> SimOutput {
                 mode: TrainingMode::Synchronous,
                 launch_time: SimTime::from_millis(100 * id as u64),
                 ps_port: 2222 + id as u16,
+                pattern: None,
             },
             placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2), HostId(3)]),
         })
@@ -177,6 +178,7 @@ fn idle_host_crash_and_recover_is_a_jct_noop() {
                     mode: TrainingMode::Synchronous,
                     launch_time: SimTime::ZERO,
                     ps_port: 2222 + id as u16,
+                    pattern: None,
                 },
                 placement: JobPlacement::new(HostId(0), vec![HostId(1), HostId(2), HostId(3)]),
             })

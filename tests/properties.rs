@@ -372,8 +372,22 @@ proptest! {
     /// single-component (full re-solve) path.
     #[test]
     fn incremental_allocator_matches_scratch_with_core(ops in arb_churn(6)) {
-        let topo = Topology::uniform(6, Bandwidth::from_gbps(10.0))
-            .with_core_capacity(Bandwidth::from_gbps(25.0));
+        let topo = tl_net::TopologyBuilder::single_switch(6)
+            .link(Bandwidth::from_gbps(10.0))
+            .core_capacity(Bandwidth::from_gbps(25.0))
+            .build();
+        check_churn_against_scratch(&topo, &ops)?;
+    }
+
+    /// Same churn script on a 2:1-oversubscribed leaf–spine fabric, where
+    /// cross-rack flows traverse uplink/downlink fabric tiers — the
+    /// multi-link water-fill must stay bitwise-identical to a from-scratch
+    /// solve too.
+    #[test]
+    fn incremental_allocator_matches_scratch_on_leaf_spine(ops in arb_churn(6)) {
+        let topo = tl_net::TopologyBuilder::leaf_spine(2, 3, 2.0)
+            .link(Bandwidth::from_gbps(10.0))
+            .build();
         check_churn_against_scratch(&topo, &ops)?;
     }
 }
@@ -456,6 +470,74 @@ fn fluidnet_times(hosts: usize, specs: &[FlowSpec]) -> Vec<f64> {
         }
     }
     done
+}
+
+// ---------------------------------------------------------------------------
+// Fabric equivalence: a 1:1-oversubscribed leaf–spine emits no binding
+// fabric links, so a full training simulation on it must be *bitwise*
+// identical to the same run on a single non-blocking switch — same
+// completions, same event count, same allocator counters. Holds for the
+// PS star and ring patterns; hierarchical is excluded by design (its
+// rack-local reduction groups follow `rack_of`, which the leaf–spine
+// topology populates and the single switch does not).
+
+fn fabric_equivalence_run(
+    num_jobs: u32,
+    workers: u32,
+    model_mb: u64,
+    pattern: tensorlights_suite::dl::TrafficPattern,
+    topology: tensorlights_suite::dl::TopologySpec,
+    seed: u64,
+) -> String {
+    use tensorlights_suite::prelude::*;
+    use tl_cluster::grouped_placement;
+
+    let num_hosts = (workers + 1).max(num_jobs);
+    let placement = grouped_placement(num_hosts, workers, &vec![1; num_jobs as usize]);
+    let mut wl = GridSearchConfig::paper_scaled(3);
+    wl.num_jobs = num_jobs;
+    wl.workers_per_job = workers;
+    wl.target_global_steps = 3 * workers as u64;
+    wl.model = tensorlights_suite::dl::ModelSpec::synthetic_mb(model_mb);
+    let setups = wl.build(&placement);
+    let cfg = SimConfig {
+        seed,
+        topology,
+        pattern,
+        ..SimConfig::default()
+    };
+    let out = Simulation::new(cfg).jobs(setups).run();
+    assert!(out.all_complete());
+    tensorlights_suite::experiments::scale::canonical_json(&out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A non-blocking (1:1) leaf–spine fabric is structurally equivalent
+    /// to the single switch: the builder emits zero fabric links, so the
+    /// whole training simulation — completions, JCT bits, event and
+    /// allocator counters — must match bit for bit.
+    #[test]
+    fn non_blocking_leaf_spine_is_bitwise_identical_to_single_switch(
+        num_jobs in 1u32..4,
+        workers in 1u32..5,
+        model_mb in 4u64..32,
+        star in 0u8..2,
+        seed in 0u64..1_000,
+    ) {
+        use tensorlights_suite::dl::{TopologySpec, TrafficPattern};
+        let pattern = if star == 0 { TrafficPattern::Ring } else { TrafficPattern::PsStar };
+        let flat = fabric_equivalence_run(
+            num_jobs, workers, model_mb, pattern, TopologySpec::SingleSwitch, seed,
+        );
+        let fabric = fabric_equivalence_run(
+            num_jobs, workers, model_mb, pattern,
+            TopologySpec::LeafSpine { racks: 3, hosts_per_rack: 2, oversub: 1.0 },
+            seed,
+        );
+        prop_assert_eq!(flat, fabric, "1:1 leaf-spine diverged from single switch");
+    }
 }
 
 proptest! {
