@@ -1,0 +1,1105 @@
+//! # tl-analysis — explain every JCT
+//!
+//! Consumes the typed [`tl_telemetry::SimEvent`] stream a simulation
+//! recorded and produces, per completed job:
+//!
+//! * a **JCT decomposition** — compute, exclusive network service,
+//!   contention wait, priority-band throttling, barrier wait, and
+//!   fault-recovery time, in integer nanoseconds that sum *exactly* to
+//!   the job completion time (conservation is checked, not hoped for);
+//! * a **blame matrix** — which competing jobs, on which links (host
+//!   NICs vs rack uplinks/downlinks), the job's wait time is
+//!   attributable to;
+//! * a **critical path** — the chain of flows and compute tasks whose
+//!   completion times gate the job's completion, extracted by a backward
+//!   walk over the activity DAG, with un-covered spans labeled by what
+//!   the job was waiting on.
+//!
+//! The analyzer is a pure function of `(events, topology)`: it replays
+//! the event stream chronologically, classifying every inter-event
+//! interval of every live job by a fixed priority rule (network →
+//! barrier → compute → fault recovery → idle). Within network
+//! intervals the exclusive/wait split uses the ratio of the job's
+//! achieved rates to its *solo* rates (what its flows would get with no
+//! competitors, approximated as an equal split of each link among the
+//! job's own flows — self-contention is therefore *not* blamed on
+//! anyone). Because the split rounds to whole nanoseconds and the two
+//! parts are computed as `exclusive` and `dt − exclusive`, conservation
+//! holds by construction.
+//!
+//! Determinism: all state lives in `BTreeMap`s/`BTreeSet`s keyed by
+//! event-carried integers, ties are broken by fixed total orders, and
+//! float arithmetic is IEEE-deterministic — two identical event streams
+//! explain to byte-identical JSON (asserted by the `explain`
+//! integration tests).
+//!
+//! Known approximations, documented rather than hidden:
+//!
+//! * solo rates use the topology's *static* link capacities; a NIC
+//!   degraded by a fault keeps its nominal capacity in the denominator
+//!   (the lost headroom shows up as contention blamed on the sharing
+//!   jobs, or as exclusive service when the job is alone);
+//! * barrier wait is *straggler-held* time: intervals where at least
+//!   one worker sits in a barrier and no flow of the job is in flight
+//!   (stragglers may still be computing — the barrier, not the compute,
+//!   is what gates the round).
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::Serialize;
+use tl_net::{HostId, LinkId, Topology};
+use tl_telemetry::{SimEvent, TimedEvent};
+
+/// Bit set on flow tags that carry gradients rather than model updates
+/// (the `tl-dl` engine's tag scheme: `job` or `GRAD_TAG_BASE | job`).
+const GRAD_TAG_BASE: u64 = 1 << 32;
+
+/// Owning job of a flow tag under the engine's tag scheme.
+fn job_of_tag(tag: u64) -> u64 {
+    tag & (GRAD_TAG_BASE - 1)
+}
+
+/// What a job's time was spent on during one inter-event interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Category {
+    Network,
+    BarrierWait,
+    Compute,
+    FaultRecovery,
+    Other,
+}
+
+impl Category {
+    fn label(self) -> &'static str {
+        match self {
+            Category::Network => "network",
+            Category::BarrierWait => "barrier",
+            Category::Compute => "compute",
+            Category::FaultRecovery => "fault_recovery",
+            Category::Other => "idle",
+        }
+    }
+}
+
+/// A shared resource a flow occupies; the unit of blame attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum LinkKey {
+    /// Host NIC, outbound.
+    Egress(u32),
+    /// Host NIC, inbound.
+    Ingress(u32),
+    /// Fabric (rack uplink/downlink) by `LinkId` index.
+    Fabric(u32),
+}
+
+impl LinkKey {
+    fn label(self, topo: &Topology) -> String {
+        match self {
+            LinkKey::Egress(h) => format!("host{h}.egress"),
+            LinkKey::Ingress(h) => format!("host{h}.ingress"),
+            LinkKey::Fabric(l) => topo.fabric_label(LinkId(l)),
+        }
+    }
+
+    fn capacity(self, topo: &Topology) -> f64 {
+        match self {
+            LinkKey::Egress(h) => topo.egress(HostId(h)).bytes_per_sec(),
+            LinkKey::Ingress(h) => topo.ingress(HostId(h)).bytes_per_sec(),
+            LinkKey::Fabric(l) => topo.fabric_capacity(LinkId(l)).bytes_per_sec(),
+        }
+    }
+}
+
+/// An in-flight flow during the sweep.
+#[derive(Debug, Clone)]
+struct FlowSt {
+    job: u64,
+    tag: u64,
+    band: u8,
+    /// Latest allocator share (from `FlowShareChange`), bytes/sec.
+    rate: Option<f64>,
+    /// Whole-life average rate (from the `FlowFinish` pre-pass),
+    /// bytes/sec — the fallback when no share events exist (packet
+    /// backend) or none has arrived yet.
+    avg: Option<f64>,
+    /// Links the flow occupies, in traversal order; empty for loopback.
+    links: Vec<LinkKey>,
+    /// Same-host transfer: capped by the loopback rate, contends with
+    /// nobody.
+    loopback: bool,
+}
+
+/// One finished unit of work, a node of the critical-path DAG.
+#[derive(Debug, Clone)]
+struct Activity {
+    /// Total order for tie-breaks: `(kind, engine id)`.
+    sort_id: (u8, u64),
+    label: String,
+    start: u64,
+    finish: u64,
+}
+
+#[derive(Debug, Default)]
+struct JobSt {
+    launch: Option<u64>,
+    completion: Option<u64>,
+    in_barrier: BTreeSet<u32>,
+    active_tasks: u64,
+    /// Outstanding backed-off retries (fault-displaced work).
+    blocked: u64,
+    breakdown: JctBreakdown,
+    blame: BTreeMap<(String, u64), u64>,
+    /// Classified interval runs `(start, end, category)`, merged.
+    runs: Vec<(u64, u64, Category)>,
+    activities: Vec<Activity>,
+}
+
+impl JobSt {
+    fn live_at(&self, t: u64) -> bool {
+        self.completion.is_none() && self.launch.is_some_and(|l| l <= t)
+    }
+
+    fn push_run(&mut self, start: u64, end: u64, cat: Category) {
+        if let Some(last) = self.runs.last_mut() {
+            if last.2 == cat && last.1 == start {
+                last.1 = end;
+                return;
+            }
+        }
+        self.runs.push((start, end, cat));
+    }
+}
+
+/// Integer-nanosecond decomposition of one job's completion time. The
+/// seven components sum exactly to the JCT (see
+/// [`JobExplanation::conserves`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct JctBreakdown {
+    /// Local compute (worker steps, PS aggregation) with no flow in
+    /// flight and no barrier held.
+    pub compute_ns: u64,
+    /// Network service the job would also have needed running alone.
+    pub net_exclusive_ns: u64,
+    /// Extra network time attributable to same-band competitors.
+    pub net_contention_ns: u64,
+    /// Extra network time spent behind strictly higher-priority bands.
+    pub band_throttle_ns: u64,
+    /// Barrier held with no flow in flight (straggler-gated time).
+    pub barrier_wait_ns: u64,
+    /// Fault-displaced work backing off before its retry resumed.
+    pub fault_recovery_ns: u64,
+    /// Anything else (launch gaps, unmodeled stalls).
+    pub other_ns: u64,
+}
+
+impl JctBreakdown {
+    /// Sum of all components.
+    pub fn total_ns(&self) -> u64 {
+        self.compute_ns
+            + self.net_exclusive_ns
+            + self.net_contention_ns
+            + self.band_throttle_ns
+            + self.barrier_wait_ns
+            + self.fault_recovery_ns
+            + self.other_ns
+    }
+
+    /// Total time waiting on others (contention + band throttle).
+    pub fn wait_ns(&self) -> u64 {
+        self.net_contention_ns + self.band_throttle_ns
+    }
+}
+
+/// One cell of the blame matrix: `wait_ns` of the explained job's
+/// contention/throttle time attributed to `job` on `link`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct BlameEntry {
+    /// Shared resource (`host{h}.egress`, `host{h}.ingress`,
+    /// `rack{r}.up`, `rack{r}.down`).
+    pub link: String,
+    /// The competing job the time is blamed on.
+    pub job: u64,
+    /// Nanoseconds of wait attributed to this `(link, job)` pair.
+    pub wait_ns: u64,
+}
+
+/// One segment of a job's critical path, in chronological order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct PathSegment {
+    /// What gated the job: a flow (`model 0->3`, `grad 3->0`), a task
+    /// (`worker_step[2]`), or a wait (`wait:barrier`).
+    pub label: String,
+    /// Segment start, nanoseconds.
+    pub start_ns: u64,
+    /// Segment end, nanoseconds.
+    pub end_ns: u64,
+}
+
+/// Everything the analyzer can say about one completed job.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobExplanation {
+    /// Job index (the engine's tag scheme).
+    pub job: u64,
+    /// Launch time, nanoseconds.
+    pub launch_ns: u64,
+    /// Completion time, nanoseconds.
+    pub completion_ns: u64,
+    /// Job completion time (`completion - launch`), nanoseconds.
+    pub jct_ns: u64,
+    /// Where the JCT went; components sum exactly to `jct_ns`.
+    pub breakdown: JctBreakdown,
+    /// Blame matrix rows, sorted by descending wait then link then job.
+    pub blame: Vec<BlameEntry>,
+    /// Critical path from launch to completion, chronological.
+    pub critical_path: Vec<PathSegment>,
+}
+
+impl JobExplanation {
+    /// True when the decomposition sums exactly to the JCT — the
+    /// analyzer's core correctness invariant.
+    pub fn conserves(&self) -> bool {
+        self.breakdown.total_ns() == self.jct_ns
+    }
+}
+
+/// The analyzer's output: one [`JobExplanation`] per completed job, in
+/// job order.
+#[derive(Debug, Clone, Serialize)]
+pub struct AnalysisReport {
+    /// Per-job explanations, sorted by job index.
+    pub jobs: Vec<JobExplanation>,
+}
+
+impl AnalysisReport {
+    /// The explanation for `job`, if it completed.
+    pub fn job(&self, job: u64) -> Option<&JobExplanation> {
+        self.jobs.iter().find(|j| j.job == job)
+    }
+
+    /// Verify every job's decomposition sums exactly to its JCT.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        for j in &self.jobs {
+            if !j.conserves() {
+                return Err(format!(
+                    "job {}: decomposition sums to {} ns but JCT is {} ns",
+                    j.job,
+                    j.breakdown.total_ns(),
+                    j.jct_ns
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Human-readable report, one block per job.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for j in &self.jobs {
+            let jct = j.jct_ns as f64 / 1e9;
+            out.push_str(&format!("job {}: JCT {:.3}s\n", j.job, jct));
+            let pct = |v: u64| {
+                if j.jct_ns == 0 {
+                    0.0
+                } else {
+                    100.0 * v as f64 / j.jct_ns as f64
+                }
+            };
+            let b = &j.breakdown;
+            for (name, v) in [
+                ("compute", b.compute_ns),
+                ("net exclusive", b.net_exclusive_ns),
+                ("net contention", b.net_contention_ns),
+                ("band throttle", b.band_throttle_ns),
+                ("barrier wait", b.barrier_wait_ns),
+                ("fault recovery", b.fault_recovery_ns),
+                ("other", b.other_ns),
+            ] {
+                if v > 0 {
+                    out.push_str(&format!(
+                        "  {name:<16} {:>9.3}s  ({:>5.1}%)\n",
+                        v as f64 / 1e9,
+                        pct(v)
+                    ));
+                }
+            }
+            for e in j.blame.iter().take(6) {
+                out.push_str(&format!(
+                    "  blame {:<22} <- job {}  {:.3}s\n",
+                    e.link,
+                    e.job,
+                    e.wait_ns as f64 / 1e9
+                ));
+            }
+            out.push_str(&format!(
+                "  critical path: {} segments\n",
+                j.critical_path.len()
+            ));
+        }
+        out
+    }
+
+    /// Pretty JSON export (deterministic for a given event stream).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("analysis JSON render")
+    }
+}
+
+/// Explain every completed job in `events`, run over `topo`.
+///
+/// `events` must be in emission order (what
+/// [`tl_telemetry::TelemetryOutput`] stores); `topo` must be the
+/// topology the simulation ran on, so routes and capacities resolve.
+pub fn explain(events: &[TimedEvent], topo: &Topology) -> AnalysisReport {
+    // Pre-pass: whole-life average rate per flow, the share fallback.
+    let mut avg_rate: BTreeMap<u64, f64> = BTreeMap::new();
+    for ev in events {
+        if let SimEvent::FlowFinish {
+            flow,
+            bytes,
+            started,
+            ..
+        } = ev.event
+        {
+            let dur = ev.at.as_nanos().saturating_sub(started.as_nanos());
+            if dur > 0 {
+                avg_rate.insert(flow, bytes / (dur as f64 / 1e9));
+            }
+        }
+    }
+
+    let mut jobs: BTreeMap<u64, JobSt> = BTreeMap::new();
+    let mut flows: BTreeMap<u64, FlowSt> = BTreeMap::new();
+    let mut prev_t: u64 = 0;
+
+    for ev in events {
+        let t = ev.at.as_nanos();
+        if t > prev_t {
+            sweep_interval(&mut jobs, &flows, topo, prev_t, t);
+            prev_t = t;
+        }
+        apply_event(&mut jobs, &mut flows, &avg_rate, topo, t, &ev.event);
+    }
+
+    let explained = jobs
+        .iter()
+        .filter_map(|(&job, st)| {
+            let (launch, completion) = (st.launch?, st.completion?);
+            let mut blame: Vec<BlameEntry> = st
+                .blame
+                .iter()
+                .map(|((link, j), &wait_ns)| BlameEntry {
+                    link: link.clone(),
+                    job: *j,
+                    wait_ns,
+                })
+                .collect();
+            blame.sort_by(|a, b| {
+                b.wait_ns
+                    .cmp(&a.wait_ns)
+                    .then_with(|| a.link.cmp(&b.link))
+                    .then_with(|| a.job.cmp(&b.job))
+            });
+            Some(JobExplanation {
+                job,
+                launch_ns: launch,
+                completion_ns: completion,
+                jct_ns: completion - launch,
+                breakdown: st.breakdown,
+                blame,
+                critical_path: critical_path(st, launch, completion),
+            })
+        })
+        .collect();
+    AnalysisReport { jobs: explained }
+}
+
+/// Classify `[start, end)` for every live job and accumulate.
+fn sweep_interval(
+    jobs: &mut BTreeMap<u64, JobSt>,
+    flows: &BTreeMap<u64, FlowSt>,
+    topo: &Topology,
+    start: u64,
+    end: u64,
+) {
+    let dt = end - start;
+
+    // Link occupancy for this interval: who is on each shared resource.
+    let mut occupancy: BTreeMap<LinkKey, Vec<(u64, u8)>> = BTreeMap::new();
+    let mut per_job_flows: BTreeMap<u64, Vec<&FlowSt>> = BTreeMap::new();
+    for f in flows.values() {
+        per_job_flows.entry(f.job).or_default().push(f);
+        for &l in &f.links {
+            occupancy.entry(l).or_default().push((f.job, f.band));
+        }
+    }
+
+    for (&job, st) in jobs.iter_mut() {
+        if !st.live_at(start) {
+            continue;
+        }
+        match per_job_flows.get(&job) {
+            Some(own) => {
+                st.push_run(start, end, Category::Network);
+                // Solo share: equal split of each link among the job's
+                // *own* flows — self-contention is exclusive service.
+                let mut n_self: BTreeMap<LinkKey, u64> = BTreeMap::new();
+                for f in own {
+                    for &l in &f.links {
+                        *n_self.entry(l).or_insert(0) += 1;
+                    }
+                }
+                let mut sum_actual = 0.0;
+                let mut sum_solo = 0.0;
+                let mut culprits: BTreeSet<(LinkKey, u64)> = BTreeSet::new();
+                let mut behind_higher_band = false;
+                for f in own {
+                    let solo = if f.loopback {
+                        topo.loopback().bytes_per_sec()
+                    } else {
+                        f.links
+                            .iter()
+                            .map(|&l| l.capacity(topo) / n_self[&l] as f64)
+                            .fold(f64::INFINITY, f64::min)
+                    };
+                    let actual = f.rate.or(f.avg).unwrap_or(solo);
+                    sum_actual += actual;
+                    sum_solo += solo;
+                    for &l in &f.links {
+                        for &(other_job, other_band) in &occupancy[&l] {
+                            if other_job != job {
+                                culprits.insert((l, other_job));
+                                if other_band < f.band {
+                                    behind_higher_band = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                let exclusive = if culprits.is_empty() || sum_solo <= 0.0 {
+                    dt
+                } else {
+                    let ratio = (sum_actual / sum_solo).clamp(0.0, 1.0);
+                    ((dt as f64 * ratio).round() as u64).min(dt)
+                };
+                let wait = dt - exclusive;
+                st.breakdown.net_exclusive_ns += exclusive;
+                if behind_higher_band {
+                    st.breakdown.band_throttle_ns += wait;
+                } else {
+                    st.breakdown.net_contention_ns += wait;
+                }
+                if wait > 0 {
+                    // Split the wait evenly over the culprit pairs; the
+                    // integer remainder goes to the first pairs in
+                    // (link, job) order, keeping blame conservation
+                    // exact: Σ blame == contention + throttle.
+                    let n = culprits.len() as u64;
+                    let (base, rem) = (wait / n, wait % n);
+                    for (i, (l, cj)) in culprits.iter().enumerate() {
+                        let share = base + u64::from((i as u64) < rem);
+                        if share > 0 {
+                            *st.blame.entry((l.label(topo), *cj)).or_insert(0) += share;
+                        }
+                    }
+                }
+            }
+            None if !st.in_barrier.is_empty() => {
+                st.breakdown.barrier_wait_ns += dt;
+                st.push_run(start, end, Category::BarrierWait);
+            }
+            None if st.active_tasks > 0 => {
+                st.breakdown.compute_ns += dt;
+                st.push_run(start, end, Category::Compute);
+            }
+            None if st.blocked > 0 => {
+                st.breakdown.fault_recovery_ns += dt;
+                st.push_run(start, end, Category::FaultRecovery);
+            }
+            None => {
+                st.breakdown.other_ns += dt;
+                st.push_run(start, end, Category::Other);
+            }
+        }
+    }
+}
+
+fn apply_event(
+    jobs: &mut BTreeMap<u64, JobSt>,
+    flows: &mut BTreeMap<u64, FlowSt>,
+    avg_rate: &BTreeMap<u64, f64>,
+    topo: &Topology,
+    t: u64,
+    ev: &SimEvent,
+) {
+    match *ev {
+        SimEvent::JobArrival { job } => {
+            jobs.entry(job).or_default().launch = Some(t);
+        }
+        SimEvent::JobCompletion { job, .. } => {
+            jobs.entry(job).or_default().completion = Some(t);
+        }
+        SimEvent::FlowStart {
+            flow,
+            tag,
+            src,
+            dst,
+            band,
+            ..
+        } => {
+            let (s, d) = (HostId(src), HostId(dst));
+            let loopback = s == d;
+            let mut links = Vec::new();
+            if !loopback {
+                links.push(LinkKey::Egress(src));
+                for l in topo.route(s, d).into_iter().flatten() {
+                    links.push(LinkKey::Fabric(l.0));
+                }
+                links.push(LinkKey::Ingress(dst));
+            }
+            flows.insert(
+                flow,
+                FlowSt {
+                    job: job_of_tag(tag),
+                    tag,
+                    band,
+                    rate: None,
+                    avg: avg_rate.get(&flow).copied(),
+                    links,
+                    loopback,
+                },
+            );
+        }
+        SimEvent::FlowFinish {
+            flow,
+            tag,
+            src,
+            dst,
+            started,
+            ..
+        } => {
+            flows.remove(&flow);
+            let kind = if tag & GRAD_TAG_BASE != 0 {
+                "grad"
+            } else {
+                "model"
+            };
+            if let Some(st) = jobs.get_mut(&job_of_tag(tag)) {
+                st.activities.push(Activity {
+                    sort_id: (0, flow),
+                    label: format!("{kind} {src}->{dst}"),
+                    start: started.as_nanos(),
+                    finish: t,
+                });
+            }
+        }
+        SimEvent::FlowAbort { flow, .. } => {
+            flows.remove(&flow);
+        }
+        SimEvent::FlowShareChange { flow, rate, .. } => {
+            if let Some(f) = flows.get_mut(&flow) {
+                f.rate = Some(rate);
+            }
+        }
+        SimEvent::PriorityRotation { tag, band, .. } => {
+            for f in flows.values_mut() {
+                if f.tag == tag {
+                    f.band = band;
+                }
+            }
+        }
+        SimEvent::TaskStart { job, .. } => {
+            jobs.entry(job).or_default().active_tasks += 1;
+        }
+        SimEvent::TaskFinish {
+            task,
+            job,
+            kind,
+            unit,
+            started,
+            ..
+        } => {
+            let st = jobs.entry(job).or_default();
+            st.active_tasks = st.active_tasks.saturating_sub(1);
+            st.activities.push(Activity {
+                sort_id: (1, task),
+                label: format!("{kind}[{unit}]"),
+                start: started.as_nanos(),
+                finish: t,
+            });
+        }
+        SimEvent::TaskAbort { job, .. } => {
+            let st = jobs.entry(job).or_default();
+            st.active_tasks = st.active_tasks.saturating_sub(1);
+        }
+        SimEvent::BarrierEnter { job, worker, .. } => {
+            jobs.entry(job).or_default().in_barrier.insert(worker);
+        }
+        SimEvent::BarrierExit { job, worker, .. } => {
+            jobs.entry(job).or_default().in_barrier.remove(&worker);
+        }
+        SimEvent::WorkerLost { job, worker } => {
+            jobs.entry(job).or_default().in_barrier.remove(&worker);
+        }
+        SimEvent::RetryAttempt { job, resumed, .. } => {
+            let st = jobs.entry(job).or_default();
+            if resumed {
+                st.blocked = st.blocked.saturating_sub(1);
+            } else {
+                st.blocked += 1;
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Backward walk from completion to launch: at each cursor, follow the
+/// activity that finished exactly there (latest-started wins, then
+/// smallest id); where none did, emit a wait segment labeled by the
+/// dominant interval category over the gap.
+fn critical_path(st: &JobSt, launch: u64, completion: u64) -> Vec<PathSegment> {
+    let acts = &st.activities;
+    let mut segs = Vec::new();
+    let mut cursor = completion;
+    let mut guard = acts.len() * 2 + 64;
+    while cursor > launch && guard > 0 {
+        guard -= 1;
+        let mut candidates: Vec<&Activity> = acts
+            .iter()
+            .filter(|a| a.finish == cursor && a.start < cursor)
+            .collect();
+        candidates.sort_by(|a, b| {
+            b.start
+                .cmp(&a.start)
+                .then_with(|| a.sort_id.cmp(&b.sort_id))
+        });
+        match candidates.first() {
+            Some(a) => {
+                let start = a.start.max(launch);
+                segs.push(PathSegment {
+                    label: a.label.clone(),
+                    start_ns: start,
+                    end_ns: cursor,
+                });
+                cursor = start;
+            }
+            None => {
+                let prev = acts
+                    .iter()
+                    .map(|a| a.finish)
+                    .filter(|&f| f < cursor)
+                    .max()
+                    .map_or(launch, |f| f.max(launch));
+                segs.push(PathSegment {
+                    label: format!("wait:{}", dominant_category(&st.runs, prev, cursor)),
+                    start_ns: prev,
+                    end_ns: cursor,
+                });
+                cursor = prev;
+            }
+        }
+    }
+    segs.reverse();
+    segs
+}
+
+/// The category covering the most time in `[a, b)`, by the classified
+/// runs; "idle" when nothing overlaps.
+fn dominant_category(runs: &[(u64, u64, Category)], a: u64, b: u64) -> &'static str {
+    let mut totals: BTreeMap<Category, u64> = BTreeMap::new();
+    for &(s, e, cat) in runs {
+        let overlap = e.min(b).saturating_sub(s.max(a));
+        if overlap > 0 {
+            *totals.entry(cat).or_insert(0) += overlap;
+        }
+    }
+    totals
+        .into_iter()
+        .max_by(|x, y| x.1.cmp(&y.1).then_with(|| y.0.cmp(&x.0)))
+        .map_or("idle", |(cat, _)| cat.label())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimTime;
+    use tl_net::TopologyBuilder;
+
+    fn at(ns: u64, event: SimEvent) -> TimedEvent {
+        TimedEvent {
+            at: SimTime::from_nanos(ns),
+            event,
+        }
+    }
+
+    fn topo(hosts: usize) -> Topology {
+        TopologyBuilder::single_switch(hosts).build()
+    }
+
+    #[test]
+    fn pure_compute_job_is_all_compute() {
+        let events = vec![
+            at(0, SimEvent::JobArrival { job: 0 }),
+            at(
+                0,
+                SimEvent::TaskStart {
+                    task: 1,
+                    job: 0,
+                    host: 0,
+                    kind: "worker_step",
+                    unit: 2,
+                },
+            ),
+            at(
+                5_000_000_000,
+                SimEvent::TaskFinish {
+                    task: 1,
+                    job: 0,
+                    host: 0,
+                    kind: "worker_step",
+                    unit: 2,
+                    started: SimTime::ZERO,
+                },
+            ),
+            at(
+                5_000_000_000,
+                SimEvent::JobCompletion {
+                    job: 0,
+                    iterations: 1,
+                },
+            ),
+        ];
+        let report = explain(&events, &topo(2));
+        let j = report.job(0).expect("job explained");
+        assert_eq!(j.jct_ns, 5_000_000_000);
+        assert_eq!(j.breakdown.compute_ns, 5_000_000_000);
+        assert!(j.conserves());
+        report.check_conservation().unwrap();
+        assert_eq!(j.critical_path.len(), 1);
+        assert_eq!(j.critical_path[0].label, "worker_step[2]");
+        assert!(j.blame.is_empty());
+    }
+
+    #[test]
+    fn shared_nic_contention_is_blamed_on_the_competitor() {
+        // Both jobs send from host 0 (10 Gbps NIC = 1.25e9 B/s); each
+        // gets half, so half of job 0's network time is contention
+        // blamed on job 1 at host0.egress.
+        let cap = 1.25e9;
+        let events = vec![
+            at(0, SimEvent::JobArrival { job: 0 }),
+            at(
+                0,
+                SimEvent::FlowStart {
+                    flow: 10,
+                    tag: 0,
+                    src: 0,
+                    dst: 1,
+                    bytes: cap,
+                    band: 1,
+                },
+            ),
+            at(
+                0,
+                SimEvent::FlowStart {
+                    flow: 11,
+                    tag: 1,
+                    src: 0,
+                    dst: 2,
+                    bytes: cap,
+                    band: 1,
+                },
+            ),
+            at(
+                0,
+                SimEvent::FlowShareChange {
+                    flow: 10,
+                    tag: 0,
+                    rate: cap / 2.0,
+                    cause: tl_telemetry::ShareChangeCause::NewCompetitor,
+                },
+            ),
+            at(
+                2_000_000_000,
+                SimEvent::FlowFinish {
+                    flow: 10,
+                    tag: 0,
+                    src: 0,
+                    dst: 1,
+                    bytes: cap,
+                    started: SimTime::ZERO,
+                },
+            ),
+            at(
+                2_000_000_000,
+                SimEvent::JobCompletion {
+                    job: 0,
+                    iterations: 1,
+                },
+            ),
+        ];
+        let report = explain(&events, &topo(3));
+        let j = report.job(0).expect("job explained");
+        assert!(j.conserves());
+        assert_eq!(j.breakdown.net_exclusive_ns, 1_000_000_000);
+        assert_eq!(j.breakdown.net_contention_ns, 1_000_000_000);
+        assert_eq!(j.breakdown.band_throttle_ns, 0);
+        // Both shared links (host0.egress only — different dst hosts)
+        // blame job 1 for the full second of wait.
+        let total_blame: u64 = j.blame.iter().map(|b| b.wait_ns).sum();
+        assert_eq!(total_blame, j.breakdown.wait_ns());
+        assert!(j.blame.iter().all(|b| b.job == 1));
+        assert!(j.blame.iter().any(|b| b.link == "host0.egress"));
+    }
+
+    #[test]
+    fn higher_band_competitor_classifies_as_throttle() {
+        let cap = 1.25e9;
+        let events = vec![
+            at(0, SimEvent::JobArrival { job: 0 }),
+            at(
+                0,
+                SimEvent::FlowStart {
+                    flow: 10,
+                    tag: 0,
+                    src: 0,
+                    dst: 1,
+                    bytes: cap,
+                    band: 2,
+                },
+            ),
+            at(
+                0,
+                SimEvent::FlowStart {
+                    flow: 11,
+                    tag: 1,
+                    src: 0,
+                    dst: 2,
+                    bytes: cap,
+                    band: 0,
+                },
+            ),
+            at(
+                0,
+                SimEvent::FlowShareChange {
+                    flow: 10,
+                    tag: 0,
+                    rate: cap / 4.0,
+                    cause: tl_telemetry::ShareChangeCause::NewCompetitor,
+                },
+            ),
+            at(
+                4_000_000_000,
+                SimEvent::FlowFinish {
+                    flow: 10,
+                    tag: 0,
+                    src: 0,
+                    dst: 1,
+                    bytes: cap,
+                    started: SimTime::ZERO,
+                },
+            ),
+            at(
+                4_000_000_000,
+                SimEvent::JobCompletion {
+                    job: 0,
+                    iterations: 1,
+                },
+            ),
+        ];
+        let report = explain(&events, &topo(3));
+        let j = report.job(0).expect("job explained");
+        assert!(j.conserves());
+        assert_eq!(j.breakdown.band_throttle_ns, 3_000_000_000);
+        assert_eq!(j.breakdown.net_contention_ns, 0);
+    }
+
+    #[test]
+    fn barrier_and_fault_intervals_classify() {
+        let events = vec![
+            at(0, SimEvent::JobArrival { job: 0 }),
+            at(
+                0,
+                SimEvent::BarrierEnter {
+                    job: 0,
+                    worker: 0,
+                    barrier: 0,
+                },
+            ),
+            at(
+                1_000_000_000,
+                SimEvent::BarrierExit {
+                    job: 0,
+                    worker: 0,
+                    barrier: 0,
+                },
+            ),
+            at(
+                1_000_000_000,
+                SimEvent::RetryAttempt {
+                    job: 0,
+                    work: "flow",
+                    attempt: 1,
+                    resumed: false,
+                },
+            ),
+            at(
+                3_000_000_000,
+                SimEvent::RetryAttempt {
+                    job: 0,
+                    work: "flow",
+                    attempt: 2,
+                    resumed: true,
+                },
+            ),
+            at(
+                3_500_000_000,
+                SimEvent::JobCompletion {
+                    job: 0,
+                    iterations: 1,
+                },
+            ),
+        ];
+        let report = explain(&events, &topo(2));
+        let j = report.job(0).expect("job explained");
+        assert!(j.conserves());
+        assert_eq!(j.breakdown.barrier_wait_ns, 1_000_000_000);
+        assert_eq!(j.breakdown.fault_recovery_ns, 2_000_000_000);
+        assert_eq!(j.breakdown.other_ns, 500_000_000);
+        // No activities at all: the critical path is one wait segment
+        // labeled by the dominant category (fault recovery, 2s of 3.5s).
+        assert_eq!(j.critical_path.len(), 1);
+        assert_eq!(j.critical_path[0].label, "wait:fault_recovery");
+    }
+
+    #[test]
+    fn critical_path_chains_through_flow_then_task() {
+        // model update (0..1s) -> worker step (1..3s) -> grad (3..4s).
+        let events = vec![
+            at(0, SimEvent::JobArrival { job: 0 }),
+            at(
+                0,
+                SimEvent::FlowStart {
+                    flow: 1,
+                    tag: 0,
+                    src: 0,
+                    dst: 1,
+                    bytes: 1e9,
+                    band: 1,
+                },
+            ),
+            at(
+                1_000_000_000,
+                SimEvent::FlowFinish {
+                    flow: 1,
+                    tag: 0,
+                    src: 0,
+                    dst: 1,
+                    bytes: 1e9,
+                    started: SimTime::ZERO,
+                },
+            ),
+            at(
+                1_000_000_000,
+                SimEvent::TaskStart {
+                    task: 7,
+                    job: 0,
+                    host: 1,
+                    kind: "worker_step",
+                    unit: 0,
+                },
+            ),
+            at(
+                3_000_000_000,
+                SimEvent::TaskFinish {
+                    task: 7,
+                    job: 0,
+                    host: 1,
+                    kind: "worker_step",
+                    unit: 0,
+                    started: SimTime::from_nanos(1_000_000_000),
+                },
+            ),
+            at(
+                3_000_000_000,
+                SimEvent::FlowStart {
+                    flow: 2,
+                    tag: GRAD_TAG_BASE,
+                    src: 1,
+                    dst: 0,
+                    bytes: 1e9,
+                    band: 1,
+                },
+            ),
+            at(
+                4_000_000_000,
+                SimEvent::FlowFinish {
+                    flow: 2,
+                    tag: GRAD_TAG_BASE,
+                    src: 1,
+                    dst: 0,
+                    bytes: 1e9,
+                    started: SimTime::from_nanos(3_000_000_000),
+                },
+            ),
+            at(
+                4_000_000_000,
+                SimEvent::JobCompletion {
+                    job: 0,
+                    iterations: 1,
+                },
+            ),
+        ];
+        let report = explain(&events, &topo(2));
+        let j = report.job(0).expect("job explained");
+        assert!(j.conserves());
+        let labels: Vec<&str> = j.critical_path.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, ["model 0->1", "worker_step[0]", "grad 1->0"]);
+        assert_eq!(j.critical_path[0].start_ns, 0);
+        assert_eq!(j.critical_path[2].end_ns, 4_000_000_000);
+        // Solo flows: all network time is exclusive.
+        assert_eq!(j.breakdown.net_exclusive_ns, 2_000_000_000);
+        assert_eq!(j.breakdown.wait_ns(), 0);
+    }
+
+    #[test]
+    fn explanation_json_is_deterministic() {
+        let events = vec![
+            at(0, SimEvent::JobArrival { job: 0 }),
+            at(
+                0,
+                SimEvent::TaskStart {
+                    task: 1,
+                    job: 0,
+                    host: 0,
+                    kind: "worker_step",
+                    unit: 0,
+                },
+            ),
+            at(
+                1_000_000_000,
+                SimEvent::TaskFinish {
+                    task: 1,
+                    job: 0,
+                    host: 0,
+                    kind: "worker_step",
+                    unit: 0,
+                    started: SimTime::ZERO,
+                },
+            ),
+            at(
+                1_000_000_000,
+                SimEvent::JobCompletion {
+                    job: 0,
+                    iterations: 1,
+                },
+            ),
+        ];
+        let t = topo(1);
+        let a = explain(&events, &t).to_json();
+        let b = explain(&events, &t).to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"compute_ns\": 1000000000"));
+    }
+}

@@ -25,7 +25,7 @@
 //!   modelled on both backends (serial servers in the packet engine,
 //!   water-filled link capacities in the fluid one).
 
-use simcore::{InvariantChecker, SimTime};
+use simcore::{InvariantChecker, Profiler, SimTime};
 use tl_net::{
     AllocStats, Band, Bandwidth, CompletedFlow, FlowId, FlowSpec, FluidNet, HostId, PacketNet,
     Topology,
@@ -88,6 +88,9 @@ pub trait NetBackend {
     fn set_telemetry(&mut self, telemetry: Telemetry);
     /// Attach an invariant checker.
     fn set_invariants(&mut self, invariants: InvariantChecker);
+    /// Attach a self-profiling handle (per-subsystem wall-time
+    /// histograms; free when disabled).
+    fn set_profiler(&mut self, profiler: Profiler);
 }
 
 impl NetBackend for FluidNet {
@@ -146,6 +149,9 @@ impl NetBackend for FluidNet {
     fn set_invariants(&mut self, invariants: InvariantChecker) {
         FluidNet::set_invariants(self, invariants);
     }
+    fn set_profiler(&mut self, profiler: Profiler) {
+        FluidNet::set_profiler(self, profiler);
+    }
 }
 
 impl NetBackend for PacketNet {
@@ -203,5 +209,8 @@ impl NetBackend for PacketNet {
     }
     fn set_invariants(&mut self, invariants: InvariantChecker) {
         PacketNet::set_invariants(self, invariants);
+    }
+    fn set_profiler(&mut self, profiler: Profiler) {
+        PacketNet::set_profiler(self, profiler);
     }
 }

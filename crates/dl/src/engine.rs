@@ -20,8 +20,8 @@ use crate::metrics::BarrierTracker;
 use crate::pattern::{TopologySpec, TrafficPattern};
 use rand::rngs::SmallRng;
 use simcore::{
-    EventHandle, EventQueue, InvariantChecker, InvariantViolation, RngFactory, SampleSet, SimTime,
-    UnitLogNormal,
+    EventHandle, EventQueue, InvariantChecker, InvariantViolation, Profiler, RngFactory, SampleSet,
+    SimTime, UnitLogNormal,
 };
 use std::collections::HashMap;
 use tl_telemetry::{MetricKind, SimEvent, Telemetry, TelemetryConfig, TelemetryOutput};
@@ -103,6 +103,13 @@ pub struct SimConfig {
     /// to on in debug builds (so every `cargo test` checks them) and off
     /// in release builds (zero overhead for experiments and benches).
     pub invariants: bool,
+    /// Self-profile the simulator: per-subsystem wall-clock histograms
+    /// (allocator solves, event-queue heap ops, packet service, telemetry
+    /// sink, engine dispatch) reported in [`SimOutput::profile`]. Off by
+    /// default — when off every hook is a single branch. Wall-clock
+    /// values are *not* deterministic; the report is excluded from
+    /// telemetry exports.
+    pub profile: bool,
 }
 
 impl Default for SimConfig {
@@ -128,6 +135,7 @@ impl Default for SimConfig {
             barrier_loss: BarrierLossPolicy::default(),
             backend: NetBackendKind::Fluid,
             invariants: cfg!(debug_assertions),
+            profile: false,
         }
     }
 }
@@ -250,6 +258,10 @@ pub struct SimOutput {
     /// [`Simulation::run`] panics if any are present;
     /// [`Simulation::try_run`] hands them to the caller.
     pub invariant_violations: Vec<InvariantViolation>,
+    /// Per-subsystem simulator wall-time histograms (`None` unless
+    /// `SimConfig::profile`). Wall-clock values vary run to run; only the
+    /// report's shape is deterministic.
+    pub profile: Option<simcore::ProfileReport>,
 }
 
 impl SimConfig {
@@ -373,6 +385,17 @@ enum TaskKind {
     PsAggregate { shard: u32 },
     /// The PS applying one worker's gradient (async mode).
     PsAsyncApply { worker: u32 },
+}
+
+impl TaskKind {
+    /// Telemetry label and unit index (worker or shard) for task events.
+    fn telemetry_label(self) -> (&'static str, u32) {
+        match self {
+            TaskKind::WorkerStep { worker, .. } => ("worker_step", worker),
+            TaskKind::PsAggregate { shard } => ("ps_aggregate", shard),
+            TaskKind::PsAsyncApply { worker } => ("ps_async_apply", worker),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -518,6 +541,9 @@ struct Sim<'a, N: NetBackend> {
     /// Shared with the network backend; engine-level checks (flow timing,
     /// barrier accounting, progress) report into the same sink.
     invariants: InvariantChecker,
+    /// Self-profiling handle shared with the backend, queue, and sink;
+    /// the engine times event dispatch under `engine.handlers`.
+    profiler: Profiler,
 }
 
 /// How a [`Simulation`] holds its policy: borrowed from the caller or owned
@@ -662,6 +688,13 @@ impl<'p> Simulation<'p> {
         self
     }
 
+    /// Enable or disable simulator self-profiling (overrides
+    /// `cfg.profile`); the report lands in [`SimOutput::profile`].
+    pub fn profile(mut self, enabled: bool) -> Self {
+        self.cfg.profile = enabled;
+        self
+    }
+
     /// Run the simulation to completion (or the configured horizon).
     ///
     /// Panics if no jobs were added, a setup is inconsistent, or — with
@@ -765,10 +798,17 @@ fn run_with_net<N: NetBackend>(
         queue.schedule(tf.at, Ev::Fault(i));
     }
 
-    let telemetry = Telemetry::from_config(TelemetryConfig {
+    let profiler = if cfg.profile {
+        Profiler::enabled()
+    } else {
+        Profiler::disabled()
+    };
+    queue.set_profiler(profiler.clone());
+    let mut telemetry = Telemetry::from_config(TelemetryConfig {
         events: cfg.trace,
         metrics_interval: cfg.metrics_interval,
     });
+    telemetry.set_profiler(profiler.clone());
 
     let jobs: Vec<JobRt> = setups
         .into_iter()
@@ -875,6 +915,7 @@ fn run_with_net<N: NetBackend>(
     };
     net.set_telemetry(telemetry.clone());
     net.set_invariants(invariants.clone());
+    net.set_profiler(profiler.clone());
     let sim = Sim {
         cpu: CpuEngine::new(cfg.host_specs(num_hosts)),
         net,
@@ -902,6 +943,7 @@ fn run_with_net<N: NetBackend>(
         ctrl_outage: false,
         retries: Vec::new(),
         invariants,
+        profiler,
     };
     sim.run()
 }
@@ -916,6 +958,7 @@ impl<'a, N: NetBackend> Sim<'a, N> {
                 break;
             }
             end_time = t;
+            let handler_timer = self.profiler.start();
             match ev {
                 Ev::Launch(j) => self.on_launch(t, j),
                 Ev::NetWake => self.on_net_wake(t)?,
@@ -937,6 +980,7 @@ impl<'a, N: NetBackend> Sim<'a, N> {
                 Ev::MetricsSample => self.on_metrics_sample(t),
             }
             self.rearm(t);
+            self.profiler.stop("engine.handlers", handler_timer);
             let snaps_done =
                 !window_configured || (self.snap_start.is_some() && self.snap_end.is_some());
             if self.done_count == self.jobs.len() && snaps_done {
@@ -977,6 +1021,7 @@ impl<'a, N: NetBackend> Sim<'a, N> {
             alloc_stats: self.net.alloc_stats(),
             telemetry: self.telemetry.take_output(),
             invariant_violations: self.invariants.take(),
+            profile: self.profiler.report(),
         })
     }
 
@@ -1048,6 +1093,17 @@ impl<'a, N: NetBackend> Sim<'a, N> {
                 .tasks
                 .remove(&c.id)
                 .ok_or(SimError::MissingTaskContext { task: c.id, at: now })?;
+            self.telemetry.emit_with(now, || {
+                let (kind, unit) = ctx.kind.telemetry_label();
+                SimEvent::TaskFinish {
+                    task: c.id.0,
+                    job: ctx.job as u64,
+                    host: c.host as u32,
+                    kind,
+                    unit,
+                    started: c.started,
+                }
+            });
             match ctx.kind {
                 TaskKind::WorkerStep { worker, round } => {
                     self.on_step_computed(now, ctx.job, worker, round)
@@ -1976,8 +2032,10 @@ impl<'a, N: NetBackend> Sim<'a, N> {
         let flows = self
             .net
             .abort_flows_where(now, &mut |_, spec| spec.src == hid || spec.dst == hid);
-        for (id, _tag) in flows {
+        for (id, tag) in flows {
             if let Some(ctx) = self.flows.remove(&id) {
+                self.telemetry
+                    .emit_with(now, || SimEvent::FlowAbort { flow: id.0, tag });
                 self.route_aborted(now, PendingWork::Flow(ctx));
             }
         }
@@ -1986,6 +2044,10 @@ impl<'a, N: NetBackend> Sim<'a, N> {
             .abort_tasks_where(now, |_, host, _| host == h as usize);
         for (id, _tag) in tasks {
             if let Some(ctx) = self.tasks.remove(&id) {
+                self.telemetry.emit_with(now, || SimEvent::TaskAbort {
+                    task: id.0,
+                    job: ctx.job as u64,
+                });
                 self.route_aborted(now, PendingWork::Task(ctx));
             }
         }
@@ -2127,8 +2189,10 @@ impl<'a, N: NetBackend> Sim<'a, N> {
         let flows = self
             .net
             .abort_flows_where(now, &mut |_, spec| spec.tag == t_model || spec.tag == t_grad);
-        for (id, _tag) in flows {
+        for (id, tag) in flows {
             if let Some(ctx) = self.flows.remove(&id) {
+                self.telemetry
+                    .emit_with(now, || SimEvent::FlowAbort { flow: id.0, tag });
                 self.queue_retry(now, PendingWork::Flow(ctx));
             }
         }
@@ -2142,6 +2206,10 @@ impl<'a, N: NetBackend> Sim<'a, N> {
         });
         for (id, _tag) in tasks {
             if let Some(ctx) = self.tasks.remove(&id) {
+                self.telemetry.emit_with(now, || SimEvent::TaskAbort {
+                    task: id.0,
+                    job: ctx.job as u64,
+                });
                 self.queue_retry(now, PendingWork::Task(ctx));
             }
         }
@@ -2222,6 +2290,16 @@ impl<'a, N: NetBackend> Sim<'a, N> {
         }
         let host = self.task_host(&ctx);
         let id = self.cpu.start_task(now, host, demand, cap, ctx.job as u64);
+        self.telemetry.emit_with(now, || {
+            let (kind, unit) = ctx.kind.telemetry_label();
+            SimEvent::TaskStart {
+                task: id.0,
+                job: ctx.job as u64,
+                host: host as u32,
+                kind,
+                unit,
+            }
+        });
         self.tasks.insert(id, ctx);
     }
 

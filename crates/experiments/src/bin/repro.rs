@@ -3,9 +3,9 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations|faults|perf|validate|scale|fabric]
+//! repro [--experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations|faults|perf|validate|scale|fabric|explain]
 //!       [--iterations N] [--full] [--quick] [--seed S] [--csv DIR] [--json DIR]
-//!       [--topology SPEC] [--pattern NAME]
+//!       [--topology SPEC] [--pattern NAME] [--profile]
 //!       [--trace-out PATH] [--metrics-out PATH] [--check-trace PATH]
 //! ```
 //!
@@ -36,6 +36,7 @@ struct Args {
     experiment: String,
     cfg: ExperimentConfig,
     quick: bool,
+    profile: bool,
     csv_dir: Option<PathBuf>,
     json_dir: Option<PathBuf>,
     trace_out: Option<PathBuf>,
@@ -47,6 +48,7 @@ fn parse_args() -> Args {
     let mut experiment = "all".to_string();
     let mut cfg = ExperimentConfig::default();
     let mut quick = false;
+    let mut profile = false;
     let mut csv_dir = None;
     let mut json_dir = None;
     let mut trace_out = None;
@@ -70,6 +72,7 @@ fn parse_args() -> Args {
             }
             "--full" => cfg = ExperimentConfig::full(),
             "--quick" => quick = true,
+            "--profile" => profile = true,
             "--seed" | "-s" => cfg.seed = next(&mut i).parse().expect("numeric seed"),
             "--topology" => {
                 let v = next(&mut i);
@@ -92,10 +95,11 @@ fn parse_args() -> Args {
                 println!(
                     "repro — regenerate the TensorLights paper's tables and figures\n\
                      \n\
-                     --experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations|faults|perf|validate|scale|fabric\n\
+                     --experiment all|table1|fig2|fig3|fig4|fig5a|fig5b|fig6|table2|ablations|faults|perf|validate|scale|fabric|explain\n\
                      --iterations N   scaled iteration count (default 300)\n\
                      --full           paper scale (1500 iterations)\n\
-                     --quick          scale/fabric: smoke-sized run\n\
+                     --quick          scale/fabric/explain: smoke-sized run\n\
+                     --profile        self-profile the simulator (per-subsystem wall time)\n\
                      --seed S         master seed\n\
                      --topology SPEC  single-switch (default) or leaf-spine:<racks>x<hosts>[@<oversub>]\n\
                      --pattern NAME   ps-star (default), ring, or hierarchical\n\
@@ -125,6 +129,7 @@ fn parse_args() -> Args {
         experiment,
         cfg,
         quick,
+        profile,
         csv_dir,
         json_dir,
         trace_out,
@@ -466,6 +471,48 @@ fn main() {
         ran += 1;
     }
 
+    if args.experiment == "explain" {
+        // Critical-path analysis (not a paper figure): rerun the fabric
+        // workload's bracketing cells with telemetry on, decompose every
+        // JCT into conservation-checked components, attribute wait to the
+        // competing jobs that caused it, and extract critical paths.
+        use tl_experiments::explain;
+        let r = explain::run(cfg, args.quick);
+        for c in &r.cells {
+            c.report
+                .check_conservation()
+                .unwrap_or_else(|e| panic!("explain {}:1/{}: {e}", c.oversub, c.policy));
+        }
+        summaries.insert("explain", r.summary());
+        emit(
+            &args,
+            "explain",
+            &r.table(),
+            Some(format!("{}\n{}", r.report_text(), r.summary())),
+            serde_json::to_string_pretty(&r).expect("json"),
+        );
+        ran += 1;
+    }
+
+    if args.profile {
+        // Self-profiling run (pairs with any experiment, or stands alone):
+        // one instrumented 4:1 TLs-One fabric cell with per-subsystem
+        // wall-time histograms. Wall-clock values vary run to run; the
+        // slot set and counts are deterministic.
+        use tl_experiments::explain;
+        let rep = explain::profile_cell(cfg, args.quick);
+        println!("simulator self-profile (4:1 ps-star, TLs-One):\n{}", rep.render());
+        println!(
+            "allocator share of event handling: {:.1}%",
+            100.0 * rep.share_of("alloc.solve", "engine.handlers").unwrap_or(0.0)
+        );
+        if let Some(dir) = &args.json_dir {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            std::fs::write(dir.join("profile.json"), rep.to_json()).expect("write json");
+        }
+        ran += 1;
+    }
+
     if args.experiment == "perf" {
         // One grid-search simulation per policy, reporting the engine's
         // allocator performance counters (SimOutput::alloc_stats).
@@ -510,7 +557,21 @@ fn main() {
                 TelemetryConfig::full(simcore::SimDuration::from_millis(100)),
             );
             if let Some(path) = &args.trace_out {
-                write_events(path, &out.telemetry.events);
+                if path.extension().is_some_and(|e| e == "jsonl") {
+                    write_events(path, &out.telemetry.events);
+                } else {
+                    // Full export: event spans plus counter tracks for the
+                    // sampled cpu/net/fabric gauges (rack uplinks and
+                    // downlinks show as per-link utilization counters on
+                    // leaf-spine runs).
+                    std::fs::write(path, out.telemetry.to_chrome_trace()).expect("write trace");
+                    println!(
+                        "telemetry: {} events + {} metric series written to {} (Chrome trace_event)",
+                        out.telemetry.events.len(),
+                        out.telemetry.metrics.len(),
+                        path.display()
+                    );
+                }
             }
             if let Some(path) = &args.metrics_out {
                 std::fs::write(path, out.telemetry.metrics_json()).expect("write metrics");

@@ -12,6 +12,7 @@
 pub mod ablations;
 pub mod charts;
 pub mod config;
+pub mod explain;
 pub mod fabric;
 pub mod faults;
 pub mod fig2;

@@ -97,6 +97,29 @@ fn cell_config(cfg: &ExperimentConfig, iters: u64) -> ExperimentConfig {
 /// determinism tests can push the exact cell the sweep runs through
 /// `parallel_map` with a forced worker count.
 pub fn run_cell(cfg: &ExperimentConfig, hosts: u32, jobs: u32, policy: PolicyKind) -> SimOutput {
+    run_cell_inner(cfg, hosts, jobs, policy, false)
+}
+
+/// [`run_cell`] with the engine self-profiler on; the per-subsystem
+/// wall-time report lands in [`SimOutput::profile`]. Used to check the
+/// profiler's allocator share against the `alloc_wall_ms` counter this
+/// sweep records (`BENCH_scale.json`).
+pub fn run_cell_profiled(
+    cfg: &ExperimentConfig,
+    hosts: u32,
+    jobs: u32,
+    policy: PolicyKind,
+) -> SimOutput {
+    run_cell_inner(cfg, hosts, jobs, policy, true)
+}
+
+fn run_cell_inner(
+    cfg: &ExperimentConfig,
+    hosts: u32,
+    jobs: u32,
+    policy: PolicyKind,
+    profile: bool,
+) -> SimOutput {
     let cell_cfg = cell_config(cfg, cfg.iterations);
     let placement = grouped_placement(
         hosts,
@@ -112,6 +135,7 @@ pub fn run_cell(cfg: &ExperimentConfig, hosts: u32, jobs: u32, policy: PolicyKin
     Simulation::new(sim_cfg)
         .jobs(setups)
         .policy_ref(policy.as_mut())
+        .profile(profile)
         .run()
 }
 
@@ -282,6 +306,59 @@ mod tests {
         let t = result.table();
         assert!(t.render().contains("TLs-RR"));
         assert!(result.summary().contains("scale:"));
+    }
+
+    #[test]
+    fn profiler_agrees_with_alloc_stats_on_smallest_cell() {
+        // The self-profiler's "alloc.solve" slot and the allocator's own
+        // wall_nanos counter time the same region through different
+        // mechanisms; they must agree to well within 2x even on a small
+        // cell (wall-clock noise dominates at this size).
+        let cfg = tiny_cfg();
+        let out = run_cell_profiled(&cfg, GRID_HOSTS[0], GRID_JOBS[0], PolicyKind::TlsRr);
+        let rep = out.profile.expect("profiled cell returns a report");
+        let solve = rep.total_nanos("alloc.solve");
+        let counter = out.alloc_stats.wall_nanos;
+        assert!(solve > 0 && counter > 0);
+        let ratio = solve as f64 / counter as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "profiler {solve} ns vs alloc_stats {counter} ns (ratio {ratio:.2})"
+        );
+        // The allocator runs inside the handler loop, so its share of
+        // engine.handlers must be a meaningful fraction, not ~0 or >1.
+        let share = rep
+            .share_of("alloc.solve", "engine.handlers")
+            .expect("both slots populated");
+        assert!(share > 0.05 && share < 1.0, "allocator share {share:.3}");
+    }
+
+    #[test]
+    #[ignore = "multi-second release-mode validation of BENCH_scale.json's allocator share; run with cargo test --release -- --ignored"]
+    fn profiled_share_matches_bench_scale_at_500x200() {
+        // BENCH_scale.json records alloc_wall 1.67 s of 2.36 s total wall
+        // (~71%) at the largest cell. The profiler must reproduce that
+        // picture from inside the engine.
+        let cfg = ExperimentConfig {
+            iterations: ITERS,
+            ..ExperimentConfig::default()
+        };
+        let out = run_cell_profiled(&cfg, 500, 200, PolicyKind::TlsRr);
+        let rep = out.profile.expect("profiled cell returns a report");
+        let share = rep
+            .share_of("alloc.solve", "engine.handlers")
+            .expect("both slots populated");
+        println!(
+            "500x200 TLs-RR: alloc.solve {:.2} s / engine.handlers {:.2} s = {:.1}% (alloc_stats wall {:.2} s)",
+            rep.total_nanos("alloc.solve") as f64 / 1e9,
+            rep.total_nanos("engine.handlers") as f64 / 1e9,
+            100.0 * share,
+            out.alloc_stats.wall_nanos as f64 / 1e9,
+        );
+        assert!(
+            (0.5..0.95).contains(&share),
+            "allocator share {share:.3} far from BENCH_scale.json's ~0.71"
+        );
     }
 
     #[test]

@@ -49,7 +49,8 @@ use crate::types::{Band, Bandwidth, FlowId, HostId};
 use simcore::{InvariantChecker, SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use tl_telemetry::{SimEvent, Telemetry};
+use simcore::Profiler;
+use tl_telemetry::{ShareChangeCause, SimEvent, Telemetry};
 
 /// Everything needed to start a flow.
 #[derive(Debug, Clone, Copy)]
@@ -189,6 +190,16 @@ pub struct FluidNet {
     telemetry: Telemetry,
     /// Runtime invariant checks on every rate refresh; disabled by default.
     invariants: InvariantChecker,
+    /// Cause attached to the next emitted share changes: the last
+    /// mutation that dirtied the allocation. Refreshes are lazy, so by
+    /// the time one runs, the most recent mutation is the cause; every
+    /// mutation entry point advances (flushing pending dirtiness under
+    /// the *old* cause) before overwriting this, so attribution is
+    /// deterministic.
+    pending_cause: ShareChangeCause,
+    /// Self-profiling handle (wall-times allocator solves); disabled by
+    /// default.
+    profiler: Profiler,
 }
 
 impl FluidNet {
@@ -218,6 +229,8 @@ impl FluidNet {
             fabric_bytes: vec![0.0; nf],
             telemetry: Telemetry::disabled(),
             invariants: InvariantChecker::disabled(),
+            pending_cause: ShareChangeCause::NewCompetitor,
+            profiler: Profiler::disabled(),
         }
     }
 
@@ -232,6 +245,13 @@ impl FluidNet {
     /// nothing when the checker is disabled.
     pub fn set_invariants(&mut self, invariants: InvariantChecker) {
         self.invariants = invariants;
+    }
+
+    /// Attach a self-profiling handle; every allocator solve is then
+    /// wall-timed under the `alloc.solve` slot. Costs one branch per
+    /// refresh when the profiler is disabled.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// The topology this engine runs over.
@@ -354,6 +374,7 @@ impl FluidNet {
         self.structure_dirty = true;
         self.mark_dirty(spec.src);
         self.mark_dirty(spec.dst);
+        self.pending_cause = ShareChangeCause::NewCompetitor;
         let id = FlowId(make_id(self.flows[slot as usize].gen, slot as usize));
         self.telemetry.emit_with(now, || SimEvent::FlowStart {
             flow: id.0,
@@ -382,6 +403,7 @@ impl FluidNet {
         self.advance(now);
         self.topo.set_host_capacity(h, egress, ingress);
         self.mark_dirty(h);
+        self.pending_cause = ShareChangeCause::Fault;
     }
 
     /// Abort every active flow for which `pred` holds (e.g. all flows
@@ -426,6 +448,7 @@ impl FluidNet {
             self.structure_dirty = true;
             self.any_dirty = true;
             self.next_cache = None;
+            self.pending_cause = ShareChangeCause::Fault;
         }
         aborted
     }
@@ -457,6 +480,7 @@ impl FluidNet {
         if any {
             self.any_dirty = true;
             self.next_cache = None;
+            self.pending_cause = ShareChangeCause::Rotation;
             self.telemetry.emit_with(now, || SimEvent::PriorityRotation {
                 tag,
                 band: band.0,
@@ -564,6 +588,7 @@ impl FluidNet {
         self.structure_dirty = true;
         self.any_dirty = true;
         self.next_cache = None;
+        self.pending_cause = ShareChangeCause::CompetitorFinished;
         if self.telemetry.is_enabled() {
             for d in &self.pending_done[before..] {
                 self.telemetry.emit(
@@ -673,6 +698,7 @@ impl FluidNet {
         // `demands`/`rates` are maintained incrementally (see the field
         // docs), so nothing is rebuilt here; `rates` seeds the allocator
         // with the previous allocation, kept verbatim for clean components.
+        let solve_timer = self.profiler.start();
         self.allocator.allocate_dirty_reuse(
             &self.topo,
             &self.demands,
@@ -680,6 +706,7 @@ impl FluidNet {
             &mut self.rates,
             !self.structure_dirty,
         );
+        self.profiler.stop("alloc.solve", solve_timer);
         self.structure_dirty = false;
         if let Some(before) = stats_before {
             let after = self.allocator.stats();
@@ -714,10 +741,11 @@ impl FluidNet {
             if events_on && (old_rate - new_rate).abs() > RATE_EPS {
                 self.telemetry.emit(
                     self.last_advance,
-                    SimEvent::FlowRate {
+                    SimEvent::FlowShareChange {
                         flow: make_id(gen, slot),
                         tag,
                         rate: new_rate,
+                        cause: self.pending_cause,
                     },
                 );
             }
@@ -1146,7 +1174,19 @@ mod tests {
         assert_eq!(out.events_of_kind("flow_finish").len(), 2);
         assert_eq!(out.events_of_kind("priority_rotation").len(), 2);
         assert!(!out.events_of_kind("alloc_solve").is_empty());
-        assert!(!out.events_of_kind("flow_rate").is_empty());
+        let share_changes = out.events_of_kind("flow_share_change");
+        assert!(!share_changes.is_empty());
+        // Every share change names the mutation that caused the re-solve;
+        // this run has flow arrivals, band rotations, and departures.
+        let causes: Vec<ShareChangeCause> = share_changes
+            .iter()
+            .map(|e| match e.event {
+                SimEvent::FlowShareChange { cause, .. } => cause,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(causes.contains(&ShareChangeCause::NewCompetitor));
+        assert!(causes.contains(&ShareChangeCause::Rotation));
         // Start/finish ids pair up.
         let starts: Vec<u64> = out
             .events_of_kind("flow_start")

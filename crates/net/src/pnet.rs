@@ -51,7 +51,7 @@ use crate::psim::EgressDiscipline;
 use crate::topology::Topology;
 use crate::types::{Band, Bandwidth, FlowId, HostId, LinkId};
 use crate::fluid::{CompletedFlow, FlowSpec};
-use simcore::{EventHandle, EventQueue, InvariantChecker, SimDuration, SimTime};
+use simcore::{EventHandle, EventQueue, InvariantChecker, Profiler, SimDuration, SimTime};
 use std::collections::VecDeque;
 use tl_telemetry::{SimEvent, Telemetry};
 
@@ -217,6 +217,9 @@ pub struct PacketNet {
     bulk_virtual_chunks: u64,
     telemetry: Telemetry,
     invariants: InvariantChecker,
+    /// Self-profiling handle (wall-times packet service); disabled by
+    /// default.
+    profiler: Profiler,
 }
 
 impl PacketNet {
@@ -270,6 +273,7 @@ impl PacketNet {
             bulk_virtual_chunks: 0,
             telemetry: Telemetry::disabled(),
             invariants: InvariantChecker::disabled(),
+            profiler: Profiler::disabled(),
         }
     }
 
@@ -300,6 +304,12 @@ impl PacketNet {
     /// bounds).
     pub fn set_invariants(&mut self, invariants: InvariantChecker) {
         self.invariants = invariants;
+    }
+
+    /// Attach a self-profiling handle; every `advance` (chunk service
+    /// sweep) is then wall-timed under the `packet.service` slot.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// The topology this engine runs over.
@@ -555,6 +565,7 @@ impl PacketNet {
             "packet engine cannot move backwards: {now} < {}",
             self.last_advance
         );
+        let service_timer = self.profiler.start();
         while let Some(t) = self.queue.peek_time() {
             if t > now {
                 break;
@@ -587,6 +598,7 @@ impl PacketNet {
             self.bulk_egress[h] = Some(bulk);
         }
         self.last_advance = now;
+        self.profiler.stop("packet.service", service_timer);
     }
 
     /// The time of the next internal chunk event, if any. Unlike the fluid

@@ -4,6 +4,7 @@
 //! time are broken by insertion order, which makes runs fully deterministic
 //! regardless of heap internals.
 
+use crate::profile::Profiler;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -54,6 +55,9 @@ pub struct EventQueue<E> {
     cancelled: std::collections::HashSet<u64>,
     now: SimTime,
     popped: u64,
+    /// Self-profiling handle; heap pushes and pops are timed under the
+    /// `queue.heap` slot. Disabled by default (one branch per op).
+    profiler: Profiler,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -71,7 +75,14 @@ impl<E> EventQueue<E> {
             cancelled: std::collections::HashSet::new(),
             now: SimTime::ZERO,
             popped: 0,
+            profiler: Profiler::disabled(),
         }
+    }
+
+    /// Attach a self-profiling handle; heap operations are then timed
+    /// under the `queue.heap` slot.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// The current simulated time: the timestamp of the last popped event
@@ -97,11 +108,13 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
+        let timer = self.profiler.start();
         self.heap.push(Scheduled {
             time: at,
             seq,
             payload,
         });
+        self.profiler.stop("queue.heap", timer);
         EventHandle(seq)
     }
 
@@ -138,6 +151,7 @@ impl<E> EventQueue<E> {
 
     /// Pop the earliest non-cancelled event, advancing the clock.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let timer = self.profiler.start();
         while let Some(ev) = self.heap.pop() {
             if self.cancelled.remove(&ev.seq) {
                 continue;
@@ -145,8 +159,10 @@ impl<E> EventQueue<E> {
             debug_assert!(ev.time >= self.now, "event queue time went backwards");
             self.now = ev.time;
             self.popped += 1;
+            self.profiler.stop("queue.heap", timer);
             return Some((ev.time, ev.payload));
         }
+        self.profiler.stop("queue.heap", timer);
         None
     }
 

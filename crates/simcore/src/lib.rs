@@ -30,6 +30,7 @@
 
 pub mod event;
 pub mod invariant;
+pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -37,6 +38,7 @@ pub mod trace;
 
 pub use event::{EventHandle, EventQueue};
 pub use invariant::{InvariantChecker, InvariantViolation};
+pub use profile::{ProfileReport, Profiler, SubsystemProfile};
 pub use rng::{RngFactory, UnitLogNormal};
 pub use stats::{Histogram, OnlineStats, SampleSet, Summary};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,309 @@
+//! Self-profiling: per-subsystem wall-time histograms for the simulator
+//! itself.
+//!
+//! A [`Profiler`] is a cheap cloneable handle, shared by the engines the
+//! same way a telemetry handle is: disabled it is a `None` and every hook
+//! is a single branch; enabled it accumulates, per named slot, a
+//! count/total/min/max summary plus a log2-bucketed histogram of
+//! wall-clock nanoseconds. Slots are `&'static str` labels registered on
+//! first use, and the report iterates them in registration order, so the
+//! *shape* of a report is deterministic even though the wall-clock values
+//! are not — profile output is therefore kept out of the byte-identical
+//! telemetry exports and compared only as orders of magnitude.
+//!
+//! Timing uses [`std::time::Instant`], the real clock, on purpose: the
+//! subject here is the simulator's own hot loops (allocator solves, heap
+//! ops, packet service, telemetry sink), not simulated time.
+
+use serde::Serialize;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Number of log2 histogram buckets: bucket `i` counts samples with
+/// `floor(log2(nanos)) == i` (bucket 0 also holds zero-length samples),
+/// reaching past 17 minutes at the top.
+pub const PROFILE_BUCKETS: usize = 40;
+
+#[derive(Debug)]
+struct Slot {
+    name: &'static str,
+    count: u64,
+    total_nanos: u64,
+    min_nanos: u64,
+    max_nanos: u64,
+    buckets: [u64; PROFILE_BUCKETS],
+}
+
+impl Slot {
+    fn new(name: &'static str) -> Self {
+        Slot {
+            name,
+            count: 0,
+            total_nanos: 0,
+            min_nanos: u64::MAX,
+            max_nanos: 0,
+            buckets: [0; PROFILE_BUCKETS],
+        }
+    }
+
+    fn record(&mut self, nanos: u64) {
+        self.count += 1;
+        self.total_nanos += nanos;
+        self.min_nanos = self.min_nanos.min(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+        let bucket = if nanos == 0 {
+            0
+        } else {
+            (63 - nanos.leading_zeros() as usize).min(PROFILE_BUCKETS - 1)
+        };
+        self.buckets[bucket] += 1;
+    }
+}
+
+#[derive(Debug, Default)]
+struct ProfInner {
+    slots: Vec<Slot>,
+    index: HashMap<&'static str, usize>,
+}
+
+impl ProfInner {
+    fn slot(&mut self, name: &'static str) -> &mut Slot {
+        let idx = match self.index.get(name) {
+            Some(&i) => i,
+            None => {
+                let i = self.slots.len();
+                self.slots.push(Slot::new(name));
+                self.index.insert(name, i);
+                i
+            }
+        };
+        &mut self.slots[idx]
+    }
+}
+
+/// Cheap cloneable handle for self-profiling; disabled by default.
+///
+/// Not `Send` (single-threaded by design, like the simulators); every
+/// clone shares the same accumulators.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    inner: Option<Rc<RefCell<ProfInner>>>,
+}
+
+impl Profiler {
+    /// A disabled profiler: every hook is one branch, nothing allocates.
+    pub fn disabled() -> Self {
+        Profiler { inner: None }
+    }
+
+    /// An enabled profiler with no slots yet.
+    pub fn enabled() -> Self {
+        Profiler {
+            inner: Some(Rc::new(RefCell::new(ProfInner::default()))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Start a timed section. Returns `None` when disabled, so the hot
+    /// path pays only this branch; pass the result to
+    /// [`Profiler::stop`].
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        if self.inner.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Finish a timed section started with [`Profiler::start`],
+    /// attributing the elapsed wall time to `slot`.
+    #[inline]
+    pub fn stop(&self, slot: &'static str, started: Option<Instant>) {
+        if let (Some(inner), Some(t0)) = (&self.inner, started) {
+            let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            inner.borrow_mut().slot(slot).record(nanos);
+        }
+    }
+
+    /// Record an externally measured duration against `slot` (for
+    /// subsystems that already wall-time themselves).
+    #[inline]
+    pub fn record(&self, slot: &'static str, nanos: u64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().slot(slot).record(nanos);
+        }
+    }
+
+    /// Snapshot the accumulated profile, or `None` when disabled.
+    pub fn report(&self) -> Option<ProfileReport> {
+        let inner = self.inner.as_ref()?;
+        let inner = inner.borrow();
+        Some(ProfileReport {
+            subsystems: inner
+                .slots
+                .iter()
+                .map(|s| SubsystemProfile {
+                    name: s.name.to_string(),
+                    count: s.count,
+                    total_nanos: s.total_nanos,
+                    min_nanos: if s.count == 0 { 0 } else { s.min_nanos },
+                    max_nanos: s.max_nanos,
+                    buckets: s.buckets.to_vec(),
+                })
+                .collect(),
+        })
+    }
+}
+
+/// Wall-time summary of one profiled subsystem.
+#[derive(Debug, Clone, Serialize)]
+pub struct SubsystemProfile {
+    /// Slot label (e.g. `alloc.solve`, `queue.heap`).
+    pub name: String,
+    /// Timed sections recorded.
+    pub count: u64,
+    /// Total wall nanoseconds across all sections.
+    pub total_nanos: u64,
+    /// Shortest section, nanoseconds (0 when no samples).
+    pub min_nanos: u64,
+    /// Longest section, nanoseconds.
+    pub max_nanos: u64,
+    /// log2 histogram: `buckets[i]` counts sections whose duration had
+    /// `floor(log2(nanos)) == i`.
+    pub buckets: Vec<u64>,
+}
+
+impl SubsystemProfile {
+    /// Mean section duration in nanoseconds (0 when no samples).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_nanos as f64 / self.count as f64
+        }
+    }
+}
+
+/// Snapshot of every profiled subsystem, in registration order.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProfileReport {
+    /// One entry per slot.
+    pub subsystems: Vec<SubsystemProfile>,
+}
+
+impl ProfileReport {
+    /// Total wall nanoseconds for a slot (0 if the slot never fired).
+    pub fn total_nanos(&self, slot: &str) -> u64 {
+        self.subsystems
+            .iter()
+            .find(|s| s.name == slot)
+            .map_or(0, |s| s.total_nanos)
+    }
+
+    /// Fraction of `denominator_slot`'s wall time spent in `slot`
+    /// (`None` when the denominator never fired).
+    pub fn share_of(&self, slot: &str, denominator_slot: &str) -> Option<f64> {
+        let denom = self.total_nanos(denominator_slot);
+        if denom == 0 {
+            None
+        } else {
+            Some(self.total_nanos(slot) as f64 / denom as f64)
+        }
+    }
+
+    /// Human-readable table: one row per subsystem with count, total,
+    /// mean, min/max, and the busiest histogram bucket.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "subsystem                     count      total ms    mean us     min us     max us\n",
+        );
+        for s in &self.subsystems {
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>12.2} {:>10.2} {:>10.2} {:>10.2}\n",
+                s.name,
+                s.count,
+                s.total_nanos as f64 / 1e6,
+                s.mean_nanos() / 1e3,
+                s.min_nanos as f64 / 1e3,
+                s.max_nanos as f64 / 1e3,
+            ));
+        }
+        out
+    }
+
+    /// Pretty JSON export.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("profile JSON render")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let p = Profiler::disabled();
+        assert!(!p.is_enabled());
+        let t = p.start();
+        assert!(t.is_none());
+        p.stop("x", t);
+        p.record("x", 100);
+        assert!(p.report().is_none());
+    }
+
+    #[test]
+    fn enabled_profiler_accumulates_and_buckets() {
+        let p = Profiler::enabled();
+        assert!(p.is_enabled());
+        p.record("alloc.solve", 1000);
+        p.record("alloc.solve", 3000);
+        p.record("queue.heap", 0);
+        let r = p.report().expect("enabled");
+        assert_eq!(r.subsystems.len(), 2);
+        let alloc = &r.subsystems[0];
+        assert_eq!(alloc.name, "alloc.solve");
+        assert_eq!(alloc.count, 2);
+        assert_eq!(alloc.total_nanos, 4000);
+        assert_eq!(alloc.min_nanos, 1000);
+        assert_eq!(alloc.max_nanos, 3000);
+        assert_eq!(alloc.buckets[9], 1, "1000 ns -> bucket 9 (2^9=512)");
+        assert_eq!(alloc.buckets[11], 1, "3000 ns -> bucket 11 (2^11=2048)");
+        let heap = &r.subsystems[1];
+        assert_eq!(heap.buckets[0], 1, "zero-length sample lands in bucket 0");
+        assert_eq!(r.total_nanos("alloc.solve"), 4000);
+        assert_eq!(r.share_of("queue.heap", "alloc.solve"), Some(0.0));
+        assert!(r.render().contains("alloc.solve"));
+        assert!(r.to_json().contains("\"total_nanos\": 4000"));
+    }
+
+    #[test]
+    fn clones_share_accumulators() {
+        let p = Profiler::enabled();
+        let q = p.clone();
+        q.record("shared", 7);
+        let t = p.start();
+        assert!(t.is_some());
+        p.stop("shared", t);
+        let r = p.report().expect("enabled");
+        assert_eq!(r.subsystems[0].count, 2);
+    }
+
+    #[test]
+    fn registration_order_is_kept() {
+        let p = Profiler::enabled();
+        p.record("zeta", 1);
+        p.record("alpha", 1);
+        p.record("zeta", 1);
+        let r = p.report().expect("enabled");
+        let names: Vec<_> = r.subsystems.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["zeta", "alpha"]);
+    }
+}

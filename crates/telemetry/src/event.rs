@@ -9,6 +9,36 @@
 use serde::{Serialize, Value};
 use simcore::SimTime;
 
+/// Why the allocator handed a flow a new share — the mutation that
+/// dirtied its max-min component. Carried on every
+/// [`SimEvent::FlowShareChange`] so attribution (who slowed this flow
+/// down, and why) never has to reverse-engineer causes from event
+/// ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShareChangeCause {
+    /// A new flow joined the component (flow arrival).
+    NewCompetitor,
+    /// A competing flow delivered its last byte and freed capacity.
+    CompetitorFinished,
+    /// A fault or recovery changed link capacity or aborted flows.
+    Fault,
+    /// A policy band change (TLs rotation / reconfiguration) moved flows
+    /// between strict-priority bands.
+    Rotation,
+}
+
+impl ShareChangeCause {
+    /// Stable machine-readable label, used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShareChangeCause::NewCompetitor => "new_competitor",
+            ShareChangeCause::CompetitorFinished => "competitor_finished",
+            ShareChangeCause::Fault => "fault",
+            ShareChangeCause::Rotation => "rotation",
+        }
+    }
+}
+
 /// One simulation event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimEvent {
@@ -42,15 +72,64 @@ pub enum SimEvent {
         /// When the flow started (service span start for the trace view).
         started: SimTime,
     },
+    /// An in-flight flow was aborted by a fault; its bytes were lost, so
+    /// no `FlowFinish` follows (the retry restarts from scratch as a new
+    /// flow).
+    FlowAbort {
+        /// Engine-assigned flow id.
+        flow: u64,
+        /// Caller-defined grouping tag.
+        tag: u64,
+    },
     /// The allocator assigned a flow a new rate (emitted only for flows
-    /// whose rate actually changed, and only while telemetry is enabled).
-    FlowRate {
+    /// whose rate actually changed, and only while telemetry is enabled),
+    /// tagged with the mutation that caused the re-solve.
+    FlowShareChange {
         /// Engine-assigned flow id.
         flow: u64,
         /// Caller-defined grouping tag.
         tag: u64,
         /// New rate in bytes/sec.
         rate: f64,
+        /// What dirtied this flow's component.
+        cause: ShareChangeCause,
+    },
+    /// A compute task started on a host's processor-sharing engine.
+    TaskStart {
+        /// Engine-assigned task id.
+        task: u64,
+        /// Owning job index.
+        job: u64,
+        /// Host it runs on.
+        host: u32,
+        /// Task kind label ("worker_step", "ps_aggregate",
+        /// "ps_async_apply").
+        kind: &'static str,
+        /// Worker or shard index within the job (0 for PS aggregation).
+        unit: u32,
+    },
+    /// A compute task's demand was fully served.
+    TaskFinish {
+        /// Engine-assigned task id.
+        task: u64,
+        /// Owning job index.
+        job: u64,
+        /// Host it ran on.
+        host: u32,
+        /// Task kind label, matching the `TaskStart` event.
+        kind: &'static str,
+        /// Worker or shard index within the job (0 for PS aggregation).
+        unit: u32,
+        /// When the task was submitted (service span start).
+        started: SimTime,
+    },
+    /// An in-flight compute task was aborted by a fault; no `TaskFinish`
+    /// follows (the retry re-submits the work as a new task).
+    TaskAbort {
+        /// Engine-assigned task id.
+        task: u64,
+        /// Owning job index.
+        job: u64,
     },
     /// A tag's flows moved to a different priority band (TLs-RR rotation
     /// or TLs-One reconfiguration at job arrival/departure).
@@ -166,7 +245,11 @@ impl SimEvent {
         match self {
             SimEvent::FlowStart { .. } => "flow_start",
             SimEvent::FlowFinish { .. } => "flow_finish",
-            SimEvent::FlowRate { .. } => "flow_rate",
+            SimEvent::FlowAbort { .. } => "flow_abort",
+            SimEvent::FlowShareChange { .. } => "flow_share_change",
+            SimEvent::TaskStart { .. } => "task_start",
+            SimEvent::TaskFinish { .. } => "task_finish",
+            SimEvent::TaskAbort { .. } => "task_abort",
             SimEvent::PriorityRotation { .. } => "priority_rotation",
             SimEvent::AllocSolve { .. } => "alloc_solve",
             SimEvent::JobArrival { .. } => "job_arrival",
@@ -187,7 +270,11 @@ impl SimEvent {
         match self {
             SimEvent::FlowStart { .. }
             | SimEvent::FlowFinish { .. }
-            | SimEvent::FlowRate { .. } => "net",
+            | SimEvent::FlowAbort { .. }
+            | SimEvent::FlowShareChange { .. } => "net",
+            SimEvent::TaskStart { .. }
+            | SimEvent::TaskFinish { .. }
+            | SimEvent::TaskAbort { .. } => "cpu",
             SimEvent::PriorityRotation { .. } => "policy",
             SimEvent::AllocSolve { .. } => "alloc",
             SimEvent::JobArrival { .. } | SimEvent::JobCompletion { .. } => "job",
@@ -210,9 +297,28 @@ impl SimEvent {
             SimEvent::FlowFinish {
                 flow, tag, src, dst, ..
             } => format!("flow {flow} finish tag={tag} {src}->{dst}"),
-            SimEvent::FlowRate { flow, rate, .. } => {
-                format!("flow {flow} rate {rate:.0} B/s")
+            SimEvent::FlowAbort { flow, tag } => format!("flow {flow} aborted tag={tag}"),
+            SimEvent::FlowShareChange {
+                flow, rate, cause, ..
+            } => {
+                format!("flow {flow} rate {rate:.0} B/s ({})", cause.label())
             }
+            SimEvent::TaskStart {
+                task,
+                job,
+                host,
+                kind,
+                unit,
+            } => format!("task {task} start job{job} {kind}[{unit}] on host {host}"),
+            SimEvent::TaskFinish {
+                task,
+                job,
+                host,
+                kind,
+                unit,
+                ..
+            } => format!("task {task} finish job{job} {kind}[{unit}] on host {host}"),
+            SimEvent::TaskAbort { task, job } => format!("task {task} aborted job{job}"),
             SimEvent::PriorityRotation { tag, band, flows } => {
                 format!("tag {tag} -> band {band} ({flows} flows)")
             }
@@ -292,11 +398,51 @@ impl SimEvent {
                 ("bytes", Value::Float(bytes)),
                 ("started", Value::Float(started.as_secs_f64())),
             ],
-            SimEvent::FlowRate { flow, tag, rate } => vec![
+            SimEvent::FlowAbort { flow, tag } => {
+                vec![("flow", Value::UInt(flow)), ("tag", Value::UInt(tag))]
+            }
+            SimEvent::FlowShareChange {
+                flow,
+                tag,
+                rate,
+                cause,
+            } => vec![
                 ("flow", Value::UInt(flow)),
                 ("tag", Value::UInt(tag)),
                 ("rate", Value::Float(rate)),
+                ("cause", Value::Str(cause.label().to_string())),
             ],
+            SimEvent::TaskStart {
+                task,
+                job,
+                host,
+                kind,
+                unit,
+            } => vec![
+                ("task", Value::UInt(task)),
+                ("job", Value::UInt(job)),
+                ("host", Value::UInt(host as u64)),
+                ("task_kind", Value::Str(kind.to_string())),
+                ("unit", Value::UInt(unit as u64)),
+            ],
+            SimEvent::TaskFinish {
+                task,
+                job,
+                host,
+                kind,
+                unit,
+                started,
+            } => vec![
+                ("task", Value::UInt(task)),
+                ("job", Value::UInt(job)),
+                ("host", Value::UInt(host as u64)),
+                ("task_kind", Value::Str(kind.to_string())),
+                ("unit", Value::UInt(unit as u64)),
+                ("started", Value::Float(started.as_secs_f64())),
+            ],
+            SimEvent::TaskAbort { task, job } => {
+                vec![("task", Value::UInt(task)), ("job", Value::UInt(job))]
+            }
             SimEvent::PriorityRotation { tag, band, flows } => vec![
                 ("tag", Value::UInt(tag)),
                 ("band", Value::UInt(band as u64)),

@@ -9,13 +9,19 @@
 //!   and a `C` (counter) series of workers currently inside the barrier;
 //! * pid 2 "hosts" — one thread per sending host: an `X` span per
 //!   finished flow (service start → finish);
+//! * pid 3 "cpu" — one thread per host: an `X` span per finished
+//!   compute task (worker steps, PS aggregation);
+//! * pid 4 "fabric" — one counter track per `fabric.*` gauge (rack
+//!   uplink/downlink utilization), rendered by
+//!   [`chrome_trace_with_metrics`] from the sampled metrics registry;
 //! * pid 0 "sim" — free-text [`SimEvent::Mark`] annotations.
 //!
-//! `flow_rate` and `alloc_solve` events stay in the JSONL/metrics exports
-//! only; they have no natural span representation.
+//! `flow_share_change` and `alloc_solve` events stay in the JSONL/metrics
+//! exports only; they have no natural span representation.
 //!
-//! Both exporters format purely from event emission order, so output is
-//! byte-identical across identically-seeded runs.
+//! Both exporters format purely from event emission order (and metric
+//! registration order), so output is byte-identical across
+//! identically-seeded runs.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -23,6 +29,7 @@ use serde::Value;
 use simcore::SimTime;
 
 use crate::event::{SimEvent, TimedEvent};
+use crate::metrics::MetricsRegistry;
 
 /// One flat JSON object per line, in emission order.
 pub fn events_to_jsonl(events: &[TimedEvent]) -> String {
@@ -37,6 +44,8 @@ pub fn events_to_jsonl(events: &[TimedEvent]) -> String {
 const PID_SIM: u64 = 0;
 const PID_JOBS: u64 = 1;
 const PID_HOSTS: u64 = 2;
+const PID_CPU: u64 = 3;
+const PID_FABRIC: u64 = 4;
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
@@ -83,12 +92,25 @@ fn instant(name: String, pid: u64, tid: u64, at: SimTime, args: Value) -> Value 
 
 /// Render `events` as a Chrome `trace_event` JSON document.
 pub fn chrome_trace(events: &[TimedEvent]) -> String {
+    chrome_trace_inner(events, None)
+}
+
+/// Render `events` plus counter tracks for every sampled `fabric.*`
+/// gauge in `metrics` (rack uplink/downlink utilization) as a Chrome
+/// `trace_event` JSON document. Identical to [`chrome_trace`] when no
+/// fabric gauges are registered (e.g. single-switch topologies).
+pub fn chrome_trace_with_metrics(events: &[TimedEvent], metrics: &MetricsRegistry) -> String {
+    chrome_trace_inner(events, Some(metrics))
+}
+
+fn chrome_trace_inner(events: &[TimedEvent], metrics: Option<&MetricsRegistry>) -> String {
     let mut records: Vec<Value> = Vec::new();
 
     // --- First pass: discover tracks and job/flow lifetimes.
     let mut job_tids: BTreeSet<u64> = BTreeSet::new();
     let mut tag_tids: BTreeSet<u64> = BTreeSet::new();
     let mut host_tids: BTreeSet<u64> = BTreeSet::new();
+    let mut cpu_tids: BTreeSet<u64> = BTreeSet::new();
     let mut has_marks = false;
     let mut arrivals: BTreeMap<u64, SimTime> = BTreeMap::new();
     let mut completions: BTreeMap<u64, SimTime> = BTreeMap::new();
@@ -126,9 +148,27 @@ pub fn chrome_trace(events: &[TimedEvent]) -> String {
             SimEvent::RetryAttempt { job, .. } | SimEvent::WorkerLost { job, .. } => {
                 job_tids.insert(job);
             }
-            SimEvent::FlowRate { .. } | SimEvent::AllocSolve { .. } => {}
+            SimEvent::TaskFinish { host, .. } => {
+                cpu_tids.insert(host as u64);
+            }
+            SimEvent::TaskStart { .. }
+            | SimEvent::TaskAbort { .. }
+            | SimEvent::FlowAbort { .. }
+            | SimEvent::FlowShareChange { .. }
+            | SimEvent::AllocSolve { .. } => {}
         }
     }
+
+    // Fabric-link gauges become counter tracks (pid 4), one per metric
+    // in registration order.
+    let fabric_metrics: Vec<(&str, &[(SimTime, f64)])> = metrics
+        .map(|reg| {
+            reg.entries()
+                .filter(|(name, _, series)| name.starts_with("fabric.") && !series.is_empty())
+                .map(|(name, _, series)| (name, series))
+                .collect()
+        })
+        .unwrap_or_default();
 
     // --- Metadata: process and thread names, in sorted track order.
     if has_marks {
@@ -154,6 +194,18 @@ pub fn chrome_trace(events: &[TimedEvent]) -> String {
                 tid,
                 &format!("host {tid}"),
             ));
+        }
+    }
+    if !cpu_tids.is_empty() {
+        records.push(metadata("process_name", PID_CPU, 0, "cpu"));
+        for &tid in &cpu_tids {
+            records.push(metadata("thread_name", PID_CPU, tid, &format!("host {tid}")));
+        }
+    }
+    if !fabric_metrics.is_empty() {
+        records.push(metadata("process_name", PID_FABRIC, 0, "fabric"));
+        for (idx, (name, _)) in fabric_metrics.iter().enumerate() {
+            records.push(metadata("thread_name", PID_FABRIC, idx as u64, name));
         }
     }
 
@@ -294,7 +346,38 @@ pub fn chrome_trace(events: &[TimedEvent]) -> String {
                     obj(vec![("worker", Value::UInt(worker as u64))]),
                 ));
             }
+            SimEvent::TaskFinish {
+                task,
+                job,
+                host,
+                kind,
+                unit,
+                started,
+            } => {
+                records.push(span(
+                    format!("job{job} {kind}[{unit}]"),
+                    PID_CPU,
+                    host as u64,
+                    started,
+                    ev.at,
+                    obj(vec![("task", Value::UInt(task)), ("job", Value::UInt(job))]),
+                ));
+            }
             _ => {}
+        }
+    }
+
+    // --- Fabric-link utilization counters, one `C` series per gauge.
+    for (idx, (name, series)) in fabric_metrics.iter().enumerate() {
+        for &(t, v) in series.iter() {
+            records.push(obj(vec![
+                ("name", Value::Str((*name).to_string())),
+                ("ph", Value::Str("C".to_string())),
+                ("ts", micros(t)),
+                ("pid", Value::UInt(PID_FABRIC)),
+                ("tid", Value::UInt(idx as u64)),
+                ("args", obj(vec![("util", Value::Float(v))])),
+            ]));
         }
     }
 

@@ -32,6 +32,6 @@ pub mod export;
 pub mod metrics;
 pub mod sink;
 
-pub use event::{SimEvent, TimedEvent};
+pub use event::{ShareChangeCause, SimEvent, TimedEvent};
 pub use metrics::{MetricId, MetricKind, MetricsRegistry};
 pub use sink::{EventSink, NullSink, Telemetry, TelemetryConfig, TelemetryOutput};

@@ -153,6 +153,14 @@ impl MetricsRegistry {
         &self.metrics[id.0 as usize].series
     }
 
+    /// Iterate `(name, kind, series)` over every metric in registration
+    /// order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, MetricKind, &[(SimTime, f64)])> {
+        self.metrics
+            .iter()
+            .map(|m| (m.name.as_str(), m.kind, m.series.as_slice()))
+    }
+
     /// Pretty JSON export: one object per metric, in registration order,
     /// with kind, final value, histogram stats when populated, and the
     /// sampled `[t, value]` series.

@@ -13,7 +13,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use simcore::{SimDuration, SimTime};
+use simcore::{Profiler, SimDuration, SimTime};
 
 use crate::event::{SimEvent, TimedEvent};
 use crate::export;
@@ -77,6 +77,10 @@ struct Inner {
 pub struct Telemetry {
     inner: Option<Rc<RefCell<Inner>>>,
     events_on: bool,
+    /// Self-profiling handle; event pushes are timed under the
+    /// `telemetry.sink` slot. Set it *before* cloning the handle into
+    /// engines — the field is per-clone.
+    profiler: Profiler,
 }
 
 impl Telemetry {
@@ -94,7 +98,15 @@ impl Telemetry {
         Telemetry {
             inner: Some(Rc::new(RefCell::new(Inner::default()))),
             events_on: config.events,
+            profiler: Profiler::disabled(),
         }
+    }
+
+    /// Attach a self-profiling handle; event recording is then timed
+    /// under the `telemetry.sink` slot. Call before cloning this handle
+    /// into engines (clones made earlier keep the previous profiler).
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// Whether events are being recorded. Engines use this to skip
@@ -112,7 +124,9 @@ impl Telemetry {
     pub fn emit(&self, at: SimTime, event: SimEvent) {
         if self.events_on {
             if let Some(inner) = &self.inner {
+                let timer = self.profiler.start();
                 inner.borrow_mut().events.push(TimedEvent { at, event });
+                self.profiler.stop("telemetry.sink", timer);
             }
         }
     }
@@ -122,10 +136,12 @@ impl Telemetry {
     pub fn emit_with(&self, at: SimTime, make: impl FnOnce() -> SimEvent) {
         if self.events_on {
             if let Some(inner) = &self.inner {
+                let timer = self.profiler.start();
                 inner.borrow_mut().events.push(TimedEvent {
                     at,
                     event: make(),
                 });
+                self.profiler.stop("telemetry.sink", timer);
             }
         }
     }
@@ -186,9 +202,10 @@ impl TelemetryOutput {
     }
 
     /// Chrome `trace_event` JSON export (open in Perfetto or
-    /// `chrome://tracing`).
+    /// `chrome://tracing`), including counter tracks for any sampled
+    /// fabric-link utilization gauges.
     pub fn to_chrome_trace(&self) -> String {
-        export::chrome_trace(&self.events)
+        export::chrome_trace_with_metrics(&self.events, &self.metrics)
     }
 
     /// Metrics registry as pretty JSON.

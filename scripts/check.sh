@@ -24,6 +24,7 @@ if [[ "${1:-}" != "fast" ]]; then
     TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench telemetry
     TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench fault_overhead
     TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench scale
+    TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench analysis
 
     # Telemetry smoke: emit a Chrome trace from the Figure 4 narrative and
     # validate it — parses as JSON, non-empty traceEvents, and contains the
@@ -61,6 +62,27 @@ if [[ "${1:-}" != "fast" ]]; then
     # every cell completes all jobs).
     echo "==> fabric sweep smoke (--quick)"
     ./target/release/repro --experiment fabric --quick > /dev/null
+
+    # Fabric counter tracks: a leaf-spine perf trace must carry per-rack
+    # uplink/downlink utilization counter tracks next to the event spans.
+    echo "==> fabric trace smoke"
+    ./target/release/repro --experiment perf --iterations 12 \
+        --topology leaf-spine:3x7@4 --trace-out "$tmp/fabric_trace.json" > /dev/null
+    ./target/release/repro --check-trace "$tmp/fabric_trace.json"
+    grep -q 'fabric.rack0.up.util' "$tmp/fabric_trace.json"
+    grep -q 'fabric.rack2.down.util' "$tmp/fabric_trace.json"
+
+    # Explain smoke: the analysis cells with conservation checks (repro
+    # panics on any job whose decomposition fails to sum to its JCT), plus
+    # the engine self-profiler; the JSON export must carry the breakdown
+    # and blame schema.
+    echo "==> explain + profile smoke (--quick)"
+    ./target/release/repro --experiment explain --quick --profile \
+        --json "$tmp/explain" > /dev/null
+    grep -q '"breakdown"' "$tmp/explain/explain.json"
+    grep -q '"blame"' "$tmp/explain/explain.json"
+    grep -q '"critical_path"' "$tmp/explain/explain.json"
+    grep -q '"alloc.solve"' "$tmp/explain/profile.json"
 fi
 
 echo "==> all checks passed"

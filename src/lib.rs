@@ -12,6 +12,8 @@
 //! * [`tl_workloads`] — grid-search and sweep workload generators;
 //! * [`tl_telemetry`] — structured observability: typed sim events,
 //!   metrics registry, JSONL / Chrome-trace exporters;
+//! * [`tl_analysis`] — JCT decomposition, blame attribution, and
+//!   critical-path extraction over the telemetry stream;
 //! * [`tl_experiments`] — one module per paper table/figure plus the
 //!   `repro` binary.
 //!
@@ -20,6 +22,7 @@
 
 pub use simcore;
 pub use tensorlights;
+pub use tl_analysis as analysis;
 pub use tl_cluster as cluster;
 pub use tl_dl as dl;
 pub use tl_experiments as experiments;
