@@ -48,7 +48,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use tl_net::{HostId, LinkId, Topology};
 use tl_telemetry::{SimEvent, TimedEvent};
 
@@ -175,7 +175,7 @@ impl JobSt {
 /// Integer-nanosecond decomposition of one job's completion time. The
 /// seven components sum exactly to the JCT (see
 /// [`JobExplanation::conserves`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct JctBreakdown {
     /// Local compute (worker steps, PS aggregation) with no flow in
     /// flight and no barrier held.
@@ -214,7 +214,7 @@ impl JctBreakdown {
 
 /// One cell of the blame matrix: `wait_ns` of the explained job's
 /// contention/throttle time attributed to `job` on `link`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BlameEntry {
     /// Shared resource (`host{h}.egress`, `host{h}.ingress`,
     /// `rack{r}.up`, `rack{r}.down`).
@@ -226,7 +226,7 @@ pub struct BlameEntry {
 }
 
 /// One segment of a job's critical path, in chronological order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PathSegment {
     /// What gated the job: a flow (`model 0->3`, `grad 3->0`), a task
     /// (`worker_step[2]`), or a wait (`wait:barrier`).
@@ -238,7 +238,7 @@ pub struct PathSegment {
 }
 
 /// Everything the analyzer can say about one completed job.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JobExplanation {
     /// Job index (the engine's tag scheme).
     pub job: u64,
@@ -266,7 +266,7 @@ impl JobExplanation {
 
 /// The analyzer's output: one [`JobExplanation`] per completed job, in
 /// job order.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AnalysisReport {
     /// Per-job explanations, sorted by job index.
     pub jobs: Vec<JobExplanation>,

@@ -18,9 +18,10 @@
 
 use crate::config::ExperimentConfig;
 use crate::fabric::{HOSTS_PER_RACK, RACKS};
+use crate::orchestrator::{self, CellRecord, SweepOptions};
 use crate::report::Table;
-use crate::runner::{parallel_map_with_workers, PolicyKind};
-use serde::Serialize;
+use crate::runner::PolicyKind;
+use serde::{Deserialize, Serialize};
 use tl_analysis::AnalysisReport;
 use tl_cluster::grouped_placement;
 use tl_dl::{Simulation, TopologySpec, TrafficPattern};
@@ -49,12 +50,12 @@ pub const CELLS: [(f64, PolicyKind); 3] = [
 
 /// One explained cell: the workload's run parameters plus the analyzer's
 /// full per-job output.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExplainCell {
     /// Fabric oversubscription ratio.
     pub oversub: f64,
     /// Policy label.
-    pub policy: &'static str,
+    pub policy: String,
     /// Mean JCT over the cell's jobs, seconds.
     pub mean_jct: f64,
     /// Per-job decomposition, blame matrix, and critical paths.
@@ -117,7 +118,7 @@ pub fn run_cell(cfg: &ExperimentConfig, oversub: f64, policy: PolicyKind) -> Exp
     );
     ExplainCell {
         oversub,
-        policy: policy.label(),
+        policy: policy.label().to_string(),
         mean_jct: out.mean_jct_secs(),
         report,
     }
@@ -125,29 +126,61 @@ pub fn run_cell(cfg: &ExperimentConfig, oversub: f64, policy: PolicyKind) -> Exp
 
 /// Run every cell of [`CELLS`]. `quick` drops to a smoke-test iteration
 /// count. `workers` forces the sweep's thread count (for determinism
-/// tests); pass `None` for one worker per core.
+/// tests); pass `None` for one worker per core. Panics if any cell
+/// fails; `repro` uses [`run_with`] and degrades instead.
 pub fn run_with_workers(
     cfg: &ExperimentConfig,
     quick: bool,
     workers: Option<usize>,
 ) -> ExplainResult {
-    let cell_cfg = ExperimentConfig {
-        iterations: if quick { QUICK_ITERS } else { ITERS },
-        ..cfg.clone()
+    let opts = SweepOptions {
+        workers,
+        ..SweepOptions::ephemeral()
     };
-    let cells = parallel_map_with_workers(CELLS.to_vec(), workers, |(oversub, policy)| {
-        run_cell(&cell_cfg, oversub, policy)
-    });
-    ExplainResult {
-        topology: format!("leaf-spine:{RACKS}x{HOSTS_PER_RACK}"),
-        iterations: cell_cfg.iterations,
-        cells,
+    let (result, records) = run_with(cfg, quick, &opts);
+    if let Some(bad) = records.iter().find(|c| !c.outcome.is_ok()) {
+        panic!("explain cell {} — {}", bad.label, bad.outcome);
     }
+    result
 }
 
 /// Run every cell of [`CELLS`] with the default worker pool.
 pub fn run(cfg: &ExperimentConfig, quick: bool) -> ExplainResult {
     run_with_workers(cfg, quick, None)
+}
+
+/// The explain cells through the crash-safe orchestrator: per-cell
+/// isolation, optional checkpoint ledger, and the per-cell audit trail.
+pub fn run_with(
+    cfg: &ExperimentConfig,
+    quick: bool,
+    opts: &SweepOptions,
+) -> (ExplainResult, Vec<CellRecord>) {
+    let cell_cfg = ExperimentConfig {
+        iterations: if quick { QUICK_ITERS } else { ITERS },
+        ..cfg.clone()
+    };
+    let context = format!(
+        "cfg={};jobs={NUM_JOBS};workers={WORKERS_PER_JOB};model_mb={MODEL_MB}",
+        serde_json::to_string(&cell_cfg).expect("config serializes"),
+    );
+    let run_cfg = cell_cfg.clone();
+    let out = orchestrator::run_sweep(
+        "explain",
+        &context,
+        opts,
+        CELLS.to_vec(),
+        |(oversub, policy)| format!("oversub={oversub},policy={}", policy.label()),
+        move |(oversub, policy)| run_cell(&run_cfg, oversub, policy),
+    );
+    (
+        ExplainResult {
+            topology: format!("leaf-spine:{RACKS}x{HOSTS_PER_RACK}"),
+            iterations: cell_cfg.iterations,
+            cells: out.rows,
+        },
+        out.cells,
+    )
 }
 
 /// Run one instrumented simulation (the 4:1 TLs-One cell) with the
@@ -187,11 +220,17 @@ pub fn profile_cell(cfg: &ExperimentConfig, quick: bool) -> simcore::ProfileRepo
 }
 
 impl ExplainResult {
-    /// The cell for `(oversub, policy)`.
-    pub fn cell(&self, oversub: f64, policy: &str) -> &ExplainCell {
+    /// The cell for `(oversub, policy)`, or `None` when it failed or was
+    /// skipped in a degraded sweep.
+    pub fn try_cell(&self, oversub: f64, policy: &str) -> Option<&ExplainCell> {
         self.cells
             .iter()
             .find(|c| c.oversub == oversub && c.policy == policy)
+    }
+
+    /// The cell for `(oversub, policy)`; panics when it is missing.
+    pub fn cell(&self, oversub: f64, policy: &str) -> &ExplainCell {
+        self.try_cell(oversub, policy)
             .unwrap_or_else(|| panic!("missing explain cell {oversub}/{policy}"))
     }
 
@@ -243,9 +282,14 @@ impl ExplainResult {
     }
 
     /// Mean share (percent of JCT, averaged over a cell's jobs) of the
-    /// summed components selected by `f`.
-    fn mean_share(&self, oversub: f64, policy: &str, f: impl Fn(&tl_analysis::JctBreakdown) -> u64) -> f64 {
-        let c = self.cell(oversub, policy);
+    /// summed components selected by `f`; `None` when the cell is missing.
+    fn mean_share(
+        &self,
+        oversub: f64,
+        policy: &str,
+        f: impl Fn(&tl_analysis::JctBreakdown) -> u64,
+    ) -> Option<f64> {
+        let c = self.try_cell(oversub, policy)?;
         let shares: Vec<f64> = c
             .report
             .jobs
@@ -253,25 +297,33 @@ impl ExplainResult {
             .filter(|j| j.jct_ns > 0)
             .map(|j| 100.0 * f(&j.breakdown) as f64 / j.jct_ns as f64)
             .collect();
-        shares.iter().sum::<f64>() / shares.len().max(1) as f64
+        Some(shares.iter().sum::<f64>() / shares.len().max(1) as f64)
     }
 
     /// Headline: where the 4:1 oversubscription penalty goes, and how
-    /// TLs-One re-labels it.
+    /// TLs-One re-labels it. Cells missing from a degraded sweep render
+    /// as `n/a`.
     pub fn summary(&self) -> String {
-        let slow = self.cell(4.0, "FIFO").mean_jct / self.cell(1.0, "FIFO").mean_jct;
+        let slow = match (self.try_cell(4.0, "FIFO"), self.try_cell(1.0, "FIFO")) {
+            (Some(t), Some(f)) if f.mean_jct > 0.0 => format!("{:.2}x", t.mean_jct / f.mean_jct),
+            _ => "n/a".to_string(),
+        };
+        let pct = |v: Option<f64>| match v {
+            Some(v) => format!("{v:.0}%"),
+            None => "n/a".to_string(),
+        };
         let wait = |o, p| self.mean_share(o, p, |b| b.net_contention_ns + b.band_throttle_ns);
         let thr = |o, p| self.mean_share(o, p, |b| b.band_throttle_ns);
         format!(
-            "explain: 4:1 ps-star FIFO is {slow:.2}x the non-blocking JCT; the \
-             decomposition attributes {:.0}% of JCT to waiting on competitors \
-             at 4:1 vs {:.0}% at 1:1; under TLs-One {:.0}% of JCT is explicit \
-             band throttling (vs {:.0}% under FIFO) \
+            "explain: 4:1 ps-star FIFO is {slow} the non-blocking JCT; the \
+             decomposition attributes {} of JCT to waiting on competitors \
+             at 4:1 vs {} at 1:1; under TLs-One {} of JCT is explicit \
+             band throttling (vs {} under FIFO) \
              [analysis extension: no paper counterpart]",
-            wait(4.0, "FIFO"),
-            wait(1.0, "FIFO"),
-            thr(4.0, "TLs-One"),
-            thr(4.0, "FIFO"),
+            pct(wait(4.0, "FIFO")),
+            pct(wait(1.0, "FIFO")),
+            pct(thr(4.0, "TLs-One")),
+            pct(thr(4.0, "FIFO")),
         )
     }
 

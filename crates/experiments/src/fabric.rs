@@ -18,9 +18,10 @@
 //! capacity with no notion of racks or patterns.
 
 use crate::config::ExperimentConfig;
+use crate::orchestrator::{self, CellRecord, SweepOptions};
 use crate::report::Table;
-use crate::runner::{parallel_map, PolicyKind};
-use serde::Serialize;
+use crate::runner::PolicyKind;
+use serde::{Deserialize, Serialize};
 use tl_cluster::grouped_placement;
 use tl_dl::{Simulation, TopologySpec, TrafficPattern};
 use tl_workloads::GridSearchConfig;
@@ -45,14 +46,14 @@ const ITERS: u64 = 30;
 const QUICK_ITERS: u64 = 4;
 
 /// One (oversubscription, pattern, policy) cell.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FabricRow {
     /// Fabric oversubscription ratio.
     pub oversub: f64,
     /// Traffic pattern name (`ps-star`, `ring`, `hierarchical`).
-    pub pattern: &'static str,
+    pub pattern: String,
     /// Policy label.
-    pub policy: &'static str,
+    pub policy: String,
     /// Mean JCT over completed jobs, seconds.
     pub mean_jct: f64,
     /// Simulated completion time of the whole cell, seconds.
@@ -112,8 +113,8 @@ pub fn run_cell(
         .run();
     FabricRow {
         oversub,
-        pattern: pattern.name(),
-        policy: policy.label(),
+        pattern: pattern.name().to_string(),
+        policy: policy.label().to_string(),
         mean_jct: out.mean_jct_secs(),
         makespan: out.end_time.as_secs_f64(),
         completed: out.jobs.iter().filter(|j| j.completion.is_some()).count(),
@@ -123,8 +124,23 @@ pub fn run_cell(
 
 /// Run the sweep: every (oversubscription × pattern × policy) cell.
 /// `quick` keeps the full grid but drops to a smoke-test iteration count
-/// — the grid itself is the coverage, not the run length.
+/// — the grid itself is the coverage, not the run length. Panics if any
+/// cell fails; `repro` uses [`run_with`] and degrades instead.
 pub fn run(cfg: &ExperimentConfig, quick: bool) -> FabricResult {
+    let (result, records) = run_with(cfg, quick, &SweepOptions::ephemeral());
+    if let Some(bad) = records.iter().find(|c| !c.outcome.is_ok()) {
+        panic!("fabric cell {} — {}", bad.label, bad.outcome);
+    }
+    result
+}
+
+/// [`run`] through the crash-safe orchestrator: per-cell isolation,
+/// optional checkpoint ledger, and the per-cell audit trail.
+pub fn run_with(
+    cfg: &ExperimentConfig,
+    quick: bool,
+    opts: &SweepOptions,
+) -> (FabricResult, Vec<CellRecord>) {
     let cell_cfg = ExperimentConfig {
         iterations: if quick { QUICK_ITERS } else { ITERS },
         ..cfg.clone()
@@ -137,24 +153,49 @@ pub fn run(cfg: &ExperimentConfig, quick: bool) -> FabricResult {
             }
         }
     }
-    let rows = parallel_map(cells, |(oversub, pattern, policy)| {
-        run_cell(&cell_cfg, oversub, pattern, policy)
-    });
-    FabricResult {
-        topology: format!("leaf-spine:{RACKS}x{HOSTS_PER_RACK}"),
-        iterations: cell_cfg.iterations,
-        rows,
-    }
+    let context = format!(
+        "cfg={};jobs={NUM_JOBS};workers={WORKERS_PER_JOB};model_mb={MODEL_MB}",
+        serde_json::to_string(&cell_cfg).expect("config serializes"),
+    );
+    let run_cfg = cell_cfg.clone();
+    let out = orchestrator::run_sweep(
+        "fabric",
+        &context,
+        opts,
+        cells,
+        |(oversub, pattern, policy)| {
+            format!(
+                "oversub={oversub},pattern={},policy={}",
+                pattern.name(),
+                policy.label()
+            )
+        },
+        move |(oversub, pattern, policy)| run_cell(&run_cfg, oversub, pattern, policy),
+    );
+    (
+        FabricResult {
+            topology: format!("leaf-spine:{RACKS}x{HOSTS_PER_RACK}"),
+            iterations: cell_cfg.iterations,
+            rows: out.rows,
+        },
+        out.cells,
+    )
 }
 
 impl FabricResult {
-    /// Mean JCT of a cell.
-    pub fn jct(&self, oversub: f64, pattern: &str, policy: &str) -> f64 {
+    /// Mean JCT of a cell, or `None` when the cell failed or was skipped
+    /// (a degraded sweep can be missing rows).
+    pub fn try_jct(&self, oversub: f64, pattern: &str, policy: &str) -> Option<f64> {
         self.rows
             .iter()
             .find(|r| r.oversub == oversub && r.pattern == pattern && r.policy == policy)
+            .map(|r| r.mean_jct)
+    }
+
+    /// Mean JCT of a cell; panics when the cell is missing.
+    pub fn jct(&self, oversub: f64, pattern: &str, policy: &str) -> f64 {
+        self.try_jct(oversub, pattern, policy)
             .unwrap_or_else(|| panic!("missing cell {oversub}/{pattern}/{policy}"))
-            .mean_jct
     }
 
     /// Render the sweep as a report table.
@@ -180,20 +221,31 @@ impl FabricResult {
     }
 
     /// Headline: how much 4:1 oversubscription costs each pattern under
-    /// FIFO, and whether TLs still helps on a constrained fabric.
+    /// FIFO, and whether TLs still helps on a constrained fabric. Cells
+    /// missing from a degraded sweep render as `n/a`.
     pub fn summary(&self) -> String {
-        let cost = |pattern: &str| -> f64 {
-            self.jct(4.0, pattern, "FIFO") / self.jct(1.0, pattern, "FIFO")
+        let ratio = |num: Option<f64>, den: Option<f64>| match (num, den) {
+            (Some(n), Some(d)) if d > 0.0 => format!("{:.2}x", n / d),
+            _ => "n/a".to_string(),
+        };
+        let cost = |pattern: &str| {
+            ratio(
+                self.try_jct(4.0, pattern, "FIFO"),
+                self.try_jct(1.0, pattern, "FIFO"),
+            )
         };
         format!(
             "fabric: 4:1 oversubscription multiplies FIFO mean JCT by \
-             {:.2}x (ps-star), {:.2}x (ring), {:.2}x (hierarchical); \
-             at 4:1 ps-star, TLs-One is {:.2}x FIFO \
+             {} (ps-star), {} (ring), {} (hierarchical); \
+             at 4:1 ps-star, TLs-One is {} FIFO \
              [leaf-spine extension: no paper counterpart]",
             cost("ps-star"),
             cost("ring"),
             cost("hierarchical"),
-            self.jct(4.0, "ps-star", "TLs-One") / self.jct(4.0, "ps-star", "FIFO"),
+            ratio(
+                self.try_jct(4.0, "ps-star", "TLs-One"),
+                self.try_jct(4.0, "ps-star", "FIFO"),
+            ),
         )
     }
 }

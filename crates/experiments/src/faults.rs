@@ -8,9 +8,10 @@
 //! are deterministic per seed, so the sweep is exactly reproducible.
 
 use crate::config::ExperimentConfig;
+use crate::orchestrator::{self, CellRecord, SweepOptions};
 use crate::report::Table;
-use crate::runner::{parallel_map, PolicyKind};
-use serde::Serialize;
+use crate::runner::PolicyKind;
+use serde::{Deserialize, Serialize};
 use simcore::SampleSet;
 use tl_cluster::{table1_placement, Placement, Table1Index};
 use tl_dl::{BarrierLossPolicy, FaultPlan, SimOutput, Simulation};
@@ -18,16 +19,17 @@ use tl_telemetry::TelemetryConfig;
 use tl_workloads::GridSearchConfig;
 
 /// One (intensity, policy) cell of the sweep.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FaultRow {
     /// Fault intensity (expected faults ≈ 4 × intensity).
     pub intensity: f64,
     /// Policy label.
-    pub policy: &'static str,
+    pub policy: String,
     /// Mean JCT over completed jobs, seconds.
     pub mean_jct: f64,
-    /// 99th-percentile JCT, seconds.
-    pub p99_jct: f64,
+    /// 99th-percentile JCT, seconds; `None` when a fault plan kills every
+    /// job in the window (serializes as `null`, renders as `NaN`).
+    pub p99_jct: Option<f64>,
     /// Retry attempts observed (blocked work re-dispatched).
     pub retries: u64,
     /// Barrier-loss events (workers dropped from their barrier).
@@ -76,8 +78,25 @@ fn loss_label(loss: BarrierLossPolicy) -> &'static str {
 }
 
 /// Run the failure sweep at the given intensities (0 = healthy baseline)
-/// under barrier-loss policy `loss`, on Table I placement #1.
+/// under barrier-loss policy `loss`, on Table I placement #1. Panics if
+/// any cell fails; `repro` uses [`run_with`] and degrades instead.
 pub fn run(cfg: &ExperimentConfig, intensities: &[f64], loss: BarrierLossPolicy) -> FaultsResult {
+    let (result, records) = run_with(cfg, intensities, loss, &SweepOptions::ephemeral());
+    if let Some(bad) = records.iter().find(|c| !c.outcome.is_ok()) {
+        panic!("faults cell {} — {}", bad.label, bad.outcome);
+    }
+    result
+}
+
+/// [`run`] through the crash-safe orchestrator. The sweep name carries
+/// the barrier-loss policy (`faults-stall-until-recovery` /
+/// `faults-drop-and-continue`) so the two variants keep separate ledgers.
+pub fn run_with(
+    cfg: &ExperimentConfig,
+    intensities: &[f64],
+    loss: BarrierLossPolicy,
+    opts: &SweepOptions,
+) -> (FaultsResult, Vec<CellRecord>) {
     let placement = table1_placement(Table1Index(1), 21, 21);
     // A healthy FIFO run pins the fault horizon: seeded faults land inside
     // the busiest 60% of the schedule instead of after everything drained.
@@ -94,29 +113,45 @@ pub fn run(cfg: &ExperimentConfig, intensities: &[f64], loss: BarrierLossPolicy)
         .iter()
         .flat_map(|&x| PolicyKind::all().into_iter().map(move |p| (x, p)))
         .collect();
-    let rows = parallel_map(cells, |(intensity, policy)| {
-        let plan = FaultPlan::seeded(cfg.seed, intensity, 21, 21, horizon);
-        let out = run_one(cfg, &placement, policy, plan, loss, true);
-        let mut jct = SampleSet::new();
-        for j in out.jobs.iter().filter_map(|j| j.jct_secs()) {
-            jct.push(j);
-        }
-        FaultRow {
-            intensity,
-            policy: policy.label(),
-            mean_jct: jct.mean(),
-            // NaN (rendered as such) when a fault plan kills every job in
-            // the window — not a fake "p99 = 0 s".
-            p99_jct: jct.quantile(0.99).unwrap_or(f64::NAN),
-            retries: out.telemetry.events_of_kind("retry_attempt").len() as u64,
-            workers_lost: out.telemetry.events_of_kind("worker_lost").len() as u64,
-            completed: out.jobs.iter().filter(|j| j.completion.is_some()).count(),
-        }
-    });
-    FaultsResult {
-        barrier_loss: loss_label(loss),
-        rows,
-    }
+    let context = format!(
+        "cfg={};horizon={horizon};loss={}",
+        serde_json::to_string(cfg).expect("config serializes"),
+        loss_label(loss),
+    );
+    let run_cfg = cfg.clone();
+    let out = orchestrator::run_sweep(
+        &format!("faults-{}", loss_label(loss)),
+        &context,
+        opts,
+        cells,
+        |(intensity, policy)| format!("intensity={intensity},policy={}", policy.label()),
+        move |(intensity, policy)| {
+            let plan = FaultPlan::seeded(run_cfg.seed, intensity, 21, 21, horizon);
+            let out = run_one(&run_cfg, &placement, policy, plan, loss, true);
+            let mut jct = SampleSet::new();
+            for j in out.jobs.iter().filter_map(|j| j.jct_secs()) {
+                jct.push(j);
+            }
+            FaultRow {
+                intensity,
+                policy: policy.label().to_string(),
+                mean_jct: jct.mean(),
+                // None (rendered as NaN) when a fault plan kills every job
+                // in the window — not a fake "p99 = 0 s".
+                p99_jct: jct.quantile(0.99),
+                retries: out.telemetry.events_of_kind("retry_attempt").len() as u64,
+                workers_lost: out.telemetry.events_of_kind("worker_lost").len() as u64,
+                completed: out.jobs.iter().filter(|j| j.completion.is_some()).count(),
+            }
+        },
+    );
+    (
+        FaultsResult {
+            barrier_loss: loss_label(loss),
+            rows: out.rows,
+        },
+        out.cells,
+    )
 }
 
 impl FaultsResult {
@@ -139,7 +174,9 @@ impl FaultsResult {
                 format!("{:.1}", r.intensity),
                 r.policy.to_string(),
                 format!("{:.1}", r.mean_jct),
-                format!("{:.1}", r.p99_jct),
+                r.p99_jct
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "NaN".to_string()),
                 r.retries.to_string(),
                 r.workers_lost.to_string(),
                 r.completed.to_string(),
@@ -243,7 +280,7 @@ mod tests {
         let b = run(&cfg, &[1.0], BarrierLossPolicy::StallUntilRecovery);
         for (x, y) in a.rows.iter().zip(&b.rows) {
             assert_eq!(x.mean_jct.to_bits(), y.mean_jct.to_bits());
-            assert_eq!(x.p99_jct.to_bits(), y.p99_jct.to_bits());
+            assert_eq!(x.p99_jct.map(f64::to_bits), y.p99_jct.map(f64::to_bits));
             assert_eq!(x.retries, y.retries);
         }
     }

@@ -20,6 +20,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod orchestrator;
 pub mod report;
 pub mod runner;
 pub mod scale;
@@ -28,6 +29,10 @@ pub mod table2;
 pub mod validate;
 
 pub use config::ExperimentConfig;
+pub use orchestrator::{
+    install_sigint_handler, interrupted, run_isolated, run_sweep, write_atomic, CellRecord,
+    SweepOptions, SweepOutcome,
+};
 pub use runner::{
     parallel_map, parallel_map_with_workers, run_grid_search, run_grid_search_telemetry,
     run_table1, PolicyKind,

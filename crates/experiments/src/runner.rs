@@ -106,10 +106,14 @@ pub fn run_table1(cfg: &ExperimentConfig, index: Table1Index, policy: PolicyKind
 /// pull from a shared queue, so uneven job costs balance dynamically.
 /// Used by the sweep experiments.
 ///
-/// If a closure panics, the *first* panic payload is re-raised on the
-/// calling thread after the remaining items drain — siblings keep running
-/// and the original message survives, instead of every worker dying with
-/// a misleading "sweep queue poisoned"/"sweep worker panicked".
+/// If a closure panics, the panic payload of the *lowest input index* that
+/// panicked is re-raised on the calling thread, but only after the entire
+/// remaining queue drains — siblings keep running to completion and the
+/// original message survives, instead of every worker dying with a
+/// misleading "sweep queue poisoned"/"sweep worker panicked". Picking the
+/// lowest index (rather than whichever thread lost the race) keeps the
+/// surfaced error deterministic across interleavings; the orchestrator's
+/// cell isolation relies on the drain guarantee.
 pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
 where
     I: Send,
@@ -140,26 +144,32 @@ where
         })
         .max(1)
         .min(n);
+    type Panic = (usize, Box<dyn std::any::Any + Send>);
+    // Keep the panic from the lowest input index: deterministic regardless
+    // of which worker hit its panic first.
+    fn keep_earliest(slot: &mut Option<Panic>, idx: usize, payload: Box<dyn std::any::Any + Send>) {
+        match slot {
+            Some((held, _)) if *held <= idx => {}
+            _ => *slot = Some((idx, payload)),
+        }
+    }
     if workers <= 1 {
         // Same drain-then-reraise semantics as the threaded path.
         let mut out = Vec::with_capacity(n);
-        let mut first_panic = None;
-        for input in inputs {
+        let mut first_panic: Option<Panic> = None;
+        for (i, input) in inputs.into_iter().enumerate() {
             match catch_unwind(AssertUnwindSafe(|| f(input))) {
                 Ok(o) => out.push(o),
-                Err(payload) => {
-                    first_panic.get_or_insert(payload);
-                }
+                Err(payload) => keep_earliest(&mut first_panic, i, payload),
             }
         }
-        if let Some(payload) = first_panic {
+        if let Some((_, payload)) = first_panic {
             resume_unwind(payload);
         }
         return out;
     }
     let queue = std::sync::Mutex::new(inputs.into_iter().enumerate());
-    let first_panic: std::sync::Mutex<Option<Box<dyn std::any::Any + Send>>> =
-        std::sync::Mutex::new(None);
+    let first_panic: std::sync::Mutex<Option<Panic>> = std::sync::Mutex::new(None);
     let mut results: Vec<(usize, O)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -177,12 +187,13 @@ where
                             Some((i, input)) => {
                                 match catch_unwind(AssertUnwindSafe(|| f(input))) {
                                     Ok(out) => done.push((i, out)),
-                                    Err(payload) => {
-                                        first_panic
+                                    Err(payload) => keep_earliest(
+                                        &mut first_panic
                                             .lock()
-                                            .unwrap_or_else(|e| e.into_inner())
-                                            .get_or_insert(payload);
-                                    }
+                                            .unwrap_or_else(|e| e.into_inner()),
+                                        i,
+                                        payload,
+                                    ),
                                 }
                             }
                             None => return done,
@@ -196,7 +207,7 @@ where
             .flat_map(|h| h.join().expect("sweep worker died outside the job closure"))
             .collect()
     });
-    if let Some(payload) = first_panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+    if let Some((_, payload)) = first_panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
         resume_unwind(payload);
     }
     results.sort_by_key(|(i, _)| *i);
@@ -274,5 +285,33 @@ mod tests {
         });
         assert!(result.is_err());
         assert_eq!(ran.load(Ordering::SeqCst), 15, "remaining items drained");
+    }
+
+    #[test]
+    fn parallel_map_reraises_lowest_index_panic() {
+        // Regression: with several panicking items, the surfaced payload
+        // used to be whichever worker reached the shared slot first —
+        // nondeterministic across interleavings. The drain guarantee means
+        // every item runs, so the lowest panicking index must always win.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for round in 0..24 {
+            let ran = AtomicUsize::new(0);
+            let result = std::panic::catch_unwind(|| {
+                parallel_map((0..64).collect(), |x: i32| {
+                    if x == 7 || x == 23 || x == 55 {
+                        panic!("boom at {x}");
+                    }
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    x
+                })
+            });
+            let payload = result.expect_err("panics must propagate");
+            let msg = payload.downcast_ref::<String>().expect("original payload");
+            assert!(
+                msg.contains("boom at 7"),
+                "round {round}: expected lowest-index panic, got {msg}"
+            );
+            assert_eq!(ran.load(Ordering::SeqCst), 61, "round {round}: queue drained");
+        }
     }
 }

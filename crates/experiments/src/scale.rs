@@ -7,17 +7,19 @@
 //! *simulator* performance per cell — wall-clock, events processed,
 //! events/sec, allocator counters — alongside the usual mean JCT.
 //!
-//! Cells run sequentially (never under [`parallel_map`]) so per-cell
-//! wall-clock numbers are not polluted by sibling cells on other cores.
+//! Cells run through the orchestrator with the worker count forced to one
+//! (never in parallel) so per-cell wall-clock numbers are not polluted by
+//! sibling cells on other cores.
 //! The workload shape is fixed: every job is the paper's 20-worker
 //! synchronous job, PSes are colocated into three groups (Table I #4
 //! generalized), and each cell runs a fixed short iteration count — the
 //! sweep measures engine cost, not convergence.
 
 use crate::config::ExperimentConfig;
+use crate::orchestrator::{self, CellRecord, SweepOptions};
 use crate::report::Table;
 use crate::runner::PolicyKind;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 use tl_cluster::{grouped_placement, table1_group_sizes, Table1Index};
 use tl_dl::{SimOutput, Simulation};
@@ -38,14 +40,14 @@ pub const GRID_HOSTS: [u32; 5] = [21, 63, 147, 315, 500];
 pub const GRID_JOBS: [u32; 3] = [21, 80, 200];
 
 /// One (hosts, jobs, policy) cell of the sweep.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScaleRow {
     /// Cluster size.
     pub hosts: u32,
     /// Concurrent jobs.
     pub jobs: u32,
     /// Policy label.
-    pub policy: &'static str,
+    pub policy: String,
     /// Wall-clock seconds spent simulating this cell.
     pub wall_secs: f64,
     /// Simulator events processed.
@@ -151,7 +153,7 @@ fn measure(cfg: &ExperimentConfig, iters: u64, hosts: u32, jobs: u32, policy: Po
     ScaleRow {
         hosts,
         jobs,
-        policy: policy.label(),
+        policy: policy.label().to_string(),
         wall_secs: wall,
         events: out.events,
         events_per_sec: out.events as f64 / wall.max(1e-9),
@@ -168,25 +170,65 @@ fn measure(cfg: &ExperimentConfig, iters: u64, hosts: u32, jobs: u32, policy: Po
 
 /// Run the sweep. `quick` restricts it to the smallest grid cell
 /// (21 hosts × 21 jobs, all three policies) — the check-script smoke run.
+/// Panics if any cell fails; `repro` uses [`run_with`] and degrades
+/// instead.
 pub fn run(cfg: &ExperimentConfig, quick: bool) -> ScaleResult {
+    let (result, records) = run_with(cfg, quick, &SweepOptions::ephemeral());
+    if let Some(bad) = records.iter().find(|c| !c.outcome.is_ok()) {
+        panic!("scale cell {} — {}", bad.label, bad.outcome);
+    }
+    result
+}
+
+/// [`run`] through the crash-safe orchestrator. The worker count is
+/// forced to one regardless of `opts` — cells time themselves, and
+/// parallel siblings would pollute the wall-clock columns — but the
+/// ledger/resume/timeout machinery all applies. Note that resumed cells
+/// keep the wall-clock numbers of the run that produced them.
+pub fn run_with(
+    cfg: &ExperimentConfig,
+    quick: bool,
+    opts: &SweepOptions,
+) -> (ScaleResult, Vec<CellRecord>) {
     let (hosts_axis, jobs_axis, iters): (&[u32], &[u32], u64) = if quick {
         (&GRID_HOSTS[..1], &GRID_JOBS[..1], QUICK_ITERS)
     } else {
         (&GRID_HOSTS, &GRID_JOBS, ITERS)
     };
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for &hosts in hosts_axis {
         for &jobs in jobs_axis {
             for policy in PolicyKind::all() {
-                rows.push(measure(cfg, iters, hosts, jobs, policy));
+                cells.push((hosts, jobs, policy));
             }
         }
     }
-    ScaleResult {
-        iterations: iters,
-        workers_per_job: WORKERS_PER_JOB,
-        rows,
-    }
+    let context = format!(
+        "cfg={};iters={iters};workers_per_job={WORKERS_PER_JOB};ps_groups={}",
+        serde_json::to_string(cfg).expect("config serializes"),
+        PS_GROUPS.0,
+    );
+    let sequential = SweepOptions {
+        workers: Some(1),
+        ..opts.clone()
+    };
+    let run_cfg = cfg.clone();
+    let out = orchestrator::run_sweep(
+        "scale",
+        &context,
+        &sequential,
+        cells,
+        |(hosts, jobs, policy)| format!("hosts={hosts},jobs={jobs},policy={}", policy.label()),
+        move |(hosts, jobs, policy)| measure(&run_cfg, iters, hosts, jobs, policy),
+    );
+    (
+        ScaleResult {
+            iterations: iters,
+            workers_per_job: WORKERS_PER_JOB,
+            rows: out.rows,
+        },
+        out.cells,
+    )
 }
 
 impl ScaleResult {
@@ -377,5 +419,54 @@ mod tests {
         let threaded = run_with(4);
         assert!(sequential[0].contains("\"jobs\":["));
         assert_eq!(sequential, threaded, "worker count changed results");
+    }
+
+    #[test]
+    fn deterministic_after_kill_mid_sweep_and_resume() {
+        // Extends `deterministic_across_parallel_map_worker_counts` to the
+        // crash path: the same cells through the orchestrator, with the
+        // ledger truncated after the first completed cell (a simulated
+        // kill -9 mid-append), then resumed under a different worker
+        // count. The merged canonical JSON must be byte-identical to the
+        // uninterrupted run.
+        let cfg = tiny_cfg();
+        let dir = std::env::temp_dir().join(format!("tl-scale-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sweep = |resume: bool, workers: usize, ledger: bool| {
+            let cfg = cfg.clone();
+            let opts = SweepOptions {
+                workers: Some(workers),
+                ledger_dir: ledger.then(|| dir.clone()),
+                resume,
+                ..SweepOptions::default()
+            };
+            orchestrator::run_sweep(
+                "scale-determinism",
+                "kill-resume",
+                &opts,
+                PolicyKind::all().to_vec(),
+                |p| p.label().to_string(),
+                move |policy| canonical_json(&run_cell(&cfg, GRID_HOSTS[0], GRID_JOBS[0], policy)),
+            )
+        };
+        let uninterrupted = sweep(false, 1, false);
+
+        // Full checkpointed run, then chop the ledger down to the header
+        // plus one completed cell and half of the next line.
+        sweep(false, 1, true);
+        let ledger = dir.join("scale-determinism.cells.jsonl");
+        let contents = std::fs::read_to_string(&ledger).unwrap();
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 4, "header + 3 cells");
+        let torn = format!("{}\n{}\n{}", lines[0], lines[1], &lines[2][..lines[2].len() / 2]);
+        std::fs::write(&ledger, torn).unwrap();
+
+        let resumed = sweep(true, 4, true);
+        assert_eq!(resumed.cells.iter().filter(|c| c.from_ledger).count(), 1);
+        assert_eq!(
+            uninterrupted.rows, resumed.rows,
+            "kill-mid-sweep + resume changed the merged output"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

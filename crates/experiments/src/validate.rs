@@ -43,8 +43,9 @@
 
 use crate::config::ExperimentConfig;
 use crate::report::Table;
-use crate::runner::{parallel_map, PolicyKind};
-use serde::Serialize;
+use crate::orchestrator::{self, CellRecord, SweepOptions};
+use crate::runner::PolicyKind;
+use serde::{Deserialize, Serialize};
 use simcore::{RngFactory, SimDuration, SimTime};
 use tl_cluster::{grouped_placement, Placement};
 use tl_dl::{
@@ -267,20 +268,20 @@ pub fn scenarios(master: &ExperimentConfig) -> Vec<Scenario> {
 }
 
 /// One scenario's differential verdict.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioRow {
     /// Scenario index.
     pub id: usize,
     /// PS spread label.
-    pub placement: &'static str,
+    pub placement: String,
     /// Policy label.
-    pub policy: &'static str,
+    pub policy: String,
     /// Arrival pattern label.
-    pub arrivals: &'static str,
+    pub arrivals: String,
     /// Topology label (`single-switch` or `leaf-spine:RxH@O`).
     pub topology: String,
     /// Traffic pattern name.
-    pub pattern: &'static str,
+    pub pattern: String,
     /// Fault intensity (0 = healthy).
     pub fault_intensity: f64,
     /// Concurrent jobs.
@@ -360,11 +361,11 @@ fn run_scenario(ecfg: &ExperimentConfig, sc: &Scenario) -> ScenarioRow {
     };
     let mut row = ScenarioRow {
         id: sc.id,
-        placement: sc.shape.label(),
-        policy: sc.policy.label(),
-        arrivals: sc.arrivals.label(),
+        placement: sc.shape.label().to_string(),
+        policy: sc.policy.label().to_string(),
+        arrivals: sc.arrivals.label().to_string(),
         topology: sc.topology.to_string(),
-        pattern: sc.pattern.name(),
+        pattern: sc.pattern.name().to_string(),
         fault_intensity: sc.fault_intensity,
         num_jobs: sc.num_jobs,
         workers: sc.workers,
@@ -456,16 +457,60 @@ fn run_scenario(ecfg: &ExperimentConfig, sc: &Scenario) -> ScenarioRow {
 }
 
 /// Run the differential sweep: every scenario through both backends.
+/// Panics if any scenario cell fails outright (engine errors are still
+/// per-row data, not failures); `repro` uses [`run_with`] and degrades.
 pub fn run(master: &ExperimentConfig) -> ValidateResult {
-    let ecfg = scenario_cfg(master);
-    let rows = parallel_map(scenarios(master), |sc| run_scenario(&ecfg, &sc));
-    ValidateResult {
-        tol_rel_healthy: TOL_REL_HEALTHY,
-        tol_rel_faulted: TOL_REL_FAULTED,
-        tol_abs_secs: TOL_ABS_SECS,
-        iterations: ecfg.iterations,
-        rows,
+    let (result, records) = run_with(master, &SweepOptions::ephemeral());
+    if let Some(bad) = records.iter().find(|c| !c.outcome.is_ok()) {
+        panic!("validate cell {} — {}", bad.label, bad.outcome);
     }
+    result
+}
+
+/// [`run`] through the crash-safe orchestrator: per-scenario isolation,
+/// optional checkpoint ledger, and the per-cell audit trail.
+pub fn run_with(
+    master: &ExperimentConfig,
+    opts: &SweepOptions,
+) -> (ValidateResult, Vec<CellRecord>) {
+    let ecfg = scenario_cfg(master);
+    let context = format!(
+        "cfg={};tol={TOL_REL_HEALTHY}/{TOL_REL_FAULTED}/{TOL_ABS_SECS}",
+        serde_json::to_string(&ecfg).expect("config serializes"),
+    );
+    let run_cfg = ecfg.clone();
+    let out = orchestrator::run_sweep(
+        "validate",
+        &context,
+        opts,
+        scenarios(master),
+        |sc| {
+            format!(
+                "id={},placement={},policy={},arrivals={},topo={},pattern={},fault={},jobs={},workers={},mb={}",
+                sc.id,
+                sc.shape.label(),
+                sc.policy.label(),
+                sc.arrivals.label(),
+                sc.topology,
+                sc.pattern.name(),
+                sc.fault_intensity,
+                sc.num_jobs,
+                sc.workers,
+                sc.model_mb,
+            )
+        },
+        move |sc| run_scenario(&run_cfg, &sc),
+    );
+    (
+        ValidateResult {
+            tol_rel_healthy: TOL_REL_HEALTHY,
+            tol_rel_faulted: TOL_REL_FAULTED,
+            tol_abs_secs: TOL_ABS_SECS,
+            iterations: ecfg.iterations,
+            rows: out.rows,
+        },
+        out.cells,
+    )
 }
 
 impl ValidateResult {
@@ -712,11 +757,11 @@ mod tests {
     fn failing_row_is_flagged_and_marked() {
         let row = ScenarioRow {
             id: 7,
-            placement: "colocated",
-            policy: "FIFO",
-            arrivals: "staggered",
+            placement: "colocated".to_string(),
+            policy: "FIFO".to_string(),
+            arrivals: "staggered".to_string(),
             topology: "single-switch".into(),
-            pattern: "ps-star",
+            pattern: "ps-star".to_string(),
             fault_intensity: 0.0,
             num_jobs: 3,
             workers: 2,

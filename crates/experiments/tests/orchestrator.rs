@@ -1,0 +1,183 @@
+//! Orchestrator checkpoint/resume behavior on toy cells: ledger round
+//! trips, torn-tail recovery, failure retry, and context fencing. The
+//! full-stack sweep equivalents (real fabric cells, merged-JSON byte
+//! identity) live in `tests/resume.rs`.
+
+use simcore::CellOutcome;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use tl_experiments::orchestrator::{run_sweep, SweepOptions, SweepOutcome};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tl-orch-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn opts(dir: &std::path::Path, resume: bool, workers: usize) -> SweepOptions {
+    SweepOptions {
+        workers: Some(workers),
+        ledger_dir: Some(dir.to_path_buf()),
+        resume,
+        ..SweepOptions::default()
+    }
+}
+
+fn square_sweep(
+    dir: &std::path::Path,
+    resume: bool,
+    workers: usize,
+    executed: &Arc<AtomicUsize>,
+) -> SweepOutcome<i64> {
+    let executed = Arc::clone(executed);
+    run_sweep(
+        "toy",
+        "squares-v1",
+        &opts(dir, resume, workers),
+        (0..10).collect(),
+        |c| format!("cell={c}"),
+        move |c: i64| {
+            executed.fetch_add(1, Ordering::SeqCst);
+            c * c
+        },
+    )
+}
+
+#[test]
+fn resume_loads_completed_cells_without_re_executing() {
+    let dir = temp_dir("resume-noop");
+    let executed = Arc::new(AtomicUsize::new(0));
+    let first = square_sweep(&dir, false, 2, &executed);
+    assert_eq!(first.rows, (0..10).map(|c| c * c).collect::<Vec<_>>());
+    assert_eq!(executed.load(Ordering::SeqCst), 10);
+
+    let second = square_sweep(&dir, true, 2, &executed);
+    assert_eq!(second.rows, first.rows);
+    assert_eq!(executed.load(Ordering::SeqCst), 10, "no cell re-executed");
+    assert!(second.cells.iter().all(|c| c.from_ledger && c.outcome.is_ok()));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_final_line_is_dropped_and_healed() {
+    let dir = temp_dir("torn");
+    let executed = Arc::new(AtomicUsize::new(0));
+    square_sweep(&dir, false, 1, &executed);
+    let ledger = dir.join("toy.cells.jsonl");
+
+    // Simulate a crash mid-append: keep the header + 4 entries + half of
+    // the 5th entry, no trailing newline.
+    let contents = std::fs::read_to_string(&ledger).unwrap();
+    let lines: Vec<&str> = contents.lines().collect();
+    assert_eq!(lines.len(), 11, "header + 10 cells");
+    let mut torn = lines[..5].join("\n");
+    torn.push('\n');
+    torn.push_str(&lines[5][..lines[5].len() / 2]);
+    std::fs::write(&ledger, &torn).unwrap();
+
+    executed.store(0, Ordering::SeqCst);
+    let resumed = square_sweep(&dir, true, 4, &executed);
+    assert_eq!(resumed.rows, (0..10).map(|c| c * c).collect::<Vec<_>>());
+    // 4 intact entries load; the torn 5th and the lost tail re-run.
+    assert_eq!(executed.load(Ordering::SeqCst), 6);
+    assert_eq!(resumed.cells.iter().filter(|c| c.from_ledger).count(), 4);
+
+    // The healed ledger now parses completely and a further resume is a
+    // pure load.
+    executed.store(0, Ordering::SeqCst);
+    let third = square_sweep(&dir, true, 1, &executed);
+    assert_eq!(executed.load(Ordering::SeqCst), 0);
+    assert_eq!(third.rows, resumed.rows);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn failed_cells_are_recorded_and_retried_on_resume() {
+    let dir = temp_dir("retry");
+    let poison = Arc::new(AtomicUsize::new(1)); // 1 => cell 3 panics
+    let run = |resume: bool| {
+        let poison = Arc::clone(&poison);
+        run_sweep(
+            "toy-retry",
+            "v1",
+            &opts(&dir, resume, 2),
+            (0..6).collect(),
+            |c| format!("cell={c}"),
+            move |c: i64| {
+                if c == 3 && poison.load(Ordering::SeqCst) == 1 {
+                    panic!("transient failure");
+                }
+                c + 100
+            },
+        )
+    };
+    let first: SweepOutcome<i64> = run(false);
+    assert_eq!(first.rows.len(), 5);
+    assert!(matches!(first.cells[3].outcome, CellOutcome::Panicked { .. }));
+    let ledger = std::fs::read_to_string(dir.join("toy-retry.cells.jsonl")).unwrap();
+    assert!(ledger.contains("\"Panicked\""), "failure checkpointed for post-mortem");
+
+    // The fault clears (e.g. a code fix); resume retries only cell 3.
+    poison.store(0, Ordering::SeqCst);
+    let second = run(true);
+    assert_eq!(second.rows, (0..6).map(|c| c + 100).collect::<Vec<_>>());
+    assert!(second.all_ok());
+    assert_eq!(second.cells.iter().filter(|c| !c.from_ledger).count(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn mismatched_context_discards_stale_ledger() {
+    let dir = temp_dir("ctx");
+    let executed = Arc::new(AtomicUsize::new(0));
+    square_sweep(&dir, false, 1, &executed);
+
+    // Same sweep name, different context (think `--quick` vs full): the
+    // old ledger must not satisfy the resume.
+    let executed2 = Arc::new(AtomicUsize::new(0));
+    let e2 = Arc::clone(&executed2);
+    let out: SweepOutcome<i64> = run_sweep(
+        "toy",
+        "squares-v2",
+        &opts(&dir, true, 1),
+        (0..10).collect(),
+        |c| format!("cell={c}"),
+        move |c: i64| {
+            e2.fetch_add(1, Ordering::SeqCst);
+            c * c
+        },
+    );
+    assert_eq!(executed2.load(Ordering::SeqCst), 10, "every cell re-ran");
+    assert!(out.cells.iter().all(|c| !c.from_ledger));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn merged_rows_identical_across_worker_counts_and_resume() {
+    // Canonical-JSON byte identity of the merged rows: 1 worker
+    // uninterrupted vs 4 workers resumed from a truncated ledger.
+    let dir_a = temp_dir("ident-a");
+    let dir_b = temp_dir("ident-b");
+    let executed = Arc::new(AtomicUsize::new(0));
+    let a = square_sweep(&dir_a, false, 1, &executed);
+    let b1 = square_sweep(&dir_b, false, 4, &executed);
+    assert_eq!(
+        serde_json::to_string(&a.rows).unwrap(),
+        serde_json::to_string(&b1.rows).unwrap()
+    );
+
+    // Truncate b's ledger to header + 3 entries, resume with 4 workers.
+    let ledger = dir_b.join("toy.cells.jsonl");
+    let contents = std::fs::read_to_string(&ledger).unwrap();
+    let mut kept = contents.lines().take(4).collect::<Vec<_>>().join("\n");
+    kept.push('\n');
+    std::fs::write(&ledger, kept).unwrap();
+    let b2 = square_sweep(&dir_b, true, 4, &executed);
+    assert_eq!(
+        serde_json::to_string(&a.rows).unwrap(),
+        serde_json::to_string(&b2.rows).unwrap()
+    );
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
+}

@@ -1,0 +1,69 @@
+//! Full-stack kill-and-resume determinism: a real fabric sweep whose
+//! ledger is truncated mid-sweep (simulating a crash) must, after resume,
+//! serialize to merged JSON byte-identical to an uninterrupted run —
+//! regardless of worker count. The toy-cell equivalents live in
+//! `tests/orchestrator.rs`.
+
+use tl_experiments::fabric;
+use tl_experiments::{ExperimentConfig, SweepOptions};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tl-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn opts(dir: &std::path::Path, resume: bool, workers: usize) -> SweepOptions {
+    SweepOptions {
+        workers: Some(workers),
+        ledger_dir: Some(dir.to_path_buf()),
+        resume,
+        ..SweepOptions::default()
+    }
+}
+
+#[test]
+fn fabric_merged_json_survives_kill_and_resume_byte_identical() {
+    let cfg = ExperimentConfig {
+        iterations: 2,
+        ..ExperimentConfig::quick()
+    };
+
+    // Reference: one worker, uninterrupted.
+    let dir_a = temp_dir("ref");
+    let (ref_result, ref_records) = fabric::run_with(&cfg, true, &opts(&dir_a, false, 1));
+    assert!(ref_records.iter().all(|c| c.outcome.is_ok()));
+    assert_eq!(ref_result.rows.len(), 27, "3 oversubs x 3 patterns x 3 policies");
+    let ref_json = serde_json::to_string_pretty(&ref_result).unwrap();
+
+    // Victim: four workers, then a simulated crash — the ledger keeps the
+    // header, nine complete entries, and half of the tenth (a torn append).
+    let dir_b = temp_dir("victim");
+    fabric::run_with(&cfg, true, &opts(&dir_b, false, 4));
+    let ledger = dir_b.join("fabric.cells.jsonl");
+    let contents = std::fs::read_to_string(&ledger).unwrap();
+    let lines: Vec<&str> = contents.lines().collect();
+    assert_eq!(lines.len(), 28, "header + 27 cells");
+    let mut torn = lines[..10].join("\n");
+    torn.push('\n');
+    torn.push_str(&lines[10][..lines[10].len() / 2]);
+    std::fs::write(&ledger, &torn).unwrap();
+
+    // Resume with a different worker count than the reference run.
+    let (resumed, records) = fabric::run_with(&cfg, true, &opts(&dir_b, true, 4));
+    assert_eq!(
+        records.iter().filter(|c| c.from_ledger).count(),
+        9,
+        "the intact ledger prefix loads without re-execution"
+    );
+    assert!(records.iter().all(|c| c.outcome.is_ok()));
+    assert_eq!(
+        serde_json::to_string_pretty(&resumed).unwrap(),
+        ref_json,
+        "resumed merged JSON must be byte-identical to the uninterrupted run"
+    );
+
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
+}

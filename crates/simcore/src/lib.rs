@@ -30,6 +30,7 @@
 
 pub mod event;
 pub mod invariant;
+pub mod outcome;
 pub mod profile;
 pub mod rng;
 pub mod stats;
@@ -38,8 +39,9 @@ pub mod trace;
 
 pub use event::{EventHandle, EventQueue};
 pub use invariant::{InvariantChecker, InvariantViolation};
+pub use outcome::CellOutcome;
 pub use profile::{ProfileReport, Profiler, SubsystemProfile};
 pub use rng::{RngFactory, UnitLogNormal};
 pub use stats::{Histogram, OnlineStats, SampleSet, Summary};
-pub use time::{SimDuration, SimTime};
+pub use time::{MonotonicTimer, SimDuration, SimTime};
 pub use trace::{TraceRecord, TraceRecorder};

@@ -1,0 +1,109 @@
+//! Typed outcomes for isolated units of work ("cells").
+//!
+//! A sweep is a grid of independent simulation cells. When cells run under
+//! the experiment orchestrator each one is wrapped in `catch_unwind` plus an
+//! optional wall-clock timeout, so a single diverging or hung configuration
+//! can no longer abort the whole sweep. The result of every attempt is
+//! recorded as a [`CellOutcome`] — the taxonomy the crash-safe ledger, the
+//! per-cell failure report, and the repro exit-code story are all built on.
+//!
+//! The type lives in `simcore` (not `tl-experiments`) because it is
+//! domain-agnostic plumbing: anything that executes isolated work units can
+//! reuse it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a single isolated unit of work ended.
+///
+/// Serialized into the append-only sweep ledger
+/// (`results/json/<sweep>.cells.jsonl`), so the representation is part of the
+/// on-disk format: `"Ok"`, `{"Panicked":{"msg":...}}`, `"TimedOut"`,
+/// `"Skipped"`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellOutcome {
+    /// The cell completed and produced a result.
+    Ok,
+    /// The cell panicked; `msg` is the rendered panic payload.
+    Panicked {
+        /// Rendered panic payload (or a placeholder for non-string payloads).
+        msg: String,
+    },
+    /// The cell exceeded its configured wall-clock timeout.
+    TimedOut,
+    /// The cell was never attempted (interrupt, failure budget exhausted).
+    Skipped,
+}
+
+impl CellOutcome {
+    /// True for [`CellOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellOutcome::Ok)
+    }
+
+    /// True for outcomes that count against a sweep's failure budget
+    /// (panicked or timed out — skipped cells were never attempted).
+    pub fn is_failure(&self) -> bool {
+        matches!(self, CellOutcome::Panicked { .. } | CellOutcome::TimedOut)
+    }
+
+    /// Short lowercase label for reports and progress lines.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellOutcome::Ok => "ok",
+            CellOutcome::Panicked { .. } => "panicked",
+            CellOutcome::TimedOut => "timed out",
+            CellOutcome::Skipped => "skipped",
+        }
+    }
+}
+
+impl fmt::Display for CellOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellOutcome::Panicked { msg } => write!(f, "panicked: {msg}"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(CellOutcome::Ok.is_ok());
+        assert!(!CellOutcome::Ok.is_failure());
+        assert!(CellOutcome::TimedOut.is_failure());
+        assert!(CellOutcome::Panicked { msg: "x".into() }.is_failure());
+        assert!(!CellOutcome::Skipped.is_failure());
+        assert!(!CellOutcome::Skipped.is_ok());
+    }
+
+    #[test]
+    fn serde_round_trip_is_stable() {
+        // The ledger format depends on these exact encodings.
+        let cases = [
+            (CellOutcome::Ok, "\"Ok\""),
+            (
+                CellOutcome::Panicked { msg: "boom".into() },
+                "{\"Panicked\":{\"msg\":\"boom\"}}",
+            ),
+            (CellOutcome::TimedOut, "\"TimedOut\""),
+            (CellOutcome::Skipped, "\"Skipped\""),
+        ];
+        for (outcome, json) in cases {
+            assert_eq!(serde_json::to_string(&outcome).unwrap(), json);
+            let back: CellOutcome = serde_json::from_str(json).unwrap();
+            assert_eq!(back, outcome);
+        }
+    }
+
+    #[test]
+    fn display_includes_panic_message() {
+        let o = CellOutcome::Panicked { msg: "div by zero".into() };
+        assert_eq!(o.to_string(), "panicked: div by zero");
+        assert_eq!(CellOutcome::TimedOut.to_string(), "timed out");
+    }
+}

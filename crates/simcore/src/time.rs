@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
+use std::time::{Duration, Instant};
 
 /// A point in simulated time, in nanoseconds since simulation start.
 #[derive(
@@ -144,6 +145,35 @@ impl SimDuration {
     /// Saturating addition.
     pub fn saturating_add(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_add(other.0))
+    }
+}
+
+/// Monotonic wall-clock stopwatch for timing units of real work.
+///
+/// Unlike [`SimTime`] this measures *host* time: it wraps
+/// [`std::time::Instant`], which is monotonic (immune to NTP steps and
+/// clock adjustments), so it is safe for cell-timeout accounting and the
+/// wall-clock columns of performance sweeps. It deliberately has no
+/// relationship to simulated time.
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicTimer {
+    start: Instant,
+}
+
+impl MonotonicTimer {
+    /// Start a stopwatch at the current instant.
+    pub fn start() -> Self {
+        MonotonicTimer { start: Instant::now() }
+    }
+
+    /// Wall-clock time elapsed since [`MonotonicTimer::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed time as fractional seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
     }
 }
 

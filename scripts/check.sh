@@ -83,6 +83,35 @@ if [[ "${1:-}" != "fast" ]]; then
     grep -q '"blame"' "$tmp/explain/explain.json"
     grep -q '"critical_path"' "$tmp/explain/explain.json"
     grep -q '"alloc.solve"' "$tmp/explain/profile.json"
+
+    # Orchestrator routing: every sweep module must run its cells through
+    # the crash-safe orchestrator (per-cell isolation + checkpoint ledger),
+    # not bare parallel_map.
+    echo "==> orchestrator routing check"
+    for s in scale fabric validate faults explain; do
+        grep -q 'orchestrator::run_sweep' "crates/experiments/src/$s.rs" \
+            || { echo "sweep $s does not route through the orchestrator"; exit 1; }
+    done
+
+    # Crash-and-resume smoke: inject a panic into one scale cell — repro
+    # must drain the sweep, report the cell, and exit 4 with the surviving
+    # cells checkpointed; a resume re-runs only the failed cell and exits
+    # 0; a second resume is a pure ledger load and the merged JSON must be
+    # byte-identical across the two.
+    echo "==> crash-and-resume smoke (--quick)"
+    status=0
+    TL_SWEEP_PANIC_AT=scale:1 ./target/release/repro --experiment scale \
+        --quick --json "$tmp/sweep" > /dev/null 2>&1 || status=$?
+    [[ "$status" -eq 4 ]] || {
+        echo "expected exit 4 after an injected cell failure, got $status"; exit 1
+    }
+    grep -q '"Panicked"' "$tmp/sweep/scale.cells.jsonl"
+    ./target/release/repro --experiment scale --quick --json "$tmp/sweep" \
+        --resume > /dev/null 2>&1
+    cp "$tmp/sweep/scale.json" "$tmp/sweep/scale.first.json"
+    ./target/release/repro --experiment scale --quick --json "$tmp/sweep" \
+        --resume > /dev/null 2>&1
+    cmp "$tmp/sweep/scale.json" "$tmp/sweep/scale.first.json"
 fi
 
 echo "==> all checks passed"
