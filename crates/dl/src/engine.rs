@@ -110,6 +110,13 @@ pub struct SimConfig {
     /// values are *not* deterministic; the report is excluded from
     /// telemetry exports.
     pub profile: bool,
+    /// Worker threads for the fluid backend's component-parallel max-min
+    /// allocator. `None` (default) defers to the `TL_WORKERS` environment
+    /// variable, falling back to the machine's available parallelism
+    /// (capped at 8). Simulation results are bitwise-identical at every
+    /// setting — only wall time changes — so this is safe to leave
+    /// unpinned even for reproducibility-sensitive runs.
+    pub alloc_workers: Option<usize>,
 }
 
 impl Default for SimConfig {
@@ -136,6 +143,7 @@ impl Default for SimConfig {
             backend: NetBackendKind::Fluid,
             invariants: cfg!(debug_assertions),
             profile: false,
+            alloc_workers: None,
         }
     }
 }
@@ -695,6 +703,13 @@ impl<'p> Simulation<'p> {
         self
     }
 
+    /// Pin the fluid backend's allocator worker count (overrides
+    /// `cfg.alloc_workers`; results are bitwise-identical at any value).
+    pub fn alloc_workers(mut self, workers: usize) -> Self {
+        self.cfg.alloc_workers = Some(workers);
+        self
+    }
+
     /// Run the simulation to completion (or the configured horizon).
     ///
     /// Panics if no jobs were added, a setup is inconsistent, or — with
@@ -760,7 +775,13 @@ fn run_inner(
     // Dispatch once on the backend kind; everything below is generic and
     // monomorphized, so the fluid fast path pays nothing for pluggability.
     match cfg.backend {
-        NetBackendKind::Fluid => run_with_net(cfg, setups, policy, FluidNet::new(topo)),
+        NetBackendKind::Fluid => {
+            let mut net = FluidNet::new(topo);
+            if let Some(workers) = cfg.alloc_workers {
+                net.set_alloc_workers(workers);
+            }
+            run_with_net(cfg, setups, policy, net)
+        }
         NetBackendKind::Packet => run_with_net(cfg, setups, policy, PacketNet::new(topo)),
     }
 }
@@ -979,7 +1000,17 @@ impl<'a, N: NetBackend> Sim<'a, N> {
                 Ev::Sample => self.on_sample(t),
                 Ev::MetricsSample => self.on_metrics_sample(t),
             }
-            self.rearm(t);
+            // Same-timestamp batching: while more events are queued at
+            // exactly `t`, skip re-arming the wake-up events — each rearm
+            // asks the substrates for their next event time, which forces
+            // a rate refresh, and handlers never need rates mid-batch
+            // (any read goes through an explicit `advance`). One rearm —
+            // and so at most one allocator solve — serves the burst.
+            // Handlers only schedule strictly-future events except via
+            // `rearm` itself, so batching cannot change same-`t` pop order.
+            if self.queue.peek_time() != Some(t) {
+                self.rearm(t);
+            }
             self.profiler.stop("engine.handlers", handler_timer);
             let snaps_done =
                 !window_configured || (self.snap_start.is_some() && self.snap_end.is_some());
@@ -1882,6 +1913,9 @@ impl<'a, N: NetBackend> Sim<'a, N> {
             if let Some(util) = &util {
                 monitor::record_utilization(reg, util);
             }
+            // Wall-clock fields (`wall_nanos`, `parallel_wall_nanos`) stay
+            // out: exported metrics must be deterministic. The dispatch
+            // count is deterministic for a fixed worker setting.
             for (name, v) in [
                 ("alloc.invocations", alloc.invocations),
                 ("alloc.full_solves", alloc.full_solves),
@@ -1889,6 +1923,7 @@ impl<'a, N: NetBackend> Sim<'a, N> {
                 ("alloc.components_retained", alloc.components_retained),
                 ("alloc.rounds", alloc.rounds),
                 ("alloc.flows_touched", alloc.flows_touched),
+                ("alloc.parallel_dispatches", alloc.parallel_dispatches),
             ] {
                 let id = reg.register(name, MetricKind::Counter);
                 reg.set(id, v as f64);

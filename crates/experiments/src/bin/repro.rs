@@ -56,6 +56,7 @@ struct Args {
     experiment: String,
     cfg: ExperimentConfig,
     quick: bool,
+    xl: bool,
     profile: bool,
     csv_dir: Option<PathBuf>,
     json_dir: Option<PathBuf>,
@@ -92,6 +93,7 @@ fn parse_args() -> Args {
     let mut experiment = "all".to_string();
     let mut cfg = ExperimentConfig::default();
     let mut quick = false;
+    let mut xl = false;
     let mut profile = false;
     let mut csv_dir = None;
     let mut json_dir: Option<PathBuf> = None;
@@ -125,6 +127,7 @@ fn parse_args() -> Args {
             }
             "--full" => cfg = ExperimentConfig::full(),
             "--quick" => quick = true,
+            "--xl" => xl = true,
             "--profile" => profile = true,
             "--seed" | "-s" => {
                 let v = next(&mut i);
@@ -178,6 +181,7 @@ fn parse_args() -> Args {
                      --iterations N   scaled iteration count (default 300)\n\
                      --full           paper scale (1500 iterations)\n\
                      --quick          scale/fabric/explain: smoke-sized run\n\
+                     --xl             scale: the 10 000-host x 5 000-job cell instead of the grid\n\
                      --profile        self-profile the simulator (per-subsystem wall time)\n\
                      --seed S         master seed\n\
                      --topology SPEC  single-switch (default) or leaf-spine:<racks>x<hosts>[@<oversub>]\n\
@@ -221,6 +225,7 @@ fn parse_args() -> Args {
         experiment,
         cfg,
         quick,
+        xl,
         profile,
         csv_dir,
         json_dir,
@@ -583,7 +588,13 @@ fn main() {
         // per cell. `--quick` runs only the smallest cell (smoke run).
         use tl_experiments::scale;
         isolated!("scale", {
-            let (r, records) = scale::run_with(cfg, args.quick, &args.sweep_opts());
+            let (r, records) = if args.xl {
+                // The single 10 000-host x 5 000-job cell (all three
+                // policies); run_xl panics unless every job completes.
+                (scale::run_xl(cfg), Vec::new())
+            } else {
+                scale::run_with(cfg, args.quick, &args.sweep_opts())
+            };
             collect_failures(&mut failures, "scale", &records);
             for row in &r.rows {
                 if row.completed as u32 != row.jobs {
@@ -604,6 +615,17 @@ fn main() {
                     Some(r.summary()),
                     serde_json::to_string_pretty(&r).expect("json"),
                 );
+                // Deterministic projection (wall-clock columns stripped,
+                // floats as bit patterns): byte-identical across runs and
+                // across TL_WORKERS settings; check.sh compares it.
+                if let Some(dir) = &args.json_dir {
+                    std::fs::create_dir_all(dir).expect("create json dir");
+                    write_atomic(
+                        &dir.join("scale.canonical.json"),
+                        r.canonical_json().as_bytes(),
+                    )
+                    .expect("write canonical json");
+                }
             }
         });
         ran += 1;

@@ -41,6 +41,11 @@ pub struct ExperimentConfig {
     /// unless overridden.
     #[serde(default)]
     pub pattern: TrafficPattern,
+    /// Allocator worker threads. `None` defers to the engine default
+    /// (`TL_WORKERS`, else available parallelism capped at 8). Results are
+    /// bitwise-identical at every setting; this only moves wall time.
+    #[serde(default)]
+    pub alloc_workers: Option<usize>,
 }
 
 impl Default for ExperimentConfig {
@@ -68,6 +73,7 @@ impl ExperimentConfig {
             link_gbps: 10.0,
             topology: TopologySpec::SingleSwitch,
             pattern: TrafficPattern::PsStar,
+            alloc_workers: None,
         }
     }
 
@@ -106,6 +112,7 @@ impl ExperimentConfig {
             barrier_loss: tl_dl::BarrierLossPolicy::default(),
             topology: self.topology,
             pattern: self.pattern,
+            alloc_workers: self.alloc_workers,
             ..SimConfig::default()
         }
     }

@@ -21,8 +21,9 @@ use crate::report::Table;
 use crate::runner::PolicyKind;
 use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
-use tl_cluster::{grouped_placement, table1_group_sizes, Table1Index};
-use tl_dl::{SimOutput, Simulation};
+use tl_cluster::{grouped_placement, table1_group_sizes, JobPlacement, Placement, Table1Index};
+use tl_dl::{SimOutput, Simulation, TopologySpec};
+use tl_net::HostId;
 use tl_workloads::GridSearchConfig;
 
 /// Workers per job everywhere in the sweep (the paper's job shape).
@@ -38,6 +39,22 @@ const PS_GROUPS: Table1Index = Table1Index(4);
 pub const GRID_HOSTS: [u32; 5] = [21, 63, 147, 315, 500];
 /// Concurrent-job counts swept by the full grid.
 pub const GRID_JOBS: [u32; 3] = [21, 80, 200];
+
+/// XL cell (`repro --experiment scale --xl`): 10 000 hosts as a leaf-spine
+/// fabric of 250 racks × 40 hosts, 5 000 jobs.
+pub const XL_RACKS: u32 = 250;
+/// Hosts per rack in the XL cell.
+pub const XL_HOSTS_PER_RACK: u32 = 40;
+/// Concurrent jobs in the XL cell.
+pub const XL_JOBS: u32 = 5_000;
+/// Workers per job in the XL cell. Deliberately smaller than the grid's
+/// 20-worker paper job: at 5 000 concurrent jobs the realistic cluster
+/// regime (CASSINI/MLTCP traces) is many small jobs, and rack-local
+/// 4-worker jobs keep each rack an independent flow component — which is
+/// exactly the structure the parallel allocator exploits.
+pub const XL_WORKERS_PER_JOB: u32 = 4;
+/// Iterations per job in the XL cell.
+const XL_ITERS: u64 = 3;
 
 /// One (hosts, jobs, policy) cell of the sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -231,6 +248,99 @@ pub fn run_with(
     )
 }
 
+/// Rack-local placement for the XL cell. Jobs are dealt 20 per rack; each
+/// rack pins two jobs' PSes to each of its ten even hosts (the paper's
+/// contending-PS shape, rack-scale) and runs their workers on the
+/// following hosts of the same rack. No flow ever leaves its rack, so the
+/// 10 000-host cluster decomposes into 250 independent components — dirty
+/// re-solves stay rack-sized and same-tick batches fan out to the
+/// allocator's worker pool.
+fn xl_placement() -> Placement {
+    let jobs_per_rack = XL_JOBS / XL_RACKS;
+    let jobs = (0..XL_JOBS)
+        .map(|i| {
+            let rack = i / jobs_per_rack;
+            let slot = i % jobs_per_rack;
+            let base = rack * XL_HOSTS_PER_RACK;
+            let ps_off = (slot % (jobs_per_rack / 2)) * 4 % XL_HOSTS_PER_RACK;
+            let workers = (0..XL_WORKERS_PER_JOB)
+                .map(|w| HostId(base + (ps_off + 1 + slot + w) % XL_HOSTS_PER_RACK))
+                .collect();
+            JobPlacement::new(HostId(base + ps_off), workers)
+        })
+        .collect();
+    Placement { jobs }
+}
+
+/// Run the XL cell (10 000 hosts × 5 000 jobs) under one policy.
+pub fn run_xl_cell(cfg: &ExperimentConfig, policy: PolicyKind) -> SimOutput {
+    let cell_cfg = ExperimentConfig {
+        iterations: XL_ITERS,
+        rr_interval: SimDuration::from_secs(5),
+        topology: TopologySpec::LeafSpine {
+            racks: XL_RACKS,
+            hosts_per_rack: XL_HOSTS_PER_RACK,
+            oversub: 2.0,
+        },
+        ..cfg.clone()
+    };
+    let placement = xl_placement();
+    let mut wl = GridSearchConfig::paper_scaled(XL_ITERS);
+    wl.num_jobs = XL_JOBS;
+    wl.workers_per_job = XL_WORKERS_PER_JOB;
+    let setups = wl.build(&placement);
+    let sim_cfg = cell_cfg.sim_config();
+    let mut policy = policy.build(&cell_cfg);
+    Simulation::new(sim_cfg)
+        .jobs(setups)
+        .policy_ref(policy.as_mut())
+        .run()
+}
+
+/// The XL scale row: the 10 000-host × 5 000-job cell under all three
+/// policies (`repro --experiment scale --xl`). Panics if any job fails to
+/// complete — an unfinished job at this scale means the engine broke, not
+/// that the workload was slow.
+pub fn run_xl(cfg: &ExperimentConfig) -> ScaleResult {
+    let rows = PolicyKind::all()
+        .iter()
+        .map(|&policy| {
+            let started = std::time::Instant::now();
+            let out = run_xl_cell(cfg, policy);
+            let wall = started.elapsed().as_secs_f64();
+            let a = out.alloc_stats;
+            let completed = out.jobs.iter().filter(|j| j.completion.is_some()).count();
+            assert_eq!(
+                completed,
+                XL_JOBS as usize,
+                "XL cell ({}) finished only {completed}/{XL_JOBS} jobs",
+                policy.label()
+            );
+            ScaleRow {
+                hosts: XL_RACKS * XL_HOSTS_PER_RACK,
+                jobs: XL_JOBS,
+                policy: policy.label().to_string(),
+                wall_secs: wall,
+                events: out.events,
+                events_per_sec: out.events as f64 / wall.max(1e-9),
+                alloc_invocations: a.invocations,
+                components_solved: a.components_solved,
+                components_retained: a.components_retained,
+                rounds: a.rounds,
+                flows_touched: a.flows_touched,
+                alloc_wall_ms: a.wall_nanos as f64 / 1e6,
+                mean_jct: out.mean_jct_secs(),
+                completed,
+            }
+        })
+        .collect();
+    ScaleResult {
+        iterations: XL_ITERS,
+        workers_per_job: XL_WORKERS_PER_JOB,
+        rows,
+    }
+}
+
 impl ScaleResult {
     /// Render the sweep as a report table.
     pub fn table(&self) -> Table {
@@ -256,6 +366,46 @@ impl ScaleResult {
             ]);
         }
         t
+    }
+
+    /// A canonical, fully deterministic JSON rendering of the sweep for
+    /// byte-identity comparisons: every wall-clock column (`wall_secs`,
+    /// `events_per_sec`, `alloc_wall_ms`) is excluded and every simulated
+    /// float is captured as its IEEE-754 bit pattern. Two runs of the same
+    /// sweep — at any allocator worker count (`TL_WORKERS`) — must produce
+    /// byte-identical output; the check-script smoke compares exactly this
+    /// file across worker settings.
+    pub fn canonical_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"iterations\":{},\"workers_per_job\":{},\"rows\":[",
+            self.iterations, self.workers_per_job
+        );
+        for (k, r) in self.rows.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"hosts\":{},\"jobs\":{},\"policy\":\"{}\",\"events\":{},\
+                 \"alloc\":[{},{},{},{},{}],\"mean_jct_bits\":{},\"completed\":{}}}",
+                r.hosts,
+                r.jobs,
+                r.policy,
+                r.events,
+                r.alloc_invocations,
+                r.components_solved,
+                r.components_retained,
+                r.rounds,
+                r.flows_touched,
+                r.mean_jct.to_bits(),
+                r.completed
+            );
+        }
+        s.push_str("]}");
+        s
     }
 
     /// One-line summary: total wall, total events, and the largest cell.
@@ -320,6 +470,7 @@ pub fn canonical_json(out: &SimOutput) -> String {
 mod tests {
     use super::*;
     use crate::runner::parallel_map_with_workers;
+    use tl_dl::TopologySpec;
 
     fn tiny_cfg() -> ExperimentConfig {
         ExperimentConfig {
@@ -378,8 +529,8 @@ mod tests {
     #[test]
     #[ignore = "multi-second release-mode validation of BENCH_scale.json's allocator share; run with cargo test --release -- --ignored"]
     fn profiled_share_matches_bench_scale_at_500x200() {
-        // BENCH_scale.json records alloc_wall 1.67 s of 2.36 s total wall
-        // (~71%) at the largest cell. The profiler must reproduce that
+        // BENCH_scale.json records alloc_wall 1.60 s of 2.31 s total wall
+        // (~70%) at the largest cell. The profiler must reproduce that
         // picture from inside the engine.
         let cfg = ExperimentConfig {
             iterations: ITERS,
@@ -399,7 +550,7 @@ mod tests {
         );
         assert!(
             (0.5..0.95).contains(&share),
-            "allocator share {share:.3} far from BENCH_scale.json's ~0.71"
+            "allocator share {share:.3} far from BENCH_scale.json's ~0.70"
         );
     }
 
@@ -419,6 +570,41 @@ mod tests {
         let threaded = run_with(4);
         assert!(sequential[0].contains("\"jobs\":["));
         assert_eq!(sequential, threaded, "worker count changed results");
+    }
+
+    #[test]
+    fn canonical_output_is_identical_across_alloc_worker_counts() {
+        // The tentpole guarantee at the experiment level: the allocator's
+        // worker-pool size (`ExperimentConfig::alloc_workers`, `TL_WORKERS`
+        // in the shell) may only move wall time, never results. The
+        // check-script smoke repeats this comparison cross-process on
+        // `scale.canonical.json`; this is the in-process version over one
+        // quick cell, including a leaf-spine run where rack-local
+        // components actually fan out to the pool.
+        let cell = |workers: usize, topo: TopologySpec| {
+            let cfg = ExperimentConfig {
+                alloc_workers: Some(workers),
+                topology: topo,
+                ..tiny_cfg()
+            };
+            canonical_json(&run_cell(&cfg, GRID_HOSTS[0], GRID_JOBS[0], PolicyKind::TlsRr))
+        };
+        let spine = TopologySpec::LeafSpine {
+            racks: 7,
+            hosts_per_rack: 3,
+            oversub: 2.0,
+        };
+        for topo in [TopologySpec::SingleSwitch, spine] {
+            let one = cell(1, topo);
+            assert!(one.contains("\"alloc\":["));
+            for workers in [2, 4, 8] {
+                assert_eq!(
+                    one,
+                    cell(workers, topo),
+                    "alloc_workers={workers} changed results on {topo:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -110,7 +110,37 @@ fn slot_of(id: u64) -> usize {
     (id & 0xFFFF_FFFF) as usize
 }
 
+/// Strand every outstanding depletion-heap entry for `slot` by bumping its
+/// version. Checked arithmetic: a counter that wrapped back onto a stranded
+/// entry's version would resurrect a cancelled depletion event (the u32
+/// bug class this replaces), so overflow aborts loudly instead of aliasing.
+fn bump_depl_ver(depl_ver: &mut [u64], slot: usize) {
+    debug_assert!(
+        depl_ver[slot] < u64::MAX,
+        "depletion version counter about to collide with a stranded entry"
+    );
+    depl_ver[slot] = depl_ver[slot]
+        .checked_add(1)
+        .expect("depletion version counter overflow");
+}
+
+/// Retire a slot generation on recycle. Checked: a wrapped generation
+/// would let a FlowId issued 2^32 reuses ago resolve to an unrelated
+/// flow, so overflow fails loudly instead.
+fn bump_gen(gen: u32) -> u32 {
+    gen.checked_add(1)
+        .expect("flow slot generation counter overflow — stale FlowIds would alias")
+}
+
 fn make_id(gen: u32, slot: usize) -> u64 {
+    // The id packs the slot into the low 32 bits; a slot index beyond that
+    // would silently alias an existing FlowId. Slot allocation refuses to
+    // grow past the boundary (see `start_flow_with_cap`), so this assert
+    // is a backstop against future call sites bypassing that check.
+    assert!(
+        slot <= u32::MAX as usize,
+        "flow slot {slot} does not fit the 32-bit id field"
+    );
     ((gen as u64) << 32) | slot as u64
 }
 
@@ -127,11 +157,18 @@ const RATE_EPS: f64 = 1e-6;
 /// `ver` must match the slot's current [`FluidNet::depl_ver`] for the entry
 /// to be live; any rate change, completion, or abort bumps the version and
 /// strands older entries for lazy removal.
+///
+/// `ver` is 64-bit on purpose: a 32-bit counter re-keyed once per event
+/// wraps within reach of a billion-event run (PR 5's 500-host sweep already
+/// produces 1.38 M events; 10k hosts multiply that), and a wrapped counter
+/// colliding with a stranded entry would silently resurrect a cancelled
+/// depletion. At one bump per nanosecond a u64 takes ~580 years of wall
+/// time to wrap, and the bump sites fail loudly rather than wrap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct DeplEntry {
     at: SimTime,
     slot: u32,
-    ver: u32,
+    ver: u64,
 }
 
 /// Heap keys for clean-component flows were computed at an *earlier*
@@ -179,7 +216,7 @@ pub struct FluidNet {
     // Lazy min-heap over absolute depletion instants, one live entry per
     // flow with a meaningful rate; `depl_ver[slot]` names the live entry.
     depl_heap: BinaryHeap<Reverse<DeplEntry>>,
-    depl_ver: Vec<u32>,
+    depl_ver: Vec<u64>,
     depl_scratch: Vec<DeplEntry>,
     // Cumulative NIC byte counters (for utilization measurements).
     egress_bytes: Vec<f64>,
@@ -202,11 +239,34 @@ pub struct FluidNet {
     profiler: Profiler,
 }
 
+/// The default allocator worker count: the `TL_WORKERS` environment
+/// variable when set (parseable, nonzero — `1` forces single-threaded),
+/// else the machine's available parallelism capped at 8 (component solves
+/// are memory-bound; more threads than that stop paying). Results are
+/// bitwise-identical at any worker count, so the default may safely vary
+/// across machines.
+pub fn default_alloc_workers() -> usize {
+    std::env::var("TL_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        })
+}
+
 impl FluidNet {
-    /// Create an engine over `topo` with no active flows.
+    /// Create an engine over `topo` with no active flows. The allocator
+    /// worker count starts at [`default_alloc_workers`]; override with
+    /// [`FluidNet::set_alloc_workers`].
     pub fn new(topo: Topology) -> Self {
         let n = topo.num_hosts();
         let nf = topo.num_fabric_links();
+        let mut allocator = MaxMinAllocator::new();
+        allocator.set_workers(default_alloc_workers());
         FluidNet {
             topo,
             flows: Vec::new(),
@@ -217,7 +277,7 @@ impl FluidNet {
             any_dirty: false,
             next_cache: None,
             pending_done: Vec::new(),
-            allocator: MaxMinAllocator::new(),
+            allocator,
             demands: Vec::new(),
             rates: Vec::new(),
             structure_dirty: false,
@@ -252,6 +312,19 @@ impl FluidNet {
     /// refresh when the profiler is disabled.
     pub fn set_profiler(&mut self, profiler: Profiler) {
         self.profiler = profiler;
+    }
+
+    /// Set the allocator's worker count for component-parallel solves.
+    /// Results are bitwise-identical at any setting (see
+    /// [`MaxMinAllocator::set_workers`]); only wall time changes. The
+    /// default comes from [`default_alloc_workers`].
+    pub fn set_alloc_workers(&mut self, workers: usize) {
+        self.allocator.set_workers(workers);
+    }
+
+    /// The allocator's configured worker count.
+    pub fn alloc_workers(&self) -> usize {
+        self.allocator.workers()
     }
 
     /// The topology this engine runs over.
@@ -352,6 +425,14 @@ impl FluidNet {
                 slot
             }
             None => {
+                // FlowIds carry the slot in their low 32 bits; one more
+                // slot than fits would alias slot 0's ids. 4 billion
+                // *concurrent* flows is far beyond a 10k-host run, but
+                // fail loudly rather than hand out colliding ids.
+                assert!(
+                    self.flows.len() <= u32::MAX as usize,
+                    "flow slot space exhausted: {} concurrent flows", self.flows.len()
+                );
                 self.flows.push(SlotEntry {
                     gen: 0,
                     state: Some(state),
@@ -428,11 +509,11 @@ impl FluidNet {
             let spec = entry.state.as_ref().expect("active flow missing").spec;
             if pred(id, &spec) {
                 entry.state = None;
-                entry.gen = entry.gen.wrapping_add(1);
+                entry.gen = bump_gen(entry.gen);
                 self.free.push(slot);
                 self.dirty_hosts[spec.src.0 as usize] = true;
                 self.dirty_hosts[spec.dst.0 as usize] = true;
-                self.depl_ver[slot as usize] = self.depl_ver[slot as usize].wrapping_add(1);
+                bump_depl_ver(&mut self.depl_ver, slot as usize);
                 aborted.push((id, spec.tag));
             } else {
                 self.active[w] = slot;
@@ -506,6 +587,17 @@ impl FluidNet {
             "fluid engine cannot move backwards: {now} < {}",
             self.last_advance
         );
+        // Same-instant re-entry is a no-op: depletion crossings are pushed
+        // with a +1 ns round-up, so every live crossing is strictly later
+        // than the advance point that produced it — the loop body below
+        // could never run, and zero-length integration moves no bytes.
+        // Returning here lets a burst of same-timestamp mutations (e.g. a
+        // PS fanning out 20 model updates at one instant) defer the rate
+        // refresh until something actually observes rates, so one solve
+        // serves the whole batch.
+        if now == self.last_advance {
+            return;
+        }
         while let Some(t) = self.next_event_time() {
             if t > now {
                 break;
@@ -558,7 +650,7 @@ impl FluidNet {
             if remaining <= DONE_EPS {
                 let f = entry.state.take().expect("flow vanished");
                 let id = FlowId(make_id(entry.gen, slot as usize));
-                entry.gen = entry.gen.wrapping_add(1);
+                entry.gen = bump_gen(entry.gen);
                 self.pending_done.push(CompletedFlow {
                     id,
                     tag: f.spec.tag,
@@ -571,7 +663,7 @@ impl FluidNet {
                 self.dirty_hosts[f.spec.src.0 as usize] = true;
                 self.dirty_hosts[f.spec.dst.0 as usize] = true;
                 self.free.push(slot);
-                self.depl_ver[slot as usize] = self.depl_ver[slot as usize].wrapping_add(1);
+                bump_depl_ver(&mut self.depl_ver, slot as usize);
             } else {
                 self.active[w] = slot;
                 self.demands[w] = self.demands[r];
@@ -699,6 +791,9 @@ impl FluidNet {
         // docs), so nothing is rebuilt here; `rates` seeds the allocator
         // with the previous allocation, kept verbatim for clean components.
         let solve_timer = self.profiler.start();
+        let par_before = solve_timer
+            .is_some()
+            .then(|| self.allocator.stats().parallel_wall_nanos);
         self.allocator.allocate_dirty_reuse(
             &self.topo,
             &self.demands,
@@ -707,6 +802,15 @@ impl FluidNet {
             !self.structure_dirty,
         );
         self.profiler.stop("alloc.solve", solve_timer);
+        if let Some(before) = par_before {
+            let delta = self.allocator.stats().parallel_wall_nanos - before;
+            if delta > 0 {
+                // Time inside worker-pool dispatch, a subset of
+                // `alloc.solve` — recorded separately so the profile shows
+                // how much of the solve actually ran multi-threaded.
+                self.profiler.record("alloc.solve_parallel", delta);
+            }
+        }
         self.structure_dirty = false;
         if let Some(before) = stats_before {
             let after = self.allocator.stats();
@@ -752,7 +856,7 @@ impl FluidNet {
             if old_rate != new_rate {
                 // Re-key the depletion heap: strand the old entry and, if
                 // the flow is actually moving, push the new crossing.
-                self.depl_ver[slot] = self.depl_ver[slot].wrapping_add(1);
+                bump_depl_ver(&mut self.depl_ver, slot);
                 if new_rate > RATE_EPS {
                     let secs = (remaining / new_rate).max(0.0);
                     let at = self.last_advance
@@ -1378,5 +1482,103 @@ mod tests {
             net.rate_of(local).unwrap()
         );
         assert_eq!(inv.violation_count(), 0, "{:?}", inv.take());
+    }
+
+    #[test]
+    fn depletion_versions_do_not_alias_across_u32_wrap() {
+        // Regression for the u32 version-counter wrap: after 2^32 re-keys
+        // of one slot, the old `wrapping_add` counter landed back on the
+        // version of a *stranded* heap entry, and the lazy scan would
+        // treat that cancelled depletion as live. Simulate the 2^32 bumps
+        // directly: under the widened u64 counter, the live entry pushed
+        // before the jump must read as stale — never resurrected.
+        let mut net = FluidNet::new(topo(2));
+        let _f = net.start_flow(SimTime::ZERO, spec(0, 1, 1e9, 0, 1));
+        let first = net.next_event_time().expect("live flow has a crossing");
+        let live_ver = net.depl_ver[0];
+        // 2^32 re-keys later, a u32 counter reads `live_ver` again; the
+        // u64 counter reads a distinct value.
+        net.depl_ver[0] = live_ver + (1u64 << 32);
+        net.next_cache = None;
+        assert_eq!(
+            net.next_event_time(),
+            None,
+            "a stranded depletion entry was resurrected across a 32-bit wrap"
+        );
+        // Re-key at the current version and the flow is live again, at the
+        // same crossing instant as before.
+        net.depl_heap.push(Reverse(DeplEntry {
+            at: first,
+            slot: 0,
+            ver: net.depl_ver[0],
+        }));
+        net.next_cache = None;
+        assert_eq!(net.next_event_time(), Some(first));
+    }
+
+    #[test]
+    #[should_panic(expected = "depletion version counter")]
+    fn depletion_version_overflow_fails_loudly() {
+        let mut net = FluidNet::new(topo(2));
+        net.start_flow(SimTime::ZERO, spec(0, 1, 1e9, 0, 1));
+        net.depl_ver[0] = u64::MAX;
+        // The abort path bumps the version; at the ceiling it must abort
+        // the process-visible way, not wrap into an alias.
+        net.abort_flows_where(SimTime::ZERO, |_, _| true);
+    }
+
+    #[test]
+    #[should_panic(expected = "generation counter overflow")]
+    fn generation_overflow_fails_loudly() {
+        // A slot generation at u32::MAX has handed out ids for 2^32
+        // flows; one more recycle would make the oldest id resolve to the
+        // newest flow. The recycle must panic instead.
+        let mut net = FluidNet::new(topo(2));
+        net.start_flow(SimTime::ZERO, spec(0, 1, 1e9, 0, 1));
+        net.flows[0].gen = u32::MAX;
+        net.abort_flows_where(SimTime::ZERO, |_, _| true);
+    }
+
+    #[test]
+    fn flow_id_packing_roundtrips_at_the_slot_boundary() {
+        // The largest representable slot survives the pack/unpack pair
+        // bit-exactly, with the generation in the high half.
+        let slot = u32::MAX as usize;
+        let id = make_id(7, slot);
+        assert_eq!(slot_of(id), slot);
+        assert_eq!(id >> 32, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit the 32-bit id field")]
+    fn flow_id_packing_rejects_oversized_slots() {
+        let _ = make_id(0, (u32::MAX as usize) + 1);
+    }
+
+    #[test]
+    fn same_timestamp_flow_burst_is_one_solve() {
+        // A PS fanning out 20 model updates at one instant: every
+        // `start_flow` re-enters `advance` at the same timestamp, which
+        // must not trigger a rate refresh per flow. One solve serves the
+        // whole batch, observed when rates are first read.
+        let mut net = FluidNet::new(topo(21));
+        let t = SimTime::from_secs(1);
+        net.start_flow(SimTime::ZERO, spec(1, 2, 1e6, 0, 0));
+        net.advance(t);
+        let before = net.alloc_stats().invocations;
+        for d in 1..21 {
+            net.start_flow(t, spec(0, d, 1e9, 0, d as u64));
+        }
+        assert_eq!(
+            net.alloc_stats().invocations,
+            before,
+            "starting flows must not refresh rates eagerly"
+        );
+        let _ = net.next_event_time();
+        assert_eq!(
+            net.alloc_stats().invocations,
+            before + 1,
+            "a same-timestamp burst should cost exactly one allocator solve"
+        );
     }
 }

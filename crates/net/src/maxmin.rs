@@ -31,9 +31,27 @@
 //! egress. Every round freezes at least one flow, so there are at most
 //! `flows` rounds; in the workloads here, saturation freezes whole links at
 //! a time and the round count tracks the number of busy links instead.
+//!
+//! ## Parallel allocation kernel
+//!
+//! Connected components of the flow/link graph are independent subproblems:
+//! no link is shared across components (sharing a link would have merged
+//! them in the union-find), so their water-fillings touch disjoint state.
+//! When [`MaxMinAllocator::set_workers`] raises the worker count, a solve
+//! that covers several dirty components dispatches contiguous chunks of
+//! the canonical (ascending-id) component list to a persistent
+//! [`WorkerPool`], each worker filling a disjoint range of one shared
+//! output buffer with its own [`SolveScratch`] (per-link accumulators are
+//! sharded per worker, never shared). The caller then scatters the buffer
+//! back in canonical component order. Because each component is solved by
+//! exactly the same dense kernel regardless of which worker runs it, and
+//! the merge order is fixed by component id, the result is **bitwise
+//! identical at any worker count** — the property tests in this module and
+//! the scale experiment's canonical-JSON comparison both assert it.
 
 use crate::topology::Topology;
 use crate::types::{Band, HostId};
+use simcore::WorkerPool;
 
 /// One flow's demand as seen by the allocator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,6 +111,372 @@ pub struct AllocStats {
     pub flows_touched: u64,
     /// Wall-clock time spent inside the solver, in nanoseconds.
     pub wall_nanos: u64,
+    /// Solver calls whose dirty components were dispatched to the worker
+    /// pool (always 0 with a single worker).
+    pub parallel_dispatches: u64,
+    /// Wall-clock nanoseconds spent inside pool dispatch (a subset of
+    /// `wall_nanos`; includes worker wake/join overhead).
+    pub parallel_wall_nanos: u64,
+}
+
+/// Sentinel for "no unfrozen flow at this egress".
+const NO_BAND: u16 = u16::MAX;
+/// Sentinel for an absent link slot in a flow's cached link set.
+const NO_LINK: u32 = u32::MAX;
+/// Minimum number of flows across dirty components before a multi-worker
+/// solve pays for pool dispatch (condvar wake + per-chunk boxing).
+const PAR_MIN_FLOWS: usize = 128;
+
+/// Per-worker scratch for the dense component solve. Link accumulators
+/// (`cap`, `weight_sum`, per-egress band minima) are sharded here — one
+/// copy per worker — so concurrent component solves never share mutable
+/// state. The gather arrays hold the component's flows densely (creation
+/// order preserved, which fixes fp summation order) with their routed link
+/// ids cached once per solve instead of re-deriving routes every round.
+#[derive(Debug, Default)]
+struct SolveScratch {
+    // Remaining capacity per link; links are [egress 0..n) ++ [ingress 0..n)
+    // ++ [fabric links 2n..2n+F) ++ [optional aggregate core at 2n+F].
+    // Only links of the component being solved are (re)initialized.
+    cap: Vec<f64>,
+    // Sum of weights of eligible unfrozen flows per link, valid when the
+    // stamp matches the current solve. Maintained incrementally: summed in
+    // flow creation order at eligibility init, decremented as flows freeze
+    // (both orders are deterministic functions of the component's input, so
+    // every solve path produces bit-identical rates).
+    weight_sum: Vec<f64>,
+    ws_stamp: Vec<u64>,
+    // Eligible-flow count per link; when it reaches zero the link leaves
+    // `active_links` and its (fp-drifted) weight sum is reset to exactly 0.
+    link_count: Vec<u32>,
+    // Links carrying at least one eligible flow, maintained across rounds.
+    active_links: Vec<u32>,
+    // Per-egress minimum unfrozen band, stamp-validated like `weight_sum`,
+    // plus the number of still-unfrozen flows at that band.
+    min_band: Vec<u16>,
+    mb_stamp: Vec<u64>,
+    egr_count: Vec<u32>,
+    // Egresses whose eligible band emptied this round (band promotion).
+    promote: Vec<u32>,
+    promo_stamp: Vec<u64>,
+    solve_stamp: u64,
+    promo_ctr: u64,
+    // Per-flow eligible flag, indexed by dense (component-local) position.
+    eligible: Vec<bool>,
+    // Dense positions of still-unfrozen flows, in creation order (order is
+    // load-bearing: it fixes fp summation).
+    unfrozen: Vec<u32>,
+    // Gathered per-flow data, dense in component creation order.
+    g_weight: Vec<f64>,
+    g_band: Vec<u16>,
+    g_egress: Vec<u32>,
+    g_max_rate: Vec<f64>,
+    // Cached link ids per flow in water-filling order
+    // [egress, ingress, uplink, downlink, core]; `NO_LINK` where absent.
+    g_links: Vec<[u32; 5]>,
+}
+
+impl SolveScratch {
+    fn ensure(&mut self, num_links: usize, num_hosts: usize, max_flows: usize) {
+        self.cap.resize(num_links.max(self.cap.len()), 0.0);
+        self.weight_sum
+            .resize(num_links.max(self.weight_sum.len()), 0.0);
+        self.ws_stamp.resize(num_links.max(self.ws_stamp.len()), 0);
+        self.link_count.resize(num_links.max(self.link_count.len()), 0);
+        self.min_band
+            .resize(num_hosts.max(self.min_band.len()), NO_BAND);
+        self.mb_stamp.resize(num_hosts.max(self.mb_stamp.len()), 0);
+        self.egr_count.resize(num_hosts.max(self.egr_count.len()), 0);
+        self.promo_stamp
+            .resize(num_hosts.max(self.promo_stamp.len()), 0);
+        self.eligible
+            .resize(max_flows.max(self.eligible.len()), false);
+    }
+}
+
+/// Progressive filling restricted to one component. `idxs` lists the
+/// component's flows in creation order; the flows' rates are written
+/// densely into `out` (same order as `idxs`). Returns the round count.
+///
+/// This is a free function over a [`SolveScratch`] so worker threads can
+/// run disjoint components concurrently; it touches nothing outside the
+/// scratch and its output slice.
+fn solve_component(
+    s: &mut SolveScratch,
+    topo: &Topology,
+    flows: &[FlowDemand],
+    idxs: &[u32],
+    out: &mut [f64],
+) -> u64 {
+    let n = topo.num_hosts();
+    // Fabric links occupy cap[2n..2n+F); the aggregate core sits after.
+    let fab_base = 2 * n;
+    let core_link = topo.core_capacity().map(|c| {
+        let idx = fab_base + topo.num_fabric_links();
+        s.cap[idx] = c.bytes_per_sec();
+        idx as u32
+    });
+
+    let loopback = topo.loopback().bytes_per_sec();
+    s.unfrozen.clear();
+    s.g_weight.clear();
+    s.g_band.clear();
+    s.g_egress.clear();
+    s.g_max_rate.clear();
+    s.g_links.clear();
+    let mut band_lo = u16::MAX;
+    let mut band_hi = 0u16;
+    let mut has_caps = false;
+    for (j, &i) in idxs.iter().enumerate() {
+        let f = &flows[i as usize];
+        let band = f.band.0 as u16;
+        s.g_weight.push(f.weight);
+        s.g_band.push(band);
+        s.g_egress.push(f.src.0);
+        s.g_max_rate.push(f.max_rate);
+        if f.src == f.dst {
+            // Loopback traffic never touches the NIC.
+            out[j] = loopback;
+            s.g_links.push([NO_LINK; 5]);
+        } else {
+            out[j] = 0.0;
+            band_lo = band_lo.min(band);
+            band_hi = band_hi.max(band);
+            has_caps |= f.max_rate.is_finite();
+            let egress = f.src.0;
+            let ingress = (n + f.dst.0 as usize) as u32;
+            s.cap[egress as usize] = topo.egress(f.src).bytes_per_sec();
+            s.cap[ingress as usize] = topo.ingress(f.dst).bytes_per_sec();
+            let [up, down] = topo.route(f.src, f.dst);
+            let up = up.map_or(NO_LINK, |l| {
+                let idx = fab_base + l.0 as usize;
+                s.cap[idx] = topo.fabric_capacity(l).bytes_per_sec();
+                idx as u32
+            });
+            let down = down.map_or(NO_LINK, |l| {
+                let idx = fab_base + l.0 as usize;
+                s.cap[idx] = topo.fabric_capacity(l).bytes_per_sec();
+                idx as u32
+            });
+            s.g_links
+                .push([egress, ingress, up, down, core_link.unwrap_or(NO_LINK)]);
+            s.unfrozen.push(j as u32);
+        }
+    }
+    if s.eligible.len() < idxs.len() {
+        s.eligible.resize(idxs.len(), false);
+    }
+
+    // Eligibility and weight-sum init. `solve_stamp` marks scratch entries
+    // as belonging to this solve; the per-link sums then persist across
+    // rounds, decremented as flows freeze, instead of being rebuilt from
+    // scratch every round. Both the initial creation-order summation and
+    // the freeze-order subtraction are deterministic functions of the
+    // component's input, so every solve path stays bit-identical.
+    s.solve_stamp += 1;
+    let solve = s.solve_stamp;
+    // All flows in one band (or none): everything unfrozen is eligible and
+    // the per-egress band bookkeeping is skipped entirely.
+    let single_band = band_lo >= band_hi;
+    // On a fabric-less, core-less topology every non-loopback flow has
+    // exactly [egress, ingress]; scanning only that prefix of the cached
+    // link arrays keeps the hot per-round loops short.
+    let max_links: usize = if core_link.is_some() {
+        5
+    } else if topo.num_fabric_links() > 0 {
+        4
+    } else {
+        2
+    };
+    if !single_band {
+        for &j in &s.unfrozen {
+            let j = j as usize;
+            let e = s.g_egress[j] as usize;
+            let band = s.g_band[j];
+            if s.mb_stamp[e] != solve {
+                s.mb_stamp[e] = solve;
+                s.min_band[e] = band;
+                s.egr_count[e] = 0;
+            } else {
+                s.min_band[e] = s.min_band[e].min(band);
+            }
+        }
+    }
+    s.active_links.clear();
+    for &j in &s.unfrozen {
+        let j = j as usize;
+        let el = single_band || s.g_band[j] == s.min_band[s.g_egress[j] as usize];
+        s.eligible[j] = el;
+        if !el {
+            continue;
+        }
+        if !single_band {
+            s.egr_count[s.g_egress[j] as usize] += 1;
+        }
+        let w = s.g_weight[j];
+        for &l in &s.g_links[j][..max_links] {
+            if l == NO_LINK {
+                continue;
+            }
+            let l = l as usize;
+            if s.ws_stamp[l] != solve {
+                s.ws_stamp[l] = solve;
+                s.weight_sum[l] = 0.0;
+                s.link_count[l] = 0;
+                s.active_links.push(l as u32);
+            }
+            s.weight_sum[l] += w;
+            s.link_count[l] += 1;
+        }
+    }
+    let mut rounds = 0u64;
+    while !s.unfrozen.is_empty() {
+        rounds += 1;
+        // The common level can rise until the tightest link saturates
+        // or an eligible flow reaches its own rate ceiling.
+        let mut theta = f64::INFINITY;
+        for &l in &s.active_links {
+            let l = l as usize;
+            theta = theta.min(s.cap[l].max(0.0) / s.weight_sum[l]);
+        }
+        if has_caps {
+            for &j in &s.unfrozen {
+                let j = j as usize;
+                if s.eligible[j] && s.g_max_rate[j].is_finite() {
+                    theta = theta.min(((s.g_max_rate[j] - out[j]).max(0.0)) / s.g_weight[j]);
+                }
+            }
+        }
+        debug_assert!(theta.is_finite(), "eligible flows but no constrained link");
+
+        // Raise all eligible flows by theta * weight and charge the links.
+        if theta > 0.0 {
+            if single_band {
+                for &j in &s.unfrozen {
+                    out[j as usize] += theta * s.g_weight[j as usize];
+                }
+            } else {
+                for &j in &s.unfrozen {
+                    let j = j as usize;
+                    if s.eligible[j] {
+                        out[j] += theta * s.g_weight[j];
+                    }
+                }
+            }
+            for &l in &s.active_links {
+                let l = l as usize;
+                s.cap[l] -= theta * s.weight_sum[l];
+            }
+        }
+
+        // Freeze eligible flows touching a saturated link or sitting at
+        // their own ceiling; `retain` keeps creation order. A frozen flow's
+        // weight leaves its links' running sums and its egress's eligible
+        // count; a link whose eligible count reaches zero has its sum reset
+        // to exactly 0.0 so fp drift cannot leak into a re-activation.
+        s.promote.clear();
+        {
+            let (unfrozen, eligible, cap) = (&mut s.unfrozen, &s.eligible, &s.cap);
+            let (g_links, g_max_rate) = (&s.g_links, &s.g_max_rate);
+            let (g_weight, g_egress) = (&s.g_weight, &s.g_egress);
+            let (weight_sum, link_count) = (&mut s.weight_sum, &mut s.link_count);
+            let (egr_count, promote) = (&mut s.egr_count, &mut s.promote);
+            unfrozen.retain(|&j| {
+                let j = j as usize;
+                if !eligible[j] {
+                    return true;
+                }
+                let capped = has_caps
+                    && g_max_rate[j].is_finite()
+                    && out[j] >= g_max_rate[j] * (1.0 - 1e-12);
+                let mut link_full = false;
+                for &l in &g_links[j][..max_links] {
+                    if l != NO_LINK && cap[l as usize] <= CAP_EPS {
+                        link_full = true;
+                    }
+                }
+                if !(link_full || capped) {
+                    return true;
+                }
+                let w = g_weight[j];
+                for &l in &g_links[j][..max_links] {
+                    if l == NO_LINK {
+                        continue;
+                    }
+                    let l = l as usize;
+                    link_count[l] -= 1;
+                    weight_sum[l] = if link_count[l] == 0 {
+                        0.0
+                    } else {
+                        weight_sum[l] - w
+                    };
+                }
+                if !single_band {
+                    let e = g_egress[j] as usize;
+                    egr_count[e] -= 1;
+                    if egr_count[e] == 0 {
+                        promote.push(g_egress[j]);
+                    }
+                }
+                false
+            });
+        }
+        {
+            let (active_links, link_count) = (&mut s.active_links, &s.link_count);
+            active_links.retain(|&l| link_count[l as usize] > 0);
+        }
+
+        if !s.promote.is_empty() {
+            // Band promotion: an egress whose whole eligible band froze
+            // exposes its next-lowest unfrozen band. Two creation-order
+            // passes (find the new band, then admit its flows) keep the fp
+            // summation order deterministic. Links regained here were reset
+            // to an exact 0.0 sum when they retired, and a still-saturated
+            // link simply freezes its newly admitted flows on the next
+            // round's zero-theta pass.
+            s.promo_ctr += 1;
+            let pc = s.promo_ctr;
+            let promote = std::mem::take(&mut s.promote);
+            for &e in &promote {
+                s.promo_stamp[e as usize] = pc;
+                s.min_band[e as usize] = NO_BAND;
+            }
+            for &j in &s.unfrozen {
+                let j = j as usize;
+                let e = s.g_egress[j] as usize;
+                if s.promo_stamp[e] == pc {
+                    s.min_band[e] = s.min_band[e].min(s.g_band[j]);
+                }
+            }
+            for &j in &s.unfrozen {
+                let j = j as usize;
+                let e = s.g_egress[j] as usize;
+                if s.promo_stamp[e] == pc && s.g_band[j] == s.min_band[e] {
+                    s.eligible[j] = true;
+                    s.egr_count[e] += 1;
+                    let w = s.g_weight[j];
+                    for &l in &s.g_links[j][..max_links] {
+                        if l == NO_LINK {
+                            continue;
+                        }
+                        let l = l as usize;
+                        if s.ws_stamp[l] != solve {
+                            s.ws_stamp[l] = solve;
+                            s.weight_sum[l] = 0.0;
+                            s.link_count[l] = 0;
+                        }
+                        if s.link_count[l] == 0 {
+                            s.active_links.push(l as u32);
+                        }
+                        s.weight_sum[l] += w;
+                        s.link_count[l] += 1;
+                    }
+                }
+            }
+            s.promote = promote;
+        }
+    }
+    rounds
 }
 
 /// Reusable allocator scratch space. Allocation runs on every network
@@ -101,31 +485,18 @@ pub struct AllocStats {
 /// partial call ([`MaxMinAllocator::allocate_dirty_into`]) re-solves only
 /// components containing a changed ("dirty") host and keeps cached rates
 /// everywhere else. The full and partial paths run the identical
-/// per-component solve, so their results are bit-for-bit equal.
+/// per-component solve, so their results are bit-for-bit equal — as are
+/// single-threaded and pool-dispatched solves (see the module docs).
 #[derive(Debug, Default)]
 pub struct MaxMinAllocator {
-    // Remaining capacity per link; links are [egress 0..n) ++ [ingress 0..n)
-    // ++ [fabric links 2n..2n+F) ++ [optional aggregate core at 2n+F].
-    // Only links of re-solved components are (re)initialized on each call.
-    cap: Vec<f64>,
-    // Sum of weights of eligible flows per link, valid when the stamp
-    // matches the current round (avoids clearing per round).
-    weight_sum: Vec<f64>,
-    ws_stamp: Vec<u64>,
-    // Links with eligible flows this round (indices into `cap`).
-    touched_links: Vec<u32>,
-    // Per-egress minimum unfrozen band, stamp-validated like `weight_sum`.
-    min_band: Vec<u16>,
-    mb_stamp: Vec<u64>,
-    round_stamp: u64,
-    // Per-flow eligible flag (valid only for flows visited this round).
-    eligible: Vec<bool>,
-    // Indices of still-unfrozen flows of the component being solved,
-    // in creation order (order is load-bearing: it fixes fp summation).
-    unfrozen: Vec<u32>,
-    // Union-find over hosts, rebuilt per call.
+    // One solve scratch per worker; `scratches[0]` serves the sequential
+    // path.
+    scratches: Vec<SolveScratch>,
+    // Union-find over hosts + fabric links, rebuilt per structure change
+    // and kept for O(α) host→component lookups between rebuilds.
     parent: Vec<u32>,
-    // Dense component ids in order of first appearance along `flows`.
+    // Dense component ids in order of first appearance along `flows`,
+    // keyed by union-find root (always a host; roots are minima).
     host_comp: Vec<u32>,
     host_comp_stamp: Vec<u64>,
     comp_stamp: u64,
@@ -134,6 +505,8 @@ pub struct MaxMinAllocator {
     comp_start: Vec<u32>,
     comp_flows: Vec<u32>,
     comp_of: Vec<u32>,
+    // Reusable counting-sort cursor for the CSR build.
+    cursor: Vec<u32>,
     // Component count of the CSR currently in the buffers, tagged with the
     // flow count it was built for; lets a caller that knows the flow list
     // is unchanged skip the per-call union-find + CSR rebuild.
@@ -142,16 +515,17 @@ pub struct MaxMinAllocator {
     // re-solved components — in ascending order. Callers use it to update
     // only the affected downstream state (see `FluidNet::refresh_rates`).
     touched: Vec<u32>,
-    // Fabric links adjacent to a dirty host's rack, rebuilt per partial
-    // call. Dirtiness must propagate host → fabric tier: two flows can
-    // share a rack uplink without sharing a host, so a host-only dirty
-    // check would wrongly retain the neighbour's component.
-    fab_dirty: Vec<bool>,
+    // Per-component dirty flags for the current call.
+    comp_dirty: Vec<bool>,
+    // Dirty component ids of the current call, ascending (canonical order).
+    to_solve: Vec<u32>,
+    // Dense rate output buffer shared by the sequential and parallel paths.
+    par_out: Vec<f64>,
+    // Worker pool, created lazily on the first dispatch that wants it.
+    pool: Option<WorkerPool>,
+    workers: usize,
     stats: AllocStats,
 }
-
-/// Sentinel for "no unfrozen flow at this egress".
-const NO_BAND: u16 = u16::MAX;
 
 fn uf_find(parent: &mut [u32], mut x: u32) -> u32 {
     while parent[x as usize] != x {
@@ -166,6 +540,19 @@ impl MaxMinAllocator {
     /// Create an allocator (no per-topology state; reusable across calls).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Set the worker count for component-parallel solves. `0` and `1`
+    /// both mean single-threaded. The result is bitwise-identical at any
+    /// setting; only wall time changes. Threads spawn lazily on the first
+    /// solve big enough to dispatch.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The configured worker count (1 = single-threaded).
+    pub fn workers(&self) -> usize {
+        self.workers.max(1)
     }
 
     /// Cumulative performance counters for this allocator.
@@ -183,6 +570,10 @@ impl MaxMinAllocator {
     /// kept their previous rates bit-for-bit, so callers can limit
     /// write-back, telemetry diffing, and completion re-keying to exactly
     /// these indices.
+    ///
+    /// The indices refer to the `flows` slice of that same call — after
+    /// any membership change (departure compaction, arrival) the caller
+    /// must consume them before mutating its flow list, or they go stale.
     pub fn last_touched(&self) -> &[u32] {
         &self.touched
     }
@@ -199,6 +590,20 @@ impl MaxMinAllocator {
         self.stats.invocations += 1;
         self.stats.full_solves += 1;
         self.touched.clear();
+        // Full solves are rare (once per structure reset), so the API-level
+        // validation lives here in release builds; the per-event dirty path
+        // checks the same invariants under debug assertions only.
+        for f in flows {
+            assert!(
+                f.weight > 0.0 && f.weight.is_finite(),
+                "flow weight must be positive, got {}",
+                f.weight
+            );
+            assert!(
+                topo.contains(f.src) && topo.contains(f.dst),
+                "flow references host outside topology"
+            );
+        }
         if !flows.is_empty() {
             let comp_count = self.build_components(topo, flows);
             self.solve_components(topo, flows, rates, comp_count, None);
@@ -230,8 +635,11 @@ impl MaxMinAllocator {
     /// that call is still valid and is reused instead of rebuilt. Band,
     /// weight, and `max_rate` changes do not affect connectivity and are
     /// fine under the shortcut; any insertion, removal, or reordering of
-    /// flows is not. The hint is ignored (and the structure rebuilt) if the
-    /// flow count disagrees with the cached structure.
+    /// flows is not — a same-tick departure + arrival that leaves the
+    /// count unchanged still changes membership and must pass `false`
+    /// (the count check below cannot catch it). The hint is ignored (and
+    /// the structure rebuilt) if the flow count disagrees with the cached
+    /// structure.
     pub fn allocate_dirty_reuse(
         &mut self,
         topo: &Topology,
@@ -280,17 +688,20 @@ impl MaxMinAllocator {
     fn build_components(&mut self, topo: &Topology, flows: &[FlowDemand]) -> usize {
         let n = topo.num_hosts();
         let nf = topo.num_fabric_links();
-        for f in flows {
-            assert!(
-                f.weight > 0.0 && f.weight.is_finite(),
-                "flow weight must be positive, got {}",
-                f.weight
-            );
-            assert!(
-                topo.contains(f.src) && topo.contains(f.dst),
-                "flow references host outside topology"
-            );
-        }
+        // Validation is debug-only: this runs on every network event and
+        // the flow lists come from `FluidNet`, which already bounds-checks
+        // hosts at flow start. Out-of-range hosts still panic (index OOB)
+        // in release, just with a less specific message.
+        debug_assert!(
+            flows
+                .iter()
+                .all(|f| f.weight > 0.0 && f.weight.is_finite()),
+            "flow weight must be positive and finite"
+        );
+        debug_assert!(
+            flows.iter().all(|f| topo.contains(f.src) && topo.contains(f.dst)),
+            "flow references host outside topology"
+        );
 
         self.comp_of.clear();
         self.comp_of.resize(flows.len(), 0);
@@ -349,14 +760,57 @@ impl MaxMinAllocator {
         }
         self.comp_flows.clear();
         self.comp_flows.resize(flows.len(), 0);
-        let mut cursor: Vec<u32> = self.comp_start[..comp_count].to_vec();
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.comp_start[..comp_count]);
         for (i, &c) in self.comp_of.iter().enumerate() {
-            let slot = cursor[c as usize];
+            let slot = self.cursor[c as usize];
             self.comp_flows[slot as usize] = i as u32;
-            cursor[c as usize] = slot + 1;
+            self.cursor[c as usize] = slot + 1;
         }
         self.cached_structure = Some((flows.len(), comp_count));
         comp_count
+    }
+
+    /// Mark the components reachable from dirty hosts. O(dirty·α) via the
+    /// persistent union-find instead of a scan over every flow: a dirty
+    /// host resolves to its component through its root, and dirtiness is
+    /// lifted onto the fabric tier by probing the host's rack links — two
+    /// flows can share a rack uplink without sharing a host, so a
+    /// host-only check would wrongly retain the neighbour's component.
+    fn mark_dirty_components(&mut self, topo: &Topology, dirty: &[bool], comp_count: usize) {
+        let n = topo.num_hosts();
+        if topo.core_capacity().is_some() {
+            // A core capacity couples every flow: bandwidth freed by a
+            // departed flow (whose hosts may appear in no surviving
+            // demand) can raise other flows' rates through the shared core
+            // link. Any dirtiness at all re-solves the single component.
+            if dirty.iter().any(|&d| d) {
+                self.comp_dirty[..comp_count].fill(true);
+            }
+            return;
+        }
+        let has_fabric = topo.num_fabric_links() > 0;
+        for (h, _) in dirty.iter().enumerate().filter(|(_, &d)| d) {
+            let root = uf_find(&mut self.parent, h as u32) as usize;
+            // A root outside the host range or with a stale stamp belongs
+            // to no current component (e.g. both endpoints of a departed
+            // flow): nothing to re-solve there.
+            if root < n && self.host_comp_stamp[root] == self.comp_stamp {
+                self.comp_dirty[self.host_comp[root] as usize] = true;
+            }
+            if has_fabric {
+                for l in topo
+                    .host_fabric_links(HostId(h as u32))
+                    .into_iter()
+                    .flatten()
+                {
+                    let root = uf_find(&mut self.parent, (n + l.0 as usize) as u32) as usize;
+                    if root < n && self.host_comp_stamp[root] == self.comp_stamp {
+                        self.comp_dirty[self.host_comp[root] as usize] = true;
+                    }
+                }
+            }
+        }
     }
 
     fn solve_components(
@@ -368,209 +822,173 @@ impl MaxMinAllocator {
         dirty_hosts: Option<&[bool]>,
     ) {
         let n = topo.num_hosts();
-        let num_links = 2 * n + topo.num_fabric_links() + usize::from(topo.core_capacity().is_some());
-        self.cap.resize(num_links.max(self.cap.len()), 0.0);
-        self.weight_sum
-            .resize(num_links.max(self.weight_sum.len()), 0.0);
-        self.ws_stamp.resize(num_links.max(self.ws_stamp.len()), 0);
-        self.min_band.resize(n.max(self.min_band.len()), NO_BAND);
-        self.mb_stamp.resize(n.max(self.mb_stamp.len()), 0);
-        self.eligible
-            .resize(flows.len().max(self.eligible.len()), false);
+        let num_links =
+            2 * n + topo.num_fabric_links() + usize::from(topo.core_capacity().is_some());
 
-        // A core capacity couples every flow: bandwidth freed by a departed
-        // flow (whose hosts may appear in no surviving demand) can raise
-        // other flows' rates through the shared core link. Any dirtiness at
-        // all therefore re-solves the (single, global) component.
-        let core_dirty = topo.core_capacity().is_some()
-            && dirty_hosts.is_some_and(|dirty| dirty.iter().any(|&d| d));
-
-        // Lift host dirtiness onto the fabric tier: a change at host `h`
-        // frees or claims capacity on its rack's uplink *and* downlink, and
-        // flows elsewhere on those links share no host with `h` — they are
-        // coupled only through the link. Components are then dirty if any
-        // flow touches a dirty host or routes over a dirty fabric link.
-        let fab_links = topo.num_fabric_links();
-        if fab_links > 0 && dirty_hosts.is_some() {
-            self.fab_dirty.clear();
-            self.fab_dirty.resize(fab_links, false);
-            if let Some(dirty) = dirty_hosts {
-                for (h, _) in dirty.iter().enumerate().filter(|(_, &d)| d) {
-                    for l in topo.host_fabric_links(HostId(h as u32)).into_iter().flatten() {
-                        self.fab_dirty[l.0 as usize] = true;
-                    }
-                }
-            }
+        self.comp_dirty.clear();
+        self.comp_dirty.resize(comp_count, dirty_hosts.is_none());
+        if let Some(dirty) = dirty_hosts {
+            self.mark_dirty_components(topo, dirty, comp_count);
         }
 
         let comp_start = std::mem::take(&mut self.comp_start);
         let comp_flows = std::mem::take(&mut self.comp_flows);
-        for c in 0..comp_count {
-            let idxs = &comp_flows[comp_start[c] as usize..comp_start[c + 1] as usize];
-            let solve = core_dirty
-                || match dirty_hosts {
-                    None => true,
-                    Some(dirty) => idxs.iter().any(|&i| {
-                        let f = &flows[i as usize];
-                        dirty[f.src.0 as usize]
-                            || dirty[f.dst.0 as usize]
-                            || (fab_links > 0
-                                && topo
-                                    .route(f.src, f.dst)
-                                    .into_iter()
-                                    .flatten()
-                                    .any(|l| self.fab_dirty[l.0 as usize]))
-                    }),
-                };
-            if solve {
+        let mut to_solve = std::mem::take(&mut self.to_solve);
+        let mut par_out = std::mem::take(&mut self.par_out);
+        to_solve.clear();
+        let mut solved_flows = 0usize;
+        for (c, &d) in self.comp_dirty[..comp_count].iter().enumerate() {
+            if d {
+                to_solve.push(c as u32);
+                let idxs = &comp_flows[comp_start[c] as usize..comp_start[c + 1] as usize];
+                solved_flows += idxs.len();
                 self.touched.extend_from_slice(idxs);
-                self.solve_component(topo, flows, idxs, rates);
             } else {
                 self.stats.components_retained += 1;
             }
         }
+        self.stats.components_solved += to_solve.len() as u64;
+        self.stats.flows_touched += solved_flows as u64;
+
+        let workers = self.workers.max(1);
+        let use_pool = workers > 1 && to_solve.len() >= 2 && solved_flows >= PAR_MIN_FLOWS;
+        if self.scratches.is_empty() {
+            self.scratches.push(SolveScratch::default());
+        }
+
+        if !use_pool {
+            let comp_range = |c: usize| comp_start[c] as usize..comp_start[c + 1] as usize;
+            for &c in &to_solve {
+                let idxs = &comp_flows[comp_range(c as usize)];
+                par_out.clear();
+                par_out.resize(idxs.len(), 0.0);
+                let s = &mut self.scratches[0];
+                s.ensure(num_links, n, flows.len());
+                let rounds = solve_component(s, topo, flows, idxs, &mut par_out);
+                self.stats.rounds += rounds;
+                for (j, &i) in idxs.iter().enumerate() {
+                    rates[i as usize] = par_out[j];
+                }
+            }
+        } else {
+            self.stats.parallel_dispatches += 1;
+            let chunks = workers.min(to_solve.len());
+            while self.scratches.len() < chunks {
+                self.scratches.push(SolveScratch::default());
+            }
+            for s in &mut self.scratches[..chunks] {
+                s.ensure(num_links, n, flows.len());
+            }
+            if self
+                .pool
+                .as_ref()
+                .is_none_or(|p| p.size() != workers)
+            {
+                self.pool = Some(WorkerPool::new(workers));
+            }
+
+            // Dense output offsets per dirty component, canonical order.
+            let mut offsets = Vec::with_capacity(to_solve.len());
+            let mut acc = 0usize;
+            for &c in &to_solve {
+                offsets.push(acc);
+                acc += (comp_start[c as usize + 1] - comp_start[c as usize]) as usize;
+            }
+            par_out.clear();
+            par_out.resize(solved_flows, 0.0);
+
+            // Contiguous chunks of the canonical component list, balanced
+            // by flow count. Chunking only affects which worker solves
+            // what — every per-component result is independent of it.
+            let target = solved_flows.div_ceil(chunks);
+            let mut bounds = Vec::with_capacity(chunks);
+            let mut start = 0usize;
+            let mut load = 0usize;
+            for pos in 0..to_solve.len() {
+                let c = to_solve[pos] as usize;
+                load += (comp_start[c + 1] - comp_start[c]) as usize;
+                let remaining_chunks = chunks - bounds.len();
+                let remaining_comps = to_solve.len() - pos - 1;
+                if load >= target || remaining_comps < remaining_chunks {
+                    bounds.push((start, pos + 1));
+                    start = pos + 1;
+                    load = 0;
+                    if bounds.len() == chunks {
+                        break;
+                    }
+                }
+            }
+            if start < to_solve.len() {
+                bounds.push((start, to_solve.len()));
+            }
+
+            let mut rounds_out = vec![0u64; bounds.len()];
+            let timer = std::time::Instant::now();
+            {
+                let comp_start = &comp_start[..];
+                let comp_flows = &comp_flows[..];
+                let to_solve = &to_solve[..];
+                let offsets = &offsets[..];
+                let mut out_rest = &mut par_out[..];
+                let mut taken = 0usize;
+                let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> =
+                    Vec::with_capacity(bounds.len());
+                let mut scratch_iter = self.scratches[..bounds.len()].iter_mut();
+                let mut rounds_iter = rounds_out.iter_mut();
+                for &(p0, p1) in &bounds {
+                    let chunk_flows: usize = to_solve[p0..p1]
+                        .iter()
+                        .map(|&c| (comp_start[c as usize + 1] - comp_start[c as usize]) as usize)
+                        .sum();
+                    let (chunk_out, rest) = out_rest.split_at_mut(chunk_flows);
+                    out_rest = rest;
+                    let chunk_base = taken;
+                    taken += chunk_flows;
+                    let s = scratch_iter.next().expect("scratch per chunk");
+                    let r = rounds_iter.next().expect("tally per chunk");
+                    jobs.push(Box::new(move || {
+                        let mut local_rounds = 0u64;
+                        for (q, &c) in to_solve[p0..p1].iter().enumerate() {
+                            let c = c as usize;
+                            let idxs =
+                                &comp_flows[comp_start[c] as usize..comp_start[c + 1] as usize];
+                            let off = offsets[p0 + q] - chunk_base;
+                            local_rounds += solve_component(
+                                s,
+                                topo,
+                                flows,
+                                idxs,
+                                &mut chunk_out[off..off + idxs.len()],
+                            );
+                        }
+                        *r = local_rounds;
+                    }));
+                }
+                self.pool.as_ref().expect("pool just built").run(jobs);
+            }
+            self.stats.parallel_wall_nanos += timer.elapsed().as_nanos() as u64;
+            self.stats.rounds += rounds_out.iter().sum::<u64>();
+
+            // Deterministic merge: scatter per-component ranges back in
+            // canonical (ascending component id) order.
+            for (pos, &c) in to_solve.iter().enumerate() {
+                let c = c as usize;
+                let idxs = &comp_flows[comp_start[c] as usize..comp_start[c + 1] as usize];
+                let off = offsets[pos];
+                for (j, &i) in idxs.iter().enumerate() {
+                    rates[i as usize] = par_out[off + j];
+                }
+            }
+        }
+
         self.comp_start = comp_start;
         self.comp_flows = comp_flows;
+        self.to_solve = to_solve;
+        self.par_out = par_out;
         // CSR order groups by component; downstream consumers iterate
         // `touched` expecting ascending flow order (it keeps telemetry
         // emission order identical to a full scan over the flow list).
         self.touched.sort_unstable();
-    }
-
-    /// Progressive filling restricted to one component. `idxs` lists the
-    /// component's flows in creation order; only their `rates` entries and
-    /// their hosts' links are touched.
-    fn solve_component(
-        &mut self,
-        topo: &Topology,
-        flows: &[FlowDemand],
-        idxs: &[u32],
-        rates: &mut [f64],
-    ) {
-        let n = topo.num_hosts();
-        // Fabric links occupy cap[2n..2n+F); the aggregate core sits after.
-        let fab_base = 2 * n;
-        let core_link = topo.core_capacity().map(|c| {
-            let idx = fab_base + topo.num_fabric_links();
-            self.cap[idx] = c.bytes_per_sec();
-            idx
-        });
-        self.stats.components_solved += 1;
-        self.stats.flows_touched += idxs.len() as u64;
-
-        let loopback = topo.loopback().bytes_per_sec();
-        self.unfrozen.clear();
-        for &i in idxs {
-            let f = &flows[i as usize];
-            if f.src == f.dst {
-                // Loopback traffic never touches the NIC.
-                rates[i as usize] = loopback;
-            } else {
-                rates[i as usize] = 0.0;
-                self.cap[f.src.0 as usize] = topo.egress(f.src).bytes_per_sec();
-                self.cap[n + f.dst.0 as usize] = topo.ingress(f.dst).bytes_per_sec();
-                for l in topo.route(f.src, f.dst).into_iter().flatten() {
-                    self.cap[fab_base + l.0 as usize] = topo.fabric_capacity(l).bytes_per_sec();
-                }
-                self.unfrozen.push(i);
-            }
-        }
-
-        while !self.unfrozen.is_empty() {
-            self.stats.rounds += 1;
-            self.round_stamp += 1;
-            let round = self.round_stamp;
-
-            // Eligibility: the lowest unfrozen band at each egress.
-            for &i in &self.unfrozen {
-                let f = &flows[i as usize];
-                let e = f.src.0 as usize;
-                let band = f.band.0 as u16;
-                if self.mb_stamp[e] != round {
-                    self.mb_stamp[e] = round;
-                    self.min_band[e] = band;
-                } else {
-                    self.min_band[e] = self.min_band[e].min(band);
-                }
-            }
-            self.touched_links.clear();
-            for &i in &self.unfrozen {
-                let f = &flows[i as usize];
-                let el = f.band.0 as u16 == self.min_band[f.src.0 as usize];
-                self.eligible[i as usize] = el;
-                if el {
-                    let egress = f.src.0 as usize;
-                    let ingress = n + f.dst.0 as usize;
-                    let [up, down] = topo.route(f.src, f.dst);
-                    for l in [
-                        Some(egress),
-                        Some(ingress),
-                        up.map(|l| fab_base + l.0 as usize),
-                        down.map(|l| fab_base + l.0 as usize),
-                        core_link,
-                    ]
-                    .into_iter()
-                    .flatten()
-                    {
-                        if self.ws_stamp[l] != round {
-                            self.ws_stamp[l] = round;
-                            self.weight_sum[l] = 0.0;
-                            self.touched_links.push(l as u32);
-                        }
-                        self.weight_sum[l] += f.weight;
-                    }
-                }
-            }
-
-            // The common level can rise until the tightest link saturates
-            // or an eligible flow reaches its own rate ceiling.
-            let mut theta = f64::INFINITY;
-            for &l in &self.touched_links {
-                let l = l as usize;
-                theta = theta.min(self.cap[l].max(0.0) / self.weight_sum[l]);
-            }
-            for &i in &self.unfrozen {
-                let f = &flows[i as usize];
-                if self.eligible[i as usize] && f.max_rate.is_finite() {
-                    theta = theta.min(((f.max_rate - rates[i as usize]).max(0.0)) / f.weight);
-                }
-            }
-            debug_assert!(theta.is_finite(), "eligible flows but no constrained link");
-
-            // Raise all eligible flows by theta * weight and charge the links.
-            if theta > 0.0 {
-                for &i in &self.unfrozen {
-                    if self.eligible[i as usize] {
-                        rates[i as usize] += theta * flows[i as usize].weight;
-                    }
-                }
-                for &l in &self.touched_links {
-                    let l = l as usize;
-                    self.cap[l] -= theta * self.weight_sum[l];
-                }
-            }
-
-            // Freeze eligible flows touching a saturated link or sitting at
-            // their own ceiling; `retain` keeps creation order.
-            let core_full = core_link.map(|c| self.cap[c] <= CAP_EPS).unwrap_or(false);
-            let (unfrozen, eligible, cap) = (&mut self.unfrozen, &self.eligible, &self.cap);
-            unfrozen.retain(|&i| {
-                if !eligible[i as usize] {
-                    return true;
-                }
-                let f = &flows[i as usize];
-                let e = f.src.0 as usize;
-                let g = n + f.dst.0 as usize;
-                let capped =
-                    f.max_rate.is_finite() && rates[i as usize] >= f.max_rate * (1.0 - 1e-12);
-                let fabric_full = topo
-                    .route(f.src, f.dst)
-                    .into_iter()
-                    .flatten()
-                    .any(|l| cap[fab_base + l.0 as usize] <= CAP_EPS);
-                !(cap[e] <= CAP_EPS || cap[g] <= CAP_EPS || capped || core_full || fabric_full)
-            });
-        }
     }
 }
 
@@ -961,7 +1379,11 @@ mod tests {
         let t = topo(6, 10.0);
         let mut a = MaxMinAllocator::new();
         // Three disjoint components: (0,1), (2,3), (4,5).
-        let flows = [demand(0, 1, 0, 1.0), demand(2, 3, 0, 1.0), demand(4, 5, 0, 1.0)];
+        let flows = [
+            demand(0, 1, 0, 1.0),
+            demand(2, 3, 0, 1.0),
+            demand(4, 5, 0, 1.0),
+        ];
         let mut rates = a.allocate(&t, &flows);
         assert_eq!(a.last_touched(), &[0, 1, 2], "full solve touches all");
 
@@ -1161,5 +1583,227 @@ mod tests {
         a.allocate_dirty_reuse(&t, &flows, &dirty, &mut rates, true);
         let fresh = MaxMinAllocator::new().allocate(&t, &flows);
         assert_eq!(rates, fresh, "count mismatch must force a rebuild");
+    }
+
+    /// One simulated event batch of churn: departures and arrivals applied
+    /// in the same tick, exactly as the fluid engine batches them.
+    enum ChurnOp {
+        /// Remove the flow at this index (compacting, like the engine).
+        Remove(usize),
+        Add(FlowDemand),
+        /// Rotate the band of the flow at this index (non-structural).
+        Rotate(usize),
+    }
+
+    /// Deterministic pseudo-random churn schedule over `hosts` hosts: a
+    /// sequence of same-tick op batches, used by the parallel-identity
+    /// and same-tick-churn tests below. The caller applies each batch to
+    /// its own (flows, rates) pair in lockstep — the partial-solve
+    /// contract requires the previous rate at every surviving index.
+    /// `rack` 0 draws endpoints anywhere (cross-rack flows merge into few
+    /// large components); `rack = k` keeps each flow inside one k-host
+    /// rack, yielding many small components (the parallel-dispatch shape).
+    fn churn_schedule(
+        seed: u64,
+        hosts: u32,
+        ticks: usize,
+        adds_per_tick: u32,
+        rack: u32,
+    ) -> Vec<Vec<ChurnOp>> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut len = 0usize;
+        let mut schedule = Vec::new();
+        for _ in 0..ticks {
+            let mut ops = Vec::new();
+            if len > 0 && rng.gen_bool(0.6) {
+                let drops = rng.gen_range(0..=len / 3 + 1).min(len);
+                for _ in 0..drops {
+                    ops.push(ChurnOp::Remove(rng.gen_range(0..len)));
+                    len -= 1;
+                }
+            }
+            for _ in 0..rng.gen_range(0..adds_per_tick) {
+                let (src, dst) = match hosts.checked_div(rack) {
+                    None => (rng.gen_range(0..hosts), rng.gen_range(0..hosts)),
+                    Some(racks) => {
+                        let base = rng.gen_range(0..racks) * rack;
+                        (
+                            base + rng.gen_range(0..rack),
+                            base + rng.gen_range(0..rack),
+                        )
+                    }
+                };
+                ops.push(ChurnOp::Add(demand(
+                    src,
+                    dst,
+                    rng.gen_range(0..3),
+                    rng.gen_range(0.1..4.0),
+                )));
+                len += 1;
+            }
+            if len > 0 && rng.gen_bool(0.3) {
+                ops.push(ChurnOp::Rotate(rng.gen_range(0..len)));
+            }
+            schedule.push(ops);
+        }
+        schedule
+    }
+
+    /// Apply one tick's ops to (flows, rates) in lockstep, returning the
+    /// dirty-host set and whether membership changed.
+    fn apply_ops(
+        ops: &[ChurnOp],
+        flows: &mut Vec<FlowDemand>,
+        rates: &mut Vec<f64>,
+        hosts: usize,
+    ) -> (Vec<bool>, bool) {
+        let mut dirty = vec![false; hosts];
+        let mut structural = false;
+        for op in ops {
+            match *op {
+                ChurnOp::Remove(k) => {
+                    let k = k.min(flows.len() - 1);
+                    let f = flows.remove(k);
+                    rates.remove(k);
+                    dirty[f.src.0 as usize] = true;
+                    dirty[f.dst.0 as usize] = true;
+                    structural = true;
+                }
+                ChurnOp::Add(f) => {
+                    dirty[f.src.0 as usize] = true;
+                    dirty[f.dst.0 as usize] = true;
+                    flows.push(f);
+                    rates.push(0.0);
+                    structural = true;
+                }
+                ChurnOp::Rotate(k) => {
+                    let k = k.min(flows.len() - 1);
+                    flows[k].band = Band((flows[k].band.0 + 1) % 3);
+                    dirty[flows[k].src.0 as usize] = true;
+                }
+            }
+        }
+        (dirty, structural)
+    }
+
+    #[test]
+    fn same_tick_departure_and_arrival_matches_full_solve() {
+        // The staleness class PR 1 and PR 6 each hit once: departures and
+        // arrivals in the same event batch split/reshape components while
+        // possibly leaving the flow *count* unchanged (so the reuse-hint
+        // length check alone cannot save a caller that wrongly passes
+        // `structure_unchanged = true`). The incremental path, driven the
+        // way the fluid engine drives it, must match a from-scratch solve
+        // bit for bit at every step.
+        let t = crate::topology::TopologyBuilder::leaf_spine(3, 4, 2.0)
+            .link(Bandwidth::from_gbps(10.0))
+            .build();
+        let hosts = t.num_hosts();
+        for seed in 0..8u64 {
+            let mut a = MaxMinAllocator::new();
+            let mut flows: Vec<FlowDemand> = Vec::new();
+            let mut rates: Vec<f64> = Vec::new();
+            for (step, ops) in churn_schedule(seed, hosts as u32, 40, 8, 0).iter().enumerate() {
+                let (dirty, structural) = apply_ops(ops, &mut flows, &mut rates, hosts);
+                a.allocate_dirty_reuse(&t, &flows, &dirty, &mut rates, !structural);
+                let fresh = MaxMinAllocator::new().allocate(&t, &flows);
+                assert_eq!(
+                    rates, fresh,
+                    "seed {seed} step {step} diverged at {} flows",
+                    flows.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_solve_is_bitwise_identical_across_worker_counts() {
+        // Many disjoint components so the pool actually dispatches: churn
+        // across a 16-rack leaf–spine fabric. Workers 2/4/8 must reproduce
+        // the single-threaded result bit for bit, through full solves and
+        // dirty-partial churn alike.
+        let t = crate::topology::TopologyBuilder::leaf_spine(16, 8, 2.0)
+            .link(Bandwidth::from_gbps(10.0))
+            .build();
+        let hosts = t.num_hosts();
+        for seed in [1u64, 9, 23] {
+            // Rack-local flows keep components small and numerous, the
+            // shape that actually reaches the worker pool; heavy arrival
+            // pressure pushes past the dispatch threshold.
+            let schedule = churn_schedule(seed, hosts as u32, 50, 30, 8);
+            // Reference: single-threaded.
+            let mut reference = MaxMinAllocator::new();
+            let mut ref_flows: Vec<FlowDemand> = Vec::new();
+            let mut ref_rates: Vec<f64> = Vec::new();
+            let mut ref_results = Vec::new();
+            for ops in &schedule {
+                let (dirty, structural) = apply_ops(ops, &mut ref_flows, &mut ref_rates, hosts);
+                reference.allocate_dirty_reuse(&t, &ref_flows, &dirty, &mut ref_rates, !structural);
+                ref_results.push(ref_rates.clone());
+            }
+            for workers in [2usize, 4, 8] {
+                let mut a = MaxMinAllocator::new();
+                a.set_workers(workers);
+                let mut flows: Vec<FlowDemand> = Vec::new();
+                let mut rates: Vec<f64> = Vec::new();
+                for (step, ops) in schedule.iter().enumerate() {
+                    let (dirty, structural) = apply_ops(ops, &mut flows, &mut rates, hosts);
+                    a.allocate_dirty_reuse(&t, &flows, &dirty, &mut rates, !structural);
+                    let same = rates
+                        .iter()
+                        .zip(&ref_results[step])
+                        .all(|(x, y)| x.to_bits() == y.to_bits());
+                    assert!(
+                        same,
+                        "seed {seed} step {step}: {workers}-worker solve diverged"
+                    );
+                }
+                assert!(
+                    a.stats().parallel_dispatches > 0,
+                    "churn workload never reached the pool at {workers} workers — \
+                     the test is not exercising the parallel path"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_full_solve_matches_single_threaded_on_dense_grid() {
+        // A full solve over hundreds of single-rack components, well past
+        // PAR_MIN_FLOWS: the parallel scatter must be a bitwise no-op
+        // relative to sequential.
+        let t = crate::topology::TopologyBuilder::leaf_spine(32, 8, 2.0)
+            .link(Bandwidth::from_gbps(10.0))
+            .build();
+        let mut flows = Vec::new();
+        for rack in 0..32u32 {
+            let base = rack * 8;
+            for k in 0..6u32 {
+                flows.push(demand(
+                    base + k % 8,
+                    base + (k + 1) % 8,
+                    (k % 3) as u8,
+                    1.0 + k as f64 * 0.37,
+                ));
+            }
+        }
+        let mut seq = MaxMinAllocator::new();
+        let seq_rates = seq.allocate(&t, &flows);
+        for workers in [2usize, 4, 8] {
+            let mut par = MaxMinAllocator::new();
+            par.set_workers(workers);
+            let par_rates = par.allocate(&t, &flows);
+            assert_eq!(
+                par.stats().parallel_dispatches,
+                1,
+                "{workers}-worker full solve should dispatch"
+            );
+            let same = seq_rates
+                .iter()
+                .zip(&par_rates)
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "{workers}-worker full solve diverged");
+        }
     }
 }

@@ -1,0 +1,336 @@
+//! A small fixed-size worker pool for deterministic fork-join dispatch.
+//!
+//! [`WorkerPool::run`] takes a batch of jobs that may borrow from the
+//! caller's stack and does not return until every job has finished — the
+//! same scoped-borrow guarantee as `std::thread::scope`, but over a set of
+//! *persistent* threads so a hot loop can dispatch thousands of batches
+//! without paying thread spawn/join each time.
+//!
+//! Determinism contract: the pool makes no ordering promises about *when*
+//! jobs execute relative to each other; callers that need reproducible
+//! output must make jobs independent (disjoint output slices) and merge
+//! results by job index afterwards. That is exactly how the max-min
+//! allocator uses it — each job solves a disjoint set of flow components
+//! into its own output range, and the caller scatters ranges back in
+//! canonical component order, so results are bitwise-identical at any
+//! worker count. If a job panics, the whole batch still runs to
+//! completion, then the payload of the *lowest-index* panicking job is
+//! re-raised on the caller (mirroring `parallel_map` in the experiments
+//! runner), so failure reporting is deterministic too.
+//!
+//! A pool of size 0 or 1 spawns no threads at all: `run` executes the
+//! batch inline, in index order, on the calling thread. Larger pools spawn
+//! `size - 1` threads and use the calling thread as the final worker, so a
+//! "4-worker" dispatch occupies exactly 4 cores.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A type-erased job. Lifetimes are erased when a batch is installed;
+/// soundness comes from `run` blocking until the batch is fully drained,
+/// so no job outlives the borrows it captures.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct State {
+    /// Jobs of the current batch; slots are taken (left `None`) as workers
+    /// claim them.
+    jobs: Vec<Option<Job>>,
+    /// Next unclaimed job index.
+    next: usize,
+    /// Jobs finished so far in this batch.
+    finished: usize,
+    /// Lowest-index panic observed in this batch, if any.
+    panic: Option<(usize, Box<dyn std::any::Any + Send>)>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a new batch is installed (or on shutdown).
+    work: Condvar,
+    /// Signalled when the last job of a batch finishes.
+    done: Condvar,
+}
+
+/// A fixed-size pool of persistent worker threads. See the module docs.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("size", &self.size)
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Create a pool that runs batches on up to `size` threads (the caller
+    /// counts as one). `size <= 1` spawns nothing and runs batches inline.
+    pub fn new(size: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let mut threads = Vec::new();
+        if size > 1 {
+            for i in 0..size - 1 {
+                let shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("tl-pool-{i}"))
+                    .spawn(move || worker_loop(&shared));
+                // A failed spawn (resource exhaustion) degrades capacity
+                // instead of aborting: batches still complete because the
+                // caller participates and drains whatever the missing
+                // thread would have taken.
+                if let Ok(h) = spawned {
+                    threads.push(h);
+                }
+            }
+        }
+        WorkerPool {
+            shared,
+            threads,
+            size: size.max(1),
+        }
+    }
+
+    /// The configured worker count (including the calling thread).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Execute every job in `jobs`, blocking until all have finished.
+    ///
+    /// Jobs may borrow data from the caller's scope (`'scope`): the borrow
+    /// is sound because this function does not return — even on panic —
+    /// until every job has run to completion. If any job panicked, the
+    /// lowest-index payload is re-raised here after the batch drains.
+    pub fn run<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        if self.threads.is_empty() {
+            // Inline path: index order, no synchronization.
+            let mut first_panic = None;
+            for (i, job) in jobs.into_iter().enumerate() {
+                if let Err(p) = catch_unwind(AssertUnwindSafe(job)) {
+                    if first_panic.is_none() {
+                        first_panic = Some((i, p));
+                    }
+                }
+            }
+            if let Some((_, p)) = first_panic {
+                resume_unwind(p);
+            }
+            return;
+        }
+        let total = jobs.len();
+        // SAFETY: the 'scope lifetime is erased, but every job is consumed
+        // before this function returns (the wait below blocks until
+        // `finished == total`), so no borrow escapes its scope.
+        let jobs: Vec<Option<Job>> = jobs
+            .into_iter()
+            .map(|j| {
+                let j: Job = unsafe {
+                    std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(j)
+                };
+                Some(j)
+            })
+            .collect();
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            debug_assert!(st.jobs.is_empty(), "overlapping WorkerPool::run calls");
+            st.jobs = jobs;
+            st.next = 0;
+            st.finished = 0;
+            st.panic = None;
+            self.shared.work.notify_all();
+        }
+        // The caller is a worker too.
+        drain_batch(&self.shared);
+        let panic = {
+            let mut st = self.shared.state.lock().unwrap();
+            while st.finished < total {
+                st = self.shared.done.wait(st).unwrap();
+            }
+            st.jobs.clear();
+            st.next = 0;
+            st.finished = 0;
+            st.panic.take()
+        };
+        if let Some((_, p)) = panic {
+            resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Claim and run jobs until the current batch has none left unclaimed.
+fn drain_batch(shared: &Shared) {
+    loop {
+        let (idx, job) = {
+            let mut st = shared.state.lock().unwrap();
+            if st.next >= st.jobs.len() {
+                return;
+            }
+            let idx = st.next;
+            st.next += 1;
+            let job = st.jobs[idx].take().expect("job claimed twice");
+            (idx, job)
+        };
+        let result = catch_unwind(AssertUnwindSafe(job));
+        let mut st = shared.state.lock().unwrap();
+        if let Err(p) = result {
+            if st.panic.as_ref().is_none_or(|&(j, _)| idx < j) {
+                st.panic = Some((idx, p));
+            }
+        }
+        st.finished += 1;
+        if st.finished == st.jobs.len() {
+            shared.done.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.next < st.jobs.len() {
+                    break;
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        }
+        drain_batch(shared);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_all_jobs_and_allows_borrows() {
+        for size in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(size);
+            let mut out = vec![0u64; 100];
+            {
+                let jobs: Vec<Box<dyn FnOnce() + Send>> = out
+                    .chunks_mut(7)
+                    .enumerate()
+                    .map(|(i, chunk)| {
+                        let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+                            for (k, v) in chunk.iter_mut().enumerate() {
+                                *v = (i * 1000 + k) as u64;
+                            }
+                        });
+                        job
+                    })
+                    .collect();
+                pool.run(jobs);
+            }
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, ((i / 7) * 1000 + i % 7) as u64, "worker count {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_across_batches() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..50 {
+            let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..16)
+                .map(|_| {
+                    let job: Box<dyn FnOnce() + Send> = Box::new(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                    job
+                })
+                .collect();
+            pool.run(jobs);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 800);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let pool = WorkerPool::new(4);
+        pool.run(Vec::new());
+    }
+
+    #[test]
+    fn panic_reraises_lowest_index() {
+        for size in [1, 4] {
+            let pool = WorkerPool::new(size);
+            let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+                .map(|i| {
+                    let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+                        if i == 2 || i == 5 {
+                            panic!("job {i} failed");
+                        }
+                    });
+                    job
+                })
+                .collect();
+            let err = catch_unwind(AssertUnwindSafe(|| pool.run(jobs))).unwrap_err();
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            assert_eq!(msg, "job 2 failed", "worker count {size}");
+        }
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_batch() {
+        let pool = WorkerPool::new(4);
+        let bad: Vec<Box<dyn FnOnce() + Send>> =
+            vec![Box::new(|| panic!("boom")) as Box<dyn FnOnce() + Send>];
+        assert!(catch_unwind(AssertUnwindSafe(|| pool.run(bad))).is_err());
+        let counter = AtomicUsize::new(0);
+        let good: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+            .map(|_| {
+                let job: Box<dyn FnOnce() + Send> = Box::new(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+                job
+            })
+            .collect();
+        pool.run(good);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn size_reports_at_least_one() {
+        assert_eq!(WorkerPool::new(0).size(), 1);
+        assert_eq!(WorkerPool::new(3).size(), 3);
+    }
+}

@@ -57,6 +57,18 @@ if [[ "${1:-}" != "fast" ]]; then
     echo "==> scale sweep smoke (--quick)"
     ./target/release/repro --experiment scale --quick > /dev/null
 
+    # Threaded-determinism smoke: the allocator worker-pool size is only
+    # allowed to move wall time. Run the quick scale cell single-threaded
+    # and with a 4-thread pool in separate processes; the canonical JSON
+    # projection (floats as IEEE-754 bits, wall-clock columns stripped)
+    # must be byte-identical.
+    echo "==> allocator threaded-determinism smoke (TL_WORKERS 1 vs 4)"
+    TL_WORKERS=1 ./target/release/repro --experiment scale --quick \
+        --json "$tmp/workers1" > /dev/null
+    TL_WORKERS=4 ./target/release/repro --experiment scale --quick \
+        --json "$tmp/workers4" > /dev/null
+    cmp "$tmp/workers1/scale.canonical.json" "$tmp/workers4/scale.canonical.json"
+
     # Fabric smoke: the full policy x oversubscription x pattern grid on
     # the leaf-spine topology at smoke-test iteration counts (repro asserts
     # every cell completes all jobs).
