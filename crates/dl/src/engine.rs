@@ -30,7 +30,9 @@ use tl_cluster::{
     monitor, CpuEngine, CpuTaskId, HostSpec, HostUtilization, JobPlacement, ResourceSnapshot,
 };
 use tl_faults::{BarrierLossPolicy, FaultAction, FaultPlan, RetryConfig, TimedFault};
-use tl_net::{AllocStats, Bandwidth, FlowId, FlowSpec, FluidNet, HostId, LinkId, PacketNet};
+use tl_net::{
+    AllocKernel, AllocStats, Bandwidth, FlowId, FlowSpec, FluidNet, HostId, LinkId, PacketNet,
+};
 
 /// Tag prefix distinguishing gradient flows from model-update flows in the
 /// fluid engine (rotations must only retag model updates).
@@ -117,6 +119,20 @@ pub struct SimConfig {
     /// setting — only wall time changes — so this is safe to leave
     /// unpinned even for reproducibility-sensitive runs.
     pub alloc_workers: Option<usize>,
+    /// Max-min kernel for the fluid backend. `None` (default) defers to
+    /// the `TL_KERNEL` environment variable, falling back to the
+    /// bottleneck-ordered kernel. Both kernels are bitwise-identical;
+    /// `Legacy` keeps the round-based full-rescan water-filling for
+    /// A/B comparison and as a fallback.
+    pub alloc_kernel: Option<AllocKernel>,
+    /// Minimum total dirty flows before the allocator dispatches
+    /// components to the worker pool. `None` defers to
+    /// `TL_PAR_MIN_FLOWS` (default 128). Must be positive.
+    pub par_min_flows: Option<usize>,
+    /// Minimum flows in a single component before the bottleneck kernel
+    /// shards its per-round reductions across workers. `None` defers to
+    /// `TL_PAR_MIN_COMPONENT_FLOWS` (default 4096). Must be positive.
+    pub par_min_component_flows: Option<usize>,
 }
 
 impl Default for SimConfig {
@@ -144,6 +160,9 @@ impl Default for SimConfig {
             invariants: cfg!(debug_assertions),
             profile: false,
             alloc_workers: None,
+            alloc_kernel: None,
+            par_min_flows: None,
+            par_min_component_flows: None,
         }
     }
 }
@@ -710,6 +729,27 @@ impl<'p> Simulation<'p> {
         self
     }
 
+    /// Pin the fluid backend's max-min kernel (overrides
+    /// `cfg.alloc_kernel`; both kernels are bitwise-identical).
+    pub fn alloc_kernel(mut self, kernel: AllocKernel) -> Self {
+        self.cfg.alloc_kernel = Some(kernel);
+        self
+    }
+
+    /// Pin the component-dispatch parallelism threshold (overrides
+    /// `cfg.par_min_flows`). Must be positive.
+    pub fn par_min_flows(mut self, min_flows: usize) -> Self {
+        self.cfg.par_min_flows = Some(min_flows);
+        self
+    }
+
+    /// Pin the intra-component sharding threshold (overrides
+    /// `cfg.par_min_component_flows`). Must be positive.
+    pub fn par_min_component_flows(mut self, min_flows: usize) -> Self {
+        self.cfg.par_min_component_flows = Some(min_flows);
+        self
+    }
+
     /// Run the simulation to completion (or the configured horizon).
     ///
     /// Panics if no jobs were added, a setup is inconsistent, or — with
@@ -779,6 +819,15 @@ fn run_inner(
             let mut net = FluidNet::new(topo);
             if let Some(workers) = cfg.alloc_workers {
                 net.set_alloc_workers(workers);
+            }
+            if let Some(kernel) = cfg.alloc_kernel {
+                net.set_alloc_kernel(kernel);
+            }
+            if let Some(min_flows) = cfg.par_min_flows {
+                net.set_par_min_flows(min_flows);
+            }
+            if let Some(min_flows) = cfg.par_min_component_flows {
+                net.set_par_min_component_flows(min_flows);
             }
             run_with_net(cfg, setups, policy, net)
         }
@@ -1922,6 +1971,10 @@ impl<'a, N: NetBackend> Sim<'a, N> {
                 ("alloc.components_solved", alloc.components_solved),
                 ("alloc.components_retained", alloc.components_retained),
                 ("alloc.rounds", alloc.rounds),
+                ("alloc.freeze_rounds", alloc.freeze_rounds),
+                ("alloc.heap_pops", alloc.heap_pops),
+                ("alloc.stale_key_skips", alloc.stale_key_skips),
+                ("alloc.links_touched", alloc.links_touched),
                 ("alloc.flows_touched", alloc.flows_touched),
                 ("alloc.parallel_dispatches", alloc.parallel_dispatches),
             ] {

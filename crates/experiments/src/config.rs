@@ -46,6 +46,19 @@ pub struct ExperimentConfig {
     /// bitwise-identical at every setting; this only moves wall time.
     #[serde(default)]
     pub alloc_workers: Option<usize>,
+    /// Max-min kernel (`repro --kernel`). `None` defers to the engine
+    /// default (`TL_KERNEL`, else the bottleneck-ordered kernel). Both
+    /// kernels are bitwise-identical; this only moves wall time.
+    #[serde(default)]
+    pub alloc_kernel: Option<tl_dl::AllocKernel>,
+    /// Component-dispatch parallelism threshold. `None` defers to the
+    /// engine default (`TL_PAR_MIN_FLOWS`, else 128).
+    #[serde(default)]
+    pub par_min_flows: Option<usize>,
+    /// Intra-component sharding threshold. `None` defers to the engine
+    /// default (`TL_PAR_MIN_COMPONENT_FLOWS`, else 4096).
+    #[serde(default)]
+    pub par_min_component_flows: Option<usize>,
 }
 
 impl Default for ExperimentConfig {
@@ -74,6 +87,9 @@ impl ExperimentConfig {
             topology: TopologySpec::SingleSwitch,
             pattern: TrafficPattern::PsStar,
             alloc_workers: None,
+            alloc_kernel: None,
+            par_min_flows: None,
+            par_min_component_flows: None,
         }
     }
 
@@ -113,6 +129,9 @@ impl ExperimentConfig {
             topology: self.topology,
             pattern: self.pattern,
             alloc_workers: self.alloc_workers,
+            alloc_kernel: self.alloc_kernel,
+            par_min_flows: self.par_min_flows,
+            par_min_component_flows: self.par_min_component_flows,
             ..SimConfig::default()
         }
     }

@@ -185,9 +185,14 @@ pub fn run_with(
 
 /// Run one instrumented simulation (the 4:1 TLs-One cell) with the
 /// engine's self-profiler on and return the per-subsystem wall-time
-/// report. Wall-clock values vary run to run; the report *shape* (slots,
-/// counts) is deterministic.
-pub fn profile_cell(cfg: &ExperimentConfig, quick: bool) -> simcore::ProfileReport {
+/// report plus the allocator's counters (so kernel-level regressions —
+/// freeze rounds, heap pops, stale-key skips — are diagnosable alongside
+/// the wall-time shares). Wall-clock values vary run to run; the report
+/// *shape* (slots, counts) and the allocator counters are deterministic.
+pub fn profile_cell(
+    cfg: &ExperimentConfig,
+    quick: bool,
+) -> (simcore::ProfileReport, tl_net::AllocStats) {
     let cell_cfg = ExperimentConfig {
         iterations: if quick { QUICK_ITERS } else { ITERS },
         per_sample_core_secs: 0.02,
@@ -216,7 +221,8 @@ pub fn profile_cell(cfg: &ExperimentConfig, quick: bool) -> simcore::ProfileRepo
         .telemetry(TelemetryConfig::events())
         .profile(true)
         .run();
-    out.profile.expect("profile(true) run returns a report")
+    let report = out.profile.expect("profile(true) run returns a report");
+    (report, out.alloc_stats)
 }
 
 impl ExplainResult {
@@ -406,7 +412,7 @@ mod tests {
 
     #[test]
     fn profile_cell_reports_every_subsystem() {
-        let rep = profile_cell(&tiny_cfg(), true);
+        let (rep, alloc) = profile_cell(&tiny_cfg(), true);
         let text = rep.render();
         for slot in [
             "alloc.solve",
@@ -417,5 +423,8 @@ mod tests {
             assert!(text.contains(slot), "profile report missing {slot}: {text}");
         }
         assert!(rep.total_nanos("engine.handlers") > 0);
+        // The default (bottleneck) kernel reports its heap traffic.
+        assert!(alloc.invocations > 0);
+        assert!(alloc.heap_pops > 0, "bottleneck kernel should pop its heap");
     }
 }

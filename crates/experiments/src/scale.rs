@@ -608,6 +608,43 @@ mod tests {
     }
 
     #[test]
+    fn canonical_output_is_identical_across_kernels() {
+        // The PR 10 tentpole guarantee at the experiment level: the
+        // max-min kernel (`ExperimentConfig::alloc_kernel`, `TL_KERNEL`
+        // in the shell) may only move wall time, never results — the
+        // canonical JSON (rates, completions, *and* the shared round
+        // counters) must match byte for byte. The check-script kernel
+        // A/B smoke repeats this cross-process on `scale.canonical.json`.
+        use tl_dl::AllocKernel;
+        let cell = |kernel: AllocKernel, topo: TopologySpec| {
+            let cfg = ExperimentConfig {
+                alloc_kernel: Some(kernel),
+                // Force intra-component sharding onto the bottleneck
+                // kernel's parallel path even at quick-cell sizes.
+                par_min_component_flows: Some(8),
+                alloc_workers: Some(4),
+                topology: topo,
+                ..tiny_cfg()
+            };
+            canonical_json(&run_cell(&cfg, GRID_HOSTS[0], GRID_JOBS[0], PolicyKind::TlsRr))
+        };
+        let spine = TopologySpec::LeafSpine {
+            racks: 7,
+            hosts_per_rack: 3,
+            oversub: 2.0,
+        };
+        for topo in [TopologySpec::SingleSwitch, spine] {
+            let legacy = cell(AllocKernel::Legacy, topo);
+            assert!(legacy.contains("\"alloc\":["));
+            assert_eq!(
+                legacy,
+                cell(AllocKernel::Bottleneck, topo),
+                "kernel changed results on {topo:?}"
+            );
+        }
+    }
+
+    #[test]
     fn deterministic_after_kill_mid_sweep_and_resume() {
         // Extends `deterministic_across_parallel_map_worker_counts` to the
         // crash path: the same cells through the orchestrator, with the

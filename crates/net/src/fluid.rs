@@ -43,7 +43,7 @@
 //! assert_eq!(net.take_completions(done_at).len(), 1);
 //! ```
 
-use crate::maxmin::{AllocStats, FlowDemand, MaxMinAllocator};
+use crate::maxmin::{AllocKernel, AllocStats, FlowDemand, MaxMinAllocator};
 use crate::topology::Topology;
 use crate::types::{Band, Bandwidth, FlowId, HostId};
 use simcore::{InvariantChecker, SimDuration, SimTime};
@@ -258,6 +258,51 @@ pub fn default_alloc_workers() -> usize {
         })
 }
 
+/// The default single-component kernel: the `TL_KERNEL` environment
+/// variable when set (`legacy` | `bottleneck`), else
+/// [`AllocKernel::Bottleneck`]. Both kernels are bitwise-identical, so
+/// the choice only affects wall time. Panics on an unrecognized value —
+/// a typo silently falling back would invalidate an A/B measurement.
+pub fn default_alloc_kernel() -> AllocKernel {
+    match std::env::var("TL_KERNEL") {
+        Ok(v) if !v.trim().is_empty() => AllocKernel::parse(&v)
+            .unwrap_or_else(|| panic!("TL_KERNEL must be 'legacy' or 'bottleneck', got {v:?}")),
+        _ => AllocKernel::default(),
+    }
+}
+
+fn env_threshold(var: &str, default: usize) -> usize {
+    match std::env::var(var) {
+        Ok(v) if !v.trim().is_empty() => {
+            let parsed = v
+                .trim()
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("{var} must be a positive integer, got {v:?}"));
+            assert!(parsed > 0, "{var} must be positive, got {v:?}");
+            parsed
+        }
+        _ => default,
+    }
+}
+
+/// The default component-dispatch threshold: `TL_PAR_MIN_FLOWS` when set
+/// (positive integer), else [`crate::maxmin::DEFAULT_PAR_MIN_FLOWS`].
+/// Panics on an unparseable or zero value.
+pub fn default_par_min_flows() -> usize {
+    env_threshold("TL_PAR_MIN_FLOWS", crate::maxmin::DEFAULT_PAR_MIN_FLOWS)
+}
+
+/// The default intra-component sharding threshold:
+/// `TL_PAR_MIN_COMPONENT_FLOWS` when set (positive integer), else
+/// [`crate::maxmin::DEFAULT_PAR_MIN_COMPONENT_FLOWS`]. Panics on an
+/// unparseable or zero value.
+pub fn default_par_min_component_flows() -> usize {
+    env_threshold(
+        "TL_PAR_MIN_COMPONENT_FLOWS",
+        crate::maxmin::DEFAULT_PAR_MIN_COMPONENT_FLOWS,
+    )
+}
+
 impl FluidNet {
     /// Create an engine over `topo` with no active flows. The allocator
     /// worker count starts at [`default_alloc_workers`]; override with
@@ -267,6 +312,9 @@ impl FluidNet {
         let nf = topo.num_fabric_links();
         let mut allocator = MaxMinAllocator::new();
         allocator.set_workers(default_alloc_workers());
+        allocator.set_kernel(default_alloc_kernel());
+        allocator.set_par_min_flows(default_par_min_flows());
+        allocator.set_par_min_component_flows(default_par_min_component_flows());
         FluidNet {
             topo,
             flows: Vec::new(),
@@ -325,6 +373,31 @@ impl FluidNet {
     /// The allocator's configured worker count.
     pub fn alloc_workers(&self) -> usize {
         self.allocator.workers()
+    }
+
+    /// Select the single-component allocation kernel. Both kernels are
+    /// bitwise-identical (see [`MaxMinAllocator::set_kernel`]); the
+    /// default comes from [`default_alloc_kernel`] (`TL_KERNEL`).
+    pub fn set_alloc_kernel(&mut self, kernel: AllocKernel) {
+        self.allocator.set_kernel(kernel);
+    }
+
+    /// The active single-component allocation kernel.
+    pub fn alloc_kernel(&self) -> AllocKernel {
+        self.allocator.kernel()
+    }
+
+    /// Set the component-dispatch threshold (panics on 0); the default
+    /// comes from [`default_par_min_flows`] (`TL_PAR_MIN_FLOWS`).
+    pub fn set_par_min_flows(&mut self, min_flows: usize) {
+        self.allocator.set_par_min_flows(min_flows);
+    }
+
+    /// Set the intra-component sharding threshold (panics on 0); the
+    /// default comes from [`default_par_min_component_flows`]
+    /// (`TL_PAR_MIN_COMPONENT_FLOWS`).
+    pub fn set_par_min_component_flows(&mut self, min_flows: usize) {
+        self.allocator.set_par_min_component_flows(min_flows);
     }
 
     /// The topology this engine runs over.

@@ -6,8 +6,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+# --workspace: the root manifest is both a workspace and a package, so a
+# bare `cargo build` compiles only the root package and leaves member
+# binaries (./target/release/repro) stale.
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q
@@ -25,6 +28,8 @@ if [[ "${1:-}" != "fast" ]]; then
     TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench fault_overhead
     TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench scale
     TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench analysis
+    TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench alloc_parallel
+    TL_BENCH_SMOKE=1 cargo bench -p tl-bench --bench alloc_single_component
 
     # Telemetry smoke: emit a Chrome trace from the Figure 4 narrative and
     # validate it — parses as JSON, non-empty traceEvents, and contains the
@@ -69,6 +74,19 @@ if [[ "${1:-}" != "fast" ]]; then
         --json "$tmp/workers4" > /dev/null
     cmp "$tmp/workers1/scale.canonical.json" "$tmp/workers4/scale.canonical.json"
 
+    # Kernel A/B smoke: the max-min kernel (TL_KERNEL) is only allowed to
+    # move wall time. Same quick scale cell under the legacy round-rescan
+    # kernel and the bottleneck-ordered kernel in separate processes; the
+    # canonical JSON (which includes the shared allocator round counters)
+    # must be byte-identical.
+    echo "==> allocator kernel A/B smoke (TL_KERNEL legacy vs bottleneck)"
+    TL_KERNEL=legacy ./target/release/repro --experiment scale --quick \
+        --json "$tmp/klegacy" > /dev/null
+    TL_KERNEL=bottleneck TL_WORKERS=4 TL_PAR_MIN_COMPONENT_FLOWS=8 \
+        ./target/release/repro --experiment scale --quick \
+        --json "$tmp/kbottleneck" > /dev/null
+    cmp "$tmp/klegacy/scale.canonical.json" "$tmp/kbottleneck/scale.canonical.json"
+
     # Fabric smoke: the full policy x oversubscription x pattern grid on
     # the leaf-spine topology at smoke-test iteration counts (repro asserts
     # every cell completes all jobs).
@@ -95,6 +113,18 @@ if [[ "${1:-}" != "fast" ]]; then
     grep -q '"blame"' "$tmp/explain/explain.json"
     grep -q '"critical_path"' "$tmp/explain/explain.json"
     grep -q '"alloc.solve"' "$tmp/explain/profile.json"
+
+    # Kernel default guard: repro (via FluidNet/SimConfig) must default to
+    # the bottleneck kernel — the #[default] variant of AllocKernel — so a
+    # plain run exercises the fast path and legacy stays opt-in only.
+    echo "==> kernel default guard"
+    grep -Eqz '#\[default\]\s*Bottleneck' crates/net/src/maxmin.rs \
+        || { echo "AllocKernel no longer defaults to Bottleneck"; exit 1; }
+    # (capture to a file — `grep -q` on a pipe exits at first match and the
+    # resulting SIGPIPE would fail the pipeline under pipefail)
+    ./target/release/repro --experiment perf --iterations 8 > "$tmp/perf.out"
+    grep -q 'kernel=bottleneck' "$tmp/perf.out" \
+        || { echo "repro --experiment perf does not report the bottleneck kernel as default"; exit 1; }
 
     # Orchestrator routing: every sweep module must run its cells through
     # the crash-safe orchestrator (per-cell isolation + checkpoint ledger),
